@@ -1,0 +1,82 @@
+"""EXP-ABL — integration-option ablations (DESIGN.md design choices).
+
+Two behaviours the paper leaves open are implemented behind
+:class:`~repro.integration.options.IntegrationOptions` and measured here:
+
+* ``pull_up_shared_attributes`` — move attribute classes shared by the
+  children of a derived parent up into the parent (classic
+  generalisation) vs. the paper's observed behaviour (Screen 12 keeps
+  ``D_Name`` on ``Student``);
+* ``merge_cardinalities_loosely`` — union vs. intersection when merging
+  matched relationship legs.
+"""
+
+from conftest import make_paper_setup
+
+from repro.analysis.report import Table
+from repro.integration.integrator import Integrator
+from repro.integration.options import IntegrationOptions
+
+
+def integrate_with(options: IntegrationOptions):
+    registry, network, relationship_network = make_paper_setup()
+    return Integrator(
+        registry, network, relationship_network, options
+    ).integrate("sc1", "sc2")
+
+
+def run_ablation():
+    return {
+        "paper (default)": integrate_with(IntegrationOptions()),
+        "pull-up": integrate_with(
+            IntegrationOptions(pull_up_shared_attributes=True)
+        ),
+        "tight cardinalities": integrate_with(
+            IntegrationOptions(merge_cardinalities_loosely=False)
+        ),
+    }
+
+
+def test_exp_integration_ablations(benchmark):
+    results = benchmark(run_ablation)
+    table = Table(
+        "EXP-ABL: integration options on the paper workload",
+        ["variant", "D_Stud_Facu attrs", "Student attrs",
+         "E_Stud_Majo Student leg"],
+    )
+    for name, result in results.items():
+        schema = result.schema
+        majors_leg = str(
+            schema.relationship_set("E_Stud_Majo")
+            .participation_for("Student")
+            .cardinality
+        )
+        table.add_row(
+            name,
+            ", ".join(schema.get("D_Stud_Facu").attribute_names()) or "(none)",
+            ", ".join(schema.get("Student").attribute_names()),
+            majors_leg,
+        )
+    print()
+    print(table)
+    default = results["paper (default)"].schema
+    pulled = results["pull-up"].schema
+    # Screen 12 evidence: the default keeps D_Name on Student.
+    assert "D_Name" in default.get("Student").attribute_names()
+    assert default.get("D_Stud_Facu").attributes == []
+    # The ablation moves the shared Name class up to the derived parent.
+    assert any(
+        name.startswith("D_") for name in pulled.get("D_Stud_Facu").attribute_names()
+    )
+    assert "D_Name" not in pulled.get("Student").attribute_names()
+    # Cardinality policy: identical here because both views agree on (1,1),
+    # so tight merging must not change the leg.
+    tight = results["tight cardinalities"].schema
+    assert (
+        str(
+            tight.relationship_set("E_Stud_Majo")
+            .participation_for("Student")
+            .cardinality
+        )
+        == "(1,1)"
+    )

@@ -1,0 +1,104 @@
+"""EXP-NARY — iterated binary integration of many schemas.
+
+The tool integrates two schemas at a time; the result is integrated with
+the next schema, and so on.  We integrate k views of one world in several
+orders and compare the final schema shapes and wall-clock.
+
+Shape expected: the final shape (entity/category counts) is stable across
+orders; the time grows with k.
+"""
+
+from repro.analysis.metrics import schema_size
+from repro.analysis.report import Table
+from repro.assertions.kinds import AssertionKind
+from repro.baselines.strategies import ladder_orders
+from repro.ecr.builder import SchemaBuilder
+from repro.integration.nary import integrate_all
+from repro.workloads.oracle import GroundTruth
+
+
+def build_world(views: int):
+    """k views of one Person world: view i adds a subtype level."""
+    schemas = []
+    truth = GroundTruth()
+    names = []
+    for index in range(views):
+        name = f"v{index}"
+        class_name = f"Role{index}"
+        schema = (
+            SchemaBuilder(name)
+            .entity(
+                class_name,
+                attrs=[("Ssn", "char", True), (f"Extra{index}", "char")],
+            )
+            .build()
+        )
+        schemas.append(schema)
+        names.append((name, class_name))
+    for i in range(views):
+        for j in range(i + 1, views):
+            truth.add_attribute_pair(
+                f"{names[i][0]}.{names[i][1]}.Ssn",
+                f"{names[j][0]}.{names[j][1]}.Ssn",
+            )
+    # a containment chain: Role_k ⊂ ... ⊂ Role_0
+    for i in range(views - 1):
+        truth.add_object_assertion(
+            f"{names[i + 1][0]}.{names[i + 1][1]}",
+            f"{names[i][0]}.{names[i][1]}",
+            AssertionKind.CONTAINED_IN,
+        )
+    return schemas, truth
+
+
+def run_orders(views: int):
+    schemas, truth = build_world(views)
+    shapes = {}
+    for name, order in ladder_orders(schemas, samples=1).items():
+        result, _ = integrate_all(order, truth, result_name="g")
+        shapes[name] = schema_size(result.schema)
+    return shapes
+
+
+def test_exp_nary_order_stability(benchmark):
+    shapes = benchmark(run_orders, 5)
+    table = Table(
+        "EXP-NARY: final schema shape per integration order (5 views)",
+        ["order", "entities", "categories", "relationships", "attributes"],
+    )
+    for name, size in shapes.items():
+        table.add_row(name, *size.as_row())
+    print()
+    print(table)
+    sizes = {
+        (size.entities, size.categories, size.relationships)
+        for size in shapes.values()
+    }
+    # Shape: the structure counts are order-independent.
+    assert len(sizes) == 1
+    entities, categories, _ = next(iter(sizes))
+    assert entities == 1  # one root Person-like class
+    assert categories == 4  # the four subtype levels
+
+
+def test_exp_nary_growth(benchmark):
+    def run_growth():
+        rows = []
+        for views in (2, 4, 6, 8):
+            schemas, truth = build_world(views)
+            result, _ = integrate_all(schemas, truth, result_name="g")
+            rows.append((views, schema_size(result.schema)))
+        return rows
+
+    rows = benchmark(run_growth)
+    table = Table(
+        "EXP-NARY: growth with number of views",
+        ["views", "entities", "categories", "relationships", "attributes"],
+    )
+    for views, size in rows:
+        table.add_row(views, *size.as_row())
+    print()
+    print(table)
+    categories = [size.categories for _, size in rows]
+    assert categories == sorted(categories)  # monotone growth of the chain
+    assert all(size.entities == 1 for _, size in rows)

@@ -1,0 +1,72 @@
+"""EXP-SCALE — wall-clock of each phase as the schemas grow.
+
+The tool paper gives no timings (1988 hardware); the practicality claim is
+simply that the bookkeeping is automatic.  We time the expensive parts —
+OCS + ordering (phase 2/3 prep), closure-driven assertion entry (phase 3)
+and integration (phase 4) — over a size sweep to show the library stays
+interactive at realistic schema sizes.
+"""
+
+import time
+
+from repro.analysis.report import Table
+from repro.baselines.closure_baselines import drive_assertions_with_closure
+from repro.equivalence.ordering import ordered_object_pairs
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.integration.integrator import integrate_pair
+from repro.workloads.generator import GeneratorConfig, generate_schema_pair
+from repro.workloads.oracle import OracleDda
+
+SIZES = (4, 8, 16, 24, 32)
+
+
+def _prepare(concepts):
+    pair = generate_schema_pair(
+        GeneratorConfig(seed=31, concepts=concepts, overlap=0.5)
+    )
+    registry = EquivalenceRegistry([pair.first, pair.second])
+    OracleDda(pair.truth).declare_all_equivalences(registry)
+    return pair, registry
+
+
+def phase_times(concepts):
+    pair, registry = _prepare(concepts)
+    start = time.perf_counter()
+    ordered_object_pairs(registry, pair.first.name, pair.second.name)
+    t_ordering = time.perf_counter() - start
+    start = time.perf_counter()
+    network, _ = drive_assertions_with_closure(pair.first, pair.second, pair.truth)
+    t_assertions = time.perf_counter() - start
+    start = time.perf_counter()
+    integrate_pair(registry, network, pair.first.name, pair.second.name)
+    t_integration = time.perf_counter() - start
+    return t_ordering, t_assertions, t_integration
+
+
+def run_sweep():
+    return {concepts: phase_times(concepts) for concepts in SIZES}
+
+
+def test_exp_scale_phase_times(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=3, iterations=1)
+    table = Table(
+        "EXP-SCALE: per-phase time (seconds) vs. schema size",
+        ["concepts per schema", "ordering", "assertions+closure", "integration"],
+    )
+    for concepts, (t_ordering, t_assertions, t_integration) in sweep.items():
+        table.add_row(concepts, t_ordering, t_assertions, t_integration)
+    print()
+    print(table)
+    # Shape: everything stays interactive (well under a second per phase
+    # at 24 concepts ≈ 30+ object classes per schema).
+    for times in sweep.values():
+        assert all(t < 5.0 for t in times)
+
+
+def test_exp_scale_integration_only(benchmark):
+    pair, registry = _prepare(16)
+    network, _ = drive_assertions_with_closure(pair.first, pair.second, pair.truth)
+    result = benchmark(
+        integrate_pair, registry, network, pair.first.name, pair.second.name
+    )
+    assert result.schema.attribute_count() > 0

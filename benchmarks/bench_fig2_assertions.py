@@ -1,0 +1,77 @@
+"""FIG2a-2e — the five assertion types and their integration outcomes.
+
+Each case of Figure 2 is regenerated: the input pair, the assertion, and
+the integrated structure the paper draws.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.schema import ObjectRef
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.integration.integrator import integrate_pair
+
+CASES = [
+    # (figure, first object, second object, code, expected structures)
+    ("2a", "Department", "Department", 1, ["E_Department"]),
+    ("2b", "Student", "Grad_student", 3, ["Student", "Grad_student"]),
+    ("2c", "Grad_student", "Instructor", 5,
+     ["D_Grad_Inst", "Grad_student", "Instructor"]),
+    ("2d", "Secretary", "Engineer", 4,
+     ["D_Secr_Engi", "Secretary", "Engineer"]),
+    ("2e", "Under_Grad_Student", "Full_Professor", 0,
+     ["Under_Grad_Student", "Full_Professor"]),
+]
+
+
+def build_case(first_name, second_name, code):
+    first = (
+        SchemaBuilder("x")
+        .entity(first_name, attrs=[("Name", "char", True)])
+        .build()
+    )
+    second = (
+        SchemaBuilder("y")
+        .entity(second_name, attrs=[("Name", "char", True)])
+        .build()
+    )
+    registry = EquivalenceRegistry([first, second])
+    registry.declare_equivalent(
+        f"x.{first_name}.Name", f"y.{second_name}.Name"
+    )
+    network = AssertionNetwork()
+    network.seed_schema(first)
+    network.seed_schema(second)
+    network.specify(
+        ObjectRef("x", first_name), ObjectRef("y", second_name), code
+    )
+    return registry, network
+
+
+def run_case(first_name, second_name, code):
+    registry, network = build_case(first_name, second_name, code)
+    return integrate_pair(registry, network, "x", "y")
+
+
+@pytest.mark.parametrize("figure,first,second,code,expected", CASES)
+def test_fig2_assertion_catalogue(benchmark, figure, first, second, code, expected):
+    result = benchmark(run_case, first, second, code)
+    names = result.schema.structure_names()
+    table = Table(
+        f"FIG{figure}: assertion code {code} on {first}/{second}",
+        ["paper outcome", "reproduced structures"],
+    )
+    table.add_row(", ".join(expected), ", ".join(names))
+    print()
+    print(table)
+    assert sorted(names) == sorted(expected)
+    if figure in ("2c", "2d"):
+        derived = expected[0]
+        assert result.schema.category(first).parents == [derived]
+        assert result.schema.category(second).parents == [derived]
+    if figure == "2b":
+        assert result.schema.category(second).parents == [first]
+    if figure == "2e":
+        assert not result.schema.categories()

@@ -1,0 +1,69 @@
+"""SCR9 — the conflict-resolution scenario on sc3/sc4.
+
+Reproduces the derivation (Instructor ⊆ Grad_student ⊆ Student ⇒
+Instructor ⊆ Student), the rejection of the contradictory code-0
+assertion, and the Screen 9 report content with its derivation chain.
+"""
+
+from repro.analysis.report import Table
+from repro.assertions.conflicts import render_screen9
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.schema import ObjectRef
+from repro.errors import ConflictError
+from repro.workloads.university import build_sc3, build_sc4
+
+
+def provoke_conflict():
+    network = AssertionNetwork()
+    network.seed_schema(build_sc3())
+    network.seed_schema(build_sc4())
+    network.specify(
+        ObjectRef("sc3", "Instructor"), ObjectRef("sc4", "Grad_student"), 2
+    )
+    try:
+        network.specify(
+            ObjectRef("sc3", "Instructor"), ObjectRef("sc4", "Student"), 0
+        )
+    except ConflictError as conflict:
+        return network, conflict.report
+    raise AssertionError("the conflicting assertion was not rejected")
+
+
+def test_screen9_conflict_detection(benchmark):
+    network, report = benchmark(provoke_conflict)
+    table = Table(
+        "SCR9: conflict rows",
+        ["pair", "current", "new"],
+    )
+    table.add_row(
+        f"{report.subject_first} / {report.subject_second}",
+        f"{report.current.kind.code} <derived>",
+        f"{report.new.kind.code} <new>",
+    )
+    for assertion in report.chain:
+        table.add_row(
+            f"{assertion.first} / {assertion.second}",
+            str(assertion.kind.code),
+            "",
+        )
+    print()
+    print(table)
+    print(render_screen9(report))
+    # The paper's four rows: derived 2, new 0, and the two chain lines.
+    assert report.current.kind.code == 2
+    assert report.new.kind.code == 0
+    chain = {
+        (str(a.first), str(a.second), a.kind.code) for a in report.chain
+    }
+    assert chain == {
+        ("sc3.Instructor", "sc4.Grad_student", 2),
+        ("sc4.Grad_student", "sc4.Student", 2),
+    }
+    # the repair of the paper: change line 3 to 0, retry, accepted
+    network.respecify(
+        ObjectRef("sc3", "Instructor"), ObjectRef("sc4", "Grad_student"), 0
+    )
+    accepted = network.specify(
+        ObjectRef("sc3", "Instructor"), ObjectRef("sc4", "Student"), 0
+    )
+    assert accepted.kind.code == 0

@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the experiment harness.
+
+Every benchmark regenerates one paper artifact (figure/screen) or one
+experiment series from DESIGN.md, prints the rows through
+:class:`repro.analysis.report.Table` (visible with ``-s``) and asserts the
+*shape* the paper implies.  Timing comes from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.schema import ObjectRef
+from repro.integration.integrator import Integrator
+from repro.workloads.university import (
+    PAPER_RELATIONSHIP_CODES,
+    paper_assertions,
+    paper_registry,
+)
+
+
+def make_paper_setup():
+    """Fresh registry + both assertion networks for the sc1/sc2 pipeline."""
+    registry = paper_registry()
+    network = paper_assertions(registry)
+    relationship_network = AssertionNetwork()
+    for schema in registry.schemas():
+        for relationship in schema.relationship_sets():
+            relationship_network.add_object(
+                ObjectRef(schema.name, relationship.name)
+            )
+    for first, second, code in PAPER_RELATIONSHIP_CODES:
+        relationship_network.specify(
+            ObjectRef.parse(first), ObjectRef.parse(second), code
+        )
+    return registry, network, relationship_network
+
+
+@pytest.fixture
+def paper_setup():
+    return make_paper_setup()
+
+
+@pytest.fixture
+def paper_result(paper_setup):
+    registry, network, relationship_network = paper_setup
+    return Integrator(registry, network, relationship_network).integrate(
+        "sc1", "sc2"
+    )

@@ -1,0 +1,63 @@
+"""The Screen 9 scenario: a derived assertion conflicts with a new one.
+
+sc3 has an Instructor entity set; sc4 has Student with a Grad_student
+category.  The DDA asserts Instructor ⊆ Grad_student; together with the
+schema's own Grad_student ⊆ Student, the tool derives Instructor ⊆ Student.
+When the DDA later claims Instructor and Student are disjoint, the tool
+rejects the assertion and shows the derivation chain — then we repair it
+the way the paper suggests ("change earlier assertion in line 3, possibly
+to a '0' or '5', realizing that all instructors are not grad_students").
+
+Run:  python examples/conflict_resolution.py
+"""
+
+from repro import AssertionNetwork, ConflictError, ObjectRef
+from repro.assertions.conflicts import render_screen9
+from repro.workloads.university import build_sc3, build_sc4
+
+
+def main() -> None:
+    sc3, sc4 = build_sc3(), build_sc4()
+    network = AssertionNetwork()
+    network.seed_schema(sc3)
+    network.seed_schema(sc4)
+
+    instructor = ObjectRef("sc3", "Instructor")
+    grad = ObjectRef("sc4", "Grad_student")
+    student = ObjectRef("sc4", "Student")
+
+    print("DDA asserts: Instructor 'contained in' Grad_student (code 2)")
+    network.specify(instructor, grad, 2)
+    for assertion in network.derived_assertions():
+        print("tool derives:", assertion)
+
+    print("\nDDA asserts: Instructor and Student are disjoint (code 0) ...")
+    try:
+        network.specify(instructor, student, 0)
+    except ConflictError as conflict:
+        print(render_screen9(conflict.report))
+
+    print("Repair: change the earlier assertion to 5 ('may be integratable')")
+    network.respecify(instructor, grad, 5)
+    print("Retry the new assertion ...")
+    try:
+        network.specify(instructor, student, 0)
+        print("still rejected?! (should not happen)")
+    except ConflictError:
+        # Instructor overlapping Grad_student ⊆ Student still forces
+        # Instructor ∩ Student != empty — disjointness remains impossible.
+        print(
+            "still inconsistent: an instructor who may be a grad student "
+            "is necessarily sometimes a student."
+        )
+
+    print("\nSecond repair: make Instructor and Grad_student disjoint (0)")
+    network.respecify(instructor, grad, 0)
+    network.specify(instructor, student, 0)
+    print("accepted.  final assertions:")
+    for assertion in network.all_assertions():
+        print("  ", assertion)
+
+
+if __name__ == "__main__":
+    main()

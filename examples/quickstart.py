@@ -1,0 +1,68 @@
+"""Quickstart: integrate two tiny views in a dozen lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AssertionKind,
+    AssertionNetwork,
+    EquivalenceRegistry,
+    Integrator,
+    ObjectRef,
+    SchemaBuilder,
+    ascii_diagram,
+)
+
+
+def main() -> None:
+    # Phase 1 — schema collection: two user views in the ECR model.
+    payroll = (
+        SchemaBuilder("payroll")
+        .entity(
+            "Employee",
+            attrs=[("Ssn", "char", True), ("Name", "char"), ("Salary", "real")],
+        )
+        .build()
+    )
+    directory = (
+        SchemaBuilder("directory")
+        .entity(
+            "Person",
+            attrs=[("Ssn", "char", True), ("Name", "char"), ("Phone", "char")],
+        )
+        .build()
+    )
+
+    # Phase 2 — schema analysis: declare which attributes mean the same.
+    registry = EquivalenceRegistry([payroll, directory])
+    registry.declare_equivalent("payroll.Employee.Ssn", "directory.Person.Ssn")
+    registry.declare_equivalent("payroll.Employee.Name", "directory.Person.Name")
+
+    # Phase 3 — assertion specification: every employee is a person.
+    network = AssertionNetwork()
+    network.seed_schema(payroll)
+    network.seed_schema(directory)
+    network.specify(
+        ObjectRef("payroll", "Employee"),
+        ObjectRef("directory", "Person"),
+        AssertionKind.CONTAINED_IN,
+    )
+
+    # Phase 4 — integration.
+    result = Integrator(registry, network).integrate("payroll", "directory")
+
+    print(ascii_diagram(result.schema))
+    print("Employee became:", result.node_for("payroll.Employee"))
+    print(
+        "Person's merged name attribute is composed of:",
+        ", ".join(
+            str(component)
+            for component in result.component_attributes("Person", "D_Name")
+        ),
+    )
+    for line in result.log:
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

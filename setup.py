@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The offline environment this repo targets has no `wheel` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e .`` use the legacy
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["ecr-integrate=repro.tool.app:main"]},
+)

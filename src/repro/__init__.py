@@ -1,0 +1,174 @@
+"""repro — a reproduction of the ICDE 1988 schema-integration tool.
+
+Sheth, Larson, Cornelio & Navathe, *A Tool for Integrating Conceptual
+Schemas and User Views* (Proc. 4th Intl. Conf. on Data Engineering, 1988).
+
+The library covers the paper's four-phase methodology end to end:
+
+1. **Schema collection** — the ECR data model (:mod:`repro.ecr`) plus
+   translators from relational/hierarchical models (:mod:`repro.translate`);
+2. **Schema analysis** — attribute equivalence classes, the ACS/OCS
+   matrices and the resemblance heuristics (:mod:`repro.equivalence`);
+3. **Assertion specification** — the five domain assertions, transitive
+   derivation and conflict detection (:mod:`repro.assertions`);
+4. **Integration** — merging, IS-A lattices, derived classes/attributes
+   and schema mappings (:mod:`repro.integration`), with request rewriting
+   in both integration contexts (:mod:`repro.query`).
+
+The interactive tool itself lives in :mod:`repro.tool`; the paper's
+example schemas and the synthetic workload generator in
+:mod:`repro.workloads`.
+
+Quickstart::
+
+    from repro import (
+        SchemaBuilder, EquivalenceRegistry, AssertionNetwork,
+        AssertionKind, Integrator, ObjectRef,
+    )
+
+    sc1 = SchemaBuilder("sc1").entity(
+        "Student", attrs=[("Name", "char", True), ("GPA", "real")]
+    ).build()
+    sc2 = SchemaBuilder("sc2").entity(
+        "Pupil", attrs=[("Name", "char", True)]
+    ).build()
+
+    registry = EquivalenceRegistry([sc1, sc2])
+    registry.declare_equivalent("sc1.Student.Name", "sc2.Pupil.Name")
+
+    network = AssertionNetwork()
+    network.seed_schema(sc1)
+    network.seed_schema(sc2)
+    network.specify(
+        ObjectRef("sc1", "Student"), ObjectRef("sc2", "Pupil"),
+        AssertionKind.EQUALS,
+    )
+
+    result = Integrator(registry, network).integrate("sc1", "sc2")
+    print(result.schema.summary())
+"""
+
+from repro.ecr import (
+    Attribute,
+    AttributeRef,
+    Category,
+    CardinalityConstraint,
+    Domain,
+    DomainKind,
+    EntitySet,
+    ObjectRef,
+    Participation,
+    RelationshipSet,
+    Schema,
+    SchemaBuilder,
+    ascii_diagram,
+    dot_diagram,
+    parse_ddl,
+    to_ddl,
+    validate_schema,
+)
+from repro.equivalence import (
+    AcsMatrix,
+    CandidatePair,
+    EquivalenceRegistry,
+    OcsMatrix,
+    attribute_ratio,
+    ordered_object_pairs,
+)
+from repro.assertions import (
+    Assertion,
+    AssertionKind,
+    AssertionNetwork,
+    ConflictReport,
+    Relation,
+)
+from repro.integration import (
+    IntegrationOptions,
+    IntegrationResult,
+    Integrator,
+    SchemaMapping,
+    build_mappings,
+    integrate_all,
+    integrate_pair,
+)
+from repro.query import (
+    Request,
+    parse_request,
+    rewrite_to_components,
+    rewrite_to_integrated,
+)
+from repro.errors import (
+    AssertionSpecError,
+    ConflictError,
+    EquivalenceError,
+    IntegrationError,
+    MappingError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    ToolError,
+    TranslationError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # ECR model
+    "Attribute",
+    "AttributeRef",
+    "Category",
+    "CardinalityConstraint",
+    "Domain",
+    "DomainKind",
+    "EntitySet",
+    "ObjectRef",
+    "Participation",
+    "RelationshipSet",
+    "Schema",
+    "SchemaBuilder",
+    "ascii_diagram",
+    "dot_diagram",
+    "parse_ddl",
+    "to_ddl",
+    "validate_schema",
+    # equivalence
+    "AcsMatrix",
+    "CandidatePair",
+    "EquivalenceRegistry",
+    "OcsMatrix",
+    "attribute_ratio",
+    "ordered_object_pairs",
+    # assertions
+    "Assertion",
+    "AssertionKind",
+    "AssertionNetwork",
+    "ConflictReport",
+    "Relation",
+    # integration
+    "IntegrationOptions",
+    "IntegrationResult",
+    "Integrator",
+    "SchemaMapping",
+    "build_mappings",
+    "integrate_all",
+    "integrate_pair",
+    # query
+    "Request",
+    "parse_request",
+    "rewrite_to_components",
+    "rewrite_to_integrated",
+    # errors
+    "AssertionSpecError",
+    "ConflictError",
+    "EquivalenceError",
+    "IntegrationError",
+    "MappingError",
+    "QueryError",
+    "ReproError",
+    "SchemaError",
+    "ToolError",
+    "TranslationError",
+    "ValidationError",
+    "__version__",
+]

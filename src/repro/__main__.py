@@ -1,0 +1,6 @@
+"""``python -m repro`` launches the interactive schema-integration tool."""
+
+from repro.tool.app import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

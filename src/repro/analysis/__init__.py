@@ -1,0 +1,21 @@
+"""Metrics and report tables for the experiment harness."""
+
+from repro.analysis.metrics import (
+    schema_size,
+    SchemaSize,
+    integration_effort,
+    EffortReport,
+)
+from repro.analysis.diff import diff_schemas
+from repro.analysis.report import Table
+from repro.analysis.trace import integration_report
+
+__all__ = [
+    "schema_size",
+    "SchemaSize",
+    "integration_effort",
+    "EffortReport",
+    "diff_schemas",
+    "Table",
+    "integration_report",
+]

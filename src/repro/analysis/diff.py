@@ -1,0 +1,97 @@
+"""Structural diff of two ECR schemas.
+
+Used by the experiment record to compare a produced integrated schema
+against the expected one (Figure 5) and by users to inspect how two
+integration runs differ.  The diff is a list of human-readable differences;
+an empty list means the schemas are structurally identical (names, kinds,
+attributes with domains/keys, category parents, relationship legs with
+cardinalities) regardless of declaration order.
+"""
+
+from __future__ import annotations
+
+from repro.ecr.objects import Category, ObjectClass
+from repro.ecr.relationships import RelationshipSet
+from repro.ecr.schema import Schema
+
+
+def diff_schemas(expected: Schema, actual: Schema) -> list[str]:
+    """All structural differences, phrased as ``expected ... actual ...``."""
+    differences: list[str] = []
+    expected_names = set(expected.structure_names())
+    actual_names = set(actual.structure_names())
+    for name in sorted(expected_names - actual_names):
+        differences.append(f"missing structure {name!r}")
+    for name in sorted(actual_names - expected_names):
+        differences.append(f"unexpected structure {name!r}")
+    for name in sorted(expected_names & actual_names):
+        differences.extend(
+            _diff_structure(name, expected.get(name), actual.get(name))
+        )
+    return differences
+
+
+def _diff_structure(
+    name: str, expected: ObjectClass, actual: ObjectClass
+) -> list[str]:
+    differences: list[str] = []
+    if expected.kind is not actual.kind:
+        differences.append(
+            f"{name}: kind {expected.kind.value!r} != {actual.kind.value!r}"
+        )
+        return differences  # kind mismatch makes deeper diffs noisy
+    differences.extend(_diff_attributes(name, expected, actual))
+    if isinstance(expected, Category) and isinstance(actual, Category):
+        if sorted(expected.parents) != sorted(actual.parents):
+            differences.append(
+                f"{name}: parents {sorted(expected.parents)} != "
+                f"{sorted(actual.parents)}"
+            )
+    if isinstance(expected, RelationshipSet) and isinstance(
+        actual, RelationshipSet
+    ):
+        differences.extend(_diff_legs(name, expected, actual))
+    return differences
+
+
+def _diff_attributes(
+    name: str, expected: ObjectClass, actual: ObjectClass
+) -> list[str]:
+    differences: list[str] = []
+    expected_attrs = {a.name: a for a in expected.attributes}
+    actual_attrs = {a.name: a for a in actual.attributes}
+    for missing in sorted(set(expected_attrs) - set(actual_attrs)):
+        differences.append(f"{name}: missing attribute {missing!r}")
+    for extra in sorted(set(actual_attrs) - set(expected_attrs)):
+        differences.append(f"{name}: unexpected attribute {extra!r}")
+    for shared in sorted(set(expected_attrs) & set(actual_attrs)):
+        left, right = expected_attrs[shared], actual_attrs[shared]
+        if left.domain.kind is not right.domain.kind:
+            differences.append(
+                f"{name}.{shared}: domain {left.domain} != {right.domain}"
+            )
+        if left.is_key != right.is_key:
+            differences.append(
+                f"{name}.{shared}: key {left.is_key} != {right.is_key}"
+            )
+    return differences
+
+
+def _diff_legs(
+    name: str, expected: RelationshipSet, actual: RelationshipSet
+) -> list[str]:
+    differences: list[str] = []
+    expected_legs = {leg.label: leg for leg in expected.participations}
+    actual_legs = {leg.label: leg for leg in actual.participations}
+    for missing in sorted(set(expected_legs) - set(actual_legs)):
+        differences.append(f"{name}: missing leg {missing!r}")
+    for extra in sorted(set(actual_legs) - set(expected_legs)):
+        differences.append(f"{name}: unexpected leg {extra!r}")
+    for shared in sorted(set(expected_legs) & set(actual_legs)):
+        left, right = expected_legs[shared], actual_legs[shared]
+        if left.cardinality != right.cardinality:
+            differences.append(
+                f"{name}({shared}): cardinality {left.cardinality} != "
+                f"{right.cardinality}"
+            )
+    return differences

@@ -1,0 +1,57 @@
+"""Plain-text tables for the benchmark harness and EXPERIMENTS.md.
+
+Every experiment prints its rows/series through :class:`Table` so the
+output format is uniform and diffable against the recorded results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; floats are shown with 4 decimals."""
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.4f}")
+            else:
+                rendered.append(str(cell))
+        if len(rendered) != len(self.columns):
+            raise ValueError(
+                f"row has {len(rendered)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            "  ".join(
+                column.ljust(widths[index])
+                for index, column in enumerate(self.columns)
+            )
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    cell.ljust(widths[index]) for index, cell in enumerate(row)
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.render()

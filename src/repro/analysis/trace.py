@@ -1,0 +1,80 @@
+"""Markdown report of one integration run.
+
+A DDA (or a reviewer) wants a durable record of what an integration did:
+the component schemas, the DDA's inputs, the derivations, the resulting
+schema and its provenance.  :func:`integration_report` assembles that as
+Markdown from the live objects — examples write it next to their output,
+and it doubles as the per-run artifact a design team would archive in the
+data dictionary.
+"""
+
+from __future__ import annotations
+
+from repro.assertions.kinds import Source
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.diagram import ascii_diagram
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.integration.result import IntegrationResult
+
+
+def integration_report(
+    registry: EquivalenceRegistry,
+    network: AssertionNetwork,
+    result: IntegrationResult,
+    title: str = "Integration report",
+) -> str:
+    """Render a Markdown report of one integration run."""
+    lines: list[str] = [f"# {title}", ""]
+    lines.append("## Component schemas")
+    lines.append("")
+    for schema in registry.schemas():
+        lines.append(f"### {schema.name}")
+        if schema.description:
+            lines.append(f"*{schema.description}*")
+        lines.append("")
+        lines.append("```")
+        lines.append(ascii_diagram(schema).rstrip())
+        lines.append("```")
+        lines.append("")
+    lines.append("## Attribute equivalence classes")
+    lines.append("")
+    nontrivial = registry.nontrivial_classes()
+    if nontrivial:
+        for members in nontrivial:
+            lines.append(
+                "- " + " ~ ".join(str(member) for member in members)
+            )
+    else:
+        lines.append("(none declared)")
+    lines.append("")
+    lines.append("## Assertions")
+    lines.append("")
+    lines.append("| first | second | code | source |")
+    lines.append("|---|---|---|---|")
+    for assertion in network.all_assertions():
+        lines.append(
+            f"| {assertion.first} | {assertion.second} | "
+            f"{assertion.kind.code} | {assertion.source} |"
+        )
+    lines.append("")
+    lines.append("## Integrated schema")
+    lines.append("")
+    lines.append("```")
+    lines.append(ascii_diagram(result.schema).rstrip())
+    lines.append("```")
+    lines.append("")
+    lines.append("## Provenance")
+    lines.append("")
+    for node in result.nodes.values():
+        if node.origin == "copy":
+            continue
+        lines.append(f"- {node}")
+    for origin in result.derived_attributes():
+        lines.append(f"- {origin}")
+    lines.append("")
+    lines.append("## Integration log")
+    lines.append("")
+    for entry in result.log:
+        lines.append(f"- {entry}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""The assertion record: a relation between two object-class domains.
+
+Assertions come from three sources — the DDA (Screen 8), the IS-A structure
+of a component schema itself (a category is contained in its parents), and
+transitive derivation.  Derived assertions carry the pairs that supported
+the derivation so that Screen 9 can display the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.assertions.kinds import AssertionKind, Relation, Source
+from repro.ecr.schema import ObjectRef
+
+#: An unordered object pair used as a network key.
+Pair = tuple[ObjectRef, ObjectRef]
+
+
+def ordered_pair(first: ObjectRef, second: ObjectRef) -> Pair:
+    """Canonical (sorted) form of an object pair for use as a dict key."""
+    if second < first:
+        return (second, first)
+    return (first, second)
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """One assertion between two object classes.
+
+    ``kind`` is the Screen 8/9 code.  For derived disjoint/overlap
+    assertions the integrability half of the code is not yet the DDA's
+    decision; ``integrability_decided`` is False for those, and the kind
+    defaults to the integrable variant (a cluster boundary is only created
+    by an explicit DDA code 0).
+
+    ``supports`` lists the unordered pairs whose assertions were composed
+    to derive this one (empty for DDA and implicit assertions).
+    """
+
+    first: ObjectRef
+    second: ObjectRef
+    kind: AssertionKind
+    source: Source = Source.DDA
+    supports: tuple[Pair, ...] = field(default=())
+    integrability_decided: bool = True
+    note: str = ""
+
+    @property
+    def relation(self) -> Relation:
+        """The underlying domain relation."""
+        return self.kind.relation
+
+    @property
+    def pair(self) -> Pair:
+        """The canonical unordered pair this assertion concerns."""
+        return ordered_pair(self.first, self.second)
+
+    def oriented(self, first: ObjectRef, second: ObjectRef) -> "Assertion":
+        """This assertion re-read in the given object order.
+
+        ``network.assertion_for(a, b)`` may store the pair in canonical
+        order; orienting flips contained-in/contains as needed.
+        """
+        if (first, second) == (self.first, self.second):
+            return self
+        if (first, second) != (self.second, self.first):
+            raise ValueError(
+                f"assertion is about {self.first}/{self.second}, "
+                f"not {first}/{second}"
+            )
+        return Assertion(
+            first,
+            second,
+            self.kind.converse,
+            self.source,
+            self.supports,
+            self.integrability_decided,
+            self.note,
+        )
+
+    def describe(self) -> str:
+        """Menu-style phrasing, e.g. ``sc1.Student 'contains' sc2.Grad_student``."""
+        return self.kind.describe(str(self.first), str(self.second))
+
+    def __str__(self) -> str:
+        tag = "" if self.source is Source.DDA else f" <{self.source}>"
+        return f"{self.describe()}{tag}"

@@ -1,0 +1,66 @@
+"""The Entity Assertion matrix view.
+
+The paper stores assertions "in an Entity Assertion matrix, where element
+(i,j) in the matrix represents the assertion between object classes i and
+j".  The network is the live structure; this module renders the classic
+matrix view of it for inspection, screens and the experiment record.
+"""
+
+from __future__ import annotations
+
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.schema import ObjectRef, Schema
+
+
+def assertion_code_matrix(
+    network: AssertionNetwork,
+    first_schema: Schema,
+    second_schema: Schema,
+) -> list[list[int | None]]:
+    """Matrix of assertion codes between two schemas' object classes.
+
+    Rows are the first schema's object classes, columns the second's, both
+    in declaration order.  A cell holds the Screen 8 code of the specified
+    or derived assertion, or ``None`` when the pair is still undetermined.
+    """
+    rows = [
+        ObjectRef(first_schema.name, structure.name)
+        for structure in first_schema.object_classes()
+    ]
+    columns = [
+        ObjectRef(second_schema.name, structure.name)
+        for structure in second_schema.object_classes()
+    ]
+    matrix: list[list[int | None]] = []
+    for row in rows:
+        cells: list[int | None] = []
+        for column in columns:
+            assertion = network.assertion_for(row, column)
+            cells.append(None if assertion is None else assertion.kind.code)
+        matrix.append(cells)
+    return matrix
+
+
+def render_assertion_matrix(
+    network: AssertionNetwork,
+    first_schema: Schema,
+    second_schema: Schema,
+) -> str:
+    """Human-readable Entity Assertion matrix (``.`` = undetermined)."""
+    columns = [structure.name for structure in second_schema.object_classes()]
+    rows = [structure.name for structure in first_schema.object_classes()]
+    matrix = assertion_code_matrix(network, first_schema, second_schema)
+    name_width = max([len(name) for name in rows] + [12])
+    header = " " * (name_width + 2) + " ".join(
+        f"{name:>14.14}" for name in columns
+    )
+    lines = [
+        f"Entity Assertion matrix: {first_schema.name} x {second_schema.name}",
+        header,
+    ]
+    for name, cells in zip(rows, matrix):
+        rendered = " ".join(
+            f"{'.' if cell is None else cell:>14}" for cell in cells
+        )
+        lines.append(f"{name:<{name_width}}  {rendered}")
+    return "\n".join(lines) + "\n"

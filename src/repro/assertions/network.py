@@ -1,0 +1,434 @@
+"""The assertion constraint network (the Entity Assertion matrix, generalised).
+
+The paper stores assertions in an Entity Assertion matrix whose element
+``(i, j)`` is the assertion between object classes i and j; some elements
+are specified by the DDA, the rest "may be derived using rules of transitive
+composition", and every new assertion is checked for consistency against the
+previously specified or derived ones.
+
+We implement that as a qualitative constraint network: every unordered pair
+of object classes carries the *feasible set* of domain relations between
+them.  A DDA assertion narrows a pair to a single relation; path consistency
+(composition along every triangle) narrows other pairs; a pair narrowed to a
+singleton becomes a **derived assertion** with a recorded support chain; a
+pair narrowed to the empty set is a **conflict**, reported with the chain of
+underlying assertions exactly as the Assertion Conflict Resolution Screen
+(Screen 9) does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.assertions.assertion import Assertion, Pair, ordered_pair
+from repro.assertions.composition import (
+    ALL_RELATIONS,
+    compose_sets,
+    converse_set,
+)
+from repro.assertions.conflicts import ConflictReport
+from repro.assertions.kinds import AssertionKind, Relation, Source
+from repro.ecr.schema import ObjectRef, Schema
+from repro.errors import AssertionSpecError, ConflictError
+
+#: An oriented support: R(x, y) was narrowed by composing R(x, via), R(via, y).
+_Support = tuple[ObjectRef, ObjectRef, ObjectRef]
+
+
+class AssertionNetwork:
+    """Assertions over a set of object classes, with derivation and checking."""
+
+    def __init__(self) -> None:
+        self._objects: list[ObjectRef] = []
+        self._object_set: set[ObjectRef] = set()
+        #: canonical pair -> feasible relation set (missing means ALL)
+        self._feasible: dict[Pair, frozenset[Relation]] = {}
+        #: canonical pair -> the specified (DDA/implicit) assertion
+        self._specified: dict[Pair, Assertion] = {}
+        #: insertion-ordered log of specified assertions (for retraction rebuilds)
+        self._log: list[Assertion] = []
+        #: canonical pair -> oriented support triple for its last narrowing
+        self._supports: dict[Pair, _Support] = {}
+        #: canonical pair -> derived assertion (singleton, not specified)
+        self._derived: dict[Pair, Assertion] = {}
+
+    # -- membership ------------------------------------------------------------
+
+    def add_object(self, ref: ObjectRef) -> None:
+        """Register an object class as a network node (idempotent)."""
+        if ref not in self._object_set:
+            self._object_set.add(ref)
+            self._objects.append(ref)
+
+    def objects(self) -> list[ObjectRef]:
+        """All registered object classes, in registration order."""
+        return list(self._objects)
+
+    def seed_schema(
+        self, schema: Schema, entity_disjointness: bool = False
+    ) -> list[Assertion]:
+        """Register a schema's object classes and its implicit assertions.
+
+        Every *single-parent* category is *contained in* its parent — the
+        schema says so itself, no DDA input needed (this is how Screen 9's
+        ``sc4.Grad_student`` ⊆ ``sc4.Student`` line arises).  A category
+        over several parents is a subset of their *union*, which the
+        relation algebra cannot state about any one parent, so union
+        categories contribute no implicit assertion.  With
+        ``entity_disjointness`` set, the model's rule that entity sets of
+        one schema are disjoint is also seeded; the paper's tool does not
+        assume it, so it is off by default.
+
+        Returns the implicit assertions added.
+        """
+        for structure in schema.object_classes():
+            self.add_object(ObjectRef(schema.name, structure.name))
+        added: list[Assertion] = []
+        for category in schema.categories():
+            if len(category.parents) != 1:
+                continue  # union category: subset of the union only
+            child = ObjectRef(schema.name, category.name)
+            added.append(
+                self.specify(
+                    child,
+                    ObjectRef(schema.name, category.parents[0]),
+                    AssertionKind.CONTAINED_IN,
+                    source=Source.IMPLICIT,
+                    note="category structure",
+                )
+            )
+        if entity_disjointness:
+            entities = [
+                ObjectRef(schema.name, entity.name)
+                for entity in schema.entity_sets()
+            ]
+            for index, first in enumerate(entities):
+                for second in entities[index + 1 :]:
+                    added.append(
+                        self.specify(
+                            first,
+                            second,
+                            AssertionKind.DISJOINT_NONINTEGRABLE,
+                            source=Source.IMPLICIT,
+                            note="entity sets are disjoint",
+                        )
+                    )
+        return added
+
+    # -- feasible-set access ---------------------------------------------------
+
+    def feasible(self, first: ObjectRef, second: ObjectRef) -> frozenset[Relation]:
+        """Feasible relations between two objects, oriented first→second."""
+        self._require(first)
+        self._require(second)
+        if first == second:
+            return frozenset({Relation.EQ})
+        return self._get(self._feasible, first, second)
+
+    def _require(self, ref: ObjectRef) -> None:
+        if ref not in self._object_set:
+            raise AssertionSpecError(f"object {ref} is not in the network")
+
+    @staticmethod
+    def _get(
+        table: dict[Pair, frozenset[Relation]],
+        first: ObjectRef,
+        second: ObjectRef,
+    ) -> frozenset[Relation]:
+        pair = ordered_pair(first, second)
+        stored = table.get(pair, ALL_RELATIONS)
+        if pair != (first, second):
+            return converse_set(stored)
+        return stored
+
+    @staticmethod
+    def _set(
+        table: dict[Pair, frozenset[Relation]],
+        first: ObjectRef,
+        second: ObjectRef,
+        relations: frozenset[Relation],
+    ) -> None:
+        pair = ordered_pair(first, second)
+        if pair != (first, second):
+            relations = converse_set(relations)
+        table[pair] = relations
+
+    # -- specification ------------------------------------------------------------
+
+    def specify(
+        self,
+        first: ObjectRef,
+        second: ObjectRef,
+        kind: AssertionKind | int,
+        source: Source = Source.DDA,
+        note: str = "",
+    ) -> Assertion:
+        """Record an assertion between two objects, deriving and checking.
+
+        Raises
+        ------
+        ConflictError
+            If the assertion contradicts previously specified or derived
+            assertions; the attached :class:`ConflictReport` carries the
+            derivation chain for Screen 9.
+        AssertionSpecError
+            If the pair already carries a *different* specified assertion
+            (use :meth:`respecify` for the review-and-modify flow), or the
+            objects are unknown/identical.
+        """
+        if isinstance(kind, int):
+            kind = AssertionKind.from_code(kind)
+        self._require(first)
+        self._require(second)
+        if first == second:
+            raise AssertionSpecError(f"cannot assert {first} against itself")
+        pair = ordered_pair(first, second)
+        existing = self._specified.get(pair)
+        new = Assertion(first, second, kind, source, note=note)
+        if existing is not None:
+            oriented = existing.oriented(first, second)
+            if oriented.kind is kind:
+                return existing  # re-stating the same assertion is a no-op
+            raise AssertionSpecError(
+                f"pair {first}/{second} already carries "
+                f"assertion {oriented.kind.code}; retract or respecify it"
+            )
+        current = self.feasible(first, second)
+        if kind.relation not in current:
+            raise ConflictError(self._report_for(new, current))
+        trial_feasible = dict(self._feasible)
+        trial_supports = dict(self._supports)
+        self._set(trial_feasible, first, second, frozenset({kind.relation}))
+        failure = self._propagate(trial_feasible, trial_supports, [(first, second)])
+        if failure is not None:
+            raise ConflictError(
+                self._report_for(new, frozenset(), failed_pair=failure)
+            )
+        self._feasible = trial_feasible
+        self._supports = trial_supports
+        self._specified[pair] = new
+        self._log.append(new)
+        self._derived.pop(pair, None)
+        self._refresh_derived()
+        return new
+
+    def respecify(
+        self,
+        first: ObjectRef,
+        second: ObjectRef,
+        kind: AssertionKind | int,
+        source: Source = Source.DDA,
+        note: str = "",
+    ) -> Assertion:
+        """Replace the specified assertion on a pair (review-and-modify)."""
+        self.retract(first, second)
+        return self.specify(first, second, kind, source, note)
+
+    def retract(self, first: ObjectRef, second: ObjectRef) -> None:
+        """Withdraw the specified assertion on a pair and rebuild the network.
+
+        Derived assertions are recomputed from the remaining specified
+        assertions; anything that depended on the retracted one disappears.
+        """
+        pair = ordered_pair(first, second)
+        if pair not in self._specified:
+            raise AssertionSpecError(
+                f"no specified assertion between {first} and {second}"
+            )
+        del self._specified[pair]
+        self._log = [a for a in self._log if a.pair != pair]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        remaining = list(self._log)
+        self._feasible = {}
+        self._supports = {}
+        self._derived = {}
+        self._specified = {}
+        self._log = []
+        for assertion in remaining:
+            self.specify(
+                assertion.first,
+                assertion.second,
+                assertion.kind,
+                assertion.source,
+                assertion.note,
+            )
+
+    # -- propagation -------------------------------------------------------------
+
+    def _propagate(
+        self,
+        feasible: dict[Pair, frozenset[Relation]],
+        supports: dict[Pair, _Support],
+        seeds: Iterable[tuple[ObjectRef, ObjectRef]],
+    ) -> Pair | None:
+        """Queue-based path consistency.
+
+        Narrows feasible sets along every triangle reachable from the seed
+        pairs.  Returns the canonical pair that became empty on failure, or
+        ``None`` on success.  ``feasible``/``supports`` are mutated in place
+        (callers pass copies and commit on success).
+        """
+        queue: deque[tuple[ObjectRef, ObjectRef]] = deque(seeds)
+        while queue:
+            i, j = queue.popleft()
+            rel_ij = self._get(feasible, i, j)
+            for k in self._objects:
+                if k == i or k == j:
+                    continue
+                # Narrow (i, k) through j: R(i,k) ∩= R(i,j) ∘ R(j,k).
+                rel_jk = self._get(feasible, j, k)
+                narrowed = self._narrow(feasible, supports, i, k, j, rel_ij, rel_jk)
+                if narrowed is False:
+                    return ordered_pair(i, k)
+                if narrowed:
+                    queue.append((i, k))
+                # Narrow (k, j) through i: R(k,j) ∩= R(k,i) ∘ R(i,j).
+                rel_ki = self._get(feasible, k, i)
+                narrowed = self._narrow(feasible, supports, k, j, i, rel_ki, rel_ij)
+                if narrowed is False:
+                    return ordered_pair(k, j)
+                if narrowed:
+                    queue.append((k, j))
+        return None
+
+    def _narrow(
+        self,
+        feasible: dict[Pair, frozenset[Relation]],
+        supports: dict[Pair, _Support],
+        x: ObjectRef,
+        y: ObjectRef,
+        via: ObjectRef,
+        rel_x_via: frozenset[Relation],
+        rel_via_y: frozenset[Relation],
+    ) -> bool | None:
+        """Intersect R(x,y) with R(x,via) ∘ R(via,y); record the support.
+
+        Returns ``None`` if the set did not change, ``True`` if it shrank
+        but stayed non-empty, and ``False`` if it became empty (conflict).
+        """
+        old = self._get(feasible, x, y)
+        if rel_x_via == ALL_RELATIONS and rel_via_y == ALL_RELATIONS:
+            return None
+        composed = compose_sets(rel_x_via, rel_via_y)
+        new = old & composed
+        if new == old:
+            return None
+        self._set(feasible, x, y, new)
+        supports[ordered_pair(x, y)] = (x, via, y)
+        if not new:
+            return False
+        return True
+
+    # -- assertions and derivations ---------------------------------------------
+
+    def _refresh_derived(self) -> None:
+        """Materialise derived assertions for newly singleton pairs."""
+        for pair, relations in self._feasible.items():
+            if len(relations) != 1 or pair in self._specified:
+                continue
+            if pair in self._derived:
+                continue
+            relation = next(iter(relations))
+            first, second = pair
+            kind = (
+                AssertionKind.DISJOINT_INTEGRABLE
+                if relation is Relation.DR
+                else AssertionKind.from_relation(relation)
+            )
+            decided = relation not in (Relation.DR, Relation.PO)
+            support = self._supports.get(pair)
+            support_pairs: tuple[Pair, ...] = ()
+            if support is not None:
+                x, via, y = support
+                support_pairs = (ordered_pair(x, via), ordered_pair(via, y))
+            self._derived[pair] = Assertion(
+                first,
+                second,
+                kind,
+                Source.DERIVED,
+                supports=support_pairs,
+                integrability_decided=decided,
+            )
+
+    def assertion_for(
+        self, first: ObjectRef, second: ObjectRef
+    ) -> Assertion | None:
+        """The specified or derived assertion on a pair, oriented, if any."""
+        pair = ordered_pair(first, second)
+        assertion = self._specified.get(pair) or self._derived.get(pair)
+        if assertion is None:
+            return None
+        return assertion.oriented(first, second)
+
+    def specified_assertions(self) -> list[Assertion]:
+        """All DDA/implicit assertions, in specification order."""
+        return list(self._log)
+
+    def derived_assertions(self) -> list[Assertion]:
+        """All derived (singleton, unspecified) assertions."""
+        return [self._derived[pair] for pair in sorted(self._derived)]
+
+    def all_assertions(self) -> list[Assertion]:
+        """Specified assertions followed by derived ones."""
+        return self.specified_assertions() + self.derived_assertions()
+
+    def is_undetermined(self, first: ObjectRef, second: ObjectRef) -> bool:
+        """Whether the pair still admits more than one relation."""
+        return len(self.feasible(first, second)) > 1
+
+    # -- explanation ---------------------------------------------------------------
+
+    def explain(self, first: ObjectRef, second: ObjectRef) -> list[Assertion]:
+        """The specified assertions underlying the pair's current state.
+
+        For a specified pair this is the assertion itself; for a derived or
+        narrowed pair it is the chain found by following support triples
+        down to specified assertions — the lines Screen 9 lists under a
+        derived conflict.
+        """
+        chain: list[Assertion] = []
+        seen_pairs: set[Pair] = set()
+
+        def walk(x: ObjectRef, y: ObjectRef) -> None:
+            pair = ordered_pair(x, y)
+            if pair in seen_pairs:
+                return
+            seen_pairs.add(pair)
+            specified = self._specified.get(pair)
+            if specified is not None:
+                chain.append(specified)
+                return
+            support = self._supports.get(pair)
+            if support is None:
+                return
+            sx, via, sy = support
+            walk(sx, via)
+            walk(via, sy)
+
+        walk(first, second)
+        return chain
+
+    def _report_for(
+        self,
+        new: Assertion,
+        feasible: frozenset[Relation],
+        failed_pair: Pair | None = None,
+    ) -> ConflictReport:
+        """Assemble the Screen 9 conflict report for a rejected assertion."""
+        if failed_pair is None:
+            subject_first, subject_second = new.first, new.second
+        else:
+            subject_first, subject_second = failed_pair
+        current = self.assertion_for(subject_first, subject_second)
+        chain = self.explain(subject_first, subject_second)
+        return ConflictReport(
+            new=new,
+            subject_first=subject_first,
+            subject_second=subject_second,
+            current=current,
+            feasible=feasible,
+            chain=chain,
+        )

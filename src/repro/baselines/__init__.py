@@ -1,0 +1,35 @@
+"""Baselines the experiments compare the paper's heuristics against.
+
+* :mod:`repro.baselines.ordering_baselines` — candidate-pair orderings
+  (random, alphabetical, exhaustive) against the OCS resemblance ordering;
+* :mod:`repro.baselines.closure_baselines` — assertion entry with and
+  without transitive derivation; and
+* :mod:`repro.baselines.strategies` — integration-order strategies for
+  n-ary integration.
+"""
+
+from repro.baselines.ordering_baselines import (
+    all_cross_pairs,
+    ordering_alphabetical,
+    ordering_random,
+    ordering_resemblance,
+    recall_at_k,
+)
+from repro.baselines.closure_baselines import (
+    ClosureStats,
+    drive_assertions_with_closure,
+    drive_assertions_without_closure,
+)
+from repro.baselines.strategies import ladder_orders
+
+__all__ = [
+    "all_cross_pairs",
+    "ordering_alphabetical",
+    "ordering_random",
+    "ordering_resemblance",
+    "recall_at_k",
+    "ClosureStats",
+    "drive_assertions_with_closure",
+    "drive_assertions_without_closure",
+    "ladder_orders",
+]

@@ -1,0 +1,278 @@
+"""In-memory instances of an ECR schema, with a request executor.
+
+The model follows the ECR semantics of Section 2 of the paper:
+
+* an **instance** is a real-world entity with attribute values; inserting
+  it into a category automatically makes it a member of every ancestor
+  object class (a category is a *subset* of its parents' domains);
+* a **link** is one relationship instance connecting member instances of
+  the participating object classes; and
+* **requests** (:class:`repro.query.ast.Request`) are evaluated by
+  membership, projection, comparison and relationship semi-joins.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.ecr.schema import Schema
+from repro.ecr.walk import inherited_attributes, superclass_closure
+from repro.errors import SchemaError
+from repro.query.ast import Comparison, Request
+
+
+@dataclass
+class Instance:
+    """One entity: an id, its home (most specific) class and its values."""
+
+    instance_id: int
+    home_class: str
+    values: dict[str, object] = field(default_factory=dict)
+
+    def project(self, attributes: tuple[str, ...]) -> tuple[object, ...]:
+        return tuple(self.values.get(name) for name in attributes)
+
+
+@dataclass
+class Link:
+    """One relationship instance: leg label → instance id, plus values."""
+
+    relationship: str
+    legs: dict[str, int]
+    values: dict[str, object] = field(default_factory=dict)
+
+
+class InstanceStore:
+    """A populated ECR schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._instances: dict[int, Instance] = {}
+        self._members: dict[str, set[int]] = {
+            structure.name: set() for structure in schema.object_classes()
+        }
+        self._links: dict[str, list[Link]] = {
+            relationship.name: []
+            for relationship in schema.relationship_sets()
+        }
+        self._next_id = itertools.count(1)
+
+    # -- population ------------------------------------------------------------
+
+    def insert(
+        self,
+        class_name: str,
+        values: dict[str, object],
+        partial: bool = False,
+    ) -> int:
+        """Insert an entity as a member of ``class_name`` and its ancestors.
+
+        ``values`` must cover exactly the class's attributes (inherited ones
+        included); each value must belong to its attribute's domain.  With
+        ``partial=True`` missing attributes become ``None`` — used when
+        migrating a component database whose view did not carry every
+        attribute of the integrated class.
+        """
+        structure = self.schema.object_class(class_name)
+        expected = {
+            attribute.name: attribute
+            for attribute in inherited_attributes(self.schema, class_name)
+        }
+        unknown = set(values) - set(expected)
+        if unknown:
+            raise SchemaError(
+                f"{class_name!r} has no attribute(s) {sorted(unknown)}"
+            )
+        stored: dict[str, object] = {}
+        for name, attribute in expected.items():
+            if name not in values or values[name] is None:
+                if not partial and name not in values:
+                    raise SchemaError(f"missing value for {class_name}.{name}")
+                stored[name] = values.get(name)
+                continue
+            if not attribute.domain.contains_value(values[name]):
+                raise SchemaError(
+                    f"value {values[name]!r} is outside the domain of "
+                    f"{class_name}.{name} ({attribute.domain})"
+                )
+            stored[name] = values[name]
+        instance_id = next(self._next_id)
+        self._instances[instance_id] = Instance(instance_id, class_name, stored)
+        self._members[class_name].add(instance_id)
+        for ancestor in superclass_closure(self.schema, class_name):
+            self._members[ancestor].add(instance_id)
+        return instance_id
+
+    def find_duplicate(
+        self, class_name: str, values: dict[str, object]
+    ) -> Instance | None:
+        """An existing member equal on every shared key attribute, if any.
+
+        Used by migration to merge two appearances of the same real-world
+        entity (the equals-merge semantics: identical domains).  Returns
+        ``None`` when the class has no key attributes or no key values are
+        supplied.
+        """
+        keys = [
+            attribute.name
+            for attribute in inherited_attributes(self.schema, class_name)
+            if attribute.is_key
+        ]
+        supplied = {
+            name: values[name]
+            for name in keys
+            if values.get(name) is not None
+        }
+        if not supplied:
+            return None
+        for member in self.members(class_name):
+            if all(
+                member.values.get(name) == value
+                for name, value in supplied.items()
+            ):
+                return member
+        return None
+
+    def fill_values(self, instance_id: int, values: dict[str, object]) -> None:
+        """Fill an instance's missing (None) attributes from ``values``."""
+        instance = self.instance(instance_id)
+        for name, value in values.items():
+            if value is not None and instance.values.get(name) is None:
+                instance.values[name] = value
+
+    def reclassify_down(self, instance_id: int, class_name: str) -> None:
+        """Add membership in a subclass (and its ancestors) to an instance.
+
+        Migration uses this when the same real-world entity appears once as
+        a parent-class member and once as a category member.
+        """
+        self.schema.object_class(class_name)
+        instance = self.instance(instance_id)
+        self._members[class_name].add(instance_id)
+        for ancestor in superclass_closure(self.schema, class_name):
+            self._members[ancestor].add(instance_id)
+        # the home class is the most specific one: move it down when the
+        # old home is an ancestor of the new class
+        if instance.home_class in superclass_closure(self.schema, class_name):
+            instance.home_class = class_name
+
+    def connect(
+        self,
+        relationship_name: str,
+        legs: dict[str, int],
+        values: dict[str, object] | None = None,
+    ) -> Link:
+        """Create a relationship instance over existing entities."""
+        relationship = self.schema.relationship_set(relationship_name)
+        expected = {leg.label: leg for leg in relationship.participations}
+        if set(legs) != set(expected):
+            raise SchemaError(
+                f"{relationship_name!r} needs legs {sorted(expected)}, "
+                f"got {sorted(legs)}"
+            )
+        for label, instance_id in legs.items():
+            target = expected[label].object_name
+            if instance_id not in self._members.get(target, ()):
+                raise SchemaError(
+                    f"instance {instance_id} is not a member of {target!r}"
+                )
+        link = Link(relationship_name, dict(legs), dict(values or {}))
+        self._links[relationship_name].append(link)
+        return link
+
+    # -- inspection -------------------------------------------------------------
+
+    def members(self, class_name: str) -> list[Instance]:
+        """All member instances of an object class, in id order."""
+        if class_name not in self._members:
+            raise SchemaError(f"no object class {class_name!r}")
+        return [
+            self._instances[instance_id]
+            for instance_id in sorted(self._members[class_name])
+        ]
+
+    def links(self, relationship_name: str) -> list[Link]:
+        if relationship_name not in self._links:
+            raise SchemaError(f"no relationship set {relationship_name!r}")
+        return list(self._links[relationship_name])
+
+    def instance(self, instance_id: int) -> Instance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise SchemaError(f"no instance {instance_id}") from None
+
+    def size(self) -> tuple[int, int]:
+        """(entities, links) counts."""
+        return (
+            len(self._instances),
+            sum(len(links) for links in self._links.values()),
+        )
+
+    # -- request execution ---------------------------------------------------------
+
+    def select(self, request: Request) -> list[tuple[object, ...]]:
+        """Answer a request: a sorted list of projected value tuples.
+
+        Projection follows the request's attribute order; an empty
+        projection returns one empty tuple per qualifying instance.
+        """
+        request.validate_against(self.schema)
+        candidates = self.members(request.object_name)
+        rows: list[tuple[object, ...]] = []
+        for instance in candidates:
+            if not all(
+                _satisfies(instance.values.get(c.attribute), c)
+                for c in request.conditions
+            ):
+                continue
+            if not all(
+                self._joined(instance.instance_id, join.relationship, join.target)
+                for join in request.joins
+            ):
+                continue
+            rows.append(instance.project(request.attributes))
+        return sorted(rows, key=_sort_key)
+
+    def _joined(
+        self, instance_id: int, relationship_name: str, target: str
+    ) -> bool:
+        """Semi-join: the instance is linked to some member of ``target``."""
+        target_members = self._members[target]
+        for link in self._links[relationship_name]:
+            ids = set(link.legs.values())
+            if instance_id in ids and ids & target_members - {instance_id}:
+                return True
+            if instance_id in ids and instance_id in target_members and len(ids) == 1:
+                return True
+        return False
+
+
+def _satisfies(value: object, condition: Comparison) -> bool:
+    """Evaluate one comparison with numeric coercion where sensible."""
+    if value is None:
+        return False
+    left, right = value, condition.value
+    try:
+        left_num = float(left)  # type: ignore[arg-type]
+        right_num = float(right)
+        left, right = left_num, right_num
+    except (TypeError, ValueError):
+        left, right = str(left), str(right)
+    operator = condition.operator
+    if operator == "=":
+        return left == right
+    if operator == "!=":
+        return left != right
+    if operator == "<":
+        return left < right
+    if operator == ">":
+        return left > right
+    if operator == "<=":
+        return left <= right
+    return left >= right
+
+
+def _sort_key(row: tuple[object, ...]) -> tuple:
+    return tuple((value is None, str(value)) for value in row)

@@ -1,0 +1,246 @@
+"""Migrating component databases into the integrated schema.
+
+``migrate_store`` pushes one component database through its
+:class:`~repro.integration.mappings.SchemaMapping`: every instance lands in
+its class's integrated counterpart; two appearances of the same real-world
+entity (equal key values in one integrated class) merge into one instance
+with their attribute values combined — this is what the ``equals``
+assertion *means* at the instance level.  Links follow, re-pointed at the
+integrated relationship sets, with legs resolved upward when integration
+coalesced a leg onto a more general class.
+
+``federated_answer`` goes the other way: a global request is routed to the
+component stores via ``rewrite_to_components`` and the answers are unioned
+— the global-schema-design context in operation.
+"""
+
+from __future__ import annotations
+
+from repro.data.instances import InstanceStore
+from repro.ecr.schema import Schema
+from repro.ecr.walk import superclass_closure
+from repro.errors import MappingError
+from repro.integration.mappings import SchemaMapping
+from repro.query.ast import Request
+from repro.query.rewrite import rewrite_to_components
+
+
+def migrate_store(
+    component: InstanceStore,
+    mapping: SchemaMapping,
+    integrated: InstanceStore,
+) -> dict[int, int]:
+    """Copy a component database into an integrated store.
+
+    Returns the id map (component instance id → integrated instance id).
+    Call once per component store against the same integrated store; the
+    key-based merge runs across calls, so shared entities collapse.
+    """
+    if integrated.schema.name != mapping.integrated_schema:
+        raise MappingError(
+            f"store holds {integrated.schema.name!r}, mapping targets "
+            f"{mapping.integrated_schema!r}"
+        )
+    id_map: dict[int, int] = {}
+    for class_name in _home_classes(component):
+        target_class = mapping.map_object(class_name)
+        for instance in component.members(class_name):
+            if instance.home_class != class_name:
+                continue  # handled at its most specific class
+            values = {
+                mapping.map_attribute(class_name, name)[1]: value
+                for name, value in instance.values.items()
+            }
+            values = _restrict_to_class(integrated.schema, target_class, values)
+            duplicate = integrated.find_duplicate(target_class, values)
+            if duplicate is None:
+                # the entity may already exist higher up the lattice
+                duplicate = _duplicate_in_ancestors(
+                    integrated, target_class, values
+                )
+                if duplicate is not None:
+                    integrated.reclassify_down(
+                        duplicate.instance_id, target_class
+                    )
+            if duplicate is not None:
+                integrated.fill_values(duplicate.instance_id, values)
+                id_map[instance.instance_id] = duplicate.instance_id
+            else:
+                id_map[instance.instance_id] = integrated.insert(
+                    target_class, values, partial=True
+                )
+    _migrate_links(component, mapping, integrated, id_map)
+    return id_map
+
+
+def _home_classes(component: InstanceStore) -> list[str]:
+    return [
+        structure.name for structure in component.schema.object_classes()
+    ]
+
+
+def _restrict_to_class(
+    schema: Schema, class_name: str, values: dict[str, object]
+) -> dict[str, object]:
+    """Drop mapped values that landed outside the class's attribute set.
+
+    A component attribute can be absorbed into an integrated class that is
+    *not* an ancestor of this instance's target class (sibling under a
+    derived parent, with pull-up enabled); such values have nowhere to go
+    on this instance and are dropped.
+    """
+    from repro.ecr.walk import inherited_attributes
+
+    allowed = {
+        attribute.name
+        for attribute in inherited_attributes(schema, class_name)
+    }
+    return {name: value for name, value in values.items() if name in allowed}
+
+
+def _duplicate_in_ancestors(
+    integrated: InstanceStore, class_name: str, values: dict[str, object]
+):
+    for ancestor in superclass_closure(integrated.schema, class_name):
+        duplicate = integrated.find_duplicate(ancestor, values)
+        if duplicate is not None:
+            return duplicate
+    return None
+
+
+def _migrate_links(
+    component: InstanceStore,
+    mapping: SchemaMapping,
+    integrated: InstanceStore,
+    id_map: dict[int, int],
+) -> None:
+    for relationship in component.schema.relationship_sets():
+        target_name = mapping.map_object(relationship.name)
+        target = integrated.schema.relationship_set(target_name)
+        for link in component.links(relationship.name):
+            legs: dict[str, int] = {}
+            for label, instance_id in link.legs.items():
+                leg = relationship.participation_for(label)
+                mapped_node = mapping.map_object(leg.object_name)
+                target_label = _matching_leg(
+                    integrated.schema, target, mapped_node, leg.role
+                )
+                legs[target_label] = id_map[instance_id]
+            values = {
+                mapping.map_attribute(relationship.name, name)[1]: value
+                for name, value in link.values.items()
+            }
+            if not _link_exists(integrated, target_name, legs):
+                integrated.connect(target_name, legs, values)
+
+
+def _matching_leg(schema, target, mapped_node: str, role: str) -> str:
+    """The integrated leg a component leg folds onto.
+
+    Prefer the leg on the mapped node itself; else the leg on an ancestor
+    (integration coalesces IS-A-related legs onto the general class).
+    """
+    candidates = [leg for leg in target.participations if leg.role == role]
+    for leg in candidates:
+        if leg.object_name == mapped_node:
+            return leg.label
+    ancestors = set(superclass_closure(schema, mapped_node))
+    for leg in candidates:
+        if leg.object_name in ancestors:
+            return leg.label
+    raise MappingError(
+        f"relationship {target.name!r} has no leg covering {mapped_node!r}"
+    )
+
+
+def _link_exists(
+    integrated: InstanceStore, relationship_name: str, legs: dict[str, int]
+) -> bool:
+    return any(
+        link.legs == legs for link in integrated.links(relationship_name)
+    )
+
+
+def merge_stores(
+    components: list[tuple[InstanceStore, SchemaMapping]],
+    integrated_schema: Schema,
+) -> tuple[InstanceStore, list[dict[int, int]]]:
+    """Build the integrated database from all component databases."""
+    integrated = InstanceStore(integrated_schema)
+    id_maps = [
+        migrate_store(store, mapping, integrated)
+        for store, mapping in components
+    ]
+    return integrated, id_maps
+
+
+def federated_answer(
+    request: Request,
+    mappings: dict[str, SchemaMapping],
+    stores: dict[str, InstanceStore],
+    integrated_schema: Schema | None = None,
+) -> list[tuple[object, ...]]:
+    """Answer a global request by routing it to the component stores.
+
+    Each component answers its rewritten leg; attributes the component
+    lacks come back as ``None``; the union of all legs is deduplicated and
+    sorted like :meth:`InstanceStore.select` output.  Pass the integrated
+    schema so that components covering *subclasses* of the requested class
+    contribute their instances too (IS-A membership).
+
+    Deduplication works on projected values, so a request must project at
+    least one identifying attribute for cross-component duplicates to
+    collapse correctly; an empty projection collapses to a single row.
+    """
+    legs = rewrite_to_components(request, mappings, integrated_schema)
+    answers: set[tuple[object, ...]] = set()
+    for leg in legs:
+        store = stores[leg.schema]
+        rows = store.select(leg.request)
+        positions = _global_positions(request, leg)
+        for row in rows:
+            padded: list[object] = [None] * len(request.attributes)
+            for local_index, global_index in enumerate(positions):
+                padded[global_index] = row[local_index]
+            answers.add(tuple(padded))
+    from repro.data.instances import _sort_key
+
+    return sorted(_eliminate_subsumed(answers), key=_sort_key)
+
+
+def _eliminate_subsumed(
+    answers: set[tuple[object, ...]]
+) -> set[tuple[object, ...]]:
+    """Outer-union subsumption: drop rows dominated by a fuller row.
+
+    A component that lacks an attribute answers with ``None`` there; when
+    another component (or the entity-merge) supplies the full row, the
+    padded one carries no extra information and is removed — e.g.
+    ``('cs', None)`` is subsumed by ``('cs', 'west')``.
+    """
+    kept: set[tuple[object, ...]] = set()
+    for row in answers:
+        dominated = any(
+            other != row
+            and all(
+                value is None or value == other[index]
+                for index, value in enumerate(row)
+            )
+            for other in answers
+        )
+        if not dominated:
+            kept.add(row)
+    return kept
+
+
+def _global_positions(request: Request, leg) -> list[int]:
+    """For each leg attribute, its position in the global projection."""
+    missing = set(leg.missing_attributes)
+    positions = [
+        index
+        for index, name in enumerate(request.attributes)
+        if name not in missing
+    ]
+    if len(positions) != len(leg.request.attributes):
+        raise MappingError("leg projection does not align with the request")
+    return positions

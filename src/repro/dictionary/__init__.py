@@ -1,0 +1,27 @@
+"""The data dictionary: persistent state shared between design tools.
+
+The paper's future work: *"A common representation of the database objects
+and the mappings between them could be kept in a data dictionary available
+to all of the tools."*  This package provides that dictionary — a
+serialisable container holding component schemas, the DDA's attribute
+equivalences, the specified assertions, and integration results with their
+mappings — with JSON save/load and reconstruction of the live objects
+(:class:`~repro.equivalence.registry.EquivalenceRegistry`,
+:class:`~repro.assertions.network.AssertionNetwork`).
+"""
+
+from repro.dictionary.store import DataDictionary
+from repro.dictionary.serialize import (
+    result_to_dict,
+    result_from_dict,
+    mapping_to_dict,
+    mapping_from_dict,
+)
+
+__all__ = [
+    "DataDictionary",
+    "result_to_dict",
+    "result_from_dict",
+    "mapping_to_dict",
+    "mapping_from_dict",
+]

@@ -1,0 +1,118 @@
+"""Serialisation of integration results and mappings.
+
+Complements :mod:`repro.ecr.json_io` (schemas) so that everything the
+tools exchange — integrated schemas with provenance, and the
+component→integrated mappings — can live in the data dictionary.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ecr.attributes import AttributeRef
+from repro.ecr.json_io import schema_from_dict, schema_to_dict
+from repro.ecr.schema import ObjectRef
+from repro.errors import SchemaError
+from repro.integration.mappings import SchemaMapping
+from repro.integration.result import (
+    AttributeOrigin,
+    IntegratedNode,
+    IntegrationResult,
+)
+
+
+def result_to_dict(result: IntegrationResult) -> dict[str, Any]:
+    """Serialise an integration result, provenance included."""
+    return {
+        "schema": schema_to_dict(result.schema),
+        "object_mapping": {
+            str(ref): node for ref, node in result.object_mapping.items()
+        },
+        "attribute_mapping": {
+            str(ref): list(target)
+            for ref, target in result.attribute_mapping.items()
+        },
+        "nodes": [
+            {
+                "name": node.name,
+                "origin": node.origin,
+                "components": [str(ref) for ref in node.components],
+            }
+            for node in result.nodes.values()
+        ],
+        "attribute_origins": [
+            {
+                "node": origin.node,
+                "attribute": origin.attribute,
+                "components": [str(ref) for ref in origin.components],
+            }
+            for origin in result.attribute_origins.values()
+        ],
+        "relationship_lattice": [list(edge) for edge in result.relationship_lattice],
+        "log": list(result.log),
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> IntegrationResult:
+    """Inverse of :func:`result_to_dict`."""
+    try:
+        result = IntegrationResult(schema_from_dict(data["schema"]))
+    except KeyError as exc:
+        raise SchemaError(f"result data missing {exc}") from exc
+    for text, node in data.get("object_mapping", {}).items():
+        result.object_mapping[ObjectRef.parse(text)] = node
+    for text, target in data.get("attribute_mapping", {}).items():
+        result.attribute_mapping[AttributeRef.parse(text)] = (
+            target[0],
+            target[1],
+        )
+    for entry in data.get("nodes", ()):
+        result.nodes[entry["name"]] = IntegratedNode(
+            entry["name"],
+            [ObjectRef.parse(text) for text in entry.get("components", ())],
+            entry.get("origin", "copy"),
+        )
+    for entry in data.get("attribute_origins", ()):
+        origin = AttributeOrigin(
+            entry["node"],
+            entry["attribute"],
+            tuple(
+                AttributeRef.parse(text)
+                for text in entry.get("components", ())
+            ),
+        )
+        result.attribute_origins[(origin.node, origin.attribute)] = origin
+    for edge in data.get("relationship_lattice", ()):
+        result.relationship_lattice.append((edge[0], edge[1]))
+    result.log.extend(data.get("log", ()))
+    return result
+
+
+def mapping_to_dict(mapping: SchemaMapping) -> dict[str, Any]:
+    """Serialise one component schema's mapping."""
+    return {
+        "component_schema": mapping.component_schema,
+        "integrated_schema": mapping.integrated_schema,
+        "objects": dict(mapping.objects),
+        "attributes": [
+            {"object": key[0], "attribute": key[1], "target": list(target)}
+            for key, target in mapping.attributes.items()
+        ],
+    }
+
+
+def mapping_from_dict(data: dict[str, Any]) -> SchemaMapping:
+    """Inverse of :func:`mapping_to_dict`."""
+    try:
+        mapping = SchemaMapping(
+            data["component_schema"], data["integrated_schema"]
+        )
+    except KeyError as exc:
+        raise SchemaError(f"mapping data missing {exc}") from exc
+    mapping.objects.update(data.get("objects", {}))
+    for entry in data.get("attributes", ()):
+        mapping.attributes[(entry["object"], entry["attribute"])] = (
+            entry["target"][0],
+            entry["target"][1],
+        )
+    return mapping

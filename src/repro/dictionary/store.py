@@ -1,0 +1,203 @@
+"""The data dictionary container with JSON persistence.
+
+A :class:`DataDictionary` is the durable form of a design session: the
+component schemas, the DDA's equivalence declarations, the specified
+assertions (object-class and relationship-set), and any number of named
+integration results with their mappings.  It can rebuild the live objects
+— registry and networks — so a later sitting (or another tool) resumes
+exactly where the previous one stopped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.assertions.kinds import AssertionKind, Source
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.attributes import AttributeRef
+from repro.ecr.json_io import schema_from_dict, schema_to_dict
+from repro.ecr.schema import ObjectRef, Schema
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.errors import SchemaError, UnknownNameError
+from repro.dictionary.serialize import (
+    mapping_from_dict,
+    mapping_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.integration.mappings import SchemaMapping
+from repro.integration.result import IntegrationResult
+
+#: Format marker written into every saved dictionary.
+FORMAT_VERSION = 1
+
+
+class DataDictionary:
+    """Schemas, equivalences, assertions and results, persistently."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, Schema] = {}
+        #: DDA equivalence declarations, in declaration order
+        self._equivalences: list[tuple[AttributeRef, AttributeRef]] = []
+        #: DDA assertions: (first, second, code, is_relationship)
+        self._assertions: list[tuple[ObjectRef, ObjectRef, int, bool]] = []
+        self._results: dict[str, IntegrationResult] = {}
+        self._mappings: dict[str, dict[str, SchemaMapping]] = {}
+
+    # -- content -------------------------------------------------------------
+
+    def add_schema(self, schema: Schema) -> None:
+        if schema.name in self._schemas:
+            raise SchemaError(f"dictionary already holds {schema.name!r}")
+        self._schemas[schema.name] = schema
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownNameError("schema", name, "dictionary") from None
+
+    def schemas(self) -> list[Schema]:
+        return list(self._schemas.values())
+
+    def record_equivalence(
+        self, first: AttributeRef | str, second: AttributeRef | str
+    ) -> None:
+        if isinstance(first, str):
+            first = AttributeRef.parse(first)
+        if isinstance(second, str):
+            second = AttributeRef.parse(second)
+        self._equivalences.append((first, second))
+
+    def record_assertion(
+        self,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
+        kind: AssertionKind | int,
+        relationship: bool = False,
+    ) -> None:
+        if isinstance(first, str):
+            first = ObjectRef.parse(first)
+        if isinstance(second, str):
+            second = ObjectRef.parse(second)
+        if isinstance(kind, AssertionKind):
+            kind = kind.code
+        AssertionKind.from_code(kind)  # validate
+        self._assertions.append((first, second, kind, relationship))
+
+    def store_result(
+        self,
+        name: str,
+        result: IntegrationResult,
+        mappings: dict[str, SchemaMapping] | None = None,
+    ) -> None:
+        self._results[name] = result
+        if mappings is not None:
+            self._mappings[name] = dict(mappings)
+
+    def result(self, name: str) -> IntegrationResult:
+        try:
+            return self._results[name]
+        except KeyError:
+            raise UnknownNameError("result", name, "dictionary") from None
+
+    def mappings_for(self, name: str) -> dict[str, SchemaMapping]:
+        return dict(self._mappings.get(name, {}))
+
+    def result_names(self) -> list[str]:
+        return list(self._results)
+
+    # -- live-object reconstruction -----------------------------------------------
+
+    def build_registry(self) -> EquivalenceRegistry:
+        """Registry over all schemas with every recorded equivalence."""
+        registry = EquivalenceRegistry(self.schemas())
+        for first, second in self._equivalences:
+            registry.declare_equivalent(first, second)
+        return registry
+
+    def build_networks(self) -> tuple[AssertionNetwork, AssertionNetwork]:
+        """(object network, relationship network) with everything replayed."""
+        objects = AssertionNetwork()
+        relationships = AssertionNetwork()
+        for schema in self.schemas():
+            objects.seed_schema(schema)
+            for relationship in schema.relationship_sets():
+                relationships.add_object(
+                    ObjectRef(schema.name, relationship.name)
+                )
+        for first, second, code, is_relationship in self._assertions:
+            network = relationships if is_relationship else objects
+            existing = network.assertion_for(first, second)
+            if (
+                existing is not None
+                and existing.source is not Source.DERIVED
+                and existing.kind.code != code
+            ):
+                # a later recording of the same pair wins (review-and-modify)
+                network.respecify(first, second, code)
+            else:
+                network.specify(first, second, code)
+        return objects, relationships
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT_VERSION,
+            "schemas": [schema_to_dict(schema) for schema in self.schemas()],
+            "equivalences": [
+                [str(first), str(second)]
+                for first, second in self._equivalences
+            ],
+            "assertions": [
+                [str(first), str(second), code, relationship]
+                for first, second, code, relationship in self._assertions
+            ],
+            "results": {
+                name: result_to_dict(result)
+                for name, result in self._results.items()
+            },
+            "mappings": {
+                name: {
+                    component: mapping_to_dict(mapping)
+                    for component, mapping in mappings.items()
+                }
+                for name, mappings in self._mappings.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DataDictionary":
+        version = data.get("format")
+        if version != FORMAT_VERSION:
+            raise SchemaError(
+                f"unsupported dictionary format {version!r} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        dictionary = cls()
+        for entry in data.get("schemas", ()):
+            dictionary.add_schema(schema_from_dict(entry))
+        for first, second in data.get("equivalences", ()):
+            dictionary.record_equivalence(first, second)
+        for first, second, code, relationship in data.get("assertions", ()):
+            dictionary.record_assertion(first, second, code, relationship)
+        for name, entry in data.get("results", {}).items():
+            dictionary._results[name] = result_from_dict(entry)
+        for name, mappings in data.get("mappings", {}).items():
+            dictionary._mappings[name] = {
+                component: mapping_from_dict(mapping_data)
+                for component, mapping_data in mappings.items()
+            }
+        return dictionary
+
+    def save(self, path: str | Path) -> None:
+        """Write the dictionary as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DataDictionary":
+        """Read a dictionary saved by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,90 @@
+"""Entity-Category-Relationship (ECR) data model.
+
+This package implements the conceptual data model the paper uses as its
+common model for schema integration: the ECR model of Elmasri, Hevner and
+Weeldreyer (1985), an extension of Chen's Entity-Relationship model with
+
+* **categories** — named subsets of one or more object classes, used to
+  represent generalisation hierarchies and subclasses; and
+* **structural (cardinality) constraints** — ``(min, max)`` bounds on how
+  entities of an object class participate in a relationship set.
+
+The public surface is re-exported here so that users can write
+``from repro.ecr import Schema, EntitySet`` without knowing the module
+layout.
+"""
+
+from repro.ecr.domains import (
+    Domain,
+    DomainKind,
+    BUILTIN_DOMAINS,
+    domain_from_name,
+    domains_compatible,
+)
+from repro.ecr.attributes import Attribute, AttributeRef
+from repro.ecr.objects import ObjectClass, EntitySet, Category, ObjectKind
+from repro.ecr.relationships import (
+    Participation,
+    CardinalityConstraint,
+    RelationshipSet,
+    CARDINALITY_MANY,
+)
+from repro.ecr.schema import Schema, ObjectRef
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.validation import ValidationIssue, Severity, validate_schema
+from repro.ecr.ddl import parse_ddl, parse_ddl_schemas, to_ddl
+from repro.ecr.json_io import schema_to_dict, schema_from_dict
+from repro.ecr.diagram import ascii_diagram, dot_diagram
+from repro.ecr.refactor import (
+    promote_attribute_to_entity,
+    demote_entity_to_attribute,
+    reify_relationship,
+)
+from repro.ecr.walk import (
+    superclass_closure,
+    subclass_closure,
+    inherited_attributes,
+    root_classes,
+    leaf_classes,
+    isa_depth,
+)
+
+__all__ = [
+    "Domain",
+    "DomainKind",
+    "BUILTIN_DOMAINS",
+    "domain_from_name",
+    "domains_compatible",
+    "Attribute",
+    "AttributeRef",
+    "ObjectClass",
+    "EntitySet",
+    "Category",
+    "ObjectKind",
+    "Participation",
+    "CardinalityConstraint",
+    "RelationshipSet",
+    "CARDINALITY_MANY",
+    "Schema",
+    "ObjectRef",
+    "SchemaBuilder",
+    "ValidationIssue",
+    "Severity",
+    "validate_schema",
+    "parse_ddl",
+    "promote_attribute_to_entity",
+    "demote_entity_to_attribute",
+    "reify_relationship",
+    "parse_ddl_schemas",
+    "to_ddl",
+    "schema_to_dict",
+    "schema_from_dict",
+    "ascii_diagram",
+    "dot_diagram",
+    "superclass_closure",
+    "subclass_closure",
+    "inherited_attributes",
+    "root_classes",
+    "leaf_classes",
+    "isa_depth",
+]

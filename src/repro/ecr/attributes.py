@@ -1,0 +1,114 @@
+"""Attributes of ECR object classes and relationship sets.
+
+An attribute is what the paper's Screen 5 collects: a name, a domain and a
+key flag.  Integrated schemas additionally contain *derived* attributes
+(``D_`` prefix) that record the component attributes of the original schemas
+they were merged from (Screens 12a/12b); the provenance lives on
+:class:`repro.integration.result.DerivedAttribute`, which wraps this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ecr.domains import BUILTIN_DOMAINS, Domain, domain_from_name
+from repro.errors import SchemaError
+
+
+def check_identifier(name: str, kind: str) -> str:
+    """Validate a schema/object/attribute identifier.
+
+    Identifiers follow the paper's examples: they start with a letter and
+    contain letters, digits and underscores (``Grad_student``, ``D_or_M``).
+    Returns the name unchanged so it can be used inline.
+    """
+    if not name:
+        raise SchemaError(f"{kind} name must not be empty")
+    if not (name[0].isalpha() or name[0] == "_"):
+        raise SchemaError(f"{kind} name {name!r} must start with a letter")
+    body = name.replace("_", "")
+    if body and not body.isalnum():
+        raise SchemaError(
+            f"{kind} name {name!r} may contain only letters, digits and underscores"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single-valued attribute of an object class or relationship set.
+
+    Parameters
+    ----------
+    name:
+        Attribute identifier, unique within its owner.
+    domain:
+        Value space; either a :class:`~repro.ecr.domains.Domain` or a domain
+        spelling such as ``"char"`` (converted on construction).
+    is_key:
+        Whether the attribute uniquely identifies members of its owner —
+        the ``Key (y/n)`` column of Screen 5.
+    description:
+        Optional free-text note kept for the data dictionary.
+    """
+
+    name: str
+    domain: Domain = field(default_factory=lambda: BUILTIN_DOMAINS["char"])
+    is_key: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name, "attribute")
+        if isinstance(self.domain, str):  # convenience: accept spellings
+            object.__setattr__(self, "domain", domain_from_name(self.domain))
+        if not isinstance(self.domain, Domain):
+            raise SchemaError(
+                f"attribute {self.name!r} domain must be a Domain, "
+                f"got {type(self.domain).__name__}"
+            )
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute under a different name."""
+        return replace(self, name=new_name)
+
+    def as_non_key(self) -> "Attribute":
+        """Return a copy with the key flag cleared (used when an attribute
+        is inherited into a context where it no longer identifies members)."""
+        if not self.is_key:
+            return self
+        return replace(self, is_key=False)
+
+    def __str__(self) -> str:
+        key = " key" if self.is_key else ""
+        return f"{self.name} : {self.domain}{key}"
+
+
+@dataclass(frozen=True, order=True)
+class AttributeRef:
+    """Fully qualified reference to an attribute: ``schema.object.attribute``.
+
+    This is the unit the equivalence registry works over — Screen 7 displays
+    exactly these triples (``sc1.Student.Name``).
+    """
+
+    schema: str
+    object_name: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.schema}.{self.object_name}.{self.attribute}"
+
+    @classmethod
+    def parse(cls, text: str) -> "AttributeRef":
+        """Parse ``"sc1.Student.Name"`` into an :class:`AttributeRef`."""
+        parts = text.split(".")
+        if len(parts) != 3 or not all(parts):
+            raise SchemaError(
+                f"attribute reference must be schema.object.attribute, got {text!r}"
+            )
+        return cls(*parts)
+
+    @property
+    def owner(self) -> tuple[str, str]:
+        """The ``(schema, object)`` pair that owns the attribute."""
+        return (self.schema, self.object_name)

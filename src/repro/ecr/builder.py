@@ -1,0 +1,147 @@
+"""Fluent construction of ECR schemas.
+
+The builder mirrors the order in which the tool's collection screens gather
+information (Screens 2-5): name the schema, then declare structures, then
+attach attributes and participations.  It exists so that examples, workloads
+and tests can define schemas compactly::
+
+    schema = (
+        SchemaBuilder("sc1")
+        .entity("Student", attrs=[("Name", "char", True), ("GPA", "real")])
+        .entity("Department", attrs=[("Name", "char", True)])
+        .relationship(
+            "Majors",
+            connects=[("Student", "(1,1)"), ("Department", "(0,n)")],
+            attrs=[("Since", "date")],
+        )
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.domains import Domain, domain_from_name
+from repro.ecr.objects import Category, EntitySet
+from repro.ecr.relationships import (
+    CardinalityConstraint,
+    Participation,
+    RelationshipSet,
+)
+from repro.ecr.schema import Schema
+from repro.errors import SchemaError
+
+#: An attribute spec: a ready Attribute, a name, a (name, domain) pair or a
+#: (name, domain, is_key) triple.  Domains may be spellings or Domain objects.
+AttrSpec = Attribute | str | Sequence[object]
+
+#: A participation spec: a ready Participation, an object name, a
+#: (object, cardinality) pair or an (object, cardinality, role) triple.
+ConnectSpec = Participation | str | Sequence[object]
+
+
+def make_attribute(spec: AttrSpec) -> Attribute:
+    """Normalise an attribute spec into an :class:`Attribute`."""
+    if isinstance(spec, Attribute):
+        return spec
+    if isinstance(spec, str):
+        return Attribute(spec)
+    parts = list(spec)
+    if not 1 <= len(parts) <= 3:
+        raise SchemaError(f"attribute spec must have 1-3 fields, got {spec!r}")
+    name = parts[0]
+    if not isinstance(name, str):
+        raise SchemaError(f"attribute name must be a string, got {name!r}")
+    domain = parts[1] if len(parts) > 1 else "char"
+    if isinstance(domain, str):
+        domain = domain_from_name(domain)
+    if not isinstance(domain, Domain):
+        raise SchemaError(f"bad domain in attribute spec {spec!r}")
+    is_key = bool(parts[2]) if len(parts) > 2 else False
+    return Attribute(name, domain, is_key)
+
+
+def make_participation(spec: ConnectSpec) -> Participation:
+    """Normalise a participation spec into a :class:`Participation`."""
+    if isinstance(spec, Participation):
+        return spec
+    if isinstance(spec, str):
+        return Participation(spec)
+    parts = list(spec)
+    if not 1 <= len(parts) <= 3:
+        raise SchemaError(f"participation spec must have 1-3 fields, got {spec!r}")
+    object_name = parts[0]
+    if not isinstance(object_name, str):
+        raise SchemaError(f"participant name must be a string, got {object_name!r}")
+    cardinality = parts[1] if len(parts) > 1 else CardinalityConstraint()
+    if isinstance(cardinality, str):
+        cardinality = CardinalityConstraint.parse(cardinality)
+    elif isinstance(cardinality, tuple):
+        cardinality = CardinalityConstraint(*cardinality)
+    if not isinstance(cardinality, CardinalityConstraint):
+        raise SchemaError(f"bad cardinality in participation spec {spec!r}")
+    role = str(parts[2]) if len(parts) > 2 else ""
+    return Participation(object_name, cardinality, role)
+
+
+class SchemaBuilder:
+    """Accumulates structures and produces a validated :class:`Schema`."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self._schema = Schema(name, description)
+
+    def entity(
+        self, name: str, attrs: Iterable[AttrSpec] = (), description: str = ""
+    ) -> "SchemaBuilder":
+        """Declare an entity set with its attributes."""
+        attributes = [make_attribute(spec) for spec in attrs]
+        self._schema.add(EntitySet(name, attributes, description))
+        return self
+
+    def category(
+        self,
+        name: str,
+        of: str | Iterable[str],
+        attrs: Iterable[AttrSpec] = (),
+        description: str = "",
+    ) -> "SchemaBuilder":
+        """Declare a category over one parent (``of="Student"``) or several."""
+        parents = [of] if isinstance(of, str) else list(of)
+        attributes = [make_attribute(spec) for spec in attrs]
+        self._schema.add(Category(name, attributes, description, parents=parents))
+        return self
+
+    def relationship(
+        self,
+        name: str,
+        connects: Iterable[ConnectSpec],
+        attrs: Iterable[AttrSpec] = (),
+        description: str = "",
+    ) -> "SchemaBuilder":
+        """Declare a relationship set with its participations and attributes."""
+        participations = [make_participation(spec) for spec in connects]
+        if len(participations) < 2:
+            raise SchemaError(
+                f"relationship set {name!r} must connect at least two legs"
+            )
+        attributes = [make_attribute(spec) for spec in attrs]
+        self._schema.add(
+            RelationshipSet(
+                name, attributes, description, participations=participations
+            )
+        )
+        return self
+
+    def build(self, validate: bool = True) -> Schema:
+        """Finish and return the schema.
+
+        With ``validate=True`` (the default), the schema is checked for
+        well-formedness and an error is raised on any fatal issue.
+        """
+        if validate:
+            from repro.ecr.validation import assert_valid
+
+            assert_valid(self._schema)
+        return self._schema

@@ -1,0 +1,228 @@
+"""A textual data description language for ECR schemas.
+
+The paper's ECR model comes with a data description language (Section 1);
+this module provides a readable, line-oriented rendition of it so schemas
+can live in files, docs and tests::
+
+    schema sc1
+      entity Student
+        attr Name : char key
+        attr GPA : real
+      entity Department
+        attr Name : char key
+      relationship Majors
+        attr Since : date
+        connects Student (1,1)
+        connects Department (0,n)
+      category Grad_student of Student
+        attr Support_type : char
+
+Grammar (one declaration per line, ``#`` starts a comment, indentation is
+ignored — nesting is implied by the declaration kinds):
+
+* ``schema NAME ["description"]``
+* ``entity NAME ["description"]``
+* ``category NAME of PARENT[, PARENT...] ["description"]``
+* ``relationship NAME ["description"]``
+* ``attr NAME : DOMAIN [key]`` — attaches to the last declared structure
+* ``connects OBJECT (min,max) [as ROLE]`` — attaches to the last relationship
+
+:func:`parse_ddl` and :func:`to_ddl` round-trip: parsing the output of
+``to_ddl`` reproduces an equal schema.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.domains import domain_from_name
+from repro.ecr.objects import Category, EntitySet, ObjectClass
+from repro.ecr.relationships import (
+    CardinalityConstraint,
+    Participation,
+    RelationshipSet,
+)
+from repro.ecr.schema import Schema
+from repro.errors import DdlError, SchemaError
+
+_DESCRIPTION_RE = re.compile(r'"([^"]*)"\s*$')
+_CONNECTS_RE = re.compile(
+    r"^connects\s+(?P<object>\w+)\s*"
+    r"(?:\((?P<card>[^)]*)\))?\s*"
+    r"(?:as\s+(?P<role>\w+))?\s*$"
+)
+_ATTR_RE = re.compile(
+    r"^attr\s+(?P<name>\w+)\s*:\s*(?P<domain>[^:]+?)\s*(?P<key>\bkey\b)?\s*$"
+)
+
+
+def _split_description(rest: str) -> tuple[str, str]:
+    """Pull a trailing quoted description off a declaration tail."""
+    match = _DESCRIPTION_RE.search(rest)
+    if match:
+        return rest[: match.start()].strip(), match.group(1)
+    return rest.strip(), ""
+
+
+def parse_ddl_schemas(text: str) -> list[Schema]:
+    """Parse DDL text containing one or more ``schema`` blocks."""
+    schemas: list[Schema] = []
+    current_schema: Schema | None = None
+    current_structure: ObjectClass | None = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        keyword, _, rest = line.partition(" ")
+        keyword = keyword.lower()
+        try:
+            if keyword == "schema":
+                name, description = _split_description(rest)
+                if not name:
+                    raise DdlError("schema needs a name", line_number)
+                current_schema = Schema(name, description)
+                current_structure = None
+                schemas.append(current_schema)
+                continue
+            if current_schema is None:
+                raise DdlError(
+                    f"{keyword!r} before any 'schema' declaration", line_number
+                )
+            if keyword == "entity":
+                name, description = _split_description(rest)
+                current_structure = current_schema.add(
+                    EntitySet(name, description=description)
+                )
+            elif keyword == "category":
+                current_structure = _parse_category(
+                    current_schema, rest, line_number
+                )
+            elif keyword == "relationship":
+                name, description = _split_description(rest)
+                current_structure = current_schema.add(
+                    RelationshipSet(name, description=description)
+                )
+            elif keyword == "attr":
+                _parse_attr(current_structure, line, line_number)
+            elif keyword == "connects":
+                _parse_connects(current_structure, line, line_number)
+            else:
+                raise DdlError(f"unknown declaration {keyword!r}", line_number)
+        except DdlError:
+            raise
+        except SchemaError as exc:
+            raise DdlError(str(exc), line_number) from exc
+    return schemas
+
+
+def parse_ddl(text: str) -> Schema:
+    """Parse DDL text that must contain exactly one schema."""
+    schemas = parse_ddl_schemas(text)
+    if len(schemas) != 1:
+        raise DdlError(f"expected exactly one schema, found {len(schemas)}")
+    return schemas[0]
+
+
+def _parse_category(schema: Schema, rest: str, line_number: int) -> Category:
+    rest, description = _split_description(rest)
+    name, of_keyword, parents_text = rest.partition(" of ")
+    name = name.strip()
+    if not of_keyword or not name:
+        raise DdlError(
+            "category must be 'category NAME of PARENT[, PARENT...]'",
+            line_number,
+        )
+    parents = [parent.strip() for parent in parents_text.split(",")]
+    parents = [parent for parent in parents if parent]
+    if not parents:
+        raise DdlError("category needs at least one parent", line_number)
+    category = Category(name, description=description, parents=parents)
+    schema.add(category)
+    return category
+
+
+def _parse_attr(
+    structure: ObjectClass | None, line: str, line_number: int
+) -> None:
+    if structure is None:
+        raise DdlError("'attr' outside any structure", line_number)
+    match = _ATTR_RE.match(line)
+    if not match:
+        raise DdlError("attr must be 'attr NAME : DOMAIN [key]'", line_number)
+    domain = domain_from_name(match.group("domain"))
+    structure.add_attribute(
+        Attribute(match.group("name"), domain, bool(match.group("key")))
+    )
+
+
+def _parse_connects(
+    structure: ObjectClass | None, line: str, line_number: int
+) -> None:
+    if not isinstance(structure, RelationshipSet):
+        raise DdlError("'connects' outside any relationship", line_number)
+    match = _CONNECTS_RE.match(line)
+    if not match:
+        raise DdlError(
+            "connects must be 'connects OBJECT (min,max) [as ROLE]'",
+            line_number,
+        )
+    cardinality = CardinalityConstraint()
+    if match.group("card"):
+        cardinality = CardinalityConstraint.parse(match.group("card"))
+    structure.add_participation(
+        Participation(match.group("object"), cardinality, match.group("role") or "")
+    )
+
+
+def to_ddl(schema: Schema) -> str:
+    """Render a schema in the canonical DDL form (round-trips via parse).
+
+    Structures are emitted in declaration order so that parsing the output
+    reproduces an identical schema, including ordering.
+    """
+    lines: list[str] = [_declaration("schema", schema.name, schema.description)]
+    for structure in schema:
+        if isinstance(structure, Category):
+            head = f"category {structure.name} of {', '.join(structure.parents)}"
+            if structure.description:
+                head += f' "{structure.description}"'
+            lines.append("  " + head)
+            lines.extend(_attr_lines(structure))
+        elif isinstance(structure, RelationshipSet):
+            lines.append(
+                "  "
+                + _declaration(
+                    "relationship", structure.name, structure.description
+                )
+            )
+            lines.extend(_attr_lines(structure))
+            for participation in structure.participations:
+                leg = (
+                    f"    connects {participation.object_name} "
+                    f"{participation.cardinality}"
+                )
+                if participation.role:
+                    leg += f" as {participation.role}"
+                lines.append(leg)
+        else:
+            lines.append(
+                "  " + _declaration("entity", structure.name, structure.description)
+            )
+            lines.extend(_attr_lines(structure))
+    return "\n".join(lines) + "\n"
+
+
+def _declaration(keyword: str, name: str, description: str) -> str:
+    if description:
+        return f'{keyword} {name} "{description}"'
+    return f"{keyword} {name}"
+
+
+def _attr_lines(structure: ObjectClass) -> list[str]:
+    lines = []
+    for attribute in structure.attributes:
+        key = " key" if attribute.is_key else ""
+        lines.append(f"    attr {attribute.name} : {attribute.domain}{key}")
+    return lines

@@ -1,0 +1,115 @@
+"""Rendering of ECR schemas as ASCII diagrams and Graphviz DOT.
+
+The paper's Figures 3-5 draw schemas as boxes (entity sets), boxes under
+IS-A arcs (categories) and diamonds (relationship sets).  We reproduce the
+same information in two textual forms:
+
+* :func:`ascii_diagram` — a framed, sectioned listing suitable for a
+  terminal, used by the examples and the EXPERIMENTS record; and
+* :func:`dot_diagram` — Graphviz DOT source for users who want a rendered
+  picture (the future-work "graphical interface" substitute).
+"""
+
+from __future__ import annotations
+
+from repro.ecr.objects import ObjectClass
+from repro.ecr.schema import Schema
+
+
+def ascii_diagram(schema: Schema) -> str:
+    """Render the schema as a framed ASCII listing.
+
+    Entity sets, categories (with their parent arcs) and relationship sets
+    (with their legs and cardinalities) are listed in insertion order with
+    their attributes; key attributes are starred.
+    """
+    lines: list[str] = []
+    title = f" SCHEMA {schema.name} "
+    lines.append("+" + title.center(58, "-") + "+")
+    for entity in schema.entity_sets():
+        lines.append(_box_line(f"[E] {entity.name}"))
+        lines.extend(_attribute_lines(entity))
+    for category in schema.categories():
+        arrow = " , ".join(category.parents)
+        lines.append(_box_line(f"[C] {category.name}  --isa-->  {arrow}"))
+        lines.extend(_attribute_lines(category))
+    for relationship in schema.relationship_sets():
+        lines.append(_box_line(f"<R> {relationship.name}"))
+        lines.extend(_attribute_lines(relationship))
+        for participation in relationship.participations:
+            role = f" as {participation.role}" if participation.role else ""
+            lines.append(
+                _box_line(
+                    f"      -- {participation.object_name}"
+                    f" {participation.cardinality}{role}"
+                )
+            )
+    lines.append("+" + "-" * 58 + "+")
+    return "\n".join(lines) + "\n"
+
+
+def _box_line(text: str) -> str:
+    return "| " + text.ljust(57)[:57] + "|"
+
+
+def _attribute_lines(structure: ObjectClass) -> list[str]:
+    lines = []
+    for attribute in structure.attributes:
+        star = "*" if attribute.is_key else " "
+        lines.append(_box_line(f"     {star}{attribute.name} : {attribute.domain}"))
+    return lines
+
+
+def dot_diagram(schema: Schema) -> str:
+    """Render the schema as Graphviz DOT source.
+
+    Entity sets are boxes, categories are rounded boxes connected to their
+    parents by IS-A edges, relationship sets are diamonds connected to their
+    participants by edges labelled with the cardinality constraint.
+    """
+    lines = [f'digraph "{schema.name}" {{', "  rankdir=BT;"]
+    for entity in schema.entity_sets():
+        label = _dot_label(entity)
+        lines.append(f'  "{entity.name}" [shape=box, label="{label}"];')
+    for category in schema.categories():
+        label = _dot_label(category)
+        lines.append(
+            f'  "{category.name}" [shape=box, style=rounded, label="{label}"];'
+        )
+        for parent in category.parents:
+            lines.append(f'  "{category.name}" -> "{parent}" [label="isa"];')
+    for relationship in schema.relationship_sets():
+        label = _dot_label(relationship)
+        lines.append(f'  "{relationship.name}" [shape=diamond, label="{label}"];')
+        for participation in relationship.participations:
+            edge_label = str(participation.cardinality)
+            if participation.role:
+                edge_label += f" {participation.role}"
+            lines.append(
+                f'  "{relationship.name}" -> "{participation.object_name}"'
+                f' [dir=none, label="{edge_label}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _dot_label(structure: ObjectClass) -> str:
+    parts = [structure.name]
+    for attribute in structure.attributes:
+        star = "*" if attribute.is_key else ""
+        parts.append(f"{star}{attribute.name}")
+    return "\\n".join(parts)
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Lay two ASCII diagrams side by side (used by the examples)."""
+    left_lines = left.rstrip("\n").splitlines()
+    right_lines = right.rstrip("\n").splitlines()
+    width = max((len(line) for line in left_lines), default=0)
+    height = max(len(left_lines), len(right_lines))
+    out = []
+    for index in range(height):
+        first = left_lines[index] if index < len(left_lines) else ""
+        second = right_lines[index] if index < len(right_lines) else ""
+        out.append(first.ljust(width + gap) + second)
+    return "\n".join(out) + "\n"

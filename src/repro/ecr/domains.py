@@ -1,0 +1,234 @@
+"""Attribute domains for the ECR model.
+
+The paper's Attribute Information Collection Screen (Screen 5) records a
+*domain* for every attribute (``char``, ``real`` and so on).  Domains matter
+for integration in two places:
+
+* attribute equivalence — two attributes with incompatible domains should not
+  be declared equivalent without a conversion, so the tool warns about it; and
+* schema analysis — differences in scales/units and domain constraints are
+  among the incompatibilities the DDA resolves before integration.
+
+We model a domain as a named value space with an optional refinement: an
+enumeration of allowed values or a numeric range.  The scalar kinds mirror
+what a 1988 data dictionary would hold (character strings, integers, reals,
+dates and booleans).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class DomainKind(enum.Enum):
+    """The base value space of a domain."""
+
+    CHAR = "char"
+    INTEGER = "integer"
+    REAL = "real"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Domain-kind aliases accepted by :func:`domain_from_name` (DDL, screens).
+_KIND_ALIASES = {
+    "char": DomainKind.CHAR,
+    "character": DomainKind.CHAR,
+    "string": DomainKind.CHAR,
+    "str": DomainKind.CHAR,
+    "text": DomainKind.CHAR,
+    "int": DomainKind.INTEGER,
+    "integer": DomainKind.INTEGER,
+    "real": DomainKind.REAL,
+    "float": DomainKind.REAL,
+    "number": DomainKind.REAL,
+    "numeric": DomainKind.REAL,
+    "date": DomainKind.DATE,
+    "time": DomainKind.DATE,
+    "datetime": DomainKind.DATE,
+    "bool": DomainKind.BOOLEAN,
+    "boolean": DomainKind.BOOLEAN,
+}
+
+#: Kinds whose values can be converted into one another without losing the
+#: ability to compare (used by :func:`domains_compatible`).
+_COMPATIBLE_KINDS = {
+    frozenset({DomainKind.INTEGER, DomainKind.REAL}),
+}
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A named attribute value space.
+
+    Parameters
+    ----------
+    kind:
+        The base value space.
+    length:
+        Optional maximum length for :attr:`DomainKind.CHAR` domains
+        (``char(20)`` in the DDL).
+    values:
+        Optional enumeration of the allowed values.  When given, the domain
+        is the enumerated subset of the base kind.
+    low, high:
+        Optional inclusive numeric bounds for integer/real domains.
+    unit:
+        Optional unit-of-measure tag (``"USD"``, ``"cm"``); differing units
+        are one of the scale incompatibilities the paper's schema-analysis
+        phase surfaces.
+    """
+
+    kind: DomainKind
+    length: int | None = None
+    values: tuple[str, ...] = field(default=())
+    low: float | None = None
+    high: float | None = None
+    unit: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.length is not None and self.length <= 0:
+            raise SchemaError(f"char length must be positive, got {self.length}")
+        if self.length is not None and self.kind is not DomainKind.CHAR:
+            raise SchemaError("length applies only to char domains")
+        numeric = self.kind in (DomainKind.INTEGER, DomainKind.REAL)
+        if (self.low is not None or self.high is not None) and not numeric:
+            raise SchemaError("range bounds apply only to numeric domains")
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise SchemaError(f"empty range [{self.low}, {self.high}]")
+
+    @property
+    def is_enumerated(self) -> bool:
+        """Whether the domain is a finite enumeration of values."""
+        return bool(self.values)
+
+    @property
+    def is_bounded(self) -> bool:
+        """Whether a numeric domain carries range bounds."""
+        return self.low is not None or self.high is not None
+
+    def spelled(self) -> str:
+        """Render the domain in the DDL / screen form (``char``, ``int(0,120)``)."""
+        base = self.kind.value
+        if self.kind is DomainKind.CHAR and self.length is not None:
+            base = f"char({self.length})"
+        if self.is_enumerated:
+            base += "{" + ",".join(self.values) + "}"
+        elif self.is_bounded:
+            low = "" if self.low is None else _spell_number(self.low)
+            high = "" if self.high is None else _spell_number(self.high)
+            base += f"[{low}..{high}]"
+        if self.unit:
+            base += f" {self.unit}"
+        return base
+
+    def contains_value(self, value: object) -> bool:
+        """Best-effort membership test used by translators and validators."""
+        if self.is_enumerated:
+            return str(value) in self.values
+        if self.kind is DomainKind.CHAR:
+            ok = isinstance(value, str)
+            if ok and self.length is not None:
+                ok = len(value) <= self.length
+            return ok
+        if self.kind is DomainKind.INTEGER:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        elif self.kind is DomainKind.REAL:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif self.kind is DomainKind.BOOLEAN:
+            return isinstance(value, bool)
+        else:  # DATE: accept ISO-format strings
+            return isinstance(value, str)
+        if ok and self.low is not None and value < self.low:
+            return False
+        if ok and self.high is not None and value > self.high:
+            return False
+        return ok
+
+    def __str__(self) -> str:
+        return self.spelled()
+
+
+def _spell_number(value: float) -> str:
+    """Render ``2.0`` as ``2`` but keep genuine fractions."""
+    if float(value).is_integer():
+        return str(int(value))
+    return str(value)
+
+
+#: Ready-made domains for the common scalar kinds.
+BUILTIN_DOMAINS: dict[str, Domain] = {
+    "char": Domain(DomainKind.CHAR),
+    "integer": Domain(DomainKind.INTEGER),
+    "real": Domain(DomainKind.REAL),
+    "date": Domain(DomainKind.DATE),
+    "boolean": Domain(DomainKind.BOOLEAN),
+}
+
+
+def domain_from_name(text: str) -> Domain:
+    """Parse a domain spelling as written on Screen 5 or in the DDL.
+
+    Accepts the base kinds and their aliases (``char``, ``string``, ``int``,
+    ``real``, ``float``, ``date``, ``bool`` ...), an optional char length
+    (``char(30)``), an optional enumeration (``char{MS,PHD}``) and an optional
+    numeric range (``int[0..120]``).
+
+    Raises
+    ------
+    SchemaError
+        If the spelling is not recognised.
+    """
+    raw = text.strip()
+    if not raw:
+        raise SchemaError("empty domain name")
+    unit = None
+    if " " in raw:
+        raw, unit = raw.split(None, 1)
+        unit = unit.strip() or None
+    values: tuple[str, ...] = ()
+    low = high = None
+    length = None
+    if raw.endswith("}") and "{" in raw:
+        raw, _, inner = raw.partition("{")
+        values = tuple(v.strip() for v in inner[:-1].split(",") if v.strip())
+        if not values:
+            raise SchemaError(f"empty enumeration in domain {text!r}")
+    elif raw.endswith("]") and "[" in raw:
+        raw, _, inner = raw.partition("[")
+        bounds = inner[:-1].split("..")
+        if len(bounds) != 2:
+            raise SchemaError(f"bad range in domain {text!r}")
+        low = float(bounds[0]) if bounds[0].strip() else None
+        high = float(bounds[1]) if bounds[1].strip() else None
+    elif raw.endswith(")") and "(" in raw:
+        raw, _, inner = raw.partition("(")
+        try:
+            length = int(inner[:-1])
+        except ValueError:
+            raise SchemaError(f"bad char length in domain {text!r}") from None
+    kind = _KIND_ALIASES.get(raw.lower())
+    if kind is None:
+        raise SchemaError(f"unknown domain {text!r}")
+    return Domain(kind, length=length, values=values, low=low, high=high, unit=unit)
+
+
+def domains_compatible(first: Domain, second: Domain) -> bool:
+    """Whether two domains can plausibly hold values for equivalent attributes.
+
+    The paper's attribute-equivalence step warns the DDA when candidate
+    attributes have incompatible domains.  Compatible means: same base kind,
+    or a pair of numeric kinds (integer/real).  Refinements (length, range,
+    enumeration, unit) never make domains incompatible by themselves — they
+    are scale differences the DDA resolves — but differing units are reported
+    separately by the validation layer.
+    """
+    if first.kind is second.kind:
+        return True
+    return frozenset({first.kind, second.kind}) in _COMPATIBLE_KINDS

@@ -1,0 +1,162 @@
+"""JSON (dict) serialisation of ECR schemas.
+
+The dict form is the interchange format between the library, the interactive
+tool's save files and the benchmark harness.  ``schema_from_dict`` is the
+exact inverse of ``schema_to_dict``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.domains import Domain, DomainKind
+from repro.ecr.objects import Category, EntitySet
+from repro.ecr.relationships import (
+    CardinalityConstraint,
+    Participation,
+    RelationshipSet,
+)
+from repro.ecr.schema import Schema
+from repro.errors import SchemaError
+
+
+def domain_to_dict(domain: Domain) -> dict[str, Any]:
+    """Serialise a domain; omits unset refinements for compactness."""
+    data: dict[str, Any] = {"kind": domain.kind.value}
+    if domain.length is not None:
+        data["length"] = domain.length
+    if domain.values:
+        data["values"] = list(domain.values)
+    if domain.low is not None:
+        data["low"] = domain.low
+    if domain.high is not None:
+        data["high"] = domain.high
+    if domain.unit:
+        data["unit"] = domain.unit
+    return data
+
+
+def domain_from_dict(data: dict[str, Any]) -> Domain:
+    """Inverse of :func:`domain_to_dict`."""
+    try:
+        kind = DomainKind(data["kind"])
+    except (KeyError, ValueError) as exc:
+        raise SchemaError(f"bad domain data {data!r}") from exc
+    return Domain(
+        kind,
+        length=data.get("length"),
+        values=tuple(data.get("values", ())),
+        low=data.get("low"),
+        high=data.get("high"),
+        unit=data.get("unit"),
+    )
+
+
+def attribute_to_dict(attribute: Attribute) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "name": attribute.name,
+        "domain": domain_to_dict(attribute.domain),
+    }
+    if attribute.is_key:
+        data["is_key"] = True
+    if attribute.description:
+        data["description"] = attribute.description
+    return data
+
+
+def attribute_from_dict(data: dict[str, Any]) -> Attribute:
+    return Attribute(
+        data["name"],
+        domain_from_dict(data.get("domain", {"kind": "char"})),
+        bool(data.get("is_key", False)),
+        data.get("description", ""),
+    )
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Serialise a schema to plain dicts/lists suitable for ``json.dump``."""
+    structures: list[dict[str, Any]] = []
+    for structure in schema:
+        entry: dict[str, Any] = {
+            "name": structure.name,
+            "kind": structure.kind.value,
+            "attributes": [
+                attribute_to_dict(attribute) for attribute in structure.attributes
+            ],
+        }
+        if structure.description:
+            entry["description"] = structure.description
+        if isinstance(structure, Category):
+            entry["parents"] = list(structure.parents)
+        elif isinstance(structure, RelationshipSet):
+            entry["participations"] = [
+                _participation_to_dict(participation)
+                for participation in structure.participations
+            ]
+        structures.append(entry)
+    data: dict[str, Any] = {"name": schema.name, "structures": structures}
+    if schema.description:
+        data["description"] = schema.description
+    return data
+
+
+def schema_from_dict(data: dict[str, Any]) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    try:
+        schema = Schema(data["name"], data.get("description", ""))
+    except KeyError as exc:
+        raise SchemaError(f"schema data missing {exc}") from exc
+    for entry in data.get("structures", ()):
+        kind = entry.get("kind")
+        attributes = [
+            attribute_from_dict(attr) for attr in entry.get("attributes", ())
+        ]
+        common = {
+            "name": entry["name"],
+            "attributes": attributes,
+            "description": entry.get("description", ""),
+        }
+        if kind == "e":
+            schema.add(EntitySet(**common))
+        elif kind == "c":
+            schema.add(Category(**common, parents=list(entry.get("parents", ()))))
+        elif kind == "r":
+            participations = [
+                _participation_from_dict(leg)
+                for leg in entry.get("participations", ())
+            ]
+            schema.add(RelationshipSet(**common, participations=participations))
+        else:
+            raise SchemaError(f"unknown structure kind {kind!r}")
+    return schema
+
+
+def schema_to_json(schema: Schema, indent: int = 2) -> str:
+    """Serialise a schema to a JSON string."""
+    return json.dumps(schema_to_dict(schema), indent=indent)
+
+
+def schema_from_json(text: str) -> Schema:
+    """Parse a schema from a JSON string."""
+    return schema_from_dict(json.loads(text))
+
+
+def _participation_to_dict(participation: Participation) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "object": participation.object_name,
+        "min": participation.cardinality.min,
+        "max": participation.cardinality.max,
+    }
+    if participation.role:
+        data["role"] = participation.role
+    return data
+
+
+def _participation_from_dict(data: dict[str, Any]) -> Participation:
+    return Participation(
+        data["object"],
+        CardinalityConstraint(data.get("min", 0), data.get("max", -1)),
+        data.get("role", ""),
+    )

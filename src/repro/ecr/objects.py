@@ -1,0 +1,183 @@
+"""Object classes of the ECR model: entity sets and categories.
+
+The paper uses *object class* as the umbrella term for entity sets and
+categories (Section 2).  Entity sets are disjoint top-level classifications;
+a category is a named subset of one or more object classes and inherits
+their attributes, which is how generalisation hierarchies and the IS-A
+lattices produced by integration are represented.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ecr.attributes import Attribute, check_identifier
+from repro.errors import DuplicateNameError, SchemaError, UnknownNameError
+
+
+class ObjectKind(enum.Enum):
+    """Structure type as entered on Screen 3 (``Type(E/C/R)``)."""
+
+    ENTITY = "e"
+    CATEGORY = "c"
+    RELATIONSHIP = "r"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ObjectClass:
+    """Common behaviour of entity sets and categories.
+
+    An object class owns an ordered collection of attributes with unique
+    names.  Order is preserved because the tool's screens display attributes
+    in entry order.
+    """
+
+    name: str
+    attributes: list[Attribute] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name, self.kind_label())
+        seen: set[str] = set()
+        for attribute in self.attributes:
+            if attribute.name in seen:
+                raise DuplicateNameError("attribute", attribute.name, self.name)
+            seen.add(attribute.name)
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def kind(self) -> ObjectKind:
+        raise NotImplementedError
+
+    def kind_label(self) -> str:
+        """Human-readable kind used in error messages and screens."""
+        return "object class"
+
+    @property
+    def is_entity_set(self) -> bool:
+        return self.kind is ObjectKind.ENTITY
+
+    @property
+    def is_category(self) -> bool:
+        return self.kind is ObjectKind.CATEGORY
+
+    # -- attribute management ----------------------------------------------
+
+    def attribute_names(self) -> list[str]:
+        """Names of the directly owned (non-inherited) attributes, in order."""
+        return [attribute.name for attribute in self.attributes]
+
+    def has_attribute(self, name: str) -> bool:
+        return any(attribute.name == name for attribute in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Fetch a directly owned attribute by name.
+
+        Raises
+        ------
+        UnknownNameError
+            If no attribute of that name is owned by this object class.
+        """
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise UnknownNameError("attribute", name, self.name)
+
+    def add_attribute(self, attribute: Attribute) -> Attribute:
+        """Append an attribute, enforcing name uniqueness."""
+        if self.has_attribute(attribute.name):
+            raise DuplicateNameError("attribute", attribute.name, self.name)
+        self.attributes.append(attribute)
+        return attribute
+
+    def remove_attribute(self, name: str) -> Attribute:
+        """Remove and return the attribute called ``name``."""
+        removed = self.attribute(name)
+        self.attributes.remove(removed)
+        return removed
+
+    def key_attributes(self) -> list[Attribute]:
+        """The attributes flagged as keys on Screen 5."""
+        return [attribute for attribute in self.attributes if attribute.is_key]
+
+    def __str__(self) -> str:
+        return f"{self.kind_label()} {self.name}"
+
+
+@dataclass
+class EntitySet(ObjectClass):
+    """A top-level classification of entities with similar basic attributes.
+
+    Entity sets are disjoint: a given entity belongs to exactly one entity
+    set (Section 2 of the paper).
+    """
+
+    @property
+    def kind(self) -> ObjectKind:
+        return ObjectKind.ENTITY
+
+    def kind_label(self) -> str:
+        return "entity set"
+
+
+@dataclass
+class Category(ObjectClass):
+    """A named subset of one or more object classes.
+
+    ``parents`` lists the names of the object classes (entity sets or other
+    categories) the category is defined over — what the paper's Category
+    Information Collection Screen calls the entities and categories
+    *connected* to the category.  A category inherits the attributes of its
+    parents; its own ``attributes`` list holds only the additional ones
+    (for example ``Support_type`` on ``Grad_student``).
+
+    A category over multiple parents models a subset of their union, which
+    is how the integration phase attaches the original classes beneath a
+    derived ``D_`` parent.
+    """
+
+    parents: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.parents:
+            raise SchemaError(f"category {self.name!r} must have at least one parent")
+        seen: set[str] = set()
+        for parent in self.parents:
+            check_identifier(parent, "parent object class")
+            if parent in seen:
+                raise DuplicateNameError("parent", parent, self.name)
+            if parent == self.name:
+                raise SchemaError(f"category {self.name!r} cannot be its own parent")
+            seen.add(parent)
+
+    @property
+    def kind(self) -> ObjectKind:
+        return ObjectKind.CATEGORY
+
+    def kind_label(self) -> str:
+        return "category"
+
+    def add_parent(self, parent: str) -> None:
+        """Attach an additional parent object class by name."""
+        check_identifier(parent, "parent object class")
+        if parent == self.name:
+            raise SchemaError(f"category {self.name!r} cannot be its own parent")
+        if parent in self.parents:
+            raise DuplicateNameError("parent", parent, self.name)
+        self.parents.append(parent)
+
+    def remove_parent(self, parent: str) -> None:
+        """Detach a parent; a category must always keep at least one."""
+        if parent not in self.parents:
+            raise UnknownNameError("parent", parent, self.name)
+        if len(self.parents) == 1:
+            raise SchemaError(
+                f"category {self.name!r} must keep at least one parent"
+            )
+        self.parents.remove(parent)

@@ -1,0 +1,175 @@
+"""Schema-modification operations for the schema-analysis phase.
+
+The paper (Phase 2): *"In some cases, schema constructs in one component
+schema may need to be changed to become more compatible with equivalent
+schema constructs in other component schemas.  For example, an attribute in
+one component schema may correspond to an entity type in another.  One of
+the two representations must be chosen so that equivalent concepts can be
+integrated."*  The tool leaves these changes to the DDA ("by going back to
+the first phase"); this module provides the standard representation
+changes as safe, validated operations:
+
+* :func:`promote_attribute_to_entity` — attribute → entity set plus a
+  connecting relationship set (Department name becomes a Department
+  entity);
+* :func:`demote_entity_to_attribute` — the inverse, for a single-attribute
+  entity set reached by one binary relationship;
+* :func:`reify_relationship` — relationship set → entity set plus one
+  binary relationship per original leg (the future-work *marriage*
+  example: a marriage relationship in one schema, a marriage entity in
+  another).
+"""
+
+from __future__ import annotations
+
+from repro.ecr.attributes import Attribute, check_identifier
+from repro.ecr.objects import EntitySet
+from repro.ecr.relationships import (
+    CardinalityConstraint,
+    Participation,
+    RelationshipSet,
+)
+from repro.ecr.schema import Schema
+from repro.errors import SchemaError
+
+
+def promote_attribute_to_entity(
+    schema: Schema,
+    object_name: str,
+    attribute_name: str,
+    entity_name: str | None = None,
+    relationship_name: str | None = None,
+) -> EntitySet:
+    """Turn ``object.attribute`` into its own entity set.
+
+    The attribute is removed from its owner; a new entity set named
+    ``entity_name`` (default: the attribute name) is created whose single
+    key attribute is the promoted one; and a relationship set
+    ``relationship_name`` (default ``Has_<attribute>``) connects the owner
+    ``(1,1)`` to the new entity ``(0,n)`` — each owner instance has one
+    value, each value may describe many owners.
+
+    Returns the new entity set.
+    """
+    owner = schema.object_class(object_name)
+    attribute = owner.attribute(attribute_name)
+    entity_name = entity_name or attribute_name
+    relationship_name = relationship_name or f"Has_{attribute_name}"
+    check_identifier(entity_name, "entity set")
+    check_identifier(relationship_name, "relationship set")
+    if entity_name in schema:
+        raise SchemaError(f"{entity_name!r} already exists in {schema.name!r}")
+    if relationship_name in schema:
+        raise SchemaError(
+            f"{relationship_name!r} already exists in {schema.name!r}"
+        )
+    owner.remove_attribute(attribute_name)
+    entity = EntitySet(
+        entity_name,
+        [Attribute(attribute.name, attribute.domain, True)],
+        f"promoted from {object_name}.{attribute_name}",
+    )
+    schema.add(entity)
+    schema.add(
+        RelationshipSet(
+            relationship_name,
+            participations=[
+                Participation(object_name, CardinalityConstraint(1, 1)),
+                Participation(entity_name, CardinalityConstraint(0, -1)),
+            ],
+        )
+    )
+    return entity
+
+
+def demote_entity_to_attribute(
+    schema: Schema,
+    entity_name: str,
+    relationship_name: str,
+) -> Attribute:
+    """Fold a single-attribute entity set back into its partner.
+
+    ``relationship_name`` must be a binary relationship connecting the
+    entity to exactly one other object class; that class absorbs the
+    entity's attribute.  The entity set must not be referenced by anything
+    else (no categories, no other relationship sets).
+
+    Returns the attribute created on the absorbing class.
+    """
+    entity = schema.entity_set(entity_name)
+    if len(entity.attributes) != 1:
+        raise SchemaError(
+            f"{entity_name!r} has {len(entity.attributes)} attributes; "
+            "only single-attribute entity sets can be demoted"
+        )
+    relationship = schema.relationship_set(relationship_name)
+    if not relationship.connects(entity_name) or relationship.degree != 2:
+        raise SchemaError(
+            f"{relationship_name!r} must be a binary relationship "
+            f"connecting {entity_name!r}"
+        )
+    others = [
+        leg.object_name
+        for leg in relationship.participations
+        if leg.object_name != entity_name
+    ]
+    if len(others) != 1:
+        raise SchemaError(
+            f"{relationship_name!r} does not connect {entity_name!r} "
+            "to exactly one partner"
+        )
+    partner = schema.object_class(others[0])
+    source = entity.attributes[0]
+    absorbed = Attribute(source.name, source.domain, False)
+    # remove the relationship first so the entity becomes unreferenced
+    schema.remove(relationship_name)
+    try:
+        schema.remove(entity_name)
+    except SchemaError:
+        # restore the relationship before failing: the entity is still used
+        schema.add(relationship)
+        raise
+    partner.add_attribute(absorbed)
+    return absorbed
+
+
+def reify_relationship(
+    schema: Schema,
+    relationship_name: str,
+    entity_name: str | None = None,
+) -> EntitySet:
+    """Replace a relationship set by an entity set plus per-leg links.
+
+    The new entity set (default name: the relationship's) owns the
+    relationship's attributes; for every original leg a binary relationship
+    ``<entity>_<leg>`` connects the new entity ``(1,1)`` to the original
+    participant with the original constraint.  This converts a *marriage*
+    relationship into a *Marriage* entity so it can be integrated with a
+    schema that models marriages as entities.
+    """
+    relationship = schema.relationship_set(relationship_name)
+    entity_name = entity_name or relationship_name
+    check_identifier(entity_name, "entity set")
+    legs = list(relationship.participations)
+    attributes = [
+        Attribute(a.name, a.domain, a.is_key) for a in relationship.attributes
+    ]
+    schema.remove(relationship_name)
+    if entity_name in schema:
+        schema.add(relationship)  # restore before failing
+        raise SchemaError(f"{entity_name!r} already exists in {schema.name!r}")
+    entity = EntitySet(
+        entity_name, attributes, f"reified from relationship {relationship_name}"
+    )
+    schema.add(entity)
+    for leg in legs:
+        schema.add(
+            RelationshipSet(
+                f"{entity_name}_{leg.label}",
+                participations=[
+                    Participation(entity_name, CardinalityConstraint(1, 1)),
+                    Participation(leg.object_name, leg.cardinality, leg.role),
+                ],
+            )
+        )
+    return entity

@@ -1,0 +1,225 @@
+"""Relationship sets and structural (cardinality) constraints.
+
+A relationship set associates entities from two or more object classes
+(Section 2 of the paper).  Each participation of an object class carries a
+cardinality constraint ``(i1, i2)`` with ``0 <= i1 <= i2`` and ``i2 > 0``:
+every member of the object class takes part in at least ``i1`` and at most
+``i2`` relationship instances.  ``i2`` may be unbounded (``n`` in diagrams),
+represented here by :data:`CARDINALITY_MANY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecr.attributes import check_identifier
+from repro.ecr.objects import ObjectClass, ObjectKind
+from repro.errors import DuplicateNameError, SchemaError, UnknownNameError
+
+#: Sentinel for an unbounded maximum cardinality (rendered as ``n``).
+CARDINALITY_MANY: int = -1
+
+
+@dataclass(frozen=True)
+class CardinalityConstraint:
+    """The ``(min, max)`` participation bounds of the ECR model.
+
+    ``max`` is either a positive integer or :data:`CARDINALITY_MANY`.
+    """
+
+    min: int = 0
+    max: int = CARDINALITY_MANY
+
+    def __post_init__(self) -> None:
+        if self.min < 0:
+            raise SchemaError(f"minimum cardinality must be >= 0, got {self.min}")
+        if self.max == 0:
+            raise SchemaError("maximum cardinality must be positive")
+        if self.max != CARDINALITY_MANY and self.max < self.min:
+            raise SchemaError(
+                f"maximum cardinality {self.max} below minimum {self.min}"
+            )
+
+    @property
+    def is_many(self) -> bool:
+        """Whether the maximum participation is unbounded."""
+        return self.max == CARDINALITY_MANY
+
+    @property
+    def is_mandatory(self) -> bool:
+        """Whether every member must participate at least once."""
+        return self.min >= 1
+
+    def admits(self, count: int) -> bool:
+        """Whether ``count`` participations satisfy the constraint."""
+        if count < self.min:
+            return False
+        return self.is_many or count <= self.max
+
+    def intersect(self, other: "CardinalityConstraint") -> "CardinalityConstraint":
+        """Tightest constraint satisfying both (used when merging relationships).
+
+        Raises
+        ------
+        SchemaError
+            If the two constraints are contradictory (empty intersection).
+        """
+        low = max(self.min, other.min)
+        if self.is_many:
+            high = other.max
+        elif other.is_many:
+            high = self.max
+        else:
+            high = min(self.max, other.max)
+        if high != CARDINALITY_MANY and high < low:
+            raise SchemaError(
+                f"cardinality constraints {self} and {other} are contradictory"
+            )
+        return CardinalityConstraint(low, high)
+
+    def union(self, other: "CardinalityConstraint") -> "CardinalityConstraint":
+        """Loosest constraint admitting anything either side admits."""
+        low = min(self.min, other.min)
+        if self.is_many or other.is_many:
+            high = CARDINALITY_MANY
+        else:
+            high = max(self.max, other.max)
+        return CardinalityConstraint(low, high)
+
+    def spelled(self) -> str:
+        high = "n" if self.is_many else str(self.max)
+        return f"({self.min},{high})"
+
+    def __str__(self) -> str:
+        return self.spelled()
+
+    @classmethod
+    def parse(cls, text: str) -> "CardinalityConstraint":
+        """Parse ``"(1,n)"`` / ``"0,1"`` into a constraint."""
+        raw = text.strip()
+        if raw.startswith("(") and raw.endswith(")"):
+            raw = raw[1:-1]
+        parts = [part.strip() for part in raw.split(",")]
+        if len(parts) != 2:
+            raise SchemaError(f"cardinality must be (min,max), got {text!r}")
+        try:
+            low = int(parts[0])
+        except ValueError:
+            raise SchemaError(f"bad minimum cardinality in {text!r}") from None
+        if parts[1].lower() in ("n", "m", "*"):
+            high = CARDINALITY_MANY
+        else:
+            try:
+                high = int(parts[1])
+            except ValueError:
+                raise SchemaError(f"bad maximum cardinality in {text!r}") from None
+        return cls(low, high)
+
+
+@dataclass(frozen=True)
+class Participation:
+    """One leg of a relationship set: an object class plus its constraint.
+
+    ``role`` optionally names the leg (needed when the same object class
+    participates twice, e.g. ``Employee`` as ``manager`` and ``subordinate``).
+    """
+
+    object_name: str
+    cardinality: CardinalityConstraint = field(default_factory=CardinalityConstraint)
+    role: str = ""
+
+    def __post_init__(self) -> None:
+        check_identifier(self.object_name, "participating object class")
+        if self.role:
+            check_identifier(self.role, "role")
+
+    @property
+    def label(self) -> str:
+        """The name that identifies this leg inside its relationship set."""
+        return self.role or self.object_name
+
+    def __str__(self) -> str:
+        role = f" as {self.role}" if self.role else ""
+        return f"{self.object_name}{role} {self.cardinality}"
+
+
+@dataclass
+class RelationshipSet(ObjectClass):
+    """A collection of relationships of the same type over the same classes.
+
+    Relationship sets may own attributes of their own (Screen 3 shows
+    ``Majors`` with one attribute), and connect two or more participations
+    (Screen 4 collects them).
+    """
+
+    participations: list[Participation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        seen: set[str] = set()
+        for participation in self.participations:
+            if participation.label in seen:
+                raise DuplicateNameError(
+                    "participation", participation.label, self.name
+                )
+            seen.add(participation.label)
+
+    @property
+    def kind(self) -> ObjectKind:
+        return ObjectKind.RELATIONSHIP
+
+    def kind_label(self) -> str:
+        return "relationship set"
+
+    @property
+    def degree(self) -> int:
+        """Number of participating legs (2 for binary relationships)."""
+        return len(self.participations)
+
+    def participant_names(self) -> list[str]:
+        """Names of the participating object classes, in declaration order."""
+        return [participation.object_name for participation in self.participations]
+
+    def participation_for(self, label: str) -> Participation:
+        """Fetch a leg by role name (or object-class name when unnamed)."""
+        for participation in self.participations:
+            if participation.label == label:
+                return participation
+        raise UnknownNameError("participation", label, self.name)
+
+    def connects(self, object_name: str) -> bool:
+        """Whether the named object class participates in this set."""
+        return object_name in self.participant_names()
+
+    def add_participation(self, participation: Participation) -> Participation:
+        """Attach another leg, enforcing label uniqueness."""
+        labels = {existing.label for existing in self.participations}
+        if participation.label in labels:
+            raise DuplicateNameError("participation", participation.label, self.name)
+        self.participations.append(participation)
+        return participation
+
+    def remove_participation(self, label: str) -> Participation:
+        """Detach the leg identified by ``label`` and return it."""
+        removed = self.participation_for(label)
+        self.participations.remove(removed)
+        return removed
+
+    def replace_participant(self, old_name: str, new_name: str) -> int:
+        """Re-point every leg on ``old_name`` to ``new_name``.
+
+        Used during integration when a participating object class is merged
+        into an ``E_``/``D_`` class.  Returns the number of legs changed.
+        """
+        changed = 0
+        for index, participation in enumerate(self.participations):
+            if participation.object_name == old_name:
+                self.participations[index] = Participation(
+                    new_name, participation.cardinality, participation.role
+                )
+                changed += 1
+        return changed
+
+    def __str__(self) -> str:
+        legs = ", ".join(str(participation) for participation in self.participations)
+        return f"relationship set {self.name} ({legs})"

@@ -1,0 +1,186 @@
+"""Well-formedness validation of ECR schemas.
+
+The tool keeps the DDA from building malformed schemas interactively; the
+library equivalent is a validator that walks a schema and reports issues.
+Errors are structural faults (dangling references, cycles); warnings are
+design smells the schema-analysis phase would flag for DDA attention
+(entity sets without keys, unit mismatches on equally named attributes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ecr.schema import Schema
+from repro.ecr.walk import superclass_closure
+from repro.errors import SchemaError, ValidationError
+
+
+class Severity(enum.Enum):
+    """Whether an issue makes the schema unusable or merely suspicious."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding of the validator, tied to the structure it concerns."""
+
+    severity: Severity
+    structure: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.structure}: {self.message}"
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+
+def validate_schema(schema: Schema) -> list[ValidationIssue]:
+    """Validate a schema, returning all issues found (possibly none).
+
+    Checks performed:
+
+    * category parents exist and are object classes, not relationship sets;
+    * the IS-A graph is acyclic;
+    * relationship participations reference existing object classes;
+    * relationship sets have at least two legs;
+    * a category does not redeclare an inherited attribute name;
+    * entity sets carry at least one key attribute (warning);
+    * equally named attributes across a generalisation edge have compatible
+      domains (warning).
+    """
+    issues: list[ValidationIssue] = []
+    issues.extend(_check_category_parents(schema))
+    issues.extend(_check_isa_acyclic(schema))
+    issues.extend(_check_relationships(schema))
+    issues.extend(_check_attribute_shadowing(schema))
+    issues.extend(_check_entity_keys(schema))
+    return issues
+
+
+def assert_valid(schema: Schema) -> None:
+    """Raise :class:`~repro.errors.ValidationError` on any *error* issue."""
+    errors = [issue for issue in validate_schema(schema) if issue.is_error]
+    if errors:
+        raise ValidationError(errors)
+
+
+def is_valid(schema: Schema) -> bool:
+    """Whether the schema has no error-severity issues."""
+    return not any(issue.is_error for issue in validate_schema(schema))
+
+
+def _check_category_parents(schema: Schema) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    object_names = {structure.name for structure in schema.object_classes()}
+    relationship_names = {rel.name for rel in schema.relationship_sets()}
+    for category in schema.categories():
+        for parent in category.parents:
+            if parent in relationship_names:
+                issues.append(
+                    ValidationIssue(
+                        Severity.ERROR,
+                        category.name,
+                        f"parent {parent!r} is a relationship set, "
+                        "not an object class",
+                    )
+                )
+            elif parent not in object_names:
+                issues.append(
+                    ValidationIssue(
+                        Severity.ERROR,
+                        category.name,
+                        f"parent {parent!r} does not exist",
+                    )
+                )
+    return issues
+
+
+def _check_isa_acyclic(schema: Schema) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    object_names = {structure.name for structure in schema.object_classes()}
+    for category in schema.categories():
+        if any(parent not in object_names for parent in category.parents):
+            continue  # dangling parents reported separately
+        try:
+            superclass_closure(schema, category.name)
+        except SchemaError as exc:
+            issues.append(
+                ValidationIssue(Severity.ERROR, category.name, str(exc))
+            )
+    return issues
+
+
+def _check_relationships(schema: Schema) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    object_names = {structure.name for structure in schema.object_classes()}
+    for relationship in schema.relationship_sets():
+        if relationship.degree < 2:
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    relationship.name,
+                    f"relationship set must connect at least two legs, "
+                    f"has {relationship.degree}",
+                )
+            )
+        for participation in relationship.participations:
+            if participation.object_name not in object_names:
+                issues.append(
+                    ValidationIssue(
+                        Severity.ERROR,
+                        relationship.name,
+                        f"participant {participation.object_name!r} "
+                        "does not exist",
+                    )
+                )
+    return issues
+
+
+def _check_attribute_shadowing(schema: Schema) -> list[ValidationIssue]:
+    """A category redeclaring an inherited attribute name is ambiguous."""
+    issues: list[ValidationIssue] = []
+    object_names = {structure.name for structure in schema.object_classes()}
+    for category in schema.categories():
+        if any(parent not in object_names for parent in category.parents):
+            continue
+        try:
+            ancestors = superclass_closure(schema, category.name)
+        except SchemaError:
+            continue  # cycle reported separately
+        inherited: set[str] = set()
+        for ancestor in ancestors:
+            inherited.update(schema.object_class(ancestor).attribute_names())
+        for attribute in category.attributes:
+            if attribute.name in inherited:
+                issues.append(
+                    ValidationIssue(
+                        Severity.WARNING,
+                        category.name,
+                        f"attribute {attribute.name!r} shadows an "
+                        "inherited attribute",
+                    )
+                )
+    return issues
+
+
+def _check_entity_keys(schema: Schema) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    for entity in schema.entity_sets():
+        if not entity.key_attributes():
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    entity.name,
+                    "entity set has no key attribute",
+                )
+            )
+    return issues

@@ -1,0 +1,69 @@
+"""Attribute equivalence and object-class resemblance (Phase 2).
+
+This package implements the paper's schema-analysis machinery:
+
+* an **equivalence registry** over fully qualified attributes, maintaining
+  the equivalence classes the DDA creates on Screen 7 (using the simplified
+  equivalent/non-equivalent form of Larson et al. 1987);
+* the **Attribute Class Similarity (ACS) matrix** recording, per pair of
+  object classes, which of their attributes are equivalent;
+* the **Object Class Similarity (OCS) matrix** counting equivalent
+  attributes for each cross-schema object pair, derived from the ACS;
+* the **resemblance function** — attribute ratio — and the future-work
+  extensions (name similarity, synonym dictionary, weighted combinations);
+* **candidate ordering**: the ranked list of object pairs shown to the DDA
+  on Screen 8; and
+* **suggestion heuristics** that propose candidate attribute equivalences
+  automatically (the paper's "syntactic processing enhancements").
+"""
+
+from repro.equivalence.union_find import DisjointSet
+from repro.equivalence.registry import EquivalenceRegistry, EquivalenceIssue
+from repro.equivalence.acs import AcsMatrix, AcsCell
+from repro.equivalence.ocs import OcsMatrix, OcsEntry
+from repro.equivalence.resemblance import (
+    attribute_ratio,
+    AttributeRatio,
+    NameResemblance,
+    KeyResemblance,
+    DomainResemblance,
+    WeightedResemblance,
+    name_similarity,
+)
+from repro.equivalence.ordering import CandidatePair, ordered_object_pairs
+from repro.equivalence.synonyms import SynonymDictionary, DEFAULT_SYNONYMS
+from repro.equivalence.constructs import (
+    ConstructConflict,
+    suggest_construct_conflicts,
+)
+from repro.equivalence.heuristics import (
+    EquivalenceSuggestion,
+    suggest_equivalences,
+    apply_suggestions,
+)
+
+__all__ = [
+    "DisjointSet",
+    "EquivalenceRegistry",
+    "EquivalenceIssue",
+    "AcsMatrix",
+    "AcsCell",
+    "OcsMatrix",
+    "OcsEntry",
+    "attribute_ratio",
+    "AttributeRatio",
+    "NameResemblance",
+    "KeyResemblance",
+    "DomainResemblance",
+    "WeightedResemblance",
+    "name_similarity",
+    "CandidatePair",
+    "ordered_object_pairs",
+    "SynonymDictionary",
+    "DEFAULT_SYNONYMS",
+    "ConstructConflict",
+    "suggest_construct_conflicts",
+    "EquivalenceSuggestion",
+    "suggest_equivalences",
+    "apply_suggestions",
+]

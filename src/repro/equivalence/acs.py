@@ -1,0 +1,100 @@
+"""The Attribute Class Similarity (ACS) matrix.
+
+The paper: *"The tool maintains a structure called Attribute Class
+Similarity (ACS) matrix, which maintains all the equivalence class
+definitions given in this phase."*  We expose it as a queryable view over
+the equivalence registry: one row/column per attribute of the two schemas
+being integrated, each cell saying whether the two attributes are in the
+same equivalence class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecr.attributes import AttributeRef
+from repro.equivalence.registry import EquivalenceRegistry
+
+
+@dataclass(frozen=True)
+class AcsCell:
+    """One cell of the ACS matrix: an attribute pair plus its status."""
+
+    row: AttributeRef
+    column: AttributeRef
+    equivalent: bool
+
+    def __str__(self) -> str:
+        mark = "~" if self.equivalent else "/"
+        return f"{self.row} {mark} {self.column}"
+
+
+class AcsMatrix:
+    """ACS matrix between two registered schemas.
+
+    Rows are the attributes of ``first_schema``, columns those of
+    ``second_schema``, both in schema declaration order.
+    """
+
+    def __init__(
+        self,
+        registry: EquivalenceRegistry,
+        first_schema: str,
+        second_schema: str,
+    ) -> None:
+        self._registry = registry
+        self.first_schema = first_schema
+        self.second_schema = second_schema
+        self._rows = registry.schema(first_schema).all_attribute_refs()
+        self._columns = registry.schema(second_schema).all_attribute_refs()
+
+    @property
+    def rows(self) -> list[AttributeRef]:
+        """Attributes of the first schema, in declaration order."""
+        return list(self._rows)
+
+    @property
+    def columns(self) -> list[AttributeRef]:
+        """Attributes of the second schema, in declaration order."""
+        return list(self._columns)
+
+    def cell(self, row: AttributeRef, column: AttributeRef) -> AcsCell:
+        """The cell for one attribute pair."""
+        return AcsCell(
+            row, column, self._registry.are_equivalent(row, column)
+        )
+
+    def equivalent_pairs(self) -> list[tuple[AttributeRef, AttributeRef]]:
+        """All cross-schema attribute pairs currently marked equivalent."""
+        pairs: list[tuple[AttributeRef, AttributeRef]] = []
+        column_numbers = {
+            column: self._registry.class_number(column) for column in self._columns
+        }
+        for row in self._rows:
+            row_number = self._registry.class_number(row)
+            for column, column_number in column_numbers.items():
+                if row_number == column_number:
+                    pairs.append((row, column))
+        return pairs
+
+    def as_booleans(self) -> list[list[bool]]:
+        """Dense boolean matrix (row-major) for numeric consumers."""
+        column_numbers = [
+            self._registry.class_number(column) for column in self._columns
+        ]
+        matrix: list[list[bool]] = []
+        for row in self._rows:
+            row_number = self._registry.class_number(row)
+            matrix.append([row_number == num for num in column_numbers])
+        return matrix
+
+    def render(self, max_width: int = 100) -> str:
+        """Human-readable rendering used by the tool's debug view."""
+        header = "ACS %s x %s" % (self.first_schema, self.second_schema)
+        lines = [header, "=" * len(header)]
+        for row, bools in zip(self._rows, self.as_booleans()):
+            marks = "".join("X" if flag else "." for flag in bools)
+            lines.append(f"{str(row):<40.40} {marks}")
+        legend = "columns: " + ", ".join(str(column) for column in self._columns)
+        lines.append(legend[:max_width])
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,102 @@
+"""Cross-construct conflict detection (the future-work "marriage" case).
+
+The paper: *"in one schema, a marriage between two people may be
+represented as an entity set, while in another schema a marriage may be
+represented as a relationship... the entity set marriage and the
+relationship set marriage could be identified as equivalent if they both
+have attributes marriage-date, marriage-location, number of children,
+etc.  We feel that in many cases, common attributes indicate that
+constructs of different types may have corresponding roles."*
+
+:func:`suggest_construct_conflicts` implements that heuristic: it scores
+every (object class, relationship set) pair across two schemas by shared
+equivalent attributes and name similarity, and reports the candidates a
+DDA should consider re-representing (with
+:mod:`repro.ecr.refactor` operations) before integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecr.schema import ObjectRef
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.equivalence.resemblance import name_similarity
+
+
+@dataclass(frozen=True)
+class ConstructConflict:
+    """An entity/relationship pair that may model the same concept."""
+
+    object_class: ObjectRef
+    relationship_set: ObjectRef
+    shared_attributes: int
+    name_score: float
+    score: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.object_class} (object) ~ {self.relationship_set} "
+            f"(relationship): {self.shared_attributes} shared attribute(s), "
+            f"name similarity {self.name_score:.2f}"
+        )
+
+
+def suggest_construct_conflicts(
+    registry: EquivalenceRegistry,
+    first_schema: str,
+    second_schema: str,
+    min_shared: int = 1,
+    min_score: float = 0.3,
+) -> list[ConstructConflict]:
+    """Candidate entity/relationship correspondences across two schemas.
+
+    Scored as ``shared_ratio/2 + name_similarity/2`` where ``shared_ratio``
+    is the fraction of the smaller attribute set covered by shared
+    equivalence classes.  Pairs below ``min_shared`` shared attributes or
+    ``min_score`` total are dropped.  Both orientations are checked
+    (object in the first schema vs. relationship in the second, and the
+    reverse).
+    """
+    conflicts: list[ConstructConflict] = []
+    for object_home, relationship_home in (
+        (first_schema, second_schema),
+        (second_schema, first_schema),
+    ):
+        object_side = registry.schema(object_home)
+        relationship_side = registry.schema(relationship_home)
+        for structure in object_side.object_classes():
+            for relationship in relationship_side.relationship_sets():
+                if not structure.attributes or not relationship.attributes:
+                    continue
+                shared = registry.equivalent_class_count(
+                    (object_home, structure.name),
+                    (relationship_home, relationship.name),
+                )
+                if shared < min_shared:
+                    continue
+                smaller = min(
+                    len(structure.attributes), len(relationship.attributes)
+                )
+                shared_ratio = shared / smaller
+                name_score = name_similarity(structure.name, relationship.name)
+                score = shared_ratio / 2 + name_score / 2
+                if score < min_score:
+                    continue
+                conflicts.append(
+                    ConstructConflict(
+                        ObjectRef(object_home, structure.name),
+                        ObjectRef(relationship_home, relationship.name),
+                        shared,
+                        round(name_score, 4),
+                        round(score, 4),
+                    )
+                )
+    conflicts.sort(
+        key=lambda conflict: (
+            -conflict.score,
+            conflict.object_class,
+            conflict.relationship_set,
+        )
+    )
+    return conflicts

@@ -1,0 +1,107 @@
+"""Automatic suggestion of attribute equivalences.
+
+The paper's tool requires the DDA to declare every attribute equivalence by
+hand; its future-work section proposes "syntactic processing enhancements":
+string-matching heuristics and a synonym/antonym dictionary that surface
+*candidate* pairs of equivalent attributes.  This module implements those
+enhancements.  Suggestions are exactly that — the DDA (or an oracle in the
+benchmarks) still accepts or rejects each one; ``apply_suggestions`` exists
+for fully automatic pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecr.attributes import AttributeRef
+from repro.ecr.domains import domains_compatible
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.equivalence.resemblance import name_similarity
+from repro.equivalence.synonyms import SynonymDictionary
+
+
+@dataclass(frozen=True)
+class EquivalenceSuggestion:
+    """A proposed attribute equivalence with its evidence score."""
+
+    first: AttributeRef
+    second: AttributeRef
+    score: float
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.first} ~ {self.second} ({self.score:.2f}: {self.reason})"
+
+
+def suggest_equivalences(
+    registry: EquivalenceRegistry,
+    first_schema: str,
+    second_schema: str,
+    synonyms: SynonymDictionary | None = None,
+    threshold: float = 0.75,
+) -> list[EquivalenceSuggestion]:
+    """Propose cross-schema attribute equivalences above ``threshold``.
+
+    Scoring combines, per attribute pair:
+
+    * name similarity (normalised edit distance), raised to 1.0 for
+      dictionary synonyms and vetoed for antonyms;
+    * a small bonus when both attributes are keys (the "identifiers with
+      similar names" resemblance of SIS); and
+    * a veto when the domains are incompatible (equivalent attributes must
+      hold comparable values).
+
+    Already-equivalent pairs are skipped.  Results are ordered by
+    descending score, then by reference order, so the review list is
+    deterministic.
+    """
+    suggestions: list[EquivalenceSuggestion] = []
+    rows = registry.schema(first_schema).all_attribute_refs()
+    columns = registry.schema(second_schema).all_attribute_refs()
+    for row in rows:
+        attr_a = registry.resolve(row)
+        for column in columns:
+            attr_b = registry.resolve(column)
+            if registry.are_equivalent(row, column):
+                continue
+            if not domains_compatible(attr_a.domain, attr_b.domain):
+                continue
+            if synonyms is not None and synonyms.are_antonyms(
+                attr_a.name, attr_b.name
+            ):
+                continue
+            if synonyms is not None and synonyms.are_synonyms(
+                attr_a.name, attr_b.name
+            ):
+                score, reason = 1.0, "synonym"
+            else:
+                score = name_similarity(attr_a.name, attr_b.name)
+                reason = "name similarity"
+            if attr_a.is_key and attr_b.is_key and score > 0:
+                score = min(1.0, score + 0.1)
+                reason += " + both keys"
+            if score >= threshold:
+                suggestions.append(
+                    EquivalenceSuggestion(row, column, round(score, 4), reason)
+                )
+    suggestions.sort(key=lambda s: (-s.score, s.first, s.second))
+    return suggestions
+
+
+def apply_suggestions(
+    registry: EquivalenceRegistry,
+    suggestions: list[EquivalenceSuggestion],
+    min_score: float = 1.0,
+) -> int:
+    """Accept every suggestion scoring at least ``min_score``.
+
+    Returns the number of equivalences actually declared.  Intended for
+    fully automatic pipelines and benchmarks; interactive use should route
+    suggestions through the DDA instead.
+    """
+    applied = 0
+    for suggestion in suggestions:
+        if suggestion.score >= min_score:
+            registry.declare_equivalent(suggestion.first, suggestion.second)
+            applied += 1
+    return applied

@@ -1,0 +1,117 @@
+"""The Object Class Similarity (OCS) matrix.
+
+The paper: *"Upon exiting this phase, the tool derives an Object Class
+Similarity (OCS) matrix from the ACS matrix, where each element of the
+matrix specifies the number of equivalent attributes between two objects
+specified by the row and column order."*
+
+An entry counts the equivalence classes that span both objects (one class
+containing an attribute of each side counts once, so three-way classes do
+not double-count).  The OCS drives the ordered candidate list of Screen 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecr.objects import ObjectClass, ObjectKind
+from repro.ecr.schema import ObjectRef
+from repro.equivalence.registry import EquivalenceRegistry
+
+
+@dataclass(frozen=True)
+class OcsEntry:
+    """One entry of the OCS matrix: an object pair plus its similarity count."""
+
+    row: ObjectRef
+    column: ObjectRef
+    equivalent_attributes: int
+
+    def __str__(self) -> str:
+        return f"{self.row} x {self.column}: {self.equivalent_attributes}"
+
+
+class OcsMatrix:
+    """OCS matrix between two registered schemas.
+
+    ``kind_filter`` selects which structures form the rows/columns:
+    by default object classes (entity sets and categories), matching the
+    paper's first subphase; pass ``ObjectKind.RELATIONSHIP`` for the
+    relationship-set subphase.
+    """
+
+    def __init__(
+        self,
+        registry: EquivalenceRegistry,
+        first_schema: str,
+        second_schema: str,
+        kind_filter: ObjectKind | None = None,
+    ) -> None:
+        self._registry = registry
+        self.first_schema = first_schema
+        self.second_schema = second_schema
+        self.kind_filter = kind_filter
+        self._rows = self._select(first_schema)
+        self._columns = self._select(second_schema)
+
+    def _select(self, schema_name: str) -> list[ObjectRef]:
+        schema = self._registry.schema(schema_name)
+        if self.kind_filter is ObjectKind.RELATIONSHIP:
+            chosen: list[ObjectClass] = list(schema.relationship_sets())
+        elif self.kind_filter is None:
+            chosen = list(schema.object_classes())
+        else:
+            chosen = [
+                structure
+                for structure in schema.object_classes()
+                if structure.kind is self.kind_filter
+            ]
+        return [ObjectRef(schema_name, structure.name) for structure in chosen]
+
+    @property
+    def rows(self) -> list[ObjectRef]:
+        """Structures of the first schema, in declaration order."""
+        return list(self._rows)
+
+    @property
+    def columns(self) -> list[ObjectRef]:
+        """Structures of the second schema, in declaration order."""
+        return list(self._columns)
+
+    def count(self, row: ObjectRef, column: ObjectRef) -> int:
+        """Equivalent-attribute count for one object pair."""
+        return self._registry.equivalent_class_count(
+            (row.schema, row.object_name), (column.schema, column.object_name)
+        )
+
+    def entry(self, row: ObjectRef, column: ObjectRef) -> OcsEntry:
+        return OcsEntry(row, column, self.count(row, column))
+
+    def entries(self, include_zero: bool = False) -> list[OcsEntry]:
+        """All matrix entries row-major; zero-similarity pairs are skipped
+        unless ``include_zero`` is set (Screen 8 only shows candidates)."""
+        found: list[OcsEntry] = []
+        for row in self._rows:
+            for column in self._columns:
+                entry = self.entry(row, column)
+                if entry.equivalent_attributes > 0 or include_zero:
+                    found.append(entry)
+        return found
+
+    def as_counts(self) -> list[list[int]]:
+        """Dense count matrix (row-major) for numeric consumers."""
+        return [
+            [self.count(row, column) for column in self._columns]
+            for row in self._rows
+        ]
+
+    def render(self) -> str:
+        """Human-readable rendering used by the tool's debug view."""
+        header = "OCS %s x %s" % (self.first_schema, self.second_schema)
+        lines = [header, "=" * len(header)]
+        column_names = [column.object_name[:12] for column in self._columns]
+        lines.append(" " * 22 + " ".join(f"{name:>12.12}" for name in column_names))
+        for row, counts in zip(self._rows, self.as_counts()):
+            cells = " ".join(f"{count:>12}" for count in counts)
+            lines.append(f"{str(row):<22.22}{cells}")
+        return "\n".join(lines) + "\n"

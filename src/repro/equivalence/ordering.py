@@ -1,0 +1,93 @@
+"""Ordered candidate object pairs for assertion collection (Screen 8).
+
+The OCS matrix "contains information to generate an ordered list of object
+class pairs corresponding to their likelihood of being integrable with
+stronger assertions".  We order pairs by descending attribute ratio, then
+alphabetically by the qualified object names, so that the list is total and
+deterministic — this reproduces Screen 8 exactly, where at equal ratio
+``sc1.Department``/``sc2.Department`` precedes
+``sc1.Student``/``sc2.Grad_student``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecr.objects import ObjectKind
+from repro.ecr.schema import ObjectRef
+from repro.equivalence.ocs import OcsMatrix
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.equivalence.resemblance import attribute_ratio
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """One row of Screen 8: an object pair with its attribute ratio."""
+
+    first: ObjectRef
+    second: ObjectRef
+    equivalent_attributes: int
+    attribute_ratio: float
+
+    def __str__(self) -> str:
+        return f"{self.first}  {self.second}  {self.attribute_ratio:.4f}"
+
+
+def ordered_object_pairs(
+    registry: EquivalenceRegistry,
+    first_schema: str,
+    second_schema: str,
+    kind_filter: ObjectKind | None = None,
+    include_zero: bool = False,
+) -> list[CandidatePair]:
+    """The ranked candidate list for two schemas.
+
+    Parameters
+    ----------
+    registry:
+        The equivalence registry holding both schemas and the DDA's
+        attribute equivalences.
+    first_schema, second_schema:
+        Names of the two schemas being integrated.
+    kind_filter:
+        ``None`` ranks object classes (entity sets and categories, the
+        paper's first subphase); ``ObjectKind.RELATIONSHIP`` ranks
+        relationship sets (the second subphase).
+    include_zero:
+        Whether to include pairs with no equivalent attributes.  Screen 8
+        shows only genuine candidates, so the default is off; baselines
+        that review every pair set it.
+    """
+    ocs = OcsMatrix(registry, first_schema, second_schema, kind_filter)
+    pairs: list[CandidatePair] = []
+    for entry in ocs.entries(include_zero=include_zero):
+        first_count = len(registry.schema(entry.row.schema).get(entry.row.object_name).attributes)
+        second_count = len(
+            registry.schema(entry.column.schema).get(entry.column.object_name).attributes
+        )
+        ratio = attribute_ratio(
+            entry.equivalent_attributes, first_count, second_count
+        )
+        pairs.append(
+            CandidatePair(
+                entry.row, entry.column, entry.equivalent_attributes, ratio
+            )
+        )
+    pairs.sort(
+        key=lambda pair: (-pair.attribute_ratio, pair.first, pair.second)
+    )
+    return pairs
+
+
+def render_screen8_rows(pairs: list[CandidatePair]) -> str:
+    """Render candidate pairs in the column layout of Screen 8."""
+    lines = [
+        f"{'Schema_Name1.Obj_Class1':<28}{'Schema_Name2.Obj_Class2':<28}"
+        f"{'ATTRIBUTE RATIO':>16}"
+    ]
+    for pair in pairs:
+        lines.append(
+            f"{str(pair.first):<28}{str(pair.second):<28}"
+            f"{pair.attribute_ratio:>16.4f}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,256 @@
+"""The attribute-equivalence registry behind Screen 7.
+
+The registry assigns every attribute of every registered schema an
+``Eq_class #`` exactly as the tool's Equivalence Class Creation and Deletion
+Screen displays: initially each attribute sits in its own class; when the
+DDA declares two attributes equivalent, the class number of one becomes the
+class number of the other (we keep the smaller number so renumbering is
+deterministic).  Deleting an attribute from its class moves it back into a
+fresh singleton class.
+
+Declaring an equivalence never fails for semantic reasons — equivalence is
+the DDA's subjective judgement — but the registry reports *issues* (domain
+incompatibility, key-flag mismatch) the tool surfaces as warnings, following
+the characteristics Larson et al. (1987) compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.ecr.attributes import Attribute, AttributeRef
+from repro.ecr.domains import domains_compatible
+from repro.ecr.schema import Schema
+from repro.errors import DuplicateNameError, EquivalenceError, UnknownNameError
+
+
+@dataclass(frozen=True)
+class EquivalenceIssue:
+    """A non-fatal observation about a declared equivalence."""
+
+    first: AttributeRef
+    second: AttributeRef
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.first} ~ {self.second}: {self.message}"
+
+
+class EquivalenceRegistry:
+    """Equivalence classes over the attributes of registered schemas."""
+
+    def __init__(self, schemas: Iterable[Schema] = ()) -> None:
+        self._schemas: dict[str, Schema] = {}
+        self._class_of: dict[AttributeRef, int] = {}
+        self._members: dict[int, list[AttributeRef]] = {}
+        self._next_class = 1
+        for schema in schemas:
+            self.register_schema(schema)
+
+    # -- schema registration -------------------------------------------------
+
+    def register_schema(self, schema: Schema) -> None:
+        """Register a schema, numbering each of its attributes.
+
+        Class numbers are assigned in schema/structure/attribute order, which
+        reproduces the numbering a DDA sees when walking Screen 7.
+        """
+        if schema.name in self._schemas:
+            raise DuplicateNameError("schema", schema.name)
+        self._schemas[schema.name] = schema
+        for ref in schema.all_attribute_refs():
+            self._class_of[ref] = self._next_class
+            self._members[self._next_class] = [ref]
+            self._next_class += 1
+
+    def schemas(self) -> list[Schema]:
+        """The registered schemas, in registration order."""
+        return list(self._schemas.values())
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownNameError("schema", name) from None
+
+    def resolve(self, ref: AttributeRef) -> Attribute:
+        """Dereference a qualified attribute (validating every level)."""
+        return self.schema(ref.schema).resolve_attribute(ref)
+
+    def refresh_schema(self, schema_name: str) -> None:
+        """Re-scan a registered schema after external edits.
+
+        Newly added attributes get fresh singleton classes; attributes that
+        disappeared are dropped from their classes.  Existing class
+        memberships are preserved.
+        """
+        schema = self.schema(schema_name)
+        current = set(schema.all_attribute_refs())
+        known = {ref for ref in self._class_of if ref.schema == schema_name}
+        for ref in sorted(known - current):
+            self._detach(ref)
+            del self._class_of[ref]
+        for ref in schema.all_attribute_refs():
+            if ref not in self._class_of:
+                self._class_of[ref] = self._next_class
+                self._members[self._next_class] = [ref]
+                self._next_class += 1
+
+    # -- equivalence editing -------------------------------------------------
+
+    def declare_equivalent(
+        self, first: AttributeRef | str, second: AttributeRef | str
+    ) -> list[EquivalenceIssue]:
+        """Merge the classes of two attributes; returns advisory issues.
+
+        Raises
+        ------
+        EquivalenceError
+            If either reference does not resolve, or both name the same
+            attribute.
+        """
+        first = self._coerce(first)
+        second = self._coerce(second)
+        if first == second:
+            raise EquivalenceError(
+                f"cannot declare {first} equivalent to itself"
+            )
+        attr_a = self._checked_resolve(first)
+        attr_b = self._checked_resolve(second)
+        issues = self._inspect_pair(first, attr_a, second, attr_b)
+        class_a = self._class_of[first]
+        class_b = self._class_of[second]
+        if class_a != class_b:
+            keep, drop = sorted((class_a, class_b))
+            for ref in self._members.pop(drop):
+                self._class_of[ref] = keep
+                self._members[keep].append(ref)
+        return issues
+
+    def remove_from_class(self, ref: AttributeRef | str) -> None:
+        """Move an attribute back into a fresh singleton class (Screen 7 Delete)."""
+        ref = self._coerce(ref)
+        self._checked_resolve(ref)
+        if len(self._members[self._class_of[ref]]) == 1:
+            return  # already alone
+        self._detach(ref)
+        self._class_of[ref] = self._next_class
+        self._members[self._next_class] = [ref]
+        self._next_class += 1
+
+    def _detach(self, ref: AttributeRef) -> None:
+        old_class = self._class_of[ref]
+        members = self._members[old_class]
+        members.remove(ref)
+        if not members:
+            del self._members[old_class]
+
+    # -- queries ----------------------------------------------------------------
+
+    def class_number(self, ref: AttributeRef | str) -> int:
+        """The ``Eq_class #`` shown on Screen 7 for this attribute."""
+        ref = self._coerce(ref)
+        try:
+            return self._class_of[ref]
+        except KeyError:
+            raise EquivalenceError(f"unregistered attribute {ref}") from None
+
+    def class_members(self, ref: AttributeRef | str) -> list[AttributeRef]:
+        """All attributes equivalent to ``ref`` (including itself)."""
+        return list(self._members[self.class_number(ref)])
+
+    def are_equivalent(
+        self, first: AttributeRef | str, second: AttributeRef | str
+    ) -> bool:
+        """Whether two attributes are currently in the same class."""
+        return self.class_number(first) == self.class_number(second)
+
+    def classes(self) -> list[list[AttributeRef]]:
+        """All equivalence classes, ordered by class number."""
+        return [list(self._members[num]) for num in sorted(self._members)]
+
+    def nontrivial_classes(self) -> list[list[AttributeRef]]:
+        """Classes with at least two members — the DDA's actual declarations."""
+        return [members for members in self.classes() if len(members) > 1]
+
+    def equivalent_class_count(
+        self, first_object: tuple[str, str], second_object: tuple[str, str]
+    ) -> int:
+        """Number of equivalence classes spanning both object classes.
+
+        This is the count the OCS matrix stores: classes that contain at
+        least one attribute of each object.
+        """
+        numbers_a = self._object_class_numbers(first_object)
+        numbers_b = self._object_class_numbers(second_object)
+        return len(numbers_a & numbers_b)
+
+    def shared_classes(
+        self, first_object: tuple[str, str], second_object: tuple[str, str]
+    ) -> list[list[AttributeRef]]:
+        """The equivalence classes spanning both object classes."""
+        shared = self._object_class_numbers(first_object) & self._object_class_numbers(
+            second_object
+        )
+        return [list(self._members[num]) for num in sorted(shared)]
+
+    def _object_class_numbers(self, owner: tuple[str, str]) -> set[int]:
+        schema_name, object_name = owner
+        schema = self.schema(schema_name)
+        structure = schema.get(object_name)
+        return {
+            self._class_of[AttributeRef(schema_name, object_name, attribute.name)]
+            for attribute in structure.attributes
+        }
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _coerce(self, ref: AttributeRef | str) -> AttributeRef:
+        if isinstance(ref, str):
+            return AttributeRef.parse(ref)
+        return ref
+
+    def _checked_resolve(self, ref: AttributeRef) -> Attribute:
+        try:
+            attribute = self.resolve(ref)
+        except UnknownNameError as exc:
+            raise EquivalenceError(str(exc)) from exc
+        if ref not in self._class_of:
+            self._class_of[ref] = self._next_class
+            self._members[self._next_class] = [ref]
+            self._next_class += 1
+        return attribute
+
+    def _inspect_pair(
+        self,
+        first: AttributeRef,
+        attr_a: Attribute,
+        second: AttributeRef,
+        attr_b: Attribute,
+    ) -> list[EquivalenceIssue]:
+        issues: list[EquivalenceIssue] = []
+        if not domains_compatible(attr_a.domain, attr_b.domain):
+            issues.append(
+                EquivalenceIssue(
+                    first,
+                    second,
+                    f"domains {attr_a.domain} and {attr_b.domain} are incompatible",
+                )
+            )
+        if attr_a.domain.unit != attr_b.domain.unit:
+            issues.append(
+                EquivalenceIssue(
+                    first,
+                    second,
+                    f"units differ ({attr_a.domain.unit or 'none'} vs "
+                    f"{attr_b.domain.unit or 'none'})",
+                )
+            )
+        if attr_a.is_key != attr_b.is_key:
+            issues.append(
+                EquivalenceIssue(
+                    first, second, "key property differs between the attributes"
+                )
+            )
+        return issues

@@ -1,0 +1,110 @@
+"""A dictionary of synonyms and antonyms for identifier matching.
+
+The paper's future-work section: *"A dictionary of synonyms and antonyms
+would also be useful in detecting candidate pairs of equivalent
+attributes."*  This module provides that dictionary: synonym groups are
+equivalence classes of lower-cased words; antonym pairs veto a candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.equivalence.union_find import DisjointSet
+from repro.errors import EquivalenceError
+
+
+def _normalise(word: str) -> str:
+    return word.strip().lower().replace("_", "").replace("-", "")
+
+
+class SynonymDictionary:
+    """Synonym groups plus antonym pairs over normalised identifiers."""
+
+    def __init__(
+        self,
+        synonym_groups: Iterable[Iterable[str]] = (),
+        antonym_pairs: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        self._synonyms: DisjointSet[str] = DisjointSet()
+        self._antonyms: set[frozenset[str]] = set()
+        for group in synonym_groups:
+            self.add_synonyms(*group)
+        for first, second in antonym_pairs:
+            self.add_antonyms(first, second)
+
+    def add_synonyms(self, *words: str) -> None:
+        """Declare all the given words synonymous with one another."""
+        if len(words) < 2:
+            raise EquivalenceError("a synonym group needs at least two words")
+        normalised = [_normalise(word) for word in words]
+        for word in normalised[1:]:
+            self._synonyms.union(normalised[0], word)
+
+    def add_antonyms(self, first: str, second: str) -> None:
+        """Declare two words antonymous (vetoes any candidate match)."""
+        pair = frozenset({_normalise(first), _normalise(second)})
+        if len(pair) != 2:
+            raise EquivalenceError(f"{first!r} cannot be its own antonym")
+        self._antonyms.add(pair)
+
+    def are_synonyms(self, first: str, second: str) -> bool:
+        """Whether two words are in the same synonym group (or identical)."""
+        a, b = _normalise(first), _normalise(second)
+        if a == b:
+            return True
+        return self._synonyms.connected(a, b)
+
+    def are_antonyms(self, first: str, second: str) -> bool:
+        """Whether two words (or their synonyms) are declared antonyms."""
+        a, b = _normalise(first), _normalise(second)
+        group_a = set(self._synonyms.class_of(a)) if a in self._synonyms else {a}
+        group_b = set(self._synonyms.class_of(b)) if b in self._synonyms else {b}
+        for word_a in group_a:
+            for word_b in group_b:
+                if frozenset({word_a, word_b}) in self._antonyms:
+                    return True
+        return False
+
+    def synonyms_of(self, word: str) -> list[str]:
+        """All known synonyms of a word (normalised, excluding itself)."""
+        normalised = _normalise(word)
+        if normalised not in self._synonyms:
+            return []
+        return [
+            other
+            for other in self._synonyms.class_of(normalised)
+            if other != normalised
+        ]
+
+
+#: A small default dictionary covering the vocabulary of the paper's and the
+#: bundled workloads' schemas.  Real deployments would load a domain
+#: dictionary instead.
+DEFAULT_SYNONYMS = SynonymDictionary(
+    synonym_groups=[
+        ("employee", "worker", "staff"),
+        ("department", "dept", "division"),
+        ("student", "pupil"),
+        ("instructor", "teacher", "lecturer"),
+        ("faculty", "professor"),
+        ("salary", "pay", "wage", "compensation"),
+        ("name", "fullname"),
+        ("ssn", "socialsecuritynumber", "soc_sec_no"),
+        ("id", "identifier", "number", "no", "num"),
+        ("phone", "telephone", "phoneno"),
+        ("address", "location", "addr"),
+        ("birthdate", "dateofbirth", "dob"),
+        ("grade", "mark", "score"),
+        ("course", "class", "subject"),
+        ("doctor", "physician"),
+        ("patient", "case"),
+        ("flight", "leg"),
+    ],
+    antonym_pairs=[
+        ("undergraduate", "graduate"),
+        ("parttime", "fulltime"),
+        ("domestic", "international"),
+        ("arrival", "departure"),
+    ],
+)

@@ -1,0 +1,90 @@
+"""A deterministic disjoint-set (union-find) structure.
+
+Used by the equivalence registry to maintain attribute equivalence classes
+and by the integration phase to cluster object classes.  Iteration order is
+deterministic (insertion order), which keeps every screen, report and
+benchmark reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DisjointSet(Generic[T]):
+    """Union-find with path compression and union by size.
+
+    Items are added explicitly or implicitly on first use.  ``find`` returns
+    a canonical representative; representatives are stable under path
+    compression but may change after a union (the larger side wins; ties go
+    to the earlier-inserted root, keeping behaviour deterministic).
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._size: dict[T, int] = {}
+        self._order: dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._parent)
+
+    def add(self, item: T) -> None:
+        """Register an item as its own singleton class (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+            self._order[item] = len(self._order)
+
+    def find(self, item: T) -> T:
+        """Canonical representative of the item's class (adds if missing)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, first: T, second: T) -> T:
+        """Merge the classes of two items; returns the surviving root."""
+        root_a, root_b = self.find(first), self.find(second)
+        if root_a == root_b:
+            return root_a
+        size_a, size_b = self._size[root_a], self._size[root_b]
+        if (size_a, -self._order[root_a]) < (size_b, -self._order[root_b]):
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] = size_a + size_b
+        return root_a
+
+    def connected(self, first: T, second: T) -> bool:
+        """Whether two items are currently in the same class."""
+        if first not in self._parent or second not in self._parent:
+            return False
+        return self.find(first) == self.find(second)
+
+    def class_of(self, item: T) -> list[T]:
+        """All members of the item's class, in insertion order."""
+        root = self.find(item)
+        return [other for other in self._parent if self.find(other) == root]
+
+    def classes(self) -> list[list[T]]:
+        """All classes, each in insertion order, ordered by first member."""
+        by_root: dict[T, list[T]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return sorted(by_root.values(), key=lambda members: self._order[members[0]])
+
+    def class_count(self) -> int:
+        """Number of distinct classes."""
+        return sum(1 for item in self._parent if self.find(item) == item)

@@ -1,0 +1,100 @@
+"""Exception hierarchy for the schema-integration library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operation on it is invalid."""
+
+
+class DuplicateNameError(SchemaError):
+    """An object, attribute or schema name collides with an existing one."""
+
+    def __init__(self, kind: str, name: str, scope: str = "") -> None:
+        self.kind = kind
+        self.name = name
+        self.scope = scope
+        where = f" in {scope}" if scope else ""
+        super().__init__(f"duplicate {kind} name {name!r}{where}")
+
+
+class UnknownNameError(SchemaError):
+    """A referenced object, attribute or schema does not exist."""
+
+    def __init__(self, kind: str, name: str, scope: str = "") -> None:
+        self.kind = kind
+        self.name = name
+        self.scope = scope
+        where = f" in {scope}" if scope else ""
+        super().__init__(f"unknown {kind} {name!r}{where}")
+
+
+class ValidationError(SchemaError):
+    """A schema failed well-formedness validation."""
+
+    def __init__(self, issues) -> None:
+        self.issues = list(issues)
+        lines = "; ".join(str(issue) for issue in self.issues)
+        super().__init__(f"schema validation failed: {lines}")
+
+
+class DdlError(ReproError):
+    """The ECR data-description-language text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.line = line
+        prefix = f"line {line}: " if line else ""
+        super().__init__(prefix + message)
+
+
+class EquivalenceError(ReproError):
+    """An attribute-equivalence operation is invalid."""
+
+
+class AssertionSpecError(ReproError):
+    """An assertion between object classes is invalid or ill-typed."""
+
+
+class ConflictError(AssertionSpecError):
+    """A new assertion contradicts previously specified or derived ones.
+
+    Carries the :class:`~repro.assertions.conflicts.ConflictReport` that
+    explains which assertions clash and how the derived side was obtained.
+    """
+
+    def __init__(self, report) -> None:
+        self.report = report
+        super().__init__(str(report))
+
+
+class IntegrationError(ReproError):
+    """Schema integration could not be performed."""
+
+
+class MappingError(ReproError):
+    """A request could not be rewritten through a schema mapping."""
+
+
+class QueryError(ReproError):
+    """A request over an ECR schema is syntactically or semantically invalid."""
+
+
+class TranslationError(ReproError):
+    """A source-model schema could not be translated to the ECR model."""
+
+
+class ToolError(ReproError):
+    """The interactive tool was driven into an invalid state."""
+
+
+class ScriptError(ToolError):
+    """A tool-driving script is malformed or refers to missing state."""

@@ -1,0 +1,63 @@
+"""Schema integration (Phase 4).
+
+Given two component schemas, the DDA's attribute equivalences and a
+consistent assertion network, the integrator produces the integrated
+schema:
+
+* object classes connected by an ``equals`` assertion merge into one class
+  (``E_`` prefix when the merge spans names);
+* a ``contained in`` object class becomes a category of its container, its
+  equivalent attributes absorbed into the container as derived (``D_``)
+  attributes with recorded component attributes (Screens 12a/12b);
+* ``may be`` and ``disjoint integrable`` pairs acquire a new derived
+  parent class (``D_`` prefix built from four-letter abbreviations:
+  ``D_Stud_Facu``) with both classes as categories;
+* relationship sets integrate analogously, their participants re-pointed
+  at the integrated object classes; and
+* mappings from every component schema to the integrated schema are
+  generated for request translation.
+
+Clusters — groups of objects connected by any assertion except disjoint
+non-integrable — partition the work.
+"""
+
+from repro.integration.naming import (
+    abbreviate,
+    derived_name,
+    equivalent_name,
+    merged_attribute_name,
+    NamePool,
+)
+from repro.integration.clusters import Cluster, compute_clusters, connects_pair
+from repro.integration.lattice import transitive_reduction, ancestors_in_dag
+from repro.integration.result import (
+    IntegrationResult,
+    IntegratedNode,
+    AttributeOrigin,
+)
+from repro.integration.options import IntegrationOptions
+from repro.integration.integrator import Integrator, integrate_pair
+from repro.integration.mappings import SchemaMapping, build_mappings
+from repro.integration.nary import integrate_all
+
+__all__ = [
+    "abbreviate",
+    "derived_name",
+    "equivalent_name",
+    "merged_attribute_name",
+    "NamePool",
+    "Cluster",
+    "compute_clusters",
+    "connects_pair",
+    "transitive_reduction",
+    "ancestors_in_dag",
+    "IntegrationResult",
+    "IntegratedNode",
+    "AttributeOrigin",
+    "IntegrationOptions",
+    "Integrator",
+    "integrate_pair",
+    "SchemaMapping",
+    "build_mappings",
+    "integrate_all",
+]

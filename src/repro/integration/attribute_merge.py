@@ -1,0 +1,94 @@
+"""Merging attributes during integration.
+
+Every integrated object class or relationship set owns a pool of *attribute
+instances* — (qualified original attribute, attribute) pairs gathered from
+the component structures merged into it.  Instances in the same equivalence
+class merge into one **derived attribute** (``D_`` prefix) whose component
+attributes are recorded for the Component Attribute Screens (12a/12b);
+instances alone in their class are copied through unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecr.attributes import Attribute, AttributeRef
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.integration.naming import NamePool, merged_attribute_name
+from repro.integration.options import IntegrationOptions
+from repro.integration.result import AttributeOrigin
+
+
+@dataclass
+class AttributePool:
+    """The attribute instances accumulated for one integrated structure."""
+
+    node: str
+    #: (original ref, attribute) in gathering order
+    instances: list[tuple[AttributeRef, Attribute]] = field(default_factory=list)
+
+    def add(self, ref: AttributeRef, attribute: Attribute) -> None:
+        self.instances.append((ref, attribute))
+
+    def take_class(
+        self, registry: EquivalenceRegistry, class_number: int
+    ) -> list[tuple[AttributeRef, Attribute]]:
+        """Remove and return the instances belonging to one equivalence class."""
+        taken = [
+            (ref, attribute)
+            for ref, attribute in self.instances
+            if registry.class_number(ref) == class_number
+        ]
+        self.instances = [
+            (ref, attribute)
+            for ref, attribute in self.instances
+            if registry.class_number(ref) != class_number
+        ]
+        return taken
+
+    def class_numbers(self, registry: EquivalenceRegistry) -> set[int]:
+        """Equivalence classes represented in this pool."""
+        return {registry.class_number(ref) for ref, _ in self.instances}
+
+
+def merge_pool(
+    pool: AttributePool,
+    registry: EquivalenceRegistry,
+    options: IntegrationOptions,
+) -> tuple[list[Attribute], list[AttributeOrigin]]:
+    """Merge a pool into final attributes plus their provenance records.
+
+    Instances are grouped by equivalence class in first-appearance order.
+    A multi-instance class yields a derived attribute named
+    ``D_<common name>`` (or ``D_<abbr>_<abbr>`` for differing names) whose
+    key flag is the conjunction of the components' flags and whose domain is
+    the first component's.  Names are made unique within the structure.
+    """
+    groups: dict[int, list[tuple[AttributeRef, Attribute]]] = {}
+    for ref, attribute in pool.instances:
+        groups.setdefault(registry.class_number(ref), []).append((ref, attribute))
+    names = NamePool()
+    merged: list[Attribute] = []
+    origins: list[AttributeOrigin] = []
+    for members in groups.values():
+        refs = tuple(ref for ref, _ in members)
+        attributes = [attribute for _, attribute in members]
+        if len(members) == 1:
+            final = attributes[0].renamed(names.claim(attributes[0].name))
+        else:
+            name = names.claim(
+                merged_attribute_name([attribute.name for attribute in attributes])
+            )
+            description = ""
+            if options.keep_component_descriptions:
+                parts = [a.description for a in attributes if a.description]
+                description = " / ".join(dict.fromkeys(parts))
+            final = Attribute(
+                name,
+                attributes[0].domain,
+                all(attribute.is_key for attribute in attributes),
+                description,
+            )
+        merged.append(final)
+        origins.append(AttributeOrigin(pool.node, final.name, refs))
+    return merged, origins

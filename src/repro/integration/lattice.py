@@ -1,0 +1,75 @@
+"""Small DAG utilities for building IS-A lattices.
+
+Integration produces IS-A edges from three sources — original category
+structures, cross-schema ``contained in`` assertions and new derived
+parents.  Transitive derivation means redundant edges appear (if A ⊆ B and
+B ⊆ C the network also derives A ⊆ C); the lattice keeps only the covering
+edges, which is what :func:`transitive_reduction` computes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, TypeVar
+
+from repro.errors import IntegrationError
+
+Node = TypeVar("Node", bound=Hashable)
+Edge = tuple[Node, Node]
+
+
+def _successors(edges: Iterable[Edge]) -> dict:
+    adjacency: dict = {}
+    for child, parent in edges:
+        adjacency.setdefault(child, []).append(parent)
+    return adjacency
+
+
+def ancestors_in_dag(edges: Iterable[Edge], node: Node) -> set:
+    """All nodes reachable from ``node`` along (child, parent) edges."""
+    adjacency = _successors(edges)
+    seen: set = set()
+    frontier = list(adjacency.get(node, ()))
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(adjacency.get(current, ()))
+    return seen
+
+
+def check_acyclic(edges: list[Edge]) -> None:
+    """Raise :class:`IntegrationError` if the edge set contains a cycle."""
+    adjacency = _successors(edges)
+    state: dict = {}
+
+    def visit(node) -> None:
+        if state.get(node) == "done":
+            return
+        if state.get(node) == "active":
+            raise IntegrationError(f"IS-A cycle through {node!r}")
+        state[node] = "active"
+        for parent in adjacency.get(node, ()):
+            visit(parent)
+        state[node] = "done"
+
+    for child, _ in edges:
+        visit(child)
+
+
+def transitive_reduction(edges: list[Edge]) -> list[Edge]:
+    """Drop edges implied by longer paths, keeping only covering edges.
+
+    An edge (child, parent) is redundant when parent is reachable from
+    child through some *other* outgoing edge.  Input order is preserved
+    for the surviving edges.  Raises on cyclic input.
+    """
+    check_acyclic(edges)
+    unique = list(dict.fromkeys(edges))
+    kept: list[Edge] = []
+    for edge in unique:
+        child, parent = edge
+        others = [other for other in unique if other != edge]
+        if parent not in ancestors_in_dag(others, child):
+            kept.append(edge)
+    return kept

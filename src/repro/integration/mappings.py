@@ -1,0 +1,131 @@
+"""Mappings between component schemas and the integrated schema.
+
+Phase 4 of the methodology generates, for every component schema, the
+mapping that an operational system uses after integration:
+
+* in the **logical database design** context, requests against a component
+  schema (a user view) are converted into requests against the integrated
+  (logical) schema — the *forward* direction; and
+* in the **global schema design** context, requests against the integrated
+  (global) schema are mapped into requests against the component schemas —
+  the *reverse* direction.
+
+A :class:`SchemaMapping` packages both directions for one component schema;
+:mod:`repro.query.rewrite` applies them to requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecr.schema import Schema
+from repro.errors import MappingError
+from repro.integration.result import IntegrationResult
+
+
+@dataclass
+class SchemaMapping:
+    """The element-level mapping for one component schema.
+
+    ``objects`` maps each component structure name to its integrated
+    structure name; ``attributes`` maps each (structure, attribute) to its
+    integrated (structure, attribute).
+    """
+
+    component_schema: str
+    integrated_schema: str
+    objects: dict[str, str] = field(default_factory=dict)
+    attributes: dict[tuple[str, str], tuple[str, str]] = field(
+        default_factory=dict
+    )
+
+    # -- forward: component (view) -> integrated (logical schema) -------------
+
+    def map_object(self, name: str) -> str:
+        """Integrated structure for a component structure name."""
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise MappingError(
+                f"{self.component_schema}.{name} has no integrated counterpart"
+            ) from None
+
+    def map_attribute(self, object_name: str, attribute: str) -> tuple[str, str]:
+        """Integrated (structure, attribute) for a component attribute."""
+        try:
+            return self.attributes[(object_name, attribute)]
+        except KeyError:
+            raise MappingError(
+                f"{self.component_schema}.{object_name}.{attribute} has no "
+                "integrated counterpart"
+            ) from None
+
+    # -- reverse: integrated (global schema) -> component (database) -----------
+
+    def objects_mapping_to(self, integrated_name: str) -> list[str]:
+        """Component structures that were merged into an integrated one."""
+        return [
+            name
+            for name, target in self.objects.items()
+            if target == integrated_name
+        ]
+
+    def attributes_mapping_to(
+        self, integrated_object: str, integrated_attribute: str
+    ) -> list[tuple[str, str]]:
+        """Component attributes merged into an integrated attribute."""
+        return [
+            source
+            for source, target in self.attributes.items()
+            if target == (integrated_object, integrated_attribute)
+        ]
+
+    def covers_object(self, integrated_name: str) -> bool:
+        """Whether this component schema contributes to an integrated
+        structure (used by the federation router)."""
+        return any(
+            target == integrated_name for target in self.objects.values()
+        )
+
+
+def build_mappings(
+    result: IntegrationResult, schemas: list[Schema]
+) -> dict[str, SchemaMapping]:
+    """Derive a :class:`SchemaMapping` per component schema from a result."""
+    mappings = {
+        schema.name: SchemaMapping(schema.name, result.schema.name)
+        for schema in schemas
+    }
+    for ref, node in result.object_mapping.items():
+        if ref.schema in mappings:
+            mappings[ref.schema].objects[ref.object_name] = node
+    for attr_ref, target in result.attribute_mapping.items():
+        if attr_ref.schema in mappings:
+            mappings[attr_ref.schema].attributes[
+                (attr_ref.object_name, attr_ref.attribute)
+            ] = target
+    return mappings
+
+
+def compose_mappings(
+    earlier: SchemaMapping, later: SchemaMapping
+) -> SchemaMapping:
+    """Compose two mapping steps (component → mid → final).
+
+    Used by n-ary integration: after integrating the result of a previous
+    integration with another schema, the original components map through
+    both steps.
+    """
+    if earlier.integrated_schema != later.component_schema:
+        raise MappingError(
+            f"cannot compose mapping into {earlier.integrated_schema!r} with "
+            f"mapping from {later.component_schema!r}"
+        )
+    composed = SchemaMapping(earlier.component_schema, later.integrated_schema)
+    for name, mid in earlier.objects.items():
+        if mid in later.objects:
+            composed.objects[name] = later.objects[mid]
+    for source, mid in earlier.attributes.items():
+        if mid in later.attributes:
+            composed.attributes[source] = later.attributes[mid]
+    return composed

@@ -1,0 +1,111 @@
+"""Naming of integrated, equivalent and derived schema elements.
+
+The paper's conventions, read off Screens 10-12 and Figures 2 and 5:
+
+* ``E_`` prefixes an *equivalent* object class or relationship set produced
+  by an ``equals`` merge (``E_Department``, ``E_Stud_Majo``);
+* ``D_`` prefixes a *derived* object class or relationship set produced by
+  integrating with ``may be``, ``contains``/``contained in`` or ``disjoint
+  integrable`` assertions (``D_Stud_Facu``, ``D_Grad_Inst``,
+  ``D_Secr_Engi``) and a *derived attribute* (``D_Name``);
+* derived names join four-letter abbreviations of the constituent names
+  (``Student`` + ``Faculty`` → ``Stud_Facu``).
+
+When all constituent names coincide the full name is kept under the prefix
+(``Department`` + ``Department`` → ``E_Department``; ``Name`` + ``Name`` →
+``D_Name``).  For merged relationship sets with a shared name the paper
+shows ``E_Stud_Majo`` — the abbreviation of the first participant followed
+by the abbreviation of the relationship name — which disambiguates merges
+of generic relationship names like ``Majors`` or ``Has``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import IntegrationError
+
+#: Abbreviation length used by the paper (Stud, Facu, Grad, Secr, Engi).
+ABBREVIATION_LENGTH = 4
+
+
+def abbreviate(name: str, length: int = ABBREVIATION_LENGTH) -> str:
+    """First ``length`` characters of a name (whole name when shorter)."""
+    if not name:
+        raise IntegrationError("cannot abbreviate an empty name")
+    return name[:length]
+
+
+def derived_name(names: Sequence[str]) -> str:
+    """Name of a derived (``D_``) object class over the given constituents.
+
+    >>> derived_name(["Student", "Faculty"])
+    'D_Stud_Facu'
+    >>> derived_name(["Name", "Name"])
+    'D_Name'
+    """
+    if not names:
+        raise IntegrationError("derived name needs at least one constituent")
+    unique = list(dict.fromkeys(names))
+    if len(unique) == 1:
+        return f"D_{unique[0]}"
+    return "D_" + "_".join(abbreviate(name) for name in unique)
+
+
+def equivalent_name(names: Sequence[str], subject: str | None = None) -> str:
+    """Name of an equivalent (``E_``) class merged from the given names.
+
+    ``subject`` is supplied for relationship sets: the name of the first
+    participant of the merged set, giving the paper's ``E_Stud_Majo`` for
+    two ``Majors`` sets over the integrated ``Student``.
+
+    >>> equivalent_name(["Department", "Department"])
+    'E_Department'
+    >>> equivalent_name(["Majors", "Majors"], subject="Student")
+    'E_Stud_Majo'
+    """
+    if not names:
+        raise IntegrationError("equivalent name needs at least one constituent")
+    unique = list(dict.fromkeys(names))
+    if subject is not None:
+        return f"E_{abbreviate(subject)}_{abbreviate(unique[0])}"
+    if len(unique) == 1:
+        return f"E_{unique[0]}"
+    return "E_" + "_".join(abbreviate(name) for name in unique)
+
+
+def merged_attribute_name(names: Sequence[str]) -> str:
+    """Name of a derived attribute merged from equivalent attributes.
+
+    >>> merged_attribute_name(["Name", "Name"])
+    'D_Name'
+    >>> merged_attribute_name(["Salary", "Pay"])
+    'D_Sala_Pay'
+    """
+    return derived_name(names)
+
+
+class NamePool:
+    """Allocates unique names within one integrated schema.
+
+    Integration can produce clashes (two unrelated ``Course`` entity sets,
+    or a derived name colliding with an original).  The pool resolves them
+    deterministically: the first taker keeps the name; later requests get
+    ``name_2``, ``name_3``, ...
+    """
+
+    def __init__(self, taken: Iterable[str] = ()) -> None:
+        self._taken: set[str] = set(taken)
+
+    def claim(self, name: str) -> str:
+        """Reserve ``name`` or the first free numbered variant of it."""
+        candidate = name
+        counter = 2
+        while candidate in self._taken:
+            candidate = f"{name}_{counter}"
+            counter += 1
+        self._taken.add(candidate)
+        return candidate
+
+    def is_taken(self, name: str) -> bool:
+        return name in self._taken

@@ -1,0 +1,41 @@
+"""Configuration of the integration engine.
+
+The paper fixes one behaviour; a few points it leaves open (or that its
+future-work section discusses) are exposed as options so the ablation
+benchmarks can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntegrationOptions:
+    """Tunable integration behaviour.
+
+    Attributes
+    ----------
+    pull_up_shared_attributes:
+        When a derived (``D_``) parent is created over two siblings, move
+        attribute classes shared by both siblings up into the parent.  The
+        paper's screens show the shared ``Name`` staying on the children
+        (Screen 12 keeps ``D_Name`` on ``Student``), so the default is
+        ``False``; switching it on gives the classic
+        pull-common-attributes-up generalisation used as an ablation.
+    merge_cardinalities_loosely:
+        When two relationship sets merge, combine each matched leg's
+        cardinality constraints with union (loosest bound, admits every
+        instance either view admitted — the default) instead of
+        intersection (tightest bound).
+    keep_component_descriptions:
+        Propagate component descriptions onto merged elements, joined by
+        " / ".
+    validate_result:
+        Run the ECR validator on the integrated schema before returning.
+    """
+
+    pull_up_shared_attributes: bool = False
+    merge_cardinalities_loosely: bool = True
+    keep_component_descriptions: bool = True
+    validate_result: bool = True

@@ -1,0 +1,34 @@
+"""Requests over ECR schemas and their translation through mappings.
+
+Phase 4 of the methodology generates mappings that "are used to translate
+requests in an operational system after integration":
+
+* logical database design — requests against component schemas (user
+  views) are converted into requests against the integrated schema
+  (:func:`rewrite_to_integrated`); and
+* global schema design — requests against the integrated (global) schema
+  are mapped into requests against the component databases
+  (:func:`rewrite_to_components`).
+
+The request language is a small conjunctive select over one object class
+with optional relationship traversals — enough to exercise every mapping
+direction without building a full query engine.
+"""
+
+from repro.query.ast import Comparison, Join, Request
+from repro.query.parser import parse_request
+from repro.query.rewrite import (
+    ComponentRequest,
+    rewrite_to_components,
+    rewrite_to_integrated,
+)
+
+__all__ = [
+    "Comparison",
+    "Join",
+    "Request",
+    "parse_request",
+    "ComponentRequest",
+    "rewrite_to_components",
+    "rewrite_to_integrated",
+]

@@ -1,0 +1,118 @@
+"""Abstract syntax of ECR requests.
+
+A request is a conjunctive select over one object class::
+
+    select Name, GPA from Student where GPA >= 3.5 via Majors(Department)
+
+* ``from`` names an object class (entity set or category);
+* the projection lists attributes of that class (inherited ones allowed);
+* ``where`` holds zero or more comparisons ANDed together; and
+* ``via`` traverses relationship sets to other object classes (a join).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ecr.schema import Schema
+from repro.ecr.walk import inherited_attributes
+from repro.errors import QueryError
+
+#: Comparison operators a condition may use.
+OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One conjunct of the where clause: ``attribute op value``."""
+
+    attribute: str
+    operator: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.operator not in OPERATORS:
+            raise QueryError(
+                f"unknown operator {self.operator!r}; expected one of {OPERATORS}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.operator} {self.value}"
+
+
+@dataclass(frozen=True)
+class Join:
+    """A relationship traversal: ``via Relationship(Target)``."""
+
+    relationship: str
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.relationship}({self.target})"
+
+
+@dataclass(frozen=True)
+class Request:
+    """A conjunctive select over one object class."""
+
+    object_name: str
+    attributes: tuple[str, ...] = ()
+    conditions: tuple[Comparison, ...] = ()
+    joins: tuple[Join, ...] = ()
+
+    def __str__(self) -> str:
+        text = "select " + (", ".join(self.attributes) or "*")
+        text += f" from {self.object_name}"
+        if self.conditions:
+            text += " where " + " and ".join(str(c) for c in self.conditions)
+        for join in self.joins:
+            text += f" via {join}"
+        return text
+
+    def referenced_attributes(self) -> list[str]:
+        """Projection plus condition attributes, deduplicated in order."""
+        names = list(self.attributes) + [c.attribute for c in self.conditions]
+        return list(dict.fromkeys(names))
+
+    def with_object(self, object_name: str) -> "Request":
+        return replace(self, object_name=object_name)
+
+    def validate_against(self, schema: Schema) -> None:
+        """Check every referenced element exists in ``schema``.
+
+        Raises
+        ------
+        QueryError
+            Naming a missing object class, attribute (inherited attributes
+            count), relationship set or join target.
+        """
+        try:
+            schema.object_class(self.object_name)
+        except Exception as exc:
+            raise QueryError(
+                f"request is over unknown object class "
+                f"{self.object_name!r} in schema {schema.name!r}"
+            ) from exc
+        available = {
+            attribute.name
+            for attribute in inherited_attributes(schema, self.object_name)
+        }
+        for name in self.referenced_attributes():
+            if name not in available:
+                raise QueryError(
+                    f"{self.object_name!r} has no attribute {name!r} "
+                    f"in schema {schema.name!r}"
+                )
+        for join in self.joins:
+            try:
+                relationship = schema.relationship_set(join.relationship)
+            except Exception as exc:
+                raise QueryError(
+                    f"unknown relationship set {join.relationship!r} "
+                    f"in schema {schema.name!r}"
+                ) from exc
+            participants = set(relationship.participant_names())
+            if join.target not in participants:
+                raise QueryError(
+                    f"{join.relationship!r} does not connect {join.target!r}"
+                )

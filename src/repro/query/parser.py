@@ -1,0 +1,88 @@
+"""Parser for the textual request form.
+
+Grammar::
+
+    request   := "select" projection "from" NAME [where] {via}
+    projection:= "*" | NAME {"," NAME}
+    where     := "where" comparison {"and" comparison}
+    comparison:= NAME OP VALUE          (OP in <=, >=, !=, =, <, >)
+    via       := "via" NAME "(" NAME ")"
+
+Values run to the next ``and``/``via`` keyword; quotes around string values
+are optional and stripped.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QueryError
+from repro.query.ast import OPERATORS, Comparison, Join, Request
+
+_VIA_RE = re.compile(r"via\s+(\w+)\s*\(\s*(\w+)\s*\)", re.IGNORECASE)
+_SELECT_RE = re.compile(
+    r"^\s*select\s+(?P<projection>.+?)\s+from\s+(?P<object>\w+)"
+    r"(?:\s+where\s+(?P<where>.+?))?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def parse_request(text: str) -> Request:
+    """Parse a textual request into a :class:`~repro.query.ast.Request`.
+
+    Raises
+    ------
+    QueryError
+        On any syntax error.
+    """
+    working = text.strip()
+    if not working:
+        raise QueryError("empty request")
+    joins: list[Join] = []
+
+    def capture_join(match: re.Match) -> str:
+        joins.append(Join(match.group(1), match.group(2)))
+        return " "
+
+    working = _VIA_RE.sub(capture_join, working)
+    match = _SELECT_RE.match(working)
+    if not match:
+        raise QueryError(
+            f"request must be 'select ... from ... [where ...]', got {text!r}"
+        )
+    projection_text = match.group("projection").strip()
+    if projection_text == "*":
+        attributes: tuple[str, ...] = ()
+    else:
+        attributes = tuple(
+            name.strip() for name in projection_text.split(",") if name.strip()
+        )
+        for name in attributes:
+            if not re.fullmatch(r"\w+", name):
+                raise QueryError(f"bad projection attribute {name!r}")
+    conditions = _parse_where(match.group("where"))
+    return Request(match.group("object"), attributes, conditions, tuple(joins))
+
+
+def _parse_where(where_text: str | None) -> tuple[Comparison, ...]:
+    if not where_text:
+        return ()
+    conditions: list[Comparison] = []
+    for conjunct in re.split(r"\band\b", where_text, flags=re.IGNORECASE):
+        conjunct = conjunct.strip()
+        if not conjunct:
+            raise QueryError("empty conjunct in where clause")
+        for operator in OPERATORS:  # longest operators first
+            if operator in conjunct:
+                attribute, _, value = conjunct.partition(operator)
+                attribute = attribute.strip()
+                value = value.strip().strip("'\"")
+                if not re.fullmatch(r"\w+", attribute):
+                    raise QueryError(f"bad condition attribute {attribute!r}")
+                if not value:
+                    raise QueryError(f"missing value in condition {conjunct!r}")
+                conditions.append(Comparison(attribute, operator, value))
+                break
+        else:
+            raise QueryError(f"no comparison operator in {conjunct!r}")
+    return tuple(conditions)

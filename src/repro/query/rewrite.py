@@ -1,0 +1,179 @@
+"""Request rewriting through schema mappings (both integration contexts).
+
+``rewrite_to_integrated`` converts a component-schema (user-view) request
+into an integrated-schema request — the logical-database-design direction.
+``rewrite_to_components`` maps an integrated-schema (global) request onto
+each component database that contributes data — the federation direction;
+the results are to be unioned by the (out-of-scope) execution engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.integration.mappings import SchemaMapping
+from repro.query.ast import Comparison, Join, Request
+
+
+def rewrite_to_integrated(request: Request, mapping: SchemaMapping) -> Request:
+    """Rewrite a component-schema request against the integrated schema.
+
+    Every referenced object class, attribute and relationship set is
+    replaced by its integrated counterpart.
+
+    Raises
+    ------
+    MappingError
+        If any referenced element has no integrated counterpart (the
+        request does not belong to this component schema).
+    """
+    target_object = mapping.map_object(request.object_name)
+    attributes = tuple(
+        mapping.map_attribute(request.object_name, name)[1]
+        for name in request.attributes
+    )
+    conditions = tuple(
+        Comparison(
+            mapping.map_attribute(request.object_name, condition.attribute)[1],
+            condition.operator,
+            condition.value,
+        )
+        for condition in request.conditions
+    )
+    joins = tuple(
+        Join(mapping.map_object(join.relationship), mapping.map_object(join.target))
+        for join in request.joins
+    )
+    return Request(target_object, attributes, conditions, joins)
+
+
+@dataclass
+class ComponentRequest:
+    """One leg of a federated request: the component schema, the rewritten
+    request, and global attributes that component cannot supply."""
+
+    schema: str
+    request: Request
+    missing_attributes: list[str] = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether this component can answer the whole projection."""
+        return not self.missing_attributes
+
+    def __str__(self) -> str:
+        missing = (
+            f"  -- missing: {', '.join(self.missing_attributes)}"
+            if self.missing_attributes
+            else ""
+        )
+        return f"[{self.schema}] {self.request}{missing}"
+
+
+def rewrite_to_components(
+    request: Request,
+    mappings: dict[str, SchemaMapping],
+    integrated_schema=None,
+) -> list[ComponentRequest]:
+    """Rewrite a global request onto every contributing component schema.
+
+    For each component schema whose mapping covers the request's object
+    class, the global names are replaced by that component's names.  A
+    global attribute the component lacks is recorded in
+    ``missing_attributes`` (its values come from other components or are
+    null-padded by the federation layer).  A condition on a missing
+    attribute disqualifies the component: it cannot evaluate the filter,
+    so it contributes no certain answers.
+
+    With ``integrated_schema`` (a :class:`~repro.ecr.schema.Schema`) given,
+    components whose objects map onto *subclasses* of the requested class
+    also contribute — their instances are members of the requested class
+    by the IS-A semantics.  Without it, only direct coverage is routed.
+
+    Raises
+    ------
+    MappingError
+        If no component schema covers the requested object class.
+    """
+    targets = [request.object_name]
+    if integrated_schema is not None:
+        from repro.ecr.walk import subclass_closure
+
+        targets += subclass_closure(integrated_schema, request.object_name)
+    legs: list[ComponentRequest] = []
+    for schema_name in sorted(mappings):
+        mapping = mappings[schema_name]
+        for target in targets:
+            for local_object in mapping.objects_mapping_to(target):
+                leg = _component_leg(request, mapping, local_object, target)
+                if leg is not None:
+                    legs.append(leg)
+    if not legs:
+        raise MappingError(
+            f"no component schema covers object class {request.object_name!r}"
+        )
+    return legs
+
+
+def _component_leg(
+    request: Request,
+    mapping: SchemaMapping,
+    local_object: str,
+    target: str | None = None,
+) -> ComponentRequest | None:
+    target = target or request.object_name
+    attributes: list[str] = []
+    missing: list[str] = []
+    for name in request.attributes:
+        local = _local_attribute(mapping, local_object, target, name)
+        if local is None:
+            missing.append(name)
+        else:
+            attributes.append(local)
+    conditions: list[Comparison] = []
+    for condition in request.conditions:
+        local = _local_attribute(
+            mapping, local_object, target, condition.attribute
+        )
+        if local is None:
+            return None  # cannot evaluate the filter here
+        conditions.append(Comparison(local, condition.operator, condition.value))
+    joins: list[Join] = []
+    for join in request.joins:
+        local_relationships = mapping.objects_mapping_to(join.relationship)
+        local_targets = mapping.objects_mapping_to(join.target)
+        if not local_relationships or not local_targets:
+            return None  # this component cannot perform the traversal
+        joins.append(Join(local_relationships[0], local_targets[0]))
+    return ComponentRequest(
+        mapping.component_schema,
+        Request(local_object, tuple(attributes), tuple(conditions), tuple(joins)),
+        missing,
+    )
+
+
+def _local_attribute(
+    mapping: SchemaMapping,
+    local_object: str,
+    integrated_object: str,
+    integrated_attribute: str,
+) -> str | None:
+    """The component attribute behind an integrated attribute, if any.
+
+    Integration may absorb a contained class's attribute into an *ancestor*
+    of the class's own integrated node (``Grad_student.Name`` ends up as
+    ``Student.D_Name``); the integrated class then reaches it by
+    inheritance.  So an exact (object, attribute) target match is preferred,
+    but a match on the integrated attribute name within the same local
+    object — necessarily an absorbed-to-ancestor attribute — also counts.
+    """
+    fallback = None
+    for (object_name, attribute), target in mapping.attributes.items():
+        if object_name != local_object:
+            continue
+        if target == (integrated_object, integrated_attribute):
+            return attribute
+        if target[1] == integrated_attribute and fallback is None:
+            fallback = attribute
+    return fallback

@@ -1,0 +1,31 @@
+"""The interactive schema-integration tool.
+
+This package reproduces Section 3 of the paper: a menu/form, terminal-
+independent interface over the integration library.  The original was C on
+Apollo UNIX using ``curses``; here the same screens render onto a
+:class:`~repro.tool.terminal.VirtualTerminal` (a character grid), driven
+either interactively from stdin (``ecr-integrate``) or by a script of input
+lines (tests, benchmarks, examples).
+
+The six main-menu tasks follow the paper:
+
+1. schema collection (Screens 2-5),
+2. object-class attribute equivalences (Screens 6-7),
+3. object-class assertions (Screens 8-9),
+4. relationship-set attribute equivalences,
+5. relationship-set assertions,
+6. integration and browsing (Screens 10-12, control flow of Figure 6).
+"""
+
+from repro.tool.terminal import VirtualTerminal
+from repro.tool.session import ToolSession
+from repro.tool.app import ToolApp, run_script
+from repro.tool.screens import MainMenuScreen
+
+__all__ = [
+    "VirtualTerminal",
+    "ToolSession",
+    "ToolApp",
+    "run_script",
+    "MainMenuScreen",
+]

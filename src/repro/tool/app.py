@@ -1,0 +1,105 @@
+"""The tool's run loop: interactive or scripted.
+
+The app maintains a screen stack (the paper's screens form a hierarchy —
+Figure 6 shows the browse part); each iteration renders the top screen to
+the virtual terminal, reads one input line and navigates.  The scripted
+mode feeds a list of lines and returns the full transcript, which is how
+tests and benchmarks replay DDA sessions deterministically.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable
+
+from repro.errors import ToolError
+from repro.tool.screens.base import POP, Replace, Screen
+from repro.tool.screens.main_menu import MainMenuScreen
+from repro.tool.session import ToolSession
+from repro.tool.terminal import VirtualTerminal
+
+
+class ToolApp:
+    """Drives screens over a session and a virtual terminal."""
+
+    def __init__(
+        self,
+        session: ToolSession | None = None,
+        terminal: VirtualTerminal | None = None,
+    ) -> None:
+        self.session = session or ToolSession()
+        self.terminal = terminal or VirtualTerminal()
+        self._stack: list[Screen] = [MainMenuScreen()]
+        #: every rendered frame, in order (scripted mode's transcript)
+        self.frames: list[str] = []
+
+    @property
+    def current_screen(self) -> Screen | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def finished(self) -> bool:
+        return not self._stack
+
+    def render(self) -> str:
+        """Render the current screen; returns (and records) the frame."""
+        screen = self.current_screen
+        if screen is None:
+            raise ToolError("the tool has exited")
+        screen.render(self.terminal, self.session)
+        frame = self.terminal.render()
+        self.frames.append(frame)
+        return frame
+
+    def feed(self, line: str) -> None:
+        """Process one input line against the current screen."""
+        screen = self.current_screen
+        if screen is None:
+            raise ToolError("the tool has exited")
+        outcome = screen.safe_handle(line, self.session)
+        if outcome is POP:
+            self._stack.pop()
+        elif isinstance(outcome, Replace):
+            self._stack.pop()
+            self._stack.append(outcome.screen)
+        elif isinstance(outcome, Screen):
+            self._stack.append(outcome)
+
+    def run(self, lines: Iterable[str]) -> str:
+        """Scripted run: render, feed, repeat; returns the transcript."""
+        for line in lines:
+            if self.finished:
+                break
+            self.render()
+            self.feed(line)
+        if not self.finished:
+            self.render()
+        return "\n".join(self.frames)
+
+
+def run_script(
+    lines: Iterable[str], session: ToolSession | None = None
+) -> tuple[ToolApp, str]:
+    """Run a scripted session; returns the app (for state) and transcript."""
+    app = ToolApp(session)
+    transcript = app.run(list(lines))
+    return app, transcript
+
+
+def main() -> int:
+    """Interactive entry point (the ``ecr-integrate`` console script)."""
+    app = ToolApp()
+    print("Schema integration tool (reproduction of Sheth et al., ICDE 1988)")
+    while not app.finished:
+        sys.stdout.write(app.render())
+        try:
+            line = input("> ")
+        except EOFError:
+            break
+        app.feed(line)
+    print("bye")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

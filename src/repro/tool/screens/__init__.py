@@ -1,0 +1,57 @@
+"""All screens of the tool, re-exported flat."""
+
+from repro.tool.screens.base import POP, Replace, Screen
+from repro.tool.screens.main_menu import MainMenuScreen
+from repro.tool.screens.collection import (
+    SchemaNameScreen,
+    StructureInfoScreen,
+    CategoryInfoScreen,
+    RelationshipInfoScreen,
+    AttributeInfoScreen,
+)
+from repro.tool.screens.equivalence import (
+    SchemaSelectScreen,
+    ObjectSelectScreen,
+    EquivalenceEditScreen,
+)
+from repro.tool.screens.assertion import (
+    AssertionCollectScreen,
+    ConflictResolutionScreen,
+)
+from repro.tool.screens.browse import (
+    BROWSE_FLOW_EDGES,
+    ObjectClassScreen,
+    EntityScreen,
+    CategoryScreen,
+    RelationshipScreen,
+    AttributeScreen,
+    ComponentAttributeScreen,
+    EquivalentScreen,
+    ParticipatingObjectsScreen,
+)
+
+__all__ = [
+    "POP",
+    "Replace",
+    "Screen",
+    "MainMenuScreen",
+    "SchemaNameScreen",
+    "StructureInfoScreen",
+    "CategoryInfoScreen",
+    "RelationshipInfoScreen",
+    "AttributeInfoScreen",
+    "SchemaSelectScreen",
+    "ObjectSelectScreen",
+    "EquivalenceEditScreen",
+    "AssertionCollectScreen",
+    "ConflictResolutionScreen",
+    "BROWSE_FLOW_EDGES",
+    "ObjectClassScreen",
+    "EntityScreen",
+    "CategoryScreen",
+    "RelationshipScreen",
+    "AttributeScreen",
+    "ComponentAttributeScreen",
+    "EquivalentScreen",
+    "ParticipatingObjectsScreen",
+]

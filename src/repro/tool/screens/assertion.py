@@ -1,0 +1,218 @@
+"""Phase 3: the Assertion Specification screens (Screens 8-9).
+
+The Assertion Collection For Object Pairs screen presents the ranked
+candidate pairs (ordered by attribute ratio) and collects an assertion
+code for each; a contradiction opens the Assertion Conflict Resolution
+Screen, which shows the derivation chain and lets the DDA repair it.
+"""
+
+from __future__ import annotations
+
+from repro.assertions.conflicts import ConflictReport
+from repro.assertions.kinds import AssertionKind, Source
+from repro.errors import ConflictError, ToolError
+from repro.tool.screens.base import POP, Screen
+from repro.tool.session import ToolSession
+
+_MENU_LINES = [
+    "Assertions:",
+    "  1 - OB_CL_name_1 'equals' OB_CL_name_2",
+    "  2 - OB_CL_name_1 'contained in' OB_CL_name_2",
+    "  3 - OB_CL_name_1 'contains' OB_CL_name_2",
+    "  4 - OB_CL_name_1 and OB_CL_name_2 are disjoint but integrable",
+    "  5 - OB_CL_name_1 and OB_CL_name_2 may be integratable",
+    "  0 - OB_CL_name_1 and OB_CL_name_2 are disjoint & non-integratable",
+]
+
+
+class AssertionCollectScreen(Screen):
+    """Screen 8: assertion collection for the ranked object pairs."""
+
+    header = "ASSERTION SPECIFICATION"
+    subheader = "Assertion Collection For Object Pairs"
+
+    def __init__(self, relationships: bool = False) -> None:
+        self.relationships = relationships
+        if relationships:
+            self.subheader = "Assertion Collection For Relationship Pairs"
+        self._cursor = 0
+
+    def _pairs(self, session: ToolSession):
+        return session.candidate_pairs(self.relationships)
+
+    def body(self, session: ToolSession) -> list[str]:
+        pairs = self._pairs(session)
+        network = session.network_for(self.relationships)
+        lines = [
+            f"{'Schema_Name1.Obj_Class1':<26}{'Schema_Name2.Obj_Class2':<26}"
+            f"{'ATTRIBUTE':>10}{'ENTER':>10}",
+            f"{'':<26}{'':<26}{'RATIO':>10}{'ASSERTION':>10}",
+        ]
+        for index, pair in enumerate(pairs):
+            assertion = network.assertion_for(pair.first, pair.second)
+            if assertion is None:
+                entry = "=>" if index == self._cursor else ""
+            else:
+                tag = "" if assertion.source is Source.DDA else "*"
+                entry = f"=>{assertion.kind.code}{tag}"
+            lines.append(
+                f"{str(pair.first):<26}{str(pair.second):<26}"
+                f"{pair.attribute_ratio:>10.4f}{entry:>10}"
+            )
+        if not pairs:
+            lines.append("   (no candidate pairs - define equivalences first)")
+        lines.append("")
+        lines.extend(_MENU_LINES)
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        pairs = self._pairs(session)
+        if self._cursor < len(pairs):
+            pair = pairs[self._cursor]
+            return (
+                f"Assertion for {pair.first} / {pair.second} "
+                "(0-5, (N)ext, (R <row> <code>) revise, (E)xit) :"
+            )
+        return "All pairs reviewed.  (R <row> <code>) revise, (E)xit :"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        pairs = self._pairs(session)
+        network = session.network_for(self.relationships)
+        if choice == "e":
+            return POP
+        if choice == "n":
+            if self._cursor < len(pairs):
+                self._cursor += 1
+            return None
+        if choice == "r":
+            if len(args) != 2:
+                raise ToolError("usage: R <row-number> <code>")
+            row = self._row(pairs, args[0])
+            code = self._code(args[1])
+            try:
+                network.respecify(pairs[row].first, pairs[row].second, code)
+            except ConflictError as conflict:
+                return ConflictResolutionScreen(
+                    conflict.report, self.relationships
+                )
+            session.status = "assertion revised"
+            return None
+        if choice.isdigit() and not args:
+            if self._cursor >= len(pairs):
+                raise ToolError("all pairs reviewed; use R to revise")
+            code = self._code(choice)
+            pair = pairs[self._cursor]
+            try:
+                network.specify(pair.first, pair.second, code)
+            except ConflictError as conflict:
+                return ConflictResolutionScreen(
+                    conflict.report, self.relationships
+                )
+            self._cursor += 1
+            return None
+        raise ToolError(f"unknown choice {line!r}")
+
+    @staticmethod
+    def _row(pairs, text: str) -> int:
+        try:
+            row = int(text) - 1
+        except ValueError:
+            raise ToolError(f"bad row number {text!r}") from None
+        if not 0 <= row < len(pairs):
+            raise ToolError(f"row {text} is out of range")
+        return row
+
+    @staticmethod
+    def _code(text: str) -> AssertionKind:
+        try:
+            return AssertionKind.from_code(int(text))
+        except ValueError:
+            raise ToolError(f"assertion code must be 0-5, got {text!r}") from None
+
+
+class ConflictResolutionScreen(Screen):
+    """Screen 9: show the conflicting assertions and their derivation."""
+
+    header = "ASSERTION SPECIFICATION"
+    subheader = "Assertion Conflict Resolution Screen"
+
+    def __init__(self, report: ConflictReport, relationships: bool) -> None:
+        self.report = report
+        self.relationships = relationships
+
+    def body(self, session: ToolSession) -> list[str]:
+        report = self.report
+        lines = [
+            f"{'SCHEMA_NAME1.OBJ_CLASS1':<26}{'SCHEMA_NAME2.OBJ_CLASS2':<26}"
+            f"{'CURRENT':>9}{'NEW':>21}",
+            f"{'':<26}{'':<26}{'ASSERTION':>9}{'ASSERTION':>21}",
+        ]
+        current_code = (
+            "?" if report.current is None else str(report.current.kind.code)
+        )
+        current_tag = (
+            "<derived>(CONFLICT)"
+            if report.current is not None
+            and report.current.source is Source.DERIVED
+            else "(CONFLICT)"
+        )
+        lines.append(
+            f"{str(report.subject_first):<26}{str(report.subject_second):<26}"
+            f"{current_code:>9}{current_tag:>21}"
+        )
+        lines.append(
+            f"{str(report.new.first):<26}{str(report.new.second):<26}"
+            f"{report.new.kind.code:>9}{'<new>(CONFLICT)':>21}"
+        )
+        for assertion in report.chain:
+            lines.append(
+                f"{str(assertion.first):<26}{str(assertion.second):<26}"
+                f"{assertion.kind.code:>9}"
+            )
+        lines.append("")
+        lines.extend(_MENU_LINES)
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return (
+            "(W)ithdraw new assertion  "
+            "(C <line> <code>) change a chain assertion then retry  :"
+        )
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        network = session.network_for(self.relationships)
+        if choice == "w":
+            session.status = "new assertion withdrawn"
+            return POP
+        if choice == "c":
+            if len(args) != 2:
+                raise ToolError("usage: C <chain-line-number> <code>")
+            try:
+                index = int(args[0]) - 1
+            except ValueError:
+                raise ToolError(f"bad line number {args[0]!r}") from None
+            if not 0 <= index < len(self.report.chain):
+                raise ToolError(f"chain line {args[0]} is out of range")
+            target = self.report.chain[index]
+            if target.source is not Source.DDA:
+                raise ToolError(
+                    "that assertion comes from the schema structure; "
+                    "edit the schema instead"
+                )
+            code = int(args[1])
+            network.respecify(target.first, target.second, code)
+            try:
+                network.specify(
+                    self.report.new.first,
+                    self.report.new.second,
+                    self.report.new.kind,
+                )
+            except ConflictError as conflict:
+                self.report = conflict.report
+                session.status = "still conflicting"
+                return None
+            session.status = "conflict resolved"
+            return POP
+        raise ToolError(f"unknown choice {line!r}")

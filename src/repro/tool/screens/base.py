@@ -1,0 +1,126 @@
+"""Screen infrastructure: the base class and navigation results.
+
+Every screen renders a header/body onto the virtual terminal and handles
+one input line at a time.  ``handle`` returns where to go next:
+
+* ``None`` — stay on this screen;
+* another :class:`Screen` — push it (the paper's screens form a hierarchy,
+  Figure 6);
+* :data:`POP` — leave this screen, back to the one beneath.
+
+Errors raised by the library surface as the session status line rather
+than crashing the tool, matching the original's interactive feel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.tool.session import ToolSession
+from repro.tool.terminal import VirtualTerminal
+
+
+class _Pop:
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "POP"
+
+
+#: Sentinel: leave the current screen.
+POP = _Pop()
+
+
+class Replace:
+    """Navigation result: swap the current screen for another one.
+
+    Used when a screen finishes a sub-step and hands over to a sibling
+    (category parents → attributes), so that exiting the sibling returns
+    to the *grandparent* screen, not back into the finished sub-step.
+    """
+
+    def __init__(self, screen: "Screen") -> None:
+        self.screen = screen
+
+
+#: What ``handle`` may return.
+Navigation = "Screen | Replace | _Pop | None"
+
+
+class Screen:
+    """One menu/form screen of the tool.
+
+    The paper: each screen "is made up of multiple windows, some of which
+    can be scrolled to supply and display additional information."  The
+    base class implements that scrolling generically: when the body is
+    longer than the window, the ``S`` choice pages through it (wrapping
+    back to the top), exactly like the original's Scroll menu items.
+    """
+
+    #: Big centred header (the screen family, e.g. "SCHEMA COLLECTION").
+    header = "SCHEMA INTEGRATION TOOL"
+    #: The angle-bracketed subtitle (the specific screen name).
+    subheader = ""
+
+    #: current scroll offset (lines of body skipped)
+    _scroll = 0
+
+    def body(self, session: ToolSession) -> list[str]:
+        """The screen's content lines (without headers)."""
+        raise NotImplementedError
+
+    def prompt(self, session: ToolSession) -> str:
+        """The bottom menu/prompt line."""
+        raise NotImplementedError
+
+    def handle(self, line: str, session: ToolSession):
+        """Process one input line; see module docstring for return values."""
+        raise NotImplementedError
+
+    # -- shared plumbing -------------------------------------------------------
+
+    def _page_size(self, terminal: VirtualTerminal) -> int:
+        # headers (3 rows) + position line + status + blank + prompt must
+        # all fit inside the grid alongside the body page
+        return max(1, terminal.height - 8)
+
+    def render(self, terminal: VirtualTerminal, session: ToolSession) -> None:
+        body = self.body(session)
+        page = self._page_size(terminal)
+        if self._scroll and self._scroll >= len(body):
+            self._scroll = 0  # the body shrank since the last scroll
+        if len(body) > page:
+            shown = body[self._scroll : self._scroll + page]
+            position = (
+                f"-- lines {self._scroll + 1}-"
+                f"{min(self._scroll + page, len(body))} of {len(body)}"
+                " -- (S)croll for more --"
+            )
+            body = shown + [position]
+        if session.status:
+            body = body + [f"** {session.status}"]
+        body = body + ["", self.prompt(session)]
+        terminal.show_screen(self.header, self.subheader, body)
+
+    def scroll(self, terminal_height: int = 24) -> None:
+        """Advance one page (wrapping); bound to the ``S`` choice."""
+        self._scroll += max(1, terminal_height - 8)
+
+    def safe_handle(self, line: str, session: ToolSession):
+        """``handle`` with library errors captured into the status line,
+        and the generic Scroll choice applied before screen logic."""
+        session.status = ""
+        stripped = line.strip()
+        if stripped.lower() == "s":
+            self.scroll()
+            return None
+        try:
+            return self.handle(stripped, session)
+        except ReproError as exc:
+            session.status = str(exc)
+            return None
+
+    @staticmethod
+    def parse_choice(line: str) -> tuple[str, list[str]]:
+        """Split ``"A Student e"`` into ``("a", ["Student", "e"])``."""
+        parts = line.split()
+        if not parts:
+            return "", []
+        return parts[0].lower(), parts[1:]

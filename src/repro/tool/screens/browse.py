@@ -1,0 +1,366 @@
+"""Phase 4 viewing: the integrated-schema browse screens (Screens 10-12).
+
+Eight screens arranged in the hierarchy of Figure 6:
+
+* **Object Class Screen** (Screen 10) — all object classes and relationship
+  sets of the integrated schema; gateway to the others;
+* **Entity / Category / Relationship Screens** (Screen 11) — parents and
+  children of one structure;
+* **Attribute Screen** — the attributes of any object class;
+* **Component Attribute Screens** (12a/12b) — per-component provenance of a
+  derived attribute;
+* **Equivalent Screen** — the objects an ``E_`` class was merged from;
+* **Participating Objects In Relationship Screen** — the legs of a
+  relationship set.
+
+:data:`BROWSE_FLOW_EDGES` records the arcs of Figure 6 (screen, menu
+choice, screen) and is what the FIG6 benchmark checks.
+"""
+
+from __future__ import annotations
+
+from repro.ecr.objects import Category
+from repro.ecr.relationships import RelationshipSet
+from repro.errors import ToolError
+from repro.tool.screens.base import POP, Screen
+from repro.tool.session import ToolSession
+
+#: The control-flow arcs of Figure 6: (source screen, choice, target screen).
+BROWSE_FLOW_EDGES: list[tuple[str, str, str]] = [
+    ("ObjectClassScreen", "a", "AttributeScreen"),
+    ("ObjectClassScreen", "c", "CategoryScreen"),
+    ("ObjectClassScreen", "e", "EntityScreen"),
+    ("ObjectClassScreen", "r", "RelationshipScreen"),
+    ("EntityScreen", "v", "EquivalentScreen"),
+    ("CategoryScreen", "v", "EquivalentScreen"),
+    ("RelationshipScreen", "v", "EquivalentScreen"),
+    ("RelationshipScreen", "p", "ParticipatingObjectsScreen"),
+    ("AttributeScreen", "<attribute>", "ComponentAttributeScreen"),
+]
+
+
+class ObjectClassScreen(Screen):
+    """Screen 10: the integrated schema's structures, by kind."""
+
+    header = "INTEGRATED SCHEMA"
+    subheader = "Object Class Screen"
+
+    def body(self, session: ToolSession) -> list[str]:
+        schema = session.require_result().schema
+        entities = [entity.name for entity in schema.entity_sets()]
+        categories = [category.name for category in schema.categories()]
+        relationships = [rel.name for rel in schema.relationship_sets()]
+        lines = [
+            f"{f'Entities({len(entities)})':<26}"
+            f"{f'Categories({len(categories)})':<26}"
+            f"{f'Relationships({len(relationships)})':<26}"
+        ]
+        for index in range(max(len(entities), len(categories), len(relationships))):
+            cell_a = entities[index] if index < len(entities) else ""
+            cell_b = categories[index] if index < len(categories) else ""
+            cell_c = relationships[index] if index < len(relationships) else ""
+            lines.append(f"{cell_a:<26}{cell_b:<26}{cell_c:<26}")
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return (
+            "Choose: <name> then <A>ttributes, <C>ategories, <E>ntities, "
+            "<R>elationships, or <x> to exit =>"
+        )
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "x" and not args:
+            return POP
+        parts = line.split()
+        if len(parts) != 2:
+            raise ToolError("enter: <structure-name> <a/c/e/r>")
+        name, kind = parts[0], parts[1].lower()
+        structure = session.integrated_structure(name)
+        if kind == "a":
+            return AttributeScreen(name)
+        if kind == "c":
+            if not isinstance(structure, Category):
+                raise ToolError(f"{name!r} is not a category")
+            return CategoryScreen(name)
+        if kind == "e":
+            if structure.kind.value != "e":
+                raise ToolError(f"{name!r} is not an entity set")
+            return EntityScreen(name)
+        if kind == "r":
+            if not isinstance(structure, RelationshipSet):
+                raise ToolError(f"{name!r} is not a relationship set")
+            return RelationshipScreen(name)
+        raise ToolError(f"unknown choice {kind!r}")
+
+
+class _StructureScreen(Screen):
+    """Shared behaviour of the Entity/Category/Relationship screens."""
+
+    header = "INTEGRATED SCHEMA"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _children(self, session: ToolSession) -> list[tuple[str, str]]:
+        schema = session.require_result().schema
+        return [
+            (category.name, category.kind.value)
+            for category in schema.categories()
+            if self.name in category.parents
+        ]
+
+    def prompt(self, session: ToolSession) -> str:
+        return "(V) equivalent objects  (Q)uit =>"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "q":
+            return POP
+        if choice == "v":
+            return EquivalentScreen(self.name)
+        raise ToolError(f"unknown choice {line!r}")
+
+
+class EntityScreen(_StructureScreen):
+    """The children object classes of one entity set."""
+
+    subheader = "Entity Screen"
+
+    def body(self, session: ToolSession) -> list[str]:
+        lines = [f"< {self.name} : entity >", "", "Child Object (type)"]
+        children = self._children(session)
+        for index, (child, kind) in enumerate(children, start=1):
+            lines.append(f"{index}> {child} ({kind})")
+        if not children:
+            lines.append("   (no children)")
+        return lines
+
+
+class CategoryScreen(_StructureScreen):
+    """Screen 11: the parents and children of one category."""
+
+    subheader = "Category Screen"
+
+    def body(self, session: ToolSession) -> list[str]:
+        schema = session.require_result().schema
+        category = schema.category(self.name)
+        children = self._children(session)
+        lines = [
+            f"< {self.name} >",
+            "",
+            f"{f'Parent Object({len(category.parents)}) (type)':<36}"
+            f"{f'Child Object({len(children)}) (type)':<36}",
+        ]
+        for index in range(max(len(category.parents), len(children))):
+            if index < len(category.parents):
+                parent_name = category.parents[index]
+                parent_kind = schema.object_class(parent_name).kind.value
+                cell_a = f"{parent_name} ({parent_kind})"
+            else:
+                cell_a = ""
+            if index < len(children):
+                cell_b = f"{children[index][0]} ({children[index][1]})"
+            else:
+                cell_b = ""
+            lines.append(f"{index + 1}> {cell_a:<33}{cell_b:<36}")
+        return lines
+
+
+class RelationshipScreen(_StructureScreen):
+    """The lattice neighbours of one relationship set."""
+
+    subheader = "Relationship Screen"
+
+    def body(self, session: ToolSession) -> list[str]:
+        result = session.require_result()
+        parents = [
+            parent
+            for child, parent in result.relationship_lattice
+            if child == self.name
+        ]
+        children = [
+            child
+            for child, parent in result.relationship_lattice
+            if parent == self.name
+        ]
+        lines = [
+            f"< {self.name} : relationship >",
+            "",
+            f"{f'Parent({len(parents)})':<36}{f'Child({len(children)})':<36}",
+        ]
+        for index in range(max(len(parents), len(children))):
+            cell_a = parents[index] if index < len(parents) else ""
+            cell_b = children[index] if index < len(children) else ""
+            lines.append(f"{index + 1}> {cell_a:<33}{cell_b:<36}")
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return "(V) equivalent objects  (P)articipating objects  (Q)uit =>"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "p":
+            return ParticipatingObjectsScreen(self.name)
+        return super().handle(line, session)
+
+
+class AttributeScreen(Screen):
+    """The attributes of one integrated structure."""
+
+    header = "INTEGRATED SCHEMA"
+    subheader = "Attribute Screen"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def body(self, session: ToolSession) -> list[str]:
+        structure = session.integrated_structure(self.name)
+        result = session.require_result()
+        lines = [
+            f"< {self.name} : {structure.kind_label()} >",
+            "",
+            f"{'Attribute Name':<20}{'Domain':<16}{'Key':<6}{'Components':<10}",
+        ]
+        for index, attribute in enumerate(structure.attributes, start=1):
+            origin = result.attribute_origins.get((self.name, attribute.name))
+            component_count = len(origin.components) if origin else 1
+            lines.append(
+                f"{index}> {attribute.name:<17}{str(attribute.domain):<16}"
+                f"{'YES' if attribute.is_key else 'no':<6}{component_count:<10}"
+            )
+        if not structure.attributes:
+            lines.append("   (no attributes)")
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return "Enter <attribute> for its component attributes, or (Q)uit =>"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "q" and not args:
+            return POP
+        attribute_name = line.strip()
+        structure = session.integrated_structure(self.name)
+        structure.attribute(attribute_name)
+        result = session.require_result()
+        components = result.component_attributes(self.name, attribute_name)
+        return ComponentAttributeScreen(self.name, attribute_name, 0)
+
+
+class ComponentAttributeScreen(Screen):
+    """Screens 12a/12b: one component of a derived attribute."""
+
+    header = "INTEGRATED SCHEMA"
+    subheader = "Component Attribute Screen"
+
+    def __init__(self, object_name: str, attribute_name: str, index: int) -> None:
+        self.object_name = object_name
+        self.attribute_name = attribute_name
+        self.index = index
+
+    def body(self, session: ToolSession) -> list[str]:
+        result = session.require_result()
+        structure = session.integrated_structure(self.object_name)
+        components = result.component_attributes(
+            self.object_name, self.attribute_name
+        )
+        component = components[self.index]
+        original_schema = session.schema(component.schema)
+        original_structure = original_schema.get(component.object_name)
+        original_attribute = original_structure.attribute(component.attribute)
+        return [
+            f"< {self.object_name} : {structure.kind_label()} >",
+            f"< {self.attribute_name}"
+            f" ({self.index + 1} of {len(components)}) >",
+            "",
+            f"Attribute Name   : {original_attribute.name}",
+            f"Domain           : {original_attribute.domain}",
+            f"Key              : {'YES' if original_attribute.is_key else 'NO'}",
+            f"original",
+            f"Object Name      : {component.object_name}",
+            f"original type    : {original_structure.kind.value.upper()}",
+            f"original",
+            f"Schema Name      : {component.schema}",
+        ]
+
+    def prompt(self, session: ToolSession) -> str:
+        return "Press <n> for next component, or (Q)uit =>"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "q":
+            return POP
+        result = session.require_result()
+        components = result.component_attributes(
+            self.object_name, self.attribute_name
+        )
+        if self.index + 1 < len(components):
+            self.index += 1
+            return None
+        return POP
+
+
+class EquivalentScreen(Screen):
+    """The original objects an integrated structure was obtained from."""
+
+    header = "INTEGRATED SCHEMA"
+    subheader = "Equivalent Screen"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def body(self, session: ToolSession) -> list[str]:
+        result = session.require_result()
+        components = result.components_of(self.name)
+        node = result.nodes[self.name]
+        lines = [f"< {self.name} : {node.origin} >", ""]
+        for index, component in enumerate(components, start=1):
+            lines.append(f"{index}> {component}")
+        if not components:
+            lines.append("   (newly derived - no direct components)")
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return "(Q)uit =>"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "q":
+            return POP
+        raise ToolError(f"unknown choice {line!r}")
+
+
+class ParticipatingObjectsScreen(Screen):
+    """The entities and categories tied to one relationship set."""
+
+    header = "INTEGRATED SCHEMA"
+    subheader = "Participating Objects In Relationship Screen"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def body(self, session: ToolSession) -> list[str]:
+        schema = session.require_result().schema
+        relationship = schema.relationship_set(self.name)
+        lines = [
+            f"< {self.name} >",
+            "",
+            f"{'Participant':<24}{'(min,max)':<12}{'Type':<8}{'Role':<12}",
+        ]
+        for index, leg in enumerate(relationship.participations, start=1):
+            kind = schema.object_class(leg.object_name).kind.value
+            lines.append(
+                f"{index}> {leg.object_name:<21}{str(leg.cardinality):<12}"
+                f"{kind:<8}{leg.role:<12}"
+            )
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return "(Q)uit =>"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "q":
+            return POP
+        raise ToolError(f"unknown choice {line!r}")

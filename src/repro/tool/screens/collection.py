@@ -1,0 +1,333 @@
+"""Phase 1: the Schema Collection screens (Screens 2-5 of the paper).
+
+* Schema Name Collection Screen — define/delete/update schemas;
+* Structure Information Collection Screen — the structures of one schema
+  (name, type E/C/R, number of attributes);
+* Category Information Collection Screen — the parents of a category;
+* Relationship Information Collection Screen — the legs of a relationship;
+* Attribute Information Collection Screen — name/domain/key rows.
+"""
+
+from __future__ import annotations
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.domains import domain_from_name
+from repro.ecr.objects import Category, EntitySet
+from repro.ecr.relationships import (
+    CardinalityConstraint,
+    Participation,
+    RelationshipSet,
+)
+from repro.errors import ToolError
+from repro.tool.screens.base import POP, Replace, Screen
+from repro.tool.session import ToolSession
+
+
+class SchemaNameScreen(Screen):
+    """Screen 2: define the names of the schemas to be integrated."""
+
+    header = "SCHEMA COLLECTION"
+    subheader = "Schema Name Collection Screen"
+
+    def body(self, session: ToolSession) -> list[str]:
+        lines = ["Schema Name"]
+        for index, name in enumerate(session.schemas, start=1):
+            lines.append(f"{index}> {name}")
+        if not session.schemas:
+            lines.append("   (no schemas defined)")
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return (
+            "Choose: (A)dd <name>  (F)ile <ddl-file>  (D)elete <name>  "
+            "(U)pdate <name>  (E)xit :"
+        )
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "e":
+            return POP
+        if choice == "a":
+            if len(args) != 1:
+                raise ToolError("usage: A <schema-name>")
+            session.add_schema(args[0])
+            session.status = f"schema {args[0]!r} added"
+            return StructureInfoScreen(args[0])
+        if choice == "f":
+            if len(args) != 1:
+                raise ToolError("usage: F <ddl-file>")
+            from repro.ecr.ddl import parse_ddl_schemas
+
+            try:
+                text = open(args[0]).read()
+            except OSError as exc:
+                raise ToolError(f"cannot read {args[0]}: {exc}") from exc
+            loaded = parse_ddl_schemas(text)
+            if not loaded:
+                raise ToolError(f"{args[0]} contains no schemas")
+            for schema in loaded:
+                session.adopt_schema(schema)
+            session.status = (
+                f"loaded {', '.join(schema.name for schema in loaded)} "
+                f"from {args[0]}"
+            )
+            return None
+        if choice == "d":
+            if len(args) != 1:
+                raise ToolError("usage: D <schema-name>")
+            session.delete_schema(args[0])
+            session.status = f"schema {args[0]!r} deleted"
+            return None
+        if choice == "u":
+            if len(args) != 1:
+                raise ToolError("usage: U <schema-name>")
+            session.schema(args[0])
+            return StructureInfoScreen(args[0])
+        raise ToolError(f"unknown choice {line!r}")
+
+
+class StructureInfoScreen(Screen):
+    """Screen 3: the structures (E/C/R) of one schema."""
+
+    header = "SCHEMA COLLECTION"
+    subheader = "Structure Information Collection Screen"
+
+    def __init__(self, schema_name: str) -> None:
+        self.schema_name = schema_name
+
+    def body(self, session: ToolSession) -> list[str]:
+        schema = session.schema(self.schema_name)
+        lines = [
+            f"SCHEMA NAME: {self.schema_name}",
+            "",
+            f"{'Object Name':<24}{'Type(E/C/R)':<14}{'# of attributes':<16}",
+        ]
+        for index, structure in enumerate(schema, start=1):
+            lines.append(
+                f"{index}> {structure.name:<21}{structure.kind.value:<14}"
+                f"{len(structure.attributes):<16}"
+            )
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return (
+            "Choose: (A)dd <name> <e/c/r>  (D)elete <name>  "
+            "(U)pdate <name>  (E)xit :"
+        )
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        schema = session.schema(self.schema_name)
+        if choice == "e":
+            session.refresh_after_edit(self.schema_name)
+            return POP
+        if choice == "s":
+            return None  # single-page virtual terminal; nothing to scroll
+        if choice == "a":
+            if len(args) != 2 or args[1].lower() not in ("e", "c", "r"):
+                raise ToolError("usage: A <name> <e/c/r>")
+            name, kind = args[0], args[1].lower()
+            if kind == "e":
+                schema.add(EntitySet(name))
+                return AttributeInfoScreen(self.schema_name, name)
+            if kind == "c":
+                return CategoryInfoScreen(self.schema_name, name)
+            schema.add(RelationshipSet(name))
+            return RelationshipInfoScreen(self.schema_name, name)
+        if choice == "d":
+            if len(args) != 1:
+                raise ToolError("usage: D <name>")
+            schema.remove(args[0])
+            session.status = f"{args[0]!r} removed"
+            return None
+        if choice == "u":
+            if len(args) != 1:
+                raise ToolError("usage: U <name>")
+            structure = schema.get(args[0])
+            if isinstance(structure, RelationshipSet):
+                return RelationshipInfoScreen(self.schema_name, args[0])
+            return AttributeInfoScreen(self.schema_name, args[0])
+        raise ToolError(f"unknown choice {line!r}")
+
+
+class CategoryInfoScreen(Screen):
+    """Category Information Collection Screen: connect a category upward."""
+
+    header = "SCHEMA COLLECTION"
+    subheader = "Category Information Collection Screen"
+
+    def __init__(self, schema_name: str, category_name: str) -> None:
+        self.schema_name = schema_name
+        self.category_name = category_name
+        self._pending_parents: list[str] = []
+
+    def body(self, session: ToolSession) -> list[str]:
+        schema = session.schema(self.schema_name)
+        lines = [
+            f"SCHEMA NAME: {self.schema_name}    CATEGORY: {self.category_name}",
+            "",
+            "Connected entities and categories:",
+        ]
+        if self.category_name in schema:
+            parents = schema.category(self.category_name).parents
+        else:
+            parents = self._pending_parents
+        for index, parent in enumerate(parents, start=1):
+            lines.append(f"{index}> {parent}")
+        if not parents:
+            lines.append("   (none yet - add at least one)")
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return "Choose: (A)dd <parent>  (D)elete <parent>  (E)xit :"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        schema = session.schema(self.schema_name)
+        defined = self.category_name in schema
+        if choice == "e":
+            if not defined:
+                raise ToolError(
+                    f"category {self.category_name!r} needs at least one parent"
+                )
+            return Replace(
+                AttributeInfoScreen(self.schema_name, self.category_name)
+            )
+        if choice == "a":
+            if len(args) != 1:
+                raise ToolError("usage: A <parent-object>")
+            schema.object_class(args[0])  # parent must already exist
+            if defined:
+                schema.category(self.category_name).add_parent(args[0])
+            else:
+                schema.add(Category(self.category_name, parents=[args[0]]))
+            return None
+        if choice == "d":
+            if len(args) != 1 or not defined:
+                raise ToolError("usage: D <parent-object>")
+            schema.category(self.category_name).remove_parent(args[0])
+            return None
+        raise ToolError(f"unknown choice {line!r}")
+
+
+class RelationshipInfoScreen(Screen):
+    """Screen 4: the entities a relationship set connects."""
+
+    header = "SCHEMA COLLECTION"
+    subheader = "Relationship Information Collection Screen"
+
+    def __init__(self, schema_name: str, relationship_name: str) -> None:
+        self.schema_name = schema_name
+        self.relationship_name = relationship_name
+
+    def body(self, session: ToolSession) -> list[str]:
+        schema = session.schema(self.schema_name)
+        relationship = schema.relationship_set(self.relationship_name)
+        lines = [
+            f"SCHEMA NAME: {self.schema_name}    "
+            f"RELATIONSHIP: {self.relationship_name}",
+            "",
+            f"{'Connected Object':<24}{'(min,max)':<12}{'Role':<12}",
+        ]
+        for index, leg in enumerate(relationship.participations, start=1):
+            lines.append(
+                f"{index}> {leg.object_name:<21}{str(leg.cardinality):<12}"
+                f"{leg.role:<12}"
+            )
+        if not relationship.participations:
+            lines.append("   (no connections yet - add at least two)")
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return (
+            "Choose: (A)dd <object> <min,max> [role]  (D)elete <object|role>  "
+            "(E)xit :"
+        )
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        schema = session.schema(self.schema_name)
+        relationship = schema.relationship_set(self.relationship_name)
+        if choice == "e":
+            if relationship.degree < 2:
+                raise ToolError(
+                    f"relationship {self.relationship_name!r} must connect "
+                    "at least two legs"
+                )
+            return Replace(
+                AttributeInfoScreen(self.schema_name, self.relationship_name)
+            )
+        if choice == "a":
+            if len(args) not in (2, 3):
+                raise ToolError("usage: A <object> <min,max> [role]")
+            schema.object_class(args[0])  # participant must exist
+            cardinality = CardinalityConstraint.parse(args[1])
+            role = args[2] if len(args) == 3 else ""
+            relationship.add_participation(
+                Participation(args[0], cardinality, role)
+            )
+            return None
+        if choice == "d":
+            if len(args) != 1:
+                raise ToolError("usage: D <object-or-role>")
+            relationship.remove_participation(args[0])
+            return None
+        raise ToolError(f"unknown choice {line!r}")
+
+
+class AttributeInfoScreen(Screen):
+    """Screen 5: the attributes of one structure (name, domain, key)."""
+
+    header = "SCHEMA COLLECTION"
+    subheader = "Attribute Information Collection Screen"
+
+    def __init__(self, schema_name: str, structure_name: str) -> None:
+        self.schema_name = schema_name
+        self.structure_name = structure_name
+
+    def body(self, session: ToolSession) -> list[str]:
+        schema = session.schema(self.schema_name)
+        structure = schema.get(self.structure_name)
+        lines = [
+            f"SCHEMA NAME: {self.schema_name}   "
+            f"OBJECT NAME: {self.structure_name}   "
+            f"TYPE: {structure.kind.value}",
+            "",
+            f"{'Attribute Name':<24}{'Domain':<20}{'Key (y/n)':<10}",
+        ]
+        for index, attribute in enumerate(structure.attributes, start=1):
+            lines.append(
+                f"{index}> {attribute.name:<21}{str(attribute.domain):<20}"
+                f"{'y' if attribute.is_key else 'n':<10}"
+            )
+        if not structure.attributes:
+            lines.append("   (no attributes)")
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return "Choose: (A)dd <name> <domain> <y/n>  (D)elete <name>  (E)xit :"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        schema = session.schema(self.schema_name)
+        structure = schema.get(self.structure_name)
+        if choice == "e":
+            session.refresh_after_edit(self.schema_name)
+            return POP
+        if choice == "s":
+            return None
+        if choice == "a":
+            if len(args) != 3 or args[2].lower() not in ("y", "n"):
+                raise ToolError("usage: A <name> <domain> <y/n>")
+            structure.add_attribute(
+                Attribute(
+                    args[0], domain_from_name(args[1]), args[2].lower() == "y"
+                )
+            )
+            return None
+        if choice == "d":
+            if len(args) != 1:
+                raise ToolError("usage: D <name>")
+            structure.remove_attribute(args[0])
+            return None
+        raise ToolError(f"unknown choice {line!r}")

@@ -1,0 +1,181 @@
+"""Phase 2: the Equivalence Class Specification screens (Screens 6-7).
+
+* Schema Name Selection Screen — choose the two schemas being integrated;
+* Entity/Category Name Selection Screen (Screen 6) — pick one object class
+  from each schema whose attributes may be equivalent;
+* Equivalence Class Creation and Deletion Screen (Screen 7) — mark
+  attributes as members of the same equivalence class.
+
+The relationship-set subphase (main menu item 4) reuses the same screens
+with ``relationships=True``.
+"""
+
+from __future__ import annotations
+
+from repro.ecr.attributes import AttributeRef
+from repro.errors import ToolError
+from repro.tool.screens.base import POP, Replace, Screen
+from repro.tool.session import ToolSession
+
+
+class SchemaSelectScreen(Screen):
+    """Choose the two schemas the current phase works on."""
+
+    header = "EQUIVALENCE SPECIFICATION"
+    subheader = "Schema Name Selection Screen"
+
+    def __init__(self, next_screen_factory, purpose: str = "") -> None:
+        self._next_screen_factory = next_screen_factory
+        if purpose:
+            self.subheader = f"Schema Name Selection Screen - {purpose}"
+
+    def body(self, session: ToolSession) -> list[str]:
+        lines = ["Defined schemas:"]
+        for index, name in enumerate(session.schemas, start=1):
+            lines.append(f"{index}> {name}")
+        if session.selected_pair:
+            lines.append("")
+            lines.append(
+                "currently selected: "
+                + " and ".join(session.selected_pair)
+            )
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return "Enter: <schema1> <schema2>   or (E)xit :"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "e" and not args:
+            return POP
+        parts = line.split()
+        if len(parts) != 2:
+            raise ToolError("enter exactly two schema names")
+        session.select_pair(parts[0], parts[1])
+        return Replace(self._next_screen_factory())
+
+
+class ObjectSelectScreen(Screen):
+    """Screen 6: pick one object class from each schema."""
+
+    header = "EQUIVALENCE SPECIFICATION"
+    subheader = "Entity/Category Name Selection Screen"
+
+    def __init__(self, relationships: bool = False) -> None:
+        self.relationships = relationships
+        if relationships:
+            self.subheader = "Relationship Name Selection Screen"
+
+    def _names(self, session: ToolSession, schema_name: str) -> list[str]:
+        schema = session.schema(schema_name)
+        if self.relationships:
+            return [r.name for r in schema.relationship_sets()]
+        return [o.name for o in schema.object_classes()]
+
+    def body(self, session: ToolSession) -> list[str]:
+        first, second = session.require_pair()
+        left = self._names(session, first)
+        right = self._names(session, second)
+        lines = [f"{first:<36}{second:<36}"]
+        for index in range(max(len(left), len(right))):
+            cell_a = left[index] if index < len(left) else ""
+            cell_b = right[index] if index < len(right) else ""
+            lines.append(f"{index + 1}> {cell_a:<33}{cell_b:<36}")
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return "Enter: <object1> <object2>   or (E)xit :"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "e" and not args:
+            return POP
+        parts = line.split()
+        if len(parts) != 2:
+            raise ToolError("enter one object from each schema")
+        first, second = session.require_pair()
+        if parts[0] not in self._names(session, first):
+            raise ToolError(f"{parts[0]!r} is not in schema {first!r}")
+        if parts[1] not in self._names(session, second):
+            raise ToolError(f"{parts[1]!r} is not in schema {second!r}")
+        return EquivalenceEditScreen(parts[0], parts[1], self.relationships)
+
+
+class EquivalenceEditScreen(Screen):
+    """Screen 7: create and delete attribute equivalence classes."""
+
+    header = "EQUIVALENCE SPECIFICATION"
+    subheader = "Equivalence Class Creation and Deletion Screen"
+
+    def __init__(
+        self, first_object: str, second_object: str, relationships: bool = False
+    ) -> None:
+        self.first_object = first_object
+        self.second_object = second_object
+        self.relationships = relationships
+
+    def body(self, session: ToolSession) -> list[str]:
+        first_schema, second_schema = session.require_pair()
+        lines = [
+            f"(schema.object1){'':<20}(schema.object2)",
+            f"{first_schema}.{self.first_object:<28}"
+            f"{second_schema}.{self.second_object}",
+            "",
+            f"{'Attribute Name':<20}{'Eq_class #':<12}"
+            f"{'Attribute Name':<20}{'Eq_class #':<12}",
+        ]
+        left = self._rows(session, first_schema, self.first_object)
+        right = self._rows(session, second_schema, self.second_object)
+        for index in range(max(len(left), len(right))):
+            cell_a = left[index] if index < len(left) else ("", "")
+            cell_b = right[index] if index < len(right) else ("", "")
+            lines.append(
+                f"{index + 1}> {cell_a[0]:<17}{cell_a[1]:<12}"
+                f"{cell_b[0]:<20}{cell_b[1]:<12}"
+            )
+        return lines
+
+    def _rows(
+        self, session: ToolSession, schema_name: str, object_name: str
+    ) -> list[tuple[str, str]]:
+        schema = session.schema(schema_name)
+        structure = schema.get(object_name)
+        rows = []
+        for attribute in structure.attributes:
+            ref = AttributeRef(schema_name, object_name, attribute.name)
+            rows.append((attribute.name, str(session.registry.class_number(ref))))
+        return rows
+
+    def prompt(self, session: ToolSession) -> str:
+        return (
+            "(A)dd <attr1> <attr2> to same class  "
+            "(D)elete <1|2> <attr> from class  (E)xit :"
+        )
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        first_schema, second_schema = session.require_pair()
+        if choice == "e":
+            return POP
+        if choice == "s":
+            return None
+        if choice == "a":
+            if len(args) != 2:
+                raise ToolError("usage: A <attr-of-object1> <attr-of-object2>")
+            issues = session.registry.declare_equivalent(
+                AttributeRef(first_schema, self.first_object, args[0]),
+                AttributeRef(second_schema, self.second_object, args[1]),
+            )
+            if issues:
+                session.status = "; ".join(issue.message for issue in issues)
+            return None
+        if choice == "d":
+            if len(args) != 2 or args[0] not in ("1", "2"):
+                raise ToolError("usage: D <1|2> <attribute>")
+            if args[0] == "1":
+                ref = AttributeRef(first_schema, self.first_object, args[1])
+            else:
+                ref = AttributeRef(second_schema, self.second_object, args[1])
+            session.registry.remove_from_class(ref)
+            return None
+        raise ToolError(f"unknown choice {line!r}")

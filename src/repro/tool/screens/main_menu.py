@@ -1,0 +1,102 @@
+"""Screen 1: the main menu.
+
+The six tasks follow the four methodology phases: task 1 is schema
+collection; tasks 2 and 3 handle object classes (equivalences, then
+assertions); tasks 4 and 5 do the same for relationship sets; task 6
+performs integration and opens the browse hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ToolError
+from repro.tool.screens.base import POP, Screen
+from repro.tool.screens.assertion import AssertionCollectScreen
+from repro.tool.screens.browse import ObjectClassScreen
+from repro.tool.screens.collection import SchemaNameScreen
+from repro.tool.screens.equivalence import ObjectSelectScreen, SchemaSelectScreen
+from repro.tool.session import ToolSession
+
+_TASKS = [
+    "1. Define the schemas to be integrated",
+    "2. Specify attribute equivalences for entities and categories",
+    "3. Specify assertions for entities and categories",
+    "4. Specify attribute equivalences for relationships",
+    "5. Specify assertions for relationships",
+    "6. Perform integration and view the integrated schema",
+]
+
+
+class MainMenuScreen(Screen):
+    """Screen 1: the task menu shown when the tool is invoked."""
+
+    header = "SCHEMA INTEGRATION TOOL"
+    subheader = "Main Menu"
+
+    def body(self, session: ToolSession) -> list[str]:
+        lines = list(_TASKS)
+        lines.append("")
+        lines.append(
+            f"schemas defined: {len(session.schemas)}"
+            + (
+                f"   selected pair: {' / '.join(session.selected_pair)}"
+                if session.selected_pair
+                else ""
+            )
+        )
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return "Enter task (1-6), (S)ave <file>, (L)oad <file>, or (E)xit :"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if choice == "e":
+            return POP
+        if choice == "s":
+            if len(args) != 1:
+                raise ToolError("usage: S <file>")
+            session.save(args[0])
+            session.status = f"session saved to {args[0]}"
+            return None
+        if choice == "l":
+            if len(args) != 1:
+                raise ToolError("usage: L <file>")
+            try:
+                session.restore_from(args[0])
+            except OSError as exc:
+                raise ToolError(f"cannot load {args[0]}: {exc}") from exc
+            session.status = f"session loaded from {args[0]}"
+            return None
+        if choice == "1":
+            return SchemaNameScreen()
+        if choice == "2":
+            return self._equivalence_screen(session, relationships=False)
+        if choice == "3":
+            return self._assertion_screen(session, relationships=False)
+        if choice == "4":
+            return self._equivalence_screen(session, relationships=True)
+        if choice == "5":
+            return self._assertion_screen(session, relationships=True)
+        if choice == "6":
+            session.integrate()
+            session.status = session.result.schema.summary()
+            return ObjectClassScreen()
+        raise ToolError(f"unknown choice {line!r}")
+
+    @staticmethod
+    def _equivalence_screen(session: ToolSession, relationships: bool):
+        kind = "relationship sets" if relationships else "object classes"
+        if session.selected_pair is None:
+            return SchemaSelectScreen(
+                lambda: ObjectSelectScreen(relationships), kind
+            )
+        return ObjectSelectScreen(relationships)
+
+    @staticmethod
+    def _assertion_screen(session: ToolSession, relationships: bool):
+        if session.selected_pair is None:
+            return SchemaSelectScreen(
+                lambda: AssertionCollectScreen(relationships),
+                "assertions",
+            )
+        return AssertionCollectScreen(relationships)

@@ -1,0 +1,229 @@
+"""The tool's mutable state across screens.
+
+One :class:`ToolSession` corresponds to one sitting of a DDA at the tool:
+the schemas defined so far, the equivalence registry, the two assertion
+networks (object classes and relationship sets), the pair of schemas
+currently being integrated and the latest integration result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.objects import ObjectKind
+from repro.ecr.schema import ObjectRef, Schema
+from repro.equivalence.ordering import CandidatePair, ordered_object_pairs
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.errors import ToolError, UnknownNameError
+from repro.integration.integrator import Integrator
+from repro.integration.options import IntegrationOptions
+from repro.integration.result import IntegrationResult
+
+
+@dataclass
+class ToolSession:
+    """Everything the screens read and mutate."""
+
+    options: IntegrationOptions = field(default_factory=IntegrationOptions)
+    schemas: dict[str, Schema] = field(default_factory=dict)
+    registry: EquivalenceRegistry = field(default_factory=EquivalenceRegistry)
+    object_network: AssertionNetwork = field(default_factory=AssertionNetwork)
+    relationship_network: AssertionNetwork = field(
+        default_factory=AssertionNetwork
+    )
+    #: the two schemas selected for the current pairwise phase
+    selected_pair: tuple[str, str] | None = None
+    result: IntegrationResult | None = None
+    #: status line shown under the next screen render
+    status: str = ""
+
+    # -- schema management -------------------------------------------------------
+
+    def add_schema(self, name: str) -> Schema:
+        if name in self.schemas:
+            raise ToolError(f"schema {name!r} already defined")
+        schema = Schema(name)
+        self.schemas[name] = schema
+        self.registry.register_schema(schema)
+        return schema
+
+    def delete_schema(self, name: str) -> None:
+        if name not in self.schemas:
+            raise ToolError(f"no schema {name!r}")
+        del self.schemas[name]
+        # Rebuild the registry and networks: equivalences and assertions
+        # touching the schema die with it.
+        self.registry = EquivalenceRegistry(list(self.schemas.values()))
+        self._reseed_networks()
+        if self.selected_pair and name in self.selected_pair:
+            self.selected_pair = None
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self.schemas[name]
+        except KeyError:
+            raise ToolError(f"no schema {name!r}") from None
+
+    def adopt_schema(self, schema: Schema) -> None:
+        """Take over an externally built schema (examples, save files)."""
+        if schema.name in self.schemas:
+            raise ToolError(f"schema {schema.name!r} already defined")
+        self.schemas[schema.name] = schema
+        self.registry.register_schema(schema)
+        self.object_network.seed_schema(schema)
+        self._seed_relationship_refs(schema)
+
+    def refresh_after_edit(self, schema_name: str) -> None:
+        """Re-sync registry and networks after a schema was edited."""
+        self.registry.refresh_schema(schema_name)
+        self._reseed_networks()
+
+    def _reseed_networks(self) -> None:
+        self.object_network = AssertionNetwork()
+        self.relationship_network = AssertionNetwork()
+        for schema in self.schemas.values():
+            self.object_network.seed_schema(schema)
+            self._seed_relationship_refs(schema)
+
+    def _seed_relationship_refs(self, schema: Schema) -> None:
+        for relationship in schema.relationship_sets():
+            self.relationship_network.add_object(
+                ObjectRef(schema.name, relationship.name)
+            )
+
+    # -- pair selection ------------------------------------------------------------
+
+    def select_pair(self, first: str, second: str) -> None:
+        if first == second:
+            raise ToolError("choose two different schemas")
+        self.schema(first)
+        self.schema(second)
+        self.selected_pair = (first, second)
+
+    def require_pair(self) -> tuple[str, str]:
+        if self.selected_pair is None:
+            raise ToolError("no schema pair selected")
+        return self.selected_pair
+
+    # -- candidates ---------------------------------------------------------------
+
+    def candidate_pairs(self, relationships: bool = False) -> list[CandidatePair]:
+        first, second = self.require_pair()
+        kind = ObjectKind.RELATIONSHIP if relationships else None
+        return ordered_object_pairs(self.registry, first, second, kind)
+
+    def network_for(self, relationships: bool) -> AssertionNetwork:
+        return self.relationship_network if relationships else self.object_network
+
+    # -- integration -----------------------------------------------------------------
+
+    def integrate(self, result_name: str = "integrated") -> IntegrationResult:
+        first, second = self.require_pair()
+        integrator = Integrator(
+            self.registry,
+            self.object_network,
+            self.relationship_network,
+            self.options,
+        )
+        self.result = integrator.integrate(first, second, result_name)
+        return self.result
+
+    def require_result(self) -> IntegrationResult:
+        if self.result is None:
+            raise ToolError("no integration has been performed yet")
+        return self.result
+
+    # -- persistence (the data dictionary) ---------------------------------------
+
+    def to_dictionary(self):
+        """Capture the session in a :class:`~repro.dictionary.DataDictionary`.
+
+        Schemas, the DDA's attribute equivalences (reconstructed from the
+        non-trivial equivalence classes), the DDA's assertions (implicit
+        ones are re-derived from the schemas on load) and the latest
+        integration result are recorded.
+        """
+        from repro.assertions.kinds import Source
+        from repro.dictionary import DataDictionary
+        from repro.integration.mappings import build_mappings
+
+        dictionary = DataDictionary()
+        for schema in self.schemas.values():
+            dictionary.add_schema(schema.copy())
+        for members in self.registry.nontrivial_classes():
+            anchor = members[0]
+            for other in members[1:]:
+                dictionary.record_equivalence(anchor, other)
+        for relationship_flag, network in (
+            (False, self.object_network),
+            (True, self.relationship_network),
+        ):
+            for assertion in network.specified_assertions():
+                if assertion.source is Source.DDA:
+                    dictionary.record_assertion(
+                        assertion.first,
+                        assertion.second,
+                        assertion.kind,
+                        relationship=relationship_flag,
+                    )
+        if self.result is not None:
+            dictionary.store_result(
+                self.result.schema.name,
+                self.result,
+                build_mappings(self.result, list(self.schemas.values())),
+            )
+        return dictionary
+
+    @classmethod
+    def from_dictionary(cls, dictionary) -> "ToolSession":
+        """Rebuild a live session from a saved dictionary."""
+        from repro.assertions.kinds import Source
+
+        session = cls()
+        for schema in dictionary.schemas():
+            session.schemas[schema.name] = schema
+        session.registry = dictionary.build_registry()
+        session.object_network, session.relationship_network = (
+            dictionary.build_networks()
+        )
+        names = dictionary.result_names()
+        if names:
+            session.result = dictionary.result(names[-1])
+        return session
+
+    def save(self, path) -> None:
+        """Persist the session as a data-dictionary JSON file."""
+        self.to_dictionary().save(path)
+
+    @classmethod
+    def load(cls, path) -> "ToolSession":
+        """Restore a session saved by :meth:`save`."""
+        from repro.dictionary import DataDictionary
+
+        return cls.from_dictionary(DataDictionary.load(path))
+
+    def restore_from(self, path) -> None:
+        """Replace this session's state with a saved one, in place.
+
+        Used by the main menu's Load command: screens hold a reference to
+        the session object, so the state must change under them.
+        """
+        loaded = type(self).load(path)
+        self.schemas = loaded.schemas
+        self.registry = loaded.registry
+        self.object_network = loaded.object_network
+        self.relationship_network = loaded.relationship_network
+        self.result = loaded.result
+        self.selected_pair = None
+
+    # -- browse helpers ---------------------------------------------------------------
+
+    def integrated_structure(self, name: str):
+        result = self.require_result()
+        try:
+            return result.schema.get(name)
+        except UnknownNameError:
+            raise ToolError(
+                f"no structure {name!r} in the integrated schema"
+            ) from None

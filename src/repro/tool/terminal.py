@@ -1,0 +1,69 @@
+"""A virtual terminal: the ``curses`` stand-in.
+
+The paper's tool did "all screen and cursor movements ... using a UNIX
+library package called curses"; each screen is "made up of multiple
+windows, some of which can be scrolled".  For a reproducible, headless
+library we replace curses with a character grid of fixed size.  Screens
+produce lines; the terminal centres a title, frames the body, clips to the
+grid and exposes the rendered text — so tests can assert exactly what a
+DDA would see.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ToolError
+
+#: Classic terminal geometry.
+DEFAULT_WIDTH = 80
+DEFAULT_HEIGHT = 24
+
+
+class VirtualTerminal:
+    """Fixed-size character grid that screens render into."""
+
+    def __init__(
+        self, width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT
+    ) -> None:
+        if width < 20 or height < 5:
+            raise ToolError(f"terminal {width}x{height} is too small")
+        self.width = width
+        self.height = height
+        self._rows: list[str] = [""] * height
+
+    def clear(self) -> None:
+        self._rows = [""] * self.height
+
+    def write_row(self, row: int, text: str) -> None:
+        """Place text on one row (clipped to the grid)."""
+        if not 0 <= row < self.height:
+            return  # content beyond the window is simply not visible
+        self._rows[row] = text[: self.width]
+
+    def show_screen(self, header: str, subheader: str, body: list[str]) -> None:
+        """Lay out a paper-style screen: centred headers, body, clipping.
+
+        When the body is longer than the window, the visible part ends with
+        a ``-- more --`` marker: the original screens scrolled; ours shows
+        the first page (callers paginate via their Scroll commands).
+        """
+        self.clear()
+        self.write_row(0, header.center(self.width))
+        self.write_row(1, f"< {subheader} >".center(self.width))
+        self.write_row(2, "")
+        available = self.height - 3
+        visible = body[:available]
+        truncated = len(body) > available
+        if truncated:
+            visible = body[: available - 1]
+        for offset, line in enumerate(visible):
+            self.write_row(3 + offset, line)
+        if truncated:
+            self.write_row(self.height - 1, "-- more -- (S to scroll)")
+
+    def render(self) -> str:
+        """The full grid as text (rows right-stripped, newline-joined)."""
+        return "\n".join(row.rstrip() for row in self._rows) + "\n"
+
+    def visible_text(self) -> str:
+        """Non-empty rows only — convenient for assertions in tests."""
+        return "\n".join(row for row in self._rows if row.strip()) + "\n"

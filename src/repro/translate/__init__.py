@@ -1,0 +1,42 @@
+"""Translation of conventional data-model schemas into the ECR model.
+
+Before integration, "all component schemas must be specified using a common
+data model"; schemas defined in other models are translated first.  The
+paper points at Navathe & Awong (1987), who interrogate a DDA to map
+relational and hierarchical schemas into ECR; this package implements the
+structural core of those procedures:
+
+* :func:`translate_relational` — tables become entity sets, subtype tables
+  (PK = FK) become categories, junction tables and plain foreign keys
+  become relationship sets; and
+* :func:`translate_hierarchical` — record types become entity sets and
+  parent-child arcs become (1,1)/(0,n) relationship sets.
+"""
+
+from repro.translate.relational import (
+    Column,
+    ForeignKey,
+    Table,
+    RelationalSchema,
+    translate_relational,
+)
+from repro.translate.to_relational import to_relational
+from repro.translate.hierarchical import (
+    Field,
+    RecordType,
+    HierarchicalSchema,
+    translate_hierarchical,
+)
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "Table",
+    "RelationalSchema",
+    "translate_relational",
+    "to_relational",
+    "Field",
+    "RecordType",
+    "HierarchicalSchema",
+    "translate_hierarchical",
+]

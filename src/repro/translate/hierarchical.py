@@ -1,0 +1,122 @@
+"""Hierarchical (IMS-style) → ECR translation.
+
+A hierarchical database is a forest of record types; every non-root record
+type has exactly one parent and exists only under a parent occurrence.
+The structural translation:
+
+* every record type becomes an entity set (its first field is taken as the
+  key unless flagged otherwise);
+* every parent-child arc becomes a binary relationship set
+  ``<parent>_<child>`` in which the child participates ``(1,1)`` (a child
+  occurrence hangs under exactly one parent) and the parent ``(0,n)``.
+
+Virtual parent-child relationships (IMS logical databases) are modelled by
+listing a second parent name in ``virtual_parents``; each contributes a
+further relationship set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.domains import domain_from_name
+from repro.ecr.objects import EntitySet
+from repro.ecr.relationships import (
+    CardinalityConstraint,
+    Participation,
+    RelationshipSet,
+)
+from repro.ecr.schema import Schema
+from repro.errors import TranslationError
+
+
+@dataclass(frozen=True)
+class Field:
+    """One field of a hierarchical record type."""
+
+    name: str
+    type_name: str = "char"
+    is_key: bool = False
+
+
+@dataclass
+class RecordType:
+    """A record type with an optional parent (None for roots)."""
+
+    name: str
+    fields: list[Field]
+    parent: str | None = None
+    virtual_parents: list[str] = field(default_factory=list)
+
+
+@dataclass
+class HierarchicalSchema:
+    """A named forest of record types."""
+
+    name: str
+    records: list[RecordType] = field(default_factory=list)
+
+    def record(self, name: str) -> RecordType:
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise TranslationError(f"no record type {name!r} in {self.name!r}")
+
+
+def translate_hierarchical(source: HierarchicalSchema) -> Schema:
+    """Translate a hierarchical schema into an equivalent ECR schema."""
+    schema = Schema(source.name, f"translated from hierarchical {source.name}")
+    names = {record.name for record in source.records}
+    for record in source.records:
+        for parent in _parents(record):
+            if parent not in names:
+                raise TranslationError(
+                    f"record {record.name!r} hangs under unknown parent "
+                    f"{parent!r}"
+                )
+        _check_no_cycle(source, record)
+        schema.add(EntitySet(record.name, _attributes(record)))
+    for record in source.records:
+        for index, parent in enumerate(_parents(record)):
+            suffix = "" if index == 0 else f"_v{index}"
+            schema.add(
+                RelationshipSet(
+                    f"{parent}_{record.name}{suffix}",
+                    participations=[
+                        Participation(parent, CardinalityConstraint(0, -1)),
+                        Participation(record.name, CardinalityConstraint(1, 1)),
+                    ],
+                )
+            )
+    return schema
+
+
+def _parents(record: RecordType) -> list[str]:
+    parents = [record.parent] if record.parent else []
+    return parents + list(record.virtual_parents)
+
+
+def _check_no_cycle(source: HierarchicalSchema, record: RecordType) -> None:
+    seen = {record.name}
+    current = record
+    while current.parent:
+        if current.parent in seen:
+            raise TranslationError(
+                f"parent cycle through record {current.parent!r}"
+            )
+        seen.add(current.parent)
+        current = source.record(current.parent)
+
+
+def _attributes(record: RecordType) -> list[Attribute]:
+    if not record.fields:
+        raise TranslationError(f"record {record.name!r} has no fields")
+    any_key = any(field_def.is_key for field_def in record.fields)
+    attributes = []
+    for index, field_def in enumerate(record.fields):
+        is_key = field_def.is_key or (not any_key and index == 0)
+        attributes.append(
+            Attribute(field_def.name, domain_from_name(field_def.type_name), is_key)
+        )
+    return attributes

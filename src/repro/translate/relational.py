@@ -1,0 +1,203 @@
+"""Relational → ECR translation (the Navathe & Awong 1987 substrate).
+
+The structural rules, in the order they are applied:
+
+1. A table whose primary key is entirely one foreign key referencing a
+   single table is a **subtype table**: it becomes a *category* of the
+   referenced table's entity set, owning its non-key columns.
+2. A table whose primary key is the concatenation of two or more foreign
+   keys is a **junction table**: it becomes a *relationship set* over the
+   referenced entity sets, owning its non-key columns; each referenced
+   side participates ``(0,n)``.
+3. Every other table becomes an **entity set**; its non-PK foreign keys
+   each become a binary *relationship set* named ``<table>_<column>``
+   with the owning side ``(0,1)`` (or ``(1,1)`` for a NOT NULL key) and
+   the referenced side ``(0,n)``.
+
+Semantic refinements Navathe & Awong obtain by interrogating the DDA
+(better names, tighter cardinalities) can be applied afterwards by editing
+the resulting ECR schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.domains import domain_from_name
+from repro.ecr.objects import Category, EntitySet
+from repro.ecr.relationships import (
+    CardinalityConstraint,
+    Participation,
+    RelationshipSet,
+)
+from repro.ecr.schema import Schema
+from repro.errors import TranslationError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One relational column."""
+
+    name: str
+    type_name: str = "char"
+    is_primary_key: bool = False
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key: local columns referencing another table's key."""
+
+    columns: tuple[str, ...]
+    referenced_table: str
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise TranslationError("foreign key needs at least one column")
+
+
+@dataclass
+class Table:
+    """One relational table with its keys."""
+
+    name: str
+    columns: list[Column]
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def primary_key_columns(self) -> list[str]:
+        return [column.name for column in self.columns if column.is_primary_key]
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise TranslationError(f"table {self.name!r} has no column {name!r}")
+
+
+@dataclass
+class RelationalSchema:
+    """A named collection of tables."""
+
+    name: str
+    tables: list[Table] = field(default_factory=list)
+
+    def table(self, name: str) -> Table:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise TranslationError(f"no table {name!r} in schema {self.name!r}")
+
+
+def translate_relational(source: RelationalSchema) -> Schema:
+    """Translate a relational schema into an equivalent ECR schema."""
+    schema = Schema(source.name, f"translated from relational {source.name}")
+    table_names = {table.name for table in source.tables}
+    for table in source.tables:
+        for fk in table.foreign_keys:
+            if fk.referenced_table not in table_names:
+                raise TranslationError(
+                    f"table {table.name!r} references unknown table "
+                    f"{fk.referenced_table!r}"
+                )
+    subtype_tables = [t for t in source.tables if _is_subtype(t)]
+    junction_tables = [
+        t for t in source.tables if t not in subtype_tables and _is_junction(t)
+    ]
+    plain_tables = [
+        t
+        for t in source.tables
+        if t not in subtype_tables and t not in junction_tables
+    ]
+    for table in plain_tables:
+        schema.add(EntitySet(table.name, _own_attributes(table, full=True)))
+    for table in subtype_tables:
+        parent = table.foreign_keys[0].referenced_table
+        schema.add(
+            Category(
+                table.name,
+                _own_attributes(table, full=False),
+                parents=[parent],
+            )
+        )
+    for table in junction_tables:
+        participations = [
+            Participation(fk.referenced_table, CardinalityConstraint(0, -1))
+            for fk in table.foreign_keys
+        ]
+        schema.add(
+            RelationshipSet(
+                table.name,
+                _own_attributes(table, full=False),
+                participations=participations,
+            )
+        )
+    for table in plain_tables:
+        _foreign_key_relationships(schema, table)
+    return schema
+
+
+def _is_subtype(table: Table) -> bool:
+    """PK is exactly one FK to a single table → subtype (category)."""
+    pk = set(table.primary_key_columns())
+    if not pk or len(table.foreign_keys) != 1:
+        return False
+    return set(table.foreign_keys[0].columns) == pk
+
+
+def _is_junction(table: Table) -> bool:
+    """PK is the concatenation of >= 2 FKs → junction (relationship set)."""
+    pk = set(table.primary_key_columns())
+    if not pk or len(table.foreign_keys) < 2:
+        return False
+    fk_columns: set[str] = set()
+    for fk in table.foreign_keys:
+        fk_columns.update(fk.columns)
+    return fk_columns == pk
+
+
+def _own_attributes(table: Table, full: bool) -> list[Attribute]:
+    """Columns that stay as attributes (FK columns are consumed by arcs).
+
+    ``full`` keeps PK columns (plain entity tables); subtype/junction
+    tables drop their PK, which is structural.
+    """
+    fk_columns: set[str] = set()
+    for fk in table.foreign_keys:
+        fk_columns.update(fk.columns)
+    attributes = []
+    for column in table.columns:
+        if column.name in fk_columns:
+            continue
+        if not full and column.is_primary_key:
+            continue
+        attributes.append(
+            Attribute(
+                column.name,
+                domain_from_name(column.type_name),
+                column.is_primary_key,
+            )
+        )
+    return attributes
+
+
+def _foreign_key_relationships(schema: Schema, table: Table) -> None:
+    """Each non-PK foreign key of a plain table becomes a relationship set."""
+    pk = set(table.primary_key_columns())
+    for fk in table.foreign_keys:
+        if set(fk.columns) <= pk:
+            continue  # part of identity, handled by junction/subtype rules
+        mandatory = all(not table.column(name).nullable for name in fk.columns)
+        low = 1 if mandatory else 0
+        name = f"{table.name}_{'_'.join(fk.columns)}"
+        schema.add(
+            RelationshipSet(
+                name,
+                participations=[
+                    Participation(table.name, CardinalityConstraint(low, 1)),
+                    Participation(
+                        fk.referenced_table, CardinalityConstraint(0, -1)
+                    ),
+                ],
+            )
+        )

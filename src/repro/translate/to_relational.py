@@ -1,0 +1,228 @@
+"""ECR → relational translation (the downstream physical-design step).
+
+The paper's future work sketches a tool pipeline: schema translation feeds
+the integration tool, "with the result feeding into a physical database
+design tool".  This module provides that outbound step: the classic
+ER-to-relational mapping, extended for ECR categories.
+
+Rules:
+
+1. Every **entity set** becomes a table; its attributes become columns and
+   its key attributes the primary key (a surrogate ``<name>_id`` key is
+   synthesised when the entity set has no key).
+2. Every **category** becomes a *subtype table*: primary key = foreign key
+   referencing its first parent's key, plus its own attributes.  Further
+   parents (union categories) contribute additional foreign keys.
+3. A **binary relationship set** in which some leg has maximum
+   cardinality 1 and the set owns no attributes is folded into that leg's
+   table as a foreign key (nullable unless the leg is mandatory).
+4. Every other relationship set (many-to-many, n-ary, attributed, or with
+   roles) becomes a *junction table* whose primary key concatenates the
+   participants' keys and whose extra columns are the relationship's
+   attributes.
+"""
+
+from __future__ import annotations
+
+from repro.ecr.domains import DomainKind
+from repro.ecr.objects import Category
+from repro.ecr.relationships import RelationshipSet
+from repro.ecr.schema import Schema
+from repro.ecr.walk import inherited_attributes, topological_order
+from repro.errors import TranslationError
+from repro.translate.relational import (
+    Column,
+    ForeignKey,
+    RelationalSchema,
+    Table,
+)
+
+
+def to_relational(schema: Schema) -> RelationalSchema:
+    """Translate an ECR schema into an equivalent relational schema."""
+    result = RelationalSchema(schema.name)
+    key_columns: dict[str, list[str]] = {}
+    tables: dict[str, Table] = {}
+    for class_name in topological_order(schema):
+        structure = schema.object_class(class_name)
+        if isinstance(structure, Category):
+            table = _subtype_table(schema, structure, key_columns)
+        else:
+            table = _entity_table(structure, key_columns)
+        tables[class_name] = table
+        result.tables.append(table)
+    for relationship in schema.relationship_sets():
+        _translate_relationship(relationship, tables, key_columns, result)
+    return result
+
+
+def _domain_name(kind: DomainKind) -> str:
+    return kind.value
+
+
+def _entity_table(structure, key_columns: dict[str, list[str]]) -> Table:
+    columns = [
+        Column(
+            attribute.name,
+            _domain_name(attribute.domain.kind),
+            attribute.is_key,
+            nullable=not attribute.is_key,
+        )
+        for attribute in structure.attributes
+    ]
+    keys = [column.name for column in columns if column.is_primary_key]
+    if not keys:
+        surrogate = f"{structure.name.lower()}_id"
+        columns.insert(0, Column(surrogate, "char", True, nullable=False))
+        keys = [surrogate]
+    key_columns[structure.name] = keys
+    return Table(structure.name, columns)
+
+
+def _subtype_table(
+    schema: Schema, category: Category, key_columns: dict[str, list[str]]
+) -> Table:
+    primary_parent = category.parents[0]
+    parent_keys = key_columns[primary_parent]
+    columns = [
+        Column(name, _parent_key_type(schema, primary_parent, name), True,
+               nullable=False)
+        for name in parent_keys
+    ]
+    foreign_keys = [ForeignKey(tuple(parent_keys), primary_parent)]
+    for extra_parent in category.parents[1:]:
+        extra_keys = key_columns[extra_parent]
+        for name in extra_keys:
+            if not any(column.name == name for column in columns):
+                columns.append(
+                    Column(
+                        name,
+                        _parent_key_type(schema, extra_parent, name),
+                        False,
+                        nullable=True,
+                    )
+                )
+        foreign_keys.append(ForeignKey(tuple(extra_keys), extra_parent))
+    for attribute in category.attributes:
+        columns.append(
+            Column(
+                attribute.name,
+                _domain_name(attribute.domain.kind),
+                False,
+                nullable=True,
+            )
+        )
+    key_columns[category.name] = list(parent_keys)
+    return Table(category.name, columns, foreign_keys)
+
+
+def _parent_key_type(schema: Schema, parent: str, key_name: str) -> str:
+    for attribute in inherited_attributes(schema, parent):
+        if attribute.name == key_name:
+            return _domain_name(attribute.domain.kind)
+    return "char"  # synthesised surrogate keys are char
+
+
+def _translate_relationship(
+    relationship: RelationshipSet,
+    tables: dict[str, Table],
+    key_columns: dict[str, list[str]],
+    result: RelationalSchema,
+) -> None:
+    foldable = (
+        relationship.degree == 2
+        and not relationship.attributes
+        and not any(leg.role for leg in relationship.participations)
+        and any(
+            not leg.cardinality.is_many and leg.cardinality.max == 1
+            for leg in relationship.participations
+        )
+    )
+    if foldable:
+        _fold_into_foreign_key(relationship, tables, key_columns)
+    else:
+        result.tables.append(
+            _junction_table(relationship, key_columns)
+        )
+
+
+def _fold_into_foreign_key(
+    relationship: RelationshipSet,
+    tables: dict[str, Table],
+    key_columns: dict[str, list[str]],
+) -> None:
+    """Rule 3: the max-1 side gets foreign-key columns to the other side."""
+    one_leg = next(
+        leg
+        for leg in relationship.participations
+        if not leg.cardinality.is_many and leg.cardinality.max == 1
+    )
+    other_leg = next(
+        leg for leg in relationship.participations if leg is not one_leg
+    )
+    owner = tables[one_leg.object_name]
+    target_keys = key_columns[other_leg.object_name]
+    fk_columns = []
+    for key_name in target_keys:
+        column_name = f"{relationship.name.lower()}_{key_name}"
+        owner.columns.append(
+            Column(
+                column_name,
+                "char",
+                False,
+                nullable=not one_leg.cardinality.is_mandatory,
+            )
+        )
+        fk_columns.append(column_name)
+    owner.foreign_keys.append(
+        ForeignKey(tuple(fk_columns), other_leg.object_name)
+    )
+
+
+def _junction_table(
+    relationship: RelationshipSet, key_columns: dict[str, list[str]]
+) -> Table:
+    """Rule 4: a table keyed by the participants' keys.
+
+    When some leg has maximum cardinality 1, each of its members appears
+    in at most one relationship instance, so that leg's key columns alone
+    form the primary key; otherwise the concatenation of all legs does.
+    """
+    max_one_legs = [
+        leg
+        for leg in relationship.participations
+        if not leg.cardinality.is_many and leg.cardinality.max == 1
+    ]
+    pk_legs = {id(max_one_legs[0])} if max_one_legs else {
+        id(leg) for leg in relationship.participations
+    }
+    columns: list[Column] = []
+    foreign_keys: list[ForeignKey] = []
+    used_names: set[str] = set()
+    for leg in relationship.participations:
+        prefix = (leg.role or leg.object_name).lower()
+        in_pk = id(leg) in pk_legs
+        leg_columns = []
+        for key_name in key_columns[leg.object_name]:
+            column_name = f"{prefix}_{key_name}"
+            if column_name in used_names:
+                raise TranslationError(
+                    f"column name clash {column_name!r} translating "
+                    f"{relationship.name!r}"
+                )
+            used_names.add(column_name)
+            columns.append(
+                Column(column_name, "char", in_pk, nullable=False)
+            )
+            leg_columns.append(column_name)
+        foreign_keys.append(ForeignKey(tuple(leg_columns), leg.object_name))
+    for attribute in relationship.attributes:
+        columns.append(
+            Column(
+                attribute.name,
+                _domain_name(attribute.domain.kind),
+                False,
+                nullable=True,
+            )
+        )
+    return Table(relationship.name, columns, foreign_keys)

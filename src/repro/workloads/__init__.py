@@ -1,0 +1,63 @@
+"""Workloads: the paper's example schemas plus synthetic generators.
+
+* :mod:`repro.workloads.university` — the paper's own schemas sc1/sc2
+  (Figures 3-4), the Screen 9 schemas sc3/sc4, the equivalences and
+  assertions of Screens 7-8, and the expected integrated schema of
+  Figure 5.
+* :mod:`repro.workloads.domains` — two richer domain workloads (a hospital
+  federation and airline user views) exercising the same pipeline.
+* :mod:`repro.workloads.generator` — a seeded synthetic ECR schema-pair
+  generator with controllable size and overlap, plus the ground-truth
+  correspondence oracle the experiments score against.
+* :mod:`repro.workloads.oracle` — a scriptable "oracle DDA" that answers
+  equivalence and assertion questions from a ground truth.
+"""
+
+from repro.workloads.university import (
+    build_sc1,
+    build_sc2,
+    build_sc3,
+    build_sc4,
+    paper_registry,
+    paper_assertions,
+    paper_candidate_pairs,
+    build_expected_figure5,
+    PAPER_ASSERTION_CODES,
+)
+from repro.workloads.generator import (
+    GeneratorConfig,
+    GeneratedPair,
+    generate_schema_pair,
+)
+from repro.workloads.oracle import GroundTruth, OracleDda
+from repro.workloads.domains import (
+    build_hospital_admissions,
+    build_hospital_clinic,
+    hospital_ground_truth,
+    build_airline_reservations,
+    build_airline_operations,
+    airline_ground_truth,
+)
+
+__all__ = [
+    "build_sc1",
+    "build_sc2",
+    "build_sc3",
+    "build_sc4",
+    "paper_registry",
+    "paper_assertions",
+    "paper_candidate_pairs",
+    "build_expected_figure5",
+    "PAPER_ASSERTION_CODES",
+    "GeneratorConfig",
+    "GeneratedPair",
+    "generate_schema_pair",
+    "GroundTruth",
+    "OracleDda",
+    "build_hospital_admissions",
+    "build_hospital_clinic",
+    "hospital_ground_truth",
+    "build_airline_reservations",
+    "build_airline_operations",
+    "airline_ground_truth",
+]

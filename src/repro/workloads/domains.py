@@ -1,0 +1,200 @@
+"""Two richer domain workloads: a hospital federation and airline views.
+
+The paper motivates its tool with the two integration contexts of its
+introduction: merging user views during logical database design, and
+building a global schema over existing databases.  These workloads give
+each context a realistic, hand-written scenario with a ground truth:
+
+* **hospital** — two departmental databases (admissions and outpatient
+  clinic) to be federated under a global schema; and
+* **airline** — two user views (reservations and flight operations) to be
+  merged into one logical schema.
+"""
+
+from __future__ import annotations
+
+from repro.assertions.kinds import AssertionKind
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.schema import Schema
+from repro.workloads.oracle import GroundTruth
+
+
+def build_hospital_admissions() -> Schema:
+    """The admissions department's database schema."""
+    return (
+        SchemaBuilder("adm", "hospital admissions database")
+        .entity(
+            "Patient",
+            attrs=[
+                ("Patient_id", "char", True),
+                ("Name", "char"),
+                ("Birth_date", "date"),
+                ("Insurance", "char"),
+            ],
+        )
+        .entity(
+            "Ward",
+            attrs=[("Ward_no", "integer", True), ("Floor", "integer")],
+        )
+        .entity(
+            "Physician",
+            attrs=[
+                ("Staff_id", "char", True),
+                ("Name", "char"),
+                ("Specialty", "char"),
+            ],
+        )
+        .category("Inpatient", of="Patient", attrs=[("Bed_no", "integer")])
+        .relationship(
+            "Admitted_to",
+            connects=[("Inpatient", "(1,1)"), ("Ward", "(0,n)")],
+            attrs=[("Admission_date", "date")],
+        )
+        .relationship(
+            "Attends",
+            connects=[("Physician", "(0,n)"), ("Patient", "(1,n)")],
+        )
+        .build()
+    )
+
+
+def build_hospital_clinic() -> Schema:
+    """The outpatient clinic's database schema."""
+    return (
+        SchemaBuilder("cli", "outpatient clinic database")
+        .entity(
+            "Person",
+            attrs=[
+                ("Ssn", "char", True),
+                ("Name", "char"),
+                ("Birth_date", "date"),
+            ],
+        )
+        .entity(
+            "Doctor",
+            attrs=[
+                ("Staff_id", "char", True),
+                ("Name", "char"),
+                ("Clinic_days", "char"),
+            ],
+        )
+        .entity(
+            "Appointment_slot",
+            attrs=[("Slot_id", "char", True), ("Time", "date")],
+        )
+        .category(
+            "Outpatient", of="Person", attrs=[("Referral_no", "char")]
+        )
+        .relationship(
+            "Books",
+            connects=[("Outpatient", "(0,n)"), ("Appointment_slot", "(1,1)")],
+        )
+        .relationship(
+            "Sees",
+            connects=[("Doctor", "(0,n)"), ("Outpatient", "(0,n)")],
+            attrs=[("Visit_date", "date")],
+        )
+        .build()
+    )
+
+
+def hospital_ground_truth() -> GroundTruth:
+    """True correspondences between the two hospital databases.
+
+    Every admissions patient and every clinic person is a person; the two
+    patient populations overlap (some people are both in- and outpatients),
+    and the physician/doctor staff are the same set.
+    """
+    truth = GroundTruth()
+    truth.add_attribute_pair("adm.Patient.Name", "cli.Person.Name")
+    truth.add_attribute_pair("adm.Patient.Birth_date", "cli.Person.Birth_date")
+    truth.add_attribute_pair("adm.Physician.Staff_id", "cli.Doctor.Staff_id")
+    truth.add_attribute_pair("adm.Physician.Name", "cli.Doctor.Name")
+    truth.add_object_assertion(
+        "adm.Patient", "cli.Person", AssertionKind.CONTAINED_IN
+    )
+    truth.add_object_assertion(
+        "adm.Physician", "cli.Doctor", AssertionKind.EQUALS
+    )
+    truth.add_object_assertion(
+        "adm.Inpatient", "cli.Outpatient", AssertionKind.MAY_BE
+    )
+    truth.add_object_assertion(
+        "adm.Attends", "cli.Sees", AssertionKind.MAY_BE, relationship=True
+    )
+    return truth
+
+
+def build_airline_reservations() -> Schema:
+    """The reservations user view of the airline database."""
+    return (
+        SchemaBuilder("res", "reservations user view")
+        .entity(
+            "Passenger",
+            attrs=[
+                ("Ticket_no", "char", True),
+                ("Name", "char"),
+                ("Frequent_flyer", "boolean"),
+            ],
+        )
+        .entity(
+            "Flight",
+            attrs=[
+                ("Flight_no", "char", True),
+                ("Departure", "date"),
+                ("Origin", "char"),
+                ("Destination", "char"),
+            ],
+        )
+        .relationship(
+            "Booked_on",
+            connects=[("Passenger", "(1,n)"), ("Flight", "(0,n)")],
+            attrs=[("Seat", "char"), ("Fare_class", "char")],
+        )
+        .build()
+    )
+
+
+def build_airline_operations() -> Schema:
+    """The flight-operations user view of the airline database."""
+    return (
+        SchemaBuilder("ops", "flight operations user view")
+        .entity(
+            "Flight",
+            attrs=[
+                ("Flight_no", "char", True),
+                ("Departure", "date"),
+                ("Aircraft_type", "char"),
+            ],
+        )
+        .entity(
+            "Crew_member",
+            attrs=[
+                ("Employee_id", "char", True),
+                ("Name", "char"),
+                ("Role", "char"),
+            ],
+        )
+        .category(
+            "International_flight",
+            of="Flight",
+            attrs=[("Customs_code", "char")],
+        )
+        .relationship(
+            "Assigned_to",
+            connects=[("Crew_member", "(1,n)"), ("Flight", "(2,n)")],
+        )
+        .build()
+    )
+
+
+def airline_ground_truth() -> GroundTruth:
+    """True correspondences between the two airline user views."""
+    truth = GroundTruth()
+    truth.add_attribute_pair("res.Flight.Flight_no", "ops.Flight.Flight_no")
+    truth.add_attribute_pair("res.Flight.Departure", "ops.Flight.Departure")
+    truth.add_object_assertion("res.Flight", "ops.Flight", AssertionKind.EQUALS)
+    truth.add_object_assertion(
+        "res.Passenger", "ops.Crew_member", AssertionKind.DISJOINT_INTEGRABLE
+    )
+    return truth

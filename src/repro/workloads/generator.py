@@ -1,0 +1,348 @@
+"""Seeded synthetic schema-pair generator with known ground truth.
+
+The paper evaluates on small hand-built schemas; the quantitative
+experiments (EXP-ORD, EXP-CLO, EXP-CON, EXP-SCALE in DESIGN.md) need larger
+families of schema pairs whose true correspondences are known.  The
+generator builds a *world* of concepts, each with a pool of attribute
+concepts, then projects two overlapping subsets of that world into two
+component schemas.  Because both projections come from the same world,
+every true attribute equivalence and every true object assertion is known
+by construction and returned as a :class:`~repro.workloads.oracle.GroundTruth`.
+
+Attribute names of equivalent attributes agree with probability
+``name_hint_rate`` and otherwise diverge (a synonym or an unrelated word),
+so the name-matching heuristics are exercised realistically — they must
+not be able to find everything.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.assertions.kinds import AssertionKind
+from repro.ecr.attributes import Attribute, AttributeRef
+from repro.ecr.objects import Category, EntitySet
+from repro.ecr.relationships import (
+    CardinalityConstraint,
+    Participation,
+    RelationshipSet,
+)
+from repro.ecr.schema import ObjectRef, Schema
+from repro.errors import SchemaError
+from repro.workloads.oracle import GroundTruth
+
+_WORDS = [
+    "alpha", "bravo", "carbon", "delta", "ember", "falcon", "garnet",
+    "harbor", "indigo", "jasper", "keystone", "lumen", "meadow", "nickel",
+    "onyx", "prairie", "quartz", "raven", "saffron", "timber", "umber",
+    "violet", "walnut", "xenon", "yarrow", "zephyr",
+]
+
+_DOMAINS = ["char", "integer", "real", "date", "boolean"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of a synthetic schema pair.
+
+    Attributes
+    ----------
+    seed:
+        RNG seed; equal configs generate identical pairs.
+    concepts:
+        Number of entity concepts in the shared world.
+    overlap:
+        Fraction of concepts present in *both* schemas (0..1).  Overlapping
+        concepts carry a true assertion; the rest appear in only one schema.
+    attributes_per_concept:
+        Inclusive (min, max) range of attribute-concept pool sizes.
+    relationships_per_schema:
+        Binary relationship sets generated per schema (unshared noise).
+    shared_relationship_rate:
+        Probability that a pair of shared *equals* concepts carries a
+        shared relationship concept, projected into both schemas with a
+        true ``equals`` relationship assertion and equivalent attributes.
+    category_rate:
+        Probability that a concept contributes an extra category beneath
+        its entity set.
+    name_hint_rate:
+        Probability that two projections of the same attribute concept keep
+        the same name (otherwise one side is renamed).
+    equal_rate, contain_rate, overlap_rate:
+        Mix of true assertions among shared concepts; the remainder are
+        disjoint-but-integrable.  Must sum to at most 1.
+    """
+
+    seed: int = 0
+    concepts: int = 8
+    overlap: float = 0.5
+    attributes_per_concept: tuple[int, int] = (3, 6)
+    relationships_per_schema: int = 3
+    shared_relationship_rate: float = 0.0
+    category_rate: float = 0.25
+    name_hint_rate: float = 0.7
+    equal_rate: float = 0.4
+    contain_rate: float = 0.3
+    overlap_rate: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.concepts < 2:
+            raise SchemaError("need at least two concepts")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise SchemaError(f"overlap must be in [0,1], got {self.overlap}")
+        low, high = self.attributes_per_concept
+        if low < 1 or high < low:
+            raise SchemaError(
+                f"bad attributes_per_concept range {self.attributes_per_concept}"
+            )
+        mix = self.equal_rate + self.contain_rate + self.overlap_rate
+        if mix > 1.0 + 1e-9:
+            raise SchemaError(f"assertion mix sums to {mix}, must be <= 1")
+
+
+@dataclass
+class GeneratedPair:
+    """The generator's output: two schemas plus their ground truth."""
+
+    first: Schema
+    second: Schema
+    truth: GroundTruth
+    config: GeneratorConfig = field(repr=False, default=GeneratorConfig())
+
+
+@dataclass
+class _AttributeConcept:
+    index: int
+    base_name: str
+    domain: str
+    is_key: bool
+
+
+@dataclass
+class _Concept:
+    index: int
+    name: str
+    attributes: list[_AttributeConcept]
+    kind: AssertionKind | None  # true assertion when shared, else None
+    in_first: bool
+    in_second: bool
+
+
+def generate_schema_pair(config: GeneratorConfig) -> GeneratedPair:
+    """Generate a deterministic schema pair with known correspondences."""
+    rng = random.Random(config.seed)
+    concepts = _build_world(config, rng)
+    first = Schema(f"gen{config.seed}a", "synthetic component schema A")
+    second = Schema(f"gen{config.seed}b", "synthetic component schema B")
+    truth = GroundTruth()
+    for concept in concepts:
+        _project(concept, first, second, truth, config, rng)
+    _add_relationships(first, config, rng, salt=1)
+    _add_relationships(second, config, rng, salt=2)
+    _add_shared_relationships(concepts, first, second, truth, config, rng)
+    return GeneratedPair(first, second, truth, config)
+
+
+def _build_world(config: GeneratorConfig, rng: random.Random) -> list[_Concept]:
+    concepts: list[_Concept] = []
+    shared_count = round(config.concepts * config.overlap)
+    for index in range(config.concepts):
+        word = _WORDS[index % len(_WORDS)]
+        name = f"{word.capitalize()}{index}"
+        low, high = config.attributes_per_concept
+        pool_size = rng.randint(low, high)
+        attributes = [
+            _AttributeConcept(
+                attr_index,
+                f"{rng.choice(_WORDS)}_{index}_{attr_index}",
+                rng.choice(_DOMAINS),
+                attr_index == 0,
+            )
+            for attr_index in range(pool_size)
+        ]
+        shared = index < shared_count
+        kind = _pick_kind(config, rng) if shared else None
+        concepts.append(
+            _Concept(
+                index,
+                name,
+                attributes,
+                kind,
+                in_first=shared or index % 2 == 0,
+                in_second=shared or index % 2 == 1,
+            )
+        )
+    return concepts
+
+
+def _pick_kind(config: GeneratorConfig, rng: random.Random) -> AssertionKind:
+    roll = rng.random()
+    if roll < config.equal_rate:
+        return AssertionKind.EQUALS
+    if roll < config.equal_rate + config.contain_rate:
+        return AssertionKind.CONTAINS
+    if roll < config.equal_rate + config.contain_rate + config.overlap_rate:
+        return AssertionKind.MAY_BE
+    return AssertionKind.DISJOINT_INTEGRABLE
+
+
+def _project(
+    concept: _Concept,
+    first: Schema,
+    second: Schema,
+    truth: GroundTruth,
+    config: GeneratorConfig,
+    rng: random.Random,
+) -> None:
+    """Materialise a concept in the schemas it belongs to."""
+    shared = concept.kind is not None
+    if concept.in_first:
+        attrs_a = _select_attributes(concept, config, rng, full=True)
+        first.add(EntitySet(concept.name, [a for _, a in attrs_a]))
+        _maybe_category(first, concept, config, rng)
+    if concept.in_second:
+        # The second projection may see fewer attributes (a narrower view)
+        # and different spellings.
+        name_b = concept.name if shared else concept.name
+        full = concept.kind is not AssertionKind.CONTAINS
+        attrs_b = _select_attributes(
+            concept, config, rng, full=full, rename_with=config.name_hint_rate
+        )
+        second.add(EntitySet(name_b, [a for _, a in attrs_b]))
+        _maybe_category(second, concept, config, rng)
+    if shared and concept.in_first and concept.in_second:
+        ref_a = ObjectRef(first.name, concept.name)
+        ref_b = ObjectRef(second.name, concept.name)
+        truth.add_object_assertion(ref_a, ref_b, concept.kind)
+        indices_a = {idx for idx, _ in attrs_a}
+        for idx, attribute in attrs_b:
+            if idx in indices_a:
+                original = next(a for i, a in attrs_a if i == idx)
+                truth.add_attribute_pair(
+                    AttributeRef(first.name, concept.name, original.name),
+                    AttributeRef(second.name, concept.name, attribute.name),
+                )
+
+
+def _select_attributes(
+    concept: _Concept,
+    config: GeneratorConfig,
+    rng: random.Random,
+    full: bool,
+    rename_with: float | None = None,
+) -> list[tuple[int, Attribute]]:
+    pool = concept.attributes if full else concept.attributes[:-1] or concept.attributes
+    chosen: list[tuple[int, Attribute]] = []
+    used_names: set[str] = set()
+    for attr_concept in pool:
+        name = attr_concept.base_name
+        if rename_with is not None and rng.random() > rename_with:
+            name = f"{rng.choice(_WORDS)}_{attr_concept.index}x{concept.index}"
+        if name in used_names:
+            name = f"{name}_{attr_concept.index}"
+        used_names.add(name)
+        chosen.append(
+            (
+                attr_concept.index,
+                Attribute(name, attr_concept.domain, attr_concept.is_key),
+            )
+        )
+    return chosen
+
+
+def _maybe_category(
+    schema: Schema,
+    concept: _Concept,
+    config: GeneratorConfig,
+    rng: random.Random,
+) -> None:
+    if rng.random() >= config.category_rate:
+        return
+    name = f"Sub_{concept.name}"
+    if name in schema:
+        return
+    schema.add(
+        Category(
+            name,
+            [Attribute(f"extra_{concept.index}", "char")],
+            parents=[concept.name],
+        )
+    )
+
+
+def _add_relationships(
+    schema: Schema, config: GeneratorConfig, rng: random.Random, salt: int
+) -> None:
+    entities = [entity.name for entity in schema.entity_sets()]
+    if len(entities) < 2:
+        return
+    for index in range(config.relationships_per_schema):
+        first_leg, second_leg = rng.sample(entities, 2)
+        name = f"Rel_{salt}_{index}"
+        schema.add(
+            RelationshipSet(
+                name,
+                [Attribute(f"rattr_{salt}_{index}", "date")],
+                participations=[
+                    Participation(first_leg, CardinalityConstraint(0, -1)),
+                    Participation(second_leg, CardinalityConstraint(1, 1)),
+                ],
+            )
+        )
+
+
+def _add_shared_relationships(
+    concepts: list[_Concept],
+    first: Schema,
+    second: Schema,
+    truth: GroundTruth,
+    config: GeneratorConfig,
+    rng: random.Random,
+) -> None:
+    """Project shared relationship concepts into both schemas.
+
+    Only pairs of *equals* concepts carry shared relationships: their
+    projections connect the same entity names in both schemas, so the two
+    relationship sets genuinely model one association and get a true
+    ``equals`` relationship assertion plus one equivalent attribute.
+    """
+    if config.shared_relationship_rate <= 0:
+        return
+    equal_concepts = [
+        concept
+        for concept in concepts
+        if concept.kind is AssertionKind.EQUALS
+        and concept.in_first
+        and concept.in_second
+    ]
+    for index in range(len(equal_concepts) - 1):
+        if rng.random() >= config.shared_relationship_rate:
+            continue
+        left = equal_concepts[index]
+        right = equal_concepts[index + 1]
+        name = f"Shared_{left.index}_{right.index}"
+        attr_name = f"srattr_{left.index}_{right.index}"
+        for schema in (first, second):
+            if name in schema:
+                continue
+            schema.add(
+                RelationshipSet(
+                    name,
+                    [Attribute(attr_name, "date")],
+                    participations=[
+                        Participation(left.name, CardinalityConstraint(0, -1)),
+                        Participation(right.name, CardinalityConstraint(0, -1)),
+                    ],
+                )
+            )
+        truth.add_object_assertion(
+            ObjectRef(first.name, name),
+            ObjectRef(second.name, name),
+            AssertionKind.EQUALS,
+            relationship=True,
+        )
+        truth.add_attribute_pair(
+            AttributeRef(first.name, name, attr_name),
+            AttributeRef(second.name, name, attr_name),
+        )

@@ -1,0 +1,147 @@
+"""Ground truth and the oracle DDA.
+
+The paper's tool needs a human DDA because assertions encode subjective
+application semantics.  For experiments we replace the human with an
+**oracle DDA**: a driver holding the ground-truth correspondences of a
+workload (known by construction for synthetic schema pairs, written by hand
+for the bundled domain workloads).  The oracle answers exactly the
+questions the tool asks a human — "are these attributes equivalent?",
+"what is the assertion for this pair?" — which keeps the code paths
+identical to interactive use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.assertions.kinds import AssertionKind
+from repro.ecr.attributes import AttributeRef
+from repro.ecr.schema import ObjectRef
+from repro.equivalence.registry import EquivalenceRegistry
+
+
+def _unordered(first, second):
+    return (second, first) if second < first else (first, second)
+
+
+@dataclass
+class GroundTruth:
+    """True correspondences between two (or more) component schemas."""
+
+    #: truly equivalent attribute pairs (unordered)
+    attribute_pairs: set[tuple[AttributeRef, AttributeRef]] = field(
+        default_factory=set
+    )
+    #: true assertion code per unordered object pair; pairs absent here are
+    #: disjoint and non-integrable (code 0)
+    object_assertions: dict[tuple[ObjectRef, ObjectRef], AssertionKind] = field(
+        default_factory=dict
+    )
+    #: true assertion code per unordered relationship pair
+    relationship_assertions: dict[
+        tuple[ObjectRef, ObjectRef], AssertionKind
+    ] = field(default_factory=dict)
+
+    def add_attribute_pair(
+        self, first: AttributeRef | str, second: AttributeRef | str
+    ) -> None:
+        if isinstance(first, str):
+            first = AttributeRef.parse(first)
+        if isinstance(second, str):
+            second = AttributeRef.parse(second)
+        self.attribute_pairs.add(_unordered(first, second))
+
+    def add_object_assertion(
+        self,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
+        kind: AssertionKind | int,
+        relationship: bool = False,
+    ) -> None:
+        if isinstance(first, str):
+            first = ObjectRef.parse(first)
+        if isinstance(second, str):
+            second = ObjectRef.parse(second)
+        if isinstance(kind, int):
+            kind = AssertionKind.from_code(kind)
+        table = (
+            self.relationship_assertions if relationship else self.object_assertions
+        )
+        key = _unordered(first, second)
+        if key != (first, second):
+            kind = kind.converse  # store oriented along the canonical key
+        table[key] = kind
+
+    def attributes_equivalent(
+        self, first: AttributeRef, second: AttributeRef
+    ) -> bool:
+        return _unordered(first, second) in self.attribute_pairs
+
+    def assertion_between(
+        self, first: ObjectRef, second: ObjectRef, relationship: bool = False
+    ) -> AssertionKind:
+        """The true assertion, oriented ``first``→``second``.
+
+        Pairs not listed are disjoint & non-integrable, mirroring a DDA who
+        answers 0 for unrelated object classes.
+        """
+        table = (
+            self.relationship_assertions if relationship else self.object_assertions
+        )
+        key = _unordered(first, second)
+        kind = table.get(key, AssertionKind.DISJOINT_NONINTEGRABLE)
+        if key != (first, second):
+            kind = kind.converse
+        return kind
+
+    def integrable_pairs(self, relationship: bool = False) -> list[
+        tuple[ObjectRef, ObjectRef]
+    ]:
+        """Unordered pairs whose true assertion participates in integration."""
+        table = (
+            self.relationship_assertions if relationship else self.object_assertions
+        )
+        return sorted(pair for pair, kind in table.items() if kind.integrable)
+
+
+@dataclass
+class OracleDda:
+    """A DDA stand-in that answers from a :class:`GroundTruth`."""
+
+    truth: GroundTruth
+
+    def declare_all_equivalences(self, registry: EquivalenceRegistry) -> int:
+        """Declare every true attribute equivalence in the registry.
+
+        Returns the number of declarations made.  This is the idealised
+        Phase 2: a DDA with perfect knowledge and patience.
+        """
+        declared = 0
+        for first, second in sorted(self.truth.attribute_pairs):
+            registry.declare_equivalent(first, second)
+            declared += 1
+        return declared
+
+    def review_attribute_pair(
+        self, first: AttributeRef, second: AttributeRef
+    ) -> bool:
+        """Answer Screen 7's implicit question for one attribute pair."""
+        return self.truth.attributes_equivalent(first, second)
+
+    def review_object_pair(
+        self, first: ObjectRef, second: ObjectRef, relationship: bool = False
+    ) -> AssertionKind:
+        """Answer Screen 8's question for one object pair."""
+        return self.truth.assertion_between(first, second, relationship)
+
+    def is_true_correspondence(
+        self, first: ObjectRef, second: ObjectRef, relationship: bool = False
+    ) -> bool:
+        """Whether the pair is genuinely related (any integrable assertion
+        other than an uninformative default)."""
+        table = (
+            self.truth.relationship_assertions
+            if relationship
+            else self.truth.object_assertions
+        )
+        return _unordered(first, second) in table

@@ -1,0 +1,204 @@
+"""The paper's running example: university schemas sc1-sc4.
+
+Figures 3 and 4 give the two input schemas the paper integrates; Screens
+3, 5, 7 and 8 pin down their contents:
+
+* **sc1** — entity sets ``Student`` (Name key, GPA) and ``Department``
+  (one attribute, Name), and the relationship set ``Majors`` with one
+  attribute connecting them (Screen 3 lists Student/2, Department/1,
+  Majors/1 attributes).
+* **sc2** — entity sets ``Grad_student`` (Name, GPA, Support_type — Screen
+  7), ``Faculty`` (Name plus one more attribute, so that the Screen 8
+  attribute ratio for sc1.Student/sc2.Faculty is 1/(1+2) = 0.3333) and
+  ``Department``; relationship sets ``Majors`` (Grad_student-Department)
+  and ``Works`` (Faculty-Department, Figure 5 keeps it).
+
+The attribute equivalences reproduce Screen 7 (one class holding
+sc1.Student.Name, sc2.Faculty.Name and sc2.Grad_student.Name, one holding
+the GPAs, one holding the Department names) and the assertion codes
+reproduce Screen 8 (1, 3, 4).  Integrating with those assertions yields
+Figure 5: entities ``E_Department`` and ``D_Stud_Facu``; categories
+``Student``, ``Grad_student`` and ``Faculty``; relationships
+``E_Stud_Majo`` and ``Works``.
+
+Schemas sc3/sc4 are the Screen 9 conflict scenario: sc3 has an
+``Instructor``; sc4 has ``Student`` with a ``Grad_student`` category.
+Asserting Instructor ⊆ Grad_student derives Instructor ⊆ Student, which
+conflicts with a later "disjoint non-integrable" between Instructor and
+Student.
+"""
+
+from __future__ import annotations
+
+from repro.assertions.kinds import AssertionKind
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.schema import ObjectRef, Schema
+from repro.equivalence.ordering import CandidatePair, ordered_object_pairs
+from repro.equivalence.registry import EquivalenceRegistry
+
+
+def build_sc1() -> Schema:
+    """Input schema sc1 of Figure 3."""
+    return (
+        SchemaBuilder("sc1", "student registration view")
+        .entity("Student", attrs=[("Name", "char", True), ("GPA", "real")])
+        .entity("Department", attrs=[("Name", "char", True)])
+        .relationship(
+            "Majors",
+            connects=[("Student", "(1,1)"), ("Department", "(0,n)")],
+            attrs=[("Since", "date")],
+        )
+        .build()
+    )
+
+
+def build_sc2() -> Schema:
+    """Input schema sc2 of Figure 4."""
+    return (
+        SchemaBuilder("sc2", "graduate school and personnel view")
+        .entity(
+            "Grad_student",
+            attrs=[("Name", "char", True), ("GPA", "real"), ("Support_type", "char")],
+        )
+        .entity("Faculty", attrs=[("Name", "char", True), ("Rank", "char")])
+        .entity("Department", attrs=[("Name", "char", True), ("Location", "char")])
+        .relationship(
+            "Majors",
+            connects=[("Grad_student", "(1,1)"), ("Department", "(0,n)")],
+            attrs=[("Since", "date")],
+        )
+        .relationship(
+            "Works",
+            connects=[("Faculty", "(1,1)"), ("Department", "(1,n)")],
+            attrs=[("Percent_time", "real")],
+        )
+        .build()
+    )
+
+
+def build_sc3() -> Schema:
+    """Screen 9's sc3: a teaching view with an Instructor entity set."""
+    return (
+        SchemaBuilder("sc3", "teaching assignments view")
+        .entity("Instructor", attrs=[("Name", "char", True), ("Office", "char")])
+        .entity("Course", attrs=[("Course_no", "char", True), ("Title", "char")])
+        .relationship(
+            "Teaches",
+            connects=[("Instructor", "(0,n)"), ("Course", "(1,1)")],
+        )
+        .build()
+    )
+
+
+def build_sc4() -> Schema:
+    """Screen 9's sc4: students with a Grad_student category.
+
+    The category supplies the implicit ``sc4.Grad_student`` ⊆
+    ``sc4.Student`` assertion Screen 9 lists on its fourth line.
+    """
+    return (
+        SchemaBuilder("sc4", "student records view")
+        .entity("Student", attrs=[("Name", "char", True), ("GPA", "real")])
+        .category(
+            "Grad_student", of="Student", attrs=[("Thesis_title", "char")]
+        )
+        .build()
+    )
+
+
+def paper_registry() -> EquivalenceRegistry:
+    """sc1 and sc2 registered with the Screen 7 attribute equivalences.
+
+    Produces the equivalence classes the paper describes: the Names of
+    Student, Grad_student and Faculty in one class; the two GPAs in one;
+    the two Department Names in one; and (for the relationship subphase)
+    the two Majors Since attributes in one.
+    """
+    registry = EquivalenceRegistry([build_sc1(), build_sc2()])
+    registry.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+    registry.declare_equivalent("sc1.Student.Name", "sc2.Faculty.Name")
+    registry.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+    registry.declare_equivalent("sc1.Department.Name", "sc2.Department.Name")
+    registry.declare_equivalent("sc1.Majors.Since", "sc2.Majors.Since")
+    return registry
+
+
+#: The assertion codes the DDA enters on Screen 8, in screen order.
+PAPER_ASSERTION_CODES: list[tuple[str, str, int]] = [
+    ("sc1.Department", "sc2.Department", AssertionKind.EQUALS.code),
+    ("sc1.Student", "sc2.Grad_student", AssertionKind.CONTAINS.code),
+    ("sc1.Student", "sc2.Faculty", AssertionKind.DISJOINT_INTEGRABLE.code),
+]
+
+#: The relationship-set assertion (subphase two): the two Majors are equal.
+PAPER_RELATIONSHIP_CODES: list[tuple[str, str, int]] = [
+    ("sc1.Majors", "sc2.Majors", AssertionKind.EQUALS.code),
+]
+
+
+def paper_candidate_pairs(
+    registry: EquivalenceRegistry | None = None,
+) -> list[CandidatePair]:
+    """The ranked object pairs of Screen 8 (ratios 0.5000, 0.5000, 0.3333)."""
+    if registry is None:
+        registry = paper_registry()
+    return ordered_object_pairs(registry, "sc1", "sc2")
+
+
+def paper_assertions(
+    registry: EquivalenceRegistry | None = None,
+) -> AssertionNetwork:
+    """An assertion network loaded with the paper's Screen 8 assertions."""
+    if registry is None:
+        registry = paper_registry()
+    network = AssertionNetwork()
+    for schema in registry.schemas():
+        network.seed_schema(schema)
+    for first, second, code in PAPER_ASSERTION_CODES:
+        network.specify(
+            ObjectRef.parse(first), ObjectRef.parse(second), code
+        )
+    return network
+
+
+def build_expected_figure5() -> Schema:
+    """The integrated schema of Figure 5, built by hand for comparison.
+
+    Entities ``E_Department`` and ``D_Stud_Facu``; categories ``Student``
+    (under D_Stud_Facu, with the derived ``D_Name``/``D_GPA``),
+    ``Grad_student`` (under Student, keeping ``Support_type``) and
+    ``Faculty`` (under D_Stud_Facu, keeping its own attributes);
+    relationship sets ``E_Stud_Majo`` (Student/E_Department) and ``Works``
+    (Faculty/E_Department).
+    """
+    return (
+        SchemaBuilder("integrated", "expected Figure 5")
+        .entity(
+            "E_Department",
+            attrs=[("D_Name", "char", True), ("Location", "char")],
+        )
+        .entity("D_Stud_Facu")
+        .category(
+            "Student",
+            of="D_Stud_Facu",
+            attrs=[("D_Name", "char", True), ("D_GPA", "real")],
+        )
+        .category("Grad_student", of="Student", attrs=[("Support_type", "char")])
+        .category(
+            "Faculty",
+            of="D_Stud_Facu",
+            attrs=[("Name", "char", True), ("Rank", "char")],
+        )
+        .relationship(
+            "E_Stud_Majo",
+            connects=[("Student", "(1,1)"), ("E_Department", "(0,n)")],
+            attrs=[("D_Since", "date")],
+        )
+        .relationship(
+            "Works",
+            connects=[("Faculty", "(1,1)"), ("E_Department", "(1,n)")],
+            attrs=[("Percent_time", "real")],
+        )
+        .build()
+    )

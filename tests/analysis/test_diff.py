@@ -1,0 +1,100 @@
+"""Tests for the structural schema diff, and the strongest FIG5 pin:
+the produced integrated schema is structurally identical to a hand-built
+Figure 5."""
+
+from repro.analysis.diff import diff_schemas
+from repro.ecr.builder import SchemaBuilder
+from repro.workloads.university import build_expected_figure5, build_sc1
+
+
+class TestDiffMechanics:
+    def test_identical_schemas(self):
+        assert diff_schemas(build_sc1(), build_sc1()) == []
+
+    def test_declaration_order_ignored(self):
+        first = (
+            SchemaBuilder("s")
+            .entity("A", attrs=[("x", "char", True)])
+            .entity("B", attrs=[("y", "char", True)])
+            .build()
+        )
+        second = (
+            SchemaBuilder("s")
+            .entity("B", attrs=[("y", "char", True)])
+            .entity("A", attrs=[("x", "char", True)])
+            .build()
+        )
+        assert diff_schemas(first, second) == []
+
+    def test_missing_and_unexpected_structures(self):
+        first = SchemaBuilder("s").entity("A", attrs=[("x", "char", True)]).build()
+        second = SchemaBuilder("s").entity("B", attrs=[("x", "char", True)]).build()
+        differences = diff_schemas(first, second)
+        assert "missing structure 'A'" in differences
+        assert "unexpected structure 'B'" in differences
+
+    def test_kind_mismatch(self):
+        first = (
+            SchemaBuilder("s")
+            .entity("A", attrs=[("x", "char", True)])
+            .entity("C", attrs=[("y", "char", True)])
+            .build()
+        )
+        second = (
+            SchemaBuilder("s")
+            .entity("A", attrs=[("x", "char", True)])
+            .category("C", of="A", attrs=["y"])
+            .build()
+        )
+        differences = diff_schemas(first, second)
+        assert any("kind 'e' != 'c'" in d for d in differences)
+
+    def test_attribute_differences(self):
+        first = SchemaBuilder("s").entity(
+            "A", attrs=[("x", "char", True), ("y", "real")]
+        ).build()
+        second = SchemaBuilder("s").entity(
+            "A", attrs=[("x", "integer", False), ("z", "real")]
+        ).build()
+        differences = diff_schemas(first, second)
+        assert any("missing attribute 'y'" in d for d in differences)
+        assert any("unexpected attribute 'z'" in d for d in differences)
+        assert any("domain" in d for d in differences)
+        assert any("key" in d for d in differences)
+
+    def test_parent_differences(self):
+        first = (
+            SchemaBuilder("s")
+            .entity("A", attrs=[("x", "char", True)])
+            .entity("B", attrs=[("k", "char", True)])
+            .category("C", of="A")
+            .build()
+        )
+        second = first.copy()
+        second.category("C").parents[:] = ["B"]
+        differences = diff_schemas(first, second)
+        assert any("parents" in d for d in differences)
+
+    def test_leg_differences(self):
+        first = (
+            SchemaBuilder("s")
+            .entity("A", attrs=[("x", "char", True)])
+            .entity("B", attrs=[("y", "char", True)])
+            .relationship("R", connects=[("A", "(1,1)"), ("B", "(0,n)")])
+            .build()
+        )
+        second = (
+            SchemaBuilder("s")
+            .entity("A", attrs=[("x", "char", True)])
+            .entity("B", attrs=[("y", "char", True)])
+            .relationship("R", connects=[("A", "(0,1)"),("B", "(0,n)")])
+            .build()
+        )
+        differences = diff_schemas(first, second)
+        assert any("cardinality" in d for d in differences)
+
+
+class TestFigure5Pin:
+    def test_produced_schema_equals_hand_built_figure5(self, paper_result):
+        differences = diff_schemas(build_expected_figure5(), paper_result.schema)
+        assert differences == []

@@ -1,0 +1,36 @@
+"""Tests for analysis metrics."""
+
+from repro.analysis.metrics import integration_effort, schema_size
+from repro.workloads.university import build_sc2
+
+
+class TestSchemaSize:
+    def test_counts(self):
+        size = schema_size(build_sc2())
+        assert size.entities == 3
+        assert size.categories == 0
+        assert size.relationships == 2
+        assert size.attributes == 9
+        assert size.structures == 5
+
+    def test_as_row(self):
+        assert schema_size(build_sc2()).as_row() == [3, 0, 2, 9]
+
+
+class TestEffort:
+    def test_paper_effort(self, object_network, paper_result):
+        effort = integration_effort(object_network, paper_result)
+        assert effort.dda_assertions == 3
+        assert effort.implicit_assertions == 0
+        assert effort.derived_assertions >= 1
+        assert effort.equivalent_merges == 2
+        assert effort.derived_parents == 1
+        assert effort.derived_attributes == 4
+        assert effort.automation_ratio > 0
+
+    def test_zero_dda_ratio(self, paper_result):
+        from repro.assertions.network import AssertionNetwork
+
+        empty = AssertionNetwork()
+        effort = integration_effort(empty, paper_result)
+        assert effort.automation_ratio == 0.0

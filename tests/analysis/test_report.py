@@ -1,0 +1,37 @@
+"""Tests for the plain-text report tables."""
+
+import pytest
+
+from repro.analysis.report import Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("short", 1)
+        table.add_row("a_much_longer_name", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        header = lines[2]
+        assert header.startswith("name")
+        assert "value" in header
+        # all data rows aligned to the same column start
+        column = header.index("value")
+        assert lines[4][column:].strip() == "1"
+        assert lines[5][column:].strip() == "22"
+
+    def test_floats_formatted(self):
+        table = Table("t", ["x"])
+        table.add_row(0.5)
+        assert "0.5000" in table.render()
+
+    def test_wrong_arity_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_str_is_render(self):
+        table = Table("t", ["a"])
+        table.add_row("x")
+        assert str(table) == table.render()

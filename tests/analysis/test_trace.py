@@ -1,0 +1,40 @@
+"""Tests for the integration Markdown report."""
+
+from repro.analysis.trace import integration_report
+
+
+class TestIntegrationReport:
+    def test_sections_present(self, registry, object_network, paper_result):
+        report = integration_report(
+            registry, object_network, paper_result, title="Paper run"
+        )
+        for heading in (
+            "# Paper run",
+            "## Component schemas",
+            "## Attribute equivalence classes",
+            "## Assertions",
+            "## Integrated schema",
+            "## Provenance",
+            "## Integration log",
+        ):
+            assert heading in report
+
+    def test_content_detail(self, registry, object_network, paper_result):
+        report = integration_report(registry, object_network, paper_result)
+        assert "sc1.Student.Name ~ " in report
+        assert "| sc1.Department | sc2.Department | 1 | dda |" in report
+        assert "D_Stud_Facu" in report
+        assert "Student.D_Name <- sc1.Student.Name, sc2.Grad_student.Name" in report
+
+    def test_no_equivalences_case(self, sc3, sc4):
+        from repro.assertions.network import AssertionNetwork
+        from repro.equivalence.registry import EquivalenceRegistry
+        from repro.integration.integrator import integrate_pair
+
+        registry = EquivalenceRegistry([sc3, sc4])
+        network = AssertionNetwork()
+        network.seed_schema(sc3)
+        network.seed_schema(sc4)
+        result = integrate_pair(registry, network, "sc3", "sc4")
+        report = integration_report(registry, network, result)
+        assert "(none declared)" in report

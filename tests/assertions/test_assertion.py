@@ -1,0 +1,60 @@
+"""Tests for the Assertion record itself."""
+
+import pytest
+
+from repro.assertions.assertion import Assertion, ordered_pair
+from repro.assertions.kinds import AssertionKind, Source
+from repro.ecr.schema import ObjectRef
+
+A = ObjectRef("sc1", "Student")
+B = ObjectRef("sc2", "Faculty")
+
+
+class TestOrderedPair:
+    def test_canonical_order(self):
+        assert ordered_pair(B, A) == (A, B)
+        assert ordered_pair(A, B) == (A, B)
+
+
+class TestAssertion:
+    def test_pair_is_canonical(self):
+        assertion = Assertion(B, A, AssertionKind.CONTAINED_IN)
+        assert assertion.pair == (A, B)
+
+    def test_oriented_identity(self):
+        assertion = Assertion(A, B, AssertionKind.CONTAINED_IN)
+        assert assertion.oriented(A, B) is assertion
+
+    def test_oriented_flips_containment(self):
+        assertion = Assertion(A, B, AssertionKind.CONTAINED_IN)
+        flipped = assertion.oriented(B, A)
+        assert flipped.kind is AssertionKind.CONTAINS
+        assert flipped.first == B
+
+    def test_oriented_keeps_metadata(self):
+        assertion = Assertion(
+            A, B, AssertionKind.MAY_BE, Source.DERIVED,
+            integrability_decided=False, note="x",
+        )
+        flipped = assertion.oriented(B, A)
+        assert flipped.source is Source.DERIVED
+        assert not flipped.integrability_decided
+        assert flipped.note == "x"
+
+    def test_oriented_rejects_other_pairs(self):
+        assertion = Assertion(A, B, AssertionKind.EQUALS)
+        with pytest.raises(ValueError):
+            assertion.oriented(A, ObjectRef("sc2", "Department"))
+
+    def test_str_tags_non_dda_sources(self):
+        derived = Assertion(A, B, AssertionKind.EQUALS, Source.DERIVED)
+        assert "<derived>" in str(derived)
+        dda = Assertion(A, B, AssertionKind.EQUALS)
+        assert "<" not in str(dda)
+
+    def test_describe(self):
+        assertion = Assertion(A, B, AssertionKind.DISJOINT_INTEGRABLE)
+        assert (
+            assertion.describe()
+            == "sc1.Student and sc2.Faculty are disjoint but integrable"
+        )

@@ -1,0 +1,84 @@
+"""Tests for conflict reports and the Screen 9 rendering."""
+
+import pytest
+
+from repro.assertions.conflicts import render_screen9
+from repro.assertions.kinds import AssertionKind
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.schema import ObjectRef
+from repro.errors import ConflictError
+from repro.workloads.university import build_sc3, build_sc4
+
+
+@pytest.fixture
+def screen9_report():
+    """The paper's Screen 9 scenario, driven end to end."""
+    network = AssertionNetwork()
+    network.seed_schema(build_sc3())
+    network.seed_schema(build_sc4())
+    network.specify(
+        ObjectRef("sc3", "Instructor"),
+        ObjectRef("sc4", "Grad_student"),
+        AssertionKind.CONTAINED_IN,
+    )
+    with pytest.raises(ConflictError) as excinfo:
+        network.specify(
+            ObjectRef("sc3", "Instructor"),
+            ObjectRef("sc4", "Student"),
+            AssertionKind.DISJOINT_NONINTEGRABLE,
+        )
+    return excinfo.value.report
+
+
+class TestReport:
+    def test_subject_is_the_derived_pair(self, screen9_report):
+        assert str(screen9_report.subject_first) == "sc3.Instructor"
+        assert str(screen9_report.subject_second) == "sc4.Student"
+
+    def test_current_assertion_is_derived_code_2(self, screen9_report):
+        assert screen9_report.current is not None
+        assert screen9_report.current.kind.code == 2
+
+    def test_chain_lists_both_sources(self, screen9_report):
+        chain = {
+            (str(a.first), str(a.second), a.kind.code)
+            for a in screen9_report.chain
+        }
+        assert chain == {
+            ("sc3.Instructor", "sc4.Grad_student", 2),
+            ("sc4.Grad_student", "sc4.Student", 2),
+        }
+
+    def test_repairs_distinguish_sources(self, screen9_report):
+        repairs = screen9_report.suggested_repairs()
+        assert any("withdraw the new assertion" in repair for repair in repairs)
+        assert any("retract or change" in repair for repair in repairs)
+        assert any("revise the schema structure" in repair for repair in repairs)
+
+    def test_str_mentions_both_codes(self, screen9_report):
+        text = str(screen9_report)
+        assert "new assertion 0" in text
+        assert "conflicts" in text
+
+    def test_not_a_propagation_conflict(self, screen9_report):
+        assert not screen9_report.is_propagation_conflict
+
+
+class TestRenderScreen9:
+    def test_layout_matches_paper(self, screen9_report):
+        text = render_screen9(screen9_report)
+        assert "Assertion Conflict Resolution Screen" in text
+        assert "<derived>(CONFLICT)" in text
+        assert "<new>(CONFLICT)" in text
+        # the four rows of the paper's screen
+        assert text.count("sc3.Instructor") >= 3
+        assert "sc4.Grad_student" in text
+
+    def test_menu_is_full(self, screen9_report):
+        text = render_screen9(screen9_report)
+        for code in range(6):
+            assert f"{code} - " in text
+
+    def test_repair_suggestions_included(self, screen9_report):
+        text = render_screen9(screen9_report)
+        assert "Suggested repairs:" in text

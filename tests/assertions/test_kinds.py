@@ -1,0 +1,81 @@
+"""Tests for assertion kinds and their relation mapping."""
+
+import pytest
+
+from repro.assertions.kinds import AssertionKind, Relation
+from repro.errors import AssertionSpecError
+
+
+class TestCodes:
+    def test_paper_menu_numbers(self):
+        # Screen 8/9: 1 equals, 2 contained-in, 3 contains, 4 disjoint
+        # integrable, 5 may-be, 0 disjoint non-integrable.
+        assert AssertionKind.EQUALS.code == 1
+        assert AssertionKind.CONTAINED_IN.code == 2
+        assert AssertionKind.CONTAINS.code == 3
+        assert AssertionKind.DISJOINT_INTEGRABLE.code == 4
+        assert AssertionKind.MAY_BE.code == 5
+        assert AssertionKind.DISJOINT_NONINTEGRABLE.code == 0
+
+    def test_from_code(self):
+        for kind in AssertionKind:
+            assert AssertionKind.from_code(kind.code) is kind
+
+    @pytest.mark.parametrize("bad", [-1, 6, 42])
+    def test_from_code_rejects(self, bad):
+        with pytest.raises(AssertionSpecError):
+            AssertionKind.from_code(bad)
+
+
+class TestRelations:
+    def test_relation_mapping(self):
+        assert AssertionKind.EQUALS.relation is Relation.EQ
+        assert AssertionKind.CONTAINED_IN.relation is Relation.PP
+        assert AssertionKind.CONTAINS.relation is Relation.PPI
+        assert AssertionKind.MAY_BE.relation is Relation.PO
+        assert AssertionKind.DISJOINT_INTEGRABLE.relation is Relation.DR
+        assert AssertionKind.DISJOINT_NONINTEGRABLE.relation is Relation.DR
+
+    def test_from_relation(self):
+        assert AssertionKind.from_relation(Relation.EQ) is AssertionKind.EQUALS
+        assert (
+            AssertionKind.from_relation(Relation.DR, integrable=True)
+            is AssertionKind.DISJOINT_INTEGRABLE
+        )
+        assert (
+            AssertionKind.from_relation(Relation.DR, integrable=False)
+            is AssertionKind.DISJOINT_NONINTEGRABLE
+        )
+
+    def test_from_dr_requires_decision(self):
+        with pytest.raises(AssertionSpecError):
+            AssertionKind.from_relation(Relation.DR)
+
+
+class TestBehaviour:
+    def test_integrable(self):
+        integrable = {kind for kind in AssertionKind if kind.integrable}
+        assert integrable == set(AssertionKind) - {
+            AssertionKind.DISJOINT_NONINTEGRABLE
+        }
+
+    def test_converse(self):
+        assert AssertionKind.CONTAINED_IN.converse is AssertionKind.CONTAINS
+        assert AssertionKind.CONTAINS.converse is AssertionKind.CONTAINED_IN
+        for kind in (
+            AssertionKind.EQUALS,
+            AssertionKind.MAY_BE,
+            AssertionKind.DISJOINT_INTEGRABLE,
+            AssertionKind.DISJOINT_NONINTEGRABLE,
+        ):
+            assert kind.converse is kind
+
+    def test_converse_involution(self):
+        for kind in AssertionKind:
+            assert kind.converse.converse is kind
+
+    def test_describe_menu_phrasing(self):
+        text = AssertionKind.CONTAINED_IN.describe("sc3.Instructor", "sc4.Student")
+        assert text == "sc3.Instructor 'contained in' sc4.Student"
+        text = AssertionKind.DISJOINT_NONINTEGRABLE.describe("A", "B")
+        assert "disjoint & non-integratable" in text

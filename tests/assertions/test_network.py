@@ -1,0 +1,348 @@
+"""Tests for the assertion constraint network."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.assertions.assertion import ordered_pair
+from repro.assertions.kinds import AssertionKind, Relation, Source
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.schema import ObjectRef
+from repro.errors import AssertionSpecError, ConflictError
+
+
+def refs(*names):
+    return [ObjectRef("s", name) for name in names]
+
+
+@pytest.fixture
+def triangle():
+    network = AssertionNetwork()
+    a, b, c = refs("A", "B", "C")
+    for ref in (a, b, c):
+        network.add_object(ref)
+    return network, a, b, c
+
+
+class TestSpecify:
+    def test_basic(self, triangle):
+        network, a, b, c = triangle
+        assertion = network.specify(a, b, AssertionKind.EQUALS)
+        assert assertion.source is Source.DDA
+        assert network.assertion_for(a, b).kind is AssertionKind.EQUALS
+
+    def test_int_code_accepted(self, triangle):
+        network, a, b, _ = triangle
+        network.specify(a, b, 2)
+        assert network.assertion_for(a, b).kind is AssertionKind.CONTAINED_IN
+
+    def test_orientation(self, triangle):
+        network, a, b, _ = triangle
+        network.specify(a, b, AssertionKind.CONTAINED_IN)
+        assert network.assertion_for(b, a).kind is AssertionKind.CONTAINS
+
+    def test_self_assertion_rejected(self, triangle):
+        network, a, _, _ = triangle
+        with pytest.raises(AssertionSpecError):
+            network.specify(a, a, 1)
+
+    def test_unknown_object_rejected(self, triangle):
+        network, a, _, _ = triangle
+        with pytest.raises(AssertionSpecError):
+            network.specify(a, ObjectRef("s", "Ghost"), 1)
+
+    def test_restating_is_noop(self, triangle):
+        network, a, b, _ = triangle
+        network.specify(a, b, 2)
+        network.specify(a, b, 2)
+        assert len(network.specified_assertions()) == 1
+
+    def test_restating_converse_orientation_is_noop(self, triangle):
+        network, a, b, _ = triangle
+        network.specify(a, b, 2)
+        network.specify(b, a, 3)  # same assertion, read the other way
+        assert len(network.specified_assertions()) == 1
+
+    def test_changing_requires_respecify(self, triangle):
+        network, a, b, _ = triangle
+        network.specify(a, b, 2)
+        with pytest.raises(AssertionSpecError):
+            network.specify(a, b, 1)
+        network.respecify(a, b, 1)
+        assert network.assertion_for(a, b).kind is AssertionKind.EQUALS
+
+
+class TestDerivation:
+    def test_paper_subset_chain(self, triangle):
+        network, a, b, c = triangle
+        network.specify(a, b, AssertionKind.CONTAINED_IN)
+        network.specify(b, c, AssertionKind.CONTAINED_IN)
+        derived = network.assertion_for(a, c)
+        assert derived.kind is AssertionKind.CONTAINED_IN
+        assert derived.source is Source.DERIVED
+
+    def test_equals_propagates_everything(self, triangle):
+        network, a, b, c = triangle
+        network.specify(a, b, AssertionKind.EQUALS)
+        network.specify(b, c, AssertionKind.MAY_BE)
+        derived = network.assertion_for(a, c)
+        assert derived.kind is AssertionKind.MAY_BE
+        assert not derived.integrability_decided
+
+    def test_subset_disjoint_derives_disjoint(self, triangle):
+        network, a, b, c = triangle
+        network.specify(a, b, AssertionKind.CONTAINED_IN)
+        network.specify(b, c, AssertionKind.DISJOINT_NONINTEGRABLE)
+        derived = network.assertion_for(a, c)
+        assert derived.relation is Relation.DR
+        assert not derived.integrability_decided
+
+    def test_no_overeager_derivation(self, triangle):
+        network, a, b, c = triangle
+        network.specify(a, b, AssertionKind.MAY_BE)
+        network.specify(b, c, AssertionKind.MAY_BE)
+        assert network.assertion_for(a, c) is None
+        assert network.is_undetermined(a, c)
+
+    def test_feasible_narrows_without_determining(self, triangle):
+        network, a, b, c = triangle
+        network.specify(a, b, AssertionKind.CONTAINS)  # a ⊃ b
+        network.specify(b, c, AssertionKind.MAY_BE)
+        feasible = network.feasible(a, c)
+        assert feasible == frozenset({Relation.PO, Relation.PPI})
+
+    def test_derived_integrability_can_be_decided_later(self, triangle):
+        network, a, b, c = triangle
+        network.specify(a, b, AssertionKind.CONTAINED_IN)
+        network.specify(b, c, AssertionKind.DISJOINT_NONINTEGRABLE)
+        # the DDA later confirms the derived disjointness as integrable
+        confirmed = network.specify(a, c, AssertionKind.DISJOINT_INTEGRABLE)
+        assert confirmed.integrability_decided
+
+    def test_explain_returns_specified_chain(self, triangle):
+        network, a, b, c = triangle
+        first = network.specify(a, b, 2)
+        second = network.specify(b, c, 2)
+        chain = network.explain(a, c)
+        assert set(x.pair for x in chain) == {first.pair, second.pair}
+
+
+class TestConflicts:
+    def test_direct_contradiction(self, triangle):
+        network, a, b, c = triangle
+        network.specify(a, b, 2)
+        network.specify(b, c, 2)
+        with pytest.raises(ConflictError) as excinfo:
+            network.specify(a, c, 0)
+        report = excinfo.value.report
+        assert report.new.kind is AssertionKind.DISJOINT_NONINTEGRABLE
+        assert report.current is not None
+        assert report.current.kind.relation is Relation.PP
+        assert len(report.chain) == 2
+
+    def test_paper_screen9_example_text(self):
+        # Employee ≡ Person, Person ≡ Worker ⇒ Worker ⊂ Employee must fail
+        network = AssertionNetwork()
+        emp, per, wor = (
+            ObjectRef("x", "Employee"),
+            ObjectRef("y", "Person"),
+            ObjectRef("z", "Worker"),
+        )
+        for ref in (emp, per, wor):
+            network.add_object(ref)
+        network.specify(emp, per, 1)
+        network.specify(per, wor, 1)
+        with pytest.raises(ConflictError):
+            network.specify(wor, emp, 2)
+
+    def test_state_unchanged_after_conflict(self, triangle):
+        network, a, b, c = triangle
+        network.specify(a, b, 2)
+        network.specify(b, c, 2)
+        before = network.feasible(a, c)
+        with pytest.raises(ConflictError):
+            network.specify(a, c, 0)
+        assert network.feasible(a, c) == before
+        assert len(network.specified_assertions()) == 2
+
+    def test_propagation_conflict_on_third_pair(self):
+        # a ⊂ b, c ⊃ b, then a disjoint c contradicts a ⊂ b ⊂ c.
+        network = AssertionNetwork()
+        a, b, c = refs("A", "B", "C")
+        for ref in (a, b, c):
+            network.add_object(ref)
+        network.specify(a, b, 2)
+        network.specify(b, c, 2)
+        with pytest.raises(ConflictError):
+            network.specify(c, a, AssertionKind.CONTAINED_IN)  # c ⊂ a
+
+
+class TestRetraction:
+    def test_retract_removes_derivations(self, triangle):
+        network, a, b, c = triangle
+        network.specify(a, b, 2)
+        network.specify(b, c, 2)
+        assert network.assertion_for(a, c) is not None
+        network.retract(b, c)
+        assert network.assertion_for(a, c) is None
+        assert network.assertion_for(a, b) is not None
+
+    def test_retract_unknown_pair(self, triangle):
+        network, a, b, _ = triangle
+        with pytest.raises(AssertionSpecError):
+            network.retract(a, b)
+
+    def test_respecify_after_conflict_resolution(self, triangle):
+        # The Screen 9 repair: change the earlier assertion, retry the new.
+        network, a, b, c = triangle
+        network.specify(a, b, 2)
+        network.specify(b, c, 2)
+        with pytest.raises(ConflictError):
+            network.specify(a, c, 0)
+        network.respecify(a, b, 0)  # "all instructors are not grad students"
+        network.specify(a, c, 0)  # now accepted
+        assert network.assertion_for(a, c).kind.code == 0
+
+
+class TestSeeding:
+    def test_categories_seed_contained_in(self, sc4):
+        network = AssertionNetwork()
+        implicit = network.seed_schema(sc4)
+        assert len(implicit) == 1
+        assertion = implicit[0]
+        assert assertion.kind is AssertionKind.CONTAINED_IN
+        assert assertion.source is Source.IMPLICIT
+        assert assertion.first.object_name == "Grad_student"
+
+    def test_entity_disjointness_optional(self, sc1):
+        plain = AssertionNetwork()
+        plain.seed_schema(sc1)
+        a = ObjectRef("sc1", "Student")
+        b = ObjectRef("sc1", "Department")
+        assert plain.assertion_for(a, b) is None
+        seeded = AssertionNetwork()
+        seeded.seed_schema(sc1, entity_disjointness=True)
+        assert seeded.assertion_for(a, b).relation is Relation.DR
+
+
+# -- model-based property test -------------------------------------------------
+
+@st.composite
+def consistent_worlds(draw):
+    """Random non-empty subsets of a universe plus all their true relations."""
+    count = draw(st.integers(3, 6))
+    sets = [
+        draw(st.frozensets(st.integers(0, 5), min_size=1)) for _ in range(count)
+    ]
+    return sets
+
+
+def _actual_kind(a: frozenset, b: frozenset) -> AssertionKind:
+    if a == b:
+        return AssertionKind.EQUALS
+    if a < b:
+        return AssertionKind.CONTAINED_IN
+    if a > b:
+        return AssertionKind.CONTAINS
+    if a & b:
+        return AssertionKind.MAY_BE
+    return AssertionKind.DISJOINT_INTEGRABLE
+
+
+@settings(deadline=None, max_examples=60)
+@given(consistent_worlds(), st.randoms(use_true_random=False))
+def test_consistent_assertion_scripts_never_conflict(world, rng):
+    """Feeding the true relations of actual sets can never raise a conflict,
+    and every derived assertion must match the model's true relation."""
+    network = AssertionNetwork()
+    object_refs = [ObjectRef("w", f"S{i}") for i in range(len(world))]
+    for ref in object_refs:
+        network.add_object(ref)
+    pairs = [
+        (i, j)
+        for i in range(len(world))
+        for j in range(i + 1, len(world))
+    ]
+    rng.shuffle(pairs)
+    for i, j in pairs[: len(pairs) * 2 // 3 + 1]:
+        kind = _actual_kind(world[i], world[j])
+        existing = network.assertion_for(object_refs[i], object_refs[j])
+        if existing is not None and existing.source is Source.DERIVED:
+            # the network already knows; re-specifying must agree, not raise
+            network.specify(object_refs[i], object_refs[j], kind)
+            continue
+        network.specify(object_refs[i], object_refs[j], kind)
+    for derived in network.derived_assertions():
+        i = int(derived.first.object_name[1:])
+        j = int(derived.second.object_name[1:])
+        assert derived.relation is _actual_kind(world[i], world[j]).relation
+
+
+class TestUnionCategorySeeding:
+    def test_union_category_contributes_no_implicit_assertion(self):
+        from repro.ecr.builder import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("u")
+            .entity("Car", attrs=[("Vin", "char", True)])
+            .entity("Boat", attrs=[("Hull", "char", True)])
+            .category("Amphibious", of=["Car", "Boat"])
+            .build()
+        )
+        network = AssertionNetwork()
+        implicit = network.seed_schema(schema)
+        assert implicit == []
+        amphibious = ObjectRef("u", "Amphibious")
+        # the pair stays open: an amphibious vehicle need not be a car
+        assert network.is_undetermined(amphibious, ObjectRef("u", "Car"))
+
+    def test_single_parent_category_still_seeds(self):
+        from repro.ecr.builder import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("u")
+            .entity("Car", attrs=[("Vin", "char", True)])
+            .category("Sports_car", of="Car")
+            .build()
+        )
+        network = AssertionNetwork()
+        implicit = network.seed_schema(schema)
+        assert len(implicit) == 1
+        assert implicit[0].kind is AssertionKind.CONTAINED_IN
+
+
+class TestDeepDerivationChains:
+    def test_four_level_chain_explained_fully(self):
+        network = AssertionNetwork()
+        chain_refs = refs("L0", "L1", "L2", "L3", "L4")
+        for ref in chain_refs:
+            network.add_object(ref)
+        for lower, upper in zip(chain_refs, chain_refs[1:]):
+            network.specify(lower, upper, AssertionKind.CONTAINED_IN)
+        derived = network.assertion_for(chain_refs[0], chain_refs[-1])
+        assert derived is not None
+        assert derived.kind is AssertionKind.CONTAINED_IN
+        explanation = network.explain(chain_refs[0], chain_refs[-1])
+        explained_pairs = {a.pair for a in explanation}
+        expected_pairs = {
+            ordered_pair(lower, upper)
+            for lower, upper in zip(chain_refs, chain_refs[1:])
+        }
+        # every specified link of the chain participates in the derivation
+        assert explained_pairs <= expected_pairs
+        assert len(explained_pairs) >= 2
+
+    def test_propagation_conflict_report_names_third_pair(self):
+        network = AssertionNetwork()
+        a, b, c = refs("A", "B", "C")
+        for ref in (a, b, c):
+            network.add_object(ref)
+        network.specify(a, b, AssertionKind.CONTAINED_IN)
+        network.specify(b, c, AssertionKind.CONTAINED_IN)
+        with pytest.raises(ConflictError) as excinfo:
+            network.specify(c, a, AssertionKind.CONTAINED_IN)
+        report = excinfo.value.report
+        # the clash materialises away from (c, a) itself
+        assert report.is_propagation_conflict or report.current is not None
+        assert report.new.kind is AssertionKind.CONTAINED_IN
+        text = str(report)
+        assert "conflict" in text

@@ -1,0 +1,91 @@
+"""Tests for the EXP-CLO / EXP-CON assertion-entry baselines."""
+
+import pytest
+
+from repro.baselines.closure_baselines import (
+    drive_assertions_with_closure,
+    drive_assertions_without_closure,
+)
+from repro.workloads.generator import GeneratorConfig, generate_schema_pair
+from repro.workloads.university import build_sc3, build_sc4
+from repro.workloads.oracle import GroundTruth
+from repro.assertions.kinds import AssertionKind
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return generate_schema_pair(GeneratorConfig(seed=9, concepts=9, overlap=0.7))
+
+
+class TestWithClosure:
+    def test_counts_add_up(self, pair):
+        _, stats = drive_assertions_with_closure(
+            pair.first, pair.second, pair.truth
+        )
+        assert stats.questions_asked + stats.derived_free == stats.pairs_total
+        assert stats.conflicts == 0  # truthful oracle never contradicts
+
+    def test_network_matches_truth(self, pair):
+        network, _ = drive_assertions_with_closure(
+            pair.first, pair.second, pair.truth
+        )
+        for (a, b), kind in pair.truth.object_assertions.items():
+            recorded = network.assertion_for(a, b)
+            assert recorded is not None
+            assert recorded.relation is kind.relation
+
+    def test_savings_ratio(self, pair):
+        _, stats = drive_assertions_with_closure(
+            pair.first, pair.second, pair.truth
+        )
+        assert 0.0 <= stats.savings_ratio < 1.0
+        assert stats.questions_saved == stats.derived_free
+
+
+class TestWithoutClosure:
+    def test_every_pair_is_a_question(self, pair):
+        stats = drive_assertions_without_closure(
+            pair.first, pair.second, pair.truth
+        )
+        assert stats.questions_asked == stats.pairs_total
+        assert stats.derived_free == 0
+        assert stats.savings_ratio == 0.0
+
+    def test_closure_saves_questions_on_structured_pairs(self):
+        """The paper's claim: derivation reduces DDA questions.  sc3/sc4
+        have IS-A structure, so at least one pair comes for free."""
+        sc3, sc4 = build_sc3(), build_sc4()
+        truth = GroundTruth()
+        truth.add_object_assertion(
+            "sc3.Instructor", "sc4.Grad_student", AssertionKind.CONTAINED_IN
+        )
+        _, with_closure = drive_assertions_with_closure(sc3, sc4, truth)
+        without = drive_assertions_without_closure(sc3, sc4, truth)
+        assert with_closure.questions_asked < without.questions_asked
+        assert with_closure.derived_free >= 1
+
+
+class TestErrorInjection:
+    def test_erroneous_answers_raise_conflicts(self, pair):
+        _, stats = drive_assertions_with_closure(
+            pair.first, pair.second, pair.truth, error_rate=0.4, seed=3
+        )
+        assert stats.conflicts > 0
+        assert stats.conflict_pairs
+
+    def test_baseline_never_notices_errors(self, pair):
+        stats = drive_assertions_without_closure(
+            pair.first, pair.second, pair.truth, error_rate=0.4, seed=3
+        )
+        assert stats.conflicts == 0
+
+    def test_detection_grows_with_error_rate(self, pair):
+        conflicts = []
+        for rate in (0.0, 0.2, 0.6):
+            _, stats = drive_assertions_with_closure(
+                pair.first, pair.second, pair.truth, error_rate=rate, seed=1
+            )
+            conflicts.append(stats.conflicts)
+        assert conflicts[0] == 0
+        assert conflicts[2] >= conflicts[1] >= 0
+        assert conflicts[2] > 0

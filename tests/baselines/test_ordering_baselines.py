@@ -1,0 +1,105 @@
+"""Tests for the EXP-ORD ordering baselines."""
+
+import pytest
+
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.baselines.ordering_baselines import (
+    all_cross_pairs,
+    effort_to_full_recall,
+    ordering_alphabetical,
+    ordering_random,
+    ordering_resemblance,
+    recall_at_k,
+    recall_curve,
+)
+from repro.workloads.generator import GeneratorConfig, generate_schema_pair
+from repro.workloads.oracle import OracleDda
+
+
+@pytest.fixture(scope="module")
+def scene():
+    pair = generate_schema_pair(GeneratorConfig(seed=42, concepts=10, overlap=0.6))
+    registry = EquivalenceRegistry([pair.first, pair.second])
+    OracleDda(pair.truth).declare_all_equivalences(registry)
+    return pair, registry
+
+
+class TestOrderings:
+    def test_all_orderings_are_permutations(self, scene):
+        pair, registry = scene
+        full = set(all_cross_pairs(pair.first, pair.second))
+        for ordering in (
+            ordering_resemblance(registry, pair.first, pair.second),
+            ordering_random(pair.first, pair.second, seed=1),
+            ordering_alphabetical(pair.first, pair.second),
+        ):
+            assert set(ordering) == full
+            assert len(ordering) == len(full)
+
+    def test_random_is_seeded(self, scene):
+        pair, _ = scene
+        assert ordering_random(pair.first, pair.second, 5) == ordering_random(
+            pair.first, pair.second, 5
+        )
+        assert ordering_random(pair.first, pair.second, 5) != ordering_random(
+            pair.first, pair.second, 6
+        )
+
+    def test_alphabetical_sorted(self, scene):
+        pair, _ = scene
+        ordering = ordering_alphabetical(pair.first, pair.second)
+        assert ordering == sorted(ordering)
+
+
+class TestRecall:
+    def test_recall_monotone_and_complete(self, scene):
+        pair, registry = scene
+        ordering = ordering_resemblance(registry, pair.first, pair.second)
+        curve = recall_curve(ordering, pair.truth)
+        assert curve == sorted(curve)
+        assert curve[-1] == 1.0
+
+    def test_recall_with_empty_truth(self, scene):
+        pair, _ = scene
+        from repro.workloads.oracle import GroundTruth
+
+        assert recall_at_k(
+            ordering_alphabetical(pair.first, pair.second), GroundTruth(), 1
+        ) == 1.0
+
+    def test_resemblance_beats_random_early(self, scene):
+        """The paper's headline claim, checked in-shape: at small k the
+        heuristic ordering has found at least as much as random."""
+        pair, registry = scene
+        resemblance = ordering_resemblance(registry, pair.first, pair.second)
+        k = max(1, len(pair.truth.object_assertions))
+        heuristic = recall_at_k(resemblance, pair.truth, k)
+        random_scores = [
+            recall_at_k(
+                ordering_random(pair.first, pair.second, seed), pair.truth, k
+            )
+            for seed in range(5)
+        ]
+        assert heuristic >= max(random_scores)
+        assert heuristic >= 0.8
+
+    def test_effort_to_full_recall(self, scene):
+        pair, registry = scene
+        resemblance = ordering_resemblance(registry, pair.first, pair.second)
+        effort_heuristic = effort_to_full_recall(resemblance, pair.truth)
+        efforts_random = [
+            effort_to_full_recall(
+                ordering_random(pair.first, pair.second, seed), pair.truth
+            )
+            for seed in range(5)
+        ]
+        assert effort_heuristic <= min(efforts_random)
+
+    def test_effort_when_truth_unreachable(self, scene):
+        pair, _ = scene
+        from repro.workloads.oracle import GroundTruth
+
+        truth = GroundTruth()
+        truth.add_object_assertion("zz.Nope", "zz.Other", 1)
+        ordering = ordering_alphabetical(pair.first, pair.second)
+        assert effort_to_full_recall(ordering, truth) == len(ordering)

@@ -1,0 +1,55 @@
+"""Tests for n-ary integration-order strategies."""
+
+from repro.baselines.strategies import ladder_orders
+from repro.ecr.builder import SchemaBuilder
+
+
+def _schemas():
+    return [
+        SchemaBuilder("beta").entity("B", attrs=[("id", "char", True)]).build(),
+        SchemaBuilder("alpha")
+        .entity("A1", attrs=[("id", "char", True)])
+        .entity("A2", attrs=[("id", "char", True)])
+        .build(),
+        SchemaBuilder("gamma").entity("G", attrs=[("id", "char", True)]).build(),
+    ]
+
+
+class TestLadderOrders:
+    def test_all_orders_are_permutations(self):
+        schemas = _schemas()
+        for name, order in ladder_orders(schemas).items():
+            assert sorted(s.name for s in order) == sorted(
+                s.name for s in schemas
+            ), name
+
+    def test_given_preserves_input(self):
+        schemas = _schemas()
+        assert [s.name for s in ladder_orders(schemas)["given"]] == [
+            "beta",
+            "alpha",
+            "gamma",
+        ]
+
+    def test_alphabetical(self):
+        schemas = _schemas()
+        assert [s.name for s in ladder_orders(schemas)["alphabetical"]] == [
+            "alpha",
+            "beta",
+            "gamma",
+        ]
+
+    def test_size_orders(self):
+        schemas = _schemas()
+        orders = ladder_orders(schemas)
+        assert orders["largest_first"][0].name == "alpha"
+        assert orders["smallest_first"][-1].name == "alpha"
+
+    def test_shuffles_seeded_and_counted(self):
+        schemas = _schemas()
+        first = ladder_orders(schemas, seed=4, samples=2)
+        second = ladder_orders(schemas, seed=4, samples=2)
+        assert [s.name for s in first["shuffled_0"]] == [
+            s.name for s in second["shuffled_0"]
+        ]
+        assert "shuffled_1" in first and "shuffled_2" not in first

@@ -1,0 +1,69 @@
+"""Shared fixtures: the paper's schemas, registries, networks and results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.schema import ObjectRef
+from repro.integration.integrator import Integrator
+from repro.workloads.university import (
+    PAPER_RELATIONSHIP_CODES,
+    build_sc1,
+    build_sc2,
+    build_sc3,
+    build_sc4,
+    paper_assertions,
+    paper_registry,
+)
+
+
+@pytest.fixture
+def sc1():
+    return build_sc1()
+
+
+@pytest.fixture
+def sc2():
+    return build_sc2()
+
+
+@pytest.fixture
+def sc3():
+    return build_sc3()
+
+
+@pytest.fixture
+def sc4():
+    return build_sc4()
+
+
+@pytest.fixture
+def registry():
+    """sc1 + sc2 with the Screen 7 equivalences declared."""
+    return paper_registry()
+
+
+@pytest.fixture
+def object_network(registry):
+    """The Screen 8 assertions loaded into a network."""
+    return paper_assertions(registry)
+
+
+@pytest.fixture
+def relationship_network(registry):
+    """The relationship-subphase assertions (Majors equals Majors)."""
+    network = AssertionNetwork()
+    for schema in registry.schemas():
+        for relationship in schema.relationship_sets():
+            network.add_object(ObjectRef(schema.name, relationship.name))
+    for first, second, code in PAPER_RELATIONSHIP_CODES:
+        network.specify(ObjectRef.parse(first), ObjectRef.parse(second), code)
+    return network
+
+
+@pytest.fixture
+def paper_result(registry, object_network, relationship_network):
+    """The Figure 5 integration result."""
+    integrator = Integrator(registry, object_network, relationship_network)
+    return integrator.integrate("sc1", "sc2")

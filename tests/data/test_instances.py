@@ -1,0 +1,153 @@
+"""Tests for the instance store and its request executor."""
+
+import pytest
+
+from repro.data.instances import InstanceStore
+from repro.ecr.builder import SchemaBuilder
+from repro.errors import SchemaError
+from repro.query.parser import parse_request
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("s")
+        .entity(
+            "Student",
+            attrs=[("Name", "char", True), ("GPA", "real")],
+        )
+        .entity("Department", attrs=[("Name", "char", True)])
+        .category("Grad", of="Student", attrs=[("Thesis", "char")])
+        .relationship(
+            "Majors",
+            connects=[("Student", "(1,1)"), ("Department", "(0,n)")],
+        )
+        .build()
+    )
+
+
+@pytest.fixture
+def store(schema):
+    store = InstanceStore(schema)
+    alice = store.insert("Student", {"Name": "alice", "GPA": 3.9})
+    bob = store.insert("Student", {"Name": "bob", "GPA": 2.5})
+    cara = store.insert("Grad", {"Name": "cara", "GPA": 3.5, "Thesis": "x"})
+    cs = store.insert("Department", {"Name": "cs"})
+    math = store.insert("Department", {"Name": "math"})
+    store.connect("Majors", {"Student": alice, "Department": cs})
+    store.connect("Majors", {"Student": cara, "Department": math})
+    return store
+
+
+class TestInsertion:
+    def test_category_membership_closure(self, store):
+        names = {m.values["Name"] for m in store.members("Student")}
+        assert names == {"alice", "bob", "cara"}
+        assert {m.values["Name"] for m in store.members("Grad")} == {"cara"}
+
+    def test_missing_value_rejected(self, store):
+        with pytest.raises(SchemaError):
+            store.insert("Student", {"Name": "dan"})
+
+    def test_partial_insert_fills_none(self, store):
+        dan = store.insert("Student", {"Name": "dan"}, partial=True)
+        assert store.instance(dan).values["GPA"] is None
+
+    def test_unknown_attribute_rejected(self, store):
+        with pytest.raises(SchemaError):
+            store.insert("Student", {"Name": "e", "GPA": 1.0, "X": 2})
+
+    def test_domain_enforced(self, store):
+        with pytest.raises(SchemaError):
+            store.insert("Student", {"Name": "e", "GPA": "not a number"})
+
+    def test_category_requires_inherited_values(self, schema):
+        store = InstanceStore(schema)
+        with pytest.raises(SchemaError):
+            store.insert("Grad", {"Thesis": "only own attr"})
+
+    def test_size(self, store):
+        assert store.size() == (5, 2)
+
+
+class TestLinks:
+    def test_connect_validates_membership(self, store, schema):
+        with pytest.raises(SchemaError):
+            store.connect("Majors", {"Student": 999, "Department": 4})
+
+    def test_connect_validates_legs(self, store):
+        with pytest.raises(SchemaError):
+            store.connect("Majors", {"Student": 1})
+
+    def test_category_member_participates_via_parent(self, store):
+        # cara is a Grad; she participates in Majors as a Student
+        assert any(
+            store.instance(link.legs["Student"]).values["Name"] == "cara"
+            for link in store.links("Majors")
+        )
+
+
+class TestSelect:
+    def test_projection_and_condition(self, store):
+        rows = store.select(parse_request("select Name from Student where GPA >= 3.5"))
+        assert rows == [("alice",), ("cara",)]
+
+    def test_category_scope(self, store):
+        rows = store.select(parse_request("select Name from Grad"))
+        assert rows == [("cara",)]
+
+    def test_inherited_attribute_projected(self, store):
+        rows = store.select(parse_request("select Name, GPA from Grad"))
+        assert rows == [("cara", 3.5)]
+
+    def test_string_comparison(self, store):
+        rows = store.select(parse_request("select Name from Department where Name = cs"))
+        assert rows == [("cs",)]
+
+    def test_join_semantics(self, store):
+        rows = store.select(
+            parse_request("select Name from Student via Majors(Department)")
+        )
+        assert rows == [("alice",), ("cara",)]  # bob has no major
+
+    def test_empty_projection_counts_instances(self, store):
+        rows = store.select(parse_request("select * from Student"))
+        assert len(rows) == 3
+
+    def test_none_values_never_satisfy(self, store):
+        store.insert("Student", {"Name": "dan"}, partial=True)
+        rows = store.select(parse_request("select Name from Student where GPA < 100"))
+        assert ("dan",) not in rows
+
+    def test_operators(self, store):
+        assert store.select(parse_request("select Name from Student where GPA != 2.5")) == [
+            ("alice",),
+            ("cara",),
+        ]
+        assert store.select(parse_request("select Name from Student where GPA <= 2.5")) == [
+            ("bob",)
+        ]
+
+
+class TestDuplicateDetection:
+    def test_find_duplicate_by_key(self, store):
+        found = store.find_duplicate("Student", {"Name": "alice", "GPA": 1.0})
+        assert found is not None and found.values["GPA"] == 3.9
+
+    def test_no_duplicate_without_key_values(self, store):
+        assert store.find_duplicate("Student", {"GPA": 3.9}) is None
+
+    def test_fill_values(self, store):
+        dan = store.insert("Student", {"Name": "dan"}, partial=True)
+        store.fill_values(dan, {"GPA": 3.0, "Name": "ignored"})
+        assert store.instance(dan).values["GPA"] == 3.0
+        assert store.instance(dan).values["Name"] == "dan"
+
+    def test_reclassify_down(self, store):
+        bob = next(
+            m.instance_id
+            for m in store.members("Student")
+            if m.values["Name"] == "bob"
+        )
+        store.reclassify_down(bob, "Grad")
+        assert bob in {m.instance_id for m in store.members("Grad")}

@@ -1,0 +1,182 @@
+"""Tests for migration and federated answering — the semantic check of
+the paper's mappings."""
+
+import pytest
+
+from repro.data.instances import InstanceStore
+from repro.data.migrate import federated_answer, merge_stores, migrate_store
+from repro.data.populate import populate_store
+from repro.integration.mappings import build_mappings
+from repro.query.parser import parse_request
+from repro.query.rewrite import rewrite_to_integrated
+
+
+@pytest.fixture
+def world(paper_result, registry):
+    mappings = build_mappings(paper_result, registry.schemas())
+    sc1_store = populate_store(registry.schema("sc1"), seed=1)
+    sc2_store = populate_store(registry.schema("sc2"), seed=2)
+    integrated, id_maps = merge_stores(
+        [(sc1_store, mappings["sc1"]), (sc2_store, mappings["sc2"])],
+        paper_result.schema,
+    )
+    return mappings, sc1_store, sc2_store, integrated, id_maps
+
+
+class TestMigration:
+    def test_every_instance_mapped(self, world):
+        _, sc1_store, sc2_store, integrated, id_maps = world
+        assert len(id_maps[0]) == sc1_store.size()[0]
+        assert len(id_maps[1]) == sc2_store.size()[0]
+
+    def test_no_duplicate_merge_without_shared_keys(self, world):
+        # populate seeds 1 and 2 generate distinct names, so the merged
+        # store carries the sum of the entities
+        _, sc1_store, sc2_store, integrated, _ = world
+        assert (
+            integrated.size()[0]
+            == sc1_store.size()[0] + sc2_store.size()[0]
+        )
+
+    def test_links_migrated_and_repointed(self, world):
+        _, sc1_store, sc2_store, integrated, _ = world
+        merged_majors = integrated.links("E_Stud_Majo")
+        assert len(merged_majors) == len(sc1_store.links("Majors")) + len(
+            sc2_store.links("Majors")
+        )
+        assert len(integrated.links("Works")) == len(sc2_store.links("Works"))
+
+    def test_shared_entities_merge_by_key(self, paper_result, registry):
+        mappings = build_mappings(paper_result, registry.schemas())
+        sc1_store = InstanceStore(registry.schema("sc1"))
+        sc2_store = InstanceStore(registry.schema("sc2"))
+        sc1_store.insert("Department", {"Name": "cs"})
+        sc2_store.insert("Department", {"Name": "cs", "Location": "west"})
+        integrated, _ = merge_stores(
+            [(sc1_store, mappings["sc1"]), (sc2_store, mappings["sc2"])],
+            paper_result.schema,
+        )
+        members = integrated.members("E_Department")
+        assert len(members) == 1
+        # values combined from both sides
+        assert members[0].values["D_Name"] == "cs"
+        assert members[0].values["Location"] == "west"
+
+    def test_contained_entity_reclassifies_down(self, paper_result, registry):
+        """The same person entered as sc1 Student and sc2 Grad_student
+        becomes ONE integrated instance that is a Grad_student."""
+        mappings = build_mappings(paper_result, registry.schemas())
+        sc1_store = InstanceStore(registry.schema("sc1"))
+        sc2_store = InstanceStore(registry.schema("sc2"))
+        sc1_store.insert("Student", {"Name": "ana", "GPA": 3.0})
+        sc2_store.insert(
+            "Grad_student", {"Name": "ana", "GPA": 3.0, "Support_type": "ta"}
+        )
+        integrated, _ = merge_stores(
+            [(sc1_store, mappings["sc1"]), (sc2_store, mappings["sc2"])],
+            paper_result.schema,
+        )
+        students = integrated.members("Student")
+        grads = integrated.members("Grad_student")
+        assert len(students) == 1
+        assert len(grads) == 1
+        assert students[0].instance_id == grads[0].instance_id
+        assert students[0].values["Support_type"] == "ta"
+
+
+class TestSemanticPreservation:
+    def test_view_answers_contained_in_integrated_answers(self, world):
+        mappings, sc1_store, _, integrated, _ = world
+        for text in (
+            "select Name, GPA from Student",
+            "select Name from Department",
+            "select Name from Student via Majors(Department)",
+        ):
+            view_request = parse_request(text)
+            view_rows = sc1_store.select(view_request)
+            integrated_request = rewrite_to_integrated(
+                view_request, mappings["sc1"]
+            )
+            integrated_rows = integrated.select(integrated_request)
+            assert set(view_rows) <= set(integrated_rows)
+
+    def test_federated_equals_direct(self, world):
+        mappings, sc1_store, sc2_store, integrated, _ = world
+        stores = {"sc1": sc1_store, "sc2": sc2_store}
+        for text in (
+            "select D_Name from E_Department",
+            "select Rank from Faculty",
+            "select Name, Rank from Faculty",
+        ):
+            request = parse_request(text)
+            fed = federated_answer(request, mappings, stores)
+            direct = integrated.select(request)
+            assert fed == direct
+
+    def test_federated_pads_missing_attributes(self, world):
+        mappings, sc1_store, sc2_store, *_ = world
+        stores = {"sc1": sc1_store, "sc2": sc2_store}
+        request = parse_request("select D_Name, Location from E_Department")
+        rows = federated_answer(request, mappings, stores)
+        # sc1 departments have no Location: padded None rows appear
+        assert any(row[1] is None for row in rows)
+        assert any(row[1] is not None for row in rows)
+
+
+class TestMigrationErrors:
+    def test_wrong_target_schema_rejected(self, world, registry):
+        mappings, sc1_store, *_ = world
+        from repro.errors import MappingError
+
+        wrong = InstanceStore(registry.schema("sc2"))
+        with pytest.raises(MappingError):
+            migrate_store(sc1_store, mappings["sc1"], wrong)
+
+
+class TestSubsumptionElimination:
+    def test_padded_row_dominated_by_full_row(self, paper_result, registry):
+        mappings = build_mappings(paper_result, registry.schemas())
+        sc1_store = InstanceStore(registry.schema("sc1"))
+        sc2_store = InstanceStore(registry.schema("sc2"))
+        # the same department known to both databases, sc2 knows more
+        sc1_store.insert("Department", {"Name": "cs"})
+        sc2_store.insert("Department", {"Name": "cs", "Location": "west"})
+        request = parse_request("select D_Name, Location from E_Department")
+        rows = federated_answer(
+            request, mappings, {"sc1": sc1_store, "sc2": sc2_store}
+        )
+        assert rows == [("cs", "west")]
+
+    def test_unique_padded_rows_survive(self, paper_result, registry):
+        mappings = build_mappings(paper_result, registry.schemas())
+        sc1_store = InstanceStore(registry.schema("sc1"))
+        sc2_store = InstanceStore(registry.schema("sc2"))
+        sc1_store.insert("Department", {"Name": "history"})  # only in sc1
+        sc2_store.insert("Department", {"Name": "cs", "Location": "west"})
+        request = parse_request("select D_Name, Location from E_Department")
+        rows = federated_answer(
+            request, mappings, {"sc1": sc1_store, "sc2": sc2_store}
+        )
+        assert ("history", None) in rows
+        assert ("cs", "west") in rows
+
+    def test_subclass_instances_in_federated_answer(
+        self, paper_result, registry
+    ):
+        mappings = build_mappings(paper_result, registry.schemas())
+        sc1_store = InstanceStore(registry.schema("sc1"))
+        sc2_store = InstanceStore(registry.schema("sc2"))
+        sc1_store.insert("Student", {"Name": "bob", "GPA": 2.0})
+        sc2_store.insert(
+            "Grad_student", {"Name": "eva", "GPA": 3.9, "Support_type": "ra"}
+        )
+        request = parse_request("select D_Name from Student")
+        without = federated_answer(
+            request, mappings, {"sc1": sc1_store, "sc2": sc2_store}
+        )
+        assert without == [("bob",)]
+        with_schema = federated_answer(
+            request, mappings, {"sc1": sc1_store, "sc2": sc2_store},
+            paper_result.schema,
+        )
+        assert with_schema == [("bob",), ("eva",)]

@@ -1,0 +1,65 @@
+"""Tests for the seeded populator."""
+
+from repro.data.populate import populate_store
+from repro.workloads.university import build_sc2, build_sc4
+
+
+class TestPopulate:
+    def test_deterministic(self):
+        first = populate_store(build_sc2(), seed=5)
+        second = populate_store(build_sc2(), seed=5)
+        assert first.size() == second.size()
+        rows_a = [m.values for m in first.members("Grad_student")]
+        rows_b = [m.values for m in second.members("Grad_student")]
+        assert rows_a == rows_b
+
+    def test_different_seeds_differ(self):
+        first = populate_store(build_sc2(), seed=1)
+        second = populate_store(build_sc2(), seed=2)
+        assert [m.values for m in first.members("Faculty")] != [
+            m.values for m in second.members("Faculty")
+        ]
+
+    def test_counts(self):
+        store = populate_store(build_sc2(), seed=0, entities_per_class=4)
+        assert len(store.members("Faculty")) == 4
+        assert len(store.members("Department")) == 4
+
+    def test_category_population_is_subset(self):
+        store = populate_store(build_sc4(), seed=3, entities_per_class=6)
+        students = {m.instance_id for m in store.members("Student")}
+        grads = {m.instance_id for m in store.members("Grad_student")}
+        assert grads < students
+        assert len(grads) >= 1
+
+    def test_every_value_in_domain(self):
+        from repro.ecr.walk import inherited_attributes
+
+        store = populate_store(build_sc2(), seed=7)
+        schema = store.schema
+        for structure in schema.object_classes():
+            expected = {
+                attribute.name: attribute
+                for attribute in inherited_attributes(schema, structure.name)
+            }
+            for member in store.members(structure.name):
+                for name, value in member.values.items():
+                    assert expected[name].domain.contains_value(value)
+
+    def test_links_reference_members(self):
+        store = populate_store(build_sc2(), seed=9)
+        majors = store.schema.relationship_set("Majors")
+        member_ids = {
+            leg.label: {m.instance_id for m in store.members(leg.object_name)}
+            for leg in majors.participations
+        }
+        for link in store.links("Majors"):
+            for label, instance_id in link.legs.items():
+                assert instance_id in member_ids[label]
+
+    def test_links_deduplicated(self):
+        store = populate_store(build_sc2(), seed=11, links_per_relationship=50)
+        keys = [
+            tuple(sorted(link.legs.values())) for link in store.links("Majors")
+        ]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,157 @@
+"""Tests for the data dictionary (persistence + reconstruction)."""
+
+import pytest
+
+from repro.assertions.kinds import AssertionKind
+from repro.dictionary import DataDictionary
+from repro.ecr.json_io import schema_to_dict
+from repro.errors import SchemaError, UnknownNameError
+from repro.integration.mappings import build_mappings
+from repro.workloads.university import (
+    PAPER_ASSERTION_CODES,
+    build_sc1,
+    build_sc2,
+)
+
+
+@pytest.fixture
+def dictionary():
+    d = DataDictionary()
+    d.add_schema(build_sc1())
+    d.add_schema(build_sc2())
+    d.record_equivalence("sc1.Student.Name", "sc2.Grad_student.Name")
+    d.record_equivalence("sc1.Student.Name", "sc2.Faculty.Name")
+    d.record_equivalence("sc1.Student.GPA", "sc2.Grad_student.GPA")
+    d.record_equivalence("sc1.Department.Name", "sc2.Department.Name")
+    for first, second, code in PAPER_ASSERTION_CODES:
+        d.record_assertion(first, second, code)
+    d.record_assertion("sc1.Majors", "sc2.Majors", 1, relationship=True)
+    return d
+
+
+class TestContent:
+    def test_duplicate_schema_rejected(self, dictionary):
+        with pytest.raises(SchemaError):
+            dictionary.add_schema(build_sc1())
+
+    def test_unknown_lookups(self, dictionary):
+        with pytest.raises(UnknownNameError):
+            dictionary.schema("nope")
+        with pytest.raises(UnknownNameError):
+            dictionary.result("nope")
+
+    def test_bad_assertion_code_rejected(self, dictionary):
+        from repro.errors import AssertionSpecError
+
+        with pytest.raises(AssertionSpecError):
+            dictionary.record_assertion("sc1.Student", "sc2.Faculty", 9)
+
+
+class TestReconstruction:
+    def test_registry_rebuilt(self, dictionary):
+        registry = dictionary.build_registry()
+        assert registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Faculty.Name"
+        )
+
+    def test_networks_rebuilt(self, dictionary):
+        objects, relationships = dictionary.build_networks()
+        assert len(objects.specified_assertions()) == 3
+        assert len(relationships.specified_assertions()) == 1
+        from repro.ecr.schema import ObjectRef
+
+        recorded = objects.assertion_for(
+            ObjectRef("sc1", "Student"), ObjectRef("sc2", "Grad_student")
+        )
+        assert recorded.kind is AssertionKind.CONTAINS
+
+    def test_later_recording_wins(self, dictionary):
+        dictionary.record_assertion("sc1.Student", "sc2.Faculty", 5)
+        objects, _ = dictionary.build_networks()
+        from repro.ecr.schema import ObjectRef
+
+        recorded = objects.assertion_for(
+            ObjectRef("sc1", "Student"), ObjectRef("sc2", "Faculty")
+        )
+        assert recorded.kind is AssertionKind.MAY_BE
+
+    def test_full_pipeline_from_dictionary(self, dictionary):
+        from repro.integration.integrator import Integrator
+
+        registry = dictionary.build_registry()
+        objects, relationships = dictionary.build_networks()
+        result = Integrator(registry, objects, relationships).integrate(
+            "sc1", "sc2"
+        )
+        assert "D_Stud_Facu" in result.schema
+
+
+class TestPersistence:
+    def _integrated(self, dictionary):
+        from repro.integration.integrator import Integrator
+
+        registry = dictionary.build_registry()
+        objects, relationships = dictionary.build_networks()
+        result = Integrator(registry, objects, relationships).integrate(
+            "sc1", "sc2"
+        )
+        mappings = build_mappings(result, registry.schemas())
+        dictionary.store_result("paper", result, mappings)
+        return result
+
+    def test_roundtrip_via_dict(self, dictionary):
+        result = self._integrated(dictionary)
+        reloaded = DataDictionary.from_dict(dictionary.to_dict())
+        assert [s.name for s in reloaded.schemas()] == ["sc1", "sc2"]
+        assert schema_to_dict(reloaded.schema("sc1")) == schema_to_dict(
+            build_sc1()
+        )
+        restored = reloaded.result("paper")
+        assert schema_to_dict(restored.schema) == schema_to_dict(result.schema)
+        assert restored.object_mapping == result.object_mapping
+        assert restored.attribute_mapping == result.attribute_mapping
+        assert restored.component_attributes("Student", "D_Name") == [
+            *result.component_attributes("Student", "D_Name")
+        ]
+
+    def test_mappings_roundtrip(self, dictionary):
+        self._integrated(dictionary)
+        reloaded = DataDictionary.from_dict(dictionary.to_dict())
+        mappings = reloaded.mappings_for("paper")
+        assert mappings["sc1"].map_object("Department") == "E_Department"
+        assert mappings["sc2"].map_attribute("Grad_student", "Name") == (
+            "Student",
+            "D_Name",
+        )
+
+    def test_save_and_load_file(self, dictionary, tmp_path):
+        self._integrated(dictionary)
+        path = tmp_path / "session.json"
+        dictionary.save(path)
+        reloaded = DataDictionary.load(path)
+        assert reloaded.result_names() == ["paper"]
+        registry = reloaded.build_registry()
+        assert registry.are_equivalent(
+            "sc1.Student.GPA", "sc2.Grad_student.GPA"
+        )
+
+    def test_format_version_checked(self, dictionary):
+        data = dictionary.to_dict()
+        data["format"] = 999
+        with pytest.raises(SchemaError):
+            DataDictionary.from_dict(data)
+
+    def test_rebuilt_equals_original_pipeline(self, dictionary, tmp_path):
+        """Save → load → integrate gives the same schema as live."""
+        from repro.integration.integrator import Integrator
+
+        live = self._integrated(dictionary)
+        path = tmp_path / "d.json"
+        dictionary.save(path)
+        reloaded = DataDictionary.load(path)
+        registry = reloaded.build_registry()
+        objects, relationships = reloaded.build_networks()
+        again = Integrator(registry, objects, relationships).integrate(
+            "sc1", "sc2"
+        )
+        assert schema_to_dict(again.schema) == schema_to_dict(live.schema)

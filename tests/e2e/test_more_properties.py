@@ -1,0 +1,166 @@
+"""Further cross-module properties: request round-trips, retraction
+semantics, and instance-store invariants."""
+
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.assertions.kinds import AssertionKind
+from repro.assertions.network import AssertionNetwork
+from repro.data.populate import populate_store
+from repro.ecr.schema import ObjectRef
+from repro.ecr.walk import superclass_closure
+from repro.errors import ConflictError
+from repro.query.ast import Comparison, Join, Request
+from repro.query.parser import parse_request
+from repro.workloads.generator import GeneratorConfig, generate_schema_pair
+
+# -- request language ---------------------------------------------------------
+
+identifiers = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+values = st.from_regex(r"[A-Za-z0-9_.]{1,8}", fullmatch=True)
+comparisons = st.builds(
+    Comparison,
+    identifiers,
+    st.sampled_from(["<=", ">=", "!=", "=", "<", ">"]),
+    values,
+)
+requests = st.builds(
+    Request,
+    identifiers,
+    st.tuples(identifiers) | st.tuples(identifiers, identifiers) | st.just(()),
+    st.lists(comparisons, max_size=3).map(tuple),
+    st.lists(st.builds(Join, identifiers, identifiers), max_size=2).map(tuple),
+)
+
+
+@given(requests)
+def test_request_str_parse_roundtrip(request):
+    assume(all(value.lower() not in ("and", "via") for value in
+               [c.value for c in request.conditions]))
+    reparsed = parse_request(str(request))
+    assert reparsed == request
+
+
+# -- assertion network ----------------------------------------------------------
+
+@st.composite
+def assertion_scripts(draw):
+    count = draw(st.integers(3, 6))
+    refs = [ObjectRef("w", f"O{i}") for i in range(count)]
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, count - 1),
+                st.integers(0, count - 1),
+                st.sampled_from(list(AssertionKind)),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return refs, steps
+
+
+def _apply(network, refs, steps):
+    applied = []
+    for i, j, kind in steps:
+        if i == j:
+            continue
+        existing = network.assertion_for(refs[i], refs[j])
+        if existing is not None:
+            continue
+        try:
+            network.specify(refs[i], refs[j], kind)
+            applied.append((i, j, kind))
+        except ConflictError:
+            pass
+    return applied
+
+
+@settings(deadline=None, max_examples=50)
+@given(assertion_scripts())
+def test_retract_then_respecify_is_identity(script):
+    refs, steps = script
+    network = AssertionNetwork()
+    for ref in refs:
+        network.add_object(ref)
+    applied = _apply(network, refs, steps)
+    assume(applied)
+    before = {
+        (a.first, a.second, a.kind) for a in network.all_assertions()
+    }
+    i, j, kind = applied[-1]
+    network.retract(refs[i], refs[j])
+    network.specify(refs[i], refs[j], kind)
+    after = {
+        (a.first, a.second, a.kind) for a in network.all_assertions()
+    }
+    assert before == after
+
+
+@settings(deadline=None, max_examples=50)
+@given(assertion_scripts())
+def test_feasible_sets_shrink_monotonically(script):
+    refs, steps = script
+    network = AssertionNetwork()
+    for ref in refs:
+        network.add_object(ref)
+    snapshots = []
+    for i, j, kind in steps:
+        if i == j:
+            continue
+        pairs = [
+            (a, b)
+            for idx, a in enumerate(refs)
+            for b in refs[idx + 1 :]
+        ]
+        snapshots.append({pair: network.feasible(*pair) for pair in pairs})
+        try:
+            network.specify(refs[i], refs[j], kind)
+        except (ConflictError, Exception):
+            pass
+        current = {pair: network.feasible(*pair) for pair in pairs}
+        for pair, feasible in current.items():
+            assert feasible <= snapshots[-1][pair]
+
+
+# -- instance stores ---------------------------------------------------------------
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 500), st.integers(3, 8))
+def test_store_membership_closed_upward(seed, concepts):
+    pair = generate_schema_pair(
+        GeneratorConfig(seed=seed, concepts=concepts, category_rate=0.6)
+    )
+    store = populate_store(pair.first, seed=seed, entities_per_class=3)
+    schema = store.schema
+    for structure in schema.object_classes():
+        members = {m.instance_id for m in store.members(structure.name)}
+        for ancestor in superclass_closure(schema, structure.name):
+            ancestors_members = {
+                m.instance_id for m in store.members(ancestor)
+            }
+            assert members <= ancestors_members
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(0, 500))
+def test_select_results_are_subsets_of_members(seed):
+    pair = generate_schema_pair(GeneratorConfig(seed=seed, concepts=5))
+    store = populate_store(pair.first, seed=seed)
+    schema = store.schema
+    rng = random.Random(seed)
+    for structure in schema.object_classes():
+        if not structure.attributes:
+            continue
+        attribute = rng.choice(structure.attributes)
+        request = Request(structure.name, (attribute.name,))
+        rows = store.select(request)
+        member_values = [
+            m.values.get(attribute.name) for m in store.members(structure.name)
+        ]
+        assert len(rows) == len(member_values)
+        assert sorted(str(r[0]) for r in rows) == sorted(
+            str(v) for v in member_values
+        )

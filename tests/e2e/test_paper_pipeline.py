@@ -1,0 +1,124 @@
+"""End-to-end reproduction of the paper's four phases (Figure 1).
+
+These tests walk the entire methodology the way the paper's Figure 1 draws
+it — collection, analysis, assertion specification, integration — and pin
+the outcome of every phase to the published artifacts.
+"""
+
+import pytest
+
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.schema import ObjectRef
+from repro.equivalence.ordering import ordered_object_pairs
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.integration.integrator import Integrator
+from repro.integration.mappings import build_mappings
+from repro.query.parser import parse_request
+from repro.query.rewrite import rewrite_to_components, rewrite_to_integrated
+from repro.workloads.university import (
+    PAPER_ASSERTION_CODES,
+    PAPER_RELATIONSHIP_CODES,
+    build_sc1,
+    build_sc2,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """The full Figure 1 pipeline, phase by phase."""
+    # Phase 1: schema collection
+    sc1, sc2 = build_sc1(), build_sc2()
+    # Phase 2: schema analysis — equivalence classes
+    registry = EquivalenceRegistry([sc1, sc2])
+    registry.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+    registry.declare_equivalent("sc1.Student.Name", "sc2.Faculty.Name")
+    registry.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+    registry.declare_equivalent("sc1.Department.Name", "sc2.Department.Name")
+    registry.declare_equivalent("sc1.Majors.Since", "sc2.Majors.Since")
+    # Phase 3: assertion specification over the ranked pairs
+    network = AssertionNetwork()
+    network.seed_schema(sc1)
+    network.seed_schema(sc2)
+    ranked = ordered_object_pairs(registry, "sc1", "sc2")
+    answers = {
+        (str(a), str(b)): code for a, b, code in PAPER_ASSERTION_CODES
+    }
+    for pair in ranked:
+        code = answers[(str(pair.first), str(pair.second))]
+        network.specify(pair.first, pair.second, code)
+    rel_network = AssertionNetwork()
+    for schema in (sc1, sc2):
+        for relationship in schema.relationship_sets():
+            rel_network.add_object(ObjectRef(schema.name, relationship.name))
+    for first, second, code in PAPER_RELATIONSHIP_CODES:
+        rel_network.specify(ObjectRef.parse(first), ObjectRef.parse(second), code)
+    # Phase 4: integration
+    result = Integrator(registry, network, rel_network).integrate("sc1", "sc2")
+    mappings = build_mappings(result, [sc1, sc2])
+    return registry, network, result, mappings
+
+
+class TestPhase3:
+    def test_every_ranked_pair_was_answerable(self, pipeline):
+        registry, network, _, _ = pipeline
+        assert len(network.specified_assertions()) == 3
+
+    def test_derived_assertion_appeared(self, pipeline):
+        _, network, _, _ = pipeline
+        assert network.derived_assertions()
+
+
+class TestPhase4Figure5:
+    def test_exact_figure5_structure(self, pipeline):
+        _, _, result, _ = pipeline
+        schema = result.schema
+        assert {e.name for e in schema.entity_sets()} == {
+            "E_Department",
+            "D_Stud_Facu",
+        }
+        assert {c.name for c in schema.categories()} == {
+            "Student",
+            "Grad_student",
+            "Faculty",
+        }
+        assert {r.name for r in schema.relationship_sets()} == {
+            "E_Stud_Majo",
+            "Works",
+        }
+
+    def test_screen12_component_attributes(self, pipeline):
+        _, _, result, _ = pipeline
+        components = result.component_attributes("Student", "D_Name")
+        assert [str(c) for c in components] == [
+            "sc1.Student.Name",
+            "sc2.Grad_student.Name",
+        ]
+
+
+class TestMappingsBothContexts:
+    def test_logical_database_design_direction(self, pipeline):
+        *_, result, mappings = pipeline
+        view_request = parse_request(
+            "select Name, GPA from Student where GPA >= 3.5"
+        )
+        logical = rewrite_to_integrated(view_request, mappings["sc1"])
+        logical.validate_against(result.schema)
+        assert logical.attributes == ("D_Name", "D_GPA")
+
+    def test_global_schema_design_direction(self, pipeline):
+        *_, mappings = pipeline
+        global_request = parse_request("select D_Name from E_Department")
+        legs = rewrite_to_components(global_request, mappings)
+        assert {leg.schema for leg in legs} == {"sc1", "sc2"}
+
+    def test_attribute_conservation(self, pipeline):
+        """Every component attribute is accounted for exactly once."""
+        registry, _, result, _ = pipeline
+        total_components = sum(
+            len(origin.components)
+            for origin in result.attribute_origins.values()
+        )
+        total_original = sum(
+            schema.attribute_count() for schema in registry.schemas()
+        )
+        assert total_components == total_original

@@ -1,0 +1,102 @@
+"""Cross-module property-based tests on generated workloads.
+
+Each property drives the *whole* pipeline on generator output and checks an
+invariant that must hold for any input: serialisation round-trips, valid
+integrated schemas, total and consistent mappings, conserved attributes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.assertions.network import AssertionNetwork
+from repro.baselines.closure_baselines import drive_assertions_with_closure
+from repro.ecr.ddl import parse_ddl, to_ddl
+from repro.ecr.json_io import schema_from_dict, schema_to_dict
+from repro.ecr.schema import ObjectRef
+from repro.ecr.validation import validate_schema
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.integration.integrator import integrate_pair
+from repro.workloads.generator import GeneratorConfig, generate_schema_pair
+from repro.workloads.oracle import OracleDda
+
+configs = st.builds(
+    GeneratorConfig,
+    seed=st.integers(0, 10_000),
+    concepts=st.integers(3, 10),
+    overlap=st.floats(0.0, 1.0),
+    category_rate=st.floats(0.0, 0.6),
+)
+
+
+@settings(deadline=None, max_examples=25)
+@given(configs)
+def test_ddl_roundtrip_on_generated_schemas(config):
+    pair = generate_schema_pair(config)
+    for schema in (pair.first, pair.second):
+        assert schema_to_dict(parse_ddl(to_ddl(schema))) == schema_to_dict(schema)
+
+
+@settings(deadline=None, max_examples=25)
+@given(configs)
+def test_json_roundtrip_on_generated_schemas(config):
+    pair = generate_schema_pair(config)
+    for schema in (pair.first, pair.second):
+        assert schema_to_dict(
+            schema_from_dict(schema_to_dict(schema))
+        ) == schema_to_dict(schema)
+
+
+def _integrate(config):
+    pair = generate_schema_pair(config)
+    registry = EquivalenceRegistry([pair.first, pair.second])
+    OracleDda(pair.truth).declare_all_equivalences(registry)
+    network, _ = drive_assertions_with_closure(pair.first, pair.second, pair.truth)
+    result = integrate_pair(registry, network, pair.first.name, pair.second.name)
+    return pair, registry, result
+
+
+@settings(deadline=None, max_examples=15)
+@given(configs)
+def test_integration_always_yields_valid_schema(config):
+    _, _, result = _integrate(config)
+    assert not any(issue.is_error for issue in validate_schema(result.schema))
+
+
+@settings(deadline=None, max_examples=15)
+@given(configs)
+def test_object_mapping_is_total_and_consistent(config):
+    pair, registry, result = _integrate(config)
+    for schema in registry.schemas():
+        for structure in schema:
+            ref = ObjectRef(schema.name, structure.name)
+            node = result.object_mapping[ref]
+            assert node in result.schema
+            assert ref in result.nodes[node].components
+
+
+@settings(deadline=None, max_examples=15)
+@given(configs)
+def test_attributes_are_conserved(config):
+    pair, registry, result = _integrate(config)
+    total_components = sum(
+        len(origin.components) for origin in result.attribute_origins.values()
+    )
+    total_original = sum(
+        schema.attribute_count() for schema in registry.schemas()
+    )
+    assert total_components == total_original
+    # and every attribute mapping points at a real attribute
+    for ref, (node, attribute_name) in result.attribute_mapping.items():
+        assert result.schema.get(node).has_attribute(attribute_name)
+
+
+@settings(deadline=None, max_examples=15)
+@given(configs)
+def test_true_equals_pairs_land_in_one_node(config):
+    pair, registry, result = _integrate(config)
+    from repro.assertions.kinds import AssertionKind
+
+    for (a, b), kind in pair.truth.object_assertions.items():
+        if kind is AssertionKind.EQUALS:
+            assert result.object_mapping[a] == result.object_mapping[b]
+        else:
+            assert result.object_mapping[a] != result.object_mapping[b]

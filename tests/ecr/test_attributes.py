@@ -1,0 +1,79 @@
+"""Tests for attributes and qualified attribute references."""
+
+import pytest
+
+from repro.ecr.attributes import Attribute, AttributeRef, check_identifier
+from repro.ecr.domains import DomainKind
+from repro.errors import SchemaError
+
+
+class TestIdentifiers:
+    @pytest.mark.parametrize(
+        "name", ["Student", "Grad_student", "D_or_M", "a1", "_x"]
+    )
+    def test_valid_identifiers(self, name):
+        assert check_identifier(name, "test") == name
+
+    @pytest.mark.parametrize("name", ["", "1abc", "with space", "a-b", "a.b"])
+    def test_invalid_identifiers(self, name):
+        with pytest.raises(SchemaError):
+            check_identifier(name, "test")
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attribute = Attribute("Name")
+        assert attribute.domain.kind is DomainKind.CHAR
+        assert not attribute.is_key
+
+    def test_domain_spelling_accepted(self):
+        attribute = Attribute("GPA", "real")
+        assert attribute.domain.kind is DomainKind.REAL
+
+    def test_bad_domain_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", 42)
+
+    def test_renamed_preserves_rest(self):
+        attribute = Attribute("Name", "char", True)
+        renamed = attribute.renamed("Full_name")
+        assert renamed.name == "Full_name"
+        assert renamed.is_key
+        assert renamed.domain == attribute.domain
+
+    def test_as_non_key(self):
+        keyed = Attribute("Id", "char", True)
+        assert not keyed.as_non_key().is_key
+        plain = Attribute("Note")
+        assert plain.as_non_key() is plain
+
+    def test_str_shows_key(self):
+        assert str(Attribute("Name", "char", True)) == "Name : char key"
+
+
+class TestAttributeRef:
+    def test_parse_and_str_roundtrip(self):
+        ref = AttributeRef.parse("sc1.Student.Name")
+        assert ref == AttributeRef("sc1", "Student", "Name")
+        assert str(ref) == "sc1.Student.Name"
+
+    @pytest.mark.parametrize("bad", ["", "a.b", "a.b.c.d", "a..c"])
+    def test_parse_rejects_bad_forms(self, bad):
+        with pytest.raises(SchemaError):
+            AttributeRef.parse(bad)
+
+    def test_owner(self):
+        assert AttributeRef("s", "O", "a").owner == ("s", "O")
+
+    def test_ordering_is_lexicographic(self):
+        refs = [
+            AttributeRef("sc2", "A", "x"),
+            AttributeRef("sc1", "B", "y"),
+            AttributeRef("sc1", "A", "z"),
+        ]
+        ordered = sorted(refs)
+        assert [str(r) for r in ordered] == [
+            "sc1.A.z",
+            "sc1.B.y",
+            "sc2.A.x",
+        ]

@@ -1,0 +1,93 @@
+"""Tests for the fluent schema builder."""
+
+import pytest
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.builder import SchemaBuilder, make_attribute, make_participation
+from repro.ecr.domains import DomainKind
+from repro.ecr.relationships import CardinalityConstraint, Participation
+from repro.errors import SchemaError, ValidationError
+
+
+class TestAttrSpecs:
+    def test_plain_name(self):
+        assert make_attribute("Name").name == "Name"
+
+    def test_pair_with_domain_spelling(self):
+        attribute = make_attribute(("GPA", "real"))
+        assert attribute.domain.kind is DomainKind.REAL
+
+    def test_triple_with_key(self):
+        assert make_attribute(("Id", "char", True)).is_key
+
+    def test_ready_attribute_passthrough(self):
+        ready = Attribute("x")
+        assert make_attribute(ready) is ready
+
+    @pytest.mark.parametrize("bad", [(), ("a", "char", True, "extra"), (1,)])
+    def test_bad_specs(self, bad):
+        with pytest.raises(SchemaError):
+            make_attribute(bad)
+
+    def test_bad_domain_in_spec(self):
+        with pytest.raises(SchemaError):
+            make_attribute(("a", 3.14))
+
+
+class TestConnectSpecs:
+    def test_plain_name(self):
+        leg = make_participation("Student")
+        assert leg.object_name == "Student"
+        assert leg.cardinality.is_many
+
+    def test_cardinality_string(self):
+        leg = make_participation(("Student", "(1,1)"))
+        assert leg.cardinality == CardinalityConstraint(1, 1)
+
+    def test_cardinality_tuple(self):
+        leg = make_participation(("Student", (0, 2)))
+        assert leg.cardinality == CardinalityConstraint(0, 2)
+
+    def test_role(self):
+        leg = make_participation(("Employee", "(0,n)", "manager"))
+        assert leg.role == "manager"
+
+    def test_passthrough(self):
+        ready = Participation("X")
+        assert make_participation(ready) is ready
+
+    @pytest.mark.parametrize("bad", [(), (1, "(1,1)"), ("A", object())])
+    def test_bad_specs(self, bad):
+        with pytest.raises(SchemaError):
+            make_participation(bad)
+
+
+class TestBuilder:
+    def test_full_schema(self):
+        schema = (
+            SchemaBuilder("s", "demo")
+            .entity("A", attrs=[("id", "char", True)])
+            .entity("B", attrs=[("id", "char", True)])
+            .category("C", of="A", attrs=["extra"])
+            .category("D", of=["A", "B"])
+            .relationship("R", connects=[("A", "(1,1)"), ("B", "(0,n)")])
+            .build()
+        )
+        assert schema.description == "demo"
+        assert len(schema.entity_sets()) == 2
+        assert schema.category("D").parents == ["A", "B"]
+        assert schema.relationship_set("R").degree == 2
+
+    def test_relationship_needs_two_legs(self):
+        builder = SchemaBuilder("s").entity("A")
+        with pytest.raises(SchemaError):
+            builder.relationship("R", connects=[("A", "(1,1)")])
+
+    def test_build_validates(self):
+        builder = SchemaBuilder("s").category("C", of="Ghost")
+        with pytest.raises(ValidationError):
+            builder.build()
+
+    def test_build_without_validation(self):
+        schema = SchemaBuilder("s").category("C", of="Ghost").build(validate=False)
+        assert "C" in schema

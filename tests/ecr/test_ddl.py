@@ -1,0 +1,117 @@
+"""Tests for the ECR DDL parser and printer."""
+
+import pytest
+
+from repro.ecr.ddl import parse_ddl, parse_ddl_schemas, to_ddl
+from repro.ecr.json_io import schema_to_dict
+from repro.errors import DdlError
+from repro.workloads.university import build_sc1, build_sc2
+
+SAMPLE = """
+# the paper's sc1
+schema sc1 "student registration view"
+  entity Student
+    attr Name : char key
+    attr GPA : real
+  entity Department
+    attr Name : char key
+  relationship Majors
+    attr Since : date
+    connects Student (1,1)
+    connects Department (0,n)
+  category Grad_student of Student
+    attr Support_type : char
+"""
+
+
+class TestParsing:
+    def test_parse_sample(self):
+        schema = parse_ddl(SAMPLE)
+        assert schema.name == "sc1"
+        assert schema.description == "student registration view"
+        assert schema.entity_set("Student").attribute("Name").is_key
+        assert schema.category("Grad_student").parents == ["Student"]
+        majors = schema.relationship_set("Majors")
+        assert majors.participant_names() == ["Student", "Department"]
+        assert str(majors.participation_for("Student").cardinality) == "(1,1)"
+
+    def test_comments_and_blanks_ignored(self):
+        schema = parse_ddl("# hi\n\nschema s\n  entity A # trailing\n")
+        assert "A" in schema
+
+    def test_multiple_schemas(self):
+        schemas = parse_ddl_schemas("schema a\n entity X\nschema b\n entity Y\n")
+        assert [s.name for s in schemas] == ["a", "b"]
+
+    def test_parse_ddl_requires_exactly_one(self):
+        with pytest.raises(DdlError):
+            parse_ddl("schema a\nschema b\n")
+        with pytest.raises(DdlError):
+            parse_ddl("")
+
+    def test_category_with_multiple_parents(self):
+        schema = parse_ddl(
+            "schema s\n entity A\n entity B\n category C of A, B\n"
+        )
+        assert schema.category("C").parents == ["A", "B"]
+
+    def test_connects_with_role(self):
+        schema = parse_ddl(
+            "schema s\n entity E\n relationship R\n"
+            "  connects E (0,n) as boss\n  connects E (1,1) as minion\n"
+        )
+        relationship = schema.relationship_set("R")
+        assert relationship.participation_for("boss").role == "boss"
+
+    def test_connects_default_cardinality(self):
+        schema = parse_ddl(
+            "schema s\n entity A\n entity B\n relationship R\n"
+            "  connects A\n  connects B\n"
+        )
+        assert schema.relationship_set("R").participation_for("A").cardinality.is_many
+
+
+class TestErrorsCarryLineNumbers:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("entity A\n", "before any 'schema'"),
+            ("schema s\n  attr x : char\n", "outside any structure"),
+            ("schema s\n  entity A\n  connects A (1,1)\n", "outside any relationship"),
+            ("schema s\n  wibble A\n", "unknown declaration"),
+            ("schema s\n  category C\n", "category must be"),
+            ("schema s\n  entity A\n  attr broken\n", "attr must be"),
+            ("schema s\n  entity A\n  entity A\n", "duplicate"),
+            ("schema\n", "schema needs a name"),
+        ],
+    )
+    def test_messages(self, text, fragment):
+        with pytest.raises(DdlError) as excinfo:
+            parse_ddl_schemas(text)
+        assert fragment in str(excinfo.value)
+
+    def test_line_number_reported(self):
+        with pytest.raises(DdlError) as excinfo:
+            parse_ddl_schemas("schema s\n  entity A\n  wibble\n")
+        assert "line 3" in str(excinfo.value)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [build_sc1, build_sc2])
+    def test_paper_schemas_roundtrip(self, factory):
+        schema = factory()
+        text = to_ddl(schema)
+        reparsed = parse_ddl(text)
+        assert schema_to_dict(reparsed) == schema_to_dict(schema)
+
+    def test_canonical_output_is_stable(self):
+        schema = parse_ddl(SAMPLE)
+        once = to_ddl(schema)
+        twice = to_ddl(parse_ddl(once))
+        assert once == twice
+
+    def test_description_quoted(self):
+        schema = parse_ddl('schema s "has description"\n entity A "entity note"\n')
+        text = to_ddl(schema)
+        assert '"has description"' in text
+        assert '"entity note"' in text

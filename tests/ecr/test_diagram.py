@@ -1,0 +1,77 @@
+"""Tests for ASCII and DOT diagram rendering."""
+
+from repro.ecr.diagram import ascii_diagram, dot_diagram, side_by_side
+from repro.workloads.university import build_sc1, build_sc2
+
+
+class TestAsciiDiagram:
+    def test_contains_every_structure(self):
+        text = ascii_diagram(build_sc2())
+        for name in ("Grad_student", "Faculty", "Department", "Majors", "Works"):
+            assert name in text
+
+    def test_keys_starred(self):
+        text = ascii_diagram(build_sc1())
+        assert "*Name" in text
+        assert "*GPA" not in text
+
+    def test_category_arrow(self):
+        from repro.ecr.builder import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("s")
+            .entity("A", attrs=[("id", "char", True)])
+            .category("B", of="A")
+            .build()
+        )
+        assert "--isa-->" in ascii_diagram(schema)
+
+    def test_frame_is_closed(self):
+        lines = ascii_diagram(build_sc1()).splitlines()
+        assert lines[0].startswith("+") and lines[-1].startswith("+")
+        assert all(line.startswith(("|", "+")) for line in lines)
+
+    def test_cardinalities_shown(self):
+        text = ascii_diagram(build_sc1())
+        assert "(1,1)" in text and "(0,n)" in text
+
+
+class TestDotDiagram:
+    def test_shapes(self):
+        text = dot_diagram(build_sc2())
+        assert "shape=box" in text
+        assert "shape=diamond" in text
+
+    def test_isa_edge_for_category(self):
+        from repro.ecr.builder import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("s")
+            .entity("A", attrs=[("id", "char", True)])
+            .category("B", of="A")
+            .build()
+        )
+        assert '"B" -> "A" [label="isa"]' in dot_diagram(schema)
+
+    def test_participation_edges_with_cardinality(self):
+        text = dot_diagram(build_sc1())
+        assert '"Majors" -> "Student"' in text
+        assert "(1,1)" in text
+
+    def test_valid_digraph_syntax(self):
+        text = dot_diagram(build_sc1())
+        assert text.startswith('digraph "sc1" {')
+        assert text.rstrip().endswith("}")
+
+
+class TestSideBySide:
+    def test_combines_two_diagrams(self):
+        left = ascii_diagram(build_sc1())
+        right = ascii_diagram(build_sc2())
+        combined = side_by_side(left, right)
+        first_line = combined.splitlines()[0]
+        assert "sc1" in first_line and "sc2" in first_line
+
+    def test_uneven_heights(self):
+        combined = side_by_side("a\nb\nc\n", "x\n")
+        assert combined.splitlines()[2].strip() == "c"

@@ -1,0 +1,151 @@
+"""Tests for attribute domains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecr.domains import (
+    BUILTIN_DOMAINS,
+    Domain,
+    DomainKind,
+    domain_from_name,
+    domains_compatible,
+)
+from repro.errors import SchemaError
+
+
+class TestDomainConstruction:
+    def test_builtin_domains_cover_every_kind(self):
+        kinds = {domain.kind for domain in BUILTIN_DOMAINS.values()}
+        assert kinds == set(DomainKind)
+
+    def test_char_length(self):
+        domain = Domain(DomainKind.CHAR, length=20)
+        assert domain.spelled() == "char(20)"
+
+    def test_length_rejected_on_non_char(self):
+        with pytest.raises(SchemaError):
+            Domain(DomainKind.INTEGER, length=5)
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain(DomainKind.CHAR, length=0)
+
+    def test_enumerated_domain(self):
+        domain = Domain(DomainKind.CHAR, values=("MS", "PHD"))
+        assert domain.is_enumerated
+        assert domain.spelled() == "char{MS,PHD}"
+
+    def test_numeric_range(self):
+        domain = Domain(DomainKind.INTEGER, low=0, high=120)
+        assert domain.is_bounded
+        assert domain.spelled() == "integer[0..120]"
+
+    def test_range_on_char_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain(DomainKind.CHAR, low=0, high=1)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain(DomainKind.REAL, low=5, high=1)
+
+    def test_unit_is_kept_and_spelled(self):
+        domain = Domain(DomainKind.REAL, unit="USD")
+        assert domain.spelled() == "real USD"
+
+
+class TestDomainParsing:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("char", DomainKind.CHAR),
+            ("string", DomainKind.CHAR),
+            ("int", DomainKind.INTEGER),
+            ("integer", DomainKind.INTEGER),
+            ("real", DomainKind.REAL),
+            ("float", DomainKind.REAL),
+            ("date", DomainKind.DATE),
+            ("bool", DomainKind.BOOLEAN),
+        ],
+    )
+    def test_aliases(self, text, kind):
+        assert domain_from_name(text).kind is kind
+
+    def test_parse_char_length(self):
+        assert domain_from_name("char(30)").length == 30
+
+    def test_parse_enumeration(self):
+        domain = domain_from_name("char{a,b,c}")
+        assert domain.values == ("a", "b", "c")
+
+    def test_parse_range(self):
+        domain = domain_from_name("int[0..10]")
+        assert (domain.low, domain.high) == (0.0, 10.0)
+
+    def test_parse_open_range(self):
+        domain = domain_from_name("real[..100]")
+        assert domain.low is None and domain.high == 100.0
+
+    def test_parse_unit(self):
+        domain = domain_from_name("real USD")
+        assert domain.unit == "USD"
+
+    def test_parse_roundtrips_spelling(self):
+        for text in ("char(12)", "integer[1..9]", "char{x,y}", "real"):
+            assert domain_from_name(text).spelled() == text
+
+    @pytest.mark.parametrize("bad", ["", "unknownkind", "char(x)", "int[1..]..", "char{}"])
+    def test_bad_spellings_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            domain_from_name(bad)
+
+
+class TestMembership:
+    def test_char_membership(self):
+        assert domain_from_name("char(3)").contains_value("ab")
+        assert not domain_from_name("char(3)").contains_value("abcd")
+        assert not domain_from_name("char").contains_value(42)
+
+    def test_integer_membership(self):
+        domain = domain_from_name("int[0..10]")
+        assert domain.contains_value(5)
+        assert not domain.contains_value(-1)
+        assert not domain.contains_value(11)
+        assert not domain.contains_value(True)  # bools are not ints here
+
+    def test_enumeration_membership(self):
+        domain = domain_from_name("char{MS,PHD}")
+        assert domain.contains_value("MS")
+        assert not domain.contains_value("BS")
+
+    def test_boolean_membership(self):
+        domain = BUILTIN_DOMAINS["boolean"]
+        assert domain.contains_value(True)
+        assert not domain.contains_value("true")
+
+
+class TestCompatibility:
+    def test_same_kind_compatible(self):
+        assert domains_compatible(
+            domain_from_name("char(5)"), domain_from_name("char(99)")
+        )
+
+    def test_numeric_kinds_compatible(self):
+        assert domains_compatible(
+            domain_from_name("int"), domain_from_name("real")
+        )
+
+    def test_char_and_int_incompatible(self):
+        assert not domains_compatible(
+            domain_from_name("char"), domain_from_name("int")
+        )
+
+    def test_date_and_boolean_incompatible(self):
+        assert not domains_compatible(
+            domain_from_name("date"), domain_from_name("bool")
+        )
+
+
+@given(st.sampled_from(list(DomainKind)), st.sampled_from(list(DomainKind)))
+def test_compatibility_is_symmetric(kind_a, kind_b):
+    first, second = Domain(kind_a), Domain(kind_b)
+    assert domains_compatible(first, second) == domains_compatible(second, first)

@@ -1,0 +1,104 @@
+"""Tests for JSON serialisation of schemas."""
+
+import pytest
+
+from repro.ecr.domains import Domain, DomainKind
+from repro.ecr.json_io import (
+    attribute_from_dict,
+    attribute_to_dict,
+    domain_from_dict,
+    domain_to_dict,
+    schema_from_dict,
+    schema_from_json,
+    schema_to_dict,
+    schema_to_json,
+)
+from repro.errors import SchemaError
+from repro.workloads.university import build_sc1, build_sc2, build_sc4
+
+
+class TestDomainDicts:
+    def test_minimal(self):
+        data = domain_to_dict(Domain(DomainKind.CHAR))
+        assert data == {"kind": "char"}
+
+    def test_full(self):
+        domain = Domain(DomainKind.INTEGER, low=0, high=9, unit="kg")
+        data = domain_to_dict(domain)
+        assert domain_from_dict(data) == domain
+
+    def test_enumeration(self):
+        domain = Domain(DomainKind.CHAR, values=("a", "b"))
+        assert domain_from_dict(domain_to_dict(domain)) == domain
+
+    def test_bad_kind(self):
+        with pytest.raises(SchemaError):
+            domain_from_dict({"kind": "nope"})
+
+    def test_missing_kind(self):
+        with pytest.raises(SchemaError):
+            domain_from_dict({})
+
+
+class TestAttributeDicts:
+    def test_roundtrip(self):
+        from repro.ecr.attributes import Attribute
+
+        attribute = Attribute("Name", "char(9)", True, "note")
+        assert attribute_from_dict(attribute_to_dict(attribute)) == attribute
+
+    def test_compact_when_plain(self):
+        from repro.ecr.attributes import Attribute
+
+        data = attribute_to_dict(Attribute("x"))
+        assert "is_key" not in data and "description" not in data
+
+
+class TestSchemaDicts:
+    @pytest.mark.parametrize("factory", [build_sc1, build_sc2, build_sc4])
+    def test_roundtrip(self, factory):
+        schema = factory()
+        data = schema_to_dict(schema)
+        rebuilt = schema_from_dict(data)
+        assert schema_to_dict(rebuilt) == data
+
+    def test_json_string_roundtrip(self):
+        schema = build_sc2()
+        text = schema_to_json(schema)
+        rebuilt = schema_from_json(text)
+        assert schema_to_dict(rebuilt) == schema_to_dict(schema)
+
+    def test_structure_order_preserved(self):
+        schema = build_sc2()
+        rebuilt = schema_from_dict(schema_to_dict(schema))
+        assert rebuilt.structure_names() == schema.structure_names()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict(
+                {"name": "s", "structures": [{"name": "X", "kind": "z"}]}
+            )
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_dict({"structures": []})
+
+    def test_participations_roundtrip_with_roles(self):
+        from repro.ecr.builder import SchemaBuilder
+
+        schema = (
+            SchemaBuilder("s")
+            .entity("E", attrs=[("id", "char", True)])
+            .relationship(
+                "Manages",
+                connects=[
+                    ("E", "(0,n)", "boss"),
+                    ("E", "(1,1)", "minion"),
+                ],
+            )
+            .build()
+        )
+        rebuilt = schema_from_dict(schema_to_dict(schema))
+        relationship = rebuilt.relationship_set("Manages")
+        assert relationship.participation_for("boss").role == "boss"
+        assert str(relationship.participation_for("minion").cardinality) == "(1,1)"

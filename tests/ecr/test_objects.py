@@ -1,0 +1,94 @@
+"""Tests for entity sets and categories."""
+
+import pytest
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.objects import Category, EntitySet, ObjectKind
+from repro.errors import DuplicateNameError, SchemaError, UnknownNameError
+
+
+class TestEntitySet:
+    def test_kind(self):
+        entity = EntitySet("Student")
+        assert entity.kind is ObjectKind.ENTITY
+        assert entity.is_entity_set and not entity.is_category
+
+    def test_duplicate_attribute_rejected_at_construction(self):
+        with pytest.raises(DuplicateNameError):
+            EntitySet("E", [Attribute("a"), Attribute("a")])
+
+    def test_add_and_remove_attribute(self):
+        entity = EntitySet("E")
+        entity.add_attribute(Attribute("a"))
+        assert entity.has_attribute("a")
+        removed = entity.remove_attribute("a")
+        assert removed.name == "a"
+        assert not entity.has_attribute("a")
+
+    def test_add_duplicate_attribute_rejected(self):
+        entity = EntitySet("E", [Attribute("a")])
+        with pytest.raises(DuplicateNameError):
+            entity.add_attribute(Attribute("a"))
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(UnknownNameError):
+            EntitySet("E").attribute("missing")
+
+    def test_key_attributes(self):
+        entity = EntitySet(
+            "E", [Attribute("id", "char", True), Attribute("note")]
+        )
+        assert [a.name for a in entity.key_attributes()] == ["id"]
+
+    def test_attribute_order_preserved(self):
+        entity = EntitySet("E", [Attribute("b"), Attribute("a")])
+        assert entity.attribute_names() == ["b", "a"]
+
+
+class TestCategory:
+    def test_requires_parent(self):
+        with pytest.raises(SchemaError):
+            Category("C", parents=[])
+
+    def test_kind(self):
+        category = Category("C", parents=["E"])
+        assert category.kind is ObjectKind.CATEGORY
+        assert category.is_category
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(SchemaError):
+            Category("C", parents=["C"])
+
+    def test_duplicate_parent_rejected(self):
+        with pytest.raises(DuplicateNameError):
+            Category("C", parents=["E", "E"])
+
+    def test_multiple_parents_allowed(self):
+        category = Category("C", parents=["A", "B"])
+        assert category.parents == ["A", "B"]
+
+    def test_add_and_remove_parent(self):
+        category = Category("C", parents=["A"])
+        category.add_parent("B")
+        assert category.parents == ["A", "B"]
+        category.remove_parent("A")
+        assert category.parents == ["B"]
+
+    def test_cannot_remove_last_parent(self):
+        category = Category("C", parents=["A"])
+        with pytest.raises(SchemaError):
+            category.remove_parent("A")
+
+    def test_remove_unknown_parent(self):
+        category = Category("C", parents=["A"])
+        with pytest.raises(UnknownNameError):
+            category.remove_parent("B")
+
+    def test_add_self_parent_rejected(self):
+        category = Category("C", parents=["A"])
+        with pytest.raises(SchemaError):
+            category.add_parent("C")
+
+    def test_kind_labels(self):
+        assert "entity set" in str(EntitySet("E"))
+        assert "category" in str(Category("C", parents=["E"]))

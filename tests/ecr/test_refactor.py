@@ -1,0 +1,168 @@
+"""Tests for schema-modification (refactoring) operations."""
+
+import pytest
+
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.refactor import (
+    demote_entity_to_attribute,
+    promote_attribute_to_entity,
+    reify_relationship,
+)
+from repro.ecr.validation import validate_schema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return (
+        SchemaBuilder("s")
+        .entity(
+            "Employee",
+            attrs=[("Ssn", "char", True), ("Name", "char"), ("Dept", "char")],
+        )
+        .entity("Person", attrs=[("Pid", "char", True)])
+        .relationship(
+            "Married_to",
+            connects=[
+                ("Person", "(0,1)", "husband"),
+                ("Person", "(0,1)", "wife"),
+            ],
+            attrs=[("Wedding_date", "date"), ("Location", "char")],
+        )
+        .build()
+    )
+
+
+class TestPromote:
+    def test_promote_creates_entity_and_relationship(self, schema):
+        entity = promote_attribute_to_entity(schema, "Employee", "Dept")
+        assert entity.name == "Dept"
+        assert not schema.get("Employee").has_attribute("Dept")
+        assert schema.entity_set("Dept").attribute("Dept").is_key
+        relationship = schema.relationship_set("Has_Dept")
+        legs = {leg.object_name: str(leg.cardinality) for leg in relationship.participations}
+        assert legs == {"Employee": "(1,1)", "Dept": "(0,n)"}
+        assert not any(i.is_error for i in validate_schema(schema))
+
+    def test_custom_names(self, schema):
+        promote_attribute_to_entity(
+            schema, "Employee", "Dept", "Department", "Works_in"
+        )
+        assert "Department" in schema and "Works_in" in schema
+
+    def test_name_clashes_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            promote_attribute_to_entity(schema, "Employee", "Dept", "Person")
+        # the attribute is untouched on failure
+        assert schema.get("Employee").has_attribute("Dept")
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(Exception):
+            promote_attribute_to_entity(schema, "Employee", "Ghost")
+
+
+class TestDemote:
+    def test_demote_is_promote_inverse(self, schema):
+        promote_attribute_to_entity(schema, "Employee", "Dept")
+        attribute = demote_entity_to_attribute(schema, "Dept", "Has_Dept")
+        assert attribute.name == "Dept"
+        assert schema.get("Employee").has_attribute("Dept")
+        assert "Dept" not in schema.structure_names() or schema.get(
+            "Employee"
+        ).has_attribute("Dept")
+        assert "Has_Dept" not in schema
+        assert not any(i.is_error for i in validate_schema(schema))
+
+    def test_requires_single_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            demote_entity_to_attribute(schema, "Employee", "Married_to")
+
+    def test_requires_connecting_relationship(self, schema):
+        promote_attribute_to_entity(schema, "Employee", "Dept")
+        with pytest.raises(SchemaError):
+            demote_entity_to_attribute(schema, "Dept", "Married_to")
+
+    def test_still_referenced_entity_restores_relationship(self, schema):
+        promote_attribute_to_entity(schema, "Employee", "Dept")
+        # add a second relationship referencing Dept: demote must refuse
+        from repro.ecr.relationships import Participation, RelationshipSet
+
+        schema.add(
+            RelationshipSet(
+                "Audits",
+                participations=[Participation("Person"), Participation("Dept")],
+            )
+        )
+        with pytest.raises(SchemaError):
+            demote_entity_to_attribute(schema, "Dept", "Has_Dept")
+        assert "Has_Dept" in schema  # restored
+
+
+class TestReify:
+    def test_marriage_example(self, schema):
+        entity = reify_relationship(schema, "Married_to", "Marriage")
+        assert entity.attribute_names() == ["Wedding_date", "Location"]
+        assert "Married_to" not in schema
+        husband_link = schema.relationship_set("Marriage_husband")
+        assert husband_link.participation_for("Marriage").cardinality.min == 1
+        wife_link = schema.relationship_set("Marriage_wife")
+        assert wife_link.participation_for("wife").role == "wife"
+        assert not any(i.is_error for i in validate_schema(schema))
+
+    def test_default_name(self, schema):
+        entity = reify_relationship(schema, "Married_to")
+        assert entity.name == "Married_to"
+
+    def test_clash_restores_relationship(self, schema):
+        with pytest.raises(SchemaError):
+            reify_relationship(schema, "Married_to", "Person")
+        assert "Married_to" in schema
+
+
+class TestCrossRepresentationIntegration:
+    def test_reified_marriage_integrates_with_entity_marriage(self):
+        """The paper's motivating case solved end to end: one schema models
+        marriage as a relationship, the other as an entity; after
+        reification the two integrate with an equals assertion."""
+        from repro.assertions.network import AssertionNetwork
+        from repro.ecr.schema import ObjectRef
+        from repro.equivalence.registry import EquivalenceRegistry
+        from repro.integration.integrator import integrate_pair
+
+        relational_style = (
+            SchemaBuilder("a")
+            .entity("Person", attrs=[("Pid", "char", True)])
+            .relationship(
+                "Marriage",
+                connects=[
+                    ("Person", "(0,1)", "husband"),
+                    ("Person", "(0,1)", "wife"),
+                ],
+                attrs=[("Wedding_date", "date", True)],
+            )
+            .build()
+        )
+        entity_style = (
+            SchemaBuilder("b")
+            .entity("Citizen", attrs=[("Cid", "char", True)])
+            .entity(
+                "Marriage",
+                attrs=[("Wedding_date", "date", True), ("Children", "integer")],
+            )
+            .build()
+        )
+        reify_relationship(relational_style, "Marriage")
+        registry = EquivalenceRegistry([relational_style, entity_style])
+        registry.declare_equivalent(
+            "a.Marriage.Wedding_date", "b.Marriage.Wedding_date"
+        )
+        network = AssertionNetwork()
+        network.seed_schema(relational_style)
+        network.seed_schema(entity_style)
+        network.specify(
+            ObjectRef("a", "Marriage"), ObjectRef("b", "Marriage"), 1
+        )
+        result = integrate_pair(registry, network, "a", "b")
+        merged = result.node_for(ObjectRef("a", "Marriage"))
+        assert merged == result.node_for(ObjectRef("b", "Marriage"))
+        assert "D_Wedding_date" in result.schema.get(merged).attribute_names()

@@ -1,0 +1,155 @@
+"""Tests for relationship sets and cardinality constraints."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecr.relationships import (
+    CARDINALITY_MANY,
+    CardinalityConstraint,
+    Participation,
+    RelationshipSet,
+)
+from repro.errors import DuplicateNameError, SchemaError, UnknownNameError
+
+
+class TestCardinalityConstraint:
+    def test_paper_rules(self):
+        # 0 <= i1 <= i2 and i2 > 0
+        CardinalityConstraint(0, 1)
+        CardinalityConstraint(1, 1)
+        with pytest.raises(SchemaError):
+            CardinalityConstraint(-1, 1)
+        with pytest.raises(SchemaError):
+            CardinalityConstraint(2, 1)
+        with pytest.raises(SchemaError):
+            CardinalityConstraint(0, 0)
+
+    def test_many(self):
+        constraint = CardinalityConstraint(0, CARDINALITY_MANY)
+        assert constraint.is_many
+        assert constraint.spelled() == "(0,n)"
+
+    def test_mandatory(self):
+        assert CardinalityConstraint(1, 1).is_mandatory
+        assert not CardinalityConstraint(0, 1).is_mandatory
+
+    def test_admits(self):
+        constraint = CardinalityConstraint(1, 3)
+        assert not constraint.admits(0)
+        assert constraint.admits(1)
+        assert constraint.admits(3)
+        assert not constraint.admits(4)
+
+    def test_admits_unbounded(self):
+        assert CardinalityConstraint(0).admits(10_000)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("(1,1)", CardinalityConstraint(1, 1)),
+            ("(0,n)", CardinalityConstraint(0, CARDINALITY_MANY)),
+            ("0,N", CardinalityConstraint(0, CARDINALITY_MANY)),
+            ("(2, 5)", CardinalityConstraint(2, 5)),
+            ("1,*", CardinalityConstraint(1, CARDINALITY_MANY)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert CardinalityConstraint.parse(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "(1)", "(a,b)", "(1,2,3)", "(1,x)"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(SchemaError):
+            CardinalityConstraint.parse(bad)
+
+    def test_intersect(self):
+        tight = CardinalityConstraint(1, 2).intersect(CardinalityConstraint(0, 5))
+        assert tight == CardinalityConstraint(1, 2)
+
+    def test_intersect_with_many(self):
+        got = CardinalityConstraint(0).intersect(CardinalityConstraint(1, 3))
+        assert got == CardinalityConstraint(1, 3)
+
+    def test_intersect_contradiction(self):
+        with pytest.raises(SchemaError):
+            CardinalityConstraint(3, 5).intersect(CardinalityConstraint(1, 2))
+
+    def test_union(self):
+        loose = CardinalityConstraint(1, 2).union(CardinalityConstraint(0, 5))
+        assert loose == CardinalityConstraint(0, 5)
+
+    def test_union_with_many(self):
+        assert CardinalityConstraint(1, 2).union(CardinalityConstraint(0)).is_many
+
+
+@given(
+    st.integers(0, 5), st.integers(1, 8), st.integers(0, 5), st.integers(1, 8)
+)
+def test_union_admits_everything_either_admits(a_min, a_span, b_min, b_span):
+    first = CardinalityConstraint(a_min, a_min + a_span)
+    second = CardinalityConstraint(b_min, b_min + b_span)
+    union = first.union(second)
+    for count in range(0, 20):
+        if first.admits(count) or second.admits(count):
+            assert union.admits(count)
+
+
+class TestParticipation:
+    def test_label_defaults_to_object(self):
+        assert Participation("Student").label == "Student"
+
+    def test_role_overrides_label(self):
+        leg = Participation("Employee", role="manager")
+        assert leg.label == "manager"
+
+    def test_str(self):
+        leg = Participation("Employee", CardinalityConstraint(0, 1), "manager")
+        assert str(leg) == "Employee as manager (0,1)"
+
+
+class TestRelationshipSet:
+    def test_degree_and_participants(self):
+        relationship = RelationshipSet(
+            "Majors",
+            participations=[Participation("Student"), Participation("Department")],
+        )
+        assert relationship.degree == 2
+        assert relationship.participant_names() == ["Student", "Department"]
+        assert relationship.connects("Student")
+        assert not relationship.connects("Course")
+
+    def test_duplicate_leg_label_rejected(self):
+        with pytest.raises(DuplicateNameError):
+            RelationshipSet(
+                "R",
+                participations=[Participation("A"), Participation("A")],
+            )
+
+    def test_same_object_twice_with_roles(self):
+        relationship = RelationshipSet(
+            "Manages",
+            participations=[
+                Participation("Employee", role="manager"),
+                Participation("Employee", role="subordinate"),
+            ],
+        )
+        assert relationship.degree == 2
+
+    def test_add_remove_participation(self):
+        relationship = RelationshipSet(
+            "R", participations=[Participation("A"), Participation("B")]
+        )
+        relationship.add_participation(Participation("C"))
+        assert relationship.degree == 3
+        relationship.remove_participation("C")
+        assert relationship.degree == 2
+        with pytest.raises(UnknownNameError):
+            relationship.remove_participation("C")
+
+    def test_replace_participant(self):
+        relationship = RelationshipSet(
+            "R", participations=[Participation("A"), Participation("B")]
+        )
+        changed = relationship.replace_participant("A", "E_A")
+        assert changed == 1
+        assert relationship.participant_names() == ["E_A", "B"]
+        assert relationship.replace_participant("missing", "X") == 0

@@ -1,0 +1,137 @@
+"""Tests for the Schema container."""
+
+import pytest
+
+from repro.ecr.attributes import Attribute, AttributeRef
+from repro.ecr.objects import Category, EntitySet
+from repro.ecr.relationships import Participation, RelationshipSet
+from repro.ecr.schema import ObjectRef, Schema
+from repro.errors import DuplicateNameError, SchemaError, UnknownNameError
+
+
+@pytest.fixture
+def schema():
+    s = Schema("s")
+    s.add(EntitySet("A"))
+    s.add(EntitySet("B"))
+    s.add(Category("C", parents=["A"]))
+    s.add(
+        RelationshipSet(
+            "R", participations=[Participation("A"), Participation("B")]
+        )
+    )
+    return s
+
+
+class TestObjectRef:
+    def test_parse_roundtrip(self):
+        ref = ObjectRef.parse("sc1.Student")
+        assert str(ref) == "sc1.Student"
+
+    @pytest.mark.parametrize("bad", ["", "one", "a.b.c", ".b"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(SchemaError):
+            ObjectRef.parse(bad)
+
+    def test_attribute_qualification(self):
+        ref = ObjectRef("s", "A").attribute("x")
+        assert str(ref) == "s.A.x"
+
+
+class TestMembership:
+    def test_shared_namespace(self, schema):
+        with pytest.raises(DuplicateNameError):
+            schema.add(RelationshipSet("A"))
+
+    def test_contains_and_len(self, schema):
+        assert "A" in schema and "missing" not in schema
+        assert len(schema) == 4
+
+    def test_kind_accessors(self, schema):
+        assert [e.name for e in schema.entity_sets()] == ["A", "B"]
+        assert [c.name for c in schema.categories()] == ["C"]
+        assert [r.name for r in schema.relationship_sets()] == ["R"]
+        assert [o.name for o in schema.object_classes()] == ["A", "B", "C"]
+
+    def test_typed_getters_check_kind(self, schema):
+        assert schema.entity_set("A").name == "A"
+        with pytest.raises(UnknownNameError):
+            schema.entity_set("C")
+        with pytest.raises(UnknownNameError):
+            schema.category("A")
+        with pytest.raises(UnknownNameError):
+            schema.relationship_set("A")
+        with pytest.raises(UnknownNameError):
+            schema.object_class("R")
+
+    def test_get_unknown(self, schema):
+        with pytest.raises(UnknownNameError):
+            schema.get("missing")
+
+
+class TestMutation:
+    def test_remove_refuses_referenced_structure(self, schema):
+        with pytest.raises(SchemaError):
+            schema.remove("A")  # parent of C and participant of R
+
+    def test_remove_leaf(self, schema):
+        schema.remove("R")
+        schema.remove("C")
+        schema.remove("A")
+        assert "A" not in schema
+
+    def test_add_all_is_atomic(self, schema):
+        with pytest.raises(DuplicateNameError):
+            schema.add_all([EntitySet("X"), EntitySet("A")])
+        assert "X" not in schema
+
+    def test_add_all_rejects_internal_duplicates(self):
+        schema = Schema("s")
+        with pytest.raises(DuplicateNameError):
+            schema.add_all([EntitySet("X"), EntitySet("X")])
+
+    def test_rename_updates_references(self, schema):
+        schema.rename("A", "Alpha")
+        assert "Alpha" in schema and "A" not in schema
+        assert schema.category("C").parents == ["Alpha"]
+        assert schema.relationship_set("R").connects("Alpha")
+
+    def test_rename_to_existing_rejected(self, schema):
+        with pytest.raises(DuplicateNameError):
+            schema.rename("A", "B")
+
+    def test_rename_noop(self, schema):
+        schema.rename("A", "A")
+        assert "A" in schema
+
+
+class TestReferences:
+    def test_ref_checks_existence(self, schema):
+        assert schema.ref("A") == ObjectRef("s", "A")
+        with pytest.raises(UnknownNameError):
+            schema.ref("missing")
+
+    def test_attribute_refs(self):
+        schema = Schema("s")
+        schema.add(EntitySet("A", [Attribute("x")]))
+        assert schema.attribute_refs("A") == [AttributeRef("s", "A", "x")]
+        assert schema.all_attribute_refs() == [AttributeRef("s", "A", "x")]
+
+    def test_resolve_attribute_wrong_schema(self, schema):
+        with pytest.raises(UnknownNameError):
+            schema.resolve_attribute(AttributeRef("other", "A", "x"))
+
+
+class TestCopyAndSummary:
+    def test_copy_is_deep(self, schema):
+        clone = schema.copy()
+        clone.get("A").add_attribute(Attribute("n"))
+        assert not schema.get("A").has_attribute("n")
+
+    def test_copy_renames(self, schema):
+        assert schema.copy("t").name == "t"
+
+    def test_summary_counts(self, schema):
+        assert "2 entities" in schema.summary()
+        assert "1 categories" in schema.summary()
+        assert "1 relationships" in schema.summary()

@@ -1,0 +1,123 @@
+"""Tests for schema validation."""
+
+import pytest
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.objects import Category, EntitySet
+from repro.ecr.relationships import Participation, RelationshipSet
+from repro.ecr.schema import Schema
+from repro.ecr.validation import (
+    Severity,
+    assert_valid,
+    is_valid,
+    validate_schema,
+)
+from repro.errors import ValidationError
+
+
+def _issues_for(schema, structure):
+    return [issue for issue in validate_schema(schema) if issue.structure == structure]
+
+
+class TestErrors:
+    def test_dangling_category_parent(self):
+        schema = Schema("s")
+        schema.add(Category("C", parents=["Ghost"]))
+        issues = _issues_for(schema, "C")
+        assert any("does not exist" in issue.message for issue in issues)
+        assert not is_valid(schema)
+
+    def test_category_over_relationship_rejected(self):
+        schema = Schema("s")
+        schema.add(EntitySet("A"))
+        schema.add(EntitySet("B"))
+        schema.add(
+            RelationshipSet(
+                "R", participations=[Participation("A"), Participation("B")]
+            )
+        )
+        schema.add(Category("C", parents=["R"]))
+        issues = _issues_for(schema, "C")
+        assert any("relationship set" in issue.message for issue in issues)
+
+    def test_isa_cycle(self):
+        schema = Schema("s")
+        schema.add(EntitySet("A"))
+        schema.add(Category("X", parents=["A"]))
+        schema.add(Category("Y", parents=["X"]))
+        schema.category("X").parents.append("Y")
+        assert any(
+            "cycle" in issue.message for issue in validate_schema(schema)
+        )
+
+    def test_dangling_relationship_participant(self):
+        schema = Schema("s")
+        schema.add(EntitySet("A"))
+        schema.add(
+            RelationshipSet(
+                "R", participations=[Participation("A"), Participation("Ghost")]
+            )
+        )
+        issues = _issues_for(schema, "R")
+        assert any("does not exist" in issue.message for issue in issues)
+
+    def test_unary_relationship(self):
+        schema = Schema("s")
+        schema.add(EntitySet("A"))
+        schema.add(RelationshipSet("R", participations=[Participation("A")]))
+        issues = _issues_for(schema, "R")
+        assert any("at least two legs" in issue.message for issue in issues)
+
+    def test_assert_valid_raises_with_issues(self):
+        schema = Schema("s")
+        schema.add(Category("C", parents=["Ghost"]))
+        with pytest.raises(ValidationError) as excinfo:
+            assert_valid(schema)
+        assert excinfo.value.issues
+
+
+class TestWarnings:
+    def test_entity_without_key_is_warning_only(self):
+        schema = Schema("s")
+        schema.add(EntitySet("A", [Attribute("x")]))
+        issues = validate_schema(schema)
+        assert issues and all(
+            issue.severity is Severity.WARNING for issue in issues
+        )
+        assert is_valid(schema)
+        assert_valid(schema)  # warnings do not raise
+
+    def test_attribute_shadowing_warning(self):
+        schema = (
+            SchemaBuilder("s")
+            .entity("P", attrs=[("x", "char", True)])
+            .build()
+        )
+        schema.add(Category("Q", [Attribute("x")], parents=["P"]))
+        issues = _issues_for(schema, "Q")
+        assert any("shadows" in issue.message for issue in issues)
+        assert is_valid(schema)
+
+    def test_clean_schema_has_no_issues(self):
+        schema = (
+            SchemaBuilder("s")
+            .entity("A", attrs=[("id", "char", True)])
+            .entity("B", attrs=[("id", "char", True)])
+            .category("C", of="A", attrs=["extra"])
+            .relationship("R", connects=["A", "B"])
+            .build()
+        )
+        assert validate_schema(schema) == []
+
+    def test_issue_str_mentions_severity(self):
+        schema = Schema("s")
+        schema.add(EntitySet("A", [Attribute("x")]))
+        issue = validate_schema(schema)[0]
+        assert str(issue).startswith("[warning]")
+
+    def test_paper_schemas_are_clean(self):
+        from repro.workloads.university import build_sc1, build_sc2
+
+        assert validate_schema(build_sc1()) == []
+        assert validate_schema(build_sc2()) == []

@@ -1,0 +1,112 @@
+"""Tests for IS-A traversal utilities."""
+
+import pytest
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.objects import Category
+from repro.ecr.walk import (
+    common_ancestors,
+    direct_children,
+    direct_parents,
+    inherited_attributes,
+    isa_depth,
+    isa_edges,
+    leaf_classes,
+    root_classes,
+    subclass_closure,
+    superclass_closure,
+    topological_order,
+)
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def lattice():
+    """A -> B -> D, A -> C -> D (diamond), plus lone E."""
+    return (
+        SchemaBuilder("s")
+        .entity("D", attrs=[("key", "char", True), ("base", "char")])
+        .entity("E", attrs=[("key", "char", True)])
+        .category("B", of="D", attrs=["b_extra"])
+        .category("C", of="D", attrs=["c_extra"])
+        .category("A", of=["B", "C"], attrs=["a_extra"])
+        .build()
+    )
+
+
+class TestClosures:
+    def test_direct_parents_and_children(self, lattice):
+        assert direct_parents(lattice, "A") == ["B", "C"]
+        assert direct_parents(lattice, "D") == []
+        assert direct_children(lattice, "D") == ["B", "C"]
+
+    def test_superclass_closure_diamond(self, lattice):
+        assert superclass_closure(lattice, "A") == ["B", "C", "D"]
+
+    def test_subclass_closure(self, lattice):
+        assert subclass_closure(lattice, "D") == ["B", "C", "A"]
+
+    def test_closures_of_leaf_and_root(self, lattice):
+        assert superclass_closure(lattice, "D") == []
+        assert subclass_closure(lattice, "A") == []
+
+    def test_cycle_detected(self):
+        schema = SchemaBuilder("s").entity("X").build()
+        schema.add(Category("Y", parents=["X"]))
+        # Force a cycle by hand (the validator would reject this schema).
+        schema.add(Category("Z", parents=["Y"]))
+        schema.category("Y").parents.append("Z")
+        with pytest.raises(SchemaError):
+            superclass_closure(schema, "Y")
+
+
+class TestInheritance:
+    def test_inherited_attributes_order_and_shadowing(self, lattice):
+        names = [a.name for a in inherited_attributes(lattice, "A")]
+        assert names == ["a_extra", "b_extra", "c_extra", "key", "base"]
+
+    def test_inherited_key_flag_cleared(self, lattice):
+        attributes = {a.name: a for a in inherited_attributes(lattice, "B")}
+        assert not attributes["key"].is_key
+
+    def test_local_attribute_shadows_inherited(self):
+        schema = (
+            SchemaBuilder("s")
+            .entity("P", attrs=[("x", "char")])
+            .build(validate=False)
+        )
+        schema.add(Category("Q", [Attribute("x", "integer")], parents=["P"]))
+        attributes = inherited_attributes(schema, "Q")
+        assert len(attributes) == 1
+        assert attributes[0].domain.kind.value == "integer"
+
+
+class TestStructure:
+    def test_roots_and_leaves(self, lattice):
+        assert root_classes(lattice) == ["D", "E"]
+        assert leaf_classes(lattice) == ["E", "A"]
+
+    def test_isa_depth(self, lattice):
+        assert isa_depth(lattice, "D") == 0
+        assert isa_depth(lattice, "B") == 1
+        assert isa_depth(lattice, "A") == 2
+
+    def test_isa_edges(self, lattice):
+        assert set(isa_edges(lattice)) == {
+            ("B", "D"),
+            ("C", "D"),
+            ("A", "B"),
+            ("A", "C"),
+        }
+
+    def test_topological_order(self, lattice):
+        order = topological_order(lattice)
+        assert order.index("D") < order.index("B") < order.index("A")
+        assert order.index("C") < order.index("A")
+
+    def test_common_ancestors(self, lattice):
+        assert common_ancestors(lattice, ["B", "C"]) == ["D"]
+        assert common_ancestors(lattice, ["A", "B"]) == ["B", "D"]
+        assert common_ancestors(lattice, ["A", "E"]) == []
+        assert common_ancestors(lattice, []) == []

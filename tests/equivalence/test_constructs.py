@@ -1,0 +1,98 @@
+"""Tests for cross-construct conflict detection (entity vs relationship)."""
+
+import pytest
+
+from repro.ecr.builder import SchemaBuilder
+from repro.equivalence.constructs import suggest_construct_conflicts
+from repro.equivalence.registry import EquivalenceRegistry
+
+
+@pytest.fixture
+def marriage_world():
+    relational_style = (
+        SchemaBuilder("a")
+        .entity("Person", attrs=[("Pid", "char", True)])
+        .relationship(
+            "Marriage",
+            connects=[
+                ("Person", "(0,1)", "husband"),
+                ("Person", "(0,1)", "wife"),
+            ],
+            attrs=[
+                ("Wedding_date", "date"),
+                ("Location", "char"),
+                ("Children", "integer"),
+            ],
+        )
+        .build()
+    )
+    entity_style = (
+        SchemaBuilder("b")
+        .entity("Citizen", attrs=[("Cid", "char", True)])
+        .entity(
+            "Marriage",
+            attrs=[
+                ("Wedding_date", "date"),
+                ("Location", "char"),
+                ("Children", "integer"),
+            ],
+        )
+        .build()
+    )
+    registry = EquivalenceRegistry([relational_style, entity_style])
+    registry.declare_equivalent("a.Marriage.Wedding_date", "b.Marriage.Wedding_date")
+    registry.declare_equivalent("a.Marriage.Location", "b.Marriage.Location")
+    registry.declare_equivalent("a.Marriage.Children", "b.Marriage.Children")
+    return registry
+
+
+class TestSuggestions:
+    def test_marriage_detected(self, marriage_world):
+        conflicts = suggest_construct_conflicts(marriage_world, "a", "b")
+        assert conflicts
+        top = conflicts[0]
+        assert top.object_class.object_name == "Marriage"
+        assert top.relationship_set.object_name == "Marriage"
+        assert top.shared_attributes == 3
+        assert top.name_score == 1.0
+
+    def test_orientation_is_reported_correctly(self, marriage_world):
+        conflicts = suggest_construct_conflicts(marriage_world, "a", "b")
+        top = conflicts[0]
+        # the entity lives in schema b, the relationship in schema a
+        assert top.object_class.schema == "b"
+        assert top.relationship_set.schema == "a"
+
+    def test_min_shared_filter(self, marriage_world):
+        none = suggest_construct_conflicts(
+            marriage_world, "a", "b", min_shared=4
+        )
+        assert none == []
+
+    def test_unrelated_pairs_not_reported(self, marriage_world):
+        conflicts = suggest_construct_conflicts(marriage_world, "a", "b")
+        names = {
+            (c.object_class.object_name, c.relationship_set.object_name)
+            for c in conflicts
+        }
+        assert ("Citizen", "Marriage") not in names
+
+    def test_paper_schemas_have_no_construct_conflicts(self):
+        from repro.workloads.university import paper_registry
+
+        registry = paper_registry()
+        conflicts = suggest_construct_conflicts(
+            registry, "sc1", "sc2", min_shared=1, min_score=0.5
+        )
+        assert conflicts == []
+
+    def test_deterministic_ordering(self, marriage_world):
+        first = suggest_construct_conflicts(marriage_world, "a", "b")
+        second = suggest_construct_conflicts(marriage_world, "a", "b")
+        assert first == second
+        scores = [conflict.score for conflict in first]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_str(self, marriage_world):
+        conflict = suggest_construct_conflicts(marriage_world, "a", "b")[0]
+        assert "shared attribute(s)" in str(conflict)

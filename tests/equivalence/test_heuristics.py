@@ -1,0 +1,101 @@
+"""Tests for automatic equivalence suggestion (the future-work heuristics)."""
+
+import pytest
+
+from repro.ecr.builder import SchemaBuilder
+from repro.equivalence.heuristics import apply_suggestions, suggest_equivalences
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.equivalence.synonyms import SynonymDictionary
+from repro.workloads.university import build_sc1, build_sc2
+
+
+@pytest.fixture
+def registry():
+    return EquivalenceRegistry([build_sc1(), build_sc2()])
+
+
+class TestSuggestions:
+    def test_exact_name_matches_found(self, registry):
+        suggestions = suggest_equivalences(registry, "sc1", "sc2")
+        found = {(str(s.first), str(s.second)) for s in suggestions}
+        assert ("sc1.Student.Name", "sc2.Grad_student.Name") in found
+        assert ("sc1.Student.GPA", "sc2.Grad_student.GPA") in found
+        assert ("sc1.Department.Name", "sc2.Department.Name") in found
+
+    def test_incompatible_domains_vetoed(self, registry):
+        suggestions = suggest_equivalences(registry, "sc1", "sc2", threshold=0.0)
+        pairs = {(str(s.first), str(s.second)) for s in suggestions}
+        # Name (char) vs GPA (real) must never be proposed
+        assert ("sc1.Student.Name", "sc2.Grad_student.GPA") not in pairs
+
+    def test_synonym_raises_score(self):
+        first = (
+            SchemaBuilder("a").entity("E", attrs=[("Salary", "real")]).build(validate=False)
+        )
+        second = (
+            SchemaBuilder("b").entity("F", attrs=[("Pay", "real")]).build(validate=False)
+        )
+        registry = EquivalenceRegistry([first, second])
+        plain = suggest_equivalences(registry, "a", "b", threshold=0.9)
+        assert plain == []
+        synonyms = SynonymDictionary([("salary", "pay")])
+        boosted = suggest_equivalences(
+            registry, "a", "b", synonyms=synonyms, threshold=0.9
+        )
+        assert len(boosted) == 1
+        assert boosted[0].score == 1.0
+        assert "synonym" in boosted[0].reason
+
+    def test_antonym_vetoes(self):
+        first = SchemaBuilder("a").entity(
+            "E", attrs=[("Arrival", "date")]
+        ).build(validate=False)
+        second = SchemaBuilder("b").entity(
+            "F", attrs=[("Departure", "date")]
+        ).build(validate=False)
+        registry = EquivalenceRegistry([first, second])
+        synonyms = SynonymDictionary(antonym_pairs=[("arrival", "departure")])
+        suggestions = suggest_equivalences(
+            registry, "a", "b", synonyms=synonyms, threshold=0.0
+        )
+        assert suggestions == []
+
+    def test_key_bonus(self, registry):
+        suggestions = suggest_equivalences(registry, "sc1", "sc2", threshold=0.99)
+        name_pair = next(
+            s
+            for s in suggestions
+            if str(s.first) == "sc1.Student.Name"
+            and str(s.second) == "sc2.Grad_student.Name"
+        )
+        assert "both keys" in name_pair.reason
+
+    def test_already_equivalent_skipped(self, registry):
+        registry.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        suggestions = suggest_equivalences(registry, "sc1", "sc2")
+        pairs = {(str(s.first), str(s.second)) for s in suggestions}
+        assert ("sc1.Student.Name", "sc2.Grad_student.Name") not in pairs
+
+    def test_ordering_is_deterministic(self, registry):
+        first = suggest_equivalences(registry, "sc1", "sc2")
+        second = suggest_equivalences(registry, "sc1", "sc2")
+        assert first == second
+        scores = [s.score for s in first]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestApply:
+    def test_apply_only_above_min_score(self, registry):
+        suggestions = suggest_equivalences(registry, "sc1", "sc2", threshold=0.5)
+        applied = apply_suggestions(registry, suggestions, min_score=1.0)
+        assert applied >= 3
+        assert registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+
+    def test_apply_none_when_bar_too_high(self, registry):
+        suggestions = suggest_equivalences(registry, "sc1", "sc2", threshold=0.5)
+        for suggestion in suggestions:
+            assert suggestion.score <= 1.0
+        applied = apply_suggestions(registry, suggestions, min_score=1.1)
+        assert applied == 0

@@ -1,0 +1,59 @@
+"""Tests for the ranked candidate list (Screen 8)."""
+
+import pytest
+
+from repro.ecr.objects import ObjectKind
+from repro.equivalence.ordering import ordered_object_pairs, render_screen8_rows
+from repro.workloads.university import paper_candidate_pairs, paper_registry
+
+
+class TestPaperOrdering:
+    def test_screen8_rows_in_order(self):
+        pairs = paper_candidate_pairs()
+        rows = [
+            (str(pair.first), str(pair.second), round(pair.attribute_ratio, 4))
+            for pair in pairs
+        ]
+        assert rows == [
+            ("sc1.Department", "sc2.Department", 0.5),
+            ("sc1.Student", "sc2.Grad_student", 0.5),
+            ("sc1.Student", "sc2.Faculty", 0.3333),
+        ]
+
+    def test_render_matches_screen8_values(self):
+        text = render_screen8_rows(paper_candidate_pairs())
+        assert "0.5000" in text
+        assert "0.3333" in text
+        assert text.index("sc1.Department") < text.index("sc1.Student")
+
+    def test_zero_pairs_hidden_by_default(self):
+        registry = paper_registry()
+        pairs = ordered_object_pairs(registry, "sc1", "sc2")
+        assert all(pair.equivalent_attributes > 0 for pair in pairs)
+
+    def test_include_zero_lists_every_pair(self):
+        registry = paper_registry()
+        pairs = ordered_object_pairs(registry, "sc1", "sc2", include_zero=True)
+        assert len(pairs) == 2 * 3  # sc1 objects x sc2 objects
+
+    def test_relationship_subphase(self):
+        registry = paper_registry()
+        pairs = ordered_object_pairs(
+            registry, "sc1", "sc2", kind_filter=ObjectKind.RELATIONSHIP
+        )
+        assert len(pairs) == 1
+        assert pairs[0].first.object_name == "Majors"
+        assert pairs[0].attribute_ratio == pytest.approx(0.5)
+
+    def test_descending_by_ratio_then_alphabetical(self):
+        pairs = ordered_object_pairs(
+            paper_registry(), "sc1", "sc2", include_zero=True
+        )
+        ratios = [pair.attribute_ratio for pair in pairs]
+        assert ratios == sorted(ratios, reverse=True)
+        for earlier, later in zip(pairs, pairs[1:]):
+            if earlier.attribute_ratio == later.attribute_ratio:
+                assert (earlier.first, earlier.second) < (
+                    later.first,
+                    later.second,
+                )

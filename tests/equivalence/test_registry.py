@@ -1,0 +1,195 @@
+"""Tests for the attribute-equivalence registry (Screen 7 semantics)."""
+
+import pytest
+
+from repro.ecr.attributes import Attribute, AttributeRef
+from repro.ecr.builder import SchemaBuilder
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.errors import DuplicateNameError, EquivalenceError
+from repro.workloads.university import build_sc1, build_sc2
+
+
+@pytest.fixture
+def fresh_registry():
+    return EquivalenceRegistry([build_sc1(), build_sc2()])
+
+
+class TestRegistration:
+    def test_every_attribute_gets_a_class(self, fresh_registry):
+        sc1 = fresh_registry.schema("sc1")
+        numbers = [
+            fresh_registry.class_number(ref)
+            for ref in sc1.all_attribute_refs()
+        ]
+        assert len(numbers) == len(set(numbers))  # all singletons
+
+    def test_numbering_follows_declaration_order(self, fresh_registry):
+        assert fresh_registry.class_number("sc1.Student.Name") == 1
+        assert fresh_registry.class_number("sc1.Student.GPA") == 2
+        assert fresh_registry.class_number("sc1.Department.Name") == 3
+
+    def test_duplicate_schema_rejected(self, fresh_registry):
+        with pytest.raises(DuplicateNameError):
+            fresh_registry.register_schema(build_sc1())
+
+    def test_unknown_schema(self, fresh_registry):
+        with pytest.raises(Exception):
+            fresh_registry.schema("nope")
+
+
+class TestDeclaration:
+    def test_merge_changes_class_number(self, fresh_registry):
+        fresh_registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        assert fresh_registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        # the surviving number is the smaller one, as the paper describes
+        assert fresh_registry.class_number(
+            "sc2.Grad_student.Name"
+        ) == fresh_registry.class_number("sc1.Student.Name")
+
+    def test_three_way_class(self, fresh_registry):
+        fresh_registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        fresh_registry.declare_equivalent("sc1.Student.Name", "sc2.Faculty.Name")
+        members = fresh_registry.class_members("sc2.Faculty.Name")
+        assert {str(m) for m in members} == {
+            "sc1.Student.Name",
+            "sc2.Grad_student.Name",
+            "sc2.Faculty.Name",
+        }
+
+    def test_self_equivalence_rejected(self, fresh_registry):
+        with pytest.raises(EquivalenceError):
+            fresh_registry.declare_equivalent(
+                "sc1.Student.Name", "sc1.Student.Name"
+            )
+
+    def test_unknown_attribute_rejected(self, fresh_registry):
+        with pytest.raises(EquivalenceError):
+            fresh_registry.declare_equivalent(
+                "sc1.Student.Name", "sc2.Grad_student.Nope"
+            )
+
+    def test_issues_on_incompatible_domains(self, fresh_registry):
+        issues = fresh_registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.GPA"
+        )
+        assert any("incompatible" in issue.message for issue in issues)
+        # declared anyway: equivalence is the DDA's call
+        assert fresh_registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.GPA"
+        )
+
+    def test_issue_on_key_mismatch(self, fresh_registry):
+        issues = fresh_registry.declare_equivalent(
+            "sc1.Student.GPA", "sc2.Grad_student.GPA"
+        )
+        assert issues == []
+        issues = fresh_registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Support_type"
+        )
+        assert any("key property" in issue.message for issue in issues)
+
+
+class TestRemoval:
+    def test_remove_moves_to_fresh_class(self, fresh_registry):
+        fresh_registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        fresh_registry.remove_from_class("sc2.Grad_student.Name")
+        assert not fresh_registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+
+    def test_remove_from_singleton_is_noop(self, fresh_registry):
+        before = fresh_registry.class_number("sc1.Student.GPA")
+        fresh_registry.remove_from_class("sc1.Student.GPA")
+        assert fresh_registry.class_number("sc1.Student.GPA") == before
+
+
+class TestQueries:
+    def test_nontrivial_classes(self, fresh_registry):
+        assert fresh_registry.nontrivial_classes() == []
+        fresh_registry.declare_equivalent(
+            "sc1.Department.Name", "sc2.Department.Name"
+        )
+        assert len(fresh_registry.nontrivial_classes()) == 1
+
+    def test_equivalent_class_count_spanning(self, fresh_registry):
+        fresh_registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        fresh_registry.declare_equivalent(
+            "sc1.Student.GPA", "sc2.Grad_student.GPA"
+        )
+        count = fresh_registry.equivalent_class_count(
+            ("sc1", "Student"), ("sc2", "Grad_student")
+        )
+        assert count == 2
+
+    def test_three_way_class_counts_once(self, fresh_registry):
+        fresh_registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        fresh_registry.declare_equivalent("sc1.Student.Name", "sc2.Faculty.Name")
+        assert (
+            fresh_registry.equivalent_class_count(
+                ("sc1", "Student"), ("sc2", "Faculty")
+            )
+            == 1
+        )
+
+    def test_shared_classes(self, fresh_registry):
+        fresh_registry.declare_equivalent(
+            "sc1.Department.Name", "sc2.Department.Name"
+        )
+        shared = fresh_registry.shared_classes(
+            ("sc1", "Department"), ("sc2", "Department")
+        )
+        assert len(shared) == 1
+        assert AttributeRef("sc1", "Department", "Name") in shared[0]
+
+
+class TestRefresh:
+    def test_new_attribute_gets_class(self, fresh_registry):
+        schema = fresh_registry.schema("sc1")
+        schema.entity_set("Student").add_attribute(Attribute("Email"))
+        fresh_registry.refresh_schema("sc1")
+        assert fresh_registry.class_number("sc1.Student.Email") > 0
+
+    def test_dropped_attribute_leaves_classes(self, fresh_registry):
+        fresh_registry.declare_equivalent(
+            "sc1.Student.GPA", "sc2.Grad_student.GPA"
+        )
+        schema = fresh_registry.schema("sc1")
+        schema.entity_set("Student").remove_attribute("GPA")
+        fresh_registry.refresh_schema("sc1")
+        members = fresh_registry.class_members("sc2.Grad_student.GPA")
+        assert members == [AttributeRef("sc2", "Grad_student", "GPA")]
+
+    def test_refresh_keeps_existing_memberships(self, fresh_registry):
+        fresh_registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        fresh_registry.refresh_schema("sc1")
+        assert fresh_registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+
+
+def test_paper_screen7_example():
+    """Screen 7: an equivalence class holding sc1.Student.Name,
+    sc2.Faculty.Name and sc2.Grad_student.Name exists at end of phase."""
+    from repro.workloads.university import paper_registry
+
+    registry = paper_registry()
+    members = {str(m) for m in registry.class_members("sc1.Student.Name")}
+    assert members == {
+        "sc1.Student.Name",
+        "sc2.Faculty.Name",
+        "sc2.Grad_student.Name",
+    }

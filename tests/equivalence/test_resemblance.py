@@ -1,0 +1,177 @@
+"""Tests for resemblance functions, including the paper's attribute ratio."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.schema import ObjectRef
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.equivalence.resemblance import (
+    AttributeRatio,
+    DomainResemblance,
+    KeyResemblance,
+    NameResemblance,
+    WeightedResemblance,
+    attribute_ratio,
+    name_similarity,
+)
+from repro.equivalence.synonyms import SynonymDictionary
+from repro.errors import EquivalenceError
+from repro.workloads.university import paper_registry
+
+
+class TestAttributeRatio:
+    def test_paper_values(self):
+        # Screen 8: Department/Department and Student/Grad_student at 0.5000,
+        # Student/Faculty at 0.3333.
+        assert attribute_ratio(1, 1, 2) == pytest.approx(0.5)
+        assert attribute_ratio(2, 2, 3) == pytest.approx(0.5)
+        assert attribute_ratio(1, 2, 2) == pytest.approx(1 / 3)
+
+    def test_half_means_full_coverage_of_smaller(self):
+        # "a value of 0.5 ... specifies that every attribute in one object
+        # class has an equivalent attribute in the other"
+        assert attribute_ratio(3, 3, 7) == pytest.approx(0.5)
+
+    def test_zero_cases(self):
+        assert attribute_ratio(0, 4, 4) == 0.0
+        assert attribute_ratio(0, 0, 4) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(EquivalenceError):
+            attribute_ratio(-1, 2, 2)
+
+    def test_overcount_rejected(self):
+        with pytest.raises(EquivalenceError):
+            attribute_ratio(3, 2, 5)
+
+    @given(st.integers(0, 10), st.integers(0, 10), st.integers(0, 10))
+    def test_bounds_and_symmetry(self, e, n1, n2):
+        e = min(e, n1, n2)
+        ratio = attribute_ratio(e, n1, n2)
+        assert 0.0 <= ratio <= 0.5
+        assert ratio == attribute_ratio(e, n2, n1)
+
+    @given(st.integers(1, 10), st.integers(1, 10))
+    def test_monotone_in_equivalences(self, n1, n2):
+        smaller = min(n1, n2)
+        ratios = [attribute_ratio(e, n1, n2) for e in range(smaller + 1)]
+        assert ratios == sorted(ratios)
+
+
+class TestNameSimilarity:
+    def test_identical(self):
+        assert name_similarity("Name", "Name") == 1.0
+
+    def test_case_and_underscores_ignored(self):
+        assert name_similarity("Grad_student", "GRADSTUDENT") == 1.0
+
+    def test_disjoint_strings(self):
+        assert name_similarity("abc", "xyz") == 0.0
+
+    def test_empty_cases(self):
+        assert name_similarity("", "") == 1.0
+        assert name_similarity("a", "") == 0.0
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_bounds_and_symmetry(self, a, b):
+        score = name_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == name_similarity(b, a)
+
+
+class TestObjectScorers:
+    @pytest.fixture
+    def scene(self):
+        registry = paper_registry()
+        sc1 = registry.schema("sc1")
+        sc2 = registry.schema("sc2")
+        return registry, sc1, sc2
+
+    def _score(self, scorer, registry, a, b):
+        sc_a = registry.schema(a.schema).object_class(a.object_name)
+        sc_b = registry.schema(b.schema).object_class(b.object_name)
+        return scorer.score(a, sc_a, b, sc_b)
+
+    def test_attribute_ratio_scorer(self, scene):
+        registry, *_ = scene
+        scorer = AttributeRatio(registry)
+        score = self._score(
+            scorer,
+            registry,
+            ObjectRef("sc1", "Student"),
+            ObjectRef("sc2", "Grad_student"),
+        )
+        assert score == pytest.approx(0.5)
+
+    def test_name_resemblance_with_synonyms(self, scene):
+        registry, *_ = scene
+        synonyms = SynonymDictionary([("student", "grad_student")])
+        scorer = NameResemblance(synonyms)
+        score = self._score(
+            scorer,
+            registry,
+            ObjectRef("sc1", "Student"),
+            ObjectRef("sc2", "Grad_student"),
+        )
+        assert score == 1.0
+
+    def test_name_resemblance_antonym_veto(self):
+        registry = EquivalenceRegistry(
+            [
+                SchemaBuilder("x").entity("Arrival", attrs=["a"]).build(validate=False),
+                SchemaBuilder("y").entity("Departure", attrs=["a"]).build(validate=False),
+            ]
+        )
+        synonyms = SynonymDictionary(antonym_pairs=[("arrival", "departure")])
+        scorer = NameResemblance(synonyms)
+        score = scorer.score(
+            ObjectRef("x", "Arrival"),
+            registry.schema("x").object_class("Arrival"),
+            ObjectRef("y", "Departure"),
+            registry.schema("y").object_class("Departure"),
+        )
+        assert score == 0.0
+
+    def test_key_resemblance(self, scene):
+        registry, *_ = scene
+        scorer = KeyResemblance()
+        score = self._score(
+            scorer,
+            registry,
+            ObjectRef("sc1", "Student"),
+            ObjectRef("sc2", "Faculty"),
+        )
+        assert score == 1.0  # both keyed on Name
+
+    def test_domain_resemblance(self, scene):
+        registry, *_ = scene
+        scorer = DomainResemblance()
+        score = self._score(
+            scorer,
+            registry,
+            ObjectRef("sc1", "Student"),
+            ObjectRef("sc2", "Grad_student"),
+        )
+        assert score == 1.0  # char+real both present on the other side
+
+    def test_weighted_combination(self, scene):
+        registry, *_ = scene
+        weighted = WeightedResemblance(
+            [AttributeRatio(registry), KeyResemblance()], [1.0, 1.0]
+        )
+        score = self._score(
+            weighted,
+            registry,
+            ObjectRef("sc1", "Student"),
+            ObjectRef("sc2", "Grad_student"),
+        )
+        assert score == pytest.approx((0.5 + 1.0) / 2)
+
+    def test_weighted_validation(self):
+        with pytest.raises(EquivalenceError):
+            WeightedResemblance([], [])
+        with pytest.raises(EquivalenceError):
+            WeightedResemblance([KeyResemblance()], [1.0, 2.0])
+        with pytest.raises(EquivalenceError):
+            WeightedResemblance([KeyResemblance()], [0.0])

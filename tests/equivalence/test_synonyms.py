@@ -1,0 +1,64 @@
+"""Tests for the synonym/antonym dictionary."""
+
+import pytest
+
+from repro.equivalence.synonyms import DEFAULT_SYNONYMS, SynonymDictionary
+from repro.errors import EquivalenceError
+
+
+class TestSynonyms:
+    def test_identity(self):
+        d = SynonymDictionary()
+        assert d.are_synonyms("Name", "name")
+
+    def test_normalisation(self):
+        d = SynonymDictionary([("soc_sec_no", "socsecno")])
+        assert d.are_synonyms("Soc_Sec_No", "SOCSECNO")
+
+    def test_group_transitivity(self):
+        d = SynonymDictionary([("employee", "worker", "staff")])
+        assert d.are_synonyms("worker", "staff")
+
+    def test_groups_can_merge(self):
+        d = SynonymDictionary()
+        d.add_synonyms("a", "b")
+        d.add_synonyms("b", "c")
+        assert d.are_synonyms("a", "c")
+
+    def test_group_needs_two_words(self):
+        with pytest.raises(EquivalenceError):
+            SynonymDictionary([("only",)])
+
+    def test_synonyms_of(self):
+        d = SynonymDictionary([("employee", "worker")])
+        assert d.synonyms_of("Employee") == ["worker"]
+        assert d.synonyms_of("unknown") == []
+
+
+class TestAntonyms:
+    def test_basic(self):
+        d = SynonymDictionary(antonym_pairs=[("arrival", "departure")])
+        assert d.are_antonyms("Arrival", "Departure")
+        assert not d.are_antonyms("Arrival", "Arrival_time")
+
+    def test_self_antonym_rejected(self):
+        d = SynonymDictionary()
+        with pytest.raises(EquivalenceError):
+            d.add_antonyms("same", "Same")
+
+    def test_antonymy_propagates_through_synonyms(self):
+        d = SynonymDictionary(
+            synonym_groups=[("departure", "takeoff")],
+            antonym_pairs=[("arrival", "departure")],
+        )
+        assert d.are_antonyms("arrival", "takeoff")
+
+
+class TestDefaultDictionary:
+    def test_domain_vocabulary(self):
+        assert DEFAULT_SYNONYMS.are_synonyms("employee", "worker")
+        assert DEFAULT_SYNONYMS.are_synonyms("doctor", "physician")
+        assert DEFAULT_SYNONYMS.are_antonyms("undergraduate", "graduate")
+
+    def test_unrelated_words(self):
+        assert not DEFAULT_SYNONYMS.are_synonyms("employee", "department")

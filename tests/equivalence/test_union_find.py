@@ -1,0 +1,94 @@
+"""Tests (incl. property-based) for the disjoint-set structure."""
+
+from hypothesis import given, strategies as st
+
+from repro.equivalence.union_find import DisjointSet
+
+
+class TestBasics:
+    def test_singletons(self):
+        ds = DisjointSet(["a", "b"])
+        assert ds.find("a") == "a"
+        assert not ds.connected("a", "b")
+        assert ds.class_count() == 2
+
+    def test_union_connects(self):
+        ds = DisjointSet(["a", "b", "c"])
+        ds.union("a", "b")
+        assert ds.connected("a", "b")
+        assert not ds.connected("a", "c")
+        assert ds.class_count() == 2
+
+    def test_find_adds_missing(self):
+        ds = DisjointSet()
+        assert ds.find("x") == "x"
+        assert "x" in ds
+
+    def test_add_idempotent(self):
+        ds = DisjointSet()
+        ds.add("a")
+        ds.add("a")
+        assert len(ds) == 1
+
+    def test_union_same_class_noop(self):
+        ds = DisjointSet(["a", "b"])
+        root = ds.union("a", "b")
+        assert ds.union("a", "b") == root
+
+    def test_connected_unknown_items(self):
+        ds = DisjointSet(["a"])
+        assert not ds.connected("a", "never_added")
+
+    def test_class_of_preserves_insertion_order(self):
+        ds = DisjointSet(["c", "a", "b"])
+        ds.union("b", "c")
+        assert ds.class_of("c") == ["c", "b"]
+
+    def test_classes_ordered_by_first_member(self):
+        ds = DisjointSet(["x", "y", "z"])
+        ds.union("z", "y")
+        assert ds.classes() == [["x"], ["y", "z"]]
+
+
+@st.composite
+def union_scripts(draw):
+    size = draw(st.integers(2, 12))
+    items = [f"i{i}" for i in range(size)]
+    pair = st.tuples(st.sampled_from(items), st.sampled_from(items))
+    return items, draw(st.lists(pair, max_size=30))
+
+
+@given(union_scripts())
+def test_equivalence_relation_properties(script):
+    items, unions = script
+    ds = DisjointSet(items)
+    for first, second in unions:
+        ds.union(first, second)
+    # reflexive / symmetric
+    for item in items:
+        assert ds.connected(item, item)
+    for first, second in unions:
+        assert ds.connected(first, second)
+        assert ds.connected(second, first)
+    # classes partition the items
+    classes = ds.classes()
+    flattened = [item for members in classes for item in members]
+    assert sorted(flattened) == sorted(items)
+    assert ds.class_count() == len(classes)
+    # class membership agrees with connected()
+    for members in classes:
+        for other in members:
+            assert ds.connected(members[0], other)
+
+
+@given(union_scripts())
+def test_transitivity(script):
+    items, unions = script
+    ds = DisjointSet(items)
+    for first, second in unions:
+        ds.union(first, second)
+    for a in items[:5]:
+        for b in items[:5]:
+            for c in items[:5]:
+                if ds.connected(a, b) and ds.connected(b, c):
+                    assert ds.connected(a, c)

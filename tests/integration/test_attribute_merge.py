@@ -1,0 +1,108 @@
+"""Tests for attribute pooling and merging."""
+
+import pytest
+
+from repro.ecr.attributes import Attribute, AttributeRef
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.integration.attribute_merge import AttributePool, merge_pool
+from repro.integration.options import IntegrationOptions
+from repro.workloads.university import build_sc1, build_sc2
+
+
+@pytest.fixture
+def registry():
+    registry = EquivalenceRegistry([build_sc1(), build_sc2()])
+    registry.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+    registry.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+    return registry
+
+
+def _student_pool(registry):
+    pool = AttributePool("Student")
+    sc1 = registry.schema("sc1")
+    sc2 = registry.schema("sc2")
+    for attribute in sc1.get("Student").attributes:
+        pool.add(AttributeRef("sc1", "Student", attribute.name), attribute)
+    for attribute in sc2.get("Grad_student").attributes:
+        pool.add(AttributeRef("sc2", "Grad_student", attribute.name), attribute)
+    return pool
+
+
+class TestPool:
+    def test_class_numbers(self, registry):
+        pool = _student_pool(registry)
+        # Name-class, GPA-class, Support_type singleton
+        assert len(pool.class_numbers(registry)) == 3
+
+    def test_take_class(self, registry):
+        pool = _student_pool(registry)
+        name_class = registry.class_number("sc1.Student.Name")
+        taken = pool.take_class(registry, name_class)
+        assert len(taken) == 2
+        assert len(pool.instances) == 3
+        assert name_class not in pool.class_numbers(registry)
+
+
+class TestMergePool:
+    def test_paper_derived_attributes(self, registry):
+        attributes, origins = merge_pool(
+            _student_pool(registry), registry, IntegrationOptions()
+        )
+        by_name = {attribute.name: attribute for attribute in attributes}
+        assert set(by_name) == {"D_Name", "D_GPA", "Support_type"}
+        name_origin = next(o for o in origins if o.attribute == "D_Name")
+        assert [str(c) for c in name_origin.components] == [
+            "sc1.Student.Name",
+            "sc2.Grad_student.Name",
+        ]
+        assert name_origin.is_derived
+
+    def test_key_is_conjunction(self, registry):
+        attributes, _ = merge_pool(
+            _student_pool(registry), registry, IntegrationOptions()
+        )
+        by_name = {attribute.name: attribute for attribute in attributes}
+        assert by_name["D_Name"].is_key  # both components are keys
+        assert not by_name["D_GPA"].is_key
+
+    def test_singletons_copied_unchanged(self, registry):
+        attributes, origins = merge_pool(
+            _student_pool(registry), registry, IntegrationOptions()
+        )
+        support = next(o for o in origins if o.attribute == "Support_type")
+        assert not support.is_derived
+        assert len(support.components) == 1
+
+    def test_name_collision_within_node(self, registry):
+        pool = AttributePool("X")
+        pool.add(AttributeRef("sc1", "Student", "Name"), Attribute("Name"))
+        pool.add(
+            AttributeRef("sc1", "Department", "Name"), Attribute("Name")
+        )  # different class, same spelling
+        attributes, _ = merge_pool(pool, registry, IntegrationOptions())
+        assert [a.name for a in attributes] == ["Name", "Name_2"]
+
+    def test_description_joining(self, registry):
+        pool = AttributePool("X")
+        pool.add(
+            AttributeRef("sc1", "Student", "Name"),
+            Attribute("Name", "char", True, "from sc1"),
+        )
+        pool.add(
+            AttributeRef("sc2", "Grad_student", "Name"),
+            Attribute("Name", "char", True, "from sc2"),
+        )
+        attributes, _ = merge_pool(pool, registry, IntegrationOptions())
+        assert attributes[0].description == "from sc1 / from sc2"
+        attributes, _ = merge_pool(
+            pool,
+            registry,
+            IntegrationOptions(keep_component_descriptions=False),
+        )
+        assert attributes[0].description == ""
+
+    def test_empty_pool(self, registry):
+        attributes, origins = merge_pool(
+            AttributePool("X"), registry, IntegrationOptions()
+        )
+        assert attributes == [] and origins == []

@@ -1,0 +1,88 @@
+"""Tests for cluster computation."""
+
+from repro.assertions.assertion import Assertion
+from repro.assertions.kinds import AssertionKind, Source
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.schema import ObjectRef
+from repro.integration.clusters import (
+    cluster_of,
+    compute_clusters,
+    connects_pair,
+)
+
+A = ObjectRef("s", "A")
+B = ObjectRef("s", "B")
+
+
+class TestConnectsPair:
+    def test_definite_relations_always_connect(self):
+        for kind in (
+            AssertionKind.EQUALS,
+            AssertionKind.CONTAINED_IN,
+            AssertionKind.CONTAINS,
+        ):
+            assert connects_pair(Assertion(A, B, kind))
+
+    def test_nonintegrable_never_connects(self):
+        assertion = Assertion(A, B, AssertionKind.DISJOINT_NONINTEGRABLE)
+        assert not connects_pair(assertion)
+
+    def test_decided_overlap_connects(self):
+        assert connects_pair(Assertion(A, B, AssertionKind.MAY_BE))
+        assert connects_pair(Assertion(A, B, AssertionKind.DISJOINT_INTEGRABLE))
+
+    def test_undecided_derived_disjoint_does_not_connect(self):
+        derived = Assertion(
+            A,
+            B,
+            AssertionKind.DISJOINT_INTEGRABLE,
+            Source.DERIVED,
+            integrability_decided=False,
+        )
+        assert not connects_pair(derived)
+
+
+class TestComputeClusters:
+    def test_paper_clusters(self, object_network):
+        clusters = compute_clusters(object_network)
+        multi = sorted(
+            tuple(sorted(str(m) for m in cluster.members))
+            for cluster in clusters
+            if not cluster.is_singleton
+        )
+        assert multi == [
+            ("sc1.Department", "sc2.Department"),
+            ("sc1.Student", "sc2.Faculty", "sc2.Grad_student"),
+        ]
+
+    def test_singletons_included(self, object_network):
+        clusters = compute_clusters(object_network)
+        total = sum(len(cluster) for cluster in clusters)
+        assert total == len(object_network.objects())
+
+    def test_restriction_to_subset(self, object_network):
+        objects = [ObjectRef("sc1", "Student"), ObjectRef("sc1", "Department")]
+        clusters = compute_clusters(object_network, objects)
+        assert all(cluster.is_singleton for cluster in clusters)
+
+    def test_cluster_assertions_recorded(self, object_network):
+        clusters = compute_clusters(object_network)
+        student_cluster = cluster_of(clusters, ObjectRef("sc1", "Student"))
+        assert student_cluster is not None
+        assert len(student_cluster.assertions) >= 2
+
+    def test_cluster_of_missing(self, object_network):
+        clusters = compute_clusters(object_network)
+        assert cluster_of(clusters, ObjectRef("zz", "Nope")) is None
+
+    def test_nonintegrable_pair_stays_apart(self):
+        network = AssertionNetwork()
+        for ref in (A, B):
+            network.add_object(ref)
+        network.specify(A, B, AssertionKind.DISJOINT_NONINTEGRABLE)
+        clusters = compute_clusters(network)
+        assert len(clusters) == 2
+
+    def test_str(self, object_network):
+        clusters = compute_clusters(object_network)
+        assert any("{" in str(cluster) for cluster in clusters)

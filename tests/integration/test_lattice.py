@@ -1,0 +1,87 @@
+"""Tests for DAG utilities (transitive reduction, ancestors)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IntegrationError
+from repro.integration.lattice import (
+    ancestors_in_dag,
+    check_acyclic,
+    transitive_reduction,
+)
+
+
+class TestAncestors:
+    def test_chain(self):
+        edges = [("a", "b"), ("b", "c")]
+        assert ancestors_in_dag(edges, "a") == {"b", "c"}
+        assert ancestors_in_dag(edges, "c") == set()
+
+    def test_diamond(self):
+        edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        assert ancestors_in_dag(edges, "a") == {"b", "c", "d"}
+
+
+class TestAcyclicity:
+    def test_accepts_dag(self):
+        check_acyclic([("a", "b"), ("b", "c"), ("a", "c")])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(IntegrationError):
+            check_acyclic([("a", "b"), ("b", "a")])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(IntegrationError):
+            check_acyclic([("a", "a")])
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut(self):
+        edges = [("a", "b"), ("b", "c"), ("a", "c")]
+        assert transitive_reduction(edges) == [("a", "b"), ("b", "c")]
+
+    def test_keeps_diamond(self):
+        edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        assert transitive_reduction(edges) == edges
+
+    def test_duplicates_removed(self):
+        edges = [("a", "b"), ("a", "b")]
+        assert transitive_reduction(edges) == [("a", "b")]
+
+    def test_rejects_cyclic_input(self):
+        with pytest.raises(IntegrationError):
+            transitive_reduction([("a", "b"), ("b", "a")])
+
+    def test_long_chain_with_all_shortcuts(self):
+        chain = [("n0", "n1"), ("n1", "n2"), ("n2", "n3")]
+        shortcuts = [("n0", "n2"), ("n0", "n3"), ("n1", "n3")]
+        assert transitive_reduction(chain + shortcuts) == chain
+
+
+@st.composite
+def random_dags(draw):
+    size = draw(st.integers(2, 7))
+    nodes = [f"n{i}" for i in range(size)]
+    edges = []
+    for i in range(size):
+        for j in range(i + 1, size):
+            if draw(st.booleans()):
+                edges.append((nodes[i], nodes[j]))
+    return edges
+
+
+@given(random_dags())
+def test_reduction_preserves_reachability(edges):
+    reduced = transitive_reduction(edges)
+    nodes = {n for edge in edges for n in edge}
+    for node in nodes:
+        assert ancestors_in_dag(edges, node) == ancestors_in_dag(reduced, node)
+
+
+@given(random_dags())
+def test_reduction_is_minimal(edges):
+    reduced = transitive_reduction(edges)
+    for edge in reduced:
+        without = [other for other in reduced if other != edge]
+        child, parent = edge
+        assert parent not in ancestors_in_dag(without, child)

@@ -1,0 +1,87 @@
+"""Tests for schema mappings and their composition."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.integration.mappings import (
+    SchemaMapping,
+    build_mappings,
+    compose_mappings,
+)
+
+
+@pytest.fixture
+def mappings(paper_result, registry):
+    return build_mappings(paper_result, registry.schemas())
+
+
+class TestBuildMappings:
+    def test_one_mapping_per_schema(self, mappings):
+        assert set(mappings) == {"sc1", "sc2"}
+
+    def test_forward_objects(self, mappings):
+        assert mappings["sc1"].map_object("Student") == "Student"
+        assert mappings["sc1"].map_object("Department") == "E_Department"
+        assert mappings["sc2"].map_object("Grad_student") == "Grad_student"
+        assert mappings["sc2"].map_object("Majors") == "E_Stud_Majo"
+
+    def test_forward_attributes(self, mappings):
+        assert mappings["sc1"].map_attribute("Student", "Name") == (
+            "Student",
+            "D_Name",
+        )
+        assert mappings["sc2"].map_attribute("Grad_student", "Name") == (
+            "Student",
+            "D_Name",
+        )
+        assert mappings["sc2"].map_attribute("Faculty", "Rank") == (
+            "Faculty",
+            "Rank",
+        )
+
+    def test_unknown_forward_lookups(self, mappings):
+        with pytest.raises(MappingError):
+            mappings["sc1"].map_object("Ghost")
+        with pytest.raises(MappingError):
+            mappings["sc1"].map_attribute("Student", "Ghost")
+
+    def test_reverse_objects(self, mappings):
+        assert mappings["sc1"].objects_mapping_to("E_Department") == [
+            "Department"
+        ]
+        assert mappings["sc2"].objects_mapping_to("Student") == []
+        assert mappings["sc1"].covers_object("E_Department")
+        assert not mappings["sc1"].covers_object("Faculty")
+
+    def test_reverse_attributes(self, mappings):
+        sources = mappings["sc2"].attributes_mapping_to("Student", "D_Name")
+        assert sources == [("Grad_student", "Name")]
+
+
+class TestComposeMappings:
+    def test_two_step_composition(self):
+        first = SchemaMapping("view", "mid")
+        first.objects["A"] = "M_A"
+        first.attributes[("A", "x")] = ("M_A", "mx")
+        second = SchemaMapping("mid", "final")
+        second.objects["M_A"] = "F_A"
+        second.attributes[("M_A", "mx")] = ("F_A", "fx")
+        composed = compose_mappings(first, second)
+        assert composed.component_schema == "view"
+        assert composed.integrated_schema == "final"
+        assert composed.map_object("A") == "F_A"
+        assert composed.map_attribute("A", "x") == ("F_A", "fx")
+
+    def test_mismatched_composition_rejected(self):
+        first = SchemaMapping("view", "mid")
+        second = SchemaMapping("other", "final")
+        with pytest.raises(MappingError):
+            compose_mappings(first, second)
+
+    def test_dropped_elements_are_dropped(self):
+        first = SchemaMapping("view", "mid")
+        first.objects["A"] = "M_A"
+        second = SchemaMapping("mid", "final")  # M_A unmapped
+        composed = compose_mappings(first, second)
+        with pytest.raises(MappingError):
+            composed.map_object("A")

@@ -1,0 +1,84 @@
+"""Tests for E_/D_ naming conventions."""
+
+import pytest
+
+from repro.errors import IntegrationError
+from repro.integration.naming import (
+    NamePool,
+    abbreviate,
+    derived_name,
+    equivalent_name,
+    merged_attribute_name,
+)
+
+
+class TestAbbreviate:
+    def test_paper_abbreviations(self):
+        assert abbreviate("Student") == "Stud"
+        assert abbreviate("Faculty") == "Facu"
+        assert abbreviate("Grad_student") == "Grad"
+        assert abbreviate("Secretary") == "Secr"
+        assert abbreviate("Engineer") == "Engi"
+        assert abbreviate("Instructor") == "Inst"
+
+    def test_short_names(self):
+        assert abbreviate("Ab") == "Ab"
+
+    def test_empty_rejected(self):
+        with pytest.raises(IntegrationError):
+            abbreviate("")
+
+
+class TestDerivedName:
+    def test_paper_names(self):
+        assert derived_name(["Student", "Faculty"]) == "D_Stud_Facu"
+        assert derived_name(["Grad_student", "Instructor"]) == "D_Grad_Inst"
+        assert derived_name(["Secretary", "Engineer"]) == "D_Secr_Engi"
+
+    def test_same_names_keep_full_name(self):
+        assert derived_name(["Name", "Name"]) == "D_Name"
+
+    def test_empty_rejected(self):
+        with pytest.raises(IntegrationError):
+            derived_name([])
+
+
+class TestEquivalentName:
+    def test_same_names(self):
+        assert equivalent_name(["Department", "Department"]) == "E_Department"
+
+    def test_relationship_with_subject(self):
+        assert (
+            equivalent_name(["Majors", "Majors"], subject="Student")
+            == "E_Stud_Majo"
+        )
+
+    def test_different_names(self):
+        assert equivalent_name(["Employee", "Worker"]) == "E_Empl_Work"
+
+
+class TestMergedAttributeName:
+    def test_paper_derived_attribute(self):
+        assert merged_attribute_name(["Name", "Name"]) == "D_Name"
+
+    def test_differing_names(self):
+        assert merged_attribute_name(["Salary", "Pay"]) == "D_Sala_Pay"
+
+
+class TestNamePool:
+    def test_first_taker_keeps_name(self):
+        pool = NamePool()
+        assert pool.claim("Student") == "Student"
+        assert pool.claim("Student") == "Student_2"
+        assert pool.claim("Student") == "Student_3"
+
+    def test_preseeded(self):
+        pool = NamePool(["X"])
+        assert pool.is_taken("X")
+        assert pool.claim("X") == "X_2"
+
+    def test_numbered_variant_also_reserved(self):
+        pool = NamePool()
+        pool.claim("A_2")
+        pool.claim("A")
+        assert pool.claim("A") == "A_3"

@@ -1,0 +1,121 @@
+"""Tests for n-ary (iterated) integration."""
+
+import pytest
+
+from repro.assertions.kinds import AssertionKind
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.validation import validate_schema
+from repro.errors import IntegrationError
+from repro.integration.nary import integrate_all
+from repro.workloads.oracle import GroundTruth
+
+
+def _three_view_world():
+    """Three views of one Person concept, pairwise overlapping."""
+    v1 = (
+        SchemaBuilder("v1")
+        .entity("Person", attrs=[("Ssn", "char", True), ("Name", "char")])
+        .build()
+    )
+    v2 = (
+        SchemaBuilder("v2")
+        .entity("Employee", attrs=[("Ssn", "char", True), ("Salary", "real")])
+        .build()
+    )
+    v3 = (
+        SchemaBuilder("v3")
+        .entity("Manager", attrs=[("Ssn", "char", True), ("Bonus", "real")])
+        .build()
+    )
+    truth = GroundTruth()
+    truth.add_attribute_pair("v1.Person.Ssn", "v2.Employee.Ssn")
+    truth.add_attribute_pair("v1.Person.Ssn", "v3.Manager.Ssn")
+    truth.add_attribute_pair("v2.Employee.Ssn", "v3.Manager.Ssn")
+    truth.add_object_assertion(
+        "v2.Employee", "v1.Person", AssertionKind.CONTAINED_IN
+    )
+    truth.add_object_assertion(
+        "v3.Manager", "v1.Person", AssertionKind.CONTAINED_IN
+    )
+    truth.add_object_assertion(
+        "v3.Manager", "v2.Employee", AssertionKind.CONTAINED_IN
+    )
+    return [v1, v2, v3], truth
+
+
+class TestIntegrateAll:
+    def test_needs_two_schemas(self):
+        schemas, truth = _three_view_world()
+        with pytest.raises(IntegrationError):
+            integrate_all(schemas[:1], truth)
+
+    def test_three_way_chain(self):
+        schemas, truth = _three_view_world()
+        result, mappings = integrate_all(schemas, truth)
+        schema = result.schema
+        assert schema.name == "global"
+        assert not any(issue.is_error for issue in validate_schema(schema))
+        # Manager ⊂ Employee ⊂ Person must come out as a two-level lattice
+        assert schema.category("Employee").parents == ["Person"]
+        assert schema.category("Manager").parents == ["Employee"]
+
+    def test_mappings_reach_final_schema(self):
+        schemas, truth = _three_view_world()
+        result, mappings = integrate_all(schemas, truth)
+        assert mappings["v1"].map_object("Person") == "Person"
+        assert mappings["v2"].map_object("Employee") == "Employee"
+        assert mappings["v3"].map_object("Manager") == "Manager"
+        # Ssn merged across all three views ends in one integrated attribute
+        targets = {
+            mappings["v1"].map_attribute("Person", "Ssn"),
+            mappings["v2"].map_attribute("Employee", "Ssn"),
+            mappings["v3"].map_attribute("Manager", "Ssn"),
+        }
+        assert len(targets) == 1
+
+    def test_two_schema_case_matches_pairwise(self):
+        schemas, truth = _three_view_world()
+        result, mappings = integrate_all(schemas[:2], truth)
+        assert result.schema.name == "global"
+        assert result.schema.category("Employee").parents == ["Person"]
+
+    def test_order_changes_names_not_content(self):
+        schemas, truth = _three_view_world()
+        forward, _ = integrate_all(schemas, truth, result_name="f")
+        backward, _ = integrate_all(list(reversed(schemas)), truth, result_name="b")
+        def shape(result):
+            return (
+                len(result.schema.entity_sets()),
+                len(result.schema.categories()),
+                sorted(
+                    tuple(sorted(c.parents)) for c in result.schema.categories()
+                ),
+            )
+        assert shape(forward) == shape(backward)
+
+    def test_hospital_airline_workloads(self):
+        from repro.workloads import (
+            airline_ground_truth,
+            build_airline_operations,
+            build_airline_reservations,
+            build_hospital_admissions,
+            build_hospital_clinic,
+            hospital_ground_truth,
+        )
+
+        hospital, maps = integrate_all(
+            [build_hospital_admissions(), build_hospital_clinic()],
+            hospital_ground_truth(),
+        )
+        assert not any(
+            issue.is_error for issue in validate_schema(hospital.schema)
+        )
+        assert maps["adm"].map_object("Physician") == "E_Phys_Doct"
+        airline, maps = integrate_all(
+            [build_airline_reservations(), build_airline_operations()],
+            airline_ground_truth(),
+        )
+        assert maps["res"].map_object("Flight") == maps["ops"].map_object(
+            "Flight"
+        )
+        assert any(node.is_derived for node in airline.nodes.values())

@@ -1,0 +1,134 @@
+"""Tests for relationship-set integration beyond the equals merge:
+derived relationship parents, lattice edges, and multi-parent categories
+passing through integration."""
+
+import pytest
+
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.builder import SchemaBuilder
+from repro.ecr.schema import ObjectRef
+from repro.ecr.validation import validate_schema
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.integration.integrator import Integrator
+
+
+def _advising_world():
+    """Two schemas whose relationships overlap: Advises may-be Mentors."""
+    first = (
+        SchemaBuilder("x")
+        .entity("Prof", attrs=[("Pid", "char", True)])
+        .entity("Stud", attrs=[("Sid", "char", True)])
+        .relationship(
+            "Advises",
+            connects=[("Prof", "(0,n)"), ("Stud", "(0,1)")],
+            attrs=[("Since", "date")],
+        )
+        .build()
+    )
+    second = (
+        SchemaBuilder("y")
+        .entity("Prof", attrs=[("Pid", "char", True)])
+        .entity("Stud", attrs=[("Sid", "char", True)])
+        .relationship(
+            "Mentors",
+            connects=[("Prof", "(0,n)"), ("Stud", "(0,n)")],
+            attrs=[("Started", "date")],
+        )
+        .build()
+    )
+    registry = EquivalenceRegistry([first, second])
+    registry.declare_equivalent("x.Prof.Pid", "y.Prof.Pid")
+    registry.declare_equivalent("x.Stud.Sid", "y.Stud.Sid")
+    network = AssertionNetwork()
+    network.seed_schema(first)
+    network.seed_schema(second)
+    network.specify(ObjectRef("x", "Prof"), ObjectRef("y", "Prof"), 1)
+    network.specify(ObjectRef("x", "Stud"), ObjectRef("y", "Stud"), 1)
+    rel_network = AssertionNetwork()
+    rel_network.add_object(ObjectRef("x", "Advises"))
+    rel_network.add_object(ObjectRef("y", "Mentors"))
+    return registry, network, rel_network
+
+
+class TestDerivedRelationshipParents:
+    def test_may_be_creates_derived_relationship(self):
+        registry, network, rel_network = _advising_world()
+        rel_network.specify(
+            ObjectRef("x", "Advises"), ObjectRef("y", "Mentors"), 5
+        )
+        result = Integrator(registry, network, rel_network).integrate("x", "y")
+        schema = result.schema
+        assert "D_Advi_Ment" in schema
+        derived = schema.relationship_set("D_Advi_Ment")
+        # the umbrella connects the merged participants with loose bounds
+        legs = {leg.object_name: str(leg.cardinality) for leg in derived.participations}
+        assert set(legs) == {"E_Prof", "E_Stud"}
+        assert legs["E_Stud"] == "(0,n)"  # union of (0,1) and (0,n)
+        assert set(result.relationship_lattice) == {
+            ("Advises", "D_Advi_Ment"),
+            ("Mentors", "D_Advi_Ment"),
+        }
+        assert not any(i.is_error for i in validate_schema(schema))
+
+    def test_contained_in_records_lattice_edge_only(self):
+        registry, network, rel_network = _advising_world()
+        rel_network.specify(
+            ObjectRef("x", "Advises"), ObjectRef("y", "Mentors"), 2
+        )
+        result = Integrator(registry, network, rel_network).integrate("x", "y")
+        assert result.relationship_lattice == [("Advises", "Mentors")]
+        assert "D_Advi_Ment" not in result.schema
+
+    def test_contains_records_reversed_edge(self):
+        registry, network, rel_network = _advising_world()
+        rel_network.specify(
+            ObjectRef("x", "Advises"), ObjectRef("y", "Mentors"), 3
+        )
+        result = Integrator(registry, network, rel_network).integrate("x", "y")
+        assert result.relationship_lattice == [("Mentors", "Advises")]
+
+    def test_nonintegrable_keeps_both_apart(self):
+        registry, network, rel_network = _advising_world()
+        rel_network.specify(
+            ObjectRef("x", "Advises"), ObjectRef("y", "Mentors"), 0
+        )
+        result = Integrator(registry, network, rel_network).integrate("x", "y")
+        assert result.relationship_lattice == []
+        names = {r.name for r in result.schema.relationship_sets()}
+        assert names == {"Advises", "Mentors"}
+
+    def test_equals_merge_with_different_names(self):
+        registry, network, rel_network = _advising_world()
+        rel_network.specify(
+            ObjectRef("x", "Advises"), ObjectRef("y", "Mentors"), 1
+        )
+        registry.declare_equivalent("x.Advises.Since", "y.Mentors.Started")
+        result = Integrator(registry, network, rel_network).integrate("x", "y")
+        merged_name = result.node_for(ObjectRef("x", "Advises"))
+        assert merged_name == result.node_for(ObjectRef("y", "Mentors"))
+        merged = result.schema.relationship_set(merged_name)
+        assert "D_Sinc_Star" in merged.attribute_names()
+
+
+class TestMultiParentCategories:
+    def test_union_category_survives_integration(self):
+        first = (
+            SchemaBuilder("x")
+            .entity("Car", attrs=[("Vin", "char", True)])
+            .entity("Boat", attrs=[("Hull", "char", True)])
+            .category("Amphibious", of=["Car", "Boat"], attrs=["Mode"])
+            .build()
+        )
+        second = (
+            SchemaBuilder("y")
+            .entity("Plane", attrs=[("Tail", "char", True)])
+            .build()
+        )
+        registry = EquivalenceRegistry([first, second])
+        network = AssertionNetwork()
+        network.seed_schema(first)
+        network.seed_schema(second)
+        result = Integrator(registry, network).integrate("x", "y")
+        amphibious = result.schema.category("Amphibious")
+        assert sorted(amphibious.parents) == ["Boat", "Car"]
+        assert not any(i.is_error for i in validate_schema(result.schema))

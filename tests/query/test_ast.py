@@ -1,0 +1,84 @@
+"""Tests for the request AST and validation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import Comparison, Join, Request
+from repro.workloads.university import build_sc1
+
+
+class TestComparison:
+    def test_valid_operators(self):
+        for op in ("=", "!=", "<", ">", "<=", ">="):
+            Comparison("x", op, "1")
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Comparison("x", "~", "1")
+
+    def test_str(self):
+        assert str(Comparison("GPA", ">=", "3.5")) == "GPA >= 3.5"
+
+
+class TestRequest:
+    def test_str_full(self):
+        request = Request(
+            "Student",
+            ("Name",),
+            (Comparison("GPA", ">", "3"),),
+            (Join("Majors", "Department"),),
+        )
+        assert (
+            str(request)
+            == "select Name from Student where GPA > 3 via Majors(Department)"
+        )
+
+    def test_str_star(self):
+        assert str(Request("Student")) == "select * from Student"
+
+    def test_referenced_attributes_deduplicated(self):
+        request = Request(
+            "S", ("a", "b"), (Comparison("a", "=", "1"), Comparison("c", "=", "2"))
+        )
+        assert request.referenced_attributes() == ["a", "b", "c"]
+
+    def test_with_object(self):
+        assert Request("A").with_object("B").object_name == "B"
+
+
+class TestValidation:
+    def test_valid_request(self):
+        request = Request(
+            "Student",
+            ("Name", "GPA"),
+            (Comparison("GPA", ">=", "3.5"),),
+            (Join("Majors", "Department"),),
+        )
+        request.validate_against(build_sc1())
+
+    def test_unknown_object(self):
+        with pytest.raises(QueryError):
+            Request("Ghost").validate_against(build_sc1())
+
+    def test_relationship_as_from_rejected(self):
+        with pytest.raises(QueryError):
+            Request("Majors").validate_against(build_sc1())
+
+    def test_unknown_attribute(self):
+        with pytest.raises(QueryError):
+            Request("Student", ("Ghost",)).validate_against(build_sc1())
+
+    def test_inherited_attribute_allowed(self):
+        from repro.workloads.university import build_sc4
+
+        Request("Grad_student", ("Name",)).validate_against(build_sc4())
+
+    def test_unknown_relationship_in_join(self):
+        request = Request("Student", joins=(Join("Ghost", "Department"),))
+        with pytest.raises(QueryError):
+            request.validate_against(build_sc1())
+
+    def test_join_target_must_participate(self):
+        request = Request("Student", joins=(Join("Majors", "Student2"),))
+        with pytest.raises(QueryError):
+            request.validate_against(build_sc1())

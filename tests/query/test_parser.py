@@ -1,0 +1,76 @@
+"""Tests for the request parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import Comparison, Join
+from repro.query.parser import parse_request
+
+
+class TestParsing:
+    def test_minimal(self):
+        request = parse_request("select * from Student")
+        assert request.object_name == "Student"
+        assert request.attributes == ()
+        assert request.conditions == ()
+
+    def test_projection_list(self):
+        request = parse_request("select Name, GPA from Student")
+        assert request.attributes == ("Name", "GPA")
+
+    def test_where_single(self):
+        request = parse_request("select Name from Student where GPA >= 3.5")
+        assert request.conditions == (Comparison("GPA", ">=", "3.5"),)
+
+    def test_where_conjunction(self):
+        request = parse_request(
+            "select Name from Student where GPA > 3 and Name != Bob"
+        )
+        assert len(request.conditions) == 2
+        assert request.conditions[1] == Comparison("Name", "!=", "Bob")
+
+    def test_quoted_values_stripped(self):
+        request = parse_request("select * from S where Name = 'Alice'")
+        assert request.conditions[0].value == "Alice"
+
+    def test_via_joins(self):
+        request = parse_request(
+            "select Name from Student via Majors(Department) via Takes(Course)"
+        )
+        assert request.joins == (
+            Join("Majors", "Department"),
+            Join("Takes", "Course"),
+        )
+
+    def test_case_insensitive_keywords(self):
+        request = parse_request("SELECT Name FROM Student WHERE GPA = 4")
+        assert request.object_name == "Student"
+        assert request.conditions
+
+    def test_operator_longest_match(self):
+        request = parse_request("select * from S where x <= 3")
+        assert request.conditions[0].operator == "<="
+
+    def test_roundtrip_through_str(self):
+        text = "select Name, GPA from Student where GPA >= 3.5 via Majors(Department)"
+        assert str(parse_request(text)) == text
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "get stuff",
+            "select from Student",
+            "select Name from",
+            "select Na me from S",
+            "select * from S where",
+            "select * from S where x",
+            "select * from S where x =",
+            "select * from S where and",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_request(bad)

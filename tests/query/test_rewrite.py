@@ -1,0 +1,134 @@
+"""Tests for request rewriting in both integration contexts."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.integration.mappings import build_mappings
+from repro.query.parser import parse_request
+from repro.query.rewrite import rewrite_to_components, rewrite_to_integrated
+
+
+@pytest.fixture
+def mappings(paper_result, registry):
+    return build_mappings(paper_result, registry.schemas())
+
+
+class TestViewToLogical:
+    """Logical database design: view requests → integrated schema."""
+
+    def test_simple_projection(self, mappings, paper_result):
+        request = parse_request("select Name, GPA from Student")
+        rewritten = rewrite_to_integrated(request, mappings["sc1"])
+        assert str(rewritten) == "select D_Name, D_GPA from Student"
+        rewritten.validate_against(paper_result.schema)
+
+    def test_conditions_rewritten(self, mappings):
+        request = parse_request("select Name from Student where GPA >= 3.5")
+        rewritten = rewrite_to_integrated(request, mappings["sc1"])
+        assert rewritten.conditions[0].attribute == "D_GPA"
+        assert rewritten.conditions[0].value == "3.5"
+
+    def test_joins_rewritten(self, mappings, paper_result):
+        request = parse_request(
+            "select Name from Student via Majors(Department)"
+        )
+        rewritten = rewrite_to_integrated(request, mappings["sc1"])
+        assert rewritten.joins[0].relationship == "E_Stud_Majo"
+        assert rewritten.joins[0].target == "E_Department"
+        rewritten.validate_against(paper_result.schema)
+
+    def test_sc2_view_lands_on_merged_elements(self, mappings):
+        request = parse_request("select Name from Grad_student")
+        rewritten = rewrite_to_integrated(request, mappings["sc2"])
+        # Grad_student's Name was absorbed into Student.D_Name; the
+        # category inherits it, so the rewrite stays on Grad_student.
+        assert rewritten.object_name == "Grad_student"
+        assert rewritten.attributes == ("D_Name",)
+
+    def test_foreign_request_rejected(self, mappings):
+        request = parse_request("select Rank from Faculty")
+        with pytest.raises(MappingError):
+            rewrite_to_integrated(request, mappings["sc1"])
+
+
+class TestGlobalToComponents:
+    """Global schema design: global requests → component databases."""
+
+    def test_merged_object_fans_out(self, mappings):
+        request = parse_request("select D_Name from E_Department")
+        legs = rewrite_to_components(request, mappings)
+        assert [(leg.schema, str(leg.request)) for leg in legs] == [
+            ("sc1", "select Name from Department"),
+            ("sc2", "select Name from Department"),
+        ]
+        assert all(leg.is_complete for leg in legs)
+
+    def test_partial_component_reports_missing(self, mappings):
+        request = parse_request("select D_Name, Location from E_Department")
+        legs = rewrite_to_components(request, mappings)
+        by_schema = {leg.schema: leg for leg in legs}
+        assert by_schema["sc2"].is_complete
+        assert by_schema["sc1"].missing_attributes == ["Location"]
+        assert "missing" in str(by_schema["sc1"])
+
+    def test_condition_on_missing_attribute_disqualifies(self, mappings):
+        request = parse_request(
+            "select D_Name from E_Department where Location = West"
+        )
+        legs = rewrite_to_components(request, mappings)
+        assert [leg.schema for leg in legs] == ["sc2"]
+
+    def test_single_source_object(self, mappings):
+        request = parse_request("select Rank from Faculty")
+        legs = rewrite_to_components(request, mappings)
+        assert [leg.schema for leg in legs] == ["sc2"]
+        assert str(legs[0].request) == "select Rank from Faculty"
+
+    def test_join_requires_component_coverage(self, mappings):
+        request = parse_request(
+            "select D_Name from Student via E_Stud_Majo(E_Department)"
+        )
+        legs = rewrite_to_components(request, mappings)
+        # only sc1 has both the Student side and the Majors relationship
+        assert [leg.schema for leg in legs] == ["sc1"]
+        assert legs[0].request.joins[0].relationship == "Majors"
+
+    def test_uncovered_object_raises(self, mappings):
+        request = parse_request("select x from D_Stud_Facu")
+        with pytest.raises(MappingError):
+            rewrite_to_components(request, mappings)
+
+
+class TestRoundTrip:
+    def test_view_to_global_to_component_recovers_request(self, mappings):
+        original = parse_request("select Name from Department")
+        global_request = rewrite_to_integrated(original, mappings["sc1"])
+        legs = rewrite_to_components(global_request, mappings)
+        sc1_leg = next(leg for leg in legs if leg.schema == "sc1")
+        assert str(sc1_leg.request) == str(original)
+
+
+class TestSubclassRouting:
+    def test_subclass_components_contribute_with_schema(
+        self, mappings, paper_result
+    ):
+        request = parse_request("select D_Name from Student")
+        direct = rewrite_to_components(request, mappings)
+        assert [leg.schema for leg in direct] == ["sc1"]
+        with_closure = rewrite_to_components(
+            request, mappings, paper_result.schema
+        )
+        schemas = [leg.schema for leg in with_closure]
+        assert schemas == ["sc1", "sc2"]
+        sc2_leg = next(leg for leg in with_closure if leg.schema == "sc2")
+        # sc2 contributes through its Grad_student subclass
+        assert sc2_leg.request.object_name == "Grad_student"
+        assert sc2_leg.request.attributes == ("Name",)
+
+    def test_condition_still_mapped_on_subclass_leg(
+        self, mappings, paper_result
+    ):
+        request = parse_request("select D_Name from Student where D_GPA > 3")
+        legs = rewrite_to_components(request, mappings, paper_result.schema)
+        sc2_leg = next(leg for leg in legs if leg.schema == "sc2")
+        assert sc2_leg.request.conditions[0].attribute == "GPA"

@@ -1,0 +1,23 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.integration.naming
+import repro.query.parser
+import repro.ecr.domains
+
+MODULES = [
+    repro.integration.naming,
+    repro.query.parser,
+    repro.ecr.domains,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,90 @@
+"""Contract tests for the exception hierarchy."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    AssertionSpecError,
+    ConflictError,
+    DdlError,
+    DuplicateNameError,
+    ReproError,
+    SchemaError,
+    UnknownNameError,
+    ValidationError,
+)
+
+
+def _error_classes():
+    return [
+        obj
+        for _, obj in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+    ]
+
+
+class TestHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for cls in _error_classes():
+            assert issubclass(cls, ReproError), cls
+
+    def test_every_error_has_a_docstring(self):
+        for cls in _error_classes():
+            assert cls.__doc__ and cls.__doc__.strip(), cls
+
+    def test_conflict_is_an_assertion_error(self):
+        assert issubclass(ConflictError, AssertionSpecError)
+
+    def test_named_errors_are_schema_errors(self):
+        assert issubclass(DuplicateNameError, SchemaError)
+        assert issubclass(UnknownNameError, SchemaError)
+        assert issubclass(ValidationError, SchemaError)
+
+
+class TestMessages:
+    def test_duplicate_name_scoped(self):
+        error = DuplicateNameError("entity set", "Student", "sc1")
+        assert str(error) == "duplicate entity set name 'Student' in sc1"
+        assert error.kind == "entity set"
+        assert error.name == "Student"
+
+    def test_duplicate_name_unscoped(self):
+        assert "in" not in str(DuplicateNameError("schema", "sc1"))
+
+    def test_unknown_name(self):
+        error = UnknownNameError("attribute", "GPA", "Student")
+        assert str(error) == "unknown attribute 'GPA' in Student"
+
+    def test_ddl_error_line_prefix(self):
+        assert str(DdlError("boom", 7)) == "line 7: boom"
+        assert str(DdlError("boom")) == "boom"
+
+    def test_validation_error_joins_issues(self):
+        from repro.ecr.validation import Severity, ValidationIssue
+
+        issues = [
+            ValidationIssue(Severity.ERROR, "A", "first"),
+            ValidationIssue(Severity.ERROR, "B", "second"),
+        ]
+        error = ValidationError(issues)
+        assert "first" in str(error) and "second" in str(error)
+        assert error.issues == issues
+
+    def test_one_except_catches_everything(self, sc3, sc4):
+        """The documented catch-all contract: ``except ReproError``."""
+        from repro.assertions.network import AssertionNetwork
+        from repro.ecr.schema import ObjectRef
+
+        network = AssertionNetwork()
+        network.seed_schema(sc3)
+        network.seed_schema(sc4)
+        network.specify(
+            ObjectRef("sc3", "Instructor"), ObjectRef("sc4", "Grad_student"), 2
+        )
+        with pytest.raises(ReproError) as excinfo:
+            network.specify(
+                ObjectRef("sc3", "Instructor"), ObjectRef("sc4", "Student"), 0
+            )
+        assert excinfo.value.report.chain  # the payload is still reachable

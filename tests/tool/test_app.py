@@ -1,0 +1,153 @@
+"""Tests for the run loop: scripted sessions end to end.
+
+The long script below replays the entire paper: define sc1/sc2 through the
+collection screens, declare the Screen 7 equivalences, answer Screen 8,
+integrate, and browse Screens 10-12.
+"""
+
+import pytest
+
+from repro.tool.app import ToolApp, run_script
+
+PAPER_SCRIPT = [
+    # Task 1: schema collection (Screens 2-5)
+    "1",
+    "A sc1",
+    "A Student e", "A Name char y", "A GPA real n", "E",
+    "A Department e", "A Name char y", "E",
+    "A Majors r", "A Student 1,1", "A Department 0,n", "E",
+    "A Since date n", "E",
+    "E",
+    "A sc2",
+    "A Grad_student e", "A Name char y", "A GPA real n",
+    "A Support_type char n", "E",
+    "A Faculty e", "A Name char y", "A Rank char n", "E",
+    "A Department e", "A Name char y", "A Location char n", "E",
+    "A Majors r", "A Grad_student 1,1", "A Department 0,n", "E",
+    "A Since date n", "E",
+    "A Works r", "A Faculty 1,1", "A Department 1,n", "E",
+    "A Percent_time real n", "E",
+    "E",
+    "E",
+    # Task 2: equivalences (Screens 6-7)
+    "2", "sc1 sc2",
+    "Student Grad_student", "A Name Name", "A GPA GPA", "E",
+    "Student Faculty", "A Name Name", "E",
+    "Department Department", "A Name Name", "E",
+    "E",
+    # Task 4: relationship equivalences
+    "4", "Majors Majors", "A Since Since", "E", "E",
+    # Task 3: object assertions (Screen 8 order: 1, 3, 4)
+    "3", "1", "3", "4", "E",
+    # Task 5: relationship assertions
+    "5", "1", "E",
+    # Task 6: integrate, browse Screens 10-12
+    "6",
+    "Student c", "q",
+    "Student a", "D_Name", "n", "q", "q",
+    "x",
+    "E",
+]
+
+
+@pytest.fixture(scope="module")
+def paper_run():
+    return run_script(PAPER_SCRIPT)
+
+
+class TestPaperScript:
+    def test_script_runs_to_completion(self, paper_run):
+        app, _ = paper_run
+        assert app.finished
+        assert app.session.status == "" or "error" not in app.session.status
+
+    def test_integrated_schema_is_figure5(self, paper_run):
+        app, _ = paper_run
+        schema = app.session.result.schema
+        assert [e.name for e in schema.entity_sets()] == [
+            "E_Department",
+            "D_Stud_Facu",
+        ]
+        assert [c.name for c in schema.categories()] == [
+            "Student",
+            "Grad_student",
+            "Faculty",
+        ]
+        assert [r.name for r in schema.relationship_sets()] == [
+            "E_Stud_Majo",
+            "Works",
+        ]
+
+    def test_main_menu_frame(self, paper_run):
+        _, transcript = paper_run
+        assert "SCHEMA INTEGRATION TOOL" in transcript
+        assert "1. Define the schemas to be integrated" in transcript
+
+    def test_screen3_frame(self, paper_run):
+        _, transcript = paper_run
+        assert "Structure Information Collection Screen" in transcript
+        assert "Type(E/C/R)" in transcript
+
+    def test_screen5_frame(self, paper_run):
+        _, transcript = paper_run
+        assert "Attribute Information Collection Screen" in transcript
+        assert "Key (y/n)" in transcript
+
+    def test_screen7_frame_shows_eq_classes(self, paper_run):
+        _, transcript = paper_run
+        assert "Equivalence Class Creation and Deletion Screen" in transcript
+        assert "Eq_class #" in transcript
+
+    def test_screen8_frame_shows_paper_ratios(self, paper_run):
+        _, transcript = paper_run
+        assert "Assertion Collection For Object Pairs" in transcript
+        assert "0.5000" in transcript
+        assert "0.3333" in transcript
+
+    def test_screen10_frame(self, paper_run):
+        _, transcript = paper_run
+        assert "Object Class Screen" in transcript
+        assert "E_Department" in transcript
+        assert "D_Stud_Facu" in transcript
+
+    def test_screen11_category_screen(self, paper_run):
+        _, transcript = paper_run
+        index = transcript.index("Category Screen")
+        chunk = transcript[index : index + 600]
+        assert "D_Stud_Facu" in chunk
+        assert "Grad_student" in chunk
+
+    def test_screen12_component_attributes(self, paper_run):
+        _, transcript = paper_run
+        assert "Component Attribute Screen" in transcript
+        assert "(1 of 2)" in transcript
+        assert "(2 of 2)" in transcript
+
+
+class TestAppMechanics:
+    def test_errors_surface_as_status(self):
+        app = ToolApp()
+        app.feed("bogus")
+        assert "unknown choice" in app.session.status
+        frame = app.render()
+        assert "unknown choice" in frame
+
+    def test_exit_finishes(self):
+        app = ToolApp()
+        app.feed("E")
+        assert app.finished
+        with pytest.raises(Exception):
+            app.render()
+
+    def test_run_stops_after_exit(self):
+        app = ToolApp()
+        transcript = app.run(["E", "1", "2"])
+        assert app.finished
+        assert transcript  # at least the first frame rendered
+
+    def test_status_cleared_each_input(self):
+        app = ToolApp()
+        app.feed("bogus")
+        assert app.session.status
+        app.feed("1")
+        assert app.session.status == ""

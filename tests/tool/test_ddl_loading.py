@@ -1,0 +1,42 @@
+"""Tests for loading schemas from DDL files in the collection screen."""
+
+import pytest
+
+from repro.ecr.ddl import to_ddl
+from repro.tool.screens.collection import SchemaNameScreen
+from repro.tool.session import ToolSession
+from repro.workloads.university import build_sc1, build_sc2
+
+
+class TestDdlFileLoading:
+    def test_load_two_schemas_from_file(self, tmp_path):
+        path = tmp_path / "schemas.ecr"
+        path.write_text(to_ddl(build_sc1()) + to_ddl(build_sc2()))
+        session = ToolSession()
+        SchemaNameScreen().handle(f"F {path}", session)
+        assert set(session.schemas) == {"sc1", "sc2"}
+        assert "loaded sc1, sc2" in session.status
+        # registry and networks seeded from the loaded schemas
+        assert session.registry.class_number("sc1.Student.Name") >= 1
+
+    def test_missing_file(self):
+        from repro.errors import ToolError
+
+        with pytest.raises(ToolError):
+            SchemaNameScreen().handle("F /no/such.ecr", ToolSession())
+
+    def test_empty_file(self, tmp_path):
+        from repro.errors import ToolError
+
+        path = tmp_path / "empty.ecr"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ToolError):
+            SchemaNameScreen().handle(f"F {path}", ToolSession())
+
+    def test_bad_ddl_reports_line(self, tmp_path):
+        from repro.errors import DdlError
+
+        path = tmp_path / "bad.ecr"
+        path.write_text("schema s\n  wibble\n")
+        with pytest.raises(DdlError):
+            SchemaNameScreen().handle(f"F {path}", ToolSession())

@@ -1,0 +1,128 @@
+"""Focused tests for Screens 8 and 9 (assertion collection and conflicts)."""
+
+import pytest
+
+from repro.tool.screens.assertion import (
+    AssertionCollectScreen,
+    ConflictResolutionScreen,
+)
+from repro.tool.screens.base import POP
+from repro.tool.session import ToolSession
+from repro.workloads.university import build_sc3, build_sc4
+
+
+@pytest.fixture
+def session():
+    s = ToolSession()
+    s.adopt_schema(build_sc3())
+    s.adopt_schema(build_sc4())
+    s.select_pair("sc3", "sc4")
+    # make Instructor/Grad_student and Instructor/Student candidates;
+    # Grad_student is a category, so only its own attribute can be matched
+    s.registry.declare_equivalent("sc3.Instructor.Name", "sc4.Student.Name")
+    s.registry.declare_equivalent(
+        "sc3.Instructor.Office", "sc4.Grad_student.Thesis_title"
+    )
+    return s
+
+
+class TestAssertionCollect:
+    def test_body_lists_candidates_with_ratios(self, session):
+        screen = AssertionCollectScreen()
+        body = "\n".join(screen.body(session))
+        assert "sc3.Instructor" in body
+        assert "ATTRIBUTE" in body
+
+    def test_code_advances_cursor(self, session):
+        screen = AssertionCollectScreen()
+        pairs = session.candidate_pairs()
+        assert screen.handle("2", session) is None  # Instructor ⊆ first pair
+        network = session.object_network
+        recorded = network.assertion_for(pairs[0].first, pairs[0].second)
+        assert recorded.kind.code == 2
+
+    def test_conflict_pushes_screen9(self, session):
+        screen = AssertionCollectScreen()
+        # pairs ordered: (Instructor, Grad_student) then (Instructor, Student)
+        assert screen.handle("2", session) is None
+        outcome = screen.handle("0", session)
+        assert isinstance(outcome, ConflictResolutionScreen)
+
+    def test_revise_row(self, session):
+        screen = AssertionCollectScreen()
+        screen.handle("2", session)
+        screen.handle("n", session)
+        assert screen.handle("R 1 1", session) is None
+        pairs = session.candidate_pairs()
+        network = session.object_network
+        assert network.assertion_for(pairs[0].first, pairs[0].second).kind.code == 1
+
+    def test_exit(self, session):
+        assert AssertionCollectScreen().handle("E", session) is POP
+
+    def test_bad_row_number(self, session):
+        from repro.errors import ToolError
+
+        with pytest.raises(ToolError):
+            AssertionCollectScreen().handle("R 99 1", session)
+
+    def test_code_after_all_reviewed(self, session):
+        from repro.errors import ToolError
+
+        screen = AssertionCollectScreen()
+        screen.handle("2", session)
+        outcome = screen.handle("1", session)  # Instructor equals Student? conflicts
+        # equals contradicts derived ⊆? Instructor ⊆ Grad_student ⊂ Student
+        # means Instructor ⊂ Student, so equals is rejected -> Screen 9
+        assert isinstance(outcome, ConflictResolutionScreen)
+        # withdraw, then both pairs are reviewed
+        outcome.handle("W", session)
+        screen.handle("n", session)
+        with pytest.raises(ToolError):
+            screen.handle("3", session)
+
+
+class TestConflictResolution:
+    def _conflict(self, session):
+        screen = AssertionCollectScreen()
+        screen.handle("2", session)
+        return screen.handle("0", session)
+
+    def test_body_shows_chain(self, session):
+        screen9 = self._conflict(session)
+        body = "\n".join(screen9.body(session))
+        assert "<derived>(CONFLICT)" in body
+        assert "<new>(CONFLICT)" in body
+        assert "sc4.Grad_student" in body
+
+    def test_withdraw(self, session):
+        screen9 = self._conflict(session)
+        assert screen9.handle("W", session) is POP
+        assert "withdrawn" in session.status
+
+    def test_change_chain_assertion_resolves(self, session):
+        screen9 = self._conflict(session)
+        # chain line 1 is the DDA's Instructor ⊆ Grad_student; change to 0
+        outcome = screen9.handle("C 1 0", session)
+        assert outcome is POP
+        assert "resolved" in session.status
+        pairs = session.candidate_pairs()
+        network = session.object_network
+        # the new assertion went through after the repair
+        recorded = network.assertion_for(pairs[1].first, pairs[1].second)
+        assert recorded.kind.code == 0
+
+    def test_cannot_change_implicit_assertion(self, session):
+        from repro.errors import ToolError
+
+        screen9 = self._conflict(session)
+        # chain line 2 is the implicit category containment
+        with pytest.raises(ToolError):
+            screen9.handle("C 2 0", session)
+
+    def test_bad_line_number(self, session):
+        from repro.errors import ToolError
+
+        screen9 = self._conflict(session)
+        with pytest.raises(ToolError):
+            screen9.handle("C 9 0", session)

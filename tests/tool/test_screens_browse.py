@@ -1,0 +1,173 @@
+"""Focused tests for the browse screens (10-12) and the Figure 6 flow."""
+
+import pytest
+
+from repro.tool.screens.base import POP
+from repro.tool.screens.browse import (
+    BROWSE_FLOW_EDGES,
+    AttributeScreen,
+    CategoryScreen,
+    ComponentAttributeScreen,
+    EntityScreen,
+    EquivalentScreen,
+    ObjectClassScreen,
+    ParticipatingObjectsScreen,
+    RelationshipScreen,
+)
+from repro.tool.session import ToolSession
+from repro.workloads.university import (
+    PAPER_ASSERTION_CODES,
+    PAPER_RELATIONSHIP_CODES,
+    build_sc1,
+    build_sc2,
+)
+from repro.ecr.schema import ObjectRef
+
+
+@pytest.fixture
+def session():
+    s = ToolSession()
+    s.adopt_schema(build_sc1())
+    s.adopt_schema(build_sc2())
+    s.select_pair("sc1", "sc2")
+    s.registry.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+    s.registry.declare_equivalent("sc1.Student.Name", "sc2.Faculty.Name")
+    s.registry.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+    s.registry.declare_equivalent("sc1.Department.Name", "sc2.Department.Name")
+    s.registry.declare_equivalent("sc1.Majors.Since", "sc2.Majors.Since")
+    for first, second, code in PAPER_ASSERTION_CODES:
+        s.object_network.specify(
+            ObjectRef.parse(first), ObjectRef.parse(second), code
+        )
+    for first, second, code in PAPER_RELATIONSHIP_CODES:
+        s.relationship_network.specify(
+            ObjectRef.parse(first), ObjectRef.parse(second), code
+        )
+    s.integrate()
+    return s
+
+
+class TestFigure6Flow:
+    def test_edges_match_paper(self):
+        """Figure 6: Object Class Screen fans out to Attribute, Category,
+        Entity and Relationship; those reach Equivalent, Participating
+        Objects and Component Attribute screens."""
+        flows = {(src, dst) for src, _, dst in BROWSE_FLOW_EDGES}
+        assert flows == {
+            ("ObjectClassScreen", "AttributeScreen"),
+            ("ObjectClassScreen", "CategoryScreen"),
+            ("ObjectClassScreen", "EntityScreen"),
+            ("ObjectClassScreen", "RelationshipScreen"),
+            ("EntityScreen", "EquivalentScreen"),
+            ("CategoryScreen", "EquivalentScreen"),
+            ("RelationshipScreen", "EquivalentScreen"),
+            ("RelationshipScreen", "ParticipatingObjectsScreen"),
+            ("AttributeScreen", "ComponentAttributeScreen"),
+        }
+
+    def test_edges_are_live(self, session):
+        """Every declared arc is reachable by an actual input."""
+        object_screen = ObjectClassScreen()
+        assert isinstance(
+            object_screen.handle("Student a", session), AttributeScreen
+        )
+        assert isinstance(
+            object_screen.handle("Student c", session), CategoryScreen
+        )
+        assert isinstance(
+            object_screen.handle("E_Department e", session), EntityScreen
+        )
+        assert isinstance(
+            object_screen.handle("Works r", session), RelationshipScreen
+        )
+        assert isinstance(
+            CategoryScreen("Student").handle("v", session), EquivalentScreen
+        )
+        assert isinstance(
+            RelationshipScreen("Works").handle("p", session),
+            ParticipatingObjectsScreen,
+        )
+        assert isinstance(
+            AttributeScreen("Student").handle("D_Name", session),
+            ComponentAttributeScreen,
+        )
+
+
+class TestScreen10:
+    def test_three_columns_with_counts(self, session):
+        body = "\n".join(ObjectClassScreen().body(session))
+        assert "Entities(2)" in body
+        assert "Categories(3)" in body
+        assert "Relationships(2)" in body
+        assert "E_Department" in body and "D_Stud_Facu" in body
+
+    def test_kind_checked(self, session):
+        from repro.errors import ToolError
+
+        with pytest.raises(ToolError):
+            ObjectClassScreen().handle("Student e", session)
+        with pytest.raises(ToolError):
+            ObjectClassScreen().handle("E_Department c", session)
+        with pytest.raises(ToolError):
+            ObjectClassScreen().handle("Works c", session)
+
+    def test_exit(self, session):
+        assert ObjectClassScreen().handle("x", session) is POP
+
+
+class TestScreen11:
+    def test_category_screen_for_student(self, session):
+        body = "\n".join(CategoryScreen("Student").body(session))
+        assert "D_Stud_Facu (e)" in body
+        assert "Grad_student (c)" in body
+
+    def test_entity_screen_children(self, session):
+        body = "\n".join(EntityScreen("D_Stud_Facu").body(session))
+        assert "Student (c)" in body
+        assert "Faculty (c)" in body
+
+
+class TestScreen12:
+    def test_component_sequence(self, session):
+        screen = ComponentAttributeScreen("Student", "D_Name", 0)
+        first = "\n".join(screen.body(session))
+        assert "Schema Name      : sc1" in first
+        assert "(1 of 2)" in first
+        assert screen.handle("n", session) is None
+        second = "\n".join(screen.body(session))
+        assert "Schema Name      : sc2" in second
+        assert "Object Name      : Grad_student" in second
+        assert screen.handle("n", session) is POP  # past the last component
+
+    def test_quit_any_time(self, session):
+        screen = ComponentAttributeScreen("Student", "D_Name", 0)
+        assert screen.handle("q", session) is POP
+
+    def test_attribute_screen_lists_component_counts(self, session):
+        body = "\n".join(AttributeScreen("Student").body(session))
+        assert "D_Name" in body and "2" in body
+
+    def test_singleton_attribute_has_one_component(self, session):
+        screen = AttributeScreen("Faculty")
+        outcome = screen.handle("Rank", session)
+        assert isinstance(outcome, ComponentAttributeScreen)
+        body = "\n".join(outcome.body(session))
+        assert "(1 of 1)" in body
+
+
+class TestEquivalentScreen:
+    def test_lists_components(self, session):
+        body = "\n".join(EquivalentScreen("E_Department").body(session))
+        assert "sc1.Department" in body and "sc2.Department" in body
+
+    def test_quit(self, session):
+        assert EquivalentScreen("E_Department").handle("q", session) is POP
+
+
+class TestParticipatingObjects:
+    def test_lists_legs_with_types(self, session):
+        body = "\n".join(
+            ParticipatingObjectsScreen("E_Stud_Majo").body(session)
+        )
+        assert "Student" in body and "(1,1)" in body
+        assert "E_Department" in body and "(0,n)" in body

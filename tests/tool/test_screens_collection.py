@@ -1,0 +1,162 @@
+"""Focused tests for the collection screens (2-5)."""
+
+import pytest
+
+from repro.tool.screens.base import POP, Replace
+from repro.tool.screens.collection import (
+    AttributeInfoScreen,
+    CategoryInfoScreen,
+    RelationshipInfoScreen,
+    SchemaNameScreen,
+    StructureInfoScreen,
+)
+from repro.tool.session import ToolSession
+
+
+@pytest.fixture
+def session():
+    return ToolSession()
+
+
+class TestSchemaNameScreen:
+    def test_add_pushes_structure_screen(self, session):
+        screen = SchemaNameScreen()
+        outcome = screen.handle("A sc1", session)
+        assert isinstance(outcome, StructureInfoScreen)
+        assert "sc1" in session.schemas
+
+    def test_delete(self, session):
+        screen = SchemaNameScreen()
+        screen.handle("A sc1", session)
+        assert screen.handle("D sc1", session) is None
+        assert "sc1" not in session.schemas
+
+    def test_update_requires_existing(self, session):
+        screen = SchemaNameScreen()
+        from repro.errors import ToolError
+
+        with pytest.raises(ToolError):
+            screen.handle("U ghost", session)
+
+    def test_exit_pops(self, session):
+        assert SchemaNameScreen().handle("E", session) is POP
+
+    def test_body_lists_schemas(self, session):
+        session.add_schema("one")
+        body = SchemaNameScreen().body(session)
+        assert any("one" in line for line in body)
+
+
+class TestStructureInfoScreen:
+    def test_add_entity_pushes_attributes(self, session):
+        session.add_schema("s")
+        screen = StructureInfoScreen("s")
+        outcome = screen.handle("A Student e", session)
+        assert isinstance(outcome, AttributeInfoScreen)
+        assert "Student" in session.schema("s")
+
+    def test_add_category_pushes_category_info(self, session):
+        session.add_schema("s")
+        screen = StructureInfoScreen("s")
+        outcome = screen.handle("A Sub c", session)
+        assert isinstance(outcome, CategoryInfoScreen)
+        # category not created until a parent is given
+        assert "Sub" not in session.schema("s")
+
+    def test_add_relationship_pushes_relationship_info(self, session):
+        session.add_schema("s")
+        outcome = StructureInfoScreen("s").handle("A R r", session)
+        assert isinstance(outcome, RelationshipInfoScreen)
+
+    def test_body_shows_counts(self, session):
+        session.add_schema("s")
+        screen = StructureInfoScreen("s")
+        screen.handle("A Student e", session)
+        body = screen.body(session)
+        assert any("Student" in line and "e" in line for line in body)
+
+    def test_bad_kind_rejected(self, session):
+        from repro.errors import ToolError
+
+        session.add_schema("s")
+        with pytest.raises(ToolError):
+            StructureInfoScreen("s").handle("A X q", session)
+
+
+class TestCategoryInfoScreen:
+    def test_exit_requires_parent(self, session):
+        from repro.errors import ToolError
+
+        session.add_schema("s")
+        screen = CategoryInfoScreen("s", "Sub")
+        with pytest.raises(ToolError):
+            screen.handle("E", session)
+
+    def test_parent_must_exist(self, session):
+        from repro.errors import ReproError
+
+        session.add_schema("s")
+        screen = CategoryInfoScreen("s", "Sub")
+        with pytest.raises(ReproError):
+            screen.handle("A Ghost", session)
+
+    def test_add_parent_then_exit_replaces(self, session):
+        session.add_schema("s")
+        StructureInfoScreen("s").handle("A Base e", session)
+        screen = CategoryInfoScreen("s", "Sub")
+        screen.handle("A Base", session)
+        outcome = screen.handle("E", session)
+        assert isinstance(outcome, Replace)
+        assert session.schema("s").category("Sub").parents == ["Base"]
+
+
+class TestRelationshipInfoScreen:
+    def test_needs_two_legs_to_exit(self, session):
+        from repro.errors import ToolError
+
+        session.add_schema("s")
+        StructureInfoScreen("s").handle("A A e", session)
+        StructureInfoScreen("s").handle("A R r", session)
+        screen = RelationshipInfoScreen("s", "R")
+        screen.handle("A A 1,1", session)
+        with pytest.raises(ToolError):
+            screen.handle("E", session)
+
+    def test_role_argument(self, session):
+        session.add_schema("s")
+        StructureInfoScreen("s").handle("A E e", session)
+        StructureInfoScreen("s").handle("A R r", session)
+        screen = RelationshipInfoScreen("s", "R")
+        screen.handle("A E 0,n boss", session)
+        screen.handle("A E 1,1 minion", session)
+        outcome = screen.handle("E", session)
+        assert isinstance(outcome, Replace)
+        relationship = session.schema("s").relationship_set("R")
+        assert relationship.participation_for("boss").role == "boss"
+
+
+class TestAttributeInfoScreen:
+    def test_add_and_delete(self, session):
+        session.add_schema("s")
+        StructureInfoScreen("s").handle("A E e", session)
+        screen = AttributeInfoScreen("s", "E")
+        screen.handle("A Name char y", session)
+        assert session.schema("s").get("E").attribute("Name").is_key
+        screen.handle("D Name", session)
+        assert not session.schema("s").get("E").has_attribute("Name")
+
+    def test_bad_key_flag(self, session):
+        from repro.errors import ToolError
+
+        session.add_schema("s")
+        StructureInfoScreen("s").handle("A E e", session)
+        with pytest.raises(ToolError):
+            AttributeInfoScreen("s", "E").handle("A Name char x", session)
+
+    def test_exit_refreshes_registry(self, session):
+        session.add_schema("s")
+        StructureInfoScreen("s").handle("A E e", session)
+        screen = AttributeInfoScreen("s", "E")
+        screen.handle("A Name char y", session)
+        assert screen.handle("E", session) is POP
+        assert session.registry.class_number("s.E.Name") >= 1

@@ -1,0 +1,143 @@
+"""Focused tests for Screens 6-7 (equivalence) and session persistence
+through the main menu."""
+
+import pytest
+
+from repro.tool.screens.base import POP, Replace
+from repro.tool.screens.equivalence import (
+    EquivalenceEditScreen,
+    ObjectSelectScreen,
+    SchemaSelectScreen,
+)
+from repro.tool.screens.main_menu import MainMenuScreen
+from repro.tool.session import ToolSession
+from repro.workloads.university import build_sc1, build_sc2
+
+
+@pytest.fixture
+def session():
+    s = ToolSession()
+    s.adopt_schema(build_sc1())
+    s.adopt_schema(build_sc2())
+    return s
+
+
+@pytest.fixture
+def paired(session):
+    session.select_pair("sc1", "sc2")
+    return session
+
+
+class TestSchemaSelect:
+    def test_selects_and_replaces(self, session):
+        screen = SchemaSelectScreen(lambda: ObjectSelectScreen())
+        outcome = screen.handle("sc1 sc2", session)
+        assert isinstance(outcome, Replace)
+        assert session.selected_pair == ("sc1", "sc2")
+
+    def test_requires_two_names(self, session):
+        from repro.errors import ToolError
+
+        screen = SchemaSelectScreen(lambda: ObjectSelectScreen())
+        with pytest.raises(ToolError):
+            screen.handle("sc1", session)
+
+    def test_exit(self, session):
+        assert SchemaSelectScreen(lambda: None).handle("E", session) is POP
+
+    def test_body_lists_schemas(self, paired):
+        body = "\n".join(SchemaSelectScreen(lambda: None).body(paired))
+        assert "sc1" in body and "sc2" in body
+        assert "currently selected" in body
+
+
+class TestObjectSelect:
+    def test_columns_list_object_classes(self, paired):
+        body = "\n".join(ObjectSelectScreen().body(paired))
+        assert "Student" in body and "Grad_student" in body
+        assert "Majors" not in body  # relationships excluded here
+
+    def test_relationship_variant(self, paired):
+        screen = ObjectSelectScreen(relationships=True)
+        body = "\n".join(screen.body(paired))
+        assert "Majors" in body and "Works" in body
+        assert "Student" not in body
+
+    def test_pushes_edit_screen(self, paired):
+        outcome = ObjectSelectScreen().handle("Student Grad_student", paired)
+        assert isinstance(outcome, EquivalenceEditScreen)
+
+    def test_validates_membership(self, paired):
+        from repro.errors import ToolError
+
+        with pytest.raises(ToolError):
+            ObjectSelectScreen().handle("Ghost Grad_student", paired)
+        with pytest.raises(ToolError):
+            ObjectSelectScreen().handle("Student Ghost", paired)
+
+
+class TestEquivalenceEdit:
+    def test_add_merges_classes(self, paired):
+        screen = EquivalenceEditScreen("Student", "Grad_student")
+        screen.handle("A Name Name", paired)
+        assert paired.registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+
+    def test_add_reports_issues_as_status(self, paired):
+        screen = EquivalenceEditScreen("Student", "Grad_student")
+        screen.handle("A Name GPA", paired)  # char vs real
+        assert "incompatible" in paired.status
+
+    def test_delete_splits(self, paired):
+        screen = EquivalenceEditScreen("Student", "Grad_student")
+        screen.handle("A Name Name", paired)
+        screen.handle("D 2 Name", paired)
+        assert not paired.registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+
+    def test_body_shows_eq_class_numbers(self, paired):
+        screen = EquivalenceEditScreen("Student", "Grad_student")
+        screen.handle("A Name Name", paired)
+        body = "\n".join(screen.body(paired))
+        assert "Eq_class #" in body
+        number = paired.registry.class_number("sc1.Student.Name")
+        assert str(number) in body
+
+    def test_exit(self, paired):
+        assert EquivalenceEditScreen("Student", "Faculty").handle(
+            "E", paired
+        ) is POP
+
+
+class TestMainMenuPersistence:
+    def test_save_and_load_via_menu(self, paired, tmp_path):
+        paired.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        path = tmp_path / "session.json"
+        menu = MainMenuScreen()
+        menu.handle(f"S {path}", paired)
+        assert "saved" in paired.status
+        fresh = ToolSession()
+        MainMenuScreen().handle(f"L {path}", fresh)
+        assert "loaded" in fresh.status
+        assert set(fresh.schemas) == {"sc1", "sc2"}
+        assert fresh.registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+
+    def test_load_missing_file(self, session):
+        from repro.errors import ToolError
+
+        with pytest.raises(ToolError):
+            MainMenuScreen().handle("L /no/such/file.json", session)
+
+    def test_usage_errors(self, session):
+        from repro.errors import ToolError
+
+        with pytest.raises(ToolError):
+            MainMenuScreen().handle("S", session)
+        with pytest.raises(ToolError):
+            MainMenuScreen().handle("L", session)

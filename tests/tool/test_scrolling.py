@@ -1,0 +1,73 @@
+"""Tests for the generic screen scrolling (the paper's scrolled windows)."""
+
+import pytest
+
+from repro.ecr.attributes import Attribute
+from repro.ecr.objects import EntitySet
+from repro.tool.app import ToolApp
+from repro.tool.screens.collection import AttributeInfoScreen
+from repro.tool.session import ToolSession
+from repro.tool.terminal import VirtualTerminal
+
+
+@pytest.fixture
+def big_session():
+    """A structure with far more attributes than one screen page."""
+    session = ToolSession()
+    session.add_schema("s")
+    entity = EntitySet("Wide")
+    for index in range(40):
+        entity.add_attribute(Attribute(f"attr_{index:02d}"))
+    session.schema("s").add(entity)
+    session.refresh_after_edit("s")
+    return session
+
+
+class TestScrolling:
+    def test_first_page_shows_position_marker(self, big_session):
+        screen = AttributeInfoScreen("s", "Wide")
+        terminal = VirtualTerminal()
+        screen.render(terminal, big_session)
+        frame = terminal.render()
+        assert "attr_00" in frame
+        assert "(S)croll for more" in frame
+        assert "attr_39" not in frame
+
+    def test_scroll_advances_pages(self, big_session):
+        screen = AttributeInfoScreen("s", "Wide")
+        terminal = VirtualTerminal()
+        screen.safe_handle("S", big_session)
+        screen.render(terminal, big_session)
+        frame = terminal.render()
+        assert "attr_00" not in frame
+        assert "lines 17-" in frame
+
+    def test_scroll_wraps_to_top(self, big_session):
+        screen = AttributeInfoScreen("s", "Wide")
+        terminal = VirtualTerminal()
+        for _ in range(4):  # past the end of 43 body lines
+            screen.safe_handle("S", big_session)
+        screen.render(terminal, big_session)
+        assert "attr_00" in terminal.render()
+
+    def test_short_bodies_have_no_marker(self):
+        session = ToolSession()
+        session.add_schema("s")
+        session.schema("s").add(EntitySet("Tiny", [Attribute("only")]))
+        screen = AttributeInfoScreen("s", "Tiny")
+        terminal = VirtualTerminal()
+        screen.render(terminal, session)
+        assert "(S)croll for more" not in terminal.render()
+
+    def test_scroll_via_app_keeps_screen(self, big_session):
+        app = ToolApp(big_session)
+        app._stack.append(AttributeInfoScreen("s", "Wide"))
+        before = app.current_screen
+        app.feed("S")
+        assert app.current_screen is before
+
+    def test_prompt_always_visible_when_scrolled(self, big_session):
+        screen = AttributeInfoScreen("s", "Wide")
+        terminal = VirtualTerminal()
+        screen.render(terminal, big_session)
+        assert "Choose:" in terminal.render()

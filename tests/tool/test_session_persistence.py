@@ -1,0 +1,105 @@
+"""Tests for session save/load through the data dictionary."""
+
+import pytest
+
+from repro.ecr.json_io import schema_to_dict
+from repro.ecr.schema import ObjectRef
+from repro.tool.session import ToolSession
+from repro.workloads.university import (
+    PAPER_ASSERTION_CODES,
+    PAPER_RELATIONSHIP_CODES,
+    build_sc1,
+    build_sc2,
+)
+
+
+@pytest.fixture
+def full_session():
+    s = ToolSession()
+    s.adopt_schema(build_sc1())
+    s.adopt_schema(build_sc2())
+    s.select_pair("sc1", "sc2")
+    for first, second in [
+        ("sc1.Student.Name", "sc2.Grad_student.Name"),
+        ("sc1.Student.Name", "sc2.Faculty.Name"),
+        ("sc1.Student.GPA", "sc2.Grad_student.GPA"),
+        ("sc1.Department.Name", "sc2.Department.Name"),
+        ("sc1.Majors.Since", "sc2.Majors.Since"),
+    ]:
+        s.registry.declare_equivalent(first, second)
+    for first, second, code in PAPER_ASSERTION_CODES:
+        s.object_network.specify(
+            ObjectRef.parse(first), ObjectRef.parse(second), code
+        )
+    for first, second, code in PAPER_RELATIONSHIP_CODES:
+        s.relationship_network.specify(
+            ObjectRef.parse(first), ObjectRef.parse(second), code
+        )
+    s.integrate()
+    return s
+
+
+class TestRoundTrip:
+    def test_schemas_survive(self, full_session, tmp_path):
+        path = tmp_path / "s.json"
+        full_session.save(path)
+        restored = ToolSession.load(path)
+        assert schema_to_dict(restored.schema("sc1")) == schema_to_dict(
+            build_sc1()
+        )
+
+    def test_equivalences_survive(self, full_session, tmp_path):
+        path = tmp_path / "s.json"
+        full_session.save(path)
+        restored = ToolSession.load(path)
+        members = {
+            str(m)
+            for m in restored.registry.class_members("sc1.Student.Name")
+        }
+        assert members == {
+            "sc1.Student.Name",
+            "sc2.Faculty.Name",
+            "sc2.Grad_student.Name",
+        }
+
+    def test_dda_assertions_survive_but_implicit_rederived(
+        self, full_session, tmp_path
+    ):
+        path = tmp_path / "s.json"
+        full_session.save(path)
+        restored = ToolSession.load(path)
+        from repro.assertions.kinds import Source
+
+        dda = [
+            a
+            for a in restored.object_network.specified_assertions()
+            if a.source is Source.DDA
+        ]
+        assert len(dda) == 3
+
+    def test_result_survives(self, full_session, tmp_path):
+        path = tmp_path / "s.json"
+        full_session.save(path)
+        restored = ToolSession.load(path)
+        assert restored.result is not None
+        assert schema_to_dict(restored.result.schema) == schema_to_dict(
+            full_session.result.schema
+        )
+
+    def test_reintegration_after_restore_matches(self, full_session, tmp_path):
+        path = tmp_path / "s.json"
+        full_session.save(path)
+        restored = ToolSession.load(path)
+        restored.select_pair("sc1", "sc2")
+        again = restored.integrate()
+        assert schema_to_dict(again.schema) == schema_to_dict(
+            full_session.result.schema
+        )
+
+    def test_restore_in_place(self, full_session, tmp_path):
+        path = tmp_path / "s.json"
+        full_session.save(path)
+        target = ToolSession()
+        target.restore_from(path)
+        assert set(target.schemas) == {"sc1", "sc2"}
+        assert target.selected_pair is None

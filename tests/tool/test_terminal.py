@@ -1,0 +1,68 @@
+"""Tests for the virtual terminal."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.tool.terminal import VirtualTerminal
+
+
+class TestGeometry:
+    def test_defaults(self):
+        terminal = VirtualTerminal()
+        assert terminal.width == 80
+        assert terminal.height == 24
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ToolError):
+            VirtualTerminal(width=10, height=24)
+        with pytest.raises(ToolError):
+            VirtualTerminal(width=80, height=2)
+
+
+class TestWriting:
+    def test_write_and_render(self):
+        terminal = VirtualTerminal()
+        terminal.write_row(0, "hello")
+        text = terminal.render()
+        assert text.splitlines()[0] == "hello"
+        assert len(text.splitlines()) == 24
+
+    def test_rows_clipped_to_width(self):
+        terminal = VirtualTerminal(width=20, height=5)
+        terminal.write_row(0, "x" * 50)
+        assert terminal.render().splitlines()[0] == "x" * 20
+
+    def test_out_of_range_rows_ignored(self):
+        terminal = VirtualTerminal(width=20, height=5)
+        terminal.write_row(99, "invisible")
+        terminal.write_row(-1, "invisible")
+        assert "invisible" not in terminal.render()
+
+    def test_clear(self):
+        terminal = VirtualTerminal()
+        terminal.write_row(3, "junk")
+        terminal.clear()
+        assert "junk" not in terminal.render()
+
+
+class TestScreens:
+    def test_headers_centred(self):
+        terminal = VirtualTerminal(width=40, height=10)
+        terminal.show_screen("HEADER", "Sub", ["body line"])
+        lines = terminal.render().splitlines()
+        assert lines[0].strip() == "HEADER"
+        assert lines[1].strip() == "< Sub >"
+        assert lines[3] == "body line"
+
+    def test_truncation_marker(self):
+        terminal = VirtualTerminal(width=40, height=6)
+        terminal.show_screen("H", "S", [f"line {i}" for i in range(20)])
+        lines = terminal.render().splitlines()
+        assert lines[-1].startswith("-- more --")
+
+    def test_visible_text_drops_blank_rows(self):
+        terminal = VirtualTerminal()
+        terminal.show_screen("H", "S", ["a", "", "b"])
+        visible = terminal.visible_text()
+        assert "a\n" in visible and "b\n" in visible
+        assert "\n\n" not in visible

@@ -1,0 +1,125 @@
+"""Tests for the hierarchical → ECR translator."""
+
+import pytest
+
+from repro.ecr.validation import validate_schema
+from repro.errors import TranslationError
+from repro.translate.hierarchical import (
+    Field,
+    HierarchicalSchema,
+    RecordType,
+    translate_hierarchical,
+)
+
+
+@pytest.fixture
+def ims():
+    return HierarchicalSchema(
+        "ims",
+        [
+            RecordType("Dept", [Field("Dno", "char", True), Field("Dname")]),
+            RecordType("Emp", [Field("Eno", "char", True)], parent="Dept"),
+            RecordType("Dependent", [Field("Dep_name")], parent="Emp"),
+            RecordType(
+                "Project",
+                [Field("Pno", "char", True)],
+                parent="Dept",
+                virtual_parents=["Emp"],
+            ),
+        ],
+    )
+
+
+class TestTranslation:
+    def test_records_become_entities(self, ims):
+        schema = translate_hierarchical(ims)
+        assert {e.name for e in schema.entity_sets()} == {
+            "Dept",
+            "Emp",
+            "Dependent",
+            "Project",
+        }
+
+    def test_parent_child_relationships(self, ims):
+        schema = translate_hierarchical(ims)
+        rel = schema.relationship_set("Dept_Emp")
+        legs = {leg.object_name: str(leg.cardinality) for leg in rel.participations}
+        assert legs == {"Dept": "(0,n)", "Emp": "(1,1)"}
+
+    def test_virtual_parent_gets_own_relationship(self, ims):
+        schema = translate_hierarchical(ims)
+        assert "Dept_Project" in schema
+        assert "Emp_Project_v1" in schema
+
+    def test_first_field_keyed_when_no_explicit_key(self, ims):
+        schema = translate_hierarchical(ims)
+        dependent = schema.entity_set("Dependent")
+        assert dependent.attribute("Dep_name").is_key
+
+    def test_explicit_key_respected(self, ims):
+        schema = translate_hierarchical(ims)
+        dept = schema.entity_set("Dept")
+        assert dept.attribute("Dno").is_key
+        assert not dept.attribute("Dname").is_key
+
+    def test_result_is_valid(self, ims):
+        schema = translate_hierarchical(ims)
+        assert not any(i.is_error for i in validate_schema(schema))
+
+
+class TestErrors:
+    def test_unknown_parent(self):
+        source = HierarchicalSchema(
+            "h", [RecordType("A", [Field("x")], parent="Ghost")]
+        )
+        with pytest.raises(TranslationError):
+            translate_hierarchical(source)
+
+    def test_parent_cycle(self):
+        source = HierarchicalSchema(
+            "h",
+            [
+                RecordType("A", [Field("x")], parent="B"),
+                RecordType("B", [Field("y")], parent="A"),
+            ],
+        )
+        with pytest.raises(TranslationError):
+            translate_hierarchical(source)
+
+    def test_record_without_fields(self):
+        source = HierarchicalSchema("h", [RecordType("A", [])])
+        with pytest.raises(TranslationError):
+            translate_hierarchical(source)
+
+    def test_record_lookup(self):
+        source = HierarchicalSchema("h", [RecordType("A", [Field("x")])])
+        assert source.record("A").name == "A"
+        with pytest.raises(TranslationError):
+            source.record("Ghost")
+
+
+class TestPipelineIntegrationOfTranslatedSchemas:
+    def test_translated_schema_feeds_the_integrator(self, ims):
+        """The future-work pipeline: translate, then integrate."""
+        from repro.assertions.network import AssertionNetwork
+        from repro.ecr.builder import SchemaBuilder
+        from repro.ecr.schema import ObjectRef
+        from repro.equivalence.registry import EquivalenceRegistry
+        from repro.integration.integrator import integrate_pair
+
+        translated = translate_hierarchical(ims)
+        ecr_view = (
+            SchemaBuilder("view")
+            .entity("Employee", attrs=[("Eno", "char", True), ("Phone", "char")])
+            .build()
+        )
+        registry = EquivalenceRegistry([translated, ecr_view])
+        registry.declare_equivalent("ims.Emp.Eno", "view.Employee.Eno")
+        network = AssertionNetwork()
+        network.seed_schema(translated)
+        network.seed_schema(ecr_view)
+        network.specify(ObjectRef("ims", "Emp"), ObjectRef("view", "Employee"), 1)
+        result = integrate_pair(registry, network, "ims", "view")
+        merged = result.node_for(ObjectRef("ims", "Emp"))
+        assert merged == result.node_for(ObjectRef("view", "Employee"))
+        assert "D_Eno" in result.schema.get(merged).attribute_names()

@@ -1,0 +1,147 @@
+"""Tests for the relational → ECR translator."""
+
+import pytest
+
+from repro.ecr.validation import validate_schema
+from repro.errors import TranslationError
+from repro.translate.relational import (
+    Column,
+    ForeignKey,
+    RelationalSchema,
+    Table,
+    translate_relational,
+)
+
+
+@pytest.fixture
+def university():
+    return RelationalSchema(
+        "uni",
+        [
+            Table(
+                "Student",
+                [
+                    Column("Sid", "char", True, False),
+                    Column("Name", "char"),
+                ],
+            ),
+            Table(
+                "Course",
+                [
+                    Column("Cno", "char", True, False),
+                    Column("Title", "char"),
+                ],
+            ),
+            Table(
+                "Grad",
+                [
+                    Column("Sid", "char", True, False),
+                    Column("Thesis", "char"),
+                ],
+                [ForeignKey(("Sid",), "Student")],
+            ),
+            Table(
+                "Enrolled",
+                [
+                    Column("Sid", "char", True, False),
+                    Column("Cno", "char", True, False),
+                    Column("Grade", "char"),
+                ],
+                [
+                    ForeignKey(("Sid",), "Student"),
+                    ForeignKey(("Cno",), "Course"),
+                ],
+            ),
+            Table(
+                "Advises",
+                [
+                    Column("Aid", "char", True, False),
+                    Column("Sid", "char", nullable=False),
+                    Column("Note", "char"),
+                ],
+                [ForeignKey(("Sid",), "Student")],
+            ),
+        ],
+    )
+
+
+class TestRules:
+    def test_plain_tables_become_entities(self, university):
+        schema = translate_relational(university)
+        entities = {e.name for e in schema.entity_sets()}
+        assert {"Student", "Course", "Advises"} <= entities
+
+    def test_subtype_table_becomes_category(self, university):
+        schema = translate_relational(university)
+        grad = schema.category("Grad")
+        assert grad.parents == ["Student"]
+        assert grad.attribute_names() == ["Thesis"]  # PK/FK columns consumed
+
+    def test_junction_table_becomes_relationship(self, university):
+        schema = translate_relational(university)
+        enrolled = schema.relationship_set("Enrolled")
+        assert set(enrolled.participant_names()) == {"Student", "Course"}
+        assert enrolled.attribute_names() == ["Grade"]
+
+    def test_plain_foreign_key_becomes_relationship(self, university):
+        schema = translate_relational(university)
+        fk_rel = schema.relationship_set("Advises_Sid")
+        legs = {leg.object_name: leg for leg in fk_rel.participations}
+        assert set(legs) == {"Advises", "Student"}
+        # NOT NULL FK → mandatory (1,1) on the owning side
+        assert str(legs["Advises"].cardinality) == "(1,1)"
+        assert str(legs["Student"].cardinality) == "(0,n)"
+
+    def test_nullable_foreign_key_is_optional(self):
+        source = RelationalSchema(
+            "s",
+            [
+                Table("A", [Column("Id", "char", True, False)]),
+                Table(
+                    "B",
+                    [
+                        Column("Id", "char", True, False),
+                        Column("A_id", "char", nullable=True),
+                    ],
+                    [ForeignKey(("A_id",), "A")],
+                ),
+            ],
+        )
+        schema = translate_relational(source)
+        leg = schema.relationship_set("B_A_id").participation_for("B")
+        assert str(leg.cardinality) == "(0,1)"
+
+    def test_pk_columns_kept_as_key_attributes(self, university):
+        schema = translate_relational(university)
+        assert schema.entity_set("Student").attribute("Sid").is_key
+
+    def test_result_is_valid(self, university):
+        schema = translate_relational(university)
+        assert not any(i.is_error for i in validate_schema(schema))
+
+
+class TestErrors:
+    def test_dangling_fk_rejected(self):
+        source = RelationalSchema(
+            "s",
+            [
+                Table(
+                    "A",
+                    [Column("Id", "char", True, False)],
+                    [ForeignKey(("Id",), "Ghost")],
+                )
+            ],
+        )
+        with pytest.raises(TranslationError):
+            translate_relational(source)
+
+    def test_empty_fk_rejected(self):
+        with pytest.raises(TranslationError):
+            ForeignKey((), "A")
+
+    def test_table_lookup(self, university):
+        assert university.table("Student").name == "Student"
+        with pytest.raises(TranslationError):
+            university.table("Ghost")
+        with pytest.raises(TranslationError):
+            university.table("Student").column("Ghost")

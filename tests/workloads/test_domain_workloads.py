@@ -1,0 +1,77 @@
+"""Tests for the hospital and airline domain workloads."""
+
+from repro.ecr.validation import validate_schema
+from repro.integration.nary import integrate_all
+from repro.workloads.domains import (
+    airline_ground_truth,
+    build_airline_operations,
+    build_airline_reservations,
+    build_hospital_admissions,
+    build_hospital_clinic,
+    hospital_ground_truth,
+)
+
+
+class TestHospital:
+    def test_schemas_valid(self):
+        for factory in (build_hospital_admissions, build_hospital_clinic):
+            assert not any(
+                issue.is_error for issue in validate_schema(factory())
+            )
+
+    def test_truth_refs_resolve(self):
+        schemas = {
+            schema.name: schema
+            for schema in (build_hospital_admissions(), build_hospital_clinic())
+        }
+        truth = hospital_ground_truth()
+        for first, second in truth.attribute_pairs:
+            for ref in (first, second):
+                schemas[ref.schema].resolve_attribute(ref)
+
+    def test_federation_builds_global_schema(self):
+        result, mappings = integrate_all(
+            [build_hospital_admissions(), build_hospital_clinic()],
+            hospital_ground_truth(),
+        )
+        schema = result.schema
+        # Patient ⊂ Person: Patient becomes a category of Person
+        assert schema.category("Patient").parents == ["Person"]
+        # the shared medical staff merged into one class
+        assert mappings["adm"].map_object("Physician") == mappings[
+            "cli"
+        ].map_object("Doctor")
+        # overlap of in/outpatients produced a derived parent
+        derived = [node.name for node in result.derived_parent_nodes()]
+        assert any(name.startswith("D_Inpa") for name in derived)
+
+
+class TestAirline:
+    def test_schemas_valid(self):
+        for factory in (build_airline_reservations, build_airline_operations):
+            assert not any(
+                issue.is_error for issue in validate_schema(factory())
+            )
+
+    def test_view_integration(self):
+        result, mappings = integrate_all(
+            [build_airline_reservations(), build_airline_operations()],
+            airline_ground_truth(),
+        )
+        flight = mappings["res"].map_object("Flight")
+        assert flight.startswith("E_")
+        merged = result.schema.get(flight)
+        # merged Flight carries attributes from both views
+        names = set(merged.attribute_names())
+        assert "Aircraft_type" in names
+        assert any(name.startswith("D_") for name in names)
+        # passengers/crew disjoint-integrable under a derived parent
+        assert result.derived_parent_nodes()
+
+    def test_operations_category_preserved(self):
+        result, _ = integrate_all(
+            [build_airline_reservations(), build_airline_operations()],
+            airline_ground_truth(),
+        )
+        international = result.schema.category("International_flight")
+        assert international.parents[0].startswith("E_")

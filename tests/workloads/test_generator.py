@@ -1,0 +1,179 @@
+"""Tests for the synthetic schema-pair generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecr.ddl import to_ddl
+from repro.ecr.validation import validate_schema
+from repro.errors import SchemaError
+from repro.workloads.generator import GeneratorConfig, generate_schema_pair
+
+
+class TestConfigValidation:
+    def test_defaults_ok(self):
+        GeneratorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"concepts": 1},
+            {"overlap": 1.5},
+            {"overlap": -0.1},
+            {"attributes_per_concept": (0, 3)},
+            {"attributes_per_concept": (4, 2)},
+            {"equal_rate": 0.8, "contain_rate": 0.8},
+        ],
+    )
+    def test_bad_configs(self, kwargs):
+        with pytest.raises(SchemaError):
+            GeneratorConfig(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        config = GeneratorConfig(seed=7, concepts=10, overlap=0.5)
+        first = generate_schema_pair(config)
+        second = generate_schema_pair(config)
+        assert to_ddl(first.first) == to_ddl(second.first)
+        assert to_ddl(first.second) == to_ddl(second.second)
+        assert first.truth.object_assertions == second.truth.object_assertions
+        assert first.truth.attribute_pairs == second.truth.attribute_pairs
+
+    def test_different_seeds_differ(self):
+        a = generate_schema_pair(GeneratorConfig(seed=1))
+        b = generate_schema_pair(GeneratorConfig(seed=2))
+        assert to_ddl(a.first) != to_ddl(b.first)
+
+
+class TestGroundTruthConsistency:
+    def test_truth_refs_exist_in_schemas(self):
+        pair = generate_schema_pair(GeneratorConfig(seed=5, concepts=12))
+        schemas = {pair.first.name: pair.first, pair.second.name: pair.second}
+        for first, second in pair.truth.attribute_pairs:
+            for ref in (first, second):
+                schemas[ref.schema].resolve_attribute(ref)
+        for (a, b) in pair.truth.object_assertions:
+            schemas[a.schema].get(a.object_name)
+            schemas[b.schema].get(b.object_name)
+
+    def test_overlap_controls_shared_concepts(self):
+        none = generate_schema_pair(GeneratorConfig(seed=3, overlap=0.0))
+        assert len(none.truth.object_assertions) == 0
+        full = generate_schema_pair(GeneratorConfig(seed=3, overlap=1.0))
+        assert len(full.truth.object_assertions) == full.config.concepts
+
+    def test_schemas_are_valid(self):
+        for seed in range(4):
+            pair = generate_schema_pair(GeneratorConfig(seed=seed))
+            for schema in (pair.first, pair.second):
+                assert not any(
+                    issue.is_error for issue in validate_schema(schema)
+                )
+
+    def test_name_hint_rate_zero_renames_everything_possible(self):
+        pair = generate_schema_pair(
+            GeneratorConfig(seed=11, overlap=1.0, name_hint_rate=0.0)
+        )
+        same_names = [
+            (a, b)
+            for a, b in pair.truth.attribute_pairs
+            if a.attribute == b.attribute
+        ]
+        # with rate 0 almost everything is renamed (collisions aside)
+        assert len(same_names) <= len(pair.truth.attribute_pairs) * 0.2
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.integers(0, 1000),
+    st.integers(2, 14),
+    st.floats(0.0, 1.0),
+)
+def test_generator_never_builds_invalid_schemas(seed, concepts, overlap):
+    pair = generate_schema_pair(
+        GeneratorConfig(seed=seed, concepts=concepts, overlap=overlap)
+    )
+    for schema in (pair.first, pair.second):
+        assert not any(issue.is_error for issue in validate_schema(schema))
+    # equivalences always span the two schemas
+    for first, second in pair.truth.attribute_pairs:
+        assert {first.schema, second.schema} == {
+            pair.first.name,
+            pair.second.name,
+        }
+
+
+class TestSharedRelationships:
+    def test_disabled_by_default(self):
+        pair = generate_schema_pair(GeneratorConfig(seed=4))
+        assert pair.truth.relationship_assertions == {}
+
+    def test_shared_relationships_span_both_schemas(self):
+        pair = generate_schema_pair(
+            GeneratorConfig(
+                seed=4, concepts=12, overlap=0.8, shared_relationship_rate=0.9
+            )
+        )
+        assert pair.truth.relationship_assertions
+        for (a, b), kind in pair.truth.relationship_assertions.items():
+            assert {a.schema, b.schema} == {pair.first.name, pair.second.name}
+            # both projections exist and connect the same concept names
+            rel_a = generate_relationship(pair, a)
+            rel_b = generate_relationship(pair, b)
+            assert rel_a.participant_names() == rel_b.participant_names()
+
+    def test_shared_relationship_attributes_in_truth(self):
+        pair = generate_schema_pair(
+            GeneratorConfig(
+                seed=4, concepts=12, overlap=0.8, shared_relationship_rate=0.9
+            )
+        )
+        relationship_names = {
+            a.object_name for a, _ in pair.truth.relationship_assertions
+        }
+        covered = {
+            ref.object_name
+            for refs in pair.truth.attribute_pairs
+            for ref in refs
+            if ref.object_name in relationship_names
+        }
+        assert covered == relationship_names
+
+    def test_integration_merges_shared_relationships(self):
+        from repro.assertions.network import AssertionNetwork
+        from repro.baselines.closure_baselines import (
+            drive_assertions_with_closure,
+        )
+        from repro.ecr.schema import ObjectRef
+        from repro.equivalence.registry import EquivalenceRegistry
+        from repro.integration.integrator import Integrator
+        from repro.workloads.oracle import OracleDda
+
+        pair = generate_schema_pair(
+            GeneratorConfig(
+                seed=4, concepts=12, overlap=0.8, shared_relationship_rate=0.9
+            )
+        )
+        registry = EquivalenceRegistry([pair.first, pair.second])
+        OracleDda(pair.truth).declare_all_equivalences(registry)
+        network, _ = drive_assertions_with_closure(
+            pair.first, pair.second, pair.truth
+        )
+        rel_network = AssertionNetwork()
+        for schema in (pair.first, pair.second):
+            for relationship in schema.relationship_sets():
+                rel_network.add_object(
+                    ObjectRef(schema.name, relationship.name)
+                )
+        for (a, b), kind in pair.truth.relationship_assertions.items():
+            rel_network.specify(a, b, kind)
+        result = Integrator(registry, network, rel_network).integrate(
+            pair.first.name, pair.second.name
+        )
+        for (a, b) in pair.truth.relationship_assertions:
+            assert result.object_mapping[a] == result.object_mapping[b]
+
+
+def generate_relationship(pair, ref):
+    schema = pair.first if ref.schema == pair.first.name else pair.second
+    return schema.relationship_set(ref.object_name)

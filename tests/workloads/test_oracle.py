@@ -1,0 +1,115 @@
+"""Tests for the ground truth and the oracle DDA."""
+
+import pytest
+
+from repro.assertions.kinds import AssertionKind
+from repro.ecr.attributes import AttributeRef
+from repro.ecr.schema import ObjectRef
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.workloads.oracle import GroundTruth, OracleDda
+from repro.workloads.university import build_sc1, build_sc2
+
+
+@pytest.fixture
+def truth():
+    t = GroundTruth()
+    t.add_attribute_pair("sc1.Student.Name", "sc2.Grad_student.Name")
+    t.add_object_assertion(
+        "sc1.Student", "sc2.Grad_student", AssertionKind.CONTAINS
+    )
+    t.add_object_assertion(
+        "sc1.Majors", "sc2.Majors", AssertionKind.EQUALS, relationship=True
+    )
+    return t
+
+
+class TestGroundTruth:
+    def test_attribute_pairs_unordered(self, truth):
+        assert truth.attributes_equivalent(
+            AttributeRef("sc2", "Grad_student", "Name"),
+            AttributeRef("sc1", "Student", "Name"),
+        )
+
+    def test_assertion_orientation(self, truth):
+        forward = truth.assertion_between(
+            ObjectRef("sc1", "Student"), ObjectRef("sc2", "Grad_student")
+        )
+        backward = truth.assertion_between(
+            ObjectRef("sc2", "Grad_student"), ObjectRef("sc1", "Student")
+        )
+        assert forward is AssertionKind.CONTAINS
+        assert backward is AssertionKind.CONTAINED_IN
+
+    def test_orientation_preserved_when_key_swaps(self):
+        t = GroundTruth()
+        # first > second lexicographically, forcing a canonical swap
+        t.add_object_assertion("zz.B", "aa.A", AssertionKind.CONTAINED_IN)
+        assert (
+            t.assertion_between(ObjectRef("zz", "B"), ObjectRef("aa", "A"))
+            is AssertionKind.CONTAINED_IN
+        )
+        assert (
+            t.assertion_between(ObjectRef("aa", "A"), ObjectRef("zz", "B"))
+            is AssertionKind.CONTAINS
+        )
+
+    def test_default_is_nonintegrable(self, truth):
+        kind = truth.assertion_between(
+            ObjectRef("sc1", "Department"), ObjectRef("sc2", "Faculty")
+        )
+        assert kind is AssertionKind.DISJOINT_NONINTEGRABLE
+
+    def test_relationship_table_separate(self, truth):
+        kind = truth.assertion_between(
+            ObjectRef("sc1", "Majors"),
+            ObjectRef("sc2", "Majors"),
+            relationship=True,
+        )
+        assert kind is AssertionKind.EQUALS
+        assert (
+            truth.assertion_between(
+                ObjectRef("sc1", "Majors"), ObjectRef("sc2", "Majors")
+            )
+            is AssertionKind.DISJOINT_NONINTEGRABLE
+        )
+
+    def test_integrable_pairs(self, truth):
+        assert truth.integrable_pairs() == [
+            (ObjectRef("sc1", "Student"), ObjectRef("sc2", "Grad_student"))
+        ]
+        assert len(truth.integrable_pairs(relationship=True)) == 1
+
+
+class TestOracle:
+    def test_declare_all_equivalences(self, truth):
+        registry = EquivalenceRegistry([build_sc1(), build_sc2()])
+        oracle = OracleDda(truth)
+        declared = oracle.declare_all_equivalences(registry)
+        assert declared == 1
+        assert registry.are_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+
+    def test_review_answers(self, truth):
+        oracle = OracleDda(truth)
+        assert oracle.review_attribute_pair(
+            AttributeRef("sc1", "Student", "Name"),
+            AttributeRef("sc2", "Grad_student", "Name"),
+        )
+        assert not oracle.review_attribute_pair(
+            AttributeRef("sc1", "Student", "GPA"),
+            AttributeRef("sc2", "Grad_student", "GPA"),
+        )
+        kind = oracle.review_object_pair(
+            ObjectRef("sc2", "Grad_student"), ObjectRef("sc1", "Student")
+        )
+        assert kind is AssertionKind.CONTAINED_IN
+
+    def test_is_true_correspondence(self, truth):
+        oracle = OracleDda(truth)
+        assert oracle.is_true_correspondence(
+            ObjectRef("sc1", "Student"), ObjectRef("sc2", "Grad_student")
+        )
+        assert not oracle.is_true_correspondence(
+            ObjectRef("sc1", "Student"), ObjectRef("sc2", "Faculty")
+        )

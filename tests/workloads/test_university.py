@@ -1,0 +1,83 @@
+"""Tests pinning the paper workload to the published artifacts."""
+
+from repro.assertions.kinds import AssertionKind, Source
+from repro.ecr.validation import validate_schema
+from repro.workloads.university import (
+    PAPER_ASSERTION_CODES,
+    PAPER_RELATIONSHIP_CODES,
+    build_sc1,
+    build_sc2,
+    build_sc3,
+    build_sc4,
+    paper_assertions,
+    paper_candidate_pairs,
+    paper_registry,
+)
+
+
+class TestInputSchemas:
+    def test_sc1_matches_screen3(self):
+        """Screen 3 lists Student (2 attrs), Department (1), Majors (1)."""
+        sc1 = build_sc1()
+        assert len(sc1.get("Student").attributes) == 2
+        assert len(sc1.get("Department").attributes) == 1
+        assert len(sc1.get("Majors").attributes) == 1
+
+    def test_sc1_student_matches_screen5(self):
+        """Screen 5: Name char key, GPA real non-key."""
+        student = build_sc1().entity_set("Student")
+        name = student.attribute("Name")
+        gpa = student.attribute("GPA")
+        assert name.is_key and str(name.domain) == "char"
+        assert not gpa.is_key and str(gpa.domain) == "real"
+
+    def test_sc2_grad_student_matches_screen7(self):
+        """Screen 7 lists Name, GPA, Support_type on sc2.Grad_student."""
+        grad = build_sc2().entity_set("Grad_student")
+        assert grad.attribute_names() == ["Name", "GPA", "Support_type"]
+
+    def test_all_paper_schemas_valid(self):
+        for factory in (build_sc1, build_sc2, build_sc3, build_sc4):
+            assert not any(
+                issue.is_error for issue in validate_schema(factory())
+            )
+
+    def test_sc4_has_grad_category(self):
+        sc4 = build_sc4()
+        assert sc4.category("Grad_student").parents == ["Student"]
+
+
+class TestPaperPhases:
+    def test_candidate_ratios(self):
+        ratios = [round(p.attribute_ratio, 4) for p in paper_candidate_pairs()]
+        assert ratios == [0.5, 0.5, 0.3333]
+
+    def test_assertion_codes_cover_three_kinds(self):
+        codes = {code for _, _, code in PAPER_ASSERTION_CODES}
+        assert codes == {
+            AssertionKind.EQUALS.code,
+            AssertionKind.CONTAINS.code,
+            AssertionKind.DISJOINT_INTEGRABLE.code,
+        }
+
+    def test_network_derives_faculty_grad_disjointness(self):
+        network = paper_assertions()
+        derived = [
+            assertion
+            for assertion in network.derived_assertions()
+            if assertion.source is Source.DERIVED
+        ]
+        pairs = {
+            frozenset((str(a.first), str(a.second))) for a in derived
+        }
+        assert frozenset(("sc2.Faculty", "sc2.Grad_student")) in pairs
+
+    def test_relationship_codes(self):
+        assert PAPER_RELATIONSHIP_CODES == [("sc1.Majors", "sc2.Majors", 1)]
+
+    def test_registry_reusable_across_helpers(self):
+        registry = paper_registry()
+        pairs = paper_candidate_pairs(registry)
+        network = paper_assertions(registry)
+        assert len(pairs) == 3
+        assert len(network.specified_assertions()) == 3
