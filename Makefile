@@ -1,0 +1,31 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test test-deprecations bench-smoke bench example
+
+## Tier-1: the full unit/integration/e2e suite.
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Same suite with DeprecationWarning promoted to an error: proves every
+## in-repo caller is off the deprecated surfaces (direct matrix
+## construction, positional option arguments).
+test-deprecations:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -W error::DeprecationWarning
+
+## Quick benchmark smoke: the closure and equivalence-screen workloads,
+## then the counter recording to BENCH_incremental.json.
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		benchmarks/bench_exp_closure.py \
+		benchmarks/bench_screens_equivalence.py \
+		--benchmark-disable-gc --benchmark-warmup=off
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_incremental.py
+
+## The full experiment harness (slow).
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q benchmarks -s
+
+## The paper's running example, end to end.
+example:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/university_integration.py

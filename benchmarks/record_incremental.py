@@ -1,0 +1,165 @@
+"""Record the incremental engine's counters to BENCH_incremental.json.
+
+Replays the two instrumented workloads — the EXP-CLO retract comparison
+(``bench_exp_closure.py``) and the Screen 6/7 equivalence session
+(``bench_screens_equivalence.py``) — through the incremental engine and
+writes every :class:`~repro.instrumentation.AnalysisCounters` snapshot,
+plus the incremental-vs-full-rebuild ratios, to ``BENCH_incremental.json``
+at the repository root.
+
+Run:  PYTHONPATH=src python benchmarks/record_incremental.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.assertions.kinds import Source  # noqa: E402
+from repro.assertions.network import AssertionNetwork  # noqa: E402
+from repro.baselines.closure_baselines import (  # noqa: E402
+    drive_assertions_with_closure,
+)
+from repro.equivalence.registry import EquivalenceRegistry  # noqa: E402
+from repro.equivalence.session import AnalysisSession  # noqa: E402
+from repro.tool.app import run_script  # noqa: E402
+from repro.tool.session import ToolSession  # noqa: E402
+from repro.workloads.generator import (  # noqa: E402
+    GeneratorConfig,
+    generate_schema_pair,
+)
+from repro.workloads.oracle import OracleDda  # noqa: E402
+from repro.workloads.university import build_sc1, build_sc2  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+SCREENS_SCRIPT = [
+    "2", "sc1 sc2",
+    "Student Grad_student", "A Name Name", "A GPA GPA", "E",
+    "Student Faculty", "A Name Name", "E",
+    "Department Department", "A Name Name", "E",
+    "E",
+    "E",
+]
+
+
+def record_closure_retract() -> dict:
+    """The EXP-CLO single-retract comparison, incremental vs. rebuild."""
+    pair = generate_schema_pair(
+        GeneratorConfig(seed=17, concepts=16, overlap=0.6, category_rate=0.5)
+    )
+    incremental, _ = drive_assertions_with_closure(
+        pair.first, pair.second, pair.truth
+    )
+    baseline = AssertionNetwork(incremental=False)
+    for ref in incremental.objects():
+        baseline.add_object(ref)
+    for assertion in incremental.specified_assertions():
+        baseline.specify(
+            assertion.first, assertion.second, assertion.kind,
+            assertion.source, assertion.note,
+        )
+    specified = [
+        a for a in incremental.specified_assertions() if a.source is Source.DDA
+    ]
+    target = specified[len(specified) // 2]
+    incremental.counters.reset()
+    baseline.counters.reset()
+    started = time.perf_counter()
+    incremental.retract(target.first, target.second)
+    incremental_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    baseline.retract(target.first, target.second)
+    baseline_seconds = time.perf_counter() - started
+    steps_ratio = incremental.counters.propagation_steps / max(
+        1, baseline.counters.propagation_steps
+    )
+    return {
+        "workload": "bench_exp_closure (concepts=16, one retract)",
+        "incremental": incremental.counters.snapshot(),
+        "full_rebuild": baseline.counters.snapshot(),
+        "propagation_steps_ratio": round(steps_ratio, 4),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "full_rebuild_seconds": round(baseline_seconds, 6),
+    }
+
+
+def record_ocs_edit() -> dict:
+    """One Screen 7 edit against a warmed OCS view vs. a cold rebuild."""
+    pair = generate_schema_pair(
+        GeneratorConfig(seed=17, concepts=16, overlap=0.6, category_rate=0.5)
+    )
+    registry = EquivalenceRegistry([pair.first, pair.second])
+    OracleDda(pair.truth).declare_all_equivalences(registry)
+    ocs = registry.ocs(pair.first.name, pair.second.name)
+    ocs.as_counts()
+    edited = sorted(pair.truth.attribute_pairs)[0][0]
+    registry.remove_from_class(edited)
+    registry.counters.reset()
+    ocs.as_counts()
+    total_cells = len(ocs.rows) * len(ocs.columns)
+    return {
+        "workload": "bench_exp_closure registry (one equivalence edit)",
+        "incremental": registry.counters.snapshot(),
+        "full_rebuild_cells": total_cells,
+        "ocs_cells_ratio": round(
+            registry.counters.ocs_cells_recomputed / max(1, total_cells), 4
+        ),
+    }
+
+
+def record_screens_session() -> dict:
+    """The Screen 6/7 script of bench_screens_equivalence, with counters."""
+    session = ToolSession()
+    session.adopt_schema(build_sc1())
+    session.adopt_schema(build_sc2())
+    session.analysis.reset_counters()
+    run_script(SCREENS_SCRIPT, session)
+    return {
+        "workload": "bench_screens_equivalence (Screens 6-7 script)",
+        "counters": session.analysis.counters_snapshot(),
+    }
+
+
+def record_facade_flow() -> dict:
+    """The paper's sc1/sc2 flow via AnalysisSession, end to end."""
+    session = AnalysisSession([build_sc1(), build_sc2()])
+    session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+    session.declare_equivalent("sc1.Student.Name", "sc2.Faculty.Name")
+    session.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+    session.declare_equivalent("sc1.Department.Name", "sc2.Department.Name")
+    session.declare_equivalent("sc1.Majors.Since", "sc2.Majors.Since")
+    session.candidate_pairs("sc1", "sc2")
+    session.candidate_pairs("sc1", "sc2")  # second read: served from cache
+    session.specify("sc1.Department", "sc2.Department", 1)
+    session.specify("sc1.Student", "sc2.Grad_student", 3)
+    session.specify("sc1.Student", "sc2.Faculty", 4)
+    session.retract("sc1.Student", "sc2.Faculty")
+    return {
+        "workload": "AnalysisSession paper flow (sc1/sc2)",
+        "counters": session.counters_snapshot(),
+    }
+
+
+def main() -> None:
+    report = {
+        "description": (
+            "Instrumentation counters for the incremental analysis engine; "
+            "see docs/API.md and benchmarks/bench_exp_closure.py"
+        ),
+        "closure_retract": record_closure_retract(),
+        "ocs_edit": record_ocs_edit(),
+        "screens_session": record_screens_session(),
+        "facade_flow": record_facade_flow(),
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

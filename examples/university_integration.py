@@ -10,8 +10,6 @@ Run:  python examples/university_integration.py
 from repro import ascii_diagram, dot_diagram
 from repro.assertions.matrix import render_assertion_matrix
 from repro.ecr.diagram import side_by_side
-from repro.equivalence.acs import AcsMatrix
-from repro.equivalence.ocs import OcsMatrix
 from repro.equivalence.ordering import render_screen8_rows
 from repro.integration import Integrator, build_mappings
 from repro.workloads.university import (
@@ -34,8 +32,8 @@ def main() -> None:
     print(side_by_side(ascii_diagram(sc1), ascii_diagram(sc2)))
 
     print("=== Phase 2: ACS and OCS matrices ===")
-    print(AcsMatrix(registry, "sc1", "sc2").render())
-    print(OcsMatrix(registry, "sc1", "sc2").render())
+    print(registry.acs("sc1", "sc2").render())
+    print(registry.ocs("sc1", "sc2").render())
 
     print("=== Phase 3: ranked candidate pairs (Screen 8) ===")
     print(render_screen8_rows(paper_candidate_pairs(registry)))

@@ -19,12 +19,11 @@ The interactive tool itself lives in :mod:`repro.tool`; the paper's
 example schemas and the synthetic workload generator in
 :mod:`repro.workloads`.
 
-Quickstart::
+Quickstart (the :class:`AnalysisSession` facade is the recommended entry
+point — it owns the registry, the memoized OCS/ACS views and the assertion
+networks, keeping them incrementally consistent)::
 
-    from repro import (
-        SchemaBuilder, EquivalenceRegistry, AssertionNetwork,
-        AssertionKind, Integrator, ObjectRef,
-    )
+    from repro import AnalysisSession, AssertionKind, SchemaBuilder
 
     sc1 = SchemaBuilder("sc1").entity(
         "Student", attrs=[("Name", "char", True), ("GPA", "real")]
@@ -33,18 +32,11 @@ Quickstart::
         "Pupil", attrs=[("Name", "char", True)]
     ).build()
 
-    registry = EquivalenceRegistry([sc1, sc2])
-    registry.declare_equivalent("sc1.Student.Name", "sc2.Pupil.Name")
+    session = AnalysisSession([sc1, sc2])
+    session.declare_equivalent("sc1.Student.Name", "sc2.Pupil.Name")
+    session.specify("sc1.Student", "sc2.Pupil", AssertionKind.EQUALS)
 
-    network = AssertionNetwork()
-    network.seed_schema(sc1)
-    network.seed_schema(sc2)
-    network.specify(
-        ObjectRef("sc1", "Student"), ObjectRef("sc2", "Pupil"),
-        AssertionKind.EQUALS,
-    )
-
-    result = Integrator(registry, network).integrate("sc1", "sc2")
+    result = session.integrate("sc1", "sc2")
     print(result.schema.summary())
 """
 
@@ -69,12 +61,15 @@ from repro.ecr import (
 )
 from repro.equivalence import (
     AcsMatrix,
+    AnalysisSession,
     CandidatePair,
     EquivalenceRegistry,
     OcsMatrix,
+    RegistryChange,
     attribute_ratio,
     ordered_object_pairs,
 )
+from repro.instrumentation import AnalysisCounters
 from repro.assertions import (
     Assertion,
     AssertionKind,
@@ -134,9 +129,12 @@ __all__ = [
     "validate_schema",
     # equivalence
     "AcsMatrix",
+    "AnalysisCounters",
+    "AnalysisSession",
     "CandidatePair",
     "EquivalenceRegistry",
     "OcsMatrix",
+    "RegistryChange",
     "attribute_ratio",
     "ordered_object_pairs",
     # assertions

@@ -1,5 +1,6 @@
-"""Metrics and report tables for the experiment harness."""
+"""Metrics, instrumentation counters and report tables for experiments."""
 
+from repro.instrumentation import AnalysisCounters
 from repro.analysis.metrics import (
     schema_size,
     SchemaSize,
@@ -11,6 +12,7 @@ from repro.analysis.report import Table
 from repro.analysis.trace import integration_report
 
 __all__ = [
+    "AnalysisCounters",
     "schema_size",
     "SchemaSize",
     "integration_effort",

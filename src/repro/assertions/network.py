@@ -14,6 +14,23 @@ singleton becomes a **derived assertion** with a recorded support chain; a
 pair narrowed to the empty set is a **conflict**, reported with the chain of
 underlying assertions exactly as the Assertion Conflict Resolution Screen
 (Screen 9) does.
+
+The network maintains itself **incrementally**, matching the tool's
+interactive loop where each DDA action touches one edge:
+
+* :meth:`specify` propagates only from the changed edge's frontier, mutating
+  the tables in place with an undo log (no whole-network copies); a conflict
+  rolls the log back, leaving the network exactly as before.
+* :meth:`retract` / :meth:`respecify` repair only the **affected
+  neighborhood**: a per-edge support index records every triangle that ever
+  narrowed a pair, the dependent closure of the retracted edge is reset, and
+  path consistency is re-run from the constrained frontier of that region —
+  the rest of the network is untouched.  (Construct the network with
+  ``incremental=False`` to force the old full-rebuild behaviour; the
+  benchmarks use it as the baseline.)
+
+Work done either way is tallied in :attr:`counters`
+(:class:`~repro.instrumentation.AnalysisCounters`).
 """
 
 from __future__ import annotations
@@ -29,17 +46,67 @@ from repro.assertions.composition import (
 )
 from repro.assertions.conflicts import ConflictReport
 from repro.assertions.kinds import AssertionKind, Relation, Source
+from repro.ecr.coerce import coerce_object_ref
 from repro.ecr.schema import ObjectRef, Schema
 from repro.errors import AssertionSpecError, ConflictError
+from repro.instrumentation import AnalysisCounters
 
 #: An oriented support: R(x, y) was narrowed by composing R(x, via), R(via, y).
 _Support = tuple[ObjectRef, ObjectRef, ObjectRef]
+
+#: Sentinel for "no entry existed before this mutation" in the undo log.
+_ABSENT = object()
+
+
+class _UndoLog:
+    """Prior state of every pair touched by one propagation run.
+
+    Propagation mutates the network tables in place; on conflict the log
+    restores them, which is what makes trial-specification cheap (the old
+    implementation copied the whole feasible table per :meth:`specify`).
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        #: pair -> (old feasible, old last support, old support-index set)
+        self._entries: dict[Pair, tuple[object, object, object]] = {}
+
+    def remember(self, network: "AssertionNetwork", pair: Pair) -> None:
+        if pair in self._entries:
+            return
+        index = network._support_index.get(pair)
+        self._entries[pair] = (
+            network._feasible.get(pair, _ABSENT),
+            network._supports.get(pair, _ABSENT),
+            set(index) if index is not None else _ABSENT,
+        )
+
+    def rollback(self, network: "AssertionNetwork") -> None:
+        for pair, (feasible, support, index) in self._entries.items():
+            if feasible is _ABSENT:
+                network._feasible.pop(pair, None)
+            else:
+                network._feasible[pair] = feasible  # type: ignore[assignment]
+            if support is _ABSENT:
+                network._supports.pop(pair, None)
+            else:
+                network._supports[pair] = support  # type: ignore[assignment]
+            if index is _ABSENT:
+                network._support_index.pop(pair, None)
+            else:
+                network._support_index[pair] = index  # type: ignore[assignment]
 
 
 class AssertionNetwork:
     """Assertions over a set of object classes, with derivation and checking."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        counters: AnalysisCounters | None = None,
+        incremental: bool = True,
+    ) -> None:
         self._objects: list[ObjectRef] = []
         self._object_set: set[ObjectRef] = set()
         #: canonical pair -> feasible relation set (missing means ALL)
@@ -50,13 +117,22 @@ class AssertionNetwork:
         self._log: list[Assertion] = []
         #: canonical pair -> oriented support triple for its last narrowing
         self._supports: dict[Pair, _Support] = {}
+        #: canonical pair -> every support triple that narrowed it since it
+        #: was last reset; the reverse reading of this index is the
+        #: dependency graph incremental retraction walks
+        self._support_index: dict[Pair, set[_Support]] = {}
         #: canonical pair -> derived assertion (singleton, not specified)
         self._derived: dict[Pair, Assertion] = {}
+        #: shared work counters (an :class:`AnalysisSession` injects its own)
+        self.counters = counters if counters is not None else AnalysisCounters()
+        #: whether retract/respecify repair incrementally (False = rebuild)
+        self.incremental = incremental
 
     # -- membership ------------------------------------------------------------
 
-    def add_object(self, ref: ObjectRef) -> None:
+    def add_object(self, ref: ObjectRef | str) -> None:
         """Register an object class as a network node (idempotent)."""
+        ref = coerce_object_ref(ref)
         if ref not in self._object_set:
             self._object_set.add(ref)
             self._objects.append(ref)
@@ -118,8 +194,12 @@ class AssertionNetwork:
 
     # -- feasible-set access ---------------------------------------------------
 
-    def feasible(self, first: ObjectRef, second: ObjectRef) -> frozenset[Relation]:
+    def feasible(
+        self, first: ObjectRef | str, second: ObjectRef | str
+    ) -> frozenset[Relation]:
         """Feasible relations between two objects, oriented first→second."""
+        first = coerce_object_ref(first)
+        second = coerce_object_ref(second)
         self._require(first)
         self._require(second)
         if first == second:
@@ -158,8 +238,8 @@ class AssertionNetwork:
 
     def specify(
         self,
-        first: ObjectRef,
-        second: ObjectRef,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
         kind: AssertionKind | int,
         source: Source = Source.DDA,
         note: str = "",
@@ -179,6 +259,8 @@ class AssertionNetwork:
         """
         if isinstance(kind, int):
             kind = AssertionKind.from_code(kind)
+        first = coerce_object_ref(first)
+        second = coerce_object_ref(second)
         self._require(first)
         self._require(second)
         if first == second:
@@ -197,16 +279,17 @@ class AssertionNetwork:
         current = self.feasible(first, second)
         if kind.relation not in current:
             raise ConflictError(self._report_for(new, current))
-        trial_feasible = dict(self._feasible)
-        trial_supports = dict(self._supports)
-        self._set(trial_feasible, first, second, frozenset({kind.relation}))
-        failure = self._propagate(trial_feasible, trial_supports, [(first, second)])
+        undo = _UndoLog()
+        undo.remember(self, pair)
+        self._set(self._feasible, first, second, frozenset({kind.relation}))
+        failure = self._propagate(undo, [(first, second)])
         if failure is not None:
+            # Restore the pre-trial network first so the Screen 9 report is
+            # assembled from the committed state, as before.
+            undo.rollback(self)
             raise ConflictError(
                 self._report_for(new, frozenset(), failed_pair=failure)
             )
-        self._feasible = trial_feasible
-        self._supports = trial_supports
         self._specified[pair] = new
         self._log.append(new)
         self._derived.pop(pair, None)
@@ -215,8 +298,8 @@ class AssertionNetwork:
 
     def respecify(
         self,
-        first: ObjectRef,
-        second: ObjectRef,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
         kind: AssertionKind | int,
         source: Source = Source.DDA,
         note: str = "",
@@ -225,12 +308,18 @@ class AssertionNetwork:
         self.retract(first, second)
         return self.specify(first, second, kind, source, note)
 
-    def retract(self, first: ObjectRef, second: ObjectRef) -> None:
-        """Withdraw the specified assertion on a pair and rebuild the network.
+    def retract(self, first: ObjectRef | str, second: ObjectRef | str) -> None:
+        """Withdraw the specified assertion on a pair and repair the network.
 
         Derived assertions are recomputed from the remaining specified
         assertions; anything that depended on the retracted one disappears.
+        Only the affected neighborhood — pairs whose narrowing chain passes
+        through the retracted edge — is recomputed (unless the network was
+        built with ``incremental=False``, in which case everything is
+        re-propagated from scratch).
         """
+        first = coerce_object_ref(first)
+        second = coerce_object_ref(second)
         pair = ordered_pair(first, second)
         if pair not in self._specified:
             raise AssertionSpecError(
@@ -238,12 +327,104 @@ class AssertionNetwork:
             )
         del self._specified[pair]
         self._log = [a for a in self._log if a.pair != pair]
-        self._rebuild()
+        if self.incremental:
+            self._repair_after_retract(pair)
+        else:
+            self._rebuild()
+
+    def _repair_after_retract(self, root: Pair) -> None:
+        """Reset and re-derive only the pairs that depended on ``root``.
+
+        The support index records, per pair, every triangle that narrowed
+        it; reading it backwards gives the dependents of each pair.  The
+        dependent closure of the retracted edge is a (conservative)
+        superset of everything its constraint could have influenced — those
+        pairs are reset to ALL and surviving specified assertions among
+        them re-applied.
+
+        Every pair *outside* the closure is already at the post-retract
+        fixpoint: its value was derivable without the retracted edge (else
+        it would be in the closure), and retraction only loosens, so it
+        cannot tighten either.  Repair therefore only needs to re-revise
+        the affected pairs against the rest of the network — a work-list
+        of affected pairs, each intersected through every third object,
+        re-enqueueing affected neighbours of whatever narrows — rather
+        than re-running path consistency over the whole touched frontier.
+        Removing a constraint cannot introduce a conflict, so this never
+        fails.
+        """
+        self.counters.closure_incremental_retracts += 1
+        dependents: dict[Pair, set[Pair]] = {}
+        for narrowed, supports in self._support_index.items():
+            for x, via, y in supports:
+                dependents.setdefault(ordered_pair(x, via), set()).add(narrowed)
+                dependents.setdefault(ordered_pair(via, y), set()).add(narrowed)
+        affected = {root}
+        stack = [root]
+        while stack:
+            pair = stack.pop()
+            for dependent in dependents.get(pair, ()):
+                if dependent not in affected:
+                    affected.add(dependent)
+                    stack.append(dependent)
+        for pair in affected:
+            self._feasible.pop(pair, None)
+            self._supports.pop(pair, None)
+            self._support_index.pop(pair, None)
+            self._derived.pop(pair, None)
+        self.counters.closure_pairs_recomputed += len(affected)
+        for pair in affected:
+            survivor = self._specified.get(pair)
+            if survivor is not None:
+                self._set(
+                    self._feasible,
+                    survivor.first,
+                    survivor.second,
+                    frozenset({survivor.relation}),
+                )
+        undo = _UndoLog()
+        neighbours: dict[ObjectRef, set[Pair]] = {}
+        for pair in affected:
+            neighbours.setdefault(pair[0], set()).add(pair)
+            neighbours.setdefault(pair[1], set()).add(pair)
+        queue: deque[Pair] = deque(affected)
+        queued = set(affected)
+        while queue:
+            pair = queue.popleft()
+            queued.discard(pair)
+            first, second = pair
+            changed = False
+            for via in self._objects:
+                if via == first or via == second:
+                    continue
+                narrowed = self._narrow(
+                    undo,
+                    first,
+                    second,
+                    via,
+                    self._get(self._feasible, first, via),
+                    self._get(self._feasible, via, second),
+                )
+                if narrowed is False:  # pragma: no cover - only relaxes
+                    undo.rollback(self)
+                    self._rebuild()
+                    return
+                if narrowed:
+                    changed = True
+            if changed:
+                for other in neighbours[first] | neighbours[second]:
+                    if other != pair and other not in queued:
+                        queue.append(other)
+                        queued.add(other)
+        self._refresh_derived()
 
     def _rebuild(self) -> None:
+        """Full re-propagation from the specified log (the baseline path)."""
+        self.counters.closure_full_rebuilds += 1
         remaining = list(self._log)
         self._feasible = {}
         self._supports = {}
+        self._support_index = {}
         self._derived = {}
         self._specified = {}
         self._log = []
@@ -260,34 +441,33 @@ class AssertionNetwork:
 
     def _propagate(
         self,
-        feasible: dict[Pair, frozenset[Relation]],
-        supports: dict[Pair, _Support],
+        undo: _UndoLog,
         seeds: Iterable[tuple[ObjectRef, ObjectRef]],
     ) -> Pair | None:
-        """Queue-based path consistency.
+        """Queue-based path consistency over the live tables.
 
         Narrows feasible sets along every triangle reachable from the seed
-        pairs.  Returns the canonical pair that became empty on failure, or
-        ``None`` on success.  ``feasible``/``supports`` are mutated in place
-        (callers pass copies and commit on success).
+        pairs, mutating ``self._feasible``/``self._supports`` in place and
+        recording prior values in ``undo``.  Returns the canonical pair
+        that became empty on failure (callers roll back), or ``None``.
         """
         queue: deque[tuple[ObjectRef, ObjectRef]] = deque(seeds)
         while queue:
             i, j = queue.popleft()
-            rel_ij = self._get(feasible, i, j)
+            rel_ij = self._get(self._feasible, i, j)
             for k in self._objects:
                 if k == i or k == j:
                     continue
                 # Narrow (i, k) through j: R(i,k) ∩= R(i,j) ∘ R(j,k).
-                rel_jk = self._get(feasible, j, k)
-                narrowed = self._narrow(feasible, supports, i, k, j, rel_ij, rel_jk)
+                rel_jk = self._get(self._feasible, j, k)
+                narrowed = self._narrow(undo, i, k, j, rel_ij, rel_jk)
                 if narrowed is False:
                     return ordered_pair(i, k)
                 if narrowed:
                     queue.append((i, k))
                 # Narrow (k, j) through i: R(k,j) ∩= R(k,i) ∘ R(i,j).
-                rel_ki = self._get(feasible, k, i)
-                narrowed = self._narrow(feasible, supports, k, j, i, rel_ki, rel_ij)
+                rel_ki = self._get(self._feasible, k, i)
+                narrowed = self._narrow(undo, k, j, i, rel_ki, rel_ij)
                 if narrowed is False:
                     return ordered_pair(k, j)
                 if narrowed:
@@ -296,8 +476,7 @@ class AssertionNetwork:
 
     def _narrow(
         self,
-        feasible: dict[Pair, frozenset[Relation]],
-        supports: dict[Pair, _Support],
+        undo: _UndoLog,
         x: ObjectRef,
         y: ObjectRef,
         via: ObjectRef,
@@ -309,15 +488,19 @@ class AssertionNetwork:
         Returns ``None`` if the set did not change, ``True`` if it shrank
         but stayed non-empty, and ``False`` if it became empty (conflict).
         """
-        old = self._get(feasible, x, y)
         if rel_x_via == ALL_RELATIONS and rel_via_y == ALL_RELATIONS:
             return None
+        old = self._get(self._feasible, x, y)
+        self.counters.propagation_steps += 1
         composed = compose_sets(rel_x_via, rel_via_y)
         new = old & composed
         if new == old:
             return None
-        self._set(feasible, x, y, new)
-        supports[ordered_pair(x, y)] = (x, via, y)
+        pair = ordered_pair(x, y)
+        undo.remember(self, pair)
+        self._set(self._feasible, x, y, new)
+        self._supports[pair] = (x, via, y)
+        self._support_index.setdefault(pair, set()).add((x, via, y))
         if not new:
             return False
         return True
@@ -354,9 +537,11 @@ class AssertionNetwork:
             )
 
     def assertion_for(
-        self, first: ObjectRef, second: ObjectRef
+        self, first: ObjectRef | str, second: ObjectRef | str
     ) -> Assertion | None:
         """The specified or derived assertion on a pair, oriented, if any."""
+        first = coerce_object_ref(first)
+        second = coerce_object_ref(second)
         pair = ordered_pair(first, second)
         assertion = self._specified.get(pair) or self._derived.get(pair)
         if assertion is None:
@@ -375,13 +560,17 @@ class AssertionNetwork:
         """Specified assertions followed by derived ones."""
         return self.specified_assertions() + self.derived_assertions()
 
-    def is_undetermined(self, first: ObjectRef, second: ObjectRef) -> bool:
+    def is_undetermined(
+        self, first: ObjectRef | str, second: ObjectRef | str
+    ) -> bool:
         """Whether the pair still admits more than one relation."""
         return len(self.feasible(first, second)) > 1
 
     # -- explanation ---------------------------------------------------------------
 
-    def explain(self, first: ObjectRef, second: ObjectRef) -> list[Assertion]:
+    def explain(
+        self, first: ObjectRef | str, second: ObjectRef | str
+    ) -> list[Assertion]:
         """The specified assertions underlying the pair's current state.
 
         For a specified pair this is the assertion itself; for a derived or
@@ -389,6 +578,8 @@ class AssertionNetwork:
         down to specified assertions — the lines Screen 9 lists under a
         derived conflict.
         """
+        first = coerce_object_ref(first)
+        second = coerce_object_ref(second)
         chain: list[Assertion] = []
         seen_pairs: set[Pair] = set()
 

@@ -30,6 +30,7 @@ from repro.ecr.relationships import (
     CARDINALITY_MANY,
 )
 from repro.ecr.schema import Schema, ObjectRef
+from repro.ecr.coerce import coerce_attribute_ref, coerce_object_ref
 from repro.ecr.builder import SchemaBuilder
 from repro.ecr.validation import ValidationIssue, Severity, validate_schema
 from repro.ecr.ddl import parse_ddl, parse_ddl_schemas, to_ddl
@@ -67,6 +68,8 @@ __all__ = [
     "CARDINALITY_MANY",
     "Schema",
     "ObjectRef",
+    "coerce_attribute_ref",
+    "coerce_object_ref",
     "SchemaBuilder",
     "ValidationIssue",
     "Severity",

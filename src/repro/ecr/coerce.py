@@ -1,0 +1,28 @@
+"""Uniform reference coercion shared by the analysis engines.
+
+Every public entry point that takes an :class:`~repro.ecr.schema.ObjectRef`
+or :class:`~repro.ecr.attributes.AttributeRef` also accepts the dotted
+string form (``"schema.object"`` / ``"schema.object.attribute"``).  The
+:class:`~repro.equivalence.registry.EquivalenceRegistry` and
+:class:`~repro.assertions.network.AssertionNetwork` both route through this
+one helper so the accepted spellings cannot drift apart per method.
+"""
+
+from __future__ import annotations
+
+from repro.ecr.attributes import AttributeRef
+from repro.ecr.schema import ObjectRef
+
+
+def coerce_object_ref(value: ObjectRef | str) -> ObjectRef:
+    """``"sc1.Student"`` or an :class:`ObjectRef`, as an :class:`ObjectRef`."""
+    if isinstance(value, str):
+        return ObjectRef.parse(value)
+    return value
+
+
+def coerce_attribute_ref(value: AttributeRef | str) -> AttributeRef:
+    """``"sc1.Student.Name"`` or an :class:`AttributeRef`, coerced."""
+    if isinstance(value, str):
+        return AttributeRef.parse(value)
+    return value

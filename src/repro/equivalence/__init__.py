@@ -12,13 +12,20 @@ This package implements the paper's schema-analysis machinery:
 * the **resemblance function** — attribute ratio — and the future-work
   extensions (name similarity, synonym dictionary, weighted combinations);
 * **candidate ordering**: the ranked list of object pairs shown to the DDA
-  on Screen 8; and
+  on Screen 8;
 * **suggestion heuristics** that propose candidate attribute equivalences
-  automatically (the paper's "syntactic processing enhancements").
+  automatically (the paper's "syntactic processing enhancements"); and
+* the :class:`AnalysisSession` **facade**, the recommended entry point,
+  which owns the registry, the memoized matrix views and the assertion
+  networks, sharing one set of instrumentation counters.
 """
 
 from repro.equivalence.union_find import DisjointSet
-from repro.equivalence.registry import EquivalenceRegistry, EquivalenceIssue
+from repro.equivalence.registry import (
+    EquivalenceRegistry,
+    EquivalenceIssue,
+    RegistryChange,
+)
 from repro.equivalence.acs import AcsMatrix, AcsCell
 from repro.equivalence.ocs import OcsMatrix, OcsEntry
 from repro.equivalence.resemblance import (
@@ -41,11 +48,14 @@ from repro.equivalence.heuristics import (
     suggest_equivalences,
     apply_suggestions,
 )
+from repro.equivalence.session import AnalysisSession
 
 __all__ = [
+    "AnalysisSession",
     "DisjointSet",
     "EquivalenceRegistry",
     "EquivalenceIssue",
+    "RegistryChange",
     "AcsMatrix",
     "AcsCell",
     "OcsMatrix",

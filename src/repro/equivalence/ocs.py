@@ -8,15 +8,27 @@ specified by the row and column order."*
 An entry counts the equivalence classes that span both objects (one class
 containing an attribute of each side counts once, so three-way classes do
 not double-count).  The OCS drives the ordered candidate list of Screen 8.
+
+The matrix is a **memoized view** over the registry: cell values are cached
+and, via the registry's change events, only the cells whose row or column
+was touched by a mutation are invalidated.  Obtain matrices through
+:meth:`EquivalenceRegistry.ocs` — that returns one long-lived cached view
+per schema pair; constructing :class:`OcsMatrix` directly is deprecated
+(it still works, and still invalidates correctly, but each construction
+builds a fresh unshared cache).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.ecr.objects import ObjectClass, ObjectKind
 from repro.ecr.schema import ObjectRef
-from repro.equivalence.registry import EquivalenceRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from repro.equivalence.registry import EquivalenceRegistry, RegistryChange
 
 
 @dataclass(frozen=True)
@@ -42,17 +54,42 @@ class OcsMatrix:
 
     def __init__(
         self,
-        registry: EquivalenceRegistry,
+        registry: "EquivalenceRegistry",
         first_schema: str,
         second_schema: str,
         kind_filter: ObjectKind | None = None,
+        *,
+        _trusted: bool = False,
     ) -> None:
+        if not _trusted:
+            warnings.warn(
+                "constructing OcsMatrix directly is deprecated; use "
+                "registry.ocs(first_schema, second_schema, kind_filter) "
+                "to get the shared cached view",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._registry = registry
         self.first_schema = first_schema
         self.second_schema = second_schema
         self.kind_filter = kind_filter
-        self._rows = self._select(first_schema)
-        self._columns = self._select(second_schema)
+        #: memoized cell values, dropped selectively on registry changes
+        self._cells: dict[tuple[ObjectRef, ObjectRef], int] = {}
+        #: memoized per-object attribute counts (shape-stable between refreshes)
+        self._attribute_counts: dict[ObjectRef, int] = {}
+        #: bumped on every invalidation that touched this matrix
+        self._generation = 0
+        #: derived-view memo (e.g. the ranked Screen 8 list); cleared whenever
+        #: any cell of this matrix is invalidated
+        self.view_cache: dict[object, object] = {}
+        self._reselect()
+        registry.invalidate_listeners.append(self._on_registry_change)
+
+    def _reselect(self) -> None:
+        self._rows = self._select(self.first_schema)
+        self._columns = self._select(self.second_schema)
+        self._row_set = set(self._rows)
+        self._column_set = set(self._columns)
 
     def _select(self, schema_name: str) -> list[ObjectRef]:
         schema = self._registry.schema(schema_name)
@@ -68,6 +105,37 @@ class OcsMatrix:
             ]
         return [ObjectRef(schema_name, structure.name) for structure in chosen]
 
+    # -- invalidation ---------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Bumped whenever a registry change invalidated part of this view."""
+        return self._generation
+
+    def _on_registry_change(self, change: "RegistryChange") -> None:
+        if self.first_schema in change.schemas or self.second_schema in change.schemas:
+            # the schema's shape changed: rows/columns must be re-derived
+            self._reselect()
+            self._cells.clear()
+            self._attribute_counts.clear()
+            self.view_cache.clear()
+            self._generation += 1
+            return
+        affected = {ObjectRef(schema, name) for schema, name in change.objects}
+        dirty_rows = affected & self._row_set
+        dirty_columns = affected & self._column_set
+        if not dirty_rows and not dirty_columns:
+            return
+        self._cells = {
+            key: value
+            for key, value in self._cells.items()
+            if key[0] not in dirty_rows and key[1] not in dirty_columns
+        }
+        self.view_cache.clear()
+        self._generation += 1
+
+    # -- structure ------------------------------------------------------------
+
     @property
     def rows(self) -> list[ObjectRef]:
         """Structures of the first schema, in declaration order."""
@@ -78,11 +146,31 @@ class OcsMatrix:
         """Structures of the second schema, in declaration order."""
         return list(self._columns)
 
+    def attribute_count(self, ref: ObjectRef) -> int:
+        """Number of attributes of one row/column object (memoized)."""
+        cached = self._attribute_counts.get(ref)
+        if cached is None:
+            cached = len(
+                self._registry.schema(ref.schema).get(ref.object_name).attributes
+            )
+            self._attribute_counts[ref] = cached
+        return cached
+
+    # -- cells ----------------------------------------------------------------
+
     def count(self, row: ObjectRef, column: ObjectRef) -> int:
         """Equivalent-attribute count for one object pair."""
-        return self._registry.equivalent_class_count(
+        key = (row, column)
+        cached = self._cells.get(key)
+        if cached is not None:
+            self._registry.counters.ocs_cache_hits += 1
+            return cached
+        value = self._registry.equivalent_class_count(
             (row.schema, row.object_name), (column.schema, column.object_name)
         )
+        self._registry.counters.ocs_cells_recomputed += 1
+        self._cells[key] = value
+        return value
 
     def entry(self, row: ObjectRef, column: ObjectRef) -> OcsEntry:
         return OcsEntry(row, column, self.count(row, column))

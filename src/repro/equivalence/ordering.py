@@ -7,15 +7,19 @@ alphabetically by the qualified object names, so that the list is total and
 deterministic — this reproduces Screen 8 exactly, where at equal ratio
 ``sc1.Department``/``sc2.Department`` precedes
 ``sc1.Student``/``sc2.Grad_student``.
+
+The ranked list is memoized on the cached OCS matrix: repeated calls with
+an unchanged registry return the cached list, and after a mutation only the
+invalidated cells are recounted before the (cheap) re-sort.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.ecr.objects import ObjectKind
 from repro.ecr.schema import ObjectRef
-from repro.equivalence.ocs import OcsMatrix
 from repro.equivalence.registry import EquivalenceRegistry
 from repro.equivalence.resemblance import attribute_ratio
 
@@ -37,6 +41,7 @@ def ordered_object_pairs(
     registry: EquivalenceRegistry,
     first_schema: str,
     second_schema: str,
+    *deprecated_positional: object,
     kind_filter: ObjectKind | None = None,
     include_zero: bool = False,
 ) -> list[CandidatePair]:
@@ -50,23 +55,41 @@ def ordered_object_pairs(
     first_schema, second_schema:
         Names of the two schemas being integrated.
     kind_filter:
-        ``None`` ranks object classes (entity sets and categories, the
-        paper's first subphase); ``ObjectKind.RELATIONSHIP`` ranks
-        relationship sets (the second subphase).
+        Keyword-only.  ``None`` ranks object classes (entity sets and
+        categories, the paper's first subphase); ``ObjectKind.RELATIONSHIP``
+        ranks relationship sets (the second subphase).
     include_zero:
-        Whether to include pairs with no equivalent attributes.  Screen 8
-        shows only genuine candidates, so the default is off; baselines
-        that review every pair set it.
+        Keyword-only.  Whether to include pairs with no equivalent
+        attributes.  Screen 8 shows only genuine candidates, so the default
+        is off; baselines that review every pair set it.
     """
-    ocs = OcsMatrix(registry, first_schema, second_schema, kind_filter)
+    if deprecated_positional:
+        # One-release shim: these options used to be positional.
+        warnings.warn(
+            "passing kind_filter/include_zero to ordered_object_pairs "
+            "positionally is deprecated; pass them as keywords",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(deprecated_positional) > 2:
+            raise TypeError(
+                "ordered_object_pairs takes at most 5 positional arguments"
+            )
+        kind_filter = deprecated_positional[0]  # type: ignore[assignment]
+        if len(deprecated_positional) == 2:
+            include_zero = bool(deprecated_positional[1])
+    ocs = registry.ocs(first_schema, second_schema, kind_filter)
+    cache_key = ("ranked", bool(include_zero))
+    cached = ocs.view_cache.get(cache_key)
+    if cached is not None:
+        registry.counters.ordering_cache_hits += 1
+        return list(cached)  # defensive copy: callers may sort/mutate
     pairs: list[CandidatePair] = []
     for entry in ocs.entries(include_zero=include_zero):
-        first_count = len(registry.schema(entry.row.schema).get(entry.row.object_name).attributes)
-        second_count = len(
-            registry.schema(entry.column.schema).get(entry.column.object_name).attributes
-        )
         ratio = attribute_ratio(
-            entry.equivalent_attributes, first_count, second_count
+            entry.equivalent_attributes,
+            ocs.attribute_count(entry.row),
+            ocs.attribute_count(entry.column),
         )
         pairs.append(
             CandidatePair(
@@ -76,7 +99,9 @@ def ordered_object_pairs(
     pairs.sort(
         key=lambda pair: (-pair.attribute_ratio, pair.first, pair.second)
     )
-    return pairs
+    ocs.view_cache[cache_key] = pairs
+    registry.counters.ordering_rebuilds += 1
+    return list(pairs)
 
 
 def render_screen8_rows(pairs: list[CandidatePair]) -> str:

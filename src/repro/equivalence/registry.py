@@ -12,17 +12,31 @@ Declaring an equivalence never fails for semantic reasons — equivalence is
 the DDA's subjective judgement — but the registry reports *issues* (domain
 incompatibility, key-flag mismatch) the tool surfaces as warnings, following
 the characteristics Larson et al. (1987) compare.
+
+The registry is also the **change hub of the incremental analysis engine**:
+every mutation bumps a monotonically increasing :attr:`version` and emits a
+:class:`RegistryChange` event to :attr:`invalidate_listeners`.  The cached
+OCS/ACS views obtained through :meth:`ocs` / :meth:`acs` subscribe to these
+events and invalidate only the object pairs a change actually touched, so
+the interactive loop never rebuilds a matrix from scratch per keystroke.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.ecr.attributes import Attribute, AttributeRef
+from repro.ecr.coerce import coerce_attribute_ref
 from repro.ecr.domains import domains_compatible
 from repro.ecr.schema import Schema
 from repro.errors import DuplicateNameError, EquivalenceError, UnknownNameError
+from repro.instrumentation import AnalysisCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.ecr.objects import ObjectKind
+    from repro.equivalence.acs import AcsMatrix
+    from repro.equivalence.ocs import OcsMatrix
 
 
 @dataclass(frozen=True)
@@ -37,16 +51,79 @@ class EquivalenceIssue:
         return f"{self.first} ~ {self.second}: {self.message}"
 
 
+@dataclass(frozen=True)
+class RegistryChange:
+    """One mutation of the registry, as seen by the cached views.
+
+    ``objects`` lists the ``(schema, object)`` owners whose equivalence
+    structure changed — a view only needs to drop cells whose row or column
+    is one of these.  ``schemas`` lists schemas whose *shape* changed
+    (structures or attributes added/removed), which forces the affected
+    views to re-derive their rows and columns entirely.
+    """
+
+    kind: str
+    version: int
+    objects: frozenset[tuple[str, str]] = frozenset()
+    schemas: frozenset[str] = frozenset()
+
+    def touches_schema(self, name: str) -> bool:
+        """Whether this change affects anything inside ``name``."""
+        return name in self.schemas or any(
+            schema == name for schema, _ in self.objects
+        )
+
+
 class EquivalenceRegistry:
     """Equivalence classes over the attributes of registered schemas."""
 
-    def __init__(self, schemas: Iterable[Schema] = ()) -> None:
+    def __init__(
+        self,
+        schemas: Iterable[Schema] = (),
+        *,
+        counters: AnalysisCounters | None = None,
+    ) -> None:
         self._schemas: dict[str, Schema] = {}
         self._class_of: dict[AttributeRef, int] = {}
         self._members: dict[int, list[AttributeRef]] = {}
         self._next_class = 1
+        self._version = 0
+        #: callbacks invoked with a :class:`RegistryChange` after every
+        #: mutation; cached views register themselves here.
+        self.invalidate_listeners: list[Callable[[RegistryChange], None]] = []
+        #: shared work counters (an :class:`AnalysisSession` injects its own)
+        self.counters = counters if counters is not None else AnalysisCounters()
+        self._ocs_cache: dict[tuple[str, str, object], "OcsMatrix"] = {}
+        self._acs_cache: dict[tuple[str, str], "AcsMatrix"] = {}
         for schema in schemas:
             self.register_schema(schema)
+
+    # -- versioning and change events ---------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter."""
+        return self._version
+
+    def subscribe(self, listener: Callable[[RegistryChange], None]) -> None:
+        """Register a callback for future :class:`RegistryChange` events."""
+        self.invalidate_listeners.append(listener)
+
+    def _bump(
+        self,
+        kind: str,
+        objects: frozenset[tuple[str, str]] = frozenset(),
+        schemas: frozenset[str] = frozenset(),
+    ) -> None:
+        self._version += 1
+        self.counters.registry_mutations += 1
+        change = RegistryChange(kind, self._version, objects, schemas)
+        for listener in list(self.invalidate_listeners):
+            listener(change)
+
+    @staticmethod
+    def _owners(members: Iterable[AttributeRef]) -> frozenset[tuple[str, str]]:
+        return frozenset(ref.owner for ref in members)
 
     # -- schema registration -------------------------------------------------
 
@@ -63,6 +140,7 @@ class EquivalenceRegistry:
             self._class_of[ref] = self._next_class
             self._members[self._next_class] = [ref]
             self._next_class += 1
+        self._bump("register", schemas=frozenset({schema.name}))
 
     def schemas(self) -> list[Schema]:
         """The registered schemas, in registration order."""
@@ -96,6 +174,54 @@ class EquivalenceRegistry:
                 self._class_of[ref] = self._next_class
                 self._members[self._next_class] = [ref]
                 self._next_class += 1
+        self._bump("refresh", schemas=frozenset({schema_name}))
+
+    # -- cached views ---------------------------------------------------------
+
+    def ocs(
+        self,
+        first_schema: str,
+        second_schema: str,
+        kind_filter: "ObjectKind | None" = None,
+    ) -> "OcsMatrix":
+        """The memoized OCS matrix between two registered schemas.
+
+        Repeated calls with the same arguments return the *same* matrix
+        object; its cells are cached and invalidated per object pair as the
+        registry mutates.  This is the recommended way to obtain a matrix —
+        direct :class:`~repro.equivalence.ocs.OcsMatrix` construction is
+        deprecated.
+        """
+        from repro.equivalence.ocs import OcsMatrix
+
+        key = (first_schema, second_schema, kind_filter)
+        matrix = self._ocs_cache.get(key)
+        if matrix is None:
+            self.schema(first_schema)
+            self.schema(second_schema)
+            matrix = OcsMatrix(
+                self, first_schema, second_schema, kind_filter, _trusted=True
+            )
+            self._ocs_cache[key] = matrix
+        return matrix
+
+    def acs(self, first_schema: str, second_schema: str) -> "AcsMatrix":
+        """The memoized ACS matrix between two registered schemas.
+
+        Like :meth:`ocs`, returns one long-lived cached view per schema
+        pair; direct :class:`~repro.equivalence.acs.AcsMatrix` construction
+        is deprecated.
+        """
+        from repro.equivalence.acs import AcsMatrix
+
+        key = (first_schema, second_schema)
+        matrix = self._acs_cache.get(key)
+        if matrix is None:
+            self.schema(first_schema)
+            self.schema(second_schema)
+            matrix = AcsMatrix(self, first_schema, second_schema, _trusted=True)
+            self._acs_cache[key] = matrix
+        return matrix
 
     # -- equivalence editing -------------------------------------------------
 
@@ -110,8 +236,8 @@ class EquivalenceRegistry:
             If either reference does not resolve, or both name the same
             attribute.
         """
-        first = self._coerce(first)
-        second = self._coerce(second)
+        first = coerce_attribute_ref(first)
+        second = coerce_attribute_ref(second)
         if first == second:
             raise EquivalenceError(
                 f"cannot declare {first} equivalent to itself"
@@ -126,18 +252,22 @@ class EquivalenceRegistry:
             for ref in self._members.pop(drop):
                 self._class_of[ref] = keep
                 self._members[keep].append(ref)
+            self._bump("declare", objects=self._owners(self._members[keep]))
         return issues
 
     def remove_from_class(self, ref: AttributeRef | str) -> None:
         """Move an attribute back into a fresh singleton class (Screen 7 Delete)."""
-        ref = self._coerce(ref)
+        ref = coerce_attribute_ref(ref)
         self._checked_resolve(ref)
-        if len(self._members[self._class_of[ref]]) == 1:
+        old_members = self._members[self._class_of[ref]]
+        if len(old_members) == 1:
             return  # already alone
+        touched = self._owners(old_members)
         self._detach(ref)
         self._class_of[ref] = self._next_class
         self._members[self._next_class] = [ref]
         self._next_class += 1
+        self._bump("remove", objects=touched)
 
     def _detach(self, ref: AttributeRef) -> None:
         old_class = self._class_of[ref]
@@ -150,7 +280,7 @@ class EquivalenceRegistry:
 
     def class_number(self, ref: AttributeRef | str) -> int:
         """The ``Eq_class #`` shown on Screen 7 for this attribute."""
-        ref = self._coerce(ref)
+        ref = coerce_attribute_ref(ref)
         try:
             return self._class_of[ref]
         except KeyError:
@@ -207,9 +337,8 @@ class EquivalenceRegistry:
     # -- helpers ------------------------------------------------------------------
 
     def _coerce(self, ref: AttributeRef | str) -> AttributeRef:
-        if isinstance(ref, str):
-            return AttributeRef.parse(ref)
-        return ref
+        """Deprecated spelling of :func:`repro.ecr.coerce.coerce_attribute_ref`."""
+        return coerce_attribute_ref(ref)
 
     def _checked_resolve(self, ref: AttributeRef) -> Attribute:
         try:

@@ -1,0 +1,283 @@
+"""The :class:`AnalysisSession` facade — the recommended Phase 2/3 entry point.
+
+One ``AnalysisSession`` owns everything the paper's interactive loop
+(Screens 7–9) mutates: the attribute-equivalence registry, the memoized
+ACS/OCS views and ranked candidate lists, and the two assertion networks
+(object classes and relationship sets).  All components share one
+:class:`~repro.instrumentation.AnalysisCounters`, so a benchmark can reset
+the counters, replay a DDA script and read exactly how much incremental
+work each action cost.
+
+Compared to wiring :class:`EquivalenceRegistry`, :class:`OcsMatrix` and
+:class:`AssertionNetwork` together by hand, the facade
+
+* keeps the cached matrices subscribed to the registry's change events, so
+  an equivalence declared on Screen 7 invalidates exactly the object pairs
+  it touched;
+* routes assertions to the right network (``relationships=True`` selects
+  the relationship-set subphase);
+* accepts dotted-string references everywhere an ``ObjectRef`` or
+  ``AttributeRef`` is expected; and
+* exposes :meth:`integrate` for Phase 4 without constructing an
+  :class:`~repro.integration.integrator.Integrator` manually.
+
+Example::
+
+    from repro import AnalysisSession, AssertionKind
+
+    session = AnalysisSession([sc1, sc2])
+    session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+    for pair in session.candidate_pairs("sc1", "sc2"):
+        print(pair)
+    session.specify("sc1.Student", "sc2.Grad_student", AssertionKind.CONTAINS)
+    result = session.integrate("sc1", "sc2")
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.assertions.assertion import Assertion
+from repro.assertions.kinds import AssertionKind, Relation, Source
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.attributes import AttributeRef
+from repro.ecr.objects import ObjectKind
+from repro.ecr.schema import ObjectRef, Schema
+from repro.equivalence.ordering import CandidatePair, ordered_object_pairs
+from repro.equivalence.registry import EquivalenceIssue, EquivalenceRegistry
+from repro.errors import EquivalenceError
+from repro.instrumentation import AnalysisCounters
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycles
+    from repro.equivalence.acs import AcsMatrix
+    from repro.equivalence.ocs import OcsMatrix
+    from repro.integration.options import IntegrationOptions
+    from repro.integration.result import IntegrationResult
+
+
+class AnalysisSession:
+    """Registry + cached matrices + assertion networks behind one handle."""
+
+    def __init__(
+        self,
+        schemas: Iterable[Schema] = (),
+        *,
+        registry: EquivalenceRegistry | None = None,
+        object_network: AssertionNetwork | None = None,
+        relationship_network: AssertionNetwork | None = None,
+        counters: AnalysisCounters | None = None,
+    ) -> None:
+        schemas = list(schemas)
+        if registry is not None and schemas:
+            raise EquivalenceError(
+                "pass either schemas or a pre-built registry, not both"
+            )
+        self.counters = counters if counters is not None else AnalysisCounters()
+        if registry is None:
+            registry = EquivalenceRegistry(counters=self.counters)
+        else:
+            registry.counters = self.counters
+        self.registry = registry
+        if object_network is None:
+            object_network = AssertionNetwork(counters=self.counters)
+        else:
+            object_network.counters = self.counters
+        if relationship_network is None:
+            relationship_network = AssertionNetwork(counters=self.counters)
+        else:
+            relationship_network.counters = self.counters
+        self.object_network = object_network
+        self.relationship_network = relationship_network
+        for schema in schemas:
+            self.add_schema(schema)
+
+    # -- schema management ----------------------------------------------------
+
+    def add_schema(self, schema: Schema) -> None:
+        """Register a schema everywhere: registry, networks, implicit edges."""
+        self.registry.register_schema(schema)
+        self.object_network.seed_schema(schema)
+        for relationship in schema.relationship_sets():
+            self.relationship_network.add_object(
+                ObjectRef(schema.name, relationship.name)
+            )
+
+    def refresh_schema(self, schema_name: str) -> None:
+        """Re-sync the registry and reseed the networks after schema edits."""
+        self.registry.refresh_schema(schema_name)
+        self.reseed_networks()
+
+    def reseed_networks(self) -> None:
+        """Rebuild both assertion networks from the registered schemas.
+
+        Assertions are the DDA's statements about the *current* shape of
+        the schemas; after a structural edit they are re-collected, exactly
+        as the tool's screens do.
+        """
+        self.object_network = AssertionNetwork(counters=self.counters)
+        self.relationship_network = AssertionNetwork(counters=self.counters)
+        for schema in self.registry.schemas():
+            self.object_network.seed_schema(schema)
+            for relationship in schema.relationship_sets():
+                self.relationship_network.add_object(
+                    ObjectRef(schema.name, relationship.name)
+                )
+
+    def schema(self, name: str) -> Schema:
+        """One registered schema by name."""
+        return self.registry.schema(name)
+
+    def schemas(self) -> list[Schema]:
+        """All registered schemas, in registration order."""
+        return self.registry.schemas()
+
+    # -- Phase 2: equivalences and similarity views ----------------------------
+
+    def declare_equivalent(
+        self, first: AttributeRef | str, second: AttributeRef | str
+    ) -> list[EquivalenceIssue]:
+        """Screen 7 Add: merge two attributes' equivalence classes."""
+        return self.registry.declare_equivalent(first, second)
+
+    def remove_from_class(self, ref: AttributeRef | str) -> None:
+        """Screen 7 Delete: move an attribute back to a singleton class."""
+        self.registry.remove_from_class(ref)
+
+    def ocs(
+        self,
+        first_schema: str,
+        second_schema: str,
+        kind_filter: ObjectKind | None = None,
+    ) -> "OcsMatrix":
+        """The memoized OCS matrix for a schema pair."""
+        return self.registry.ocs(first_schema, second_schema, kind_filter)
+
+    def acs(self, first_schema: str, second_schema: str) -> "AcsMatrix":
+        """The memoized ACS matrix for a schema pair."""
+        return self.registry.acs(first_schema, second_schema)
+
+    def candidate_pairs(
+        self,
+        first_schema: str,
+        second_schema: str,
+        *,
+        relationships: bool = False,
+        include_zero: bool = False,
+    ) -> list[CandidatePair]:
+        """The ranked Screen 8 list (memoized; incrementally invalidated)."""
+        kind = ObjectKind.RELATIONSHIP if relationships else None
+        return ordered_object_pairs(
+            self.registry,
+            first_schema,
+            second_schema,
+            kind_filter=kind,
+            include_zero=include_zero,
+        )
+
+    # -- Phase 3: assertions ----------------------------------------------------
+
+    def network_for(self, relationships: bool = False) -> AssertionNetwork:
+        """The object-class or relationship-set assertion network."""
+        return self.relationship_network if relationships else self.object_network
+
+    def specify(
+        self,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
+        kind: AssertionKind | int,
+        *,
+        relationships: bool = False,
+        source: Source = Source.DDA,
+        note: str = "",
+    ) -> Assertion:
+        """Record a Screen 8 assertion (deriving and conflict-checking)."""
+        return self.network_for(relationships).specify(
+            first, second, kind, source, note
+        )
+
+    def respecify(
+        self,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
+        kind: AssertionKind | int,
+        *,
+        relationships: bool = False,
+        source: Source = Source.DDA,
+        note: str = "",
+    ) -> Assertion:
+        """Screen 9 review-and-modify: replace the assertion on a pair."""
+        return self.network_for(relationships).respecify(
+            first, second, kind, source, note
+        )
+
+    def retract(
+        self,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
+        *,
+        relationships: bool = False,
+    ) -> None:
+        """Withdraw an assertion; the network repairs incrementally."""
+        self.network_for(relationships).retract(first, second)
+
+    def feasible(
+        self,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
+        *,
+        relationships: bool = False,
+    ) -> frozenset[Relation]:
+        """Feasible relations between two objects, oriented first→second."""
+        return self.network_for(relationships).feasible(first, second)
+
+    def assertion_for(
+        self,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
+        *,
+        relationships: bool = False,
+    ) -> Assertion | None:
+        """The specified or derived assertion on a pair, if any."""
+        return self.network_for(relationships).assertion_for(first, second)
+
+    def explain(
+        self,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
+        *,
+        relationships: bool = False,
+    ) -> list[Assertion]:
+        """The Screen 9 support chain behind a pair's current state."""
+        return self.network_for(relationships).explain(first, second)
+
+    # -- Phase 4: integration ----------------------------------------------------
+
+    def integrate(
+        self,
+        first_schema: str,
+        second_schema: str,
+        *,
+        result_name: str = "integrated",
+        options: "IntegrationOptions | None" = None,
+    ) -> "IntegrationResult":
+        """Integrate two registered schemas using the session's state."""
+        from repro.integration.integrator import Integrator
+        from repro.integration.options import IntegrationOptions
+
+        integrator = Integrator(
+            self.registry,
+            self.object_network,
+            self.relationship_network,
+            options if options is not None else IntegrationOptions(),
+        )
+        return integrator.integrate(first_schema, second_schema, result_name)
+
+    # -- instrumentation ----------------------------------------------------------
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """The shared work counters as a plain dict."""
+        return self.counters.snapshot()
+
+    def reset_counters(self) -> None:
+        """Zero the shared work counters (benchmarks call this between phases)."""
+        self.counters.reset()

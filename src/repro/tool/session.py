@@ -1,9 +1,16 @@
 """The tool's mutable state across screens.
 
 One :class:`ToolSession` corresponds to one sitting of a DDA at the tool:
-the schemas defined so far, the equivalence registry, the two assertion
-networks (object classes and relationship sets), the pair of schemas
-currently being integrated and the latest integration result.
+the schemas defined so far, the analysis state (registry + cached
+similarity views + the two assertion networks, owned by an
+:class:`~repro.equivalence.AnalysisSession`), the pair of schemas currently
+being integrated and the latest integration result.
+
+The screens keep reading ``session.registry`` / ``session.object_network``
+/ ``session.relationship_network``; those are now views onto the embedded
+analysis session, so every screen action benefits from the incremental
+caches (memoized OCS cells, memoized Screen 8 ranking, incremental
+assertion-closure repair) without any screen-level changes.
 """
 
 from __future__ import annotations
@@ -11,12 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.assertions.network import AssertionNetwork
-from repro.ecr.objects import ObjectKind
-from repro.ecr.schema import ObjectRef, Schema
-from repro.equivalence.ordering import CandidatePair, ordered_object_pairs
+from repro.ecr.schema import Schema
+from repro.equivalence.ordering import CandidatePair
 from repro.equivalence.registry import EquivalenceRegistry
+from repro.equivalence.session import AnalysisSession
 from repro.errors import ToolError, UnknownNameError
-from repro.integration.integrator import Integrator
 from repro.integration.options import IntegrationOptions
 from repro.integration.result import IntegrationResult
 
@@ -27,16 +33,45 @@ class ToolSession:
 
     options: IntegrationOptions = field(default_factory=IntegrationOptions)
     schemas: dict[str, Schema] = field(default_factory=dict)
-    registry: EquivalenceRegistry = field(default_factory=EquivalenceRegistry)
-    object_network: AssertionNetwork = field(default_factory=AssertionNetwork)
-    relationship_network: AssertionNetwork = field(
-        default_factory=AssertionNetwork
-    )
+    #: registry + cached matrices + assertion networks, kept consistent
+    analysis: AnalysisSession = field(default_factory=AnalysisSession)
     #: the two schemas selected for the current pairwise phase
     selected_pair: tuple[str, str] | None = None
     result: IntegrationResult | None = None
     #: status line shown under the next screen render
     status: str = ""
+
+    # -- analysis-state views ------------------------------------------------------
+
+    @property
+    def registry(self) -> EquivalenceRegistry:
+        """The equivalence registry (owned by :attr:`analysis`)."""
+        return self.analysis.registry
+
+    @registry.setter
+    def registry(self, value: EquivalenceRegistry) -> None:
+        value.counters = self.analysis.counters
+        self.analysis.registry = value
+
+    @property
+    def object_network(self) -> AssertionNetwork:
+        """The object-class assertion network (owned by :attr:`analysis`)."""
+        return self.analysis.object_network
+
+    @object_network.setter
+    def object_network(self, value: AssertionNetwork) -> None:
+        value.counters = self.analysis.counters
+        self.analysis.object_network = value
+
+    @property
+    def relationship_network(self) -> AssertionNetwork:
+        """The relationship-set assertion network (owned by :attr:`analysis`)."""
+        return self.analysis.relationship_network
+
+    @relationship_network.setter
+    def relationship_network(self, value: AssertionNetwork) -> None:
+        value.counters = self.analysis.counters
+        self.analysis.relationship_network = value
 
     # -- schema management -------------------------------------------------------
 
@@ -45,17 +80,18 @@ class ToolSession:
             raise ToolError(f"schema {name!r} already defined")
         schema = Schema(name)
         self.schemas[name] = schema
-        self.registry.register_schema(schema)
+        self.analysis.add_schema(schema)
         return schema
 
     def delete_schema(self, name: str) -> None:
         if name not in self.schemas:
             raise ToolError(f"no schema {name!r}")
         del self.schemas[name]
-        # Rebuild the registry and networks: equivalences and assertions
-        # touching the schema die with it.
-        self.registry = EquivalenceRegistry(list(self.schemas.values()))
-        self._reseed_networks()
+        # Rebuild the analysis state: equivalences and assertions touching
+        # the schema die with it.
+        self.analysis = AnalysisSession(
+            list(self.schemas.values()), counters=self.analysis.counters
+        )
         if self.selected_pair and name in self.selected_pair:
             self.selected_pair = None
 
@@ -70,27 +106,11 @@ class ToolSession:
         if schema.name in self.schemas:
             raise ToolError(f"schema {schema.name!r} already defined")
         self.schemas[schema.name] = schema
-        self.registry.register_schema(schema)
-        self.object_network.seed_schema(schema)
-        self._seed_relationship_refs(schema)
+        self.analysis.add_schema(schema)
 
     def refresh_after_edit(self, schema_name: str) -> None:
         """Re-sync registry and networks after a schema was edited."""
-        self.registry.refresh_schema(schema_name)
-        self._reseed_networks()
-
-    def _reseed_networks(self) -> None:
-        self.object_network = AssertionNetwork()
-        self.relationship_network = AssertionNetwork()
-        for schema in self.schemas.values():
-            self.object_network.seed_schema(schema)
-            self._seed_relationship_refs(schema)
-
-    def _seed_relationship_refs(self, schema: Schema) -> None:
-        for relationship in schema.relationship_sets():
-            self.relationship_network.add_object(
-                ObjectRef(schema.name, relationship.name)
-            )
+        self.analysis.refresh_schema(schema_name)
 
     # -- pair selection ------------------------------------------------------------
 
@@ -110,23 +130,20 @@ class ToolSession:
 
     def candidate_pairs(self, relationships: bool = False) -> list[CandidatePair]:
         first, second = self.require_pair()
-        kind = ObjectKind.RELATIONSHIP if relationships else None
-        return ordered_object_pairs(self.registry, first, second, kind)
+        return self.analysis.candidate_pairs(
+            first, second, relationships=relationships
+        )
 
     def network_for(self, relationships: bool) -> AssertionNetwork:
-        return self.relationship_network if relationships else self.object_network
+        return self.analysis.network_for(relationships)
 
     # -- integration -----------------------------------------------------------------
 
     def integrate(self, result_name: str = "integrated") -> IntegrationResult:
         first, second = self.require_pair()
-        integrator = Integrator(
-            self.registry,
-            self.object_network,
-            self.relationship_network,
-            self.options,
+        self.result = self.analysis.integrate(
+            first, second, result_name=result_name, options=self.options
         )
-        self.result = integrator.integrate(first, second, result_name)
         return self.result
 
     def require_result(self) -> IntegrationResult:
@@ -178,8 +195,6 @@ class ToolSession:
     @classmethod
     def from_dictionary(cls, dictionary) -> "ToolSession":
         """Rebuild a live session from a saved dictionary."""
-        from repro.assertions.kinds import Source
-
         session = cls()
         for schema in dictionary.schemas():
             session.schemas[schema.name] = schema
@@ -211,9 +226,7 @@ class ToolSession:
         """
         loaded = type(self).load(path)
         self.schemas = loaded.schemas
-        self.registry = loaded.registry
-        self.object_network = loaded.object_network
-        self.relationship_network = loaded.relationship_network
+        self.analysis = loaded.analysis
         self.result = loaded.result
         self.selected_pair = None
 

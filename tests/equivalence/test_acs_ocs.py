@@ -16,12 +16,12 @@ def registry():
 
 class TestAcs:
     def test_dimensions(self, registry):
-        acs = AcsMatrix(registry, "sc1", "sc2")
+        acs = registry.acs("sc1", "sc2")
         assert len(acs.rows) == 4  # Name, GPA, Name, Since
         assert len(acs.columns) == 9
 
     def test_equivalent_pairs(self, registry):
-        acs = AcsMatrix(registry, "sc1", "sc2")
+        acs = registry.acs("sc1", "sc2")
         pairs = {(str(a), str(b)) for a, b in acs.equivalent_pairs()}
         assert ("sc1.Student.Name", "sc2.Grad_student.Name") in pairs
         assert ("sc1.Student.Name", "sc2.Faculty.Name") in pairs
@@ -31,20 +31,26 @@ class TestAcs:
         assert len(pairs) == 5
 
     def test_boolean_matrix_agrees_with_cells(self, registry):
-        acs = AcsMatrix(registry, "sc1", "sc2")
+        acs = registry.acs("sc1", "sc2")
         matrix = acs.as_booleans()
         for i, row in enumerate(acs.rows):
             for j, column in enumerate(acs.columns):
                 assert matrix[i][j] == acs.cell(row, column).equivalent
 
     def test_render_contains_marks(self, registry):
-        text = AcsMatrix(registry, "sc1", "sc2").render()
+        text = registry.acs("sc1", "sc2").render()
         assert "X" in text and "sc1.Student.Name" in text
+
+    def test_direct_construction_deprecated(self, registry):
+        with pytest.warns(DeprecationWarning, match="registry.acs"):
+            acs = AcsMatrix(registry, "sc1", "sc2")
+        # The shim still works.
+        assert len(acs.rows) == 4
 
 
 class TestOcs:
     def test_counts_match_paper(self, registry):
-        ocs = OcsMatrix(registry, "sc1", "sc2")
+        ocs = registry.ocs("sc1", "sc2")
         counts = {
             (entry.row.object_name, entry.column.object_name):
                 entry.equivalent_attributes
@@ -57,14 +63,12 @@ class TestOcs:
         }
 
     def test_include_zero(self, registry):
-        ocs = OcsMatrix(registry, "sc1", "sc2")
+        ocs = registry.ocs("sc1", "sc2")
         all_entries = ocs.entries(include_zero=True)
         assert len(all_entries) == len(ocs.rows) * len(ocs.columns)
 
     def test_relationship_subphase(self, registry):
-        ocs = OcsMatrix(
-            registry, "sc1", "sc2", kind_filter=ObjectKind.RELATIONSHIP
-        )
+        ocs = registry.ocs("sc1", "sc2", ObjectKind.RELATIONSHIP)
         assert [ref.object_name for ref in ocs.rows] == ["Majors"]
         assert ocs.count(
             ObjectRef("sc1", "Majors"), ObjectRef("sc2", "Majors")
@@ -74,7 +78,7 @@ class TestOcs:
         ) == 0
 
     def test_entity_kind_filter(self, registry):
-        ocs = OcsMatrix(registry, "sc1", "sc2", kind_filter=ObjectKind.ENTITY)
+        ocs = registry.ocs("sc1", "sc2", ObjectKind.ENTITY)
         assert all(
             registry.schema(ref.schema).get(ref.object_name).kind
             is ObjectKind.ENTITY
@@ -82,12 +86,25 @@ class TestOcs:
         )
 
     def test_as_counts_shape(self, registry):
-        ocs = OcsMatrix(registry, "sc1", "sc2")
+        ocs = registry.ocs("sc1", "sc2")
         counts = ocs.as_counts()
         assert len(counts) == len(ocs.rows)
         assert all(len(row) == len(ocs.columns) for row in counts)
 
     def test_render(self, registry):
-        text = OcsMatrix(registry, "sc1", "sc2").render()
+        text = registry.ocs("sc1", "sc2").render()
         assert "OCS sc1 x sc2" in text
         assert "Grad_student" in text
+
+    def test_direct_construction_deprecated(self, registry):
+        with pytest.warns(DeprecationWarning, match="registry.ocs"):
+            ocs = OcsMatrix(registry, "sc1", "sc2")
+        assert ocs.count(
+            ObjectRef("sc1", "Student"), ObjectRef("sc2", "Grad_student")
+        ) == 2
+
+    def test_factory_returns_cached_instance(self, registry):
+        first = registry.ocs("sc1", "sc2")
+        assert registry.ocs("sc1", "sc2") is first
+        # Different kind filters are distinct cached views.
+        assert registry.ocs("sc1", "sc2", ObjectKind.ENTITY) is not first

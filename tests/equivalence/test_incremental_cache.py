@@ -1,0 +1,235 @@
+"""Tests for the incremental engine: versions, change events, cached views."""
+
+import pytest
+
+from repro.ecr.schema import ObjectRef
+from repro.equivalence.ordering import ordered_object_pairs
+from repro.equivalence.registry import RegistryChange
+from repro.workloads.university import build_sc1, build_sc2, paper_registry
+
+
+@pytest.fixture
+def registry():
+    return paper_registry()
+
+
+class TestVersioning:
+    def test_version_starts_at_zero(self):
+        from repro.equivalence.registry import EquivalenceRegistry
+
+        assert EquivalenceRegistry().version == 0
+
+    def test_every_mutation_bumps_version(self):
+        from repro.equivalence.registry import EquivalenceRegistry
+
+        registry = EquivalenceRegistry()
+        registry.register_schema(build_sc1())
+        after_first = registry.version
+        registry.register_schema(build_sc2())
+        assert registry.version > after_first
+        before = registry.version
+        registry.declare_equivalent("sc1.Student.Name", "sc2.Faculty.Name")
+        assert registry.version == before + 1
+        registry.remove_from_class("sc2.Faculty.Name")
+        assert registry.version == before + 2
+
+    def test_version_tracks_counter(self, registry):
+        mutations = registry.counters.registry_mutations
+        assert registry.version == mutations
+        registry.refresh_schema("sc1")
+        assert registry.version == mutations + 1
+        assert registry.counters.registry_mutations == mutations + 1
+
+    def test_removing_singleton_is_a_no_op(self, registry):
+        before = registry.version
+        # Support_type is in no declared class: deleting it changes nothing.
+        registry.remove_from_class("sc2.Grad_student.Support_type")
+        assert registry.version == before
+
+    def test_redeclaring_same_class_is_a_no_op(self, registry):
+        before = registry.version
+        registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        assert registry.version == before
+
+
+class TestChangeEvents:
+    def test_declare_reports_touched_owners(self, registry):
+        events = []
+        registry.subscribe(events.append)
+        registry.declare_equivalent(
+            "sc1.Student.GPA", "sc2.Faculty.Rank"
+        )
+        assert len(events) == 1
+        change = events[0]
+        assert isinstance(change, RegistryChange)
+        assert change.kind == "declare"
+        assert change.version == registry.version
+        # Owners of the merged class: Student's class already spans
+        # Grad_student via GPA.
+        assert ("sc1", "Student") in change.objects
+        assert ("sc2", "Faculty") in change.objects
+        assert not change.schemas
+
+    def test_remove_reports_old_class_owners(self, registry):
+        events = []
+        registry.subscribe(events.append)
+        registry.remove_from_class("sc2.Faculty.Name")
+        (change,) = events
+        assert change.kind == "remove"
+        assert ("sc2", "Faculty") in change.objects
+        assert ("sc1", "Student") in change.objects
+
+    def test_refresh_reports_schema_shape_change(self, registry):
+        events = []
+        registry.subscribe(events.append)
+        registry.refresh_schema("sc2")
+        (change,) = events
+        assert change.kind == "refresh"
+        assert change.schemas == frozenset({"sc2"})
+        assert change.touches_schema("sc2")
+        assert not change.touches_schema("sc1")
+
+    def test_touches_schema_via_objects(self):
+        change = RegistryChange(
+            "declare", 3, objects=frozenset({("sc1", "Student")})
+        )
+        assert change.touches_schema("sc1")
+        assert not change.touches_schema("sc2")
+
+
+class TestOcsCellCache:
+    def test_cold_then_warm(self, registry):
+        counters = registry.counters
+        ocs = registry.ocs("sc1", "sc2")
+        counters.reset()
+        ocs.as_counts()
+        cells = len(ocs.rows) * len(ocs.columns)
+        assert counters.ocs_cells_recomputed == cells
+        assert counters.ocs_cache_hits == 0
+        counters.reset()
+        ocs.as_counts()
+        assert counters.ocs_cells_recomputed == 0
+        assert counters.ocs_cache_hits == cells
+
+    def test_mutation_invalidates_only_touched_cells(self, registry):
+        counters = registry.counters
+        ocs = registry.ocs("sc1", "sc2")
+        ocs.as_counts()  # warm every cell
+        generation = ocs.generation
+        # Shrinks the Name class spanning Student/Grad_student/Faculty.
+        registry.remove_from_class("sc2.Faculty.Name")
+        assert ocs.generation == generation + 1
+        counters.reset()
+        # Untouched pair: still served from cache.
+        assert ocs.count(
+            ObjectRef("sc1", "Department"), ObjectRef("sc2", "Department")
+        ) == 1
+        assert counters.ocs_cache_hits == 1
+        assert counters.ocs_cells_recomputed == 0
+        # Touched pair: recomputed, with the new (smaller) value.
+        assert ocs.count(
+            ObjectRef("sc1", "Student"), ObjectRef("sc2", "Faculty")
+        ) == 0
+        assert counters.ocs_cells_recomputed == 1
+
+    def test_unrelated_schema_mutation_leaves_cache_alone(self, registry):
+        from repro.workloads.university import build_sc3
+
+        counters = registry.counters
+        ocs = registry.ocs("sc1", "sc2")
+        ocs.as_counts()
+        generation = ocs.generation
+        registry.register_schema(build_sc3())
+        registry.declare_equivalent(
+            "sc3.Instructor.Name", "sc1.Student.Name"
+        )
+        # sc3.Instructor is in the merged class's owners, and so is
+        # sc1.Student — the sc1 side invalidates, sc3 does not exist here.
+        assert ocs.generation == generation + 1
+        counters.reset()
+        assert ocs.count(
+            ObjectRef("sc1", "Department"), ObjectRef("sc2", "Department")
+        ) == 1
+        assert counters.ocs_cache_hits == 1
+
+    def test_refresh_schema_rebuilds_shape(self, registry):
+        ocs = registry.ocs("sc1", "sc2")
+        schema = registry.schema("sc1")
+        rows_before = len(ocs.rows)
+        from repro.ecr.objects import EntitySet
+
+        schema.add(EntitySet("Library"))
+        registry.refresh_schema("sc1")
+        assert len(ocs.rows) == rows_before + 1
+
+
+class TestAcsCache:
+    def test_rebuild_only_after_invalidation(self, registry):
+        counters = registry.counters
+        acs = registry.acs("sc1", "sc2")
+        counters.reset()
+        acs.equivalent_pairs()
+        acs.as_booleans()
+        assert counters.acs_rebuilds == 1
+        assert counters.acs_cache_hits == 1
+        registry.remove_from_class("sc1.Majors.Since")
+        counters.reset()
+        assert len(acs.equivalent_pairs()) == 4
+        assert counters.acs_rebuilds == 1
+
+
+class TestFactories:
+    def test_ocs_factory_memoizes(self, registry):
+        assert registry.ocs("sc1", "sc2") is registry.ocs("sc1", "sc2")
+
+    def test_acs_factory_memoizes(self, registry):
+        assert registry.acs("sc1", "sc2") is registry.acs("sc1", "sc2")
+
+    def test_factory_validates_schema_names(self, registry):
+        from repro.errors import UnknownNameError
+
+        with pytest.raises(UnknownNameError):
+            registry.ocs("sc1", "nope")
+
+
+class TestOrderingCache:
+    def test_ranked_list_memoized(self, registry):
+        counters = registry.counters
+        counters.reset()
+        first = ordered_object_pairs(registry, "sc1", "sc2")
+        assert counters.ordering_rebuilds == 1
+        assert counters.ordering_cache_hits == 0
+        second = ordered_object_pairs(registry, "sc1", "sc2")
+        assert counters.ordering_cache_hits == 1
+        assert counters.ordering_rebuilds == 1
+        assert first == second
+
+    def test_ranked_list_is_a_defensive_copy(self, registry):
+        first = ordered_object_pairs(registry, "sc1", "sc2")
+        first.clear()
+        assert ordered_object_pairs(registry, "sc1", "sc2")
+
+    def test_mutation_invalidates_ranking(self, registry):
+        counters = registry.counters
+        baseline = ordered_object_pairs(registry, "sc1", "sc2")
+        registry.remove_from_class("sc2.Faculty.Name")
+        counters.reset()
+        updated = ordered_object_pairs(registry, "sc1", "sc2")
+        assert counters.ordering_rebuilds == 1
+        assert updated != baseline
+        assert all(
+            (pair.first.object_name, pair.second.object_name)
+            != ("Student", "Faculty")
+            for pair in updated
+        )
+
+    def test_positional_options_deprecated(self, registry):
+        from repro.ecr.objects import ObjectKind
+
+        with pytest.warns(DeprecationWarning, match="keyword"):
+            pairs = ordered_object_pairs(
+                registry, "sc1", "sc2", ObjectKind.RELATIONSHIP
+            )
+        assert [pair.first.object_name for pair in pairs] == ["Majors"]

@@ -1,0 +1,90 @@
+"""The one-release positional shims on integrate_pair / integrate_all."""
+
+import pytest
+
+from repro.integration import IntegrationOptions, integrate_all, integrate_pair
+from repro.workloads.domains import (
+    build_hospital_admissions,
+    build_hospital_clinic,
+    hospital_ground_truth,
+)
+from repro.workloads.university import paper_assertions, paper_registry
+
+
+def paper_setup():
+    registry = paper_registry()
+    network = paper_assertions(registry)
+    return registry, network
+
+
+class TestIntegratePairShim:
+    def test_keywords_do_not_warn(self, recwarn):
+        registry, network = paper_setup()
+        result = integrate_pair(
+            registry, network, "sc1", "sc2", result_name="merged"
+        )
+        assert result.schema.name == "merged"
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_positional_options_warn_but_work(self):
+        registry, network = paper_setup()
+        with pytest.warns(DeprecationWarning, match="keyword"):
+            result = integrate_pair(
+                registry, network, "sc1", "sc2",
+                None, IntegrationOptions(), "merged",
+            )
+        assert result.schema.name == "merged"
+
+    def test_too_many_positionals_is_a_type_error(self):
+        registry, network = paper_setup()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                integrate_pair(
+                    registry, network, "sc1", "sc2",
+                    None, IntegrationOptions(), "merged", "extra",
+                )
+
+
+class TestIntegrateAllShim:
+    def test_keywords_do_not_warn(self, recwarn):
+        result, mappings = integrate_all(
+            [build_hospital_admissions(), build_hospital_clinic()],
+            hospital_ground_truth(),
+            result_name="hospital",
+        )
+        assert result.schema.name == "hospital"
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_positional_result_name_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="keyword"):
+            result, _ = integrate_all(
+                [build_hospital_admissions(), build_hospital_clinic()],
+                hospital_ground_truth(),
+                "hospital",
+            )
+        assert result.schema.name == "hospital"
+
+    def test_positional_options_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="keyword"):
+            result, _ = integrate_all(
+                [build_hospital_admissions(), build_hospital_clinic()],
+                hospital_ground_truth(),
+                "hospital",
+                IntegrationOptions(),
+            )
+        assert result.schema.name == "hospital"
+
+    def test_too_many_positionals_is_a_type_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                integrate_all(
+                    [build_hospital_admissions(), build_hospital_clinic()],
+                    hospital_ground_truth(),
+                    "hospital",
+                    IntegrationOptions(),
+                    "extra",
+                )
