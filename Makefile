@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deprecations bench-smoke bench example
+.PHONY: test test-deprecations trace-smoke bench-smoke bench example
 
 ## Tier-1: the full unit/integration/e2e suite.
 test:
@@ -12,6 +12,12 @@ test:
 ## construction, positional option arguments).
 test-deprecations:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -W error::DeprecationWarning
+
+## Observability smoke: run the EXP-CLO workload with tracing enabled and
+## fail if any instrumented phase (1-4 or the tool screens) emits zero
+## spans.  See docs/OBSERVABILITY.md.
+trace-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_obs.py --smoke
 
 ## Quick benchmark smoke: the closure and equivalence-screen workloads,
 ## then the counter recording to BENCH_incremental.json.

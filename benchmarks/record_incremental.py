@@ -13,6 +13,7 @@ Run:  PYTHONPATH=src python benchmarks/record_incremental.py
 from __future__ import annotations
 
 import json
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -35,7 +36,34 @@ from repro.workloads.generator import (  # noqa: E402
 from repro.workloads.oracle import OracleDda  # noqa: E402
 from repro.workloads.university import build_sc1, build_sc2  # noqa: E402
 
-OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_incremental.json"
+
+
+def repo_sha() -> str:
+    """The repo's HEAD SHA, or ``unknown`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def schema_sizes(*schemas) -> list[dict]:
+    """Per-schema size metadata: object classes and attribute counts."""
+    return [
+        {
+            "name": schema.name,
+            "object_classes": len(schema),
+            "attributes": schema.attribute_count(),
+        }
+        for schema in schemas
+    ]
 
 SCREENS_SCRIPT = [
     "2", "sc1 sc2",
@@ -80,6 +108,7 @@ def record_closure_retract() -> dict:
     )
     return {
         "workload": "bench_exp_closure (concepts=16, one retract)",
+        "schemas": schema_sizes(pair.first, pair.second),
         "incremental": incremental.counters.snapshot(),
         "full_rebuild": baseline.counters.snapshot(),
         "propagation_steps_ratio": round(steps_ratio, 4),
@@ -104,6 +133,7 @@ def record_ocs_edit() -> dict:
     total_cells = len(ocs.rows) * len(ocs.columns)
     return {
         "workload": "bench_exp_closure registry (one equivalence edit)",
+        "schemas": schema_sizes(pair.first, pair.second),
         "incremental": registry.counters.snapshot(),
         "full_rebuild_cells": total_cells,
         "ocs_cells_ratio": round(
@@ -121,6 +151,7 @@ def record_screens_session() -> dict:
     run_script(SCREENS_SCRIPT, session)
     return {
         "workload": "bench_screens_equivalence (Screens 6-7 script)",
+        "schemas": schema_sizes(*session.analysis.schemas()),
         "counters": session.analysis.counters_snapshot(),
     }
 
@@ -141,6 +172,7 @@ def record_facade_flow() -> dict:
     session.retract("sc1.Student", "sc2.Faculty")
     return {
         "workload": "AnalysisSession paper flow (sc1/sc2)",
+        "schemas": schema_sizes(*session.schemas()),
         "counters": session.counters_snapshot(),
     }
 
@@ -151,6 +183,7 @@ def main() -> None:
             "Instrumentation counters for the incremental analysis engine; "
             "see docs/API.md and benchmarks/bench_exp_closure.py"
         ),
+        "repro_sha": repo_sha(),
         "closure_retract": record_closure_retract(),
         "ocs_edit": record_ocs_edit(),
         "screens_session": record_screens_session(),

@@ -1,0 +1,188 @@
+"""Measure the observability layer's overhead and record BENCH_obs.json.
+
+Runs the EXP-CLO workload (the generated 16-concept pair of
+``bench_exp_closure.py``, oracle-driven equivalences and assertions, one
+retract/re-specify edit) plus the paper's sc1/sc2 integration — once with
+tracing disabled, once enabled — and records both timings, the overhead
+ratio, the cost of a disabled ``span()`` call, and the per-phase span
+summary from :mod:`repro.obs.report`.
+
+Run:    PYTHONPATH=src python benchmarks/record_obs.py
+Smoke:  PYTHONPATH=src python benchmarks/record_obs.py --smoke
+        (single traced run; exits non-zero if any instrumented phase
+        emitted zero spans)
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import timeit
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.assertions.kinds import Source  # noqa: E402
+from repro.baselines.closure_baselines import (  # noqa: E402
+    drive_assertions_with_closure,
+)
+from repro.equivalence.session import AnalysisSession  # noqa: E402
+from repro.obs.report import render_text, summarize  # noqa: E402
+from repro.obs.trace import Tracer, span, tracing  # noqa: E402
+from repro.tool.app import run_script  # noqa: E402
+from repro.tool.session import ToolSession  # noqa: E402
+from repro.workloads.generator import (  # noqa: E402
+    GeneratorConfig,
+    generate_schema_pair,
+)
+from repro.workloads.oracle import OracleDda  # noqa: E402
+from repro.workloads.university import build_sc1, build_sc2  # noqa: E402
+
+from record_incremental import repo_sha, schema_sizes  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+CONFIG = GeneratorConfig(seed=17, concepts=16, overlap=0.6, category_rate=0.5)
+
+#: Every instrumented phase; the smoke run fails if any emits zero spans.
+SMOKE_PHASES = ("phase1", "phase2", "phase3", "phase4", "tool")
+
+SCREENS_SCRIPT = [
+    "2", "sc1 sc2",
+    "Student Grad_student", "A Name Name", "A GPA GPA", "E",
+    "Department Department", "A Name Name", "E",
+    "E",
+    "E",
+]
+
+
+def run_workload() -> AnalysisSession:
+    """One full pass over every instrumented surface.
+
+    The EXP-CLO part exercises phases 1-3 at benchmark scale; the sc1/sc2
+    tail covers the tool screens and a phase-4 integration.
+    """
+    pair = generate_schema_pair(CONFIG)
+    session = AnalysisSession([pair.first, pair.second])
+    OracleDda(pair.truth).declare_all_equivalences(session.registry)
+    session.acs(pair.first.name, pair.second.name).equivalent_pairs()
+    session.candidate_pairs(pair.first.name, pair.second.name)
+    network, _ = drive_assertions_with_closure(
+        pair.first, pair.second, pair.truth
+    )
+    specified = [
+        a for a in network.specified_assertions() if a.source is Source.DDA
+    ]
+    target = specified[len(specified) // 2]
+    network.retract(target.first, target.second)
+    network.specify(target.first, target.second, target.kind)
+
+    tool = ToolSession()
+    tool.adopt_schema(build_sc1())
+    tool.adopt_schema(build_sc2())
+    run_script(SCREENS_SCRIPT, tool)
+    tool.analysis.declare_equivalent("sc1.Majors.Since", "sc2.Majors.Since")
+    tool.analysis.specify("sc1.Department", "sc2.Department", 1)
+    tool.analysis.specify("sc1.Student", "sc2.Grad_student", 3)
+    tool.analysis.specify("sc1.Majors", "sc2.Majors", 1, relationships=True)
+    tool.analysis.integrate("sc1", "sc2")
+    session._exp_clo_pair = pair  # stashed for metadata reporting
+    return session
+
+
+def time_workload(repeats: int, traced: bool) -> tuple[float, "Tracer | None"]:
+    """Best-of-``repeats`` wall time; returns the last tracer when traced."""
+    best = float("inf")
+    tracer = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        if traced:
+            with tracing() as tracer:
+                run_workload()
+        else:
+            run_workload()
+        best = min(best, time.perf_counter() - started)
+    return best, tracer
+
+
+def disabled_span_cost_ns() -> float:
+    """Nanoseconds per ``span()`` call with no tracer installed."""
+    iterations = 200_000
+    seconds = timeit.timeit(
+        lambda: span("phase2.ocs.recompute"), number=iterations
+    )
+    return seconds / iterations * 1e9
+
+
+def missing_phases(tracer: Tracer) -> list[str]:
+    present = {name.split(".", 1)[0] for name in tracer.names()}
+    return [phase for phase in SMOKE_PHASES if phase not in present]
+
+
+def smoke() -> int:
+    with tracing() as tracer:
+        run_workload()
+    print(render_text(summarize(tracer)))
+    missing = missing_phases(tracer)
+    if missing:
+        print(
+            "trace-smoke FAILED: no spans from "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"trace-smoke OK: {len(tracer.spans)} spans across "
+        f"{len(SMOKE_PHASES)} instrumented phases"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--smoke" in argv:
+        return smoke()
+    repeats = 5
+    disabled_seconds, _ = time_workload(repeats, traced=False)
+    enabled_seconds, tracer = time_workload(repeats, traced=True)
+    overhead_ratio = enabled_seconds / disabled_seconds - 1.0
+    pair = generate_schema_pair(CONFIG)
+    report = {
+        "description": (
+            "Tracing overhead on the EXP-CLO workload plus the sc1/sc2 "
+            "integration; see docs/OBSERVABILITY.md"
+        ),
+        "repro_sha": repo_sha(),
+        "workload": {
+            "generator": {
+                "seed": CONFIG.seed,
+                "concepts": CONFIG.concepts,
+                "overlap": CONFIG.overlap,
+                "category_rate": CONFIG.category_rate,
+            },
+            "schemas": schema_sizes(
+                pair.first, pair.second, build_sc1(), build_sc2()
+            ),
+        },
+        "repeats": repeats,
+        "disabled_seconds": round(disabled_seconds, 6),
+        "enabled_seconds": round(enabled_seconds, 6),
+        "overhead_ratio": round(overhead_ratio, 4),
+        "disabled_span_call_ns": round(disabled_span_cost_ns(), 1),
+        "spans_recorded": len(tracer.spans),
+        "missing_phases": missing_phases(tracer),
+        "summary": summarize(tracer),
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(
+        f"disabled {disabled_seconds * 1e3:.1f} ms, "
+        f"enabled {enabled_seconds * 1e3:.1f} ms, "
+        f"overhead {overhead_ratio:+.1%}, "
+        f"disabled span() {report['disabled_span_call_ns']:.0f} ns"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -36,7 +36,7 @@ Work done either way is tallied in :attr:`counters`
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.assertions.assertion import Assertion, Pair, ordered_pair
 from repro.assertions.composition import (
@@ -50,6 +50,10 @@ from repro.ecr.coerce import coerce_object_ref
 from repro.ecr.schema import ObjectRef, Schema
 from repro.errors import AssertionSpecError, ConflictError
 from repro.instrumentation import AnalysisCounters
+from repro.obs.trace import span
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.audit import AuditSink
 
 #: An oriented support: R(x, y) was narrowed by composing R(x, via), R(via, y).
 _Support = tuple[ObjectRef, ObjectRef, ObjectRef]
@@ -127,6 +131,9 @@ class AssertionNetwork:
         self.counters = counters if counters is not None else AnalysisCounters()
         #: whether retract/respecify repair incrementally (False = rebuild)
         self.incremental = incremental
+        #: audit sink (``AnalysisSession.attach_audit`` binds one); records
+        #: every specify/retract, plus conflicts and rejections, for replay.
+        self.audit: "AuditSink | None" = None
 
     # -- membership ------------------------------------------------------------
 
@@ -261,6 +268,48 @@ class AssertionNetwork:
             kind = AssertionKind.from_code(kind)
         first = coerce_object_ref(first)
         second = coerce_object_ref(second)
+        try:
+            with span("phase3.closure.specify", counters=self.counters):
+                result = self._specify_checked(first, second, kind, source, note)
+        except ConflictError:
+            self._audit_assertion("conflict", first, second, kind, source, note)
+            raise
+        except AssertionSpecError:
+            self._audit_assertion("rejected", first, second, kind, source, note)
+            raise
+        self._audit_assertion("specify", first, second, kind, source, note)
+        return result
+
+    def _audit_assertion(
+        self,
+        action: str,
+        first: ObjectRef,
+        second: ObjectRef,
+        kind: AssertionKind,
+        source: Source,
+        note: str,
+    ) -> None:
+        if self.audit is None:
+            return
+        self.audit.emit(
+            action,
+            {
+                "first": str(first),
+                "second": str(second),
+                "kind": kind.code,
+                "source": source.name,
+                "note": note,
+            },
+        )
+
+    def _specify_checked(
+        self,
+        first: ObjectRef,
+        second: ObjectRef,
+        kind: AssertionKind,
+        source: Source,
+        note: str,
+    ) -> Assertion:
         self._require(first)
         self._require(second)
         if first == second:
@@ -325,12 +374,18 @@ class AssertionNetwork:
             raise AssertionSpecError(
                 f"no specified assertion between {first} and {second}"
             )
-        del self._specified[pair]
-        self._log = [a for a in self._log if a.pair != pair]
-        if self.incremental:
-            self._repair_after_retract(pair)
-        else:
-            self._rebuild()
+        with span("phase3.closure.retract", counters=self.counters):
+            del self._specified[pair]
+            self._log = [a for a in self._log if a.pair != pair]
+            if self.incremental:
+                with span("phase3.closure.repair", counters=self.counters):
+                    self._repair_after_retract(pair)
+            else:
+                self._rebuild()
+        if self.audit is not None:
+            self.audit.emit(
+                "retract", {"first": str(first), "second": str(second)}
+            )
 
     def _repair_after_retract(self, root: Pair) -> None:
         """Reset and re-derive only the pairs that depended on ``root``.
@@ -428,14 +483,21 @@ class AssertionNetwork:
         self._derived = {}
         self._specified = {}
         self._log = []
-        for assertion in remaining:
-            self.specify(
-                assertion.first,
-                assertion.second,
-                assertion.kind,
-                assertion.source,
-                assertion.note,
-            )
+        # Suspend auditing: re-specifying the surviving log is internal
+        # repair, not new DDA input, and must not be recorded twice.
+        saved_audit, self.audit = self.audit, None
+        try:
+            with span("phase3.closure.rebuild", counters=self.counters):
+                for assertion in remaining:
+                    self.specify(
+                        assertion.first,
+                        assertion.second,
+                        assertion.kind,
+                        assertion.source,
+                        assertion.note,
+                    )
+        finally:
+            self.audit = saved_audit
 
     # -- propagation -------------------------------------------------------------
 

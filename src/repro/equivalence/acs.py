@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.ecr.attributes import AttributeRef
+from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
     from repro.equivalence.registry import EquivalenceRegistry, RegistryChange
@@ -89,30 +90,34 @@ class AcsMatrix:
         if self._pairs is not None and not self._dirty:
             self._registry.counters.acs_cache_hits += 1
             return
-        if self._reselect_needed:
-            self._rows = self._registry.schema(self.first_schema).all_attribute_refs()
-            self._columns = self._registry.schema(
-                self.second_schema
-            ).all_attribute_refs()
-            self._reselect_needed = False
-        column_numbers = [
-            (column, self._registry.class_number(column)) for column in self._columns
-        ]
-        pairs: list[tuple[AttributeRef, AttributeRef]] = []
-        booleans: list[list[bool]] = []
-        for row in self._rows:
-            row_number = self._registry.class_number(row)
-            flags: list[bool] = []
-            for column, column_number in column_numbers:
-                match = row_number == column_number
-                flags.append(match)
-                if match:
-                    pairs.append((row, column))
-            booleans.append(flags)
-        self._pairs = pairs
-        self._booleans = booleans
-        self._dirty = False
-        self._registry.counters.acs_rebuilds += 1
+        with span("phase2.acs.recompute", counters=self._registry.counters):
+            if self._reselect_needed:
+                self._rows = self._registry.schema(
+                    self.first_schema
+                ).all_attribute_refs()
+                self._columns = self._registry.schema(
+                    self.second_schema
+                ).all_attribute_refs()
+                self._reselect_needed = False
+            column_numbers = [
+                (column, self._registry.class_number(column))
+                for column in self._columns
+            ]
+            pairs: list[tuple[AttributeRef, AttributeRef]] = []
+            booleans: list[list[bool]] = []
+            for row in self._rows:
+                row_number = self._registry.class_number(row)
+                flags: list[bool] = []
+                for column, column_number in column_numbers:
+                    match = row_number == column_number
+                    flags.append(match)
+                    if match:
+                        pairs.append((row, column))
+                booleans.append(flags)
+            self._pairs = pairs
+            self._booleans = booleans
+            self._dirty = False
+            self._registry.counters.acs_rebuilds += 1
 
     @property
     def rows(self) -> list[AttributeRef]:

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 
 from repro.ecr.objects import ObjectClass, ObjectKind
 from repro.ecr.schema import ObjectRef
+from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
     from repro.equivalence.registry import EquivalenceRegistry, RegistryChange
@@ -178,20 +179,22 @@ class OcsMatrix:
     def entries(self, include_zero: bool = False) -> list[OcsEntry]:
         """All matrix entries row-major; zero-similarity pairs are skipped
         unless ``include_zero`` is set (Screen 8 only shows candidates)."""
-        found: list[OcsEntry] = []
-        for row in self._rows:
-            for column in self._columns:
-                entry = self.entry(row, column)
-                if entry.equivalent_attributes > 0 or include_zero:
-                    found.append(entry)
-        return found
+        with span("phase2.ocs.recompute", counters=self._registry.counters):
+            found: list[OcsEntry] = []
+            for row in self._rows:
+                for column in self._columns:
+                    entry = self.entry(row, column)
+                    if entry.equivalent_attributes > 0 or include_zero:
+                        found.append(entry)
+            return found
 
     def as_counts(self) -> list[list[int]]:
         """Dense count matrix (row-major) for numeric consumers."""
-        return [
-            [self.count(row, column) for column in self._columns]
-            for row in self._rows
-        ]
+        with span("phase2.ocs.recompute", counters=self._registry.counters):
+            return [
+                [self.count(row, column) for column in self._columns]
+                for row in self._rows
+            ]
 
     def render(self) -> str:
         """Human-readable rendering used by the tool's debug view."""

@@ -22,6 +22,7 @@ from repro.ecr.objects import ObjectKind
 from repro.ecr.schema import ObjectRef
 from repro.equivalence.registry import EquivalenceRegistry
 from repro.equivalence.resemblance import attribute_ratio
+from repro.obs.trace import span
 
 
 @dataclass(frozen=True)
@@ -84,24 +85,25 @@ def ordered_object_pairs(
     if cached is not None:
         registry.counters.ordering_cache_hits += 1
         return list(cached)  # defensive copy: callers may sort/mutate
-    pairs: list[CandidatePair] = []
-    for entry in ocs.entries(include_zero=include_zero):
-        ratio = attribute_ratio(
-            entry.equivalent_attributes,
-            ocs.attribute_count(entry.row),
-            ocs.attribute_count(entry.column),
-        )
-        pairs.append(
-            CandidatePair(
-                entry.row, entry.column, entry.equivalent_attributes, ratio
+    with span("phase2.ordering.rank", counters=registry.counters):
+        pairs: list[CandidatePair] = []
+        for entry in ocs.entries(include_zero=include_zero):
+            ratio = attribute_ratio(
+                entry.equivalent_attributes,
+                ocs.attribute_count(entry.row),
+                ocs.attribute_count(entry.column),
             )
+            pairs.append(
+                CandidatePair(
+                    entry.row, entry.column, entry.equivalent_attributes, ratio
+                )
+            )
+        pairs.sort(
+            key=lambda pair: (-pair.attribute_ratio, pair.first, pair.second)
         )
-    pairs.sort(
-        key=lambda pair: (-pair.attribute_ratio, pair.first, pair.second)
-    )
-    ocs.view_cache[cache_key] = pairs
-    registry.counters.ordering_rebuilds += 1
-    return list(pairs)
+        ocs.view_cache[cache_key] = pairs
+        registry.counters.ordering_rebuilds += 1
+        return list(pairs)
 
 
 def render_screen8_rows(pairs: list[CandidatePair]) -> str:

@@ -32,11 +32,13 @@ from repro.ecr.domains import domains_compatible
 from repro.ecr.schema import Schema
 from repro.errors import DuplicateNameError, EquivalenceError, UnknownNameError
 from repro.instrumentation import AnalysisCounters
+from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.ecr.objects import ObjectKind
     from repro.equivalence.acs import AcsMatrix
     from repro.equivalence.ocs import OcsMatrix
+    from repro.obs.audit import AuditSink
 
 
 @dataclass(frozen=True)
@@ -93,6 +95,9 @@ class EquivalenceRegistry:
         self.invalidate_listeners: list[Callable[[RegistryChange], None]] = []
         #: shared work counters (an :class:`AnalysisSession` injects its own)
         self.counters = counters if counters is not None else AnalysisCounters()
+        #: audit sink (``AnalysisSession.attach_audit`` binds one); every
+        #: mutation is recorded with enough payload to replay it.
+        self.audit: "AuditSink | None" = None
         self._ocs_cache: dict[tuple[str, str, object], "OcsMatrix"] = {}
         self._acs_cache: dict[tuple[str, str], "AcsMatrix"] = {}
         for schema in schemas:
@@ -135,12 +140,23 @@ class EquivalenceRegistry:
         """
         if schema.name in self._schemas:
             raise DuplicateNameError("schema", schema.name)
-        self._schemas[schema.name] = schema
-        for ref in schema.all_attribute_refs():
-            self._class_of[ref] = self._next_class
-            self._members[self._next_class] = [ref]
-            self._next_class += 1
-        self._bump("register", schemas=frozenset({schema.name}))
+        with span(
+            "phase1.registry.register_schema",
+            counters=self.counters,
+            schema=schema.name,
+        ):
+            self._schemas[schema.name] = schema
+            for ref in schema.all_attribute_refs():
+                self._class_of[ref] = self._next_class
+                self._members[self._next_class] = [ref]
+                self._next_class += 1
+            self._bump("register", schemas=frozenset({schema.name}))
+        if self.audit is not None:
+            from repro.ecr.json_io import schema_to_dict
+
+            self.audit.emit(
+                "register_schema", {"schema": schema_to_dict(schema)}
+            )
 
     def schemas(self) -> list[Schema]:
         """The registered schemas, in registration order."""
@@ -156,25 +172,48 @@ class EquivalenceRegistry:
         """Dereference a qualified attribute (validating every level)."""
         return self.schema(ref.schema).resolve_attribute(ref)
 
-    def refresh_schema(self, schema_name: str) -> None:
+    def refresh_schema(
+        self, schema_name: str, replacement: Schema | None = None
+    ) -> None:
         """Re-scan a registered schema after external edits.
 
         Newly added attributes get fresh singleton classes; attributes that
         disappeared are dropped from their classes.  Existing class
-        memberships are preserved.
+        memberships are preserved.  ``replacement`` swaps in a new
+        :class:`Schema` object under the same name first (the audit replay
+        uses this to reproduce in-place edits it cannot observe).
         """
-        schema = self.schema(schema_name)
-        current = set(schema.all_attribute_refs())
-        known = {ref for ref in self._class_of if ref.schema == schema_name}
-        for ref in sorted(known - current):
-            self._detach(ref)
-            del self._class_of[ref]
-        for ref in schema.all_attribute_refs():
-            if ref not in self._class_of:
-                self._class_of[ref] = self._next_class
-                self._members[self._next_class] = [ref]
-                self._next_class += 1
-        self._bump("refresh", schemas=frozenset({schema_name}))
+        self.schema(schema_name)  # validate the name before mutating
+        if replacement is not None:
+            if replacement.name != schema_name:
+                raise EquivalenceError(
+                    f"replacement schema is named {replacement.name!r}, "
+                    f"not {schema_name!r}"
+                )
+            self._schemas[schema_name] = replacement
+        with span(
+            "phase2.registry.refresh_schema",
+            counters=self.counters,
+            schema=schema_name,
+        ):
+            schema = self._schemas[schema_name]
+            current = set(schema.all_attribute_refs())
+            known = {ref for ref in self._class_of if ref.schema == schema_name}
+            for ref in sorted(known - current):
+                self._detach(ref)
+                del self._class_of[ref]
+            for ref in schema.all_attribute_refs():
+                if ref not in self._class_of:
+                    self._class_of[ref] = self._next_class
+                    self._members[self._next_class] = [ref]
+                    self._next_class += 1
+            self._bump("refresh", schemas=frozenset({schema_name}))
+        if self.audit is not None:
+            from repro.ecr.json_io import schema_to_dict
+
+            self.audit.emit(
+                "refresh_schema", {"schema": schema_to_dict(schema)}
+            )
 
     # -- cached views ---------------------------------------------------------
 
@@ -244,30 +283,41 @@ class EquivalenceRegistry:
             )
         attr_a = self._checked_resolve(first)
         attr_b = self._checked_resolve(second)
-        issues = self._inspect_pair(first, attr_a, second, attr_b)
-        class_a = self._class_of[first]
-        class_b = self._class_of[second]
-        if class_a != class_b:
-            keep, drop = sorted((class_a, class_b))
-            for ref in self._members.pop(drop):
-                self._class_of[ref] = keep
-                self._members[keep].append(ref)
-            self._bump("declare", objects=self._owners(self._members[keep]))
+        with span("phase2.registry.declare_equivalent", counters=self.counters):
+            issues = self._inspect_pair(first, attr_a, second, attr_b)
+            class_a = self._class_of[first]
+            class_b = self._class_of[second]
+            if class_a != class_b:
+                keep, drop = sorted((class_a, class_b))
+                for ref in self._members.pop(drop):
+                    self._class_of[ref] = keep
+                    self._members[keep].append(ref)
+                self._bump(
+                    "declare", objects=self._owners(self._members[keep])
+                )
+        if self.audit is not None:
+            self.audit.emit(
+                "declare_equivalent",
+                {"first": str(first), "second": str(second)},
+            )
         return issues
 
     def remove_from_class(self, ref: AttributeRef | str) -> None:
         """Move an attribute back into a fresh singleton class (Screen 7 Delete)."""
         ref = coerce_attribute_ref(ref)
         self._checked_resolve(ref)
+        if self.audit is not None:
+            self.audit.emit("remove_from_class", {"ref": str(ref)})
         old_members = self._members[self._class_of[ref]]
         if len(old_members) == 1:
             return  # already alone
-        touched = self._owners(old_members)
-        self._detach(ref)
-        self._class_of[ref] = self._next_class
-        self._members[self._next_class] = [ref]
-        self._next_class += 1
-        self._bump("remove", objects=touched)
+        with span("phase2.registry.remove_from_class", counters=self.counters):
+            touched = self._owners(old_members)
+            self._detach(ref)
+            self._class_of[ref] = self._next_class
+            self._members[self._next_class] = [ref]
+            self._next_class += 1
+            self._bump("remove", objects=touched)
 
     def _detach(self, ref: AttributeRef) -> None:
         old_class = self._class_of[ref]

@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycles
     from repro.equivalence.ocs import OcsMatrix
     from repro.integration.options import IntegrationOptions
     from repro.integration.result import IntegrationResult
+    from repro.obs.audit import AuditLog
 
 
 class AnalysisSession:
@@ -66,6 +67,7 @@ class AnalysisSession:
         object_network: AssertionNetwork | None = None,
         relationship_network: AssertionNetwork | None = None,
         counters: AnalysisCounters | None = None,
+        audit: "AuditLog | None" = None,
     ) -> None:
         schemas = list(schemas)
         if registry is not None and schemas:
@@ -88,6 +90,10 @@ class AnalysisSession:
             relationship_network.counters = self.counters
         self.object_network = object_network
         self.relationship_network = relationship_network
+        #: the attached audit log, if any (see :meth:`attach_audit`)
+        self.audit_log: "AuditLog | None" = None
+        if audit is not None:
+            self.attach_audit(audit)
         for schema in schemas:
             self.add_schema(schema)
 
@@ -102,9 +108,16 @@ class AnalysisSession:
                 ObjectRef(schema.name, relationship.name)
             )
 
-    def refresh_schema(self, schema_name: str) -> None:
-        """Re-sync the registry and reseed the networks after schema edits."""
-        self.registry.refresh_schema(schema_name)
+    def refresh_schema(
+        self, schema_name: str, replacement: Schema | None = None
+    ) -> None:
+        """Re-sync the registry and reseed the networks after schema edits.
+
+        ``replacement`` swaps in a new :class:`Schema` object under the
+        same name first (audit replay uses this to reproduce in-place
+        edits it cannot observe).
+        """
+        self.registry.refresh_schema(schema_name, replacement=replacement)
         self.reseed_networks()
 
     def reseed_networks(self) -> None:
@@ -116,12 +129,94 @@ class AnalysisSession:
         """
         self.object_network = AssertionNetwork(counters=self.counters)
         self.relationship_network = AssertionNetwork(counters=self.counters)
+        self._bind_audit_sinks()
         for schema in self.registry.schemas():
             self.object_network.seed_schema(schema)
             for relationship in schema.relationship_sets():
                 self.relationship_network.add_object(
                     ObjectRef(schema.name, relationship.name)
                 )
+
+    # -- audit recording --------------------------------------------------------
+
+    def attach_audit(self, log: "AuditLog | None" = None) -> "AuditLog":
+        """Start recording every mutation into an audit log.
+
+        Binds :class:`~repro.obs.audit.AuditSink` handles to the registry
+        and both networks, so the log sees mutations no matter which
+        surface drives them (this facade, the interactive tool's screens,
+        or direct component calls).  If the session already has state, a
+        ``session.snapshot`` event capturing it is recorded first, so a
+        replay of the log starts from the same point.  Returns the log
+        (a fresh one is created when ``log`` is omitted).
+        """
+        from repro.obs.audit import AuditLog
+
+        if log is None:
+            log = AuditLog()
+        self.audit_log = log
+        if (
+            self.registry.schemas()
+            or self.object_network.specified_assertions()
+            or self.relationship_network.specified_assertions()
+        ):
+            log.emit("session", "snapshot", self._snapshot_payload())
+        self._bind_audit_sinks()
+        return log
+
+    def detach_audit(self) -> "AuditLog | None":
+        """Stop recording; returns the previously attached log, if any."""
+        log = self.audit_log
+        self.audit_log = None
+        self._bind_audit_sinks()
+        return log
+
+    def _bind_audit_sinks(self) -> None:
+        """(Re)bind component sinks to :attr:`audit_log` (or unbind)."""
+        log = self.audit_log
+        if log is None:
+            self.registry.audit = None
+            self.object_network.audit = None
+            self.relationship_network.audit = None
+            return
+        from repro.obs.audit import AuditSink
+
+        self.registry.audit = AuditSink(log, "registry")
+        self.object_network.audit = AuditSink(log, "object_network")
+        self.relationship_network.audit = AuditSink(log, "relationship_network")
+
+    def _snapshot_payload(self) -> dict:
+        """The session's current state, in replayable form."""
+        from repro.ecr.json_io import schema_to_dict
+
+        assertions = []
+        for relationships, network in (
+            (False, self.object_network),
+            (True, self.relationship_network),
+        ):
+            for assertion in network.specified_assertions():
+                if assertion.source is Source.IMPLICIT:
+                    continue  # re-seeded by add_schema on replay
+                assertions.append(
+                    {
+                        "first": str(assertion.first),
+                        "second": str(assertion.second),
+                        "kind": assertion.kind.code,
+                        "source": assertion.source.name,
+                        "note": assertion.note,
+                        "relationships": relationships,
+                    }
+                )
+        return {
+            "schemas": [
+                schema_to_dict(schema) for schema in self.registry.schemas()
+            ],
+            "equivalences": [
+                [str(ref) for ref in members]
+                for members in self.registry.nontrivial_classes()
+            ],
+            "assertions": assertions,
+        }
 
     def schema(self, name: str) -> Schema:
         """One registered schema by name."""
@@ -264,13 +359,31 @@ class AnalysisSession:
         from repro.integration.integrator import Integrator
         from repro.integration.options import IntegrationOptions
 
+        resolved = options if options is not None else IntegrationOptions()
         integrator = Integrator(
             self.registry,
             self.object_network,
             self.relationship_network,
-            options if options is not None else IntegrationOptions(),
+            resolved,
         )
-        return integrator.integrate(first_schema, second_schema, result_name)
+        result = integrator.integrate(first_schema, second_schema, result_name)
+        if self.audit_log is not None:
+            from dataclasses import asdict
+
+            from repro.obs.replay import schema_fingerprint
+
+            self.audit_log.emit(
+                "session",
+                "integrate",
+                {
+                    "first": first_schema,
+                    "second": second_schema,
+                    "result_name": result_name,
+                    "options": asdict(resolved),
+                    "fingerprint": schema_fingerprint(result.schema),
+                },
+            )
+        return result
 
     # -- instrumentation ----------------------------------------------------------
 

@@ -98,3 +98,7 @@ class ToolError(ReproError):
 
 class ScriptError(ToolError):
     """A tool-driving script is malformed or refers to missing state."""
+
+
+class ReplayError(ReproError):
+    """Replaying an audit log diverged from the recorded session."""

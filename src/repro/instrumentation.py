@@ -1,66 +1,15 @@
-"""Lightweight instrumentation counters for the incremental analysis engine.
+"""Compatibility shim — the counters moved to :mod:`repro.obs.metrics`.
 
-The Phase 2/3 hot paths — OCS cell computation, candidate ordering and
-assertion-closure propagation — are memoized and repaired incrementally.
-:class:`AnalysisCounters` records how much work each path actually did so
-tests and benchmarks can *assert* the win instead of eyeballing timings:
-a cache hit increments one counter, a recomputation another.
-
-This module deliberately imports nothing from :mod:`repro` so that the
-low-level engines (:mod:`repro.equivalence.registry`,
-:mod:`repro.assertions.network`) can depend on it without import cycles.
-The counters are re-exported from :mod:`repro.analysis`, which is where
-experiment code should import them from.
+:class:`AnalysisCounters` is now owned by the observability subsystem
+(:mod:`repro.obs`), where it plugs into the
+:class:`~repro.obs.metrics.MetricsRegistry` and the span tracer.  This
+module keeps the historical import path working; new code should import
+from :mod:`repro.obs.metrics` (or keep using the :mod:`repro.analysis`
+re-export).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from repro.obs.metrics import AnalysisCounters
 
-
-@dataclass
-class AnalysisCounters:
-    """Work counters shared by a registry, its cached views and networks.
-
-    Every :class:`~repro.equivalence.registry.EquivalenceRegistry` and
-    :class:`~repro.assertions.network.AssertionNetwork` owns one (or shares
-    one through an :class:`~repro.equivalence.AnalysisSession`).
-    """
-
-    #: registry mutations that bumped the version counter
-    registry_mutations: int = 0
-    #: OCS cells computed from the registry (cache misses)
-    ocs_cells_recomputed: int = 0
-    #: OCS cells served from the memoized matrix
-    ocs_cache_hits: int = 0
-    #: ACS views recomputed after an invalidation
-    acs_rebuilds: int = 0
-    #: ACS views served from cache
-    acs_cache_hits: int = 0
-    #: ranked candidate lists rebuilt (re-sorted) after an invalidation
-    ordering_rebuilds: int = 0
-    #: ranked candidate lists served from cache
-    ordering_cache_hits: int = 0
-    #: individual narrowing compositions performed during path consistency
-    propagation_steps: int = 0
-    #: retracts/respecifies repaired incrementally (affected region only)
-    closure_incremental_retracts: int = 0
-    #: retracts/respecifies served by a full network rebuild
-    closure_full_rebuilds: int = 0
-    #: pairs reset and re-derived by incremental closure repair
-    closure_pairs_recomputed: int = 0
-
-    def reset(self) -> None:
-        """Zero every counter (benchmarks call this between phases)."""
-        for spec in fields(self):
-            setattr(self, spec.name, 0)
-
-    def snapshot(self) -> dict[str, int]:
-        """The current counter values as a plain dict (JSON-friendly)."""
-        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
-
-    def __str__(self) -> str:
-        parts = ", ".join(
-            f"{name}={value}" for name, value in self.snapshot().items() if value
-        )
-        return f"AnalysisCounters({parts})"
+__all__ = ["AnalysisCounters"]

@@ -38,6 +38,7 @@ from repro.integration.lattice import ancestors_in_dag, transitive_reduction
 from repro.integration.naming import NamePool, derived_name, equivalent_name
 from repro.integration.options import IntegrationOptions
 from repro.integration.result import IntegratedNode, IntegrationResult
+from repro.obs.trace import span
 
 
 class Integrator:
@@ -66,30 +67,44 @@ class Integrator:
         """Integrate two registered schemas into one integrated schema."""
         schema_a = self._registry.schema(first_schema)
         schema_b = self._registry.schema(second_schema)
-        result = IntegrationResult(Schema(result_name))
-        names = NamePool()
-        self._log_clusters(schema_a, schema_b, result)
-        groups, node_names, members_by_node = self._merge_object_classes(
-            schema_a, schema_b, names, result
-        )
-        edges = self._collect_isa_edges(
-            schema_a, schema_b, groups, node_names
-        )
-        edges = self._add_derived_parents(
-            schema_a, schema_b, groups, node_names, members_by_node,
-            names, edges, result,
-        )
-        edges = transitive_reduction(edges)
-        self._build_object_classes(
-            members_by_node, edges, result
-        )
-        self._merge_relationship_sets(
-            schema_a, schema_b, names, result
-        )
-        if self._options.validate_result:
-            assert_valid(result.schema)
-        result.note(f"integration complete: {result.schema.summary()}")
-        return result
+        counters = self._registry.counters
+        with span(
+            "phase4.integrate",
+            counters=counters,
+            first=first_schema,
+            second=second_schema,
+        ):
+            result = IntegrationResult(Schema(result_name))
+            names = NamePool()
+            with span("phase4.clusters", counters=counters):
+                self._log_clusters(schema_a, schema_b, result)
+            with span("phase4.objects.merge", counters=counters):
+                groups, node_names, members_by_node = self._merge_object_classes(
+                    schema_a, schema_b, names, result
+                )
+            with span("phase4.isa.edges", counters=counters):
+                edges = self._collect_isa_edges(
+                    schema_a, schema_b, groups, node_names
+                )
+            with span("phase4.isa.derived_parents", counters=counters):
+                edges = self._add_derived_parents(
+                    schema_a, schema_b, groups, node_names, members_by_node,
+                    names, edges, result,
+                )
+                edges = transitive_reduction(edges)
+            with span("phase4.objects.build", counters=counters):
+                self._build_object_classes(
+                    members_by_node, edges, result
+                )
+            with span("phase4.relationships.merge", counters=counters):
+                self._merge_relationship_sets(
+                    schema_a, schema_b, names, result
+                )
+            if self._options.validate_result:
+                with span("phase4.validate", counters=counters):
+                    assert_valid(result.schema)
+            result.note(f"integration complete: {result.schema.summary()}")
+            return result
 
     # -- phase logging -----------------------------------------------------------
 

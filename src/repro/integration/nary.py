@@ -23,6 +23,7 @@ from repro.integration.integrator import Integrator
 from repro.integration.mappings import SchemaMapping
 from repro.integration.options import IntegrationOptions
 from repro.integration.result import IntegrationResult
+from repro.obs.trace import span
 from repro.workloads.oracle import GroundTruth
 
 
@@ -81,11 +82,12 @@ def integrate_all(
         step_name = (
             result_name if step == len(schemas) - 1 else f"{result_name}_step{step}"
         )
-        result = _integrate_step(
-            current, incoming, truth, object_home, attribute_home,
-            options, step_name,
-        )
-        _advance_homes(result, incoming, object_home, attribute_home)
+        with span("phase4.nary.step", step=step, incoming=incoming.name):
+            result = _integrate_step(
+                current, incoming, truth, object_home, attribute_home,
+                options, step_name,
+            )
+            _advance_homes(result, incoming, object_home, attribute_home)
         current = result.schema
     assert result is not None
     mappings = _final_mappings(schemas, result, object_home, attribute_home)

@@ -1,0 +1,148 @@
+"""Per-phase observability reports.
+
+:func:`summarize` folds a tracer's spans and a counters snapshot into one
+JSON-friendly summary — per-phase span counts and self-time, top spans by
+self-time, the cache hit ratios of the incremental engine, and a
+histogram of propagation-step costs per closure operation.
+:func:`render_text` renders the same summary for a terminal;
+:func:`render_json` for files such as ``BENCH_obs.json``.
+
+"Self time" is a span's duration minus the time spent inside its child
+spans, so per-phase sums are additive even though spans nest (an
+``integrate`` span contains its stage spans; only the orchestration
+overhead counts as the parent's own cost).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.obs.metrics import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.trace import Tracer
+
+#: Propagation-step buckets: closure operations are small-integer-heavy.
+PROPAGATION_BUCKETS = (0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+def _ratio(hits: int, misses: int) -> float | None:
+    total = hits + misses
+    if total == 0:
+        return None
+    return hits / total
+
+
+def cache_ratios(counters: Mapping[str, int]) -> dict[str, float | None]:
+    """Cache hit ratios of the incremental engine, from a counters snapshot.
+
+    ``None`` means the corresponding cache was never consulted.
+    """
+    return {
+        "ocs_hit_ratio": _ratio(
+            counters.get("ocs_cache_hits", 0),
+            counters.get("ocs_cells_recomputed", 0),
+        ),
+        "acs_hit_ratio": _ratio(
+            counters.get("acs_cache_hits", 0), counters.get("acs_rebuilds", 0)
+        ),
+        "ordering_hit_ratio": _ratio(
+            counters.get("ordering_cache_hits", 0),
+            counters.get("ordering_rebuilds", 0),
+        ),
+    }
+
+
+def summarize(
+    tracer: "Tracer", counters: Mapping[str, int] | None = None
+) -> dict[str, Any]:
+    """One JSON-friendly summary of a traced run.
+
+    ``counters`` is a snapshot dict (``AnalysisCounters.snapshot()`` or
+    ``MetricsRegistry.snapshot()``); when omitted, cache ratios are
+    derived from the counter deltas recorded on the spans themselves.
+    """
+    per_name: dict[str, dict[str, Any]] = {}
+    per_phase: dict[str, dict[str, Any]] = {}
+    propagation = Histogram("propagation_steps", PROPAGATION_BUCKETS)
+    delta_totals: dict[str, int] = {}
+    for span in tracer.spans:
+        name_stats = per_name.setdefault(
+            span.name, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        name_stats["count"] += 1
+        name_stats["total_s"] += span.duration
+        name_stats["self_s"] += span.self_time
+        phase = span.name.split(".", 1)[0]
+        phase_stats = per_phase.setdefault(
+            phase, {"spans": 0, "self_s": 0.0, "names": set()}
+        )
+        phase_stats["spans"] += 1
+        phase_stats["self_s"] += span.self_time
+        phase_stats["names"].add(span.name)
+        for key, value in span.counter_deltas.items():
+            delta_totals[key] = delta_totals.get(key, 0) + value
+        steps = span.counter_deltas.get("propagation_steps")
+        if steps is not None and span.name.startswith("phase3."):
+            propagation.observe(steps)
+    for stats in per_phase.values():
+        stats["names"] = sorted(stats["names"])
+        stats["self_s"] = round(stats["self_s"], 9)
+    top = [
+        {"name": name, "self_s": round(seconds, 9), "count": count}
+        for name, seconds, count in tracer.top_self_time(limit=10)
+    ]
+    source = counters if counters is not None else delta_totals
+    return {
+        "phases": {phase: per_phase[phase] for phase in sorted(per_phase)},
+        "spans": {
+            name: {
+                "count": stats["count"],
+                "total_s": round(stats["total_s"], 9),
+                "self_s": round(stats["self_s"], 9),
+            }
+            for name, stats in sorted(per_name.items())
+        },
+        "top_self_time": top,
+        "cache": cache_ratios(source),
+        "propagation_steps": propagation.snapshot(),
+    }
+
+
+def render_json(summary: dict[str, Any]) -> str:
+    """The summary as pretty-printed JSON."""
+    return json.dumps(summary, indent=2, sort_keys=True)
+
+
+def render_text(summary: dict[str, Any]) -> str:
+    """The summary as a plain-text report (one screen, diff-friendly)."""
+    lines: list[str] = ["Observability report", "====================", ""]
+    lines.append("Per-phase self time")
+    for phase, stats in summary["phases"].items():
+        lines.append(
+            f"  {phase:<8} {stats['spans']:>6} spans  "
+            f"{stats['self_s'] * 1e3:>10.3f} ms"
+        )
+    lines.append("")
+    lines.append("Top spans by self time")
+    for entry in summary["top_self_time"]:
+        lines.append(
+            f"  {entry['name']:<36} {entry['count']:>6}x  "
+            f"{entry['self_s'] * 1e3:>10.3f} ms"
+        )
+    lines.append("")
+    lines.append("Cache hit ratios")
+    for key, value in summary["cache"].items():
+        rendered = "n/a" if value is None else f"{value:.1%}"
+        lines.append(f"  {key:<20} {rendered}")
+    lines.append("")
+    steps = summary["propagation_steps"]
+    lines.append(
+        f"Propagation steps per closure op: n={steps['count']}, "
+        f"sum={steps['sum']:g}"
+    )
+    for label, count in steps["buckets"].items():
+        if count:
+            lines.append(f"  {label:<12} {count}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,359 @@
+"""Hierarchical span tracing for the four-phase pipeline.
+
+A :class:`Tracer` records **spans** — named, nested wall-time intervals —
+around the pipeline's instrumented operations.  Each span carries:
+
+* its position in the hierarchy (``parent_id``/``span_id``, depth);
+* wall time (``duration``) and **self time** (duration minus the time
+  spent in child spans);
+* the delta of the shared :class:`~repro.obs.metrics.AnalysisCounters`
+  across the span, so a ``phase3.closure.specify`` span shows exactly how
+  many propagation steps that one assertion cost; and
+* free-form attributes supplied at the call site.
+
+Instrumented code calls the module-level :func:`span` function::
+
+    from repro.obs.trace import span
+
+    with span("phase2.ocs.recompute", counters=self.counters):
+        ...
+
+When no tracer is installed (the default) :func:`span` returns a shared
+no-op context manager — the cost is one global read and one ``is None``
+check, which is what keeps the instrumentation free in production paths.
+Install a tracer globally with :func:`install_tracer` /
+:func:`uninstall_tracer`, or locally with the :func:`tracing` context
+manager (tests and benchmarks use the latter).
+
+Finished spans export as JSONL (one span per line, for grepping) and as
+Chrome-trace-compatible JSON (load the file in ``chrome://tracing`` or
+Perfetto to see the flame graph).
+
+The tracer is intentionally single-threaded — one DDA, one session, one
+span stack — matching the tool's interaction model.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.metrics import AnalysisCounters
+
+
+class Span:
+    """One finished (or in-flight) span."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "depth",
+        "start",
+        "end",
+        "attrs",
+        "counter_deltas",
+        "children_time",
+        "_counters_before",
+        "_counters_live",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        depth: int,
+        start: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.depth = depth
+        self.start = start
+        self.end = start
+        self.attrs = attrs
+        #: non-zero AnalysisCounters deltas across this span
+        self.counter_deltas: dict[str, int] = {}
+        #: total wall time spent inside direct child spans
+        self.children_time = 0.0
+        self._counters_before: dict[str, int] | None = None
+        self._counters_live: "AnalysisCounters | None" = None
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds from enter to exit."""
+        return self.end - self.start
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus the time attributed to child spans."""
+        return max(0.0, self.duration - self.children_time)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly record (the JSONL line format)."""
+        data: dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "start_s": round(self.start, 9),
+            "duration_s": round(self.duration, 9),
+            "self_s": round(self.self_time, 9),
+        }
+        if self.attrs:
+            data["attrs"] = self.attrs
+        if self.counter_deltas:
+            data["counters"] = self.counter_deltas
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name}, {self.duration * 1e3:.3f}ms)"
+
+
+class _NullSpanContext:
+    """The do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager for one live span of an enabled tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Collects hierarchical spans; see the module docstring.
+
+    ``counters`` is the :class:`AnalysisCounters` instance to diff at span
+    boundaries; a counters object passed to an individual :func:`span`
+    call overrides it for that span.
+    """
+
+    def __init__(self, counters: "AnalysisCounters | None" = None) -> None:
+        self.counters = counters
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._clock = time.perf_counter
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        counters: "AnalysisCounters | None" = None,
+        **attrs: Any,
+    ) -> _SpanContext:
+        """Open a span; use as a context manager."""
+        record = Span(
+            self._next_id,
+            self._stack[-1].span_id if self._stack else None,
+            name,
+            len(self._stack),
+            self._clock(),
+            attrs,
+        )
+        self._next_id += 1
+        active = counters if counters is not None else self.counters
+        if active is not None:
+            record._counters_before = active.snapshot()
+            record._counters_live = active
+        return _SpanContext(self, record)
+
+    def _push(self, record: Span) -> None:
+        record.start = self._clock()
+        self._stack.append(record)
+
+    def _pop(self, record: Span) -> None:
+        record.end = self._clock()
+        if self._stack and self._stack[-1] is record:
+            self._stack.pop()
+        else:  # pragma: no cover - exits out of order only on misuse
+            self._stack = [s for s in self._stack if s is not record]
+        active = record._counters_live
+        record._counters_live = None
+        if active is not None and record._counters_before is not None:
+            before = record._counters_before
+            record.counter_deltas = {
+                name: value - before[name]
+                for name, value in active.snapshot().items()
+                if value != before[name]
+            }
+        if self._stack:
+            self._stack[-1].children_time += record.duration
+        self.spans.append(record)
+
+    # -- queries ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every finished span (the live stack is kept)."""
+        self.spans = []
+
+    def by_name(self, name: str) -> list[Span]:
+        """All finished spans with exactly this name, in finish order."""
+        return [span for span in self.spans if span.name == name]
+
+    def names(self) -> list[str]:
+        """Distinct span names, sorted."""
+        return sorted({span.name for span in self.spans})
+
+    def total_time(self, name: str) -> float:
+        """Summed duration of every span with this name."""
+        return sum(span.duration for span in self.by_name(name))
+
+    def top_self_time(self, limit: int = 10) -> list[tuple[str, float, int]]:
+        """``(name, summed self time, count)`` triples, largest first."""
+        totals: dict[str, tuple[float, int]] = {}
+        for span in self.spans:
+            seconds, count = totals.get(span.name, (0.0, 0))
+            totals[span.name] = (seconds + span.self_time, count + 1)
+        ranked = [
+            (name, seconds, count)
+            for name, (seconds, count) in totals.items()
+        ]
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+        return ranked[:limit]
+
+    # -- export ----------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per finished span, in finish order."""
+        return "\n".join(
+            json.dumps(span.to_dict(), sort_keys=True) for span in self.spans
+        ) + ("\n" if self.spans else "")
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The Chrome ``trace_event`` format (complete ``X`` events).
+
+        Load the dumped JSON in ``chrome://tracing`` or Perfetto.
+        Timestamps are microseconds relative to the earliest span.
+        """
+        if not self.spans:
+            return {"traceEvents": []}
+        origin = min(span.start for span in self.spans)
+        events = []
+        for span in sorted(self.spans, key=lambda s: (s.start, s.span_id)):
+            args: dict[str, Any] = dict(span.attrs)
+            args.update(span.counter_deltas)
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": round((span.start - origin) * 1e6, 3),
+                    "dur": round(span.duration * 1e6, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_jsonl(self, path) -> None:
+        """Dump :meth:`to_jsonl` to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    def write_chrome_trace(self, path) -> None:
+        """Dump :meth:`to_chrome_trace` to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=2)
+
+
+#: The globally installed tracer; ``None`` means tracing is disabled.
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` while tracing is disabled."""
+    return _TRACER
+
+
+def install_tracer(tracer: Tracer) -> Tracer:
+    """Install (and return) the global tracer; spans start recording."""
+    global _TRACER
+    _TRACER = tracer
+    return tracer
+
+
+def uninstall_tracer() -> Tracer | None:
+    """Disable tracing; returns the tracer that was installed, if any."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = None
+    return previous
+
+
+def span(
+    name: str,
+    counters: "AnalysisCounters | None" = None,
+    **attrs: Any,
+) -> "_SpanContext | _NullSpanContext":
+    """Open a span on the installed tracer, or a no-op when disabled.
+
+    This is the function the instrumented hot paths call; keep its
+    disabled path to a global read and one comparison.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, counters=counters, **attrs)
+
+
+class tracing:
+    """Context manager: install a fresh tracer, restore the old one after.
+
+    ::
+
+        with tracing() as tracer:
+            session.integrate("sc1", "sc2")
+        print(tracer.top_self_time())
+    """
+
+    def __init__(self, counters: "AnalysisCounters | None" = None) -> None:
+        self._tracer = Tracer(counters=counters)
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        global _TRACER
+        self._previous = _TRACER
+        _TRACER = self._tracer
+        return self._tracer
+
+    def __exit__(self, *exc_info: object) -> bool:
+        global _TRACER
+        _TRACER = self._previous
+        return False
+
+
+def iter_phases(tracer: Tracer) -> Iterator[str]:
+    """Distinct top-level phase prefixes seen by a tracer, sorted."""
+    seen = sorted({span.name.split(".", 1)[0] for span in tracer.spans})
+    return iter(seen)

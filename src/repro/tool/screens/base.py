@@ -15,6 +15,7 @@ than crashing the tool, matching the original's interactive feel.
 from __future__ import annotations
 
 from repro.errors import ReproError
+from repro.obs.trace import span
 from repro.tool.session import ToolSession
 from repro.tool.terminal import VirtualTerminal
 
@@ -111,11 +112,16 @@ class Screen:
         if stripped.lower() == "s":
             self.scroll()
             return None
-        try:
-            return self.handle(stripped, session)
-        except ReproError as exc:
-            session.status = str(exc)
-            return None
+        with span(
+            "tool.screen.handle",
+            counters=session.analysis.counters,
+            screen=type(self).__name__,
+        ):
+            try:
+                return self.handle(stripped, session)
+            except ReproError as exc:
+                session.status = str(exc)
+                return None
 
     @staticmethod
     def parse_choice(line: str) -> tuple[str, list[str]]:

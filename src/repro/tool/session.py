@@ -52,6 +52,7 @@ class ToolSession:
     def registry(self, value: EquivalenceRegistry) -> None:
         value.counters = self.analysis.counters
         self.analysis.registry = value
+        self.analysis._bind_audit_sinks()
 
     @property
     def object_network(self) -> AssertionNetwork:
@@ -62,6 +63,7 @@ class ToolSession:
     def object_network(self, value: AssertionNetwork) -> None:
         value.counters = self.analysis.counters
         self.analysis.object_network = value
+        self.analysis._bind_audit_sinks()
 
     @property
     def relationship_network(self) -> AssertionNetwork:
@@ -72,6 +74,7 @@ class ToolSession:
     def relationship_network(self, value: AssertionNetwork) -> None:
         value.counters = self.analysis.counters
         self.analysis.relationship_network = value
+        self.analysis._bind_audit_sinks()
 
     # -- schema management -------------------------------------------------------
 
@@ -88,10 +91,14 @@ class ToolSession:
             raise ToolError(f"no schema {name!r}")
         del self.schemas[name]
         # Rebuild the analysis state: equivalences and assertions touching
-        # the schema die with it.
+        # the schema die with it.  A recording in progress survives the
+        # rebuild — the new session snapshots its post-delete state.
+        audit = self.analysis.audit_log
         self.analysis = AnalysisSession(
             list(self.schemas.values()), counters=self.analysis.counters
         )
+        if audit is not None:
+            self.analysis.attach_audit(audit)
         if self.selected_pair and name in self.selected_pair:
             self.selected_pair = None
 
@@ -225,9 +232,12 @@ class ToolSession:
         the session object, so the state must change under them.
         """
         loaded = type(self).load(path)
+        audit = self.analysis.audit_log
         self.schemas = loaded.schemas
         self.analysis = loaded.analysis
         self.result = loaded.result
+        if audit is not None:
+            self.analysis.attach_audit(audit)
         self.selected_pair = None
 
     # -- browse helpers ---------------------------------------------------------------

@@ -1,0 +1,120 @@
+"""The metrics registry and the absorbed AnalysisCounters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    AnalysisCounters,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments_and_rejects_negative():
+    counter = Counter("pages")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_gauge_holds_the_latest_value():
+    gauge = Gauge("depth")
+    gauge.set(3)
+    gauge.set(1.5)
+    assert gauge.value == 1.5
+    gauge.reset()
+    assert gauge.value == 0
+
+
+def test_histogram_buckets_and_mean():
+    histogram = Histogram("steps", buckets=(1, 5, 10))
+    for value in (0, 1, 2, 7, 100):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    assert snap["count"] == 5
+    assert snap["sum"] == 110
+    assert snap["buckets"] == {"le_1": 2, "le_5": 1, "le_10": 1, "overflow": 1}
+    assert histogram.mean == pytest.approx(22.0)
+    histogram.reset()
+    assert histogram.snapshot()["count"] == 0
+    assert histogram.mean == 0.0
+
+
+def test_histogram_requires_buckets():
+    with pytest.raises(ValueError):
+        Histogram("empty", buckets=())
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+
+
+def test_registry_rejects_cross_kind_name_collisions():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+    with pytest.raises(ValueError):
+        registry.histogram("x")
+    with pytest.raises(ValueError):
+        registry.register_group("x", AnalysisCounters())
+
+
+def test_registry_absorbs_analysis_counters():
+    registry = MetricsRegistry()
+    counters = AnalysisCounters()
+    registry.register_group("analysis", counters)
+    counters.ocs_cache_hits += 7
+    registry.counter("screens_handled").inc(2)
+    snap = registry.snapshot()
+    assert snap["analysis.ocs_cache_hits"] == 7
+    assert snap["analysis.propagation_steps"] == 0
+    assert snap["screens_handled"] == 2
+    registry.reset()
+    assert counters.ocs_cache_hits == 0
+    assert registry.snapshot()["screens_handled"] == 0
+
+
+def test_analysis_counters_str_all_zero():
+    # Regression: this used to render "AnalysisCounters()" with a dangling
+    # format when every counter was zero.
+    assert str(AnalysisCounters()) == "AnalysisCounters(all zero)"
+
+
+def test_analysis_counters_str_shows_only_nonzero():
+    counters = AnalysisCounters()
+    counters.acs_rebuilds = 2
+    counters.propagation_steps = 9
+    assert str(counters) == (
+        "AnalysisCounters(acs_rebuilds=2, propagation_steps=9)"
+    )
+
+
+def test_analysis_counters_snapshot_and_reset():
+    counters = AnalysisCounters()
+    counters.registry_mutations = 3
+    snap = counters.snapshot()
+    assert snap["registry_mutations"] == 3
+    assert set(snap) == {field for field in snap}
+    counters.reset()
+    assert all(value == 0 for value in counters.snapshot().values())
+
+
+def test_instrumentation_shim_reexports_the_same_class():
+    import repro.instrumentation
+    import repro.obs.metrics
+
+    assert (
+        repro.instrumentation.AnalysisCounters
+        is repro.obs.metrics.AnalysisCounters
+    )

@@ -1,0 +1,129 @@
+"""Property test: any recorded sitting replays to the same state.
+
+Hypothesis drives random DDA sittings over the paper's sc1/sc2 —
+equivalence declarations and removals, assertions of every kind,
+retractions — with failures (conflicts, rejections) left in the mix.
+Replaying the recorded audit log must reproduce the same equivalence
+classes, the same feasible sets on every object pair, and (when the
+sitting ends in an integration) a bitwise-identical integrated schema.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.equivalence.session import AnalysisSession
+from repro.errors import ReproError
+from repro.obs.replay import replay, schema_fingerprint
+from repro.workloads.university import build_sc1, build_sc2
+
+ATTRIBUTES = (
+    "sc1.Student.Name",
+    "sc1.Student.GPA",
+    "sc1.Department.Name",
+    "sc1.Majors.Since",
+    "sc2.Grad_student.Name",
+    "sc2.Grad_student.GPA",
+    "sc2.Grad_student.Support_type",
+    "sc2.Faculty.Name",
+    "sc2.Department.Name",
+    "sc2.Majors.Since",
+)
+
+OBJECTS = (
+    "sc1.Student",
+    "sc1.Department",
+    "sc2.Grad_student",
+    "sc2.Faculty",
+    "sc2.Department",
+)
+
+RELATIONSHIPS = ("sc1.Majors", "sc2.Majors")
+
+operations = st.one_of(
+    st.tuples(
+        st.just("declare"),
+        st.sampled_from(ATTRIBUTES),
+        st.sampled_from(ATTRIBUTES),
+    ),
+    st.tuples(st.just("remove"), st.sampled_from(ATTRIBUTES)),
+    st.tuples(
+        st.just("specify"),
+        st.sampled_from(OBJECTS),
+        st.sampled_from(OBJECTS),
+        st.integers(min_value=0, max_value=5),
+    ),
+    st.tuples(
+        st.just("retract"),
+        st.sampled_from(OBJECTS),
+        st.sampled_from(OBJECTS),
+    ),
+    st.tuples(
+        st.just("specify_rel"),
+        st.sampled_from(RELATIONSHIPS),
+        st.sampled_from(RELATIONSHIPS),
+        st.integers(min_value=0, max_value=5),
+    ),
+)
+
+
+def apply_operation(session: AnalysisSession, operation) -> None:
+    verb = operation[0]
+    if verb == "declare":
+        session.declare_equivalent(operation[1], operation[2])
+    elif verb == "remove":
+        session.remove_from_class(operation[1])
+    elif verb == "specify":
+        session.specify(operation[1], operation[2], operation[3])
+    elif verb == "retract":
+        session.retract(operation[1], operation[2])
+    else:
+        session.specify(
+            operation[1], operation[2], operation[3], relationships=True
+        )
+
+
+def equivalence_partition(session: AnalysisSession):
+    return sorted(
+        frozenset(str(ref) for ref in members)
+        for members in session.registry.nontrivial_classes()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(operations, max_size=25))
+def test_random_sittings_replay_identically(ops):
+    live = AnalysisSession([build_sc1(), build_sc2()])
+    log = live.attach_audit()
+    for operation in ops:
+        try:
+            apply_operation(live, operation)
+        except ReproError:
+            pass  # conflicts/rejections are themselves recorded
+    integrated = None
+    try:
+        integrated = live.integrate("sc1", "sc2")
+    except ReproError:
+        pass
+
+    outcome = replay(log)  # strict: any divergence raises ReplayError
+    assert outcome.verified
+    replayed = outcome.session
+
+    assert equivalence_partition(replayed) == equivalence_partition(live)
+    for first in OBJECTS:
+        for second in OBJECTS:
+            if first == second:
+                continue
+            assert replayed.feasible(first, second) == live.feasible(
+                first, second
+            ), (first, second)
+    assert replayed.feasible(
+        "sc1.Majors", "sc2.Majors", relationships=True
+    ) == live.feasible("sc1.Majors", "sc2.Majors", relationships=True)
+    if integrated is not None:
+        assert len(outcome.results) == 1
+        assert schema_fingerprint(outcome.results[0].schema) == (
+            schema_fingerprint(integrated.schema)
+        )

@@ -1,0 +1,71 @@
+"""Per-phase observability reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.equivalence.session import AnalysisSession
+from repro.obs.report import cache_ratios, render_json, render_text, summarize
+from repro.obs.trace import tracing
+from repro.workloads.university import build_sc1, build_sc2
+
+
+def traced_session():
+    with tracing() as tracer:
+        session = AnalysisSession([build_sc1(), build_sc2()])
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        session.declare_equivalent("sc1.Department.Name", "sc2.Department.Name")
+        session.candidate_pairs("sc1", "sc2")
+        session.candidate_pairs("sc1", "sc2")  # cache hit
+        session.specify("sc1.Student", "sc2.Grad_student", 3)
+        session.specify("sc1.Department", "sc2.Department", 1)
+        session.integrate("sc1", "sc2")
+    return session, tracer
+
+
+def test_cache_ratios_none_until_consulted():
+    ratios = cache_ratios({})
+    assert ratios == {
+        "ocs_hit_ratio": None,
+        "acs_hit_ratio": None,
+        "ordering_hit_ratio": None,
+    }
+    ratios = cache_ratios({"ocs_cache_hits": 3, "ocs_cells_recomputed": 1})
+    assert ratios["ocs_hit_ratio"] == 0.75
+
+
+def test_summarize_covers_phases_spans_and_caches():
+    session, tracer = traced_session()
+    summary = summarize(tracer, session.counters_snapshot())
+    assert {"phase1", "phase2", "phase3", "phase4"} <= set(summary["phases"])
+    phase2 = summary["phases"]["phase2"]
+    assert phase2["spans"] >= 2
+    assert "phase2.ordering.rank" in phase2["names"]
+    assert summary["spans"]["phase4.integrate"]["count"] == 1
+    assert summary["top_self_time"]
+    assert summary["cache"]["ordering_hit_ratio"] == 0.5
+    steps = summary["propagation_steps"]
+    assert steps["count"] >= 1  # one histogram sample per closure span
+
+
+def test_summarize_falls_back_to_span_deltas():
+    _, tracer = traced_session()
+    summary = summarize(tracer)  # no counters snapshot passed
+    assert summary["cache"]["ordering_hit_ratio"] is not None
+
+
+def test_render_json_is_valid_and_sorted():
+    session, tracer = traced_session()
+    summary = summarize(tracer, session.counters_snapshot())
+    parsed = json.loads(render_json(summary))
+    assert parsed["phases"].keys() == summary["phases"].keys()
+
+
+def test_render_text_is_one_readable_report():
+    session, tracer = traced_session()
+    text = render_text(summarize(tracer, session.counters_snapshot()))
+    assert "Observability report" in text
+    assert "Per-phase self time" in text
+    assert "phase2" in text
+    assert "Cache hit ratios" in text
+    assert "Propagation steps" in text

@@ -1,0 +1,199 @@
+"""Hierarchical tracing: spans, nesting, exports, instrumented paths."""
+
+from __future__ import annotations
+
+import json
+
+from repro.equivalence.session import AnalysisSession
+from repro.obs.metrics import AnalysisCounters
+from repro.obs.trace import (
+    Tracer,
+    _NULL_SPAN,
+    get_tracer,
+    install_tracer,
+    span,
+    tracing,
+    uninstall_tracer,
+)
+from repro.tool.app import run_script
+from repro.tool.session import ToolSession
+from repro.workloads.university import build_sc1, build_sc2
+
+
+def test_span_is_a_shared_noop_while_disabled():
+    assert get_tracer() is None
+    context = span("phase2.anything", irrelevant=1)
+    assert context is _NULL_SPAN
+    with context as live:
+        assert live is None
+
+
+def test_install_and_uninstall_round_trip():
+    tracer = install_tracer(Tracer())
+    try:
+        assert get_tracer() is tracer
+        with span("phase1.x"):
+            pass
+        assert tracer.names() == ["phase1.x"]
+    finally:
+        assert uninstall_tracer() is tracer
+    assert get_tracer() is None
+
+
+def test_nesting_parent_child_and_self_time():
+    with tracing() as tracer:
+        with span("phase4.integrate") as parent:
+            with span("phase4.clusters") as child:
+                pass
+    assert child.parent_id == parent.span_id
+    assert child.depth == parent.depth + 1
+    assert parent.children_time >= child.duration
+    assert parent.self_time <= parent.duration
+    # children finish (and are appended) before their parent
+    assert [s.name for s in tracer.spans] == [
+        "phase4.clusters",
+        "phase4.integrate",
+    ]
+
+
+def test_counter_deltas_recorded_per_span():
+    counters = AnalysisCounters()
+    with tracing():
+        with span("phase3.closure.specify", counters=counters) as record:
+            counters.propagation_steps += 11
+    assert record.counter_deltas == {"propagation_steps": 11}
+
+
+def test_exceptions_mark_the_span_and_propagate():
+    with tracing() as tracer:
+        try:
+            with span("phase2.boom"):
+                raise RuntimeError("nope")
+        except RuntimeError:
+            pass
+    (record,) = tracer.spans
+    assert record.attrs["error"] == "RuntimeError"
+
+
+def test_tracing_restores_the_previous_tracer():
+    outer = install_tracer(Tracer())
+    try:
+        with tracing() as inner:
+            assert get_tracer() is inner
+        assert get_tracer() is outer
+    finally:
+        uninstall_tracer()
+
+
+def test_jsonl_and_chrome_exports(tmp_path):
+    with tracing() as tracer:
+        with span("phase1.a", schema="sc1"):
+            with span("phase1.b"):
+                pass
+    jsonl_path = tmp_path / "trace.jsonl"
+    chrome_path = tmp_path / "trace.json"
+    tracer.write_jsonl(jsonl_path)
+    tracer.write_chrome_trace(chrome_path)
+    lines = jsonl_path.read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert {"span_id", "name", "duration_s", "self_s"} <= set(first)
+    chrome = json.loads(chrome_path.read_text())
+    events = chrome["traceEvents"]
+    assert [event["name"] for event in events] == ["phase1.a", "phase1.b"]
+    assert all(event["ph"] == "X" for event in events)
+    assert events[0]["args"]["schema"] == "sc1"
+
+
+def test_top_self_time_ranks_by_summed_self_time():
+    with tracing() as tracer:
+        for _ in range(3):
+            with span("phase2.ocs.recompute"):
+                pass
+    ((name, seconds, count),) = tracer.top_self_time(limit=1)
+    assert name == "phase2.ocs.recompute"
+    assert count == 3
+    assert seconds >= 0
+
+
+def test_analysis_session_emits_spans_for_every_phase():
+    with tracing() as tracer:
+        session = AnalysisSession([build_sc1(), build_sc2()])
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        session.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+        session.declare_equivalent("sc1.Department.Name", "sc2.Department.Name")
+        session.acs("sc1", "sc2").equivalent_pairs()
+        session.candidate_pairs("sc1", "sc2")
+        session.specify("sc1.Department", "sc2.Department", 1)
+        session.retract("sc1.Department", "sc2.Department")
+        session.specify("sc1.Department", "sc2.Department", 1)
+        session.integrate("sc1", "sc2")
+    names = set(tracer.names())
+    assert {
+        "phase1.registry.register_schema",
+        "phase2.registry.declare_equivalent",
+        "phase2.acs.recompute",
+        "phase2.ocs.recompute",
+        "phase2.ordering.rank",
+        "phase3.closure.specify",
+        "phase3.closure.retract",
+        "phase3.closure.repair",
+        "phase4.integrate",
+        "phase4.clusters",
+        "phase4.objects.merge",
+        "phase4.isa.edges",
+        "phase4.isa.derived_parents",
+        "phase4.objects.build",
+        "phase4.relationships.merge",
+        "phase4.validate",
+    } <= names
+    # integrate's stage spans are its children
+    (integrate_span,) = tracer.by_name("phase4.integrate")
+    for stage in ("phase4.clusters", "phase4.validate"):
+        (stage_span,) = tracer.by_name(stage)
+        assert stage_span.parent_id == integrate_span.span_id
+
+
+def test_full_rebuild_network_emits_rebuild_span():
+    from repro.assertions.network import AssertionNetwork
+
+    network = AssertionNetwork(incremental=False)
+    network.add_object("sc1.A")
+    network.add_object("sc1.B")
+    network.specify("sc1.A", "sc1.B", 3)
+    with tracing() as tracer:
+        network.retract("sc1.A", "sc1.B")
+    assert "phase3.closure.rebuild" in tracer.names()
+
+
+def test_tool_screens_emit_handle_spans():
+    session = ToolSession()
+    session.adopt_schema(build_sc1())
+    session.adopt_schema(build_sc2())
+    with tracing() as tracer:
+        run_script(
+            [
+                "2", "sc1 sc2",
+                "Student Grad_student", "A Name Name", "E",
+                "E", "E",
+            ],
+            session,
+        )
+    handles = tracer.by_name("tool.screen.handle")
+    assert handles, "screen handling should be traced"
+    screens = {record.attrs["screen"] for record in handles}
+    assert len(screens) >= 2  # the flow crosses several screens
+    # the screen-driven registry mutation nests under a screen span
+    (declare,) = tracer.by_name("phase2.registry.declare_equivalent")
+    assert declare.parent_id in {record.span_id for record in handles}
+
+
+def test_disabled_tracing_leaves_pipeline_output_unchanged():
+    baseline = AnalysisSession([build_sc1(), build_sc2()])
+    baseline.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+    expected = baseline.candidate_pairs("sc1", "sc2")
+    with tracing():
+        traced = AnalysisSession([build_sc1(), build_sc2()])
+        traced.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        got = traced.candidate_pairs("sc1", "sc2")
+    assert [str(pair) for pair in got] == [str(pair) for pair in expected]
