@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deprecations trace-smoke bench-smoke bench example
+.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke bench example
 
 ## Tier-1: the full unit/integration/e2e suite.
 test:
@@ -18,6 +18,13 @@ test-deprecations:
 ## spans.  See docs/OBSERVABILITY.md.
 trace-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_obs.py --smoke
+
+## Federation smoke: record BENCH_federation.json and gate on it — fails
+## if concurrent fan-out is not >= 2x the sequential baseline on 8
+## components, or if fault injection leaks an unhandled exception.
+## See docs/FEDERATION.md.
+fed-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_federation.py
 
 ## Quick benchmark smoke: the closure and equivalence-screen workloads,
 ## then the counter recording to BENCH_incremental.json.

@@ -1,21 +1,34 @@
-"""An operational federation: real instances, real answers.
+"""An operational federation: the engine answering global requests.
 
 Goes beyond schema-level integration: populates the paper's sc1 and sc2
-with instances, migrates both databases into the integrated schema through
-the generated mappings (merging shared entities by key), and demonstrates
-that query answering is preserved in both integration contexts —
-view requests against the integrated database, and global requests routed
-back to the component databases.
+with instances and drives the **federated query engine**
+(:mod:`repro.federation`) against them — concurrent fan-out to the
+component databases, merge strategy derived from the Screen 8
+assertions, and graceful degradation when a component misbehaves.  A
+deliberately *flaky* sc2 (injected latency and faults) shows the retry
+loop absorbing transient errors and the partial-result mode answering
+from the live components when sc2 finally dies.
+
+The sequential reference semantics (``repro.data.federated_answer``) run
+alongside as the oracle: on every healthy query the engine returns
+exactly the same rows.
 
 Run:  python examples/operational_federation.py
 """
 
 from repro.assertions import AssertionNetwork
-from repro.data import federated_answer, merge_stores, populate_store
+from repro.data import federated_answer
 from repro.data.instances import InstanceStore
 from repro.ecr.schema import ObjectRef
+from repro.federation import (
+    ExecutionPolicy,
+    FederationEngine,
+    FlakyBackend,
+    InstanceBackend,
+    SqliteBackend,
+)
 from repro.integration import Integrator, build_mappings
-from repro.query import parse_request, rewrite_to_integrated
+from repro.obs.metrics import MetricsRegistry
 from repro.workloads.university import (
     PAPER_RELATIONSHIP_CODES,
     paper_assertions,
@@ -39,75 +52,98 @@ def build_integration():
     result = Integrator(registry, network, relationship_network).integrate(
         "sc1", "sc2"
     )
-    return registry, result, build_mappings(result, registry.schemas())
+    return registry, network, result, build_mappings(result, registry.schemas())
 
 
-def main() -> None:
-    registry, result, mappings = build_integration()
-
-    # Hand-crafted instances that overlap across the two databases: "ana"
-    # is a student in sc1 and a grad student in sc2 — one real person.
+def build_stores(registry):
+    """Overlapping component databases: "ana" lives in both."""
     sc1_store = InstanceStore(registry.schema("sc1"))
     sc2_store = InstanceStore(registry.schema("sc2"))
-    ana1 = sc1_store.insert("Student", {"Name": "ana", "GPA": 3.8})
-    bob = sc1_store.insert("Student", {"Name": "bob", "GPA": 2.9})
-    cs1 = sc1_store.insert("Department", {"Name": "cs"})
-    sc1_store.connect("Majors", {"Student": ana1, "Department": cs1}, {"Since": "1986-09-01"})
+    ana = sc1_store.insert("Student", {"Name": "ana", "GPA": 3.8})
+    sc1_store.insert("Student", {"Name": "bob", "GPA": 2.9})
+    cs = sc1_store.insert("Department", {"Name": "cs"})
+    sc1_store.connect(
+        "Majors", {"Student": ana, "Department": cs}, {"Since": "1986-09-01"}
+    )
     sc2_store.insert(
         "Grad_student", {"Name": "ana", "GPA": 3.8, "Support_type": "ta"}
     )
     sc2_store.insert("Faculty", {"Name": "prof_x", "Rank": "full"})
     sc2_store.insert("Department", {"Name": "cs", "Location": "west"})
+    return {"sc1": sc1_store, "sc2": sc2_store}
 
-    integrated, _ = merge_stores(
-        [(sc1_store, mappings["sc1"]), (sc2_store, mappings["sc2"])],
-        result.schema,
+
+def main() -> None:
+    registry, network, result, mappings = build_integration()
+    stores = build_stores(registry)
+
+    print("=== healthy federation (engine vs sequential oracle) ===")
+    engine = FederationEngine.for_stores(
+        mappings, stores, result.schema, object_network=network
     )
-    entities, links = integrated.size()
-    print(f"merged database: {entities} entities, {links} links")
-    print("ana appears once and is a Grad_student:")
-    for member in integrated.members("Grad_student"):
-        print("  ", member.values)
-
-    print("\n=== view integration context ===")
-    view_request = parse_request("select Name, GPA from Student where GPA >= 3.5")
-    rewritten = rewrite_to_integrated(view_request, mappings["sc1"])
-    print("sc1 view request:", view_request)
-    print("on integrated   :", rewritten)
-    print("view answers    :", sc1_store.select(view_request))
-    print("integrated      :", integrated.select(rewritten))
-
-    print("\n=== federation context ===")
     for text in (
         "select D_Name, Location from E_Department",
         "select D_Name, D_GPA from Student",
+        "select D_Name, D_GPA, Support_type from Student",
     ):
-        request = parse_request(text)
-        fed = federated_answer(
-            request, mappings, {"sc1": sc1_store, "sc2": sc2_store},
-            result.schema,
+        res = engine.query(text)
+        oracle = federated_answer(
+            res.plan.request, mappings, stores, result.schema
         )
-        direct = integrated.select(request)
-        print(f"global request : {request}")
-        print(f"  federated    : {fed}")
-        print(f"  direct       : {direct}")
-        print(f"  equal        : {fed == direct}")
+        print(f"global request : {text}")
+        print(f"  strategy     : {res.plan.strategy}")
+        print(f"  rows         : {res.rows}")
+        print(f"  equals oracle: {res.rows == oracle}")
 
-    # A larger, generated population: answers stay consistent at scale.
-    big_sc1 = populate_store(registry.schema("sc1"), seed=1, entities_per_class=20)
-    big_sc2 = populate_store(registry.schema("sc2"), seed=2, entities_per_class=20)
-    big, _ = merge_stores(
-        [(big_sc1, mappings["sc1"]), (big_sc2, mappings["sc2"])], result.schema
+    print("\n=== the plan, explained ===")
+    print(engine.explain("select D_Name, D_GPA, Support_type from Student"))
+
+    print("\n=== a flaky component: retries absorb transient faults ===")
+    metrics = MetricsRegistry()
+    flaky = FederationEngine.for_backends(
+        mappings,
+        {
+            "sc1": InstanceBackend(stores["sc1"]),
+            # sqlite via the relational translation, wrapped in fault
+            # injection: ~8 ms latency, first two calls fail outright
+            "sc2": FlakyBackend(
+                SqliteBackend.from_store(stores["sc2"]),
+                latency=0.008,
+                fail_first=2,
+                seed=42,
+            ),
+        },
+        result.schema,
+        object_network=network,
+        policy=ExecutionPolicy(retries=2, backoff=0.01),
+        metrics=metrics,
     )
-    request = parse_request("select D_Name from Student where D_GPA >= 50")
-    fed = federated_answer(
-        request, mappings, {"sc1": big_sc1, "sc2": big_sc2}, result.schema
+    res = flaky.query("select D_Name, D_GPA from Student")
+    print("health :", res.health.summary())
+    print("retries:", metrics.counter("federation.retries").value)
+    print("rows   :", res.rows)
+
+    print("\n=== a dead component: partial results, not an exception ===")
+    dead = FederationEngine.for_backends(
+        mappings,
+        {
+            "sc1": InstanceBackend(stores["sc1"]),
+            "sc2": FlakyBackend(InstanceBackend(stores["sc2"]), down=True),
+        },
+        result.schema,
+        object_network=network,
+        policy=ExecutionPolicy(retries=1, backoff=0.005),
     )
-    print(
-        f"\nscaled up: merged {big.size()[0]} entities; "
-        f"federated == direct: {fed == big.select(request)} "
-        f"({len(fed)} qualifying students)"
-    )
+    res = dead.query("select D_Name, D_GPA, Support_type from Student")
+    print("degraded:", res.degraded)
+    print("health  :", res.health.summary())
+    print("rows    :", res.rows, "(sc1's certain answers; sc2's are missing)")
+    # repeated failures open sc2's circuit breaker: it gets skipped
+    for _ in range(3):
+        dead.query("select D_Name from Student")
+    res = dead.query("select D_Name from Student")
+    print("breaker :", dead.executor.breaker_for("sc2").state, "->",
+          res.health.for_component("sc2").describe())
 
 
 if __name__ == "__main__":

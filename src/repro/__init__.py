@@ -17,7 +17,11 @@ The library covers the paper's four-phase methodology end to end:
 
 The interactive tool itself lives in :mod:`repro.tool`; the paper's
 example schemas and the synthetic workload generator in
-:mod:`repro.workloads`.
+:mod:`repro.workloads`.  Once an integration result exists, global
+requests against it can be *executed* over the component databases by
+the federated query engine (:mod:`repro.federation`): concurrent
+fan-out, assertion-aware merging, and graceful degradation when
+components fail.
 
 Quickstart (the :class:`AnalysisSession` facade is the recommended entry
 point — it owns the registry, the memoized OCS/ACS views and the assertion
@@ -92,10 +96,20 @@ from repro.query import (
     rewrite_to_components,
     rewrite_to_integrated,
 )
+from repro.federation import (
+    ExecutionPolicy,
+    FederatedPlan,
+    FederationEngine,
+    FederationHealth,
+    FederationResult,
+    MergeStrategy,
+)
 from repro.errors import (
     AssertionSpecError,
+    BackendError,
     ConflictError,
     EquivalenceError,
+    FederationError,
     IntegrationError,
     MappingError,
     QueryError,
@@ -156,10 +170,19 @@ __all__ = [
     "parse_request",
     "rewrite_to_components",
     "rewrite_to_integrated",
+    # federation
+    "ExecutionPolicy",
+    "FederatedPlan",
+    "FederationEngine",
+    "FederationHealth",
+    "FederationResult",
+    "MergeStrategy",
     # errors
     "AssertionSpecError",
+    "BackendError",
     "ConflictError",
     "EquivalenceError",
+    "FederationError",
     "IntegrationError",
     "MappingError",
     "QueryError",

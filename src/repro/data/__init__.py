@@ -13,7 +13,10 @@ over an ECR schema:
   :class:`~repro.integration.mappings.SchemaMapping` into the integrated
   schema, merging duplicate real-world entities by key; and
 * :func:`federated_answer` — execute a global request by routing it to
-  component stores and unioning the answers.
+  component stores and unioning the answers.  This is the **sequential
+  oracle** for the federated query engine: :mod:`repro.federation` adds
+  concurrency, fault tolerance and assertion-aware merging, and its
+  healthy-run answers are property-tested to equal this function's.
 
 With these, the tests can check the semantic property the paper's
 mappings promise: a view request answered on the view's database equals

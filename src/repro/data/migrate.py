@@ -11,7 +11,9 @@ coalesced a leg onto a more general class.
 
 ``federated_answer`` goes the other way: a global request is routed to the
 component stores via ``rewrite_to_components`` and the answers are unioned
-— the global-schema-design context in operation.
+— the global-schema-design context in operation.  It is deliberately
+sequential and simple: it serves as the **reference oracle** the
+federated query engine (:mod:`repro.federation`) is checked against.
 """
 
 from __future__ import annotations

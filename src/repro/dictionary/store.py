@@ -45,6 +45,8 @@ class DataDictionary:
         self._assertions: list[tuple[ObjectRef, ObjectRef, int, bool]] = []
         self._results: dict[str, IntegrationResult] = {}
         self._mappings: dict[str, dict[str, SchemaMapping]] = {}
+        #: federated plans per result name, keyed by request text
+        self._plans: dict[str, dict[str, dict[str, Any]]] = {}
 
     # -- content -------------------------------------------------------------
 
@@ -109,6 +111,31 @@ class DataDictionary:
     def result_names(self) -> list[str]:
         return list(self._results)
 
+    def store_plan(self, result_name: str, plan) -> None:
+        """Persist a federated plan alongside a stored result's mappings.
+
+        ``plan`` is a :class:`~repro.federation.plan.FederatedPlan`; it is
+        keyed by its request text, so re-storing a replanned request
+        overwrites the stale plan.
+        """
+        if result_name not in self._results:
+            raise UnknownNameError("result", result_name, "dictionary")
+        self._plans.setdefault(result_name, {})[
+            str(plan.request)
+        ] = plan.to_dict()
+
+    def plans_for(self, result_name: str) -> dict[str, Any]:
+        """Stored federated plans for a result, keyed by request text.
+
+        Values are :class:`~repro.federation.plan.FederatedPlan` objects.
+        """
+        from repro.federation.plan import FederatedPlan
+
+        return {
+            request: FederatedPlan.from_dict(entry)
+            for request, entry in self._plans.get(result_name, {}).items()
+        }
+
     # -- live-object reconstruction -----------------------------------------------
 
     def build_registry(self) -> EquivalenceRegistry:
@@ -167,6 +194,16 @@ class DataDictionary:
                 }
                 for name, mappings in self._mappings.items()
             },
+            # optional: absent when no federated plans were stored, so
+            # dictionaries written by older builds load unchanged
+            **(
+                {"plans": {
+                    name: dict(plans)
+                    for name, plans in self._plans.items()
+                }}
+                if self._plans
+                else {}
+            ),
         }
 
     @classmethod
@@ -190,6 +227,10 @@ class DataDictionary:
             dictionary._mappings[name] = {
                 component: mapping_from_dict(mapping_data)
                 for component, mapping_data in mappings.items()
+            }
+        for name, plans in data.get("plans", {}).items():
+            dictionary._plans[name] = {
+                request: dict(entry) for request, entry in plans.items()
             }
         return dictionary
 

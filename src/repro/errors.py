@@ -92,6 +92,33 @@ class TranslationError(ReproError):
     """A source-model schema could not be translated to the ECR model."""
 
 
+class FederationError(ReproError):
+    """A federated query could not be executed.
+
+    Raised by the execution engine when partial-result mode is off and a
+    component failed, or when no component produced an answer and the
+    caller demanded a total one.  Carries the
+    :class:`~repro.federation.health.FederationHealth` report describing
+    what each component did, when available.
+    """
+
+    def __init__(self, message: str, health=None) -> None:
+        self.health = health
+        super().__init__(message)
+
+
+class BackendError(FederationError):
+    """A component backend failed to answer a subrequest.
+
+    The fault-injection wrapper raises this for simulated faults; real
+    backends wrap their driver errors in it so the executor's retry and
+    circuit-breaker logic treats every backend uniformly.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+
+
 class ToolError(ReproError):
     """The interactive tool was driven into an invalid state."""
 

@@ -1,0 +1,67 @@
+"""Federated query execution over the integrated schema.
+
+The paper's superview exists so that "a user can pose a single query
+against the integrated schema" while the data stays in the component
+databases.  This package is that runtime: a global
+:class:`~repro.query.ast.Request` is planned onto the components
+(:mod:`~repro.federation.planner`), executed concurrently with retries,
+timeouts and circuit breakers (:mod:`~repro.federation.executor`)
+against pluggable component backends — in-memory, sqlite via the
+relational translation, or fault-injected
+(:mod:`~repro.federation.backends`) — and the answers are merged under
+the strategy the assertion network justifies
+(:mod:`~repro.federation.plan`, :mod:`~repro.federation.merge`).
+
+The sequential reference semantics live in
+:func:`repro.data.federated_answer`; on a healthy run the engine's rows
+equal the oracle's exactly.  Start with
+:class:`~repro.federation.engine.FederationEngine`; see
+``docs/FEDERATION.md`` for the full tour.
+"""
+
+from repro.federation.backends import (
+    ComponentBackend,
+    FlakyBackend,
+    InstanceBackend,
+    SqliteBackend,
+    render_sql_ddl,
+)
+from repro.federation.engine import FederationEngine, FederationResult
+from repro.federation.executor import (
+    ExecutionPolicy,
+    ExecutionResult,
+    FederationExecutor,
+)
+from repro.federation.health import (
+    BreakerState,
+    CircuitBreaker,
+    ComponentStatus,
+    FederationHealth,
+)
+from repro.federation.merge import MergeConflict, MergeOutcome, merge_legs
+from repro.federation.plan import FederatedPlan, MergeStrategy, PairAssertion
+from repro.federation.planner import QueryPlanner
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "ComponentBackend",
+    "ComponentStatus",
+    "ExecutionPolicy",
+    "ExecutionResult",
+    "FederatedPlan",
+    "FederationEngine",
+    "FederationExecutor",
+    "FederationHealth",
+    "FederationResult",
+    "FlakyBackend",
+    "InstanceBackend",
+    "MergeConflict",
+    "MergeOutcome",
+    "MergeStrategy",
+    "PairAssertion",
+    "QueryPlanner",
+    "SqliteBackend",
+    "merge_legs",
+    "render_sql_ddl",
+]

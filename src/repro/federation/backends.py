@@ -1,0 +1,568 @@
+"""Component backends: the operational databases behind a federation.
+
+A :class:`ComponentBackend` answers rewritten component subrequests
+(:class:`~repro.query.ast.Request`) with the same row semantics as
+:meth:`repro.data.instances.InstanceStore.select`.  Three implementations:
+
+* :class:`InstanceBackend` — wraps an in-memory
+  :class:`~repro.data.instances.InstanceStore` directly (the reference
+  semantics; zero translation);
+* :class:`SqliteBackend` — a real SQL database: the component schema is
+  pushed through :func:`repro.translate.to_relational`, the resulting DDL
+  is rendered as ``CREATE TABLE`` statements into an in-process
+  ``sqlite3`` database, instances and links are loaded, and subrequests
+  are compiled to SQL (membership joins down the category chain,
+  junction-table and folded-foreign-key traversals); and
+* :class:`FlakyBackend` — a fault-injection wrapper around any backend
+  with seeded, deterministic latency and error behaviour, used by the
+  robustness tests and the partial-result benchmark to model slow or
+  dying remote components.
+
+Backends raise :class:`~repro.errors.BackendError` for operational
+faults so the executor's retry/breaker logic treats them uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.data.instances import InstanceStore, _satisfies, _sort_key
+from repro.ecr.domains import DomainKind
+from repro.ecr.objects import Category
+from repro.ecr.schema import Schema
+from repro.ecr.walk import topological_order
+from repro.errors import BackendError, FederationError
+from repro.query.ast import Comparison, Request
+from repro.translate.relational import RelationalSchema, Table
+from repro.translate.to_relational import to_relational
+
+
+@runtime_checkable
+class ComponentBackend(Protocol):
+    """What the executor needs from a component database."""
+
+    #: display name (used for metrics, breakers and health reports)
+    name: str
+
+    def execute(self, request: Request) -> list[tuple]:
+        """Answer a component subrequest; rows sorted like
+        :meth:`InstanceStore.select`."""
+        ...  # pragma: no cover - protocol
+
+
+class InstanceBackend:
+    """The in-memory reference backend over an :class:`InstanceStore`."""
+
+    def __init__(self, store: InstanceStore, name: str | None = None) -> None:
+        self.store = store
+        self.name = name if name is not None else store.schema.name
+
+    def execute(self, request: Request) -> list[tuple]:
+        return self.store.select(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"InstanceBackend({self.name})"
+
+
+def _udf_satisfies(value: object, operator: str, target: object) -> int:
+    """sqlite UDF delegating comparisons to the in-memory semantics."""
+    if value is None:
+        return 0
+    condition = Comparison("_", operator, target)  # type: ignore[arg-type]
+    return 1 if _satisfies(value, condition) else 0
+
+
+# -- SQL rendering of the translated relational schema --------------------------
+
+_SQL_TYPES = {
+    "char": "TEXT",
+    "integer": "INTEGER",
+    "real": "REAL",
+    "date": "TEXT",
+    "boolean": "INTEGER",
+}
+
+
+def render_sql_ddl(
+    relational: RelationalSchema, enforce_keys: bool = True
+) -> list[str]:
+    """``CREATE TABLE`` statements for a translated relational schema.
+
+    With ``enforce_keys`` the key columns become the (possibly composite)
+    ``PRIMARY KEY`` and foreign keys are declared (sqlite does not enforce
+    those without the pragma).  The backend *creates* its tables with
+    ``enforce_keys=False``: component stores mirror operational data that
+    may violate the translated cardinalities (a student linked to two
+    majors despite the max-1 leg), and the federation must answer over the
+    data as it stands, not reject the load.  The strict form is kept on
+    :attr:`SqliteBackend.ddl` for inspection and the docs.
+    """
+    statements = []
+    for table in relational.tables:
+        pieces = [
+            f'"{column.name}" {_SQL_TYPES.get(column.type_name, "TEXT")}'
+            for column in table.columns
+        ]
+        if enforce_keys:
+            primary = table.primary_key_columns()
+            if primary:
+                quoted = ", ".join(f'"{name}"' for name in primary)
+                pieces.append(f"PRIMARY KEY ({quoted})")
+            for fk in table.foreign_keys:
+                quoted = ", ".join(f'"{name}"' for name in fk.columns)
+                pieces.append(
+                    f'FOREIGN KEY ({quoted}) REFERENCES "{fk.referenced_table}"'
+                )
+        statements.append(
+            f'CREATE TABLE "{table.name}" (\n  ' + ",\n  ".join(pieces) + "\n)"
+        )
+    return statements
+
+
+class SqliteBackend:
+    """A component database materialised in sqlite3.
+
+    Built with :meth:`from_store`: the ECR schema travels through
+    :func:`to_relational` (the paper's physical-design hand-off), the DDL
+    is executed against an in-memory sqlite database, and the instances
+    and links are loaded into the translated tables.  ``execute`` compiles
+    subrequests to SQL and returns rows matching the in-memory semantics.
+
+    The connection is guarded by a lock: sqlite connections are not safe
+    for concurrent statements, and the federation executor calls backends
+    from worker threads.
+    """
+
+    def __init__(self, schema: Schema, name: str | None = None) -> None:
+        self.schema = schema
+        self.name = name if name is not None else schema.name
+        self.relational = to_relational(schema)
+        self.ddl = render_sql_ddl(self.relational)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(":memory:", check_same_thread=False)
+        # comparisons delegate to the in-memory executor's _satisfies, so
+        # per-value numeric coercion matches InstanceStore.select exactly
+        self._conn.create_function(
+            "repro_satisfies", 3, _udf_satisfies, deterministic=True
+        )
+        for statement in render_sql_ddl(self.relational, enforce_keys=False):
+            self._conn.execute(statement)
+        self._keys = self._key_columns()
+        self._bool_attrs = {
+            (structure.name, attribute.name)
+            for structure in schema.object_classes()
+            for attribute in structure.attributes
+            if attribute.domain.kind is DomainKind.BOOLEAN
+        }
+
+    @classmethod
+    def from_store(
+        cls, store: InstanceStore, name: str | None = None
+    ) -> "SqliteBackend":
+        """Materialise an in-memory store as a sqlite component database."""
+        backend = cls(store.schema, name)
+        backend.load(store)
+        return backend
+
+    # -- schema bookkeeping ------------------------------------------------------
+
+    def _key_columns(self) -> dict[str, list[str]]:
+        """Per-class key column names, mirroring ``to_relational``'s rules."""
+        keys: dict[str, list[str]] = {}
+        for class_name in topological_order(self.schema):
+            structure = self.schema.object_class(class_name)
+            if isinstance(structure, Category):
+                keys[class_name] = list(keys[structure.parents[0]])
+            else:
+                own = [a.name for a in structure.attributes if a.is_key]
+                keys[class_name] = own or [f"{class_name.lower()}_id"]
+        return keys
+
+    def _chain(self, class_name: str) -> list[str]:
+        """``class_name`` plus its first-parent ancestry up to the root."""
+        chain = [class_name]
+        current = class_name
+        while isinstance(self.schema.object_class(current), Category):
+            current = self.schema.object_class(current).parents[0]
+            chain.append(current)
+        return chain
+
+    def _table(self, name: str) -> Table:
+        return self.relational.table(name)
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, store: InstanceStore) -> None:
+        """Copy a populated store's instances and links into the tables."""
+        if store.schema.name != self.schema.name:
+            raise FederationError(
+                f"backend holds {self.schema.name!r}, store holds "
+                f"{store.schema.name!r}"
+            )
+        for class_name in topological_order(self.schema):
+            table = self._table(class_name)
+            columns = [column.name for column in table.columns]
+            placeholders = ", ".join("?" for _ in columns)
+            quoted = ", ".join(f'"{name}"' for name in columns)
+            sql = f'INSERT INTO "{class_name}" ({quoted}) VALUES ({placeholders})'
+            keys = set(self._keys[class_name])
+            for instance in store.members(class_name):
+                row = [
+                    self._cell(instance, column, keys) for column in columns
+                ]
+                self._conn.execute(sql, row)
+        for relationship in self.schema.relationship_sets():
+            self._load_links(store, relationship.name)
+        self._conn.commit()
+
+    def _cell(self, instance, column: str, keys: set[str]) -> object:
+        if column in instance.values:
+            value = instance.values[column]
+            return int(value) if isinstance(value, bool) else value
+        if column in keys:
+            return str(instance.instance_id)  # synthesised surrogate key
+        return None  # a folded foreign key, filled when links load
+
+    def _load_links(self, store: InstanceStore, name: str) -> None:
+        relationship = self.schema.relationship_set(name)
+        try:
+            junction = self._table(name)
+        except Exception:
+            junction = None
+        if junction is not None:
+            self._load_junction_links(store, relationship, junction)
+        else:
+            self._load_folded_links(store, relationship)
+
+    def _leg_key_values(self, store: InstanceStore, class_name, instance_id):
+        instance = store.instance(instance_id)
+        values = []
+        for key in self._keys[class_name]:
+            if key in instance.values:
+                values.append(instance.values[key])
+            else:
+                values.append(str(instance.instance_id))
+        return values
+
+    def _load_junction_links(self, store, relationship, junction) -> None:
+        columns: list[str] = []
+        for leg in relationship.participations:
+            prefix = (leg.role or leg.object_name).lower()
+            columns += [
+                f"{prefix}_{key}" for key in self._keys[leg.object_name]
+            ]
+        columns += [attribute.name for attribute in relationship.attributes]
+        quoted = ", ".join(f'"{name}"' for name in columns)
+        placeholders = ", ".join("?" for _ in columns)
+        sql = (
+            f'INSERT INTO "{relationship.name}" ({quoted}) '
+            f"VALUES ({placeholders})"
+        )
+        for link in store.links(relationship.name):
+            row: list[object] = []
+            for leg in relationship.participations:
+                row += self._leg_key_values(
+                    store, leg.object_name, link.legs[leg.label]
+                )
+            row += [
+                link.values.get(attribute.name)
+                for attribute in relationship.attributes
+            ]
+            self._conn.execute(sql, row)
+
+    def _folded_legs(self, relationship):
+        """(one side, other side) of a folded binary relationship."""
+        one_leg = next(
+            leg
+            for leg in relationship.participations
+            if not leg.cardinality.is_many and leg.cardinality.max == 1
+        )
+        other_leg = next(
+            leg for leg in relationship.participations if leg is not one_leg
+        )
+        return one_leg, other_leg
+
+    def _load_folded_links(self, store, relationship) -> None:
+        one_leg, other_leg = self._folded_legs(relationship)
+        fold_columns = [
+            f"{relationship.name.lower()}_{key}"
+            for key in self._keys[other_leg.object_name]
+        ]
+        owner_keys = self._keys[one_leg.object_name]
+        sets = ", ".join(f'"{name}" = ?' for name in fold_columns)
+        where = " AND ".join(f'"{name}" IS ?' for name in owner_keys)
+        sql = f'UPDATE "{one_leg.object_name}" SET {sets} WHERE {where}'
+        for link in store.links(relationship.name):
+            target_values = self._leg_key_values(
+                store, other_leg.object_name, link.legs[other_leg.label]
+            )
+            owner_values = self._leg_key_values(
+                store, one_leg.object_name, link.legs[one_leg.label]
+            )
+            self._conn.execute(sql, target_values + owner_values)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, request: Request) -> list[tuple]:
+        request.validate_against(self.schema)
+        try:
+            sql, params = self._compile(request)
+            with self._lock:
+                fetched = self._conn.execute(sql, params).fetchall()
+        except FederationError:
+            raise
+        except sqlite3.Error as exc:
+            raise BackendError(f"sqlite backend {self.name}: {exc}") from exc
+        rows = [self._coerce_row(request, row) for row in fetched]
+        return sorted(rows, key=_sort_key)
+
+    def _coerce_row(self, request: Request, row: tuple) -> tuple:
+        if not request.attributes:
+            return ()
+        values = list(row)
+        for index, name in enumerate(request.attributes):
+            owner = self._attribute_owner(request.object_name, name)
+            if (owner, name) in self._bool_attrs and values[index] is not None:
+                values[index] = bool(values[index])
+        return tuple(values)
+
+    def _attribute_owner(self, class_name: str, attribute: str) -> str:
+        """The chain level whose table holds an attribute's column."""
+        for level in self._chain(class_name):
+            structure = self.schema.object_class(level)
+            if any(a.name == attribute for a in structure.attributes):
+                return level
+        raise FederationError(
+            f"attribute {attribute!r} of {class_name!r} is not reachable "
+            f"through the first-parent chain (union-category attributes "
+            f"are not supported by the sqlite backend)"
+        )
+
+    def _compile(self, request: Request) -> tuple[str, list[object]]:
+        chain = self._chain(request.object_name)
+        alias = {level: f"t{index}" for index, level in enumerate(chain)}
+        root_keys = self._keys[request.object_name]
+        joins = [f'"{chain[0]}" t0']
+        for index in range(1, len(chain)):
+            conditions = " AND ".join(
+                f't{index - 1}."{key}" = t{index}."{key}"' for key in root_keys
+            )
+            joins.append(f'JOIN "{chain[index]}" t{index} ON {conditions}')
+        select = (
+            ", ".join(
+                self._column_expr(chain, alias, request.object_name, name)
+                for name in request.attributes
+            )
+            or "1"
+        )
+        where: list[str] = []
+        params: list[object] = []
+        for condition in request.conditions:
+            clause, clause_params = self._condition_sql(
+                chain, alias, request, condition
+            )
+            where.append(clause)
+            params += clause_params
+        for join in request.joins:
+            clause, clause_params = self._join_sql(
+                chain, alias, request.object_name, join.relationship, join.target
+            )
+            where.append(clause)
+            params += clause_params
+        sql = f"SELECT {select} FROM " + " ".join(joins)
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        return sql, params
+
+    def _column_expr(self, chain, alias, class_name, attribute) -> str:
+        owner = self._attribute_owner(class_name, attribute)
+        return f'{alias[owner]}."{attribute}"'
+
+    def _condition_sql(
+        self, chain, alias, request: Request, condition: Comparison
+    ) -> tuple[str, list[object]]:
+        expr = self._column_expr(
+            chain, alias, request.object_name, condition.attribute
+        )
+        value = condition.value
+        if isinstance(value, bool):
+            value = int(value)
+        return f"repro_satisfies({expr}, ?, ?)", [condition.operator, value]
+
+    def _join_sql(
+        self, chain, alias, class_name, relationship_name, target
+    ) -> tuple[str, list[object]]:
+        try:
+            junction = self._table(relationship_name)
+        except Exception:
+            junction = None
+        if junction is not None:
+            return self._junction_join_sql(
+                chain, alias, junction, relationship_name, target
+            ), []
+        return self._folded_join_sql(chain, alias, relationship_name, target), []
+
+    def _related_tables(self, target: str) -> set[str]:
+        """Classes whose rows can witness membership of ``target``."""
+        related = set(self._chain(target))
+        for class_name in topological_order(self.schema):
+            if target in self._chain(class_name):
+                related.add(class_name)
+        return related
+
+    def _junction_join_sql(
+        self, chain, alias, junction, relationship_name, target
+    ) -> str:
+        # legs on any class sharing our root chain can carry our instance
+        # (mirrors _joined: membership checks ignore which leg it is)
+        our_related = self._related_tables(chain[0])
+        our_fk = next(
+            (fk for fk in junction.foreign_keys
+             if fk.referenced_table in our_related),
+            None,
+        )
+        if our_fk is None:
+            raise FederationError(
+                f"relationship {relationship_name!r} has no leg on "
+                f"{chain[0]!r} or a related class"
+            )
+        target_related = self._related_tables(target)
+        target_fk = next(
+            (fk for fk in junction.foreign_keys
+             if fk is not our_fk and fk.referenced_table in target_related),
+            None,
+        )
+        if target_fk is None:
+            raise FederationError(
+                f"relationship {relationship_name!r} has no leg reaching "
+                f"{target!r}"
+            )
+        # key names are shared along a first-parent chain, so the FK
+        # columns join directly against t0's keys / the target table's keys
+        our_keys = self._keys[chain[0]]
+        on_ours = " AND ".join(
+            f'jr."{column}" = t0."{key}"'
+            for column, key in zip(our_fk.columns, our_keys)
+        )
+        target_keys = self._keys[target]
+        on_target = " AND ".join(
+            f'jr."{column}" = tt."{key}"'
+            for column, key in zip(target_fk.columns, target_keys)
+        )
+        return (
+            f'EXISTS (SELECT 1 FROM "{relationship_name}" jr '
+            f'JOIN "{target}" tt ON {on_target} WHERE {on_ours})'
+        )
+
+    def _folded_join_sql(self, chain, alias, relationship_name, target) -> str:
+        relationship = self.schema.relationship_set(relationship_name)
+        one_leg, other_leg = self._folded_legs(relationship)
+        fold_columns = [
+            f"{relationship_name.lower()}_{key}"
+            for key in self._keys[other_leg.object_name]
+        ]
+        if one_leg.object_name in chain:
+            # the fold columns live on our own chain; check they land in target
+            owner_alias = alias[one_leg.object_name]
+            target_keys = self._keys[other_leg.object_name]
+            conditions = " AND ".join(
+                f'{owner_alias}."{column}" = tt."{key}"'
+                for column, key in zip(fold_columns, target_keys)
+            )
+            return f'EXISTS (SELECT 1 FROM "{target}" tt WHERE {conditions})'
+        # we are the referenced side: some owner row must point at us and
+        # simultaneously witness membership of the target class
+        our_keys = self._keys[chain[0]]
+        pointing = " AND ".join(
+            f'ol."{column}" = t0."{key}"'
+            for column, key in zip(fold_columns, our_keys)
+        )
+        if target == one_leg.object_name:
+            return (
+                f'EXISTS (SELECT 1 FROM "{one_leg.object_name}" ol '
+                f"WHERE {pointing})"
+            )
+        owner_keys = self._keys[one_leg.object_name]
+        membership = " AND ".join(
+            f'ol."{key}" = tt."{key}"' for key in owner_keys
+        )
+        return (
+            f'EXISTS (SELECT 1 FROM "{one_leg.object_name}" ol '
+            f'JOIN "{target}" tt ON {membership} WHERE {pointing})'
+        )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SqliteBackend({self.name})"
+
+
+class FlakyBackend:
+    """Deterministic fault injection around any component backend.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped backend.
+    latency:
+        Seconds of simulated network/processing delay per call (applied
+        before the inner call; also applied to failing calls).
+    error_rate:
+        Probability in ``[0, 1]`` that a call raises
+        :class:`~repro.errors.BackendError` instead of answering.
+    fail_first:
+        Deterministically fail this many initial calls regardless of
+        ``error_rate`` (drives retry/breaker tests without randomness).
+    seed:
+        Seed for the error stream; equal seeds give equal fault schedules.
+    down:
+        When true every call fails — a dead component.
+    """
+
+    def __init__(
+        self,
+        inner: ComponentBackend,
+        *,
+        latency: float = 0.0,
+        error_rate: float = 0.0,
+        fail_first: int = 0,
+        seed: int = 0,
+        down: bool = False,
+    ) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.latency = latency
+        self.error_rate = error_rate
+        self.fail_first = fail_first
+        self.down = down
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.faults = 0
+
+    def execute(self, request: Request) -> list[tuple]:
+        with self._lock:
+            self.calls += 1
+            call_number = self.calls
+            injected = (
+                self.down
+                or call_number <= self.fail_first
+                or (self.error_rate > 0 and self._rng.random() < self.error_rate)
+            )
+            if injected:
+                self.faults += 1
+        if self.latency > 0:
+            time.sleep(self.latency)
+        if injected:
+            raise BackendError(
+                f"injected fault on {self.name} (call {call_number})"
+            )
+        return self.inner.execute(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FlakyBackend({self.name}, calls={self.calls})"

@@ -1,0 +1,177 @@
+"""Fault-tolerance state: circuit breakers and the federation health report.
+
+The executor never lets one slow or dead component database take the
+whole federation down.  Two mechanisms cooperate:
+
+* a per-backend :class:`CircuitBreaker` — after ``failure_threshold``
+  consecutive failures the breaker *opens* and subsequent queries skip
+  the backend outright (no connection attempts, no timeout waits); after
+  ``reset_after`` seconds it goes *half-open* and admits one probe, whose
+  outcome closes or re-opens it; and
+* a :class:`FederationHealth` report — one :class:`ComponentStatus` per
+  planned leg, recording what actually happened (rows, attempts,
+  latency, error, breaker state).  In partial-result mode the report is
+  returned *with* the answers instead of an exception, so callers can
+  render "answers from 7 of 8 components" rather than failing the query.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class BreakerState(enum.Enum):
+    """The classic three circuit-breaker states."""
+
+    CLOSED = "closed"        #: healthy; requests flow
+    OPEN = "open"            #: failing; requests are skipped
+    HALF_OPEN = "half-open"  #: cooling off finished; one probe admitted
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one backend.
+
+    ``clock`` is injectable so tests drive the cooldown deterministically.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float | None = None
+
+    @property
+    def state(self) -> BreakerState:
+        if self._opened_at is None:
+            return BreakerState.CLOSED
+        if self._clock() - self._opened_at >= self.reset_after:
+            return BreakerState.HALF_OPEN
+        return BreakerState.OPEN
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allows(self) -> bool:
+        """Whether a request may be sent to the backend right now."""
+        return self.state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"failures={self._failures}/{self.failure_threshold})"
+        )
+
+
+@dataclass
+class ComponentStatus:
+    """What one planned component leg did during a federated query."""
+
+    component: str            #: the component schema name
+    backend: str              #: the backend's display name
+    ok: bool                  #: did the leg produce an answer?
+    rows: int = 0             #: rows contributed (0 when failed)
+    attempts: int = 0         #: execution attempts (1 + retries used)
+    latency_s: float = 0.0    #: wall time spent on the leg
+    error: str = ""           #: final error text, empty when ok
+    breaker: str = "closed"   #: breaker state *after* the leg
+    timed_out: bool = False   #: leg abandoned on the per-component timeout
+    skipped: bool = False     #: leg never attempted (breaker open / no backend)
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"{self.component}: ok, {self.rows} row(s) in "
+                f"{self.latency_s * 1e3:.1f} ms ({self.attempts} attempt(s))"
+            )
+        reason = "skipped" if self.skipped else (
+            "timed out" if self.timed_out else "failed"
+        )
+        detail = f" — {self.error}" if self.error else ""
+        return (
+            f"{self.component}: {reason} after {self.attempts} attempt(s), "
+            f"breaker {self.breaker}{detail}"
+        )
+
+
+@dataclass
+class FederationHealth:
+    """The per-component outcome of one federated query."""
+
+    statuses: list[ComponentStatus] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every planned component answered."""
+        return all(status.ok for status in self.statuses)
+
+    @property
+    def degraded(self) -> bool:
+        """Some component answered, some did not (a *partial* result)."""
+        return not self.ok and any(status.ok for status in self.statuses)
+
+    @property
+    def live(self) -> list[ComponentStatus]:
+        return [status for status in self.statuses if status.ok]
+
+    @property
+    def failed(self) -> list[ComponentStatus]:
+        return [status for status in self.statuses if not status.ok]
+
+    def for_component(self, component: str) -> ComponentStatus:
+        for status in self.statuses:
+            if status.component == component:
+                return status
+        raise KeyError(component)
+
+    def summary(self) -> str:
+        """One line: ``7/8 components answered`` plus failure notes."""
+        total = len(self.statuses)
+        answered = len(self.live)
+        line = f"{answered}/{total} component(s) answered"
+        notes = [status.describe() for status in self.failed]
+        return line if not notes else line + "; " + "; ".join(notes)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "components": [
+                {
+                    "component": status.component,
+                    "backend": status.backend,
+                    "ok": status.ok,
+                    "rows": status.rows,
+                    "attempts": status.attempts,
+                    "latency_s": round(status.latency_s, 6),
+                    "error": status.error,
+                    "breaker": status.breaker,
+                    "timed_out": status.timed_out,
+                    "skipped": status.skipped,
+                }
+                for status in self.statuses
+            ],
+        }

@@ -1,0 +1,154 @@
+"""The explainable federated query plan.
+
+A :class:`FederatedPlan` is what the planner hands the executor: the
+per-component subrequests produced by
+:func:`~repro.query.rewrite.rewrite_to_components`, plus the **merge
+strategy** the assertion network justifies for combining the component
+answers:
+
+* every contributing pair asserted ``equals`` → :attr:`MergeStrategy.KEY_MERGE`
+  (the components describe the same real-world population; key-equal rows
+  are duplicates of one entity);
+* pairs related by ``contains`` / ``contained-in`` (IS-A across
+  components) → :attr:`MergeStrategy.SUBSET_UNION` (one side's answers
+  are a subset of the other's; subsumed rows carry no information);
+* any ``may-be`` (overlap), disjoint, or unasserted pair →
+  :attr:`MergeStrategy.OUTER_UNION` (nothing may be dropped beyond exact
+  and subsumed duplicates, and key collisions are *conflicts* to surface,
+  not duplicates to eliminate).
+
+All three strategies produce the same certain-answer rows as the
+sequential oracle (:func:`repro.data.federated_answer`); they differ in
+what else the merge is entitled to do — reconcile entities, report
+conflicts — which is exactly the information :meth:`FederatedPlan.explain`
+renders.
+
+Plans serialise to JSON (:meth:`FederatedPlan.to_dict`) so the data
+dictionary can persist them alongside the mappings they were derived
+from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.query.ast import Request
+from repro.query.parser import parse_request
+from repro.query.rewrite import ComponentRequest
+
+
+class MergeStrategy(enum.Enum):
+    """How component answers combine, derived from the assertion network."""
+
+    #: all contributing pairs are ``equals`` — key-based duplicate elimination
+    KEY_MERGE = "key-merge"
+    #: containment among contributors — subset-aware union
+    SUBSET_UNION = "subset-union"
+    #: overlap / disjoint / unknown — outer union with conflict surfacing
+    OUTER_UNION = "outer-union"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class PairAssertion:
+    """The assertion (if any) between two contributing component objects."""
+
+    first: str   #: ``schema.object`` of one leg
+    second: str  #: ``schema.object`` of the other leg
+    code: int | None  #: the Screen 8 assertion code, or ``None`` if unasserted
+
+    def describe(self) -> str:
+        from repro.assertions.kinds import AssertionKind
+
+        if self.code is None:
+            return f"{self.first} ? {self.second} (no assertion)"
+        kind = AssertionKind.from_code(self.code)
+        return kind.describe(self.first, self.second)
+
+
+@dataclass(frozen=True)
+class FederatedPlan:
+    """One planned federated query: subrequests plus a merge strategy."""
+
+    #: the global request the plan answers
+    request: Request
+    #: one rewritten subrequest per contributing component
+    legs: tuple[ComponentRequest, ...]
+    #: how the component answers are merged
+    strategy: MergeStrategy
+    #: the assertions that justified :attr:`strategy`
+    pair_assertions: tuple[PairAssertion, ...] = ()
+    #: projection positions holding key attributes of the integrated class
+    key_positions: tuple[int, ...] = ()
+    #: the registry/mapping version the plan was derived under (cache token)
+    version_token: int = 0
+
+    @property
+    def components(self) -> list[str]:
+        """The component schemas the plan fans out to, in leg order."""
+        return [leg.schema for leg in self.legs]
+
+    def explain(self) -> str:
+        """A multi-line, human-readable rendering of the plan."""
+        lines = [f"federated plan for: {self.request}"]
+        lines.append(f"  merge strategy : {self.strategy}")
+        if self.key_positions:
+            keys = ", ".join(
+                self.request.attributes[index] for index in self.key_positions
+            )
+            lines.append(f"  entity keys    : {keys}")
+        lines.append(f"  fan-out        : {len(self.legs)} component leg(s)")
+        for leg in self.legs:
+            lines.append(f"    {leg}")
+        if self.pair_assertions:
+            lines.append("  justified by   :")
+            for pair in self.pair_assertions:
+                lines.append(f"    {pair.describe()}")
+        return "\n".join(lines)
+
+    # -- persistence (the data dictionary stores plans with mappings) -------
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly form; :meth:`from_dict` round-trips it."""
+        return {
+            "request": str(self.request),
+            "strategy": self.strategy.value,
+            "legs": [
+                {
+                    "schema": leg.schema,
+                    "request": str(leg.request),
+                    "missing": list(leg.missing_attributes),
+                }
+                for leg in self.legs
+            ],
+            "pair_assertions": [
+                [pair.first, pair.second, pair.code]
+                for pair in self.pair_assertions
+            ],
+            "key_positions": list(self.key_positions),
+            "version_token": self.version_token,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FederatedPlan":
+        return cls(
+            request=parse_request(data["request"]),
+            legs=tuple(
+                ComponentRequest(
+                    entry["schema"],
+                    parse_request(entry["request"]),
+                    list(entry.get("missing", ())),
+                )
+                for entry in data.get("legs", ())
+            ),
+            strategy=MergeStrategy(data["strategy"]),
+            pair_assertions=tuple(
+                PairAssertion(first, second, code)
+                for first, second, code in data.get("pair_assertions", ())
+            ),
+            key_positions=tuple(data.get("key_positions", ())),
+            version_token=int(data.get("version_token", 0)),
+        )

@@ -109,6 +109,11 @@ def replay(
                 outcome.session = session
             else:
                 diverge(event, f"unknown session action {event.action!r}")
+        elif event.scope == "federation":
+            # federated queries are informational: they read the analysis
+            # state (mappings, assertions) but never mutate it, so replay
+            # has nothing to apply and nothing to verify
+            pass
         else:
             diverge(event, f"unknown scope {event.scope!r}")
         del payload  # each handler reads event.payload itself

@@ -211,6 +211,43 @@ class Tracer:
             self._stack[-1].children_time += record.duration
         self.spans.append(record)
 
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Append an externally timed span.
+
+        The federation executor runs component subrequests on worker
+        threads; the tracer's span stack is single-threaded, so workers
+        capture ``perf_counter()`` timestamps themselves and the executor
+        records the finished spans from its own thread once the results
+        are collected.  ``parent`` defaults to the innermost live span
+        (the fan-out span, in that usage), and the recorded duration is
+        charged to the parent's children time exactly as a nested
+        context-manager span would be.
+        """
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        record = Span(
+            self._next_id,
+            parent.span_id if parent is not None else None,
+            name,
+            parent.depth + 1 if parent is not None else 0,
+            start,
+            attrs,
+        )
+        self._next_id += 1
+        record.end = end
+        if parent is not None:
+            parent.children_time += record.duration
+        self.spans.append(record)
+        return record
+
     # -- queries ---------------------------------------------------------------
 
     def reset(self) -> None:
@@ -325,6 +362,23 @@ def span(
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, counters=counters, **attrs)
+
+
+def record_span(
+    name: str,
+    start: float,
+    end: float,
+    **attrs: Any,
+) -> "Span | None":
+    """Record an externally timed span on the installed tracer, if any.
+
+    The no-tracer path is a global read and one comparison, like
+    :func:`span`.  See :meth:`Tracer.record_span` for the semantics.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    return tracer.record_span(name, start, end, **attrs)
 
 
 class tracing:

@@ -4,7 +4,9 @@
 into an integrated-schema request — the logical-database-design direction.
 ``rewrite_to_components`` maps an integrated-schema (global) request onto
 each component database that contributes data — the federation direction;
-the results are to be unioned by the (out-of-scope) execution engine.
+the legs it produces are executed and merged by the federated query
+engine in :mod:`repro.federation` (sequential reference semantics:
+:func:`repro.data.federated_answer`).
 """
 
 from __future__ import annotations
@@ -94,7 +96,10 @@ def rewrite_to_components(
     Raises
     ------
     MappingError
-        If no component schema covers the requested object class.
+        If no component schema covers the requested object class, or if
+        components cover the class but every one of them is disqualified
+        by a ``via`` traversal it cannot perform — the latter names the
+        offending join element precisely.
     """
     targets = [request.object_name]
     if integrated_schema is not None:
@@ -102,14 +107,22 @@ def rewrite_to_components(
 
         targets += subclass_closure(integrated_schema, request.object_name)
     legs: list[ComponentRequest] = []
+    join_rejections: list[str] = []
     for schema_name in sorted(mappings):
         mapping = mappings[schema_name]
         for target in targets:
             for local_object in mapping.objects_mapping_to(target):
-                leg = _component_leg(request, mapping, local_object, target)
+                leg = _component_leg(
+                    request, mapping, local_object, target, join_rejections
+                )
                 if leg is not None:
                     legs.append(leg)
     if not legs:
+        if join_rejections:
+            raise MappingError(
+                f"request on {request.object_name!r} cannot be routed: "
+                + "; ".join(join_rejections)
+            )
         raise MappingError(
             f"no component schema covers object class {request.object_name!r}"
         )
@@ -121,6 +134,7 @@ def _component_leg(
     mapping: SchemaMapping,
     local_object: str,
     target: str | None = None,
+    join_rejections: list[str] | None = None,
 ) -> ComponentRequest | None:
     target = target or request.object_name
     attributes: list[str] = []
@@ -144,7 +158,19 @@ def _component_leg(
         local_relationships = mapping.objects_mapping_to(join.relationship)
         local_targets = mapping.objects_mapping_to(join.target)
         if not local_relationships or not local_targets:
-            return None  # this component cannot perform the traversal
+            # the component cannot perform the traversal; record precisely
+            # which join element is absent so the no-legs error names it
+            if join_rejections is not None:
+                element = (
+                    f"relationship set {join.relationship!r}"
+                    if not local_relationships
+                    else f"join target {join.target!r}"
+                )
+                join_rejections.append(
+                    f"{element} of 'via {join}' has no counterpart in "
+                    f"component schema {mapping.component_schema!r}"
+                )
+            return None
         joins.append(Join(local_relationships[0], local_targets[0]))
     return ComponentRequest(
         mapping.component_schema,

@@ -29,6 +29,7 @@ from repro.tool.screens.browse import (
     EquivalentScreen,
     ParticipatingObjectsScreen,
 )
+from repro.tool.screens.federation import FederationScreen
 
 __all__ = [
     "POP",
@@ -54,4 +55,5 @@ __all__ = [
     "ComponentAttributeScreen",
     "EquivalentScreen",
     "ParticipatingObjectsScreen",
+    "FederationScreen",
 ]

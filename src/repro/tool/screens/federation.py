@@ -1,0 +1,94 @@
+"""Screen 16 (an extension): run global requests over the components.
+
+The paper stops at producing the integrated schema and its mappings; this
+screen is the operational payoff — the DDA types a request against the
+integrated schema and the federated query engine
+(:mod:`repro.federation`) plans it, fans it out to the component
+databases concurrently and merges the answers under the strategy the
+assertion network justifies.  The screen shows the merged rows, the plan
+and the per-component health, so a degraded answer (a component down,
+its breaker open) is visible rather than silent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ToolError
+from repro.tool.screens.base import POP, Screen
+from repro.tool.session import ToolSession
+
+
+class FederationScreen(Screen):
+    """Execute global requests; inspect plans, health and conflicts."""
+
+    header = "SCHEMA INTEGRATION TOOL"
+    subheader = "Global Request Execution"
+
+    def __init__(self) -> None:
+        self._output: list[str] = []
+
+    def body(self, session: ToolSession) -> list[str]:
+        engine = session.federation
+        lines = [
+            "Requests are posed against the integrated schema and answered",
+            "by the component databases (concurrent fan-out + merge).",
+            "",
+        ]
+        if engine is None:
+            lines.append(
+                "no engine attached yet -- the first request populates "
+                "demo component databases"
+            )
+        else:
+            components = sorted(engine.executor.backends)
+            lines.append(f"components: {', '.join(components)}")
+            for name in components:
+                breaker = engine.executor.breaker_for(name)
+                lines.append(f"  {name}: breaker {breaker.state}")
+        if self._output:
+            lines.append("")
+            lines.extend(self._output)
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        return (
+            "Enter request (select ... from ...), "
+            "P <request> to see the plan, or (E)xit :"
+        )
+
+    def handle(self, line: str, session: ToolSession):
+        if not line:
+            return None
+        lowered = line.lower()
+        if lowered == "e":
+            return POP
+        if lowered.startswith("p ") or lowered.startswith("p\t"):
+            engine = session.require_federation()
+            self._output = engine.explain(line[2:].strip()).splitlines()
+            session.status = "plan only; enter the request to execute it"
+            return None
+        if not lowered.startswith("select"):
+            raise ToolError(
+                "enter a request starting with 'select', "
+                "P <request>, or E to exit"
+            )
+        result = session.run_global_request(line)
+        self._output = self._render_result(result)
+        session.status = result.summary()
+        return None
+
+    @staticmethod
+    def _render_result(result) -> list[str]:
+        lines = [f"answer ({len(result.rows)} row(s)):"]
+        for row in result.rows[:20]:
+            lines.append(
+                "  " + ", ".join("-" if v is None else str(v) for v in row)
+            )
+        if len(result.rows) > 20:
+            lines.append(f"  ... {len(result.rows) - 20} more row(s)")
+        lines.append("")
+        lines.append(f"merge strategy: {result.plan.strategy}")
+        for status in result.health.statuses:
+            lines.append("  " + status.describe())
+        for conflict in result.conflicts:
+            lines.append("  ! " + conflict.describe())
+        return lines

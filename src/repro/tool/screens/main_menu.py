@@ -1,9 +1,11 @@
 """Screen 1: the main menu.
 
-The six tasks follow the four methodology phases: task 1 is schema
+The first six tasks follow the four methodology phases: task 1 is schema
 collection; tasks 2 and 3 handle object classes (equivalences, then
 assertions); tasks 4 and 5 do the same for relationship sets; task 6
-performs integration and opens the browse hierarchy.
+performs integration and opens the browse hierarchy.  Task 7 goes
+operational: it runs global requests against the integrated schema via
+the federated query engine (:mod:`repro.federation`).
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from repro.tool.screens.assertion import AssertionCollectScreen
 from repro.tool.screens.browse import ObjectClassScreen
 from repro.tool.screens.collection import SchemaNameScreen
 from repro.tool.screens.equivalence import ObjectSelectScreen, SchemaSelectScreen
+from repro.tool.screens.federation import FederationScreen
 from repro.tool.session import ToolSession
 
 _TASKS = [
@@ -23,6 +26,7 @@ _TASKS = [
     "4. Specify attribute equivalences for relationships",
     "5. Specify assertions for relationships",
     "6. Perform integration and view the integrated schema",
+    "7. Run a global request over the component databases",
 ]
 
 
@@ -46,7 +50,7 @@ class MainMenuScreen(Screen):
         return lines
 
     def prompt(self, session: ToolSession) -> str:
-        return "Enter task (1-6), (S)ave <file>, (L)oad <file>, or (E)xit :"
+        return "Enter task (1-7), (S)ave <file>, (L)oad <file>, or (E)xit :"
 
     def handle(self, line: str, session: ToolSession):
         choice, args = self.parse_choice(line)
@@ -81,6 +85,9 @@ class MainMenuScreen(Screen):
             session.integrate()
             session.status = session.result.schema.summary()
             return ObjectClassScreen()
+        if choice == "7":
+            session.require_result()  # federation needs mappings to plan
+            return FederationScreen()
         raise ToolError(f"unknown choice {line!r}")
 
     @staticmethod

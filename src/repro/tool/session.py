@@ -22,7 +22,7 @@ from repro.ecr.schema import Schema
 from repro.equivalence.ordering import CandidatePair
 from repro.equivalence.registry import EquivalenceRegistry
 from repro.equivalence.session import AnalysisSession
-from repro.errors import ToolError, UnknownNameError
+from repro.errors import ReproError, ToolError, UnknownNameError
 from repro.integration.options import IntegrationOptions
 from repro.integration.result import IntegrationResult
 
@@ -38,6 +38,9 @@ class ToolSession:
     #: the two schemas selected for the current pairwise phase
     selected_pair: tuple[str, str] | None = None
     result: IntegrationResult | None = None
+    #: the federated query engine over the component databases, once
+    #: attached (see :meth:`attach_federation`)
+    federation: "object | None" = None
     #: status line shown under the next screen render
     status: str = ""
 
@@ -157,6 +160,74 @@ class ToolSession:
         if self.result is None:
             raise ToolError("no integration has been performed yet")
         return self.result
+
+    # -- federation (running global requests over the components) ----------------
+
+    def attach_federation(self, stores=None, *, policy=None):
+        """Wire up a federated query engine over the latest result.
+
+        ``stores`` maps component schema names to
+        :class:`~repro.data.instances.InstanceStore` objects — the
+        operational component databases.  When omitted, each contributing
+        component schema is populated with seeded demo data so the screen
+        is usable straight after integration.  Returns the engine (also
+        kept on :attr:`federation`).
+        """
+        from repro.data.populate import populate_store
+        from repro.federation import FederationEngine
+        from repro.integration.mappings import build_mappings
+
+        result = self.require_result()
+        mappings = build_mappings(result, list(self.schemas.values()))
+        if stores is None:
+            stores = {
+                name: populate_store(self.schema(name), seed=index + 1)
+                for index, name in enumerate(sorted(mappings))
+            }
+        self.federation = FederationEngine.for_stores(
+            {name: mappings[name] for name in stores},
+            stores,
+            result.schema,
+            object_network=self.object_network,
+            registry=self.registry,
+            policy=policy,
+        )
+        return self.federation
+
+    def require_federation(self):
+        """The attached engine, auto-attaching demo stores if needed."""
+        if self.federation is None:
+            self.attach_federation()
+        return self.federation
+
+    def run_global_request(self, text: str):
+        """Execute a global request through the federation engine.
+
+        The outcome is captured on the audit log (scope ``federation``,
+        action ``query``) when recording is on; replay treats these
+        events as informational since they never mutate analysis state.
+        """
+        engine = self.require_federation()
+        try:
+            result = engine.query(text)
+        except ReproError:
+            raise
+        except Exception as exc:  # surface engine faults as tool errors
+            raise ToolError(f"federated query failed: {exc}") from exc
+        if self.analysis.audit_log is not None:
+            self.analysis.audit_log.emit(
+                "federation",
+                "query",
+                {
+                    "request": text,
+                    "strategy": str(result.plan.strategy),
+                    "components": result.plan.components,
+                    "rows": len(result.rows),
+                    "health": result.health.to_dict(),
+                    "conflicts": [c.describe() for c in result.conflicts],
+                },
+            )
+        return result
 
     # -- persistence (the data dictionary) ---------------------------------------
 

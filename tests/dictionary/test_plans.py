@@ -1,0 +1,94 @@
+"""Federated plans persisted alongside a result's mappings."""
+
+import pytest
+
+from repro.assertions.network import AssertionNetwork
+from repro.dictionary import DataDictionary
+from repro.ecr.schema import ObjectRef
+from repro.errors import UnknownNameError
+from repro.federation.planner import QueryPlanner
+from repro.integration.integrator import Integrator
+from repro.integration.mappings import build_mappings
+from repro.query.parser import parse_request
+from repro.workloads.university import (
+    PAPER_RELATIONSHIP_CODES,
+    paper_assertions,
+    paper_registry,
+)
+
+
+@pytest.fixture
+def world():
+    registry = paper_registry()
+    network = paper_assertions(registry)
+    relationship_network = AssertionNetwork()
+    for schema in registry.schemas():
+        for relationship in schema.relationship_sets():
+            relationship_network.add_object(
+                ObjectRef(schema.name, relationship.name)
+            )
+    for first, second, code in PAPER_RELATIONSHIP_CODES:
+        relationship_network.specify(
+            ObjectRef.parse(first), ObjectRef.parse(second), code
+        )
+    result = Integrator(registry, network, relationship_network).integrate(
+        "sc1", "sc2"
+    )
+    mappings = build_mappings(result, registry.schemas())
+    planner = QueryPlanner(
+        mappings, result.schema, object_network=network
+    )
+    dictionary = DataDictionary()
+    for schema in registry.schemas():
+        dictionary.add_schema(schema)
+    dictionary.store_result("paper", result, mappings)
+    return dictionary, planner
+
+
+def test_plan_round_trips_through_dictionary(world):
+    dictionary, planner = world
+    plan = planner.plan(parse_request("select D_Name, D_GPA from Student"))
+    dictionary.store_plan("paper", plan)
+    restored = dictionary.plans_for("paper")[str(plan.request)]
+    assert restored.strategy is plan.strategy
+    assert restored.components == plan.components
+    assert restored.key_positions == plan.key_positions
+
+
+def test_plans_survive_save_and_load(world):
+    dictionary, planner = world
+    for text in (
+        "select D_Name, D_GPA from Student",
+        "select D_Name, Location from E_Department",
+    ):
+        dictionary.store_plan("paper", planner.plan(parse_request(text)))
+    loaded = DataDictionary.from_dict(dictionary.to_dict())
+    plans = loaded.plans_for("paper")
+    assert set(plans) == {
+        "select D_Name, D_GPA from Student",
+        "select D_Name, Location from E_Department",
+    }
+    original = dictionary.plans_for("paper")
+    for request_text, plan in plans.items():
+        assert plan.to_dict() == original[request_text].to_dict()
+
+
+def test_restore_overwrites_stale_plan(world):
+    dictionary, planner = world
+    text = "select D_Name from Student"
+    plan = planner.plan(parse_request(text))
+    dictionary.store_plan("paper", plan)
+    dictionary.store_plan("paper", plan)  # replan of the same request
+    assert list(dictionary.plans_for("paper")) == [text]
+
+
+def test_unknown_result_rejected(world):
+    dictionary, planner = world
+    plan = planner.plan(parse_request("select D_Name from Student"))
+    with pytest.raises(UnknownNameError):
+        dictionary.store_plan("ghost", plan)
+
+
+def test_serialisation_omits_empty_plans():
+    dictionary = DataDictionary()
+    assert "plans" not in dictionary.to_dict()

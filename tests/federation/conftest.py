@@ -1,0 +1,60 @@
+"""Shared federation fixtures: paper-world mappings, stores and engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.instances import InstanceStore
+from repro.data.populate import populate_store
+from repro.federation import FederationEngine
+from repro.integration.mappings import build_mappings
+
+
+@pytest.fixture
+def mappings(paper_result, registry):
+    return build_mappings(paper_result, registry.schemas())
+
+
+@pytest.fixture
+def stores(registry):
+    """Seeded, non-overlapping component databases."""
+    return {
+        "sc1": populate_store(registry.schema("sc1"), seed=1),
+        "sc2": populate_store(registry.schema("sc2"), seed=2),
+    }
+
+
+@pytest.fixture
+def ana_stores(registry):
+    """Hand-built overlap: "ana" is an sc1 Student AND an sc2 Grad_student."""
+    sc1 = InstanceStore(registry.schema("sc1"))
+    sc2 = InstanceStore(registry.schema("sc2"))
+    ana = sc1.insert("Student", {"Name": "ana", "GPA": 3.8})
+    sc1.insert("Student", {"Name": "bob", "GPA": 2.9})
+    cs = sc1.insert("Department", {"Name": "cs"})
+    sc1.connect(
+        "Majors", {"Student": ana, "Department": cs}, {"Since": "1986-09-01"}
+    )
+    sc2.insert(
+        "Grad_student", {"Name": "ana", "GPA": 3.8, "Support_type": "ta"}
+    )
+    sc2.insert("Faculty", {"Name": "prof_x", "Rank": "full"})
+    sc2.insert("Department", {"Name": "cs", "Location": "west"})
+    return {"sc1": sc1, "sc2": sc2}
+
+
+@pytest.fixture
+def engine(mappings, stores, paper_result, object_network):
+    return FederationEngine.for_stores(
+        mappings, stores, paper_result.schema, object_network=object_network
+    )
+
+
+@pytest.fixture
+def ana_engine(mappings, ana_stores, paper_result, object_network):
+    return FederationEngine.for_stores(
+        mappings,
+        ana_stores,
+        paper_result.schema,
+        object_network=object_network,
+    )

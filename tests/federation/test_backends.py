@@ -1,0 +1,116 @@
+"""Backends: protocol, sqlite-vs-reference equivalence, fault injection."""
+
+import pytest
+
+from repro.errors import BackendError
+from repro.federation.backends import (
+    ComponentBackend,
+    FlakyBackend,
+    InstanceBackend,
+    SqliteBackend,
+    render_sql_ddl,
+)
+from repro.query.parser import parse_request
+from repro.translate.to_relational import to_relational
+
+SC1_REQUESTS = [
+    "select Name, GPA from Student",
+    "select * from Student",
+    "select Name from Student where GPA > 3",
+    "select Name from Department",
+    "select Name, GPA from Student via Majors(Department)",
+    "select Name from Department via Majors(Student)",
+]
+
+SC2_REQUESTS = [
+    "select Name, Support_type from Grad_student",
+    "select Name, Rank from Faculty",
+    "select Name from Faculty where Rank = 'full'",
+    "select Name, Location from Department",
+    "select Name from Grad_student via Majors(Department)",
+    "select Name from Department via Works(Faculty)",
+]
+
+
+class TestInstanceBackend:
+    def test_satisfies_the_protocol(self, stores):
+        backend = InstanceBackend(stores["sc1"])
+        assert isinstance(backend, ComponentBackend)
+        assert backend.name == "sc1"
+
+    def test_name_override(self, stores):
+        assert InstanceBackend(stores["sc1"], name="edge").name == "edge"
+
+    def test_delegates_to_select(self, stores):
+        backend = InstanceBackend(stores["sc1"])
+        for text in SC1_REQUESTS:
+            request = parse_request(text)
+            assert backend.execute(request) == stores["sc1"].select(request)
+
+
+class TestSqliteBackend:
+    @pytest.mark.parametrize(
+        "component, texts",
+        [("sc1", SC1_REQUESTS), ("sc2", SC2_REQUESTS)],
+    )
+    def test_matches_reference_semantics(self, stores, component, texts):
+        store = stores[component]
+        sql = SqliteBackend.from_store(store)
+        reference = InstanceBackend(store)
+        for text in texts:
+            request = parse_request(text)
+            assert sql.execute(request) == reference.execute(request), text
+
+    def test_overlap_instances_roundtrip(self, ana_stores):
+        sql = SqliteBackend.from_store(ana_stores["sc2"])
+        request = parse_request("select Name, GPA, Support_type from Grad_student")
+        assert sql.execute(request) == [("ana", 3.8, "ta")]
+
+    def test_strict_ddl_kept_for_display(self, registry):
+        backend = SqliteBackend(registry.schema("sc1"))
+        assert any("PRIMARY KEY" in statement for statement in backend.ddl)
+
+    def test_render_without_key_enforcement(self, registry):
+        relational = to_relational(registry.schema("sc1"))
+        lax = render_sql_ddl(relational, enforce_keys=False)
+        assert all("PRIMARY KEY" not in statement for statement in lax)
+        assert all(statement.startswith("CREATE TABLE") for statement in lax)
+
+
+class TestFlakyBackend:
+    def test_down_always_raises(self, stores):
+        backend = FlakyBackend(InstanceBackend(stores["sc1"]), down=True)
+        with pytest.raises(BackendError, match="injected fault"):
+            backend.execute(parse_request("select Name from Department"))
+
+    def test_fail_first_then_recovers(self, stores):
+        inner = InstanceBackend(stores["sc1"])
+        backend = FlakyBackend(inner, fail_first=2)
+        request = parse_request("select Name from Department")
+        for _ in range(2):
+            with pytest.raises(BackendError):
+                backend.execute(request)
+        assert backend.execute(request) == inner.execute(request)
+
+    def test_error_rate_is_deterministic(self, stores):
+        request = parse_request("select Name from Department")
+
+        def outcomes(seed):
+            backend = FlakyBackend(
+                InstanceBackend(stores["sc1"]), error_rate=0.5, seed=seed
+            )
+            results = []
+            for _ in range(8):
+                try:
+                    backend.execute(request)
+                    results.append(True)
+                except BackendError:
+                    results.append(False)
+            return results
+
+        assert outcomes(7) == outcomes(7)
+        assert True in outcomes(7) and False in outcomes(7)
+
+    def test_wraps_name_of_inner_backend(self, stores):
+        backend = FlakyBackend(InstanceBackend(stores["sc2"]))
+        assert backend.name == "sc2"

@@ -1,0 +1,149 @@
+"""The engine facade end to end on the paper world."""
+
+import pytest
+
+from repro.data.migrate import federated_answer
+from repro.errors import FederationError, MappingError, UnknownNameError
+from repro.federation import (
+    ExecutionPolicy,
+    FederationEngine,
+    FlakyBackend,
+    InstanceBackend,
+)
+from repro.federation.health import BreakerState
+from repro.obs.trace import tracing
+from repro.query.parser import parse_request
+
+HEALTHY_REQUESTS = [
+    "select D_Name from E_Department",
+    "select D_Name, Location from E_Department",
+    "select D_Name, D_GPA from Student",
+    "select D_Name, D_GPA, Support_type from Student",
+    "select Name, Rank from Faculty",
+    "select D_Name from Student via E_Stud_Majo(E_Department)",
+]
+
+
+class TestHealthyQueries:
+    @pytest.mark.parametrize("text", HEALTHY_REQUESTS)
+    def test_rows_equal_oracle(
+        self, engine, mappings, stores, paper_result, text
+    ):
+        result = engine.query(text)
+        assert result.ok and not result.degraded
+        assert result.rows == federated_answer(
+            parse_request(text), mappings, stores, paper_result.schema
+        )
+
+    def test_overlap_case_equals_oracle(
+        self, ana_engine, mappings, ana_stores, paper_result
+    ):
+        text = "select D_Name, D_GPA, Support_type from Student"
+        result = ana_engine.query(text)
+        assert result.rows == federated_answer(
+            parse_request(text), mappings, ana_stores, paper_result.schema
+        )
+        # ana's sc1 row is subsumed by her fuller sc2 grad-student row
+        assert ("ana", 3.8, "ta") in result.rows
+        assert ("ana", 3.8, None) not in result.rows
+
+    def test_accepts_request_objects_and_text(self, engine):
+        text = "select D_Name from Student"
+        assert (
+            engine.query(parse_request(text)).rows == engine.query(text).rows
+        )
+
+    def test_unknown_class_raises(self, engine):
+        # a class missing from the integrated schema fails name lookup;
+        # one that is present but unmapped fails routing — both ReproErrors
+        with pytest.raises((MappingError, UnknownNameError)):
+            engine.query("select X from Ghost")
+
+    def test_summary_mentions_strategy_and_health(self, engine):
+        result = engine.query("select D_Name, D_GPA from Student")
+        summary = result.summary()
+        assert "subset-union" in summary
+        assert "2/2 component(s) answered" in summary
+
+
+class TestInstrumentation:
+    def test_spans_cover_the_whole_query(self, engine):
+        with tracing() as tracer:
+            engine.query("select D_Name, D_GPA from Student")
+        names = tracer.names()
+        for expected in (
+            "federation.plan",
+            "federation.fanout",
+            "federation.component",
+            "federation.merge",
+        ):
+            assert expected in names
+        assert len(tracer.by_name("federation.component")) == 2
+
+    def test_metrics_counters_populate(self, engine):
+        engine.query("select D_Name from Student")
+        engine.query("select D_Name from Student")
+        counters = engine.metrics
+        assert counters.counter("federation.plan.hit").value == 1
+        assert counters.counter("federation.leg.ok").value == 4
+        assert counters.counter("federation.rows").value > 0
+
+
+class TestDegradedQueries:
+    def _dead_sc2_engine(self, mappings, ana_stores, paper_result,
+                         object_network, **policy_overrides):
+        options = dict(retries=0, backoff=0.001)
+        options.update(policy_overrides)
+        return FederationEngine.for_backends(
+            mappings,
+            {
+                "sc1": InstanceBackend(ana_stores["sc1"]),
+                "sc2": FlakyBackend(
+                    InstanceBackend(ana_stores["sc2"]), down=True
+                ),
+            },
+            paper_result.schema,
+            object_network=object_network,
+            policy=ExecutionPolicy(**options),
+        )
+
+    def test_partial_results_instead_of_exception(
+        self, mappings, ana_stores, paper_result, object_network
+    ):
+        engine = self._dead_sc2_engine(
+            mappings, ana_stores, paper_result, object_network
+        )
+        result = engine.query("select D_Name, D_GPA, Support_type from Student")
+        assert result.degraded and not result.ok
+        assert not result.health.for_component("sc2").ok
+        # sc1's certain answers still arrive; ana lacks her sc2 attributes
+        assert ("ana", 3.8, None) in result.rows
+        assert ("ana", 3.8, "ta") not in result.rows
+
+    def test_repeated_failures_open_the_breaker(
+        self, mappings, ana_stores, paper_result, object_network
+    ):
+        engine = self._dead_sc2_engine(
+            mappings, ana_stores, paper_result, object_network
+        )
+        for _ in range(3):  # default failure threshold
+            engine.query("select D_Name from Student")
+        assert (
+            engine.executor.breaker_for("sc2").state is BreakerState.OPEN
+        )
+        result = engine.query("select D_Name from Student")
+        assert result.health.for_component("sc2").skipped
+
+    def test_strict_policy_raises(
+        self, mappings, ana_stores, paper_result, object_network
+    ):
+        engine = self._dead_sc2_engine(
+            mappings,
+            ana_stores,
+            paper_result,
+            object_network,
+            partial_results=False,
+        )
+        with pytest.raises(FederationError) as err:
+            engine.query("select D_Name from Student")
+        assert err.value.health is not None

@@ -1,0 +1,123 @@
+"""The cached planner: strategies, key positions, cache invalidation."""
+
+import pytest
+
+from repro.federation.plan import FederatedPlan, MergeStrategy
+from repro.federation.planner import QueryPlanner
+from repro.obs.metrics import MetricsRegistry
+from repro.query.parser import parse_request
+
+
+@pytest.fixture
+def planner(mappings, paper_result, object_network):
+    return QueryPlanner(
+        mappings,
+        paper_result.schema,
+        object_network=object_network,
+        metrics=MetricsRegistry(),
+    )
+
+
+class TestStrategies:
+    def test_equal_departments_key_merge(self, planner):
+        plan = planner.plan(
+            parse_request("select D_Name, Location from E_Department")
+        )
+        assert plan.strategy is MergeStrategy.KEY_MERGE
+        assert plan.components == ["sc1", "sc2"]
+
+    def test_contained_students_subset_union(self, planner):
+        plan = planner.plan(parse_request("select D_Name, D_GPA from Student"))
+        assert plan.strategy is MergeStrategy.SUBSET_UNION
+        # sc2 contributes through its Grad_student subclass
+        assert [
+            (leg.schema, leg.request.object_name) for leg in plan.legs
+        ] == [("sc1", "Student"), ("sc2", "Grad_student")]
+        codes = {pair.code for pair in plan.pair_assertions}
+        assert None not in codes
+
+    def test_single_leg_is_outer_union(self, planner):
+        plan = planner.plan(parse_request("select Rank from Faculty"))
+        assert len(plan.legs) == 1
+        assert plan.pair_assertions == ()
+        assert plan.strategy is MergeStrategy.OUTER_UNION
+
+    def test_no_network_means_outer_union(self, mappings, paper_result):
+        planner = QueryPlanner(mappings, paper_result.schema)
+        plan = planner.plan(
+            parse_request("select D_Name, Location from E_Department")
+        )
+        assert plan.strategy is MergeStrategy.OUTER_UNION
+
+    def test_key_positions_from_integrated_schema(self, planner):
+        plan = planner.plan(parse_request("select D_Name, D_GPA from Student"))
+        assert plan.key_positions == (0,)
+        no_key = planner.plan(parse_request("select Location from E_Department"))
+        assert no_key.key_positions == ()
+
+
+class TestCache:
+    def test_identical_requests_hit(self, planner):
+        first = planner.plan(parse_request("select D_Name from Student"))
+        second = planner.plan(parse_request("select D_Name from Student"))
+        assert second is first
+        assert planner.cache_size() == 1
+        assert planner.metrics.counter("federation.plan.hit").value == 1
+        assert planner.metrics.counter("federation.plan.miss").value == 1
+
+    def test_distinct_requests_miss(self, planner):
+        planner.plan(parse_request("select D_Name from Student"))
+        planner.plan(parse_request("select Rank from Faculty"))
+        assert planner.cache_size() == 2
+        assert planner.metrics.counter("federation.plan.miss").value == 2
+
+    def test_invalidate_drops_plans_and_advances_token(self, planner):
+        planner.plan(parse_request("select D_Name from Student"))
+        token = planner.version_token()
+        planner.invalidate()
+        assert planner.cache_size() == 0
+        assert planner.version_token() == token + 1
+
+    def test_registry_change_invalidates(
+        self, mappings, paper_result, object_network, registry
+    ):
+        planner = QueryPlanner(
+            mappings,
+            paper_result.schema,
+            object_network=object_network,
+            registry=registry,
+        )
+        plan = planner.plan(parse_request("select D_Name from Student"))
+        assert planner.cache_size() == 1
+        assert plan.version_token == registry.version
+        registry.declare_equivalent(
+            "sc1.Department.Name", "sc2.Department.Location"
+        )
+        assert planner.cache_size() == 0
+        replanned = planner.plan(parse_request("select D_Name from Student"))
+        assert replanned is not plan
+        assert replanned.version_token == registry.version
+
+
+class TestPlanRendering:
+    def test_explain_names_strategy_legs_and_justification(self, planner):
+        plan = planner.plan(parse_request("select D_Name, D_GPA from Student"))
+        text = plan.explain()
+        assert "merge strategy : subset-union" in text
+        assert "entity keys    : D_Name" in text
+        assert "[sc1]" in text and "[sc2]" in text
+        assert "justified by" in text
+
+    def test_round_trips_through_dict(self, planner):
+        plan = planner.plan(
+            parse_request("select D_Name, Location from E_Department")
+        )
+        restored = FederatedPlan.from_dict(plan.to_dict())
+        assert str(restored.request) == str(plan.request)
+        assert restored.strategy is plan.strategy
+        assert restored.components == plan.components
+        assert restored.key_positions == plan.key_positions
+        assert restored.pair_assertions == plan.pair_assertions
+        assert [leg.missing_attributes for leg in restored.legs] == [
+            leg.missing_attributes for leg in plan.legs
+        ]

@@ -268,3 +268,22 @@ def test_detach_stops_recording():
     assert session.detach_audit() is log
     session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
     assert len(log) == before
+
+
+def test_federation_events_are_informational_on_replay():
+    """Scope ``federation`` records query outcomes; replay must accept the
+    events without re-driving them (they never mutate analysis state)."""
+    live, log = record_university_session()
+    log.emit(
+        "federation",
+        "query",
+        {
+            "request": "select D_Name, D_GPA from Student",
+            "strategy": "subset-union",
+            "components": ["sc1", "sc2"],
+            "rows": 4,
+        },
+    )
+    outcome = replay(log)
+    assert outcome.verified
+    assert not outcome.divergences

@@ -1,0 +1,141 @@
+"""Edge cases of ``rewrite_to_components`` — the federation direction."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.integration.mappings import build_mappings
+from repro.query.parser import parse_request
+from repro.query.rewrite import rewrite_to_components
+
+
+@pytest.fixture
+def mappings(paper_result, registry):
+    return build_mappings(paper_result, registry.schemas())
+
+
+class TestRouting:
+    def test_single_component_object_yields_one_leg(
+        self, mappings, paper_result
+    ):
+        legs = rewrite_to_components(
+            parse_request("select Rank from Faculty"),
+            mappings,
+            paper_result.schema,
+        )
+        assert [(leg.schema, leg.request.object_name) for leg in legs] == [
+            ("sc2", "Faculty")
+        ]
+        assert legs[0].is_complete
+
+    def test_subclass_routing_needs_integrated_schema(
+        self, mappings, paper_result
+    ):
+        request = parse_request("select D_Name from Student")
+        direct_only = rewrite_to_components(request, mappings)
+        assert [leg.schema for leg in direct_only] == ["sc1"]
+        routed = rewrite_to_components(request, mappings, paper_result.schema)
+        assert [(leg.schema, leg.request.object_name) for leg in routed] == [
+            ("sc1", "Student"),
+            ("sc2", "Grad_student"),
+        ]
+
+    def test_missing_projection_attribute_recorded_not_fatal(
+        self, mappings, paper_result
+    ):
+        legs = rewrite_to_components(
+            parse_request("select D_Name, Location from E_Department"),
+            mappings,
+            paper_result.schema,
+        )
+        by_schema = {leg.schema: leg for leg in legs}
+        assert by_schema["sc1"].missing_attributes == ["Location"]
+        assert by_schema["sc2"].is_complete
+
+
+class TestJoins:
+    def test_join_renamed_per_component(self, mappings, paper_result):
+        """The merged E_Stud_Majo traversal maps back onto each
+        component's own Majors relationship set."""
+        legs = rewrite_to_components(
+            parse_request("select D_Name from Student via E_Stud_Majo(E_Department)"),
+            mappings,
+            paper_result.schema,
+        )
+        by_schema = {leg.schema: leg.request for leg in legs}
+        assert by_schema["sc1"].joins[0].relationship == "Majors"
+        assert by_schema["sc1"].joins[0].target == "Department"
+        assert by_schema["sc2"].joins[0].relationship == "Majors"
+        assert by_schema["sc2"].joins[0].target == "Department"
+
+    def test_partial_join_coverage_drops_only_incapable_legs(
+        self, mappings, paper_result
+    ):
+        """Works exists only in sc2: the sc1 Student leg is disqualified,
+        the sc2 Grad_student leg survives."""
+        legs = rewrite_to_components(
+            parse_request("select D_Name from Student via Works(Faculty)"),
+            mappings,
+            paper_result.schema,
+        )
+        assert [leg.schema for leg in legs] == ["sc2"]
+
+    def test_unroutable_join_names_the_relationship(
+        self, mappings, paper_result
+    ):
+        with pytest.raises(MappingError) as err:
+            rewrite_to_components(
+                parse_request("select D_Name from Student via Bogus(E_Department)"),
+                mappings,
+                paper_result.schema,
+            )
+        message = str(err.value)
+        assert "cannot be routed" in message
+        assert "relationship set 'Bogus'" in message
+        assert "'sc1'" in message and "'sc2'" in message
+
+    def test_unroutable_join_names_the_target(self, mappings, paper_result):
+        with pytest.raises(MappingError) as err:
+            rewrite_to_components(
+                parse_request("select D_Name from Student via E_Stud_Majo(Ghost)"),
+                mappings,
+                paper_result.schema,
+            )
+        assert "join target 'Ghost'" in str(err.value)
+
+
+class TestConditions:
+    def test_comparison_attribute_merged_per_component(
+        self, mappings, paper_result
+    ):
+        """D_GPA is an attribute merge of sc1 GPA and sc2 GPA: each leg's
+        condition uses the component's own attribute name."""
+        legs = rewrite_to_components(
+            parse_request("select D_Name from Student where D_GPA > 3.0"),
+            mappings,
+            paper_result.schema,
+        )
+        assert len(legs) == 2
+        for leg in legs:
+            condition = leg.request.conditions[0]
+            assert condition.attribute == "GPA"
+            assert condition.operator == ">"
+
+    def test_condition_on_missing_attribute_disqualifies(
+        self, mappings, paper_result
+    ):
+        legs = rewrite_to_components(
+            parse_request("select D_Name from E_Department where Location = 'west'"),
+            mappings,
+            paper_result.schema,
+        )
+        assert [leg.schema for leg in legs] == ["sc2"]
+
+
+class TestErrors:
+    def test_uncovered_class_keeps_generic_message(self, mappings):
+        with pytest.raises(
+            MappingError, match="no component schema covers"
+        ):
+            rewrite_to_components(
+                parse_request("select X from Ghost"), mappings
+            )

@@ -1,0 +1,142 @@
+"""Task 7: the Global Request Execution screen and its session plumbing."""
+
+import pytest
+
+from repro.data.instances import InstanceStore
+from repro.errors import ToolError
+from repro.obs.replay import replay
+from repro.tool.screens.base import POP
+from repro.tool.screens.federation import FederationScreen
+from repro.tool.screens.main_menu import MainMenuScreen
+from repro.tool.session import ToolSession
+from repro.ecr.schema import ObjectRef
+from repro.workloads.university import (
+    PAPER_ASSERTION_CODES,
+    PAPER_RELATIONSHIP_CODES,
+    build_sc1,
+    build_sc2,
+)
+
+
+@pytest.fixture
+def session():
+    s = ToolSession()
+    s.adopt_schema(build_sc1())
+    s.adopt_schema(build_sc2())
+    s.select_pair("sc1", "sc2")
+    s.registry.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+    s.registry.declare_equivalent("sc1.Student.Name", "sc2.Faculty.Name")
+    s.registry.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+    s.registry.declare_equivalent("sc1.Department.Name", "sc2.Department.Name")
+    s.registry.declare_equivalent("sc1.Majors.Since", "sc2.Majors.Since")
+    for first, second, code in PAPER_ASSERTION_CODES:
+        s.object_network.specify(
+            ObjectRef.parse(first), ObjectRef.parse(second), code
+        )
+    for first, second, code in PAPER_RELATIONSHIP_CODES:
+        s.relationship_network.specify(
+            ObjectRef.parse(first), ObjectRef.parse(second), code
+        )
+    s.integrate()
+    return s
+
+
+def overlap_stores(session):
+    sc1 = InstanceStore(session.schema("sc1"))
+    sc2 = InstanceStore(session.schema("sc2"))
+    sc1.insert("Student", {"Name": "ana", "GPA": 3.8})
+    sc1.insert("Department", {"Name": "cs"})
+    sc2.insert(
+        "Grad_student", {"Name": "ana", "GPA": 3.8, "Support_type": "ta"}
+    )
+    sc2.insert("Department", {"Name": "cs", "Location": "west"})
+    return {"sc1": sc1, "sc2": sc2}
+
+
+class TestSessionPlumbing:
+    def test_attach_federation_with_stores(self, session):
+        engine = session.attach_federation(overlap_stores(session))
+        assert session.federation is engine
+        result = session.run_global_request(
+            "select D_Name, D_GPA, Support_type from Student"
+        )
+        assert ("ana", 3.8, "ta") in result.rows
+
+    def test_require_federation_auto_populates_demo_stores(self, session):
+        engine = session.require_federation()
+        assert engine is session.federation
+        result = session.run_global_request("select D_Name from Student")
+        assert result.ok
+
+    def test_without_result_raises(self):
+        bare = ToolSession()
+        with pytest.raises(ToolError):
+            bare.attach_federation()
+
+    def test_query_errors_surface_as_repro_errors(self, session):
+        session.attach_federation(overlap_stores(session))
+        with pytest.raises(Exception) as err:
+            session.run_global_request("select X from Ghost")
+        from repro.errors import ReproError
+
+        assert isinstance(err.value, ReproError)
+
+    def test_audit_captures_query_and_replay_accepts_it(self, session):
+        log = session.analysis.attach_audit()
+        session.attach_federation(overlap_stores(session))
+        session.run_global_request("select D_Name, D_GPA from Student")
+        assert "federation.query" in log.actions()
+        event = [e for e in log if e.scope == "federation"][-1]
+        assert event.payload["strategy"] == "subset-union"
+        assert event.payload["components"] == ["sc1", "sc2"]
+        assert event.payload["health"]["ok"] is True
+        # a recorded sitting containing federation events still replays
+        assert replay(log).verified
+
+
+class TestFederationScreen:
+    def test_menu_task_7_opens_screen(self, session):
+        screen = MainMenuScreen().handle("7", session)
+        assert isinstance(screen, FederationScreen)
+
+    def test_menu_task_7_requires_result(self):
+        bare = ToolSession()
+        with pytest.raises(ToolError):
+            MainMenuScreen().handle("7", bare)
+
+    def test_request_renders_rows_health_and_status(self, session):
+        session.attach_federation(overlap_stores(session))
+        screen = FederationScreen()
+        outcome = screen.handle(
+            "select D_Name, D_GPA, Support_type from Student", session
+        )
+        assert outcome is None
+        body = "\n".join(screen.body(session))
+        assert "answer (" in body
+        assert "ana, 3.8, ta" in body
+        assert "merge strategy: subset-union" in body
+        assert "sc1: ok" in body and "sc2: ok" in body
+        assert "row(s) via subset-union" in session.status
+
+    def test_plan_only_mode(self, session):
+        session.attach_federation(overlap_stores(session))
+        screen = FederationScreen()
+        screen.handle("p select D_Name, D_GPA from Student", session)
+        body = "\n".join(screen.body(session))
+        assert "federated plan for" in body
+        assert "fan-out" in body
+
+    def test_non_select_input_rejected(self, session):
+        screen = FederationScreen()
+        with pytest.raises(ToolError):
+            screen.handle("drop everything", session)
+
+    def test_exit_pops(self, session):
+        assert FederationScreen().handle("e", session) is POP
+
+    def test_body_lists_components_and_breakers(self, session):
+        session.attach_federation(overlap_stores(session))
+        screen = FederationScreen()
+        body = "\n".join(screen.body(session))
+        assert "components: sc1, sc2" in body
+        assert "breaker closed" in body
