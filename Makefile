@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke bench example
+.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke bench example
 
 ## Tier-1: the full unit/integration/e2e suite.
 test:
@@ -9,7 +9,9 @@ test:
 
 ## Same suite with DeprecationWarning promoted to an error: proves every
 ## in-repo caller is off the deprecated surfaces (direct matrix
-## construction, positional option arguments).
+## construction, the repro.instrumentation shim).  Positional option
+## arguments completed their deprecation cycle and are plain TypeErrors
+## now — covered by tests/integration/test_keyword_shims.py.
 test-deprecations:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -W error::DeprecationWarning
 
@@ -34,6 +36,13 @@ bench-smoke:
 		benchmarks/bench_screens_equivalence.py \
 		--benchmark-disable-gc --benchmark-warmup=off
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_incremental.py
+
+## Kernel smoke: record BENCH_kernel.json and gate on it — fails if the
+## per-event bus overhead exceeds 5% of the incremental-propagation
+## baseline, or if restoring the paper world from a snapshot takes more
+## than 50 ms.  See docs/ARCHITECTURE.md.
+kernel-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_kernel.py
 
 ## The full experiment harness (slow).
 bench:

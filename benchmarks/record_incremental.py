@@ -3,7 +3,7 @@
 Replays the two instrumented workloads — the EXP-CLO retract comparison
 (``bench_exp_closure.py``) and the Screen 6/7 equivalence session
 (``bench_screens_equivalence.py``) — through the incremental engine and
-writes every :class:`~repro.instrumentation.AnalysisCounters` snapshot,
+writes every :class:`~repro.obs.metrics.AnalysisCounters` snapshot,
 plus the incremental-vs-full-rebuild ratios, to ``BENCH_incremental.json``
 at the repository root.
 

@@ -73,7 +73,7 @@ from repro.equivalence import (
     attribute_ratio,
     ordered_object_pairs,
 )
-from repro.instrumentation import AnalysisCounters
+from repro.obs.metrics import AnalysisCounters
 from repro.assertions import (
     Assertion,
     AssertionKind,

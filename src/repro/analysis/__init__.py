@@ -1,6 +1,6 @@
 """Metrics, instrumentation counters and report tables for experiments."""
 
-from repro.instrumentation import AnalysisCounters
+from repro.obs.metrics import AnalysisCounters
 from repro.analysis.metrics import (
     schema_size,
     SchemaSize,

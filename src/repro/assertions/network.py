@@ -30,7 +30,7 @@ interactive loop where each DDA action touches one edge:
   benchmarks use it as the baseline.)
 
 Work done either way is tallied in :attr:`counters`
-(:class:`~repro.instrumentation.AnalysisCounters`).
+(:class:`~repro.obs.metrics.AnalysisCounters`).
 """
 
 from __future__ import annotations
@@ -49,11 +49,12 @@ from repro.assertions.kinds import AssertionKind, Relation, Source
 from repro.ecr.coerce import coerce_object_ref
 from repro.ecr.schema import ObjectRef, Schema
 from repro.errors import AssertionSpecError, ConflictError
-from repro.instrumentation import AnalysisCounters
+from repro.kernel.events import NO_CHANGE
+from repro.obs.metrics import AnalysisCounters
 from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.obs.audit import AuditSink
+    from repro.kernel.bus import EventEmitter
 
 #: An oriented support: R(x, y) was narrowed by composing R(x, via), R(via, y).
 _Support = tuple[ObjectRef, ObjectRef, ObjectRef]
@@ -131,9 +132,10 @@ class AssertionNetwork:
         self.counters = counters if counters is not None else AnalysisCounters()
         #: whether retract/respecify repair incrementally (False = rebuild)
         self.incremental = incremental
-        #: audit sink (``AnalysisSession.attach_audit`` binds one); records
-        #: every specify/retract, plus conflicts and rejections, for replay.
-        self.audit: "AuditSink | None" = None
+        #: kernel-bus emitter (an :class:`AnalysisSession` binds one);
+        #: commits every specify/retract, plus conflicts and rejections,
+        #: as ``<scope>.*`` events for the audit tap and undo/redo.
+        self.events: "EventEmitter | None" = None
 
     # -- membership ------------------------------------------------------------
 
@@ -268,19 +270,45 @@ class AssertionNetwork:
             kind = AssertionKind.from_code(kind)
         first = coerce_object_ref(first)
         second = coerce_object_ref(second)
+        prior = self._specified.get(ordered_pair(first, second))
         try:
             with span("phase3.closure.specify", counters=self.counters):
                 result = self._specify_checked(first, second, kind, source, note)
         except ConflictError:
-            self._audit_assertion("conflict", first, second, kind, source, note)
+            self._emit_assertion(
+                "conflict", first, second, kind, source, note,
+                inverse=NO_CHANGE,
+            )
             raise
         except AssertionSpecError:
-            self._audit_assertion("rejected", first, second, kind, source, note)
+            self._emit_assertion(
+                "rejected", first, second, kind, source, note,
+                inverse=NO_CHANGE,
+            )
             raise
-        self._audit_assertion("specify", first, second, kind, source, note)
+        if result is prior:
+            # re-stating the existing assertion: history records the
+            # attempt, but there is nothing to undo
+            inverse: object = NO_CHANGE
+        else:
+            inverse = self._retract_inverse(first, second)
+        self._emit_assertion(
+            "specify", first, second, kind, source, note, inverse=inverse
+        )
         return result
 
-    def _audit_assertion(
+    def _retract_inverse(
+        self, first: ObjectRef, second: ObjectRef
+    ) -> object:
+        if self.events is None:
+            return None
+        return (
+            self.events.scope,
+            "retract",
+            {"first": str(first), "second": str(second)},
+        )
+
+    def _emit_assertion(
         self,
         action: str,
         first: ObjectRef,
@@ -288,10 +316,12 @@ class AssertionNetwork:
         kind: AssertionKind,
         source: Source,
         note: str,
+        *,
+        inverse: object = None,
     ) -> None:
-        if self.audit is None:
+        if self.events is None:
             return
-        self.audit.emit(
+        self.events.emit(
             action,
             {
                 "first": str(first),
@@ -300,6 +330,7 @@ class AssertionNetwork:
                 "source": source.name,
                 "note": note,
             },
+            inverse=inverse,
         )
 
     def _specify_checked(
@@ -370,7 +401,8 @@ class AssertionNetwork:
         first = coerce_object_ref(first)
         second = coerce_object_ref(second)
         pair = ordered_pair(first, second)
-        if pair not in self._specified:
+        retracted = self._specified.get(pair)
+        if retracted is None:
             raise AssertionSpecError(
                 f"no specified assertion between {first} and {second}"
             )
@@ -382,9 +414,21 @@ class AssertionNetwork:
                     self._repair_after_retract(pair)
             else:
                 self._rebuild()
-        if self.audit is not None:
-            self.audit.emit(
-                "retract", {"first": str(first), "second": str(second)}
+        if self.events is not None:
+            self.events.emit(
+                "retract",
+                {"first": str(first), "second": str(second)},
+                inverse=(
+                    self.events.scope,
+                    "specify",
+                    {
+                        "first": str(retracted.first),
+                        "second": str(retracted.second),
+                        "kind": retracted.kind.code,
+                        "source": retracted.source.name,
+                        "note": retracted.note,
+                    },
+                ),
             )
 
     def _repair_after_retract(self, root: Pair) -> None:
@@ -483,10 +527,12 @@ class AssertionNetwork:
         self._derived = {}
         self._specified = {}
         self._log = []
-        # Suspend auditing: re-specifying the surviving log is internal
-        # repair, not new DDA input, and must not be recorded twice.
-        saved_audit, self.audit = self.audit, None
-        try:
+        # Suspend event emission: re-specifying the surviving log is
+        # internal repair, not new DDA input, and must not be recorded twice.
+        from contextlib import nullcontext
+
+        suspended = self.events.muted() if self.events is not None else nullcontext()
+        with suspended:
             with span("phase3.closure.rebuild", counters=self.counters):
                 for assertion in remaining:
                     self.specify(
@@ -496,8 +542,6 @@ class AssertionNetwork:
                         assertion.source,
                         assertion.note,
                     )
-        finally:
-            self.audit = saved_audit
 
     # -- propagation -------------------------------------------------------------
 

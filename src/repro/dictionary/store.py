@@ -47,6 +47,8 @@ class DataDictionary:
         self._mappings: dict[str, dict[str, SchemaMapping]] = {}
         #: federated plans per result name, keyed by request text
         self._plans: dict[str, dict[str, dict[str, Any]]] = {}
+        #: the kernel's exported event log + snapshots (None on legacy saves)
+        self._kernel: dict[str, Any] | None = None
 
     # -- content -------------------------------------------------------------
 
@@ -136,6 +138,19 @@ class DataDictionary:
             for request, entry in self._plans.get(result_name, {}).items()
         }
 
+    def store_kernel(self, state: dict[str, Any]) -> None:
+        """Persist a kernel's event log + snapshots + cursors.
+
+        ``state`` is :meth:`repro.kernel.Kernel.export_state` output; a
+        session restored from it replays from the nearest snapshot and
+        keeps its history (undo/redo work across save/load).
+        """
+        self._kernel = dict(state)
+
+    def kernel_state(self) -> dict[str, Any] | None:
+        """The stored kernel export, or ``None`` for legacy dictionaries."""
+        return dict(self._kernel) if self._kernel is not None else None
+
     # -- live-object reconstruction -----------------------------------------------
 
     def build_registry(self) -> EquivalenceRegistry:
@@ -204,6 +219,8 @@ class DataDictionary:
                 if self._plans
                 else {}
             ),
+            # optional: absent on legacy saves without an event history
+            **({"kernel": self._kernel} if self._kernel else {}),
         }
 
     @classmethod
@@ -232,6 +249,9 @@ class DataDictionary:
             dictionary._plans[name] = {
                 request: dict(entry) for request, entry in plans.items()
             }
+        kernel = data.get("kernel")
+        if kernel is not None:
+            dictionary._kernel = dict(kernel)
         return dictionary
 
     def save(self, path: str | Path) -> None:

@@ -73,7 +73,11 @@ class AcsMatrix:
         #: memoized derived views, rebuilt together after an invalidation
         self._pairs: list[tuple[AttributeRef, AttributeRef]] | None = None
         self._booleans: list[list[bool]] | None = None
-        registry.invalidate_listeners.append(self._on_registry_change)
+        self._subscription = registry.subscribe(self._on_registry_change)
+
+    def close(self) -> None:
+        """Stop tracking registry changes (the view goes stale)."""
+        self._subscription.cancel()
 
     def _on_registry_change(self, change: "RegistryChange") -> None:
         if not (

@@ -58,8 +58,8 @@ class OcsMatrix:
         registry: "EquivalenceRegistry",
         first_schema: str,
         second_schema: str,
-        kind_filter: ObjectKind | None = None,
         *,
+        kind_filter: ObjectKind | None = None,
         _trusted: bool = False,
     ) -> None:
         if not _trusted:
@@ -84,7 +84,11 @@ class OcsMatrix:
         #: any cell of this matrix is invalidated
         self.view_cache: dict[object, object] = {}
         self._reselect()
-        registry.invalidate_listeners.append(self._on_registry_change)
+        self._subscription = registry.subscribe(self._on_registry_change)
+
+    def close(self) -> None:
+        """Stop tracking registry changes (the view goes stale)."""
+        self._subscription.cancel()
 
     def _reselect(self) -> None:
         self._rows = self._select(self.first_schema)

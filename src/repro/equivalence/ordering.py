@@ -15,7 +15,6 @@ invalidated cells are recounted before the (cheap) re-sort.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.ecr.objects import ObjectKind
@@ -42,7 +41,7 @@ def ordered_object_pairs(
     registry: EquivalenceRegistry,
     first_schema: str,
     second_schema: str,
-    *deprecated_positional: object,
+    *,
     kind_filter: ObjectKind | None = None,
     include_zero: bool = False,
 ) -> list[CandidatePair]:
@@ -64,21 +63,6 @@ def ordered_object_pairs(
         attributes.  Screen 8 shows only genuine candidates, so the default
         is off; baselines that review every pair set it.
     """
-    if deprecated_positional:
-        # One-release shim: these options used to be positional.
-        warnings.warn(
-            "passing kind_filter/include_zero to ordered_object_pairs "
-            "positionally is deprecated; pass them as keywords",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if len(deprecated_positional) > 2:
-            raise TypeError(
-                "ordered_object_pairs takes at most 5 positional arguments"
-            )
-        kind_filter = deprecated_positional[0]  # type: ignore[assignment]
-        if len(deprecated_positional) == 2:
-            include_zero = bool(deprecated_positional[1])
     ocs = registry.ocs(first_schema, second_schema, kind_filter)
     cache_key = ("ranked", bool(include_zero))
     cached = ocs.view_cache.get(cache_key)

@@ -13,32 +13,37 @@ the DDA's subjective judgement — but the registry reports *issues* (domain
 incompatibility, key-flag mismatch) the tool surfaces as warnings, following
 the characteristics Larson et al. (1987) compare.
 
-The registry is also the **change hub of the incremental analysis engine**:
-every mutation bumps a monotonically increasing :attr:`version` and emits a
-:class:`RegistryChange` event to :attr:`invalidate_listeners`.  The cached
-OCS/ACS views obtained through :meth:`ocs` / :meth:`acs` subscribe to these
-events and invalidate only the object pairs a change actually touched, so
-the interactive loop never rebuilds a matrix from scratch per keystroke.
+The registry is also a **publisher on the event-sourced kernel bus**:
+every mutation bumps a monotonically increasing :attr:`version` and is
+committed as a ``registry.*`` event on :attr:`bus` (an
+:class:`~repro.kernel.bus.EventBus`, created standalone or shared with an
+:class:`~repro.kernel.kernel.Kernel`).  The cached OCS/ACS views obtained
+through :meth:`ocs` / :meth:`acs` subscribe through :meth:`subscribe`,
+which delivers the classic :class:`RegistryChange` view of each event, and
+invalidate only the object pairs a change actually touched, so the
+interactive loop never rebuilds a matrix from scratch per keystroke.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.ecr.attributes import Attribute, AttributeRef
 from repro.ecr.coerce import coerce_attribute_ref
 from repro.ecr.domains import domains_compatible
 from repro.ecr.schema import Schema
 from repro.errors import DuplicateNameError, EquivalenceError, UnknownNameError
-from repro.instrumentation import AnalysisCounters
+from repro.kernel.bus import EventBus, Subscription
+from repro.kernel.events import NO_CHANGE
+from repro.obs.metrics import AnalysisCounters
 from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.ecr.objects import ObjectKind
     from repro.equivalence.acs import AcsMatrix
     from repro.equivalence.ocs import OcsMatrix
-    from repro.obs.audit import AuditSink
+    from repro.kernel.events import Event
 
 
 @dataclass(frozen=True)
@@ -79,25 +84,33 @@ class RegistryChange:
 class EquivalenceRegistry:
     """Equivalence classes over the attributes of registered schemas."""
 
+    #: event action -> the ``RegistryChange.kind`` subscribers have always seen
+    _CHANGE_KINDS = {
+        "register_schema": "register",
+        "refresh_schema": "refresh",
+        "declare_equivalent": "declare",
+        "remove_from_class": "remove",
+        "restore_classes": "restore",
+    }
+
     def __init__(
         self,
         schemas: Iterable[Schema] = (),
         *,
         counters: AnalysisCounters | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self._schemas: dict[str, Schema] = {}
         self._class_of: dict[AttributeRef, int] = {}
         self._members: dict[int, list[AttributeRef]] = {}
         self._next_class = 1
         self._version = 0
-        #: callbacks invoked with a :class:`RegistryChange` after every
-        #: mutation; cached views register themselves here.
-        self.invalidate_listeners: list[Callable[[RegistryChange], None]] = []
+        #: the kernel bus every mutation is committed to (a standalone
+        #: registry gets its own; an :class:`AnalysisSession` shares its
+        #: kernel's bus so the audit tap, views and undo all see one log)
+        self.bus = bus if bus is not None else EventBus()
         #: shared work counters (an :class:`AnalysisSession` injects its own)
         self.counters = counters if counters is not None else AnalysisCounters()
-        #: audit sink (``AnalysisSession.attach_audit`` binds one); every
-        #: mutation is recorded with enough payload to replay it.
-        self.audit: "AuditSink | None" = None
         self._ocs_cache: dict[tuple[str, str, object], "OcsMatrix"] = {}
         self._acs_cache: dict[tuple[str, str], "AcsMatrix"] = {}
         for schema in schemas:
@@ -110,21 +123,59 @@ class EquivalenceRegistry:
         """Monotonically increasing mutation counter."""
         return self._version
 
-    def subscribe(self, listener: Callable[[RegistryChange], None]) -> None:
-        """Register a callback for future :class:`RegistryChange` events."""
-        self.invalidate_listeners.append(listener)
+    def subscribe(
+        self, listener: Callable[[RegistryChange], None]
+    ) -> Subscription:
+        """Deliver future mutations to ``listener`` as :class:`RegistryChange`s.
 
-    def _bump(
+        The listener is backed by a bus subscription on the ``registry``
+        scope; the returned :class:`~repro.kernel.bus.Subscription` handle
+        cancels it.  Events that changed nothing (a re-declared
+        equivalence, a removal from a singleton class) are filtered out,
+        matching the old direct-notification behaviour.
+        """
+
+        def adapter(event: "Event") -> None:
+            if not event.objects and not event.schemas:
+                return  # no-op mutation: nothing to invalidate
+            kind = self._CHANGE_KINDS.get(event.action)
+            if kind is None:
+                return
+            listener(
+                RegistryChange(
+                    kind, self._version, event.objects, event.schemas
+                )
+            )
+
+        return self.bus.subscribe(adapter, scopes=("registry",))
+
+    def _emit(
         self,
-        kind: str,
-        objects: frozenset[tuple[str, str]] = frozenset(),
-        schemas: frozenset[str] = frozenset(),
+        action: str,
+        payload: dict[str, Any],
+        *,
+        objects: frozenset = frozenset(),
+        schemas: frozenset = frozenset(),
+        inverse: object = None,
+        bump: bool = True,
     ) -> None:
-        self._version += 1
-        self.counters.registry_mutations += 1
-        change = RegistryChange(kind, self._version, objects, schemas)
-        for listener in list(self.invalidate_listeners):
-            listener(change)
+        """Commit one mutation as a ``registry.*`` event on the bus.
+
+        ``bump=False`` publishes without advancing :attr:`version` — used
+        for no-op mutations that stay in the history (the audit tap
+        records the DDA's attempt) but must not trigger invalidation.
+        """
+        if bump:
+            self._version += 1
+            self.counters.registry_mutations += 1
+        self.bus.publish(
+            "registry",
+            action,
+            payload,
+            objects=objects,
+            schemas=schemas,
+            inverse=inverse,
+        )
 
     @staticmethod
     def _owners(members: Iterable[AttributeRef]) -> frozenset[tuple[str, str]]:
@@ -140,6 +191,8 @@ class EquivalenceRegistry:
         """
         if schema.name in self._schemas:
             raise DuplicateNameError("schema", schema.name)
+        from repro.ecr.json_io import schema_to_dict
+
         with span(
             "phase1.registry.register_schema",
             counters=self.counters,
@@ -150,12 +203,10 @@ class EquivalenceRegistry:
                 self._class_of[ref] = self._next_class
                 self._members[self._next_class] = [ref]
                 self._next_class += 1
-            self._bump("register", schemas=frozenset({schema.name}))
-        if self.audit is not None:
-            from repro.ecr.json_io import schema_to_dict
-
-            self.audit.emit(
-                "register_schema", {"schema": schema_to_dict(schema)}
+            self._emit(
+                "register_schema",
+                {"schema": schema_to_dict(schema)},
+                schemas=frozenset({schema.name}),
             )
 
     def schemas(self) -> list[Schema]:
@@ -191,6 +242,8 @@ class EquivalenceRegistry:
                     f"not {schema_name!r}"
                 )
             self._schemas[schema_name] = replacement
+        from repro.ecr.json_io import schema_to_dict
+
         with span(
             "phase2.registry.refresh_schema",
             counters=self.counters,
@@ -207,12 +260,10 @@ class EquivalenceRegistry:
                     self._class_of[ref] = self._next_class
                     self._members[self._next_class] = [ref]
                     self._next_class += 1
-            self._bump("refresh", schemas=frozenset({schema_name}))
-        if self.audit is not None:
-            from repro.ecr.json_io import schema_to_dict
-
-            self.audit.emit(
-                "refresh_schema", {"schema": schema_to_dict(schema)}
+            self._emit(
+                "refresh_schema",
+                {"schema": schema_to_dict(schema)},
+                schemas=frozenset({schema_name}),
             )
 
     # -- cached views ---------------------------------------------------------
@@ -239,7 +290,11 @@ class EquivalenceRegistry:
             self.schema(first_schema)
             self.schema(second_schema)
             matrix = OcsMatrix(
-                self, first_schema, second_schema, kind_filter, _trusted=True
+                self,
+                first_schema,
+                second_schema,
+                kind_filter=kind_filter,
+                _trusted=True,
             )
             self._ocs_cache[key] = matrix
         return matrix
@@ -287,37 +342,105 @@ class EquivalenceRegistry:
             issues = self._inspect_pair(first, attr_a, second, attr_b)
             class_a = self._class_of[first]
             class_b = self._class_of[second]
+            payload = {"first": str(first), "second": str(second)}
             if class_a != class_b:
+                groups = [
+                    [number, [str(ref) for ref in self._members[number]]]
+                    for number in (class_a, class_b)
+                ]
                 keep, drop = sorted((class_a, class_b))
                 for ref in self._members.pop(drop):
                     self._class_of[ref] = keep
                     self._members[keep].append(ref)
-                self._bump(
-                    "declare", objects=self._owners(self._members[keep])
+                self._emit(
+                    "declare_equivalent",
+                    payload,
+                    objects=self._owners(self._members[keep]),
+                    inverse=("registry", "restore_classes", {"groups": groups}),
                 )
-        if self.audit is not None:
-            self.audit.emit(
-                "declare_equivalent",
-                {"first": str(first), "second": str(second)},
-            )
+            else:
+                # already merged: record the attempt, invalidate nothing
+                self._emit(
+                    "declare_equivalent", payload,
+                    inverse=NO_CHANGE, bump=False,
+                )
         return issues
 
     def remove_from_class(self, ref: AttributeRef | str) -> None:
         """Move an attribute back into a fresh singleton class (Screen 7 Delete)."""
         ref = coerce_attribute_ref(ref)
         self._checked_resolve(ref)
-        if self.audit is not None:
-            self.audit.emit("remove_from_class", {"ref": str(ref)})
-        old_members = self._members[self._class_of[ref]]
+        old_class = self._class_of[ref]
+        old_members = self._members[old_class]
         if len(old_members) == 1:
-            return  # already alone
+            # already alone: record the attempt, invalidate nothing
+            self._emit(
+                "remove_from_class", {"ref": str(ref)},
+                inverse=NO_CHANGE, bump=False,
+            )
+            return
         with span("phase2.registry.remove_from_class", counters=self.counters):
             touched = self._owners(old_members)
+            groups = [[old_class, [str(member) for member in old_members]]]
             self._detach(ref)
             self._class_of[ref] = self._next_class
             self._members[self._next_class] = [ref]
             self._next_class += 1
-            self._bump("remove", objects=touched)
+            self._emit(
+                "remove_from_class",
+                {"ref": str(ref)},
+                objects=touched,
+                inverse=("registry", "restore_classes", {"groups": groups}),
+            )
+
+    def restore_classes(self, groups: Iterable) -> None:
+        """Reassign exact class numbers/memberships (inverse application).
+
+        ``groups`` is ``[[class_number, [attribute refs]], ...]`` — the
+        pre-mutation membership captured by :meth:`declare_equivalent` /
+        :meth:`remove_from_class` as their inverse descriptor.  Every
+        listed attribute is detached from wherever it currently sits and
+        reattached to its recorded class.
+        """
+        resolved = [
+            (int(number), [coerce_attribute_ref(ref) for ref in refs])
+            for number, refs in groups
+        ]
+        touched: set[tuple[str, str]] = set()
+        with span("phase2.registry.restore_classes", counters=self.counters):
+            for _, refs in resolved:
+                for ref in refs:
+                    if ref in self._class_of:
+                        self._detach(ref)
+            for number, refs in resolved:
+                members = self._members.setdefault(number, [])
+                for ref in refs:
+                    self._class_of[ref] = number
+                    members.append(ref)
+                    touched.add(ref.owner)
+                self._next_class = max(self._next_class, number + 1)
+            self._emit(
+                "restore_classes",
+                {
+                    "groups": [
+                        [number, [str(ref) for ref in refs]]
+                        for number, refs in resolved
+                    ]
+                },
+                objects=frozenset(touched),
+            )
+
+    def dispose_views(self) -> None:
+        """Cancel the cached matrices' bus subscriptions and drop them.
+
+        Called when a session rebuilds onto a fresh registry sharing the
+        same bus (``reset_to``): the old views must stop reacting to
+        events that now describe a registry they no longer belong to.
+        """
+        for matrix in (*self._ocs_cache.values(), *self._acs_cache.values()):
+            matrix.close()
+        self._ocs_cache.clear()
+        self._acs_cache.clear()
 
     def _detach(self, ref: AttributeRef) -> None:
         old_class = self._class_of[ref]

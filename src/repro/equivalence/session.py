@@ -4,9 +4,12 @@ One ``AnalysisSession`` owns everything the paper's interactive loop
 (Screens 7–9) mutates: the attribute-equivalence registry, the memoized
 ACS/OCS views and ranked candidate lists, and the two assertion networks
 (object classes and relationship sets).  All components share one
-:class:`~repro.instrumentation.AnalysisCounters`, so a benchmark can reset
+:class:`~repro.obs.metrics.AnalysisCounters`, so a benchmark can reset
 the counters, replay a DDA script and read exactly how much incremental
-work each action cost.
+work each action cost — and one :class:`~repro.kernel.kernel.Kernel`,
+whose event bus every mutation is committed to: the audit log taps it,
+the cached views subscribe to it, and :meth:`Kernel.undo` /
+:meth:`Kernel.redo` / :meth:`Kernel.checkout` time-travel over it.
 
 Compared to wiring :class:`EquivalenceRegistry`, :class:`OcsMatrix` and
 :class:`AssertionNetwork` together by hand, the facade
@@ -46,13 +49,16 @@ from repro.ecr.schema import ObjectRef, Schema
 from repro.equivalence.ordering import CandidatePair, ordered_object_pairs
 from repro.equivalence.registry import EquivalenceIssue, EquivalenceRegistry
 from repro.errors import EquivalenceError
-from repro.instrumentation import AnalysisCounters
+from repro.kernel.bus import EventEmitter
+from repro.kernel.kernel import Kernel
+from repro.obs.metrics import AnalysisCounters
 
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycles
     from repro.equivalence.acs import AcsMatrix
     from repro.equivalence.ocs import OcsMatrix
     from repro.integration.options import IntegrationOptions
     from repro.integration.result import IntegrationResult
+    from repro.kernel.bus import Subscription
     from repro.obs.audit import AuditLog
 
 
@@ -68,6 +74,7 @@ class AnalysisSession:
         relationship_network: AssertionNetwork | None = None,
         counters: AnalysisCounters | None = None,
         audit: "AuditLog | None" = None,
+        kernel: Kernel | None = None,
     ) -> None:
         schemas = list(schemas)
         if registry is not None and schemas:
@@ -75,10 +82,20 @@ class AnalysisSession:
                 "pass either schemas or a pre-built registry, not both"
             )
         self.counters = counters if counters is not None else AnalysisCounters()
+        if kernel is None:
+            # a pre-built registry brings its own bus (and its event
+            # pre-history); otherwise the kernel creates a fresh one
+            kernel = Kernel(bus=registry.bus) if registry is not None else Kernel()
+        #: the event kernel every mutation is committed through
+        self.kernel = kernel
+        kernel.bind(self)
         if registry is None:
-            registry = EquivalenceRegistry(counters=self.counters)
+            registry = EquivalenceRegistry(
+                counters=self.counters, bus=kernel.bus
+            )
         else:
             registry.counters = self.counters
+            registry.bus = kernel.bus
         self.registry = registry
         if object_network is None:
             object_network = AssertionNetwork(counters=self.counters)
@@ -90,23 +107,35 @@ class AnalysisSession:
             relationship_network.counters = self.counters
         self.object_network = object_network
         self.relationship_network = relationship_network
+        self._bind_emitters()
         #: the attached audit log, if any (see :meth:`attach_audit`)
         self.audit_log: "AuditLog | None" = None
+        self._audit_subscription: "Subscription | None" = None
         if audit is not None:
             self.attach_audit(audit)
         for schema in schemas:
             self.add_schema(schema)
 
+    def _bind_emitters(self) -> None:
+        """Give both networks their scoped handles on the kernel bus."""
+        self.object_network.events = EventEmitter(
+            self.kernel.bus, "object_network"
+        )
+        self.relationship_network.events = EventEmitter(
+            self.kernel.bus, "relationship_network"
+        )
+
     # -- schema management ----------------------------------------------------
 
     def add_schema(self, schema: Schema) -> None:
         """Register a schema everywhere: registry, networks, implicit edges."""
-        self.registry.register_schema(schema)
-        self.object_network.seed_schema(schema)
-        for relationship in schema.relationship_sets():
-            self.relationship_network.add_object(
-                ObjectRef(schema.name, relationship.name)
-            )
+        with self.kernel.group():
+            self.registry.register_schema(schema)
+            self.object_network.seed_schema(schema)
+            for relationship in schema.relationship_sets():
+                self.relationship_network.add_object(
+                    ObjectRef(schema.name, relationship.name)
+                )
 
     def refresh_schema(
         self, schema_name: str, replacement: Schema | None = None
@@ -117,8 +146,9 @@ class AnalysisSession:
         same name first (audit replay uses this to reproduce in-place
         edits it cannot observe).
         """
-        self.registry.refresh_schema(schema_name, replacement=replacement)
-        self.reseed_networks()
+        with self.kernel.group():
+            self.registry.refresh_schema(schema_name, replacement=replacement)
+            self.reseed_networks()
 
     def reseed_networks(self) -> None:
         """Rebuild both assertion networks from the registered schemas.
@@ -129,7 +159,7 @@ class AnalysisSession:
         """
         self.object_network = AssertionNetwork(counters=self.counters)
         self.relationship_network = AssertionNetwork(counters=self.counters)
-        self._bind_audit_sinks()
+        self._bind_emitters()
         for schema in self.registry.schemas():
             self.object_network.seed_schema(schema)
             for relationship in schema.relationship_sets():
@@ -137,21 +167,45 @@ class AnalysisSession:
                     ObjectRef(schema.name, relationship.name)
                 )
 
+    def reset_to(self, schemas: Iterable[Schema]) -> None:
+        """Rebuild this session in place over a new schema list.
+
+        The old registry's cached views are disposed (their bus
+        subscriptions cancelled), fresh components are created on the
+        *same* kernel bus, and the schemas are re-added.  The kernel's
+        checkout/rollback paths and the tool's Delete Schema both run
+        through here.
+        """
+        self.registry.dispose_views()
+        self.registry = EquivalenceRegistry(
+            counters=self.counters, bus=self.kernel.bus
+        )
+        self.object_network = AssertionNetwork(counters=self.counters)
+        self.relationship_network = AssertionNetwork(counters=self.counters)
+        self._bind_emitters()
+        for schema in schemas:
+            self.add_schema(schema)
+
     # -- audit recording --------------------------------------------------------
 
     def attach_audit(self, log: "AuditLog | None" = None) -> "AuditLog":
         """Start recording every mutation into an audit log.
 
-        Binds :class:`~repro.obs.audit.AuditSink` handles to the registry
-        and both networks, so the log sees mutations no matter which
-        surface drives them (this facade, the interactive tool's screens,
-        or direct component calls).  If the session already has state, a
-        ``session.snapshot`` event capturing it is recorded first, so a
-        replay of the log starts from the same point.  Returns the log
-        (a fresh one is created when ``log`` is omitted).
+        The log becomes a **live-only tap on the kernel bus**: every event
+        committed from now on — registry mutations, assertions, conflicts,
+        integrations, federated queries — is appended in the same JSONL
+        vocabulary as always, no matter which surface drives the mutation
+        (this facade, the interactive tool's screens, or direct component
+        calls).  If the session already has state, a ``session.snapshot``
+        event capturing it is recorded first, so a replay of the log
+        starts from the same point.  Returns the log (a fresh one is
+        created when ``log`` is omitted).
         """
         from repro.obs.audit import AuditLog
 
+        if self._audit_subscription is not None:
+            self._audit_subscription.cancel()
+            self._audit_subscription = None
         if log is None:
             log = AuditLog()
         self.audit_log = log
@@ -160,33 +214,41 @@ class AnalysisSession:
             or self.object_network.specified_assertions()
             or self.relationship_network.specified_assertions()
         ):
-            log.emit("session", "snapshot", self._snapshot_payload())
-        self._bind_audit_sinks()
+            log.emit("session", "snapshot", self.state_payload())
+        self._audit_subscription = self.kernel.bus.subscribe(
+            lambda event: log.emit(event.scope, event.action, event.payload),
+            live_only=True,
+        )
         return log
 
     def detach_audit(self) -> "AuditLog | None":
         """Stop recording; returns the previously attached log, if any."""
         log = self.audit_log
         self.audit_log = None
-        self._bind_audit_sinks()
+        if self._audit_subscription is not None:
+            self._audit_subscription.cancel()
+            self._audit_subscription = None
         return log
 
-    def _bind_audit_sinks(self) -> None:
-        """(Re)bind component sinks to :attr:`audit_log` (or unbind)."""
-        log = self.audit_log
-        if log is None:
-            self.registry.audit = None
-            self.object_network.audit = None
-            self.relationship_network.audit = None
-            return
-        from repro.obs.audit import AuditSink
+    def resnapshot_audit(self) -> None:
+        """Re-anchor the attached audit log after time travel.
 
-        self.registry.audit = AuditSink(log, "registry")
-        self.object_network.audit = AuditSink(log, "object_network")
-        self.relationship_network.audit = AuditSink(log, "relationship_network")
+        The audit tap is live-only — replayed events never reach it — so
+        after an undo/redo/checkout/rollback the kernel appends a fresh
+        absolute ``session.snapshot``, keeping the log replayable to the
+        session's actual state.
+        """
+        if self.audit_log is not None:
+            self.audit_log.emit("session", "snapshot", self.state_payload())
 
-    def _snapshot_payload(self) -> dict:
-        """The session's current state, in replayable form."""
+    def state_payload(self) -> dict:
+        """The session's current state, in canonical replayable form.
+
+        Class member order and assertion order are sorted: they are
+        history-dependent in the live registry (merge order, retract +
+        respecify), but two sessions holding the same partition and the
+        same assertions must fingerprint identically.
+        """
         from repro.ecr.json_io import schema_to_dict
 
         assertions = []
@@ -211,11 +273,18 @@ class AnalysisSession:
             "schemas": [
                 schema_to_dict(schema) for schema in self.registry.schemas()
             ],
-            "equivalences": [
-                [str(ref) for ref in members]
+            "equivalences": sorted(
+                sorted(str(ref) for ref in members)
                 for members in self.registry.nontrivial_classes()
-            ],
-            "assertions": assertions,
+            ),
+            "assertions": sorted(
+                assertions,
+                key=lambda entry: (
+                    entry["relationships"],
+                    entry["first"],
+                    entry["second"],
+                ),
+            ),
         }
 
     def schema(self, name: str) -> Schema:
@@ -232,11 +301,13 @@ class AnalysisSession:
         self, first: AttributeRef | str, second: AttributeRef | str
     ) -> list[EquivalenceIssue]:
         """Screen 7 Add: merge two attributes' equivalence classes."""
-        return self.registry.declare_equivalent(first, second)
+        with self.kernel.group():
+            return self.registry.declare_equivalent(first, second)
 
     def remove_from_class(self, ref: AttributeRef | str) -> None:
         """Screen 7 Delete: move an attribute back to a singleton class."""
-        self.registry.remove_from_class(ref)
+        with self.kernel.group():
+            self.registry.remove_from_class(ref)
 
     def ocs(
         self,
@@ -286,9 +357,10 @@ class AnalysisSession:
         note: str = "",
     ) -> Assertion:
         """Record a Screen 8 assertion (deriving and conflict-checking)."""
-        return self.network_for(relationships).specify(
-            first, second, kind, source, note
-        )
+        with self.kernel.group():
+            return self.network_for(relationships).specify(
+                first, second, kind, source, note
+            )
 
     def respecify(
         self,
@@ -300,10 +372,15 @@ class AnalysisSession:
         source: Source = Source.DDA,
         note: str = "",
     ) -> Assertion:
-        """Screen 9 review-and-modify: replace the assertion on a pair."""
-        return self.network_for(relationships).respecify(
-            first, second, kind, source, note
-        )
+        """Screen 9 review-and-modify: replace the assertion on a pair.
+
+        The retract + specify pair commits as **one** kernel group, so a
+        single undo reverts the whole review-and-modify action.
+        """
+        with self.kernel.group():
+            return self.network_for(relationships).respecify(
+                first, second, kind, source, note
+            )
 
     def retract(
         self,
@@ -313,7 +390,8 @@ class AnalysisSession:
         relationships: bool = False,
     ) -> None:
         """Withdraw an assertion; the network repairs incrementally."""
-        self.network_for(relationships).retract(first, second)
+        with self.kernel.group():
+            self.network_for(relationships).retract(first, second)
 
     def feasible(
         self,
@@ -355,9 +433,18 @@ class AnalysisSession:
         result_name: str = "integrated",
         options: "IntegrationOptions | None" = None,
     ) -> "IntegrationResult":
-        """Integrate two registered schemas using the session's state."""
+        """Integrate two registered schemas using the session's state.
+
+        Commits a ``session.integrate`` event carrying the options and
+        the result schema's SHA-256 fingerprint — the audit tap records
+        it, replay verifies bitwise-identical reproduction against it,
+        and redo re-runs the integration from it.
+        """
+        from dataclasses import asdict
+
         from repro.integration.integrator import Integrator
         from repro.integration.options import IntegrationOptions
+        from repro.kernel.apply import schema_fingerprint
 
         resolved = options if options is not None else IntegrationOptions()
         integrator = Integrator(
@@ -366,13 +453,11 @@ class AnalysisSession:
             self.relationship_network,
             resolved,
         )
-        result = integrator.integrate(first_schema, second_schema, result_name)
-        if self.audit_log is not None:
-            from dataclasses import asdict
-
-            from repro.obs.replay import schema_fingerprint
-
-            self.audit_log.emit(
+        with self.kernel.group():
+            result = integrator.integrate(
+                first_schema, second_schema, result_name
+            )
+            event = self.kernel.bus.publish(
                 "session",
                 "integrate",
                 {
@@ -383,6 +468,8 @@ class AnalysisSession:
                     "fingerprint": schema_fingerprint(result.schema),
                 },
             )
+            if event.offset:
+                self.kernel.record_result(event.offset, result)
         return result
 
     # -- instrumentation ----------------------------------------------------------

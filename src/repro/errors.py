@@ -129,3 +129,12 @@ class ScriptError(ToolError):
 
 class ReplayError(ReproError):
     """Replaying an audit log diverged from the recorded session."""
+
+
+class KernelError(ReproError):
+    """An event-kernel operation is invalid.
+
+    Raised for checkouts outside the log's bounds, undo past the session
+    baseline, redo with no undone history, and commands that do not map
+    to a known mutation.
+    """

@@ -12,15 +12,16 @@ into a :class:`~repro.federation.plan.FederatedPlan`:
 3. the key positions of the projection are read off the integrated
    schema, so the merger can reconcile entities and surface conflicts.
 
-Plans are **cached** per request text and keyed on a version token: the
-equivalence registry's monotonic :attr:`version` when the planner is
-built over a live registry, or a local counter advanced by
-:meth:`QueryPlanner.invalidate`.  When a registry is supplied the planner
-subscribes to its :class:`~repro.equivalence.registry.RegistryChange`
-events and drops every cached plan on mutation — a schema or equivalence
-edit changes the mappings, so no stale plan can survive it.  Hit/miss
-counts feed the ``federation.plan.*`` metrics (the plan-cache hit ratio
-the benchmark records).
+Plans are **cached** per request text and keyed on a version token — a
+planner-local counter.  The planner never polls the registry: when one
+is supplied it subscribes to its
+:class:`~repro.equivalence.registry.RegistryChange` events (delivered off
+the kernel event bus) and each mutation advances the token and drops
+every cached plan — a schema or equivalence edit changes the mappings,
+so no stale plan can survive it.  :meth:`QueryPlanner.invalidate` does
+the same by hand for registry-less planners.  Hit/miss counts feed the
+``federation.plan.*`` metrics (the plan-cache hit ratio the benchmark
+records).
 """
 
 from __future__ import annotations
@@ -68,6 +69,7 @@ class QueryPlanner:
 
     def _on_registry_change(self, change: "RegistryChange") -> None:
         """Any registry mutation invalidates every cached plan."""
+        self._local_version += 1
         self._cache.clear()
 
     def invalidate(self) -> None:
@@ -80,9 +82,7 @@ class QueryPlanner:
         self._cache.clear()
 
     def version_token(self) -> int:
-        """The token cached plans are validated against."""
-        if self.registry is not None:
-            return self.registry.version
+        """The planner-local token cached plans are validated against."""
         return self._local_version
 
     def cache_size(self) -> int:

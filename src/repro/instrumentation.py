@@ -1,15 +1,24 @@
-"""Compatibility shim — the counters moved to :mod:`repro.obs.metrics`.
+"""Deprecated shim — the counters moved to :mod:`repro.obs.metrics`.
 
-:class:`AnalysisCounters` is now owned by the observability subsystem
+:class:`AnalysisCounters` is owned by the observability subsystem
 (:mod:`repro.obs`), where it plugs into the
 :class:`~repro.obs.metrics.MetricsRegistry` and the span tracer.  This
-module keeps the historical import path working; new code should import
-from :mod:`repro.obs.metrics` (or keep using the :mod:`repro.analysis`
-re-export).
+module now warns on import and will be removed in the next release;
+import from :mod:`repro.obs.metrics` (or use the :mod:`repro.analysis`
+re-export) instead.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.obs.metrics import AnalysisCounters
+
+warnings.warn(
+    "repro.instrumentation is deprecated and will be removed; import "
+    "AnalysisCounters from repro.obs.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["AnalysisCounters"]

@@ -621,7 +621,7 @@ def integrate_pair(
     network: AssertionNetwork,
     first_schema: str,
     second_schema: str,
-    *deprecated_positional,
+    *,
     relationship_network: AssertionNetwork | None = None,
     options: IntegrationOptions | None = None,
     result_name: str = "integrated",
@@ -629,33 +629,8 @@ def integrate_pair(
     """Convenience wrapper: integrate two registered schemas in one call.
 
     ``relationship_network``, ``options`` and ``result_name`` are
-    keyword-only; passing them positionally is deprecated.
+    keyword-only.
     """
-    if deprecated_positional:
-        import warnings
-
-        warnings.warn(
-            "passing relationship_network/options/result_name to "
-            "integrate_pair positionally is deprecated; use keywords",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        shims = (
-            ("relationship_network", relationship_network),
-            ("options", options),
-            ("result_name", result_name),
-        )
-        if len(deprecated_positional) > len(shims):
-            raise TypeError(
-                "integrate_pair() takes at most 7 positional arguments "
-                f"({4 + len(deprecated_positional)} given)"
-            )
-        values = dict(shims)
-        for (name, _), value in zip(shims, deprecated_positional):
-            values[name] = value
-        relationship_network = values["relationship_network"]
-        options = values["options"]
-        result_name = values["result_name"]
     if options is None:
         options = IntegrationOptions()
     integrator = Integrator(registry, network, relationship_network, options)

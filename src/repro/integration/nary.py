@@ -30,7 +30,7 @@ from repro.workloads.oracle import GroundTruth
 def integrate_all(
     schemas: list[Schema],
     truth: GroundTruth,
-    *deprecated_positional,
+    *,
     result_name: str = "global",
     options: IntegrationOptions | None = None,
 ) -> tuple[IntegrationResult, dict[str, SchemaMapping]]:
@@ -38,31 +38,13 @@ def integrate_all(
 
     Returns the final integration result and, for every original component
     schema, the composed mapping into the final integrated schema.
-    ``result_name`` and ``options`` are keyword-only; passing them
-    positionally is deprecated.
+    ``result_name`` and ``options`` are keyword-only.
 
     Raises
     ------
     IntegrationError
         If fewer than two schemas are given.
     """
-    if deprecated_positional:
-        import warnings
-
-        warnings.warn(
-            "passing result_name/options to integrate_all positionally "
-            "is deprecated; use keywords",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if len(deprecated_positional) > 2:
-            raise TypeError(
-                "integrate_all() takes at most 4 positional arguments "
-                f"({2 + len(deprecated_positional)} given)"
-            )
-        result_name = deprecated_positional[0]
-        if len(deprecated_positional) == 2:
-            options = deprecated_positional[1]
     if options is None:
         options = IntegrationOptions()
     if len(schemas) < 2:

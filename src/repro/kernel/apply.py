@@ -1,0 +1,254 @@
+"""Applying events to a session: the one re-drive engine.
+
+:func:`apply_event` takes a committed event — a kernel
+:class:`~repro.kernel.events.Event` or a recorded
+:class:`~repro.obs.audit.AuditEvent`, duck-typed on
+``scope``/``action``/``payload`` — and re-runs the mutation it records
+against an :class:`~repro.equivalence.session.AnalysisSession`.  Audit
+replay (:func:`repro.obs.replay.replay`), kernel ``checkout``, redo and
+inverse application during undo/rollback are all loops over this one
+function, so "replay" means the same thing everywhere.
+
+The schema-fingerprint utilities live here too (they were born in
+``repro.obs.replay``, which still re-exports them): integration events
+carry a SHA-256 fingerprint of the produced schema, and replay verifies
+bitwise-identical reproduction through them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.assertions.kinds import Source
+from repro.ecr.json_io import schema_from_dict, schema_to_dict
+from repro.ecr.schema import Schema
+from repro.errors import AssertionSpecError, ConflictError, ReplayError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.equivalence.session import AnalysisSession
+    from repro.integration.result import IntegrationResult
+
+
+def canonical_schema_json(schema: Schema) -> str:
+    """The canonical (sorted-key, compact) JSON form of a schema."""
+    return json.dumps(
+        schema_to_dict(schema), sort_keys=True, separators=(",", ":")
+    )
+
+
+def schema_fingerprint(schema: Schema) -> str:
+    """SHA-256 hex digest of :func:`canonical_schema_json`.
+
+    Two schemas share a fingerprint iff their canonical JSON is bitwise
+    identical — the equality the replay round-trip asserts.
+    """
+    return hashlib.sha256(
+        canonical_schema_json(schema).encode("utf-8")
+    ).hexdigest()
+
+
+def event_label(event: Any) -> str:
+    """A human-readable label for a kernel or audit event."""
+    position = getattr(event, "seq", None)
+    if position is None:
+        position = getattr(event, "offset", "?")
+    return f"event {position} ({event.scope}.{event.action})"
+
+
+def apply_event(
+    session: "AnalysisSession",
+    event: Any,
+    diverge: Callable[[Any, str], None],
+    *,
+    results: "list[IntegrationResult] | None" = None,
+    fingerprints: list[tuple[str, str]] | None = None,
+) -> None:
+    """Re-run one recorded mutation against ``session``.
+
+    ``diverge(event, message)`` is called whenever the session no longer
+    behaves as the event records (strict callers raise
+    :class:`~repro.errors.ReplayError` from it; lenient callers collect).
+    ``results``/``fingerprints`` accumulate integration outcomes when the
+    caller wants them (audit replay does; undo/redo passes ``results``).
+    """
+    if event.scope == "registry":
+        _apply_registry_event(session, event, diverge)
+    elif event.scope in ("object_network", "relationship_network"):
+        _apply_network_event(session, event, diverge)
+    elif event.scope == "session":
+        if event.action == "integrate":
+            _apply_integrate_event(
+                session, event, diverge, results=results,
+                fingerprints=fingerprints,
+            )
+        elif event.action == "snapshot":
+            _apply_snapshot_event(session, event, diverge)
+        elif event.action == "delete_schema":
+            _apply_delete_schema_event(session, event, diverge)
+        else:
+            diverge(event, f"unknown session action {event.action!r}")
+    elif event.scope == "federation":
+        # federated queries are informational: they read the analysis
+        # state (mappings, assertions) but never mutate it, so replay
+        # has nothing to apply and nothing to verify
+        pass
+    else:
+        diverge(event, f"unknown scope {event.scope!r}")
+
+
+# -- per-scope appliers ---------------------------------------------------------
+
+
+def _apply_registry_event(session, event, diverge) -> None:
+    payload = event.payload
+    try:
+        if event.action == "register_schema":
+            session.add_schema(schema_from_dict(payload["schema"]))
+        elif event.action == "declare_equivalent":
+            session.registry.declare_equivalent(
+                payload["first"], payload["second"]
+            )
+        elif event.action == "remove_from_class":
+            session.registry.remove_from_class(payload["ref"])
+        elif event.action == "refresh_schema":
+            session.refresh_schema(
+                payload["schema"]["name"],
+                replacement=schema_from_dict(payload["schema"]),
+            )
+        elif event.action == "restore_classes":
+            session.registry.restore_classes(payload["groups"])
+        else:
+            diverge(event, f"unknown registry action {event.action!r}")
+    except ReplayError:
+        raise
+    except Exception as exc:  # pragma: no cover - divergence reporting
+        diverge(event, f"replay raised {type(exc).__name__}: {exc}")
+
+
+def _relationships(event) -> bool:
+    return event.scope == "relationship_network"
+
+
+def _apply_network_event(session, event, diverge) -> None:
+    payload = event.payload
+    relationships = _relationships(event)
+    if event.action == "specify":
+        try:
+            session.specify(
+                payload["first"],
+                payload["second"],
+                int(payload["kind"]),
+                relationships=relationships,
+                source=Source[payload.get("source", "DDA")],
+                note=payload.get("note", ""),
+            )
+        except (ConflictError, AssertionSpecError) as exc:
+            diverge(event, f"recorded success now raises {type(exc).__name__}")
+    elif event.action == "retract":
+        try:
+            session.retract(
+                payload["first"], payload["second"], relationships=relationships
+            )
+        except AssertionSpecError as exc:
+            diverge(event, f"recorded retract now raises: {exc}")
+    elif event.action in ("conflict", "rejected"):
+        expected = (
+            ConflictError if event.action == "conflict" else AssertionSpecError
+        )
+        try:
+            session.specify(
+                payload["first"],
+                payload["second"],
+                int(payload["kind"]),
+                relationships=relationships,
+                source=Source[payload.get("source", "DDA")],
+                note=payload.get("note", ""),
+            )
+        except expected:
+            return  # the recorded failure reproduced — the network rolled back
+        except AssertionSpecError as exc:
+            diverge(
+                event,
+                f"recorded {event.action} reproduced as {type(exc).__name__}",
+            )
+            return
+        diverge(event, f"recorded {event.action} no longer raises")
+    else:
+        diverge(event, f"unknown network action {event.action!r}")
+
+
+def _apply_integrate_event(
+    session, event, diverge, *, results, fingerprints
+) -> None:
+    from repro.integration.options import IntegrationOptions
+
+    payload = event.payload
+    options = IntegrationOptions(**payload.get("options", {}))
+    result = session.integrate(
+        payload["first"],
+        payload["second"],
+        result_name=payload.get("result_name", "integrated"),
+        options=options,
+    )
+    if results is not None:
+        results.append(result)
+    replayed = schema_fingerprint(result.schema)
+    recorded = payload.get("fingerprint", replayed)
+    if fingerprints is not None:
+        fingerprints.append((recorded, replayed))
+    if recorded != replayed:
+        diverge(
+            event,
+            f"integrated schema diverged (recorded {recorded[:12]}…, "
+            f"replayed {replayed[:12]}…)",
+        )
+
+
+def _apply_snapshot_event(session, event, diverge) -> None:
+    """Rebuild snapshotted state: schemas, equivalence classes, assertions.
+
+    A snapshot is an absolute statement of the session's state (recorded
+    when a log is attached to a non-empty session, or re-recorded after
+    time travel / a rebuild such as the tool's Delete Schema).  Any state
+    the session already has is discarded and rebuilt from the snapshot,
+    in place.
+    """
+    from repro.kernel.snapshots import apply_state
+
+    if (
+        session.schemas()
+        or session.object_network.specified_assertions()
+        or session.relationship_network.specified_assertions()
+    ):
+        session.reset_to([])
+    apply_state(
+        session,
+        event.payload,
+        on_error=lambda message: diverge(event, message),
+    )
+
+
+def _apply_delete_schema_event(session, event, diverge) -> None:
+    """Drop one schema and rebuild from the survivors (Screen 2 Delete).
+
+    Matches the tool's behaviour: equivalences and assertions are
+    re-collected after a schema leaves the federation, so the rebuilt
+    session starts clean over the remaining schemas.
+    """
+    name = event.payload["name"]
+    remaining = [
+        schema for schema in session.schemas() if schema.name != name
+    ]
+    if len(remaining) == len(session.schemas()):
+        diverge(event, f"schema {name!r} not present at delete")
+    session.reset_to(remaining)
+
+
+__all__ = [
+    "apply_event",
+    "canonical_schema_json",
+    "event_label",
+    "schema_fingerprint",
+]

@@ -1,0 +1,464 @@
+"""The kernel: transactions, time travel and persistence over one bus.
+
+A :class:`Kernel` owns an :class:`~repro.kernel.bus.EventBus` plus the
+book-keeping that turns a flat event log into a session's history:
+
+* a **head** cursor — the offset the bound session's state corresponds
+  to.  Live publishes advance it; undo/checkout move it back without
+  touching the log, so redo can walk forward again.  A live publish
+  while the head is behind the log end truncates the redo tail first
+  (branching history is linear, like an editor's undo stack).
+* **transactions** — :meth:`transaction` makes a multi-mutation block
+  all-or-nothing: on an exception the events committed inside are
+  rolled back (by inverse application when every event recorded one,
+  else by state rebuild) and dropped from the log.
+* **snapshots** — periodic :class:`~repro.kernel.snapshots.Snapshot`
+  records of the session state, so :meth:`checkout` restores any offset
+  by *nearest snapshot + tail replay* instead of full replay.
+* **undo/redo** — group-wise time travel: :meth:`undo` reverts the most
+  recent effectful transaction (skipping no-op groups such as recorded
+  conflicts), :meth:`redo` re-applies forward.
+* **persistence** — :meth:`export_state` / :meth:`restore` round-trip
+  the log + snapshots through the data dictionary; restoring a session
+  is ``Kernel.restore(...)`` followed by :meth:`checkout` of the saved
+  head.
+
+All write operations run under the bus lock, so two sessions sharing a
+kernel interleave at transaction granularity — the single-writer
+discipline the concurrency stress test exercises.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import KernelError, ReplayError
+from repro.kernel.apply import apply_event, event_label
+from repro.kernel.bus import EventBus
+from repro.kernel.events import NO_CHANGE, Command, Event
+from repro.kernel.snapshots import Snapshot, apply_state
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.equivalence.session import AnalysisSession
+    from repro.integration.result import IntegrationResult
+
+
+class _CommandView:
+    """Adapts a :class:`Command` to the event shape ``apply_event`` reads."""
+
+    __slots__ = ("scope", "action", "payload")
+
+    def __init__(self, command: Command) -> None:
+        self.scope = command.scope
+        self.action = command.action
+        self.payload = command.args
+
+
+class Kernel:
+    """Event log + head cursor + snapshots for one analysis session."""
+
+    def __init__(
+        self, *, bus: EventBus | None = None, snapshot_every: int = 64
+    ) -> None:
+        self.bus = bus if bus is not None else EventBus()
+        #: the bound session (:meth:`bind`); time travel rebuilds it in place
+        self.session: "AnalysisSession | None" = None
+        #: events per automatic snapshot (taken at group commit)
+        self.snapshot_every = snapshot_every
+        self._head = self.bus.offset
+        self._baseline = self.bus.offset
+        self._snapshots: list[Snapshot] = []
+        self._events_since_snapshot = 0
+        #: integration results by the offset of their ``session.integrate``
+        #: event — lets the tool resync its displayed result after time travel
+        self._results_by_offset: "dict[int, IntegrationResult]" = {}
+        self.bus.before_publish = self._before_live_publish
+        self.bus.after_publish = self._after_live_publish
+
+    # -- binding and cursors ----------------------------------------------------
+
+    def bind(self, session: "AnalysisSession") -> None:
+        """Attach the session whose state this kernel's log describes."""
+        self.session = session
+
+    @property
+    def head(self) -> int:
+        """The offset the bound session's state corresponds to."""
+        return self._head
+
+    @property
+    def baseline(self) -> int:
+        """The earliest offset time travel may reach (see :meth:`set_baseline`)."""
+        return self._baseline
+
+    def set_baseline(self) -> None:
+        """Make the current state the floor for undo/checkout.
+
+        Records a snapshot at the head so checkouts never need events
+        older than it — used after restoring from a persisted dictionary
+        whose log was not saved (legacy format), where pre-restore
+        history simply does not exist.
+        """
+        with self.bus.lock:
+            self._baseline = self._head
+            self._snapshots.append(
+                Snapshot(self._head, self._require_session().state_payload())
+            )
+
+    def _require_session(self) -> "AnalysisSession":
+        if self.session is None:
+            raise KernelError("kernel has no bound session")
+        return self.session
+
+    # -- live-publish hooks ------------------------------------------------------
+
+    def _before_live_publish(self) -> None:
+        if self._head < self.bus.offset:
+            self.bus.truncate(self._head)
+            self._snapshots = [
+                snapshot
+                for snapshot in self._snapshots
+                if snapshot.offset <= self._head
+            ]
+            self._results_by_offset = {
+                offset: result
+                for offset, result in self._results_by_offset.items()
+                if offset <= self._head
+            }
+
+    def _after_live_publish(self, event: Event) -> None:
+        self._head = event.offset
+        self._events_since_snapshot += 1
+
+    # -- grouping and transactions ----------------------------------------------
+
+    @contextmanager
+    def group(self) -> Iterator[int | None]:
+        """Commit the mutations inside as one undo/redo unit.
+
+        Thin wrapper over :meth:`EventBus.grouped` that also takes the
+        periodic snapshot at commit.  No rollback on exception — a
+        recorded conflict legitimately stays in the log; use
+        :meth:`transaction` for all-or-nothing semantics.
+        """
+        with self.bus.lock:
+            with self.bus.grouped() as txn:
+                yield txn
+            if not self.bus.replaying_now:
+                self._maybe_snapshot()
+
+    @contextmanager
+    def transaction(self) -> Iterator[int | None]:
+        """All-or-nothing multi-mutation block.
+
+        On an exception, every event committed inside is rolled back —
+        by applying recorded inverses in reverse when all events have
+        one, else by rebuilding the session from the entry state — and
+        dropped from the log, then the exception propagates.  Nested
+        transactions join the outermost one (a rollback is total).
+        """
+        with self.bus.lock:
+            if self.bus.replaying_now or self.bus.active_txn is not None:
+                with self.bus.grouped() as txn:
+                    yield txn
+                return
+            start = self._head
+            entry_state = self._require_session().state_payload()
+            try:
+                with self.bus.grouped() as txn:
+                    yield txn
+            except BaseException:
+                self._rollback(start, entry_state)
+                raise
+            else:
+                self._maybe_snapshot()
+
+    def _rollback(self, start: int, entry_state: dict[str, Any]) -> None:
+        committed = self.bus.events(start)
+        inverses = [
+            self.bus.inverse_for(event.offset) for event in committed
+        ]
+        self.bus.truncate(start)
+        self._results_by_offset = {
+            offset: result
+            for offset, result in self._results_by_offset.items()
+            if offset <= start
+        }
+        if all(inverse is not None for inverse in inverses):
+            with self.bus.replaying():
+                for inverse in reversed(inverses):
+                    if inverse is NO_CHANGE:
+                        continue
+                    self._apply_inverse(inverse)
+        else:
+            self._rebuild_state(entry_state)
+        self._head = start
+        self._resnapshot_audit()
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(self, command: Command) -> "IntegrationResult | None":
+        """Run a :class:`Command` as the matching live session mutation.
+
+        The mutation emits its event(s) on success, exactly as calling
+        the session method directly would.  Returns the integration
+        result for ``session.integrate`` commands, else ``None``.
+        """
+        def diverge(event: Any, message: str) -> None:
+            raise KernelError(f"command {command}: {message}")
+
+        results: "list[IntegrationResult]" = []
+        with self.group():
+            apply_event(
+                self._require_session(),
+                _CommandView(command),
+                diverge,
+                results=results,
+            )
+        return results[-1] if results else None
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Record the session's current state at the head offset."""
+        with self.bus.lock:
+            record = Snapshot(
+                self._head, self._require_session().state_payload()
+            )
+            self._snapshots.append(record)
+            self._events_since_snapshot = 0
+            return record
+
+    def snapshots(self) -> list[Snapshot]:
+        return list(self._snapshots)
+
+    def _maybe_snapshot(self) -> None:
+        if self._events_since_snapshot >= self.snapshot_every:
+            self.snapshot()
+
+    def _best_snapshot(self, offset: int) -> Snapshot:
+        """The latest usable snapshot at or before ``offset``."""
+        best: Snapshot | None = None
+        for snapshot in self._snapshots:
+            if snapshot.offset <= offset and (
+                best is None or snapshot.offset >= best.offset
+            ):
+                best = snapshot
+        if best is None:
+            if self._baseline > 0:
+                raise KernelError(
+                    f"no snapshot covers offset {offset} "
+                    f"(baseline {self._baseline})"
+                )
+            best = Snapshot(0, {})
+        return best
+
+    # -- time travel -------------------------------------------------------------
+
+    def checkout(self, offset: int) -> None:
+        """Restore the session to its state after ``offset`` events.
+
+        Rebuilds from the nearest snapshot at or before ``offset`` and
+        replays the tail.  The log is untouched — events past ``offset``
+        remain available to :meth:`redo` until a new live mutation
+        truncates them.
+        """
+        with self.bus.lock:
+            if offset < self._baseline or offset > self.bus.offset:
+                raise KernelError(
+                    f"offset {offset} outside "
+                    f"[{self._baseline}, {self.bus.offset}]"
+                )
+            snapshot = self._best_snapshot(offset)
+            self._rebuild_state(snapshot.state)
+            for event in self.bus.events(snapshot.offset, offset):
+                self._replay_one(event)
+            self._head = offset
+            self._resnapshot_audit()
+
+    def undo(self) -> bool:
+        """Revert the most recent effectful group; False if none remains.
+
+        Groups whose every event recorded :data:`NO_CHANGE` (conflicts,
+        rejections, re-statements) are skipped — they never changed
+        state, so undoing them would be a surprise no-op for the user.
+        """
+        with self.bus.lock:
+            target = self._head
+            while target > self._baseline:
+                group = self._group_ending_at(target)
+                start = group[0].offset - 1
+                inverses = [
+                    self.bus.inverse_for(event.offset) for event in group
+                ]
+                if all(inverse is NO_CHANGE for inverse in inverses):
+                    target = start
+                    continue
+                if all(inverse is not None for inverse in inverses):
+                    with self.bus.replaying():
+                        for inverse in reversed(inverses):
+                            if inverse is NO_CHANGE:
+                                continue
+                            self._apply_inverse(inverse)
+                    self._head = start
+                    self._resnapshot_audit()
+                else:
+                    self.checkout(start)
+                return True
+            return False
+
+    def redo(self) -> bool:
+        """Re-apply the next effectful undone group; False if none remains."""
+        with self.bus.lock:
+            applied_effectful = False
+            while self._head < self.bus.offset and not applied_effectful:
+                group = self._group_starting_after(self._head)
+                applied_effectful = any(
+                    self.bus.inverse_for(event.offset) is not NO_CHANGE
+                    for event in group
+                )
+                with self.bus.replaying():
+                    for event in group:
+                        self._replay_one(event)
+                self._head = group[-1].offset
+            if applied_effectful:
+                self._resnapshot_audit()
+            return applied_effectful
+
+    def can_undo(self) -> bool:
+        with self.bus.lock:
+            target = self._head
+            while target > self._baseline:
+                group = self._group_ending_at(target)
+                if any(
+                    self.bus.inverse_for(event.offset) is not NO_CHANGE
+                    for event in group
+                ):
+                    return True
+                target = group[0].offset - 1
+            return False
+
+    def can_redo(self) -> bool:
+        with self.bus.lock:
+            offset = self._head
+            while offset < self.bus.offset:
+                group = self._group_starting_after(offset)
+                if any(
+                    self.bus.inverse_for(event.offset) is not NO_CHANGE
+                    for event in group
+                ):
+                    return True
+                offset = group[-1].offset
+            return False
+
+    def _group_ending_at(self, offset: int) -> list[Event]:
+        """The contiguous run of same-transaction events ending at ``offset``."""
+        event = self.bus.event_at(offset)
+        start = offset
+        while (
+            start - 1 > self._baseline
+            and self.bus.event_at(start - 1).txn == event.txn
+        ):
+            start -= 1
+        return self.bus.events(start - 1, offset)
+
+    def _group_starting_after(self, offset: int) -> list[Event]:
+        """The contiguous run of same-transaction events starting at ``offset + 1``."""
+        event = self.bus.event_at(offset + 1)
+        end = offset + 1
+        while (
+            end + 1 <= self.bus.offset
+            and self.bus.event_at(end + 1).txn == event.txn
+        ):
+            end += 1
+        return self.bus.events(offset, end)
+
+    # -- replay helpers ----------------------------------------------------------
+
+    def _strict_diverge(self, event: Any, message: str) -> None:
+        raise ReplayError(f"{event_label(event)}: {message}")
+
+    def _replay_one(self, event: Event) -> None:
+        session = self._require_session()
+        results: "list[IntegrationResult]" = []
+        with self.bus.replaying():
+            apply_event(session, event, self._strict_diverge, results=results)
+        if results:
+            self._results_by_offset[event.offset] = results[-1]
+
+    def _apply_inverse(self, inverse: object) -> None:
+        scope, action, payload = inverse  # type: ignore[misc]
+        view = _CommandView(Command(scope, action, dict(payload)))
+        apply_event(self._require_session(), view, self._strict_diverge)
+
+    def _rebuild_state(self, state: dict[str, Any]) -> None:
+        session = self._require_session()
+        with self.bus.replaying():
+            session.reset_to([])
+            if state:
+                apply_state(
+                    session,
+                    state,
+                    on_error=lambda message: self._strict_diverge(
+                        _CommandView(Command("session", "snapshot", {})),
+                        message,
+                    ),
+                )
+
+    def _resnapshot_audit(self) -> None:
+        """Re-anchor an attached audit log after time travel.
+
+        The audit tap is live-only, so replayed events never reach it;
+        appending a fresh ``session.snapshot`` keeps the log an accurate,
+        replayable statement of where the session now stands.
+        """
+        session = self.session
+        if session is not None:
+            session.resnapshot_audit()
+
+    def result_at_head(self) -> "IntegrationResult | None":
+        """The result of the latest integrate event at or before the head."""
+        with self.bus.lock:
+            for event in reversed(self.bus.events(self._baseline, self._head)):
+                if event.scope == "session" and event.action == "integrate":
+                    return self._results_by_offset.get(event.offset)
+            return None
+
+    def record_result(self, offset: int, result: "IntegrationResult") -> None:
+        """Remember the result a live integrate event produced."""
+        self._results_by_offset[offset] = result
+
+    # -- persistence -------------------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """The log, snapshots and cursors in JSON-friendly form."""
+        with self.bus.lock:
+            return {
+                "head": self._head,
+                "baseline": self._baseline,
+                "events": self.bus.to_dicts(),
+                "snapshots": [
+                    snapshot.to_dict() for snapshot in self._snapshots
+                ],
+            }
+
+    @classmethod
+    def restore(cls, state: dict[str, Any]) -> "Kernel":
+        """Rebuild a kernel from :meth:`export_state` output.
+
+        The caller binds a fresh session and then checks out the saved
+        head: ``kernel.checkout(state["head"])`` — restore *is*
+        replay-from-snapshot.
+        """
+        kernel = cls()
+        kernel.bus.load_dicts(state.get("events", ()))
+        kernel._snapshots = [
+            Snapshot.from_dict(entry) for entry in state.get("snapshots", ())
+        ]
+        kernel._baseline = int(state.get("baseline", 0))
+        kernel._head = 0
+        return kernel
+
+
+__all__ = ["Kernel"]

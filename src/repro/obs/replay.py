@@ -13,43 +13,38 @@ sitting: attach a log to a live session (or to the interactive tool's
 embedded session), save the JSONL, and anyone can re-run the sitting and
 obtain the same integrated schema — or be told precisely which event
 diverged.
+
+Since the kernel refactor the audit log is a live tap on the event bus
+and replay is literally kernel event application: this module is a thin
+loop over :func:`repro.kernel.apply.apply_event`, the same engine that
+drives kernel ``checkout``, redo and rollback.  The fingerprint helpers
+moved to :mod:`repro.kernel.apply` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
-from repro.assertions.kinds import Source
-from repro.ecr.json_io import schema_from_dict, schema_to_dict
-from repro.ecr.schema import Schema
-from repro.errors import AssertionSpecError, ConflictError, ReplayError
-from repro.integration.options import IntegrationOptions
+from repro.errors import ReplayError
+from repro.kernel.apply import (
+    apply_event,
+    canonical_schema_json,
+    event_label,
+    schema_fingerprint,
+)
 from repro.obs.audit import AuditEvent, AuditLog
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.equivalence.session import AnalysisSession
     from repro.integration.result import IntegrationResult
 
-
-def canonical_schema_json(schema: Schema) -> str:
-    """The canonical (sorted-key, compact) JSON form of a schema."""
-    return json.dumps(
-        schema_to_dict(schema), sort_keys=True, separators=(",", ":")
-    )
-
-
-def schema_fingerprint(schema: Schema) -> str:
-    """SHA-256 hex digest of :func:`canonical_schema_json`.
-
-    Two schemas share a fingerprint iff their canonical JSON is bitwise
-    identical — the equality the replay round-trip asserts.
-    """
-    return hashlib.sha256(
-        canonical_schema_json(schema).encode("utf-8")
-    ).hexdigest()
+__all__ = [
+    "ReplayOutcome",
+    "canonical_schema_json",
+    "replay",
+    "schema_fingerprint",
+]
 
 
 @dataclass
@@ -89,171 +84,18 @@ def replay(
     session = AnalysisSession()
     outcome = ReplayOutcome(session)
 
-    def diverge(event: AuditEvent, message: str) -> None:
-        label = f"event {event.seq} ({event.scope}.{event.action}): {message}"
+    def diverge(event, message: str) -> None:
+        label = f"{event_label(event)}: {message}"
         if strict:
             raise ReplayError(label)
         outcome.divergences.append(label)
 
     for event in log:
-        payload = event.payload
-        if event.scope == "registry":
-            _apply_registry_event(session, event, diverge)
-        elif event.scope in ("object_network", "relationship_network"):
-            _apply_network_event(session, event, diverge)
-        elif event.scope == "session":
-            if event.action == "integrate":
-                _apply_integrate_event(session, event, outcome, diverge)
-            elif event.action == "snapshot":
-                session = _apply_snapshot_event(session, event, diverge)
-                outcome.session = session
-            else:
-                diverge(event, f"unknown session action {event.action!r}")
-        elif event.scope == "federation":
-            # federated queries are informational: they read the analysis
-            # state (mappings, assertions) but never mutate it, so replay
-            # has nothing to apply and nothing to verify
-            pass
-        else:
-            diverge(event, f"unknown scope {event.scope!r}")
-        del payload  # each handler reads event.payload itself
-    return outcome
-
-
-# -- per-scope appliers ---------------------------------------------------------
-
-
-def _apply_registry_event(session, event: AuditEvent, diverge) -> None:
-    payload = event.payload
-    try:
-        if event.action == "register_schema":
-            session.add_schema(schema_from_dict(payload["schema"]))
-        elif event.action == "declare_equivalent":
-            session.registry.declare_equivalent(
-                payload["first"], payload["second"]
-            )
-        elif event.action == "remove_from_class":
-            session.registry.remove_from_class(payload["ref"])
-        elif event.action == "refresh_schema":
-            session.refresh_schema(
-                payload["schema"]["name"],
-                replacement=schema_from_dict(payload["schema"]),
-            )
-        else:
-            diverge(event, f"unknown registry action {event.action!r}")
-    except ReplayError:
-        raise
-    except Exception as exc:  # pragma: no cover - divergence reporting
-        diverge(event, f"replay raised {type(exc).__name__}: {exc}")
-
-
-def _relationships(event: AuditEvent) -> bool:
-    return event.scope == "relationship_network"
-
-
-def _apply_network_event(session, event: AuditEvent, diverge) -> None:
-    payload = event.payload
-    relationships = _relationships(event)
-    if event.action == "specify":
-        try:
-            session.specify(
-                payload["first"],
-                payload["second"],
-                int(payload["kind"]),
-                relationships=relationships,
-                source=Source[payload.get("source", "DDA")],
-                note=payload.get("note", ""),
-            )
-        except (ConflictError, AssertionSpecError) as exc:
-            diverge(event, f"recorded success now raises {type(exc).__name__}")
-    elif event.action == "retract":
-        try:
-            session.retract(
-                payload["first"], payload["second"], relationships=relationships
-            )
-        except AssertionSpecError as exc:
-            diverge(event, f"recorded retract now raises: {exc}")
-    elif event.action in ("conflict", "rejected"):
-        expected = (
-            ConflictError if event.action == "conflict" else AssertionSpecError
-        )
-        try:
-            session.specify(
-                payload["first"],
-                payload["second"],
-                int(payload["kind"]),
-                relationships=relationships,
-                source=Source[payload.get("source", "DDA")],
-                note=payload.get("note", ""),
-            )
-        except expected:
-            return  # the recorded failure reproduced — the network rolled back
-        except AssertionSpecError as exc:
-            diverge(
-                event,
-                f"recorded {event.action} reproduced as {type(exc).__name__}",
-            )
-            return
-        diverge(event, f"recorded {event.action} no longer raises")
-    else:
-        diverge(event, f"unknown network action {event.action!r}")
-
-
-def _apply_integrate_event(session, event: AuditEvent, outcome, diverge) -> None:
-    payload = event.payload
-    options = IntegrationOptions(**payload.get("options", {}))
-    result = session.integrate(
-        payload["first"],
-        payload["second"],
-        result_name=payload.get("result_name", "integrated"),
-        options=options,
-    )
-    outcome.results.append(result)
-    replayed = schema_fingerprint(result.schema)
-    recorded = payload.get("fingerprint", replayed)
-    outcome.fingerprints.append((recorded, replayed))
-    if recorded != replayed:
-        diverge(
+        apply_event(
+            session,
             event,
-            f"integrated schema diverged (recorded {recorded[:12]}…, "
-            f"replayed {replayed[:12]}…)",
+            diverge,
+            results=outcome.results,
+            fingerprints=outcome.fingerprints,
         )
-
-
-def _apply_snapshot_event(session, event: AuditEvent, diverge):
-    """Rebuild snapshotted state: schemas, equivalence classes, assertions.
-
-    A snapshot is an absolute statement of the session's state (recorded
-    when a log is attached to a non-empty session, or re-attached after a
-    rebuild such as the tool's Delete Schema).  If the replayed session
-    already has state, it is discarded and rebuilt from the snapshot.
-    Returns the (possibly fresh) session.
-    """
-    from repro.equivalence.session import AnalysisSession
-
-    payload = event.payload
-    if (
-        session.schemas()
-        or session.object_network.specified_assertions()
-        or session.relationship_network.specified_assertions()
-    ):
-        session = AnalysisSession()
-    for schema_data in payload.get("schemas", ()):
-        session.add_schema(schema_from_dict(schema_data))
-    for members in payload.get("equivalences", ()):
-        anchor = members[0]
-        for other in members[1:]:
-            session.registry.declare_equivalent(anchor, other)
-    for entry in payload.get("assertions", ()):
-        try:
-            session.specify(
-                entry["first"],
-                entry["second"],
-                int(entry["kind"]),
-                relationships=bool(entry.get("relationships", False)),
-                source=Source[entry.get("source", "DDA")],
-                note=entry.get("note", ""),
-            )
-        except (ConflictError, AssertionSpecError) as exc:
-            diverge(event, f"snapshot assertion raised {type(exc).__name__}")
-    return session
+    return outcome

@@ -124,6 +124,24 @@ class Screen:
                 return None
 
     @staticmethod
+    def time_travel(choice: str, session: ToolSession) -> bool:
+        """Handle the cross-phase (Z)undo / (Y)redo menu choices.
+
+        Screens that expose undo/redo call this first in ``handle``; a
+        ``True`` return means the choice was consumed (the session status
+        line already says what happened).  The kernel walks one event
+        group at a time, so an equivalence declared on Screen 7 can be
+        undone from Screen 3 — undo/redo cut across phases.
+        """
+        if choice == "z":
+            session.status = session.undo()
+            return True
+        if choice == "y":
+            session.status = session.redo()
+            return True
+        return False
+
+    @staticmethod
     def parse_choice(line: str) -> tuple[str, list[str]]:
         """Split ``"A Student e"`` into ``("a", ["Student", "e"])``."""
         parts = line.split()

@@ -112,14 +112,16 @@ class StructureInfoScreen(Screen):
     def prompt(self, session: ToolSession) -> str:
         return (
             "Choose: (A)dd <name> <e/c/r>  (D)elete <name>  "
-            "(U)pdate <name>  (E)xit :"
+            "(U)pdate <name>  (Z)undo  (Y)redo  (E)xit :"
         )
 
     def handle(self, line: str, session: ToolSession):
         choice, args = self.parse_choice(line)
+        if self.time_travel(choice, session):
+            # undo may have reverted this schema's very creation
+            return POP if self.schema_name not in session.schemas else None
         schema = session.schema(self.schema_name)
         if choice == "e":
-            session.refresh_after_edit(self.schema_name)
             return POP
         if choice == "s":
             return None  # single-page virtual terminal; nothing to scroll
@@ -129,15 +131,18 @@ class StructureInfoScreen(Screen):
             name, kind = args[0], args[1].lower()
             if kind == "e":
                 schema.add(EntitySet(name))
+                session.refresh_after_edit(self.schema_name)
                 return AttributeInfoScreen(self.schema_name, name)
             if kind == "c":
                 return CategoryInfoScreen(self.schema_name, name)
             schema.add(RelationshipSet(name))
+            session.refresh_after_edit(self.schema_name)
             return RelationshipInfoScreen(self.schema_name, name)
         if choice == "d":
             if len(args) != 1:
                 raise ToolError("usage: D <name>")
             schema.remove(args[0])
+            session.refresh_after_edit(self.schema_name)
             session.status = f"{args[0]!r} removed"
             return None
         if choice == "u":
@@ -201,11 +206,13 @@ class CategoryInfoScreen(Screen):
                 schema.category(self.category_name).add_parent(args[0])
             else:
                 schema.add(Category(self.category_name, parents=[args[0]]))
+            session.refresh_after_edit(self.schema_name)
             return None
         if choice == "d":
             if len(args) != 1 or not defined:
                 raise ToolError("usage: D <parent-object>")
             schema.category(self.category_name).remove_parent(args[0])
+            session.refresh_after_edit(self.schema_name)
             return None
         raise ToolError(f"unknown choice {line!r}")
 
@@ -266,11 +273,13 @@ class RelationshipInfoScreen(Screen):
             relationship.add_participation(
                 Participation(args[0], cardinality, role)
             )
+            session.refresh_after_edit(self.schema_name)
             return None
         if choice == "d":
             if len(args) != 1:
                 raise ToolError("usage: D <object-or-role>")
             relationship.remove_participation(args[0])
+            session.refresh_after_edit(self.schema_name)
             return None
         raise ToolError(f"unknown choice {line!r}")
 
@@ -305,14 +314,23 @@ class AttributeInfoScreen(Screen):
         return lines
 
     def prompt(self, session: ToolSession) -> str:
-        return "Choose: (A)dd <name> <domain> <y/n>  (D)elete <name>  (E)xit :"
+        return (
+            "Choose: (A)dd <name> <domain> <y/n>  (D)elete <name>  "
+            "(Z)undo  (Y)redo  (E)xit :"
+        )
 
     def handle(self, line: str, session: ToolSession):
         choice, args = self.parse_choice(line)
+        if self.time_travel(choice, session):
+            # undo may have reverted this schema or structure's creation
+            if self.schema_name not in session.schemas:
+                return POP
+            if self.structure_name not in session.schema(self.schema_name):
+                return POP
+            return None
         schema = session.schema(self.schema_name)
         structure = schema.get(self.structure_name)
         if choice == "e":
-            session.refresh_after_edit(self.schema_name)
             return POP
         if choice == "s":
             return None
@@ -324,10 +342,12 @@ class AttributeInfoScreen(Screen):
                     args[0], domain_from_name(args[1]), args[2].lower() == "y"
                 )
             )
+            session.refresh_after_edit(self.schema_name)
             return None
         if choice == "d":
             if len(args) != 1:
                 raise ToolError("usage: D <name>")
             structure.remove_attribute(args[0])
+            session.refresh_after_edit(self.schema_name)
             return None
         raise ToolError(f"unknown choice {line!r}")

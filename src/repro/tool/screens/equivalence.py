@@ -149,11 +149,14 @@ class EquivalenceEditScreen(Screen):
     def prompt(self, session: ToolSession) -> str:
         return (
             "(A)dd <attr1> <attr2> to same class  "
-            "(D)elete <1|2> <attr> from class  (E)xit :"
+            "(D)elete <1|2> <attr> from class  (Z)undo  (Y)redo  (E)xit :"
         )
 
     def handle(self, line: str, session: ToolSession):
         choice, args = self.parse_choice(line)
+        if self.time_travel(choice, session):
+            # undo can reach back past this screen's pair selection
+            return POP if session.selected_pair is None else None
         first_schema, second_schema = session.require_pair()
         if choice == "e":
             return POP
@@ -162,7 +165,7 @@ class EquivalenceEditScreen(Screen):
         if choice == "a":
             if len(args) != 2:
                 raise ToolError("usage: A <attr-of-object1> <attr-of-object2>")
-            issues = session.registry.declare_equivalent(
+            issues = session.analysis.declare_equivalent(
                 AttributeRef(first_schema, self.first_object, args[0]),
                 AttributeRef(second_schema, self.second_object, args[1]),
             )
@@ -176,6 +179,6 @@ class EquivalenceEditScreen(Screen):
                 ref = AttributeRef(first_schema, self.first_object, args[1])
             else:
                 ref = AttributeRef(second_schema, self.second_object, args[1])
-            session.registry.remove_from_class(ref)
+            session.analysis.remove_from_class(ref)
             return None
         raise ToolError(f"unknown choice {line!r}")

@@ -50,10 +50,15 @@ class MainMenuScreen(Screen):
         return lines
 
     def prompt(self, session: ToolSession) -> str:
-        return "Enter task (1-7), (S)ave <file>, (L)oad <file>, or (E)xit :"
+        return (
+            "Enter task (1-7), (S)ave <file>, (L)oad <file>, "
+            "(Z)undo, (Y)redo, or (E)xit :"
+        )
 
     def handle(self, line: str, session: ToolSession):
         choice, args = self.parse_choice(line)
+        if self.time_travel(choice, session):
+            return None
         if choice == "e":
             return POP
         if choice == "s":

@@ -51,33 +51,15 @@ class ToolSession:
         """The equivalence registry (owned by :attr:`analysis`)."""
         return self.analysis.registry
 
-    @registry.setter
-    def registry(self, value: EquivalenceRegistry) -> None:
-        value.counters = self.analysis.counters
-        self.analysis.registry = value
-        self.analysis._bind_audit_sinks()
-
     @property
     def object_network(self) -> AssertionNetwork:
         """The object-class assertion network (owned by :attr:`analysis`)."""
         return self.analysis.object_network
 
-    @object_network.setter
-    def object_network(self, value: AssertionNetwork) -> None:
-        value.counters = self.analysis.counters
-        self.analysis.object_network = value
-        self.analysis._bind_audit_sinks()
-
     @property
     def relationship_network(self) -> AssertionNetwork:
         """The relationship-set assertion network (owned by :attr:`analysis`)."""
         return self.analysis.relationship_network
-
-    @relationship_network.setter
-    def relationship_network(self, value: AssertionNetwork) -> None:
-        value.counters = self.analysis.counters
-        self.analysis.relationship_network = value
-        self.analysis._bind_audit_sinks()
 
     # -- schema management -------------------------------------------------------
 
@@ -93,17 +75,54 @@ class ToolSession:
         if name not in self.schemas:
             raise ToolError(f"no schema {name!r}")
         del self.schemas[name]
-        # Rebuild the analysis state: equivalences and assertions touching
-        # the schema die with it.  A recording in progress survives the
-        # rebuild — the new session snapshots its post-delete state.
-        audit = self.analysis.audit_log
-        self.analysis = AnalysisSession(
-            list(self.schemas.values()), counters=self.analysis.counters
-        )
-        if audit is not None:
-            self.analysis.attach_audit(audit)
+        # One ``session.delete_schema`` event goes in the log; the rebuild
+        # itself runs in replay mode (equivalences and assertions touching
+        # the schema die with it, re-derived from the survivors).  A
+        # recording in progress survives — the session re-snapshots its
+        # post-delete state so the log stays replayable.
+        kernel = self.analysis.kernel
+        with kernel.group():
+            kernel.bus.publish("session", "delete_schema", {"name": name})
+            with kernel.bus.replaying():
+                self.analysis.reset_to(list(self.schemas.values()))
+        self.analysis.resnapshot_audit()
         if self.selected_pair and name in self.selected_pair:
             self.selected_pair = None
+
+    # -- cross-phase undo/redo -----------------------------------------------------
+
+    def undo(self) -> str:
+        """Revert the most recent effectful action, whatever screen made it.
+
+        Walks the kernel's event log back one group — an equivalence
+        declared on Screen 7, an assertion from Screen 8/9, a schema
+        edit, an integration — and returns a status line for the screen.
+        """
+        kernel = self.analysis.kernel
+        if not kernel.undo():
+            raise ToolError("nothing to undo")
+        self._after_time_travel()
+        return f"undid last action (now at event {kernel.head})"
+
+    def redo(self) -> str:
+        """Re-apply the next undone action; the mirror of :meth:`undo`."""
+        kernel = self.analysis.kernel
+        if not kernel.redo():
+            raise ToolError("nothing to redo")
+        self._after_time_travel()
+        return f"redid action (now at event {kernel.head})"
+
+    def _after_time_travel(self) -> None:
+        """Re-sync the tool's denormalised views after the kernel moved."""
+        self.schemas = {
+            schema.name: schema for schema in self.analysis.schemas()
+        }
+        if self.selected_pair is not None and any(
+            name not in self.schemas for name in self.selected_pair
+        ):
+            self.selected_pair = None
+        self.result = self.analysis.kernel.result_at_head()
+        self.federation = None  # derived from the result; re-attach on demand
 
     def schema(self, name: str) -> Schema:
         try:
@@ -207,6 +226,8 @@ class ToolSession:
         action ``query``) when recording is on; replay treats these
         events as informational since they never mutate analysis state.
         """
+        from repro.kernel import NO_CHANGE
+
         engine = self.require_federation()
         try:
             result = engine.query(text)
@@ -214,8 +235,9 @@ class ToolSession:
             raise
         except Exception as exc:  # surface engine faults as tool errors
             raise ToolError(f"federated query failed: {exc}") from exc
-        if self.analysis.audit_log is not None:
-            self.analysis.audit_log.emit(
+        kernel = self.analysis.kernel
+        with kernel.group():
+            kernel.bus.publish(
                 "federation",
                 "query",
                 {
@@ -226,6 +248,7 @@ class ToolSession:
                     "health": result.health.to_dict(),
                     "conflicts": [c.describe() for c in result.conflicts],
                 },
+                inverse=NO_CHANGE,
             )
         return result
 
@@ -268,21 +291,46 @@ class ToolSession:
                 self.result,
                 build_mappings(self.result, list(self.schemas.values())),
             )
+        dictionary.store_kernel(self.analysis.kernel.export_state())
         return dictionary
 
     @classmethod
     def from_dictionary(cls, dictionary) -> "ToolSession":
-        """Rebuild a live session from a saved dictionary."""
+        """Rebuild a live session from a saved dictionary.
+
+        New-format dictionaries carry the kernel's event log + snapshots:
+        the session is restored by replaying from the nearest snapshot to
+        the saved head (fingerprint-verified), and its history stays
+        undo-able.  Legacy dictionaries without a kernel record rebuild
+        the components directly and start a fresh history at the restored
+        state (``set_baseline``).
+        """
+        from repro.kernel import Kernel
+
         session = cls()
-        for schema in dictionary.schemas():
-            session.schemas[schema.name] = schema
-        session.registry = dictionary.build_registry()
-        session.object_network, session.relationship_network = (
-            dictionary.build_networks()
-        )
-        names = dictionary.result_names()
-        if names:
-            session.result = dictionary.result(names[-1])
+        state = dictionary.kernel_state()
+        if state is not None:
+            kernel = Kernel.restore(state)
+            session.analysis = AnalysisSession(kernel=kernel)
+            kernel.checkout(int(state.get("head", kernel.bus.offset)))
+            session.schemas = {
+                schema.name: schema for schema in session.analysis.schemas()
+            }
+            session.result = kernel.result_at_head()
+        else:
+            for schema in dictionary.schemas():
+                session.schemas[schema.name] = schema
+            object_network, relationship_network = dictionary.build_networks()
+            session.analysis = AnalysisSession(
+                registry=dictionary.build_registry(),
+                object_network=object_network,
+                relationship_network=relationship_network,
+            )
+            session.analysis.kernel.set_baseline()
+        if session.result is None:
+            names = dictionary.result_names()
+            if names:
+                session.result = dictionary.result(names[-1])
         return session
 
     def save(self, path) -> None:

@@ -225,11 +225,14 @@ class TestOrderingCache:
             for pair in updated
         )
 
-    def test_positional_options_deprecated(self, registry):
+    def test_positional_options_are_a_type_error(self, registry):
         from repro.ecr.objects import ObjectKind
 
-        with pytest.warns(DeprecationWarning, match="keyword"):
-            pairs = ordered_object_pairs(
+        with pytest.raises(TypeError):
+            ordered_object_pairs(
                 registry, "sc1", "sc2", ObjectKind.RELATIONSHIP
             )
+        pairs = ordered_object_pairs(
+            registry, "sc1", "sc2", kind_filter=ObjectKind.RELATIONSHIP
+        )
         assert [pair.first.object_name for pair in pairs] == ["Majors"]

@@ -1,7 +1,13 @@
-"""The one-release positional shims on integrate_pair / integrate_all."""
+"""Keyword-only enforcement on integrate_pair / integrate_all.
+
+The one-release positional shims from the incremental-analysis PR are
+gone: the optional parameters are now hard keyword-only, so passing
+them positionally is a :class:`TypeError` rather than a warning.
+"""
 
 import pytest
 
+from repro.equivalence.ordering import ordered_object_pairs
 from repro.integration import IntegrationOptions, integrate_all, integrate_pair
 from repro.workloads.domains import (
     build_hospital_admissions,
@@ -17,7 +23,7 @@ def paper_setup():
     return registry, network
 
 
-class TestIntegratePairShim:
+class TestIntegratePairKeywordOnly:
     def test_keywords_do_not_warn(self, recwarn):
         registry, network = paper_setup()
         result = integrate_pair(
@@ -28,26 +34,16 @@ class TestIntegratePairShim:
             w for w in recwarn if issubclass(w.category, DeprecationWarning)
         ]
 
-    def test_positional_options_warn_but_work(self):
+    def test_positional_options_are_a_type_error(self):
         registry, network = paper_setup()
-        with pytest.warns(DeprecationWarning, match="keyword"):
-            result = integrate_pair(
+        with pytest.raises(TypeError):
+            integrate_pair(
                 registry, network, "sc1", "sc2",
                 None, IntegrationOptions(), "merged",
             )
-        assert result.schema.name == "merged"
-
-    def test_too_many_positionals_is_a_type_error(self):
-        registry, network = paper_setup()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                integrate_pair(
-                    registry, network, "sc1", "sc2",
-                    None, IntegrationOptions(), "merged", "extra",
-                )
 
 
-class TestIntegrateAllShim:
+class TestIntegrateAllKeywordOnly:
     def test_keywords_do_not_warn(self, recwarn):
         result, mappings = integrate_all(
             [build_hospital_admissions(), build_hospital_clinic()],
@@ -59,32 +55,24 @@ class TestIntegrateAllShim:
             w for w in recwarn if issubclass(w.category, DeprecationWarning)
         ]
 
-    def test_positional_result_name_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="keyword"):
-            result, _ = integrate_all(
+    def test_positional_result_name_is_a_type_error(self):
+        with pytest.raises(TypeError):
+            integrate_all(
                 [build_hospital_admissions(), build_hospital_clinic()],
                 hospital_ground_truth(),
                 "hospital",
             )
-        assert result.schema.name == "hospital"
 
-    def test_positional_options_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="keyword"):
-            result, _ = integrate_all(
-                [build_hospital_admissions(), build_hospital_clinic()],
-                hospital_ground_truth(),
-                "hospital",
-                IntegrationOptions(),
-            )
-        assert result.schema.name == "hospital"
 
-    def test_too_many_positionals_is_a_type_error(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                integrate_all(
-                    [build_hospital_admissions(), build_hospital_clinic()],
-                    hospital_ground_truth(),
-                    "hospital",
-                    IntegrationOptions(),
-                    "extra",
-                )
+class TestOrderedObjectPairsKeywordOnly:
+    def test_positional_kind_filter_is_a_type_error(self):
+        registry, _ = paper_setup()
+        with pytest.raises(TypeError):
+            ordered_object_pairs(registry, "sc1", "sc2", None)
+
+    def test_keywords_still_work(self):
+        registry, _ = paper_setup()
+        pairs = ordered_object_pairs(
+            registry, "sc1", "sc2", kind_filter=None, include_zero=True
+        )
+        assert pairs

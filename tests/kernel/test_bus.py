@@ -1,0 +1,146 @@
+"""Unit tests for the event bus: log, subscriptions, replay, grouping."""
+
+import pytest
+
+from repro.kernel import NO_CHANGE, Event, EventBus, EventEmitter
+
+
+def test_publish_appends_with_one_based_offsets():
+    bus = EventBus()
+    first = bus.publish("registry", "declare_equivalent", {"first": "a"})
+    second = bus.publish("object_network", "specify", {"first": "b"})
+    assert first.offset == 1
+    assert second.offset == 2
+    assert bus.offset == 2
+    assert bus.event_at(1) is first
+    assert bus.events(0) == [first, second]
+    assert bus.events(1) == [second]
+
+
+def test_subscription_filters_by_scope_and_action():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(
+        lambda event: seen.append(event.label),
+        scopes=["registry"],
+        actions=["declare_equivalent"],
+    )
+    bus.publish("registry", "declare_equivalent")
+    bus.publish("registry", "remove_from_class")
+    bus.publish("object_network", "declare_equivalent")
+    assert seen == ["registry.declare_equivalent"]
+
+
+def test_cancelled_subscription_stops_delivery():
+    bus = EventBus()
+    seen = []
+    subscription = bus.subscribe(lambda event: seen.append(event.offset))
+    bus.publish("registry", "x")
+    subscription.cancel()
+    bus.publish("registry", "y")
+    assert seen == [1]
+
+
+def test_replay_mode_notifies_views_but_appends_nothing():
+    bus = EventBus()
+    live_only_seen, view_seen = [], []
+    bus.subscribe(lambda event: live_only_seen.append(event), live_only=True)
+    bus.subscribe(lambda event: view_seen.append(event))
+    with bus.replaying():
+        event = bus.publish("registry", "declare_equivalent")
+    assert bus.offset == 0
+    assert event.offset == 0 and event.txn == 0
+    assert not live_only_seen  # the audit tap never sees replays
+    assert len(view_seen) == 1  # invalidation listeners always do
+
+
+def test_grouped_events_share_one_txn_and_are_contiguous():
+    bus = EventBus()
+    with bus.grouped() as txn:
+        a = bus.publish("registry", "x")
+        b = bus.publish("registry", "y")
+    c = bus.publish("registry", "z")
+    assert a.txn == b.txn == txn
+    assert c.txn != a.txn
+    with bus.grouped() as outer:
+        with bus.grouped() as inner:  # nested groups join the outermost
+            d = bus.publish("registry", "w")
+        assert inner == outer
+    assert d.txn == outer
+
+
+def test_ungrouped_publishes_get_distinct_txns():
+    bus = EventBus()
+    a = bus.publish("registry", "x")
+    b = bus.publish("registry", "y")
+    assert a.txn != b.txn
+
+
+def test_truncate_drops_tail_and_inverses():
+    bus = EventBus()
+    bus.publish("registry", "x", inverse=("registry", "undo_x", {}))
+    bus.publish("registry", "y", inverse=("registry", "undo_y", {}))
+    dropped = bus.truncate(1)
+    assert [event.action for event in dropped] == ["y"]
+    assert bus.offset == 1
+    assert bus.inverse_for(1) is not None
+    assert bus.inverse_for(2) is None
+
+
+def test_serialisation_round_trip():
+    bus = EventBus()
+    with bus.grouped():
+        bus.publish(
+            "registry",
+            "declare_equivalent",
+            {"first": "a", "second": "b"},
+            objects=frozenset([("sc1", "Student")]),
+            schemas=frozenset(["sc1"]),
+            inverse=NO_CHANGE,
+        )
+    bus.publish("session", "integrate", {"first": "sc1"})
+
+    restored = EventBus()
+    restored.load_dicts(bus.to_dicts())
+    assert restored.offset == bus.offset
+    for offset in (1, 2):
+        original, loaded = bus.event_at(offset), restored.event_at(offset)
+        assert loaded.scope == original.scope
+        assert loaded.action == original.action
+        assert loaded.payload == original.payload
+        assert loaded.txn == original.txn
+        assert loaded.objects == original.objects
+        assert loaded.schemas == original.schemas
+    # inverses are process-local; restored logs undo via checkout
+    assert restored.inverse_for(1) is None
+    # the txn counter resumes past the highest restored id
+    next_event = restored.publish("registry", "x")
+    assert next_event.txn > restored.event_at(2).txn
+
+
+def test_emitter_binds_scope_and_mutes():
+    bus = EventBus()
+    emitter = EventEmitter(bus, "object_network")
+    event = emitter.emit("specify", {"first": "a"})
+    assert isinstance(event, Event)
+    assert event.scope == "object_network"
+    with emitter.muted():
+        assert emitter.emit("specify", {"first": "b"}) is None
+    assert bus.offset == 1
+
+
+def test_event_dict_round_trip_omits_empty_sets():
+    event = Event(
+        3, "registry", "x", {"k": 1}, 7, frozenset(), frozenset(["sc1"])
+    )
+    data = event.to_dict()
+    assert "objects" not in data
+    assert data["schemas"] == ["sc1"]
+    back = Event.from_dict(data)
+    assert back == event
+
+
+def test_bad_offset_raises():
+    bus = EventBus()
+    with pytest.raises(IndexError):
+        bus.event_at(1)

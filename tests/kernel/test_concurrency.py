@@ -1,0 +1,201 @@
+"""Thread-safety stress tests: the bus's single-writer discipline.
+
+Several threads hammer one kernel with transactions.  The guarantees
+under test: the log is serializable (each transaction's events are
+contiguous), no update is lost, and no transaction is torn (a group
+either commits all its events or none of them).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.equivalence.session import AnalysisSession
+from repro.workloads.university import build_sc1, build_sc2
+
+# Non-overlapping pairs: declaring any subset never merges classes, so
+# threads working on distinct pairs are logically independent.
+PAIRS = [
+    ("sc1.Student.Name", "sc2.Grad_student.Name"),
+    ("sc1.Student.GPA", "sc2.Grad_student.GPA"),
+    ("sc1.Department.Name", "sc2.Department.Name"),
+    ("sc1.Majors.Since", "sc2.Majors.Since"),
+]
+ROUNDS = 8
+
+
+def state_key(session: AnalysisSession) -> str:
+    return json.dumps(session.state_payload(), sort_keys=True)
+
+
+def assert_txns_contiguous(events) -> dict[int, list]:
+    """Group the log by txn id, asserting each txn's run is contiguous."""
+    groups: dict[int, list] = {}
+    last_seen: int | None = None
+    closed: set[int] = set()
+    for event in events:
+        if event.txn != last_seen:
+            assert event.txn not in closed, (
+                f"txn {event.txn} interleaved with txn {last_seen}"
+            )
+            if last_seen is not None:
+                closed.add(last_seen)
+            last_seen = event.txn
+        groups.setdefault(event.txn, []).append(event)
+    return groups
+
+
+@pytest.fixture
+def session():
+    return AnalysisSession([build_sc1(), build_sc2()])
+
+
+def run_threads(workers) -> list[BaseException]:
+    errors: list[BaseException] = []
+    gate = threading.Barrier(len(workers))
+
+    def wrap(worker):
+        try:
+            gate.wait()
+            worker()
+        except BaseException as exc:  # noqa: BLE001 - collected for the test
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrap, args=(worker,)) for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+class TestStress:
+    def test_interleaved_transactions_stay_contiguous(self, session):
+        kernel = session.kernel
+        base = kernel.bus.offset
+        before = state_key(session)
+
+        def worker(first, second):
+            def run():
+                for _ in range(ROUNDS):
+                    with kernel.transaction():
+                        session.declare_equivalent(first, second)
+                        session.remove_from_class(first)
+
+            return run
+
+        errors = run_threads([worker(*pair) for pair in PAIRS])
+        assert errors == []
+
+        tail = kernel.bus.events(base)
+        # no lost updates: every publish from every thread landed
+        assert len(tail) == len(PAIRS) * ROUNDS * 2
+        # serializable: each transaction's events form one contiguous run
+        groups = assert_txns_contiguous(tail)
+        assert len(groups) == len(PAIRS) * ROUNDS
+        # no torn transactions: each group carries exactly its two events
+        for events in groups.values():
+            assert [event.action for event in events] == [
+                "declare_equivalent",
+                "remove_from_class",
+            ]
+        # every round was a net no-op, so the state is untouched
+        assert state_key(session) == before
+        assert kernel.head == kernel.bus.offset
+
+    def test_no_lost_updates_across_threads(self, session):
+        kernel = session.kernel
+
+        def worker(first, second):
+            def run():
+                with kernel.transaction():
+                    session.declare_equivalent(first, second)
+
+            return run
+
+        errors = run_threads([worker(*pair) for pair in PAIRS])
+        assert errors == []
+        classes = {
+            frozenset(str(ref) for ref in members)
+            for members in session.registry.nontrivial_classes()
+        }
+        assert classes == {frozenset(pair) for pair in PAIRS}
+
+    def test_failed_transactions_leave_no_trace_under_contention(
+        self, session
+    ):
+        kernel = session.kernel
+        base = kernel.bus.offset
+
+        class Boom(Exception):
+            pass
+
+        def committer(first, second):
+            def run():
+                for _ in range(ROUNDS):
+                    with kernel.transaction():
+                        session.declare_equivalent(first, second)
+                        session.remove_from_class(first)
+
+            return run
+
+        def failer(first, second):
+            def run():
+                for _ in range(ROUNDS):
+                    try:
+                        with kernel.transaction():
+                            session.declare_equivalent(first, second)
+                            raise Boom()
+                    except Boom:
+                        pass
+
+            return run
+
+        errors = run_threads(
+            [committer(*PAIRS[0]), failer(*PAIRS[1]), committer(*PAIRS[2])]
+        )
+        assert errors == []
+
+        tail = kernel.bus.events(base)
+        # only committed transactions appear, each one whole
+        groups = assert_txns_contiguous(tail)
+        assert len(groups) == 2 * ROUNDS
+        for events in groups.values():
+            assert [event.action for event in events] == [
+                "declare_equivalent",
+                "remove_from_class",
+            ]
+            assert events[0].payload["first"] != PAIRS[1][0]
+        assert session.registry.nontrivial_classes() == []
+
+    def test_concurrent_publishes_get_monotonic_offsets(self):
+        from repro.kernel import EventBus
+
+        bus = EventBus()
+        per_thread = 50
+
+        def worker(name):
+            def run():
+                for index in range(per_thread):
+                    bus.publish(name, "tick", {"index": index})
+
+            return run
+
+        errors = run_threads([worker(f"scope{i}") for i in range(4)])
+        assert errors == []
+        events = bus.events()
+        assert len(events) == 4 * per_thread
+        assert [event.offset for event in events] == list(
+            range(1, len(events) + 1)
+        )
+        # each thread's own publishes kept their program order
+        for i in range(4):
+            indices = [
+                event.payload["index"]
+                for event in events
+                if event.scope == f"scope{i}"
+            ]
+            assert indices == list(range(per_thread))

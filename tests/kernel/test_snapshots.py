@@ -1,0 +1,122 @@
+"""Snapshots and checkout: restoring any offset by snapshot + tail replay."""
+
+import json
+
+import pytest
+
+from repro.equivalence.session import AnalysisSession
+from repro.errors import KernelError
+from repro.workloads.university import build_sc1, build_sc2
+
+DECLARATIONS = [
+    ("sc1.Student.Name", "sc2.Grad_student.Name"),
+    ("sc1.Student.GPA", "sc2.Grad_student.GPA"),
+    ("sc1.Department.Name", "sc2.Department.Name"),
+    ("sc1.Majors.Since", "sc2.Majors.Since"),
+]
+
+
+def state_key(session: AnalysisSession) -> str:
+    return json.dumps(session.state_payload(), sort_keys=True)
+
+
+def rerun_prefix(offset: int) -> AnalysisSession:
+    """A fresh session re-driven through the same first ``offset`` events."""
+    reference = AnalysisSession([build_sc1(), build_sc2()])
+    for first, second in DECLARATIONS:
+        if reference.kernel.head >= offset:
+            break
+        reference.declare_equivalent(first, second)
+    return reference
+
+
+@pytest.fixture
+def session():
+    return AnalysisSession([build_sc1(), build_sc2()])
+
+
+class TestCheckout:
+    def test_checkout_restores_any_prefix(self, session):
+        base = session.kernel.head  # schema registration events
+        keys = {base: state_key(session)}
+        for first, second in DECLARATIONS:
+            session.declare_equivalent(first, second)
+            keys[session.kernel.head] = state_key(session)
+        for offset in sorted(keys):
+            session.kernel.checkout(offset)
+            assert state_key(session) == keys[offset], offset
+            assert session.kernel.head == offset
+
+    def test_checkout_leaves_the_log_intact(self, session):
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        end = session.kernel.bus.offset
+        session.kernel.checkout(end - 1)
+        assert session.kernel.bus.offset == end
+        assert session.kernel.head == end - 1
+
+    def test_checkout_uses_the_nearest_snapshot(self, session):
+        kernel = session.kernel
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        record = kernel.snapshot()
+        session.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+        target = state_key(session)
+        assert kernel._best_snapshot(kernel.head) is record
+        kernel.checkout(kernel.bus.offset)
+        assert state_key(session) == target
+
+    def test_checkout_outside_range_raises(self, session):
+        with pytest.raises(KernelError):
+            session.kernel.checkout(session.kernel.bus.offset + 1)
+        with pytest.raises(KernelError):
+            session.kernel.checkout(-1)
+
+    def test_periodic_snapshots_accumulate(self):
+        session = AnalysisSession([build_sc1(), build_sc2()])
+        session.kernel.snapshot_every = 2
+        for first, second in DECLARATIONS:
+            session.declare_equivalent(first, second)
+        assert len(session.kernel.snapshots()) >= 2
+
+    def test_views_track_state_across_checkout(self, session):
+        # a cached OCS matrix must follow time travel, not its build state
+        from repro.ecr.schema import ObjectRef
+
+        pair = ObjectRef("sc1", "Student"), ObjectRef("sc2", "Grad_student")
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        cell_after = session.ocs("sc1", "sc2").entry(*pair).equivalent_attributes
+        session.kernel.checkout(session.kernel.head - 1)
+        cell_before = session.ocs("sc1", "sc2").entry(*pair).equivalent_attributes
+        assert cell_after == cell_before + 1
+
+
+class TestPersistence:
+    def test_export_restore_round_trip(self, session):
+        for first, second in DECLARATIONS:
+            session.declare_equivalent(first, second)
+        session.specify("sc1.Student", "sc2.Grad_student", 3)
+        session.integrate("sc1", "sc2")
+        state = session.kernel.export_state()
+
+        from repro.kernel import Kernel
+
+        kernel = Kernel.restore(state)
+        restored = AnalysisSession(kernel=kernel)
+        kernel.checkout(state["head"])
+        assert state_key(restored) == state_key(session)
+        assert kernel.head == session.kernel.head
+        assert kernel.result_at_head() is not None
+
+    def test_export_state_is_json_serialisable(self, session):
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        session.kernel.snapshot()
+        text = json.dumps(session.kernel.export_state())
+        assert "declare_equivalent" in text
+
+    def test_legacy_baseline_floors_time_travel(self, session):
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        kernel = session.kernel
+        kernel.set_baseline()
+        assert kernel.baseline == kernel.head
+        assert not kernel.undo()
+        with pytest.raises(KernelError):
+            kernel.checkout(kernel.baseline - 1)

@@ -1,0 +1,131 @@
+"""Transactions: all-or-nothing multi-mutation blocks over the kernel."""
+
+import json
+
+import pytest
+
+from repro.equivalence.session import AnalysisSession
+from repro.workloads.university import build_sc1, build_sc2
+
+
+def state_key(session: AnalysisSession) -> str:
+    return json.dumps(session.state_payload(), sort_keys=True)
+
+
+class Boom(Exception):
+    pass
+
+
+@pytest.fixture
+def session():
+    return AnalysisSession([build_sc1(), build_sc2()])
+
+
+class TestCommit:
+    def test_transaction_commits_one_group(self, session):
+        kernel = session.kernel
+        before = kernel.head
+        with kernel.transaction():
+            session.declare_equivalent(
+                "sc1.Student.Name", "sc2.Grad_student.Name"
+            )
+            session.declare_equivalent(
+                "sc1.Student.GPA", "sc2.Grad_student.GPA"
+            )
+        committed = kernel.bus.events(before)
+        assert len(committed) == 2
+        assert len({event.txn for event in committed}) == 1
+        assert kernel.head == before + 2
+
+    def test_nested_transactions_join_the_outermost(self, session):
+        kernel = session.kernel
+        before = kernel.head
+        with kernel.transaction():
+            session.declare_equivalent(
+                "sc1.Student.Name", "sc2.Grad_student.Name"
+            )
+            with kernel.transaction():
+                session.declare_equivalent(
+                    "sc1.Student.GPA", "sc2.Grad_student.GPA"
+                )
+        committed = kernel.bus.events(before)
+        assert len({event.txn for event in committed}) == 1
+
+
+class TestRollback:
+    def test_failed_transaction_restores_state_and_log(self, session):
+        kernel = session.kernel
+        before_offset = kernel.bus.offset
+        before_state = state_key(session)
+        with pytest.raises(Boom):
+            with kernel.transaction():
+                session.declare_equivalent(
+                    "sc1.Student.Name", "sc2.Grad_student.Name"
+                )
+                session.specify("sc1.Student", "sc2.Grad_student", 1)
+                raise Boom()
+        assert kernel.bus.offset == before_offset
+        assert kernel.head == before_offset
+        assert state_key(session) == before_state
+        assert session.registry.nontrivial_classes() == []
+        assert (
+            session.assertion_for("sc1.Student", "sc2.Grad_student") is None
+        )
+
+    def test_rollback_covers_non_invertible_events(self, session):
+        # an integrate event records no inverse, so the rollback falls
+        # back to rebuilding the session from the entry state
+        kernel = session.kernel
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        before_offset = kernel.bus.offset
+        before_state = state_key(session)
+        with pytest.raises(Boom):
+            with kernel.transaction():
+                session.integrate("sc1", "sc2")
+                raise Boom()
+        assert kernel.bus.offset == before_offset
+        assert state_key(session) == before_state
+        assert kernel.result_at_head() is None
+
+    def test_nested_failure_rolls_back_the_whole_transaction(self, session):
+        kernel = session.kernel
+        before_offset = kernel.bus.offset
+        before_state = state_key(session)
+        with pytest.raises(Boom):
+            with kernel.transaction():
+                session.declare_equivalent(
+                    "sc1.Student.Name", "sc2.Grad_student.Name"
+                )
+                with kernel.transaction():
+                    session.declare_equivalent(
+                        "sc1.Student.GPA", "sc2.Grad_student.GPA"
+                    )
+                    raise Boom()
+        assert kernel.bus.offset == before_offset
+        assert state_key(session) == before_state
+
+    def test_committed_history_survives_a_later_rollback(self, session):
+        kernel = session.kernel
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        committed_state = state_key(session)
+        with pytest.raises(Boom):
+            with kernel.transaction():
+                session.remove_from_class("sc1.Student.Name")
+                raise Boom()
+        assert state_key(session) == committed_state
+        assert len(session.registry.nontrivial_classes()) == 1
+
+    def test_rollback_resnapshots_an_attached_audit_log(self, session):
+        log = session.attach_audit()
+        with pytest.raises(Boom):
+            with session.kernel.transaction():
+                session.declare_equivalent(
+                    "sc1.Student.Name", "sc2.Grad_student.Name"
+                )
+                raise Boom()
+        assert log.events[-1].action == "snapshot"
+
+    def test_failed_transaction_still_raises_the_original_error(self, session):
+        with pytest.raises(Boom):
+            with session.kernel.transaction():
+                raise Boom()

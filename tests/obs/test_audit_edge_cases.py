@@ -1,0 +1,92 @@
+"""Audit-log edge cases: mid-session attach, empty logs, trailing retractions.
+
+The audit log is a live-only tap on the kernel bus, so these cases all
+exercise the re-anchoring rule: whenever the session's state moves
+without live events (attach with prior state, checkout, undo), a fresh
+``session.snapshot`` keeps the saved log replayable.
+"""
+
+import json
+
+from repro.equivalence.session import AnalysisSession
+from repro.obs.audit import AuditLog
+from repro.obs.replay import replay
+from repro.workloads.university import build_sc1, build_sc2
+
+
+def state_key(session: AnalysisSession) -> str:
+    return json.dumps(session.state_payload(), sort_keys=True)
+
+
+class TestMidSessionAttach:
+    def test_attach_with_prior_state_snapshots_first(self):
+        session = AnalysisSession([build_sc1(), build_sc2()])
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        log = session.attach_audit()
+        assert log.events[0].action == "snapshot"
+        assert log.events[0].payload["equivalences"] == [
+            ["sc1.Student.Name", "sc2.Grad_student.Name"]
+        ]
+
+    def test_attach_then_checkout_stays_replayable(self):
+        session = AnalysisSession([build_sc1(), build_sc2()])
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        log = session.attach_audit()
+        session.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+        # time travel back past the second declaration: the tap is
+        # live-only, so the kernel re-anchors the log with a snapshot
+        session.kernel.checkout(session.kernel.head - 1)
+        assert log.events[-1].action == "snapshot"
+        outcome = replay(AuditLog.from_jsonl(log.to_jsonl()))
+        assert outcome.verified
+        assert state_key(outcome.session) == state_key(session)
+        assert len(session.registry.nontrivial_classes()) == 1
+
+    def test_snapshot_then_more_live_events_replay_in_order(self):
+        session = AnalysisSession([build_sc1(), build_sc2()])
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        log = session.attach_audit()
+        session.kernel.checkout(session.kernel.head - 1)  # drop it again
+        session.declare_equivalent("sc1.Student.GPA", "sc2.Grad_student.GPA")
+        outcome = replay(log)
+        assert outcome.verified
+        assert state_key(outcome.session) == state_key(session)
+
+
+class TestEmptyLog:
+    def test_replay_of_empty_log_yields_a_fresh_session(self):
+        outcome = replay(AuditLog())
+        assert outcome.verified
+        assert outcome.session.schemas() == []
+        assert outcome.results == []
+
+    def test_empty_log_round_trips_through_jsonl(self):
+        log = AuditLog.from_jsonl(AuditLog().to_jsonl())
+        assert len(log) == 0
+        assert replay(log).verified
+
+
+class TestTrailingRetraction:
+    def test_replay_of_log_ending_in_a_retraction(self):
+        session = AnalysisSession([build_sc1(), build_sc2()])
+        log = session.attach_audit()
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        session.specify("sc1.Student", "sc2.Grad_student", 2)
+        session.retract("sc1.Student", "sc2.Grad_student")
+        assert log.events[-1].action == "retract"
+        outcome = replay(AuditLog.from_jsonl(log.to_jsonl()))
+        assert outcome.verified
+        replayed = outcome.session
+        assert (
+            replayed.assertion_for("sc1.Student", "sc2.Grad_student") is None
+        )
+        assert state_key(replayed) == state_key(session)
+
+    def test_replay_of_log_ending_in_an_equivalence_removal(self):
+        session = AnalysisSession([build_sc1(), build_sc2()])
+        log = session.attach_audit()
+        session.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+        session.remove_from_class("sc1.Student.Name")
+        outcome = replay(log)
+        assert outcome.verified
+        assert outcome.session.registry.nontrivial_classes() == []

@@ -103,3 +103,57 @@ class TestRoundTrip:
         target.restore_from(path)
         assert set(target.schemas) == {"sc1", "sc2"}
         assert target.selected_pair is None
+
+
+class TestKernelHistory:
+    def test_saved_history_survives_the_round_trip(self, tmp_path):
+        session = ToolSession()
+        session.adopt_schema(build_sc1())
+        session.adopt_schema(build_sc2())
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        path = tmp_path / "s.json"
+        session.save(path)
+
+        restored = ToolSession.load(path)
+        kernel = restored.analysis.kernel
+        assert kernel.head == session.analysis.kernel.head
+        # history is intact: the declaration can still be undone
+        assert "undid last action" in restored.undo()
+        assert restored.registry.nontrivial_classes() == []
+        assert "redid action" in restored.redo()
+        assert len(restored.registry.nontrivial_classes()) == 1
+
+    def test_legacy_dictionary_without_kernel_still_loads(self, tmp_path):
+        session = ToolSession()
+        session.adopt_schema(build_sc1())
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc1.Department.Name"
+        )
+        dictionary = session.to_dictionary()
+        data = dictionary.to_dict()
+        assert "kernel" in data
+        del data["kernel"]  # simulate a save from before the kernel existed
+
+        import json
+
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(data))
+        restored = ToolSession.load(path)
+        assert set(restored.schemas) == {"sc1"}
+        assert len(restored.registry.nontrivial_classes()) == 1
+        # no history came along: the restored state is the new baseline
+        kernel = restored.analysis.kernel
+        assert kernel.baseline == kernel.head
+        assert not kernel.can_undo()
+
+    def test_saved_result_reattaches_to_the_restored_head(
+        self, full_session, tmp_path
+    ):
+        path = tmp_path / "s.json"
+        full_session.save(path)
+        restored = ToolSession.load(path)
+        kernel = restored.analysis.kernel
+        assert kernel.result_at_head() is restored.result
+        assert restored.result is not None

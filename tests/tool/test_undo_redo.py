@@ -1,0 +1,131 @@
+"""Cross-phase undo/redo from the tool screens (the Z / Y choices).
+
+The kernel walks its event log one group at a time, so an equivalence
+declared on Screen 7 can be undone from the main menu, an attribute
+added on Screen 5 can be taken back mid-edit, and a deleted schema
+comes back whole (the checkout fallback for non-invertible events).
+"""
+
+import pytest
+
+from repro.tool.app import ToolApp, run_script
+from repro.tool.session import ToolSession
+from repro.workloads.university import build_sc1, build_sc2
+
+
+@pytest.fixture
+def loaded():
+    session = ToolSession()
+    session.adopt_schema(build_sc1())
+    session.adopt_schema(build_sc2())
+    return session
+
+
+DECLARE_NAME = [
+    "2",
+    "sc1 sc2",
+    "Student Grad_student",
+    "A Name Name",
+    "E",
+    "E",
+]
+
+
+def nontrivial(session: ToolSession):
+    return session.registry.nontrivial_classes()
+
+
+class TestMainMenu:
+    def test_screen7_declaration_undone_from_the_menu(self, loaded):
+        app, transcript = run_script(DECLARE_NAME + ["Z"], loaded)
+        assert nontrivial(app.session) == []
+        assert "undid last action (now at event" in app.session.status
+        assert "** undid last action" in transcript
+
+    def test_redo_brings_the_declaration_back(self, loaded):
+        app, _ = run_script(DECLARE_NAME + ["Z", "Y"], loaded)
+        classes = nontrivial(app.session)
+        assert len(classes) == 1
+        assert {str(ref) for ref in classes[0]} == {
+            "sc1.Student.Name",
+            "sc2.Grad_student.Name",
+        }
+        assert "redid action (now at event" in app.session.status
+
+    def test_undo_cuts_across_phases(self, loaded):
+        # declare on Screen 7, assert on Screen 8, then unwind both from
+        # the menu in reverse order
+        app, _ = run_script(DECLARE_NAME + ["3", "1", "E"], loaded)
+        session = app.session
+        assert session.object_network.specified_assertions()
+        app.feed("Z")  # the Screen 8 assertion goes first
+        assert not session.object_network.specified_assertions()
+        assert len(nontrivial(session)) == 1
+        app.feed("Z")  # then the Screen 7 declaration
+        assert nontrivial(session) == []
+
+    def test_nothing_to_undo_surfaces_as_status(self):
+        app = ToolApp()
+        app.feed("Z")
+        assert app.session.status == "nothing to undo"
+        app.feed("Y")
+        assert app.session.status == "nothing to redo"
+
+
+class TestWithinScreens:
+    def test_undo_inside_the_equivalence_edit_screen(self, loaded):
+        app, _ = run_script(
+            ["2", "sc1 sc2", "Student Grad_student", "A Name Name", "Z"],
+            loaded,
+        )
+        assert nontrivial(app.session) == []
+        # still on the edit screen: the selected pair survived the undo
+        assert app.session.selected_pair == ("sc1", "sc2")
+        assert not app.finished
+
+    def test_attribute_add_undone_on_screen5(self):
+        app, _ = run_script(
+            ["1", "A s3", "A Thing e", "A X char y", "Z"], ToolSession()
+        )
+        session = app.session
+        assert "undid last action" in session.status
+        schema = session.schema("s3")
+        assert "Thing" in schema
+        assert [a.name for a in schema.get("Thing").attributes] == []
+
+    def test_structure_add_undone_on_screen3(self):
+        app, _ = run_script(
+            ["1", "A s3", "A Thing e", "E", "Z"], ToolSession()
+        )
+        schema = app.session.schema("s3")
+        assert "Thing" not in schema
+
+    def test_screen_pops_when_undo_removes_its_schema(self):
+        # undoing past the schema's creation pulls the rug from under
+        # Screen 3; the screen notices and pops instead of rendering
+        # a ghost
+        app, _ = run_script(["1", "A s3", "Z", "Z"], ToolSession())
+        assert "s3" not in app.session.schemas
+        # back on Screen 2 (the schema-name list), not Screen 3
+        assert type(app.current_screen).__name__ == "SchemaNameScreen"
+
+
+class TestDeleteSchema:
+    def test_deleted_schema_comes_back_on_undo(self, loaded):
+        app, _ = run_script(["1", "D sc2", "E", "Z"], loaded)
+        session = app.session
+        assert set(session.schemas) == {"sc1", "sc2"}
+        assert "Grad_student" in session.schema("sc2")
+
+    def test_undo_restores_state_that_died_with_the_schema(self, loaded):
+        # the declaration references sc2; deleting sc2 kills it, undoing
+        # the delete resurrects both the schema and the declaration
+        app, _ = run_script(DECLARE_NAME + ["1", "D sc2", "E"], loaded)
+        assert nontrivial(app.session) == []
+        app.feed("Z")
+        classes = nontrivial(app.session)
+        assert len(classes) == 1
+        assert {str(ref) for ref in classes[0]} == {
+            "sc1.Student.Name",
+            "sc2.Grad_student.Name",
+        }
