@@ -11,6 +11,7 @@ exactly where the previous one stopped.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -255,8 +256,20 @@ class DataDictionary:
         return dictionary
 
     def save(self, path: str | Path) -> None:
-        """Write the dictionary as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        """Write the dictionary as JSON, atomically.
+
+        The text is written to a temporary sibling, flushed to disk, and
+        renamed over ``path`` — a crash mid-save leaves either the old
+        save or the new one, never a torn file.
+        """
+        path = Path(path)
+        text = json.dumps(self.to_dict(), indent=2)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
 
     @classmethod
     def load(cls, path: str | Path) -> "DataDictionary":
