@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke bench example
+.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke bench example
 
 ## Tier-1: the full unit/integration/e2e suite.
 test:
@@ -9,9 +9,10 @@ test:
 
 ## Same suite with DeprecationWarning promoted to an error: proves every
 ## in-repo caller is off the deprecated surfaces (direct matrix
-## construction, the repro.instrumentation shim).  Positional option
-## arguments completed their deprecation cycle and are plain TypeErrors
-## now — covered by tests/integration/test_keyword_shims.py.
+## construction).  The repro.instrumentation shim and positional option
+## arguments completed their deprecation cycles and are gone — imports /
+## positional use are plain errors now (the latter covered by
+## tests/integration/test_keyword_shims.py).
 test-deprecations:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -W error::DeprecationWarning
 
@@ -43,6 +44,16 @@ bench-smoke:
 ## than 50 ms.  See docs/ARCHITECTURE.md.
 kernel-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_kernel.py
+
+## Durability smoke: the crash-anywhere property tests, then record
+## BENCH_durability.json and gate on it — fails if journalling one
+## committed transaction costs more than 5% of the incremental baseline,
+## or if recovering the paper world (save + WAL tail) takes more than
+## 50 ms.  See docs/DURABILITY.md.
+crash-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		tests/kernel/test_crash_anywhere.py tests/faults
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_durability.py
 
 ## The full experiment harness (slow).
 bench:

@@ -108,6 +108,10 @@ from repro.errors import (
     AssertionSpecError,
     BackendError,
     ConflictError,
+    CorruptDictionaryError,
+    DictionaryError,
+    DictionaryFormatError,
+    DictionaryNotFoundError,
     EquivalenceError,
     FederationError,
     IntegrationError,
@@ -118,6 +122,7 @@ from repro.errors import (
     ToolError,
     TranslationError,
     ValidationError,
+    WalError,
 )
 
 __version__ = "1.0.0"
@@ -181,6 +186,10 @@ __all__ = [
     "AssertionSpecError",
     "BackendError",
     "ConflictError",
+    "CorruptDictionaryError",
+    "DictionaryError",
+    "DictionaryFormatError",
+    "DictionaryNotFoundError",
     "EquivalenceError",
     "FederationError",
     "IntegrationError",
@@ -191,5 +200,6 @@ __all__ = [
     "ToolError",
     "TranslationError",
     "ValidationError",
+    "WalError",
     "__version__",
 ]

@@ -10,18 +10,25 @@ exactly where the previous one stopped.
 
 from __future__ import annotations
 
+import hashlib
 import json
-import os
 from pathlib import Path
 from typing import Any
 
+from repro import faults
 from repro.assertions.kinds import AssertionKind, Source
 from repro.assertions.network import AssertionNetwork
 from repro.ecr.attributes import AttributeRef
 from repro.ecr.json_io import schema_from_dict, schema_to_dict
 from repro.ecr.schema import ObjectRef, Schema
 from repro.equivalence.registry import EquivalenceRegistry
-from repro.errors import SchemaError, UnknownNameError
+from repro.errors import (
+    CorruptDictionaryError,
+    DictionaryFormatError,
+    DictionaryNotFoundError,
+    SchemaError,
+    UnknownNameError,
+)
 from repro.dictionary.serialize import (
     mapping_from_dict,
     mapping_to_dict,
@@ -31,8 +38,15 @@ from repro.dictionary.serialize import (
 from repro.integration.mappings import SchemaMapping
 from repro.integration.result import IntegrationResult
 
-#: Format marker written into every saved dictionary.
-FORMAT_VERSION = 1
+#: Format marker written into every saved dictionary.  Version 2 added
+#: the SHA-256 integrity footer; version-1 saves (no footer) still load.
+FORMAT_VERSION = 2
+
+#: Formats :meth:`DataDictionary.from_dict` can read.
+READABLE_FORMATS = (1, 2)
+
+#: The integrity footer: the last line of a v2 save file.
+FOOTER_PREFIX = "#sha256="
 
 
 class DataDictionary:
@@ -227,11 +241,8 @@ class DataDictionary:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "DataDictionary":
         version = data.get("format")
-        if version != FORMAT_VERSION:
-            raise SchemaError(
-                f"unsupported dictionary format {version!r} "
-                f"(this build reads {FORMAT_VERSION})"
-            )
+        if version not in READABLE_FORMATS:
+            raise DictionaryFormatError(version, READABLE_FORMATS)
         dictionary = cls()
         for entry in data.get("schemas", ()):
             dictionary.add_schema(schema_from_dict(entry))
@@ -256,22 +267,101 @@ class DataDictionary:
         return dictionary
 
     def save(self, path: str | Path) -> None:
-        """Write the dictionary as JSON, atomically.
+        """Write the dictionary as checksummed JSON, atomically.
 
-        The text is written to a temporary sibling, flushed to disk, and
-        renamed over ``path`` — a crash mid-save leaves either the old
-        save or the new one, never a torn file.
+        The JSON body is followed by an integrity footer line
+        (``#sha256=<hex digest of the body>``); the whole text is
+        written to a temporary sibling, fsynced, and renamed over
+        ``path`` — a crash mid-save leaves either the old save or the
+        new one, never a torn file, and a damaged file is detected at
+        load time instead of silently misparsed.
         """
         path = Path(path)
-        text = json.dumps(self.to_dict(), indent=2)
+        body = json.dumps(self.to_dict(), indent=2)
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        data = f"{body}\n{FOOTER_PREFIX}{digest}\n".encode("utf-8")
         tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        with faults.open_tracked(tmp, "wb") as handle:
+            handle.write(data, point="dict.save.write")
+            faults.crashpoint("dict.save.after_write")
+            handle.fsync()
+        faults.crashpoint("dict.save.before_replace")
+        faults.replace(tmp, path)
+        faults.crashpoint("dict.save.after_replace")
+        faults.fsync_dir(path.parent)
 
     @classmethod
     def load(cls, path: str | Path) -> "DataDictionary":
-        """Read a dictionary saved by :meth:`save`."""
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Read a dictionary saved by :meth:`save`.
+
+        Raises :class:`~repro.errors.DictionaryNotFoundError` when the
+        file is missing, :class:`~repro.errors.CorruptDictionaryError`
+        when it is damaged (bad JSON, checksum mismatch, or a v2 body
+        whose footer was truncated away), and
+        :class:`~repro.errors.DictionaryFormatError` when its ``format``
+        marker is unknown to this build.  Version-1 saves (pre-footer)
+        load unchanged.
+        """
+        path = Path(path)
+        try:
+            return cls.from_dict(read_save(path))
+        except DictionaryFormatError as exc:
+            raise DictionaryFormatError(
+                exc.version, exc.readable, path
+            ) from None
+
+
+def read_save(path: Path) -> dict[str, Any]:
+    """Read and integrity-check one save file; returns the parsed body.
+
+    The verification order matters: a checksum mismatch is reported
+    before any parse attempt (a bit flip may still leave valid JSON),
+    and a v2 body without its footer is corruption (truncation chopped
+    the footer off), not a v1 file.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise DictionaryNotFoundError(path) from None
+    except OSError as exc:
+        raise CorruptDictionaryError(f"unreadable: {exc}", path) from exc
+    except UnicodeDecodeError as exc:
+        # a bit flip can break the encoding before it breaks the JSON
+        raise CorruptDictionaryError(f"not valid UTF-8: {exc}", path) from None
+    body, digest = _split_footer(text)
+    if digest is not None:
+        actual = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if actual != digest:
+            raise CorruptDictionaryError(
+                f"checksum mismatch (footer {digest[:12]}…, "
+                f"body {actual[:12]}…)",
+                path,
+            )
+    try:
+        data = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise CorruptDictionaryError(f"invalid JSON: {exc}", path) from None
+    if not isinstance(data, dict):
+        raise CorruptDictionaryError(
+            f"top level is {type(data).__name__}, expected an object", path
+        )
+    version = data.get("format")
+    if version not in READABLE_FORMATS:
+        raise DictionaryFormatError(version, READABLE_FORMATS, path)
+    if isinstance(version, int) and version >= 2 and digest is None:
+        raise CorruptDictionaryError(
+            "integrity footer missing from a format>=2 save "
+            "(truncated file?)",
+            path,
+        )
+    return data
+
+
+def _split_footer(text: str) -> tuple[str, str | None]:
+    """Split save text into (JSON body, footer digest or ``None``)."""
+    stripped = text.rstrip("\n")
+    newline = stripped.rfind("\n")
+    last_line = stripped[newline + 1 :]
+    if not last_line.startswith(FOOTER_PREFIX):
+        return text, None
+    return stripped[: max(newline, 0)], last_line[len(FOOTER_PREFIX) :]

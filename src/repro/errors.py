@@ -119,6 +119,62 @@ class BackendError(FederationError):
         super().__init__(message)
 
 
+class DictionaryError(ReproError):
+    """A data-dictionary save could not be read or written.
+
+    Subclasses distinguish the three load failures callers handle
+    differently: the file is missing (start fresh), the file is corrupt
+    (fall back to WAL recovery), or the format is from a build this one
+    cannot read (neither).
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        self.path = path
+        where = f" ({path})" if path is not None else ""
+        super().__init__(message + where)
+
+
+class DictionaryNotFoundError(DictionaryError):
+    """The dictionary file does not exist."""
+
+    def __init__(self, path) -> None:
+        super().__init__("no dictionary save at this path", path)
+
+
+class CorruptDictionaryError(DictionaryError):
+    """The dictionary file is damaged: bad JSON, bad checksum, truncated.
+
+    ``detail`` says which integrity check failed.  When a write-ahead
+    log sits next to the save, recovery can still restore the session
+    from it (see :mod:`repro.kernel.recovery`).
+    """
+
+    def __init__(self, detail: str, path=None) -> None:
+        self.detail = detail
+        super().__init__(f"corrupt dictionary save: {detail}", path)
+
+
+class DictionaryFormatError(DictionaryError):
+    """The dictionary's ``format`` marker is unknown to this build."""
+
+    def __init__(self, version, readable, path=None) -> None:
+        self.version = version
+        self.readable = tuple(readable)
+        super().__init__(
+            f"unsupported dictionary format {version!r} "
+            f"(this build reads {', '.join(map(str, self.readable))})",
+            path,
+        )
+
+
+class WalError(ReproError):
+    """A write-ahead-log operation is invalid (misuse, not disk damage).
+
+    Disk-level damage — torn tails, checksum mismatches — never raises:
+    the WAL opener truncates or quarantines and reports instead.
+    """
+
+
 class ToolError(ReproError):
     """The interactive tool was driven into an invalid state."""
 

@@ -1,0 +1,316 @@
+"""Deterministic fault injection for the durability layer.
+
+Crash-safety claims are only as good as the crashes they were tested
+against.  This module gives the durability code (the write-ahead log in
+:mod:`repro.kernel.wal` and the atomic dictionary save in
+:mod:`repro.dictionary.store`) a set of **named crashpoints** — fixed
+places in the write path where a simulated process death can be
+scheduled — plus injectable I/O fault *policies*:
+
+* **crash** — raise :class:`InjectedCrash` (a ``BaseException``, so no
+  ``except Exception`` recovery path can accidentally tidy up) at the
+  n-th hit of a named crashpoint;
+* **torn write** — at the crashing write, persist only a seeded prefix
+  of the buffer before dying, modelling a partial sector flush;
+* **lost fsync** — ``fsync`` calls do nothing, and at the crash every
+  byte written since the last *effective* fsync is dropped, modelling a
+  disk that acknowledged writes it never made durable;
+* **I/O error** — raise :class:`OSError` at the n-th hit of a named
+  crashpoint without dying, for error-handling paths.
+
+Activation is scoped by the :func:`inject` context manager with a
+:class:`FaultPlan` — a *seeded schedule*: the same plan against the same
+workload tears the same byte of the same write every time, which is what
+lets Hypothesis shrink a failing crash scenario to a minimal one.
+
+With no plan active every helper here is a thin pass-through over the
+real ``open``/``write``/``os.fsync``/``os.replace``, so production code
+pays one ``is None`` check per operation.
+
+Crashpoint catalog (see ``docs/DURABILITY.md``):
+
+==============================  =================================================
+name                            fires
+==============================  =================================================
+``wal.append.write``            inside the WAL record write (torn-capable)
+``wal.append.after_write``      record written, not yet fsynced
+``wal.append.after_fsync``      record durable
+``wal.rotate.before_create``    old segment closed, new one not yet created
+``wal.rotate.after_create``     new segment created
+``dict.save.write``             inside the temp-file write (torn-capable)
+``dict.save.after_write``       temp file written, not yet fsynced
+``dict.save.before_replace``    temp file durable, rename not yet issued
+``dict.save.after_replace``     rename issued, directory not yet fsynced
+==============================  =================================================
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import weakref
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterator
+
+#: Every named crashpoint in the durability write paths, for schedule
+#: generators (the Hypothesis crash-anywhere property samples from this).
+CRASHPOINTS = (
+    "wal.append.write",
+    "wal.append.after_write",
+    "wal.append.after_fsync",
+    "wal.rotate.before_create",
+    "wal.rotate.after_create",
+    "dict.save.write",
+    "dict.save.after_write",
+    "dict.save.before_replace",
+    "dict.save.after_replace",
+)
+
+#: Crashpoints that live *inside* a write call and may tear the buffer.
+TORN_CAPABLE = ("wal.append.write", "dict.save.write")
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death at a named crashpoint.
+
+    Deliberately a ``BaseException``: recovery/cleanup code that catches
+    ``Exception`` must not be able to intercept a crash — a real
+    ``kill -9`` would not have run it either.
+    """
+
+    def __init__(self, point: str) -> None:
+        self.point = point
+        super().__init__(f"injected crash at {point!r}")
+
+
+class InjectedIOError(OSError):
+    """A simulated I/O failure at a named crashpoint (process survives)."""
+
+    def __init__(self, point: str) -> None:
+        self.point = point
+        super().__init__(f"injected I/O error at {point!r}")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults for one :func:`inject` scope.
+
+    ``crash_at``/``occurrence`` name the crashpoint and the hit count at
+    which the process "dies".  ``torn`` only applies when ``crash_at``
+    is a torn-capable write point; ``seed`` fixes the torn prefix
+    length.  ``io_error_at``/``io_error_occurrence`` independently
+    schedule a survivable :class:`InjectedIOError`.
+    """
+
+    crash_at: str | None = None
+    occurrence: int = 1
+    torn: bool = False
+    lost_fsync: bool = False
+    io_error_at: str | None = None
+    io_error_occurrence: int = 1
+    seed: int = 0
+
+    #: live hit counters, reset each time the plan is activated
+    hits: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def _hit(self, point: str) -> int:
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        return count
+
+
+class _Runtime:
+    """The active plan plus the files it is tracking, one per process.
+
+    Files are tracked from :func:`open_tracked` until close — NOT per
+    injection scope: a WAL segment is usually opened long before a test
+    injects its plan, and a crash must still be able to un-fsync it.
+    Weak references keep abandoned handles from pinning file objects.
+    """
+
+    def __init__(self) -> None:
+        self.plan: FaultPlan | None = None
+        self.tracked: list["weakref.ref[_TrackedFile]"] = []
+        self.lock = threading.Lock()
+
+    def live_tracked(self) -> list["_TrackedFile"]:
+        """Open tracked files; prunes dead and closed entries."""
+        live: list[_TrackedFile] = []
+        refs: list[weakref.ref[_TrackedFile]] = []
+        for ref in self.tracked:
+            tracked = ref()
+            if tracked is not None and not tracked.handle.closed:
+                live.append(tracked)
+                refs.append(ref)
+        self.tracked = refs
+        return live
+
+
+_RUNTIME = _Runtime()
+
+
+def active() -> FaultPlan | None:
+    """The currently injected plan, or ``None`` outside :func:`inject`."""
+    return _RUNTIME.plan
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of the block.
+
+    Nesting is a programming error — one simulated disk per process.
+    Hit counters reset on entry so a plan object can be reused.
+    """
+    with _RUNTIME.lock:
+        if _RUNTIME.plan is not None:
+            raise RuntimeError("a fault plan is already active")
+        plan.hits = {}
+        _RUNTIME.plan = plan
+    try:
+        yield plan
+    finally:
+        with _RUNTIME.lock:
+            _RUNTIME.plan = None
+
+
+def crashpoint(point: str) -> None:
+    """Declare a named crashpoint; fires whatever the plan scheduled here."""
+    plan = _RUNTIME.plan
+    if plan is None:
+        return
+    count = plan._hit(point)
+    if plan.io_error_at == point and count == plan.io_error_occurrence:
+        raise InjectedIOError(point)
+    if plan.crash_at == point and count == plan.occurrence:
+        _crash(point)
+
+
+def _crash(point: str) -> None:
+    """Simulate the process dying: settle tracked files, then raise.
+
+    Under ``lost_fsync`` every tracked file is truncated back to its
+    last *effective* fsync — the bytes the faulty disk acknowledged but
+    never wrote.  Without it, written bytes stay (the OS flushes dirty
+    pages of a dead process eventually; what is lost is only what was
+    never written).
+    """
+    plan = _RUNTIME.plan
+    for tracked in _RUNTIME.live_tracked():
+        tracked._settle_for_crash(lost_fsync=bool(plan and plan.lost_fsync))
+    raise InjectedCrash(point)
+
+
+class _TrackedFile:
+    """A file handle the harness can tear and un-fsync deterministically."""
+
+    def __init__(self, path: Path, handle: IO[bytes]) -> None:
+        self.path = path
+        self.handle = handle
+        #: bytes known durable (advanced by an effective fsync)
+        self.durable = handle.tell()
+        self._ref = weakref.ref(self)
+        _RUNTIME.tracked.append(self._ref)
+
+    # -- file protocol ------------------------------------------------------
+
+    def write(self, data: bytes, *, point: str | None = None) -> int:
+        """Write ``data``; a scheduled torn crash persists only a prefix."""
+        plan = _RUNTIME.plan
+        if plan is not None and point is not None:
+            count = plan._hit(point)
+            if plan.io_error_at == point and count == plan.io_error_occurrence:
+                raise InjectedIOError(point)
+            if plan.crash_at == point and count == plan.occurrence:
+                if plan.torn and data:
+                    # stable across processes (str.__hash__ is salted)
+                    tear_seed = zlib.crc32(
+                        f"{plan.seed}:{point}:{count}".encode("utf-8")
+                    )
+                    keep = random.Random(tear_seed).randrange(len(data))
+                    self.handle.write(data[:keep])
+                    self.handle.flush()
+                _crash(point)
+        written = self.handle.write(data)
+        self.handle.flush()
+        return written
+
+    def fsync(self) -> None:
+        """Make written bytes durable — unless the plan loses fsyncs."""
+        plan = _RUNTIME.plan
+        if plan is not None and plan.lost_fsync:
+            return  # the disk lied; ``durable`` stays where it was
+        os.fsync(self.handle.fileno())
+        self.durable = self.handle.tell()
+
+    def tell(self) -> int:
+        return self.handle.tell()
+
+    def close(self) -> None:
+        if not self.handle.closed:
+            self.handle.close()
+        if self._ref in _RUNTIME.tracked:
+            _RUNTIME.tracked.remove(self._ref)
+
+    def __enter__(self) -> "_TrackedFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- crash settlement ---------------------------------------------------
+
+    def _settle_for_crash(self, *, lost_fsync: bool) -> None:
+        if self.handle.closed:
+            return
+        self.handle.flush()
+        if lost_fsync:
+            self.handle.truncate(self.durable)
+        self.handle.close()
+
+
+def open_tracked(path: str | Path, mode: str = "ab") -> _TrackedFile:
+    """Open a durability file through the harness.
+
+    ``mode`` must be a binary write/append mode.  Outside an injection
+    scope this is an ordinary buffered file wrapped for the uniform
+    ``write(data, point=...)`` / ``fsync()`` interface.
+    """
+    if "b" not in mode:
+        raise ValueError("durability files are binary; use a 'b' mode")
+    return _TrackedFile(Path(path), open(path, mode))
+
+
+def replace(source: str | Path, target: str | Path) -> None:
+    """``os.replace`` with the surrounding crashpoints honoured by callers."""
+    os.replace(source, target)
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Flush a directory entry (after create/rename) where supported."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+__all__ = [
+    "CRASHPOINTS",
+    "TORN_CAPABLE",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedIOError",
+    "active",
+    "crashpoint",
+    "fsync_dir",
+    "inject",
+    "open_tracked",
+    "replace",
+]

@@ -16,7 +16,9 @@ from repro.kernel.apply import (
 from repro.kernel.bus import EventBus, EventEmitter, Subscription
 from repro.kernel.events import NO_CHANGE, Command, Event
 from repro.kernel.kernel import Kernel
+from repro.kernel.recovery import RecoveryManager, RecoveryReport
 from repro.kernel.snapshots import Snapshot, apply_state
+from repro.kernel.wal import WalOpenReport, WriteAheadLog
 
 __all__ = [
     "NO_CHANGE",
@@ -25,8 +27,12 @@ __all__ = [
     "EventBus",
     "EventEmitter",
     "Kernel",
+    "RecoveryManager",
+    "RecoveryReport",
     "Snapshot",
     "Subscription",
+    "WalOpenReport",
+    "WriteAheadLog",
     "apply_event",
     "apply_state",
     "canonical_schema_json",

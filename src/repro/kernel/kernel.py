@@ -42,6 +42,7 @@ from repro.kernel.snapshots import Snapshot, apply_state
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.equivalence.session import AnalysisSession
     from repro.integration.result import IntegrationResult
+    from repro.kernel.wal import WriteAheadLog
 
 
 class _CommandView:
@@ -73,6 +74,11 @@ class Kernel:
         #: integration results by the offset of their ``session.integrate``
         #: event — lets the tool resync its displayed result after time travel
         self._results_by_offset: "dict[int, IntegrationResult]" = {}
+        #: the attached write-ahead log (see :meth:`attach_wal`), plus the
+        #: group-commit buffer: events published since the open group began
+        self.wal: "WriteAheadLog | None" = None
+        self._wal_events: list[Event] = []
+        self._wal_truncate: int | None = None
         self.bus.before_publish = self._before_live_publish
         self.bus.after_publish = self._after_live_publish
 
@@ -126,10 +132,70 @@ class Kernel:
                 for offset, result in self._results_by_offset.items()
                 if offset <= self._head
             }
+            if self.wal is not None and self._wal_truncate is None:
+                self._wal_truncate = self._head
 
     def _after_live_publish(self, event: Event) -> None:
         self._head = event.offset
         self._events_since_snapshot += 1
+        if self.wal is not None:
+            self._wal_events.append(event)
+            if self.bus.active_txn is None:
+                # a bare publish outside any group is its own transaction
+                self._wal_commit()
+
+    # -- write-ahead log ---------------------------------------------------------
+
+    def attach_wal(self, wal: "WriteAheadLog") -> None:
+        """Journal every committed transaction to ``wal`` before returning.
+
+        A fresh WAL generation (no records yet) is opened with a
+        ``base`` record anchoring it to the current log length and head.
+        When the kernel already holds events, the full exported state
+        rides along so the generation stays self-anchoring (replayable
+        without the backing save); a restored legacy session at offset 0
+        embeds its baseline snapshot for the same reason.
+        """
+        with self.bus.lock:
+            self.wal = wal
+            self._wal_events = []
+            self._wal_truncate = None
+            if not wal.open_report.records:
+                base: dict[str, Any] = {
+                    "t": "base",
+                    "offset": self.bus.offset,
+                    "head": self._head,
+                    "baseline": self._baseline,
+                }
+                if self.bus.offset > 0:
+                    base["state"] = self.export_state()
+                else:
+                    anchor = self._best_snapshot(self._baseline)
+                    if anchor.state:
+                        base["snapshot"] = anchor.to_dict()
+                wal.append(base)
+
+    def _wal_commit(self) -> None:
+        """Flush the group buffer as one atomic WAL commit record."""
+        if self.wal is None or self.bus.active_txn is not None:
+            return
+        if not self._wal_events and self._wal_truncate is None:
+            return
+        events = [event.to_dict() for event in self._wal_events]
+        truncate = self._wal_truncate
+        self._wal_events = []
+        self._wal_truncate = None
+        self.wal.commit(events, truncate=truncate)
+
+    def _wal_discard(self) -> None:
+        """Drop the group buffer (the transaction rolled back)."""
+        self._wal_events = []
+        self._wal_truncate = None
+
+    def _wal_record_head(self) -> None:
+        """Journal a cursor move so recovery lands where the user was."""
+        if self.wal is not None and not self.bus.replaying_now:
+            self.wal.record_head(self._head)
 
     # -- grouping and transactions ----------------------------------------------
 
@@ -143,8 +209,13 @@ class Kernel:
         :meth:`transaction` for all-or-nothing semantics.
         """
         with self.bus.lock:
-            with self.bus.grouped() as txn:
-                yield txn
+            try:
+                with self.bus.grouped() as txn:
+                    yield txn
+            finally:
+                # no rollback on exception — whatever committed stays in
+                # the log, so it must reach the WAL too
+                self._wal_commit()
             if not self.bus.replaying_now:
                 self._maybe_snapshot()
 
@@ -169,9 +240,11 @@ class Kernel:
                 with self.bus.grouped() as txn:
                     yield txn
             except BaseException:
+                self._wal_discard()
                 self._rollback(start, entry_state)
                 raise
             else:
+                self._wal_commit()
                 self._maybe_snapshot()
 
     def _rollback(self, start: int, entry_state: dict[str, Any]) -> None:
@@ -228,6 +301,8 @@ class Kernel:
             )
             self._snapshots.append(record)
             self._events_since_snapshot = 0
+            if self.wal is not None and not self.bus.replaying_now:
+                self.wal.rotate()
             return record
 
     def snapshots(self) -> list[Snapshot]:
@@ -276,6 +351,7 @@ class Kernel:
                 self._replay_one(event)
             self._head = offset
             self._resnapshot_audit()
+            self._wal_record_head()
 
     def undo(self) -> bool:
         """Revert the most recent effectful group; False if none remains.
@@ -303,8 +379,9 @@ class Kernel:
                             self._apply_inverse(inverse)
                     self._head = start
                     self._resnapshot_audit()
+                    self._wal_record_head()
                 else:
-                    self.checkout(start)
+                    self.checkout(start)  # records the head move itself
                 return True
             return False
 
@@ -324,6 +401,7 @@ class Kernel:
                 self._head = group[-1].offset
             if applied_effectful:
                 self._resnapshot_audit()
+                self._wal_record_head()
             return applied_effectful
 
     def can_undo(self) -> bool:

@@ -10,7 +10,7 @@ interactive tool's screens, and direct registry/network calls):
   enable with :func:`tracing` / :func:`install_tracer`.
 * **Metrics** (:mod:`repro.obs.metrics`) — a registry of counters, gauges
   and histograms that absorbs the engine's work counters
-  (:class:`AnalysisCounters`, historically ``repro.instrumentation``).
+  (:class:`AnalysisCounters`).
 * **Audit + replay** (:mod:`repro.obs.audit`, :mod:`repro.obs.replay`) —
   a JSONL event log of every DDA action, replayable into a fresh session
   with bitwise-identical integration results.

@@ -12,8 +12,7 @@ counters keep their plain-``int``-attribute implementation — an increment
 on the propagation hot path must stay a single attribute store — but a
 counter group registered via :meth:`MetricsRegistry.register_group`
 appears in the registry snapshot under a dotted prefix, so one registry
-describes everything a session did.  :mod:`repro.instrumentation` remains
-as a compatibility shim re-exporting :class:`AnalysisCounters` from here.
+describes everything a session did.
 
 This module deliberately imports nothing from :mod:`repro` so the
 low-level engines can depend on it without import cycles.

@@ -10,7 +10,7 @@ the federated query engine (:mod:`repro.federation`).
 
 from __future__ import annotations
 
-from repro.errors import ToolError
+from repro.errors import DictionaryError, ToolError
 from repro.tool.screens.base import POP, Screen
 from repro.tool.screens.assertion import AssertionCollectScreen
 from repro.tool.screens.browse import ObjectClassScreen
@@ -72,9 +72,12 @@ class MainMenuScreen(Screen):
                 raise ToolError("usage: L <file>")
             try:
                 session.restore_from(args[0])
-            except OSError as exc:
+            except (OSError, DictionaryError) as exc:
                 raise ToolError(f"cannot load {args[0]}: {exc}") from exc
+            recovery = session.last_recovery
             session.status = f"session loaded from {args[0]}"
+            if recovery is not None and recovery.used_wal:
+                session.status += f" ({recovery.summary()})"
             return None
         if choice == "1":
             return SchemaNameScreen()

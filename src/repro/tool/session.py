@@ -43,6 +43,12 @@ class ToolSession:
     federation: "object | None" = None
     #: status line shown under the next screen render
     status: str = ""
+    #: the write-ahead log mutations are autosaved to, once attached
+    #: (see :meth:`attach_wal` / :meth:`open`)
+    wal: "object | None" = None
+    #: how the last :meth:`open` / :meth:`restore_from` rebuilt the
+    #: session (a :class:`~repro.kernel.recovery.RecoveryReport`)
+    last_recovery: "object | None" = None
 
     # -- analysis-state views ------------------------------------------------------
 
@@ -305,10 +311,19 @@ class ToolSession:
         the components directly and start a fresh history at the restored
         state (``set_baseline``).
         """
+        return cls._rebuild(dictionary, dictionary.kernel_state())
+
+    @classmethod
+    def _rebuild(cls, dictionary, state) -> "ToolSession":
+        """Build a session from a dictionary and a serialised kernel state.
+
+        ``state`` is usually ``dictionary.kernel_state()`` but recovery
+        passes the save's state with the WAL tail already replayed onto
+        it; either may be ``None`` (legacy save, fresh session).
+        """
         from repro.kernel import Kernel
 
         session = cls()
-        state = dictionary.kernel_state()
         if state is not None:
             kernel = Kernel.restore(state)
             session.analysis = AnalysisSession(kernel=kernel)
@@ -317,7 +332,7 @@ class ToolSession:
                 schema.name: schema for schema in session.analysis.schemas()
             }
             session.result = kernel.result_at_head()
-        else:
+        elif dictionary is not None:
             for schema in dictionary.schemas():
                 session.schemas[schema.name] = schema
             object_network, relationship_network = dictionary.build_networks()
@@ -327,34 +342,97 @@ class ToolSession:
                 relationship_network=relationship_network,
             )
             session.analysis.kernel.set_baseline()
-        if session.result is None:
+        if session.result is None and dictionary is not None:
             names = dictionary.result_names()
             if names:
                 session.result = dictionary.result(names[-1])
         return session
 
     def save(self, path) -> None:
-        """Persist the session as a data-dictionary JSON file."""
-        self.to_dictionary().save(path)
+        """Persist the session as a data-dictionary JSON file.
+
+        A checkpoint: the save is written atomically (with an integrity
+        footer), then the attached write-ahead log is reset — the save
+        now holds everything the old WAL generation recorded.  A session
+        without a WAL gains one here, rooted next to the save file, so
+        every later mutation is journalled.
+
+        The whole checkpoint runs under the kernel's bus lock: a
+        transaction committing between the state export and the WAL
+        reset would otherwise be wiped from the journal without being in
+        the save.
+        """
+        kernel = self.analysis.kernel
+        with kernel.bus.lock:
+            self.to_dictionary().save(path)
+            if self.wal is None:
+                from repro.kernel.recovery import wal_directory_for
+                from repro.kernel.wal import WriteAheadLog
+
+                self.attach_wal(WriteAheadLog(wal_directory_for(path)))
+            self.wal.reset(
+                kernel.bus.offset,
+                kernel.head,
+                state=kernel.export_state(),
+            )
+
+    def attach_wal(self, wal) -> None:
+        """Journal every committed mutation to ``wal`` from now on."""
+        self.wal = wal
+        self.analysis.kernel.attach_wal(wal)
 
     @classmethod
     def load(cls, path) -> "ToolSession":
-        """Restore a session saved by :meth:`save`."""
+        """Restore a session saved by :meth:`save` (no WAL attached)."""
         from repro.dictionary import DataDictionary
 
         return cls.from_dictionary(DataDictionary.load(path))
+
+    @classmethod
+    def open(cls, path, wal_dir=None, *, create=True) -> "ToolSession":
+        """Restore a session with crash recovery and durable mutations.
+
+        Loads the last good save, replays the write-ahead log tail a
+        crash may have left beside it (``<path>.wal`` unless ``wal_dir``
+        says otherwise), attaches the repaired WAL so further mutations
+        are journalled, and records how the state was rebuilt on
+        :attr:`last_recovery`.  With ``create=True`` (the default) a
+        path with neither save nor WAL opens as a fresh durable session;
+        ``create=False`` makes that a
+        :class:`~repro.errors.DictionaryNotFoundError` instead (the
+        tool's Load command must not invent sessions).
+        """
+        from repro.errors import DictionaryNotFoundError
+        from repro.kernel.recovery import RecoveryManager
+
+        manager = RecoveryManager(path, wal_dir)
+        if (
+            not create
+            and not manager.save_path.exists()
+            and not any(manager.wal_dir.glob("wal-*.seg"))
+        ):
+            raise DictionaryNotFoundError(path)
+        report = manager.recover()
+        session = cls._rebuild(manager.dictionary, manager.kernel_state)
+        session.attach_wal(manager.wal)
+        session.last_recovery = report
+        return session
 
     def restore_from(self, path) -> None:
         """Replace this session's state with a saved one, in place.
 
         Used by the main menu's Load command: screens hold a reference to
-        the session object, so the state must change under them.
+        the session object, so the state must change under them.  Goes
+        through :meth:`open`, so a WAL left by a crash is replayed and
+        the restored session keeps journalling.
         """
-        loaded = type(self).load(path)
+        loaded = type(self).open(path, create=False)
         audit = self.analysis.audit_log
         self.schemas = loaded.schemas
         self.analysis = loaded.analysis
         self.result = loaded.result
+        self.wal = loaded.wal
+        self.last_recovery = loaded.last_recovery
         if audit is not None:
             self.analysis.attach_audit(audit)
         self.selected_pair = None

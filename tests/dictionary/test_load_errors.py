@@ -1,0 +1,127 @@
+"""Typed load errors: missing, corrupt and unknown-format saves.
+
+Every failure mode of :meth:`DataDictionary.load` raises a distinct
+error from :mod:`repro.errors`, each carrying the offending path in its
+message — never a bare ``json.JSONDecodeError`` or ``KeyError``.
+"""
+
+import json
+
+import pytest
+
+from repro.dictionary import DataDictionary
+from repro.dictionary.store import FOOTER_PREFIX, FORMAT_VERSION
+from repro.errors import (
+    CorruptDictionaryError,
+    DictionaryError,
+    DictionaryFormatError,
+    DictionaryNotFoundError,
+    ReproError,
+)
+from repro.workloads.university import build_sc1
+
+
+@pytest.fixture
+def saved(tmp_path):
+    dictionary = DataDictionary()
+    dictionary.add_schema(build_sc1())
+    dictionary.record_equivalence(
+        "sc1.Student.Name", "sc1.Department.Name"
+    )
+    path = tmp_path / "session.json"
+    dictionary.save(path)
+    return path
+
+
+class TestMissing:
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(DictionaryNotFoundError) as caught:
+            DataDictionary.load(path)
+        assert str(path) in str(caught.value)
+
+    def test_typed_errors_share_the_dictionary_family(self):
+        assert issubclass(DictionaryNotFoundError, DictionaryError)
+        assert issubclass(CorruptDictionaryError, DictionaryError)
+        assert issubclass(DictionaryFormatError, DictionaryError)
+        assert issubclass(DictionaryError, ReproError)
+
+
+class TestCorrupt:
+    def test_invalid_json_raises_corrupt(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json at all")
+        with pytest.raises(CorruptDictionaryError) as caught:
+            DataDictionary.load(path)
+        assert str(path) in str(caught.value)
+
+    def test_bit_flip_fails_the_checksum(self, saved):
+        text = saved.read_text()
+        body_end = text.rindex(FOOTER_PREFIX)
+        flipped = text.replace("Student", "Studeot", 1)
+        assert flipped != text and FOOTER_PREFIX in flipped
+        saved.write_text(flipped)
+        with pytest.raises(CorruptDictionaryError) as caught:
+            DataDictionary.load(saved)
+        assert "checksum mismatch" in str(caught.value)
+        assert body_end  # the original had a footer to protect the body
+
+    def test_truncated_save_is_corrupt_not_legacy(self, saved):
+        text = saved.read_text()
+        saved.write_text(text[: len(text) // 2])
+        with pytest.raises(CorruptDictionaryError):
+            DataDictionary.load(saved)
+
+    def test_truncation_that_only_loses_the_footer_is_still_corrupt(
+        self, saved
+    ):
+        text = saved.read_text()
+        body = text[: text.rindex(FOOTER_PREFIX)].rstrip("\n")
+        json.loads(body)  # the body alone still parses...
+        saved.write_text(body)
+        with pytest.raises(CorruptDictionaryError) as caught:
+            DataDictionary.load(saved)  # ...but load refuses it
+        assert "footer missing" in str(caught.value)
+
+    def test_bit_flip_that_breaks_the_encoding_is_corrupt(self, saved):
+        data = bytearray(saved.read_bytes())
+        data[len(data) // 2] = 0xDF  # an invalid UTF-8 continuation
+        saved.write_bytes(bytes(data))
+        with pytest.raises(CorruptDictionaryError) as caught:
+            DataDictionary.load(saved)
+        assert "UTF-8" in str(caught.value)
+
+    def test_non_object_top_level_is_corrupt(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CorruptDictionaryError):
+            DataDictionary.load(path)
+
+
+class TestFormats:
+    def test_unknown_format_raises_with_path(self, saved, tmp_path):
+        data = DataDictionary.load(saved).to_dict()
+        data["format"] = 999
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(DictionaryFormatError) as caught:
+            DataDictionary.load(path)
+        assert caught.value.version == 999
+        assert str(path) in str(caught.value)
+
+    def test_v1_save_without_footer_still_loads(self, saved, tmp_path):
+        data = DataDictionary.load(saved).to_dict()
+        data["format"] = 1
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(data, indent=2))
+        loaded = DataDictionary.load(path)
+        assert [schema.name for schema in loaded.schemas()] == ["sc1"]
+        registry = loaded.build_registry()
+        assert registry.are_equivalent(
+            "sc1.Student.Name", "sc1.Department.Name"
+        )
+
+    def test_saves_are_stamped_with_the_current_format(self, saved):
+        text = saved.read_text()
+        body = text[: text.rindex(FOOTER_PREFIX)]
+        assert json.loads(body)["format"] == FORMAT_VERSION == 2

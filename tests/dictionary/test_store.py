@@ -136,9 +136,11 @@ class TestPersistence:
         )
 
     def test_format_version_checked(self, dictionary):
+        from repro.errors import DictionaryFormatError
+
         data = dictionary.to_dict()
         data["format"] = 999
-        with pytest.raises(SchemaError):
+        with pytest.raises(DictionaryFormatError):
             DataDictionary.from_dict(data)
 
     def test_rebuilt_equals_original_pipeline(self, dictionary, tmp_path):

@@ -1,0 +1,162 @@
+"""The fault-injection harness itself: deterministic, scoped, honest.
+
+These tests pin down the simulated-disk semantics the crash-anywhere
+property relies on: crashes fire at exactly the scheduled hit, torn
+writes persist a seeded (reproducible) prefix, lost fsyncs roll files
+back to the last effective fsync, and none of it leaks outside an
+:func:`repro.faults.inject` scope.
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, InjectedCrash, InjectedIOError
+
+
+class TestInactive:
+    def test_crashpoint_is_a_no_op_without_a_plan(self):
+        assert faults.active() is None
+        faults.crashpoint("wal.append.after_write")  # nothing raised
+
+    def test_tracked_file_passes_writes_through(self, tmp_path):
+        path = tmp_path / "plain.bin"
+        with faults.open_tracked(path, "wb") as handle:
+            handle.write(b"hello", point="wal.append.write")
+            handle.fsync()
+        assert path.read_bytes() == b"hello"
+
+    def test_text_modes_are_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            faults.open_tracked(tmp_path / "x", "w")
+
+
+class TestCrashes:
+    def test_fires_at_the_scheduled_occurrence_only(self):
+        plan = FaultPlan(crash_at="wal.append.after_write", occurrence=3)
+        with faults.inject(plan):
+            faults.crashpoint("wal.append.after_write")
+            faults.crashpoint("wal.append.after_write")
+            with pytest.raises(InjectedCrash) as caught:
+                faults.crashpoint("wal.append.after_write")
+        assert caught.value.point == "wal.append.after_write"
+
+    def test_other_points_do_not_fire(self):
+        plan = FaultPlan(crash_at="dict.save.before_replace")
+        with faults.inject(plan):
+            for point in faults.CRASHPOINTS:
+                if point != "dict.save.before_replace":
+                    faults.crashpoint(point)
+
+    def test_crash_is_not_catchable_as_exception(self):
+        plan = FaultPlan(crash_at="wal.append.after_write")
+        with faults.inject(plan):
+            with pytest.raises(InjectedCrash):
+                try:
+                    faults.crashpoint("wal.append.after_write")
+                except Exception:  # a tidy-up handler must NOT swallow it
+                    pytest.fail("InjectedCrash was caught as Exception")
+
+    def test_plan_deactivates_after_the_scope(self):
+        with faults.inject(FaultPlan(crash_at="wal.append.after_write")):
+            with pytest.raises(InjectedCrash):
+                faults.crashpoint("wal.append.after_write")
+        assert faults.active() is None
+        faults.crashpoint("wal.append.after_write")
+
+    def test_nesting_is_rejected(self):
+        with faults.inject(FaultPlan()):
+            with pytest.raises(RuntimeError):
+                with faults.inject(FaultPlan()):
+                    pass
+
+    def test_hit_counters_reset_on_reactivation(self):
+        plan = FaultPlan(crash_at="wal.append.after_write", occurrence=2)
+        for _ in range(2):  # same plan object, fresh schedule each time
+            with faults.inject(plan):
+                faults.crashpoint("wal.append.after_write")
+                with pytest.raises(InjectedCrash):
+                    faults.crashpoint("wal.append.after_write")
+
+
+class TestTornWrites:
+    def write_with_tear(self, path, seed):
+        plan = FaultPlan(
+            crash_at="wal.append.write", torn=True, seed=seed
+        )
+        data = bytes(range(200))
+        with faults.inject(plan):
+            with pytest.raises(InjectedCrash):
+                with faults.open_tracked(path, "wb") as handle:
+                    handle.write(data, point="wal.append.write")
+        return path.read_bytes(), data
+
+    def test_persists_a_strict_prefix(self, tmp_path):
+        persisted, data = self.write_with_tear(tmp_path / "torn.bin", 7)
+        assert len(persisted) < len(data)
+        assert data.startswith(persisted)
+
+    def test_same_seed_tears_the_same_byte(self, tmp_path):
+        first, _ = self.write_with_tear(tmp_path / "a.bin", 42)
+        second, _ = self.write_with_tear(tmp_path / "b.bin", 42)
+        assert first == second
+
+    def test_untorn_crash_keeps_whole_writes(self, tmp_path):
+        path = tmp_path / "whole.bin"
+        plan = FaultPlan(crash_at="wal.append.write", occurrence=2)
+        with faults.inject(plan):
+            with pytest.raises(InjectedCrash):
+                with faults.open_tracked(path, "wb") as handle:
+                    handle.write(b"first", point="wal.append.write")
+                    handle.write(b"second", point="wal.append.write")
+        # occurrence 2 died before writing; occurrence 1 is intact
+        assert path.read_bytes() == b"first"
+
+
+class TestLostFsync:
+    def test_crash_rolls_back_to_the_last_effective_fsync(self, tmp_path):
+        path = tmp_path / "lost.bin"
+        path.write_bytes(b"durable")  # survived a previous sitting
+        plan = FaultPlan(
+            crash_at="wal.append.after_write", lost_fsync=True
+        )
+        with faults.inject(plan):
+            with pytest.raises(InjectedCrash):
+                with faults.open_tracked(path, "ab") as handle:
+                    handle.write(b"+gone", point="wal.append.write")
+                    handle.fsync()  # the disk lies: nothing became durable
+                    faults.crashpoint("wal.append.after_write")
+        assert path.read_bytes() == b"durable"
+
+    def test_without_the_policy_written_bytes_survive(self, tmp_path):
+        path = tmp_path / "kept.bin"
+        plan = FaultPlan(crash_at="wal.append.after_write")
+        with faults.inject(plan):
+            with pytest.raises(InjectedCrash):
+                with faults.open_tracked(path, "wb") as handle:
+                    handle.write(b"kept", point="wal.append.write")
+                    faults.crashpoint("wal.append.after_write")
+        assert path.read_bytes() == b"kept"
+
+
+class TestIOErrors:
+    def test_io_error_is_survivable(self, tmp_path):
+        plan = FaultPlan(io_error_at="dict.save.before_replace")
+        with faults.inject(plan):
+            with pytest.raises(OSError):
+                faults.crashpoint("dict.save.before_replace")
+            # the process lives on; the next hit passes
+            faults.crashpoint("dict.save.before_replace")
+
+    def test_io_error_is_an_oserror_subclass(self):
+        assert issubclass(InjectedIOError, OSError)
+        assert not issubclass(InjectedCrash, Exception)
+
+    def test_write_site_io_error(self, tmp_path):
+        path = tmp_path / "werr.bin"
+        plan = FaultPlan(io_error_at="wal.append.write")
+        with faults.inject(plan):
+            with faults.open_tracked(path, "wb") as handle:
+                with pytest.raises(InjectedIOError):
+                    handle.write(b"data", point="wal.append.write")
+                handle.write(b"retry", point="wal.append.write")
+        assert path.read_bytes() == b"retry"

@@ -1,0 +1,278 @@
+"""Crash recovery: save + WAL replay must always converge.
+
+Each scenario stages a different on-disk aftermath — clean checkpoint,
+unsaved tail, undone cursor, stale WAL generation, corrupt save — and
+asserts the :class:`~repro.kernel.recovery.RecoveryManager` rebuilds the
+exact committed state (bitwise, via canonical ``state_payload`` JSON).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import CorruptDictionaryError, DictionaryNotFoundError
+from repro.kernel.recovery import (
+    RecoveryManager,
+    RecoveryReport,
+    wal_directory_for,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.tool.session import ToolSession
+from repro.workloads.university import build_sc1, build_sc2
+
+
+def fingerprint(session: ToolSession) -> str:
+    return json.dumps(session.analysis.state_payload(), sort_keys=True)
+
+
+@pytest.fixture
+def save_path(tmp_path):
+    return tmp_path / "session.json"
+
+
+def durable_session(save_path) -> ToolSession:
+    session = ToolSession.open(save_path)
+    session.adopt_schema(build_sc1())
+    session.adopt_schema(build_sc2())
+    return session
+
+
+class TestCleanPaths:
+    def test_fresh_open_then_reopen_round_trips(self, save_path):
+        session = durable_session(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        expected = fingerprint(session)
+        del session  # crash: never saved — the WAL alone carries it
+
+        recovered = ToolSession.open(save_path)
+        assert fingerprint(recovered) == expected
+        report = recovered.last_recovery
+        assert report.source == "wal"
+        assert report.used_wal
+        assert report.events_replayed > 0
+
+    def test_checkpoint_then_clean_reopen_uses_the_save_alone(
+        self, save_path
+    ):
+        session = durable_session(save_path)
+        session.save(save_path)
+        expected = fingerprint(session)
+        del session
+
+        recovered = ToolSession.open(save_path)
+        assert fingerprint(recovered) == expected
+        assert recovered.last_recovery.source == "save"
+        assert recovered.last_recovery.clean
+        assert not recovered.last_recovery.used_wal
+
+    def test_unsaved_tail_replays_on_top_of_the_checkpoint(self, save_path):
+        session = durable_session(save_path)
+        session.save(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        session.registry.declare_equivalent(
+            "sc1.Department.Name", "sc2.Department.Name"
+        )
+        expected = fingerprint(session)
+        del session
+
+        recovered = ToolSession.open(save_path)
+        assert fingerprint(recovered) == expected
+        report = recovered.last_recovery
+        assert report.source == "save+wal"
+        assert report.events_replayed == 2
+
+    def test_recovered_sessions_stay_usable_and_durable(self, save_path):
+        session = durable_session(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        del session
+
+        recovered = ToolSession.open(save_path)
+        recovered.registry.declare_equivalent(
+            "sc1.Student.GPA", "sc2.Grad_student.GPA"
+        )
+        expected = fingerprint(recovered)
+        del recovered
+
+        third = ToolSession.open(save_path)
+        assert fingerprint(third) == expected
+        assert len(third.registry.nontrivial_classes()) == 2
+
+
+class TestCursorAndHistory:
+    def test_undo_position_survives_the_crash(self, save_path):
+        session = durable_session(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        session.registry.declare_equivalent(
+            "sc1.Student.GPA", "sc2.Grad_student.GPA"
+        )
+        session.undo()
+        expected = fingerprint(session)
+        del session
+
+        recovered = ToolSession.open(save_path)
+        assert fingerprint(recovered) == expected
+        # the undone tail is still there to redo
+        assert recovered.analysis.kernel.can_redo()
+        recovered.redo()
+        assert len(recovered.registry.nontrivial_classes()) == 2
+
+    def test_commit_after_undo_truncates_on_recovery_too(self, save_path):
+        session = durable_session(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        session.undo()
+        session.registry.declare_equivalent(
+            "sc1.Department.Name", "sc2.Department.Name"
+        )  # branches: the undone declare is gone for good
+        expected = fingerprint(session)
+        del session
+
+        recovered = ToolSession.open(save_path)
+        assert fingerprint(recovered) == expected
+        assert not recovered.analysis.kernel.can_redo()
+        members = {
+            str(m)
+            for m in recovered.registry.class_members("sc1.Department.Name")
+        }
+        assert members == {"sc1.Department.Name", "sc2.Department.Name"}
+
+
+class TestStaleAndDamaged:
+    def test_stale_generation_converges_on_the_save(self, save_path):
+        """The crash window between a save and the WAL reset after it."""
+        session = durable_session(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        # a save that "crashed" before resetting the WAL: write the
+        # dictionary directly, leaving the generation stale
+        session.to_dictionary().save(save_path)
+        expected = fingerprint(session)
+        del session
+
+        recovered = ToolSession.open(save_path)
+        assert fingerprint(recovered) == expected
+        # every WAL event was already in the save: nothing replayed
+        assert recovered.last_recovery.events_replayed == 0
+
+    def test_corrupt_save_falls_back_to_the_wal(self, save_path):
+        session = durable_session(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        expected = fingerprint(session)
+        del session
+        save_path.write_text("{damaged")
+
+        recovered = ToolSession.open(save_path)
+        assert fingerprint(recovered) == expected
+        report = recovered.last_recovery
+        assert report.source == "wal"
+        assert report.save_error is not None
+        assert "save unusable" in report.summary()
+
+    def test_corrupt_save_after_checkpoint_recovers_from_the_wal(
+        self, save_path
+    ):
+        # the checkpoint reset embeds the saved kernel state in the
+        # generation's base record, so even the post-checkpoint save
+        # going bad leaves the WAL self-anchoring
+        session = durable_session(save_path)
+        session.save(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        expected = fingerprint(session)
+        del session
+        body = save_path.read_text()
+        save_path.write_text(body.replace("Student", "Studeot", 1))
+
+        recovered = ToolSession.open(save_path)
+        assert fingerprint(recovered) == expected
+        report = recovered.last_recovery
+        assert report.source == "wal"
+        assert report.save_error is not None
+
+    def test_corrupt_save_with_stateless_base_record_raises(self, save_path):
+        # a generation anchored at a real offset WITHOUT an embedded
+        # state genuinely depends on its save: recovery must refuse to
+        # invent the missing events
+        session = durable_session(save_path)
+        session.save(save_path)
+        wal_dir = wal_directory_for(save_path)
+        from repro.kernel.wal import WriteAheadLog
+
+        for segment in wal_dir.glob("wal-*.seg"):
+            segment.unlink()
+        stateless = WriteAheadLog(wal_dir)
+        stateless.record_base(5, 5)
+        stateless.close()
+        body = save_path.read_text()
+        save_path.write_text(body.replace("Student", "Studeot", 1))
+
+        with pytest.raises(CorruptDictionaryError):
+            ToolSession.open(save_path)
+
+    def test_missing_save_without_create_raises(self, save_path):
+        with pytest.raises(DictionaryNotFoundError):
+            ToolSession.open(save_path, create=False)
+        assert not wal_directory_for(save_path).exists()
+
+
+class TestReporting:
+    def test_report_feeds_the_metrics_registry(self, save_path):
+        session = durable_session(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        del session
+
+        recovered = ToolSession.open(save_path)
+        registry = MetricsRegistry()
+        recovered.last_recovery.record_metrics(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["recovery.opens"] == 1
+        assert snapshot["recovery.wal_recoveries"] == 1
+        assert (
+            snapshot["recovery.events_replayed"]
+            == recovered.last_recovery.events_replayed
+        )
+
+    def test_summary_counts_repairs(self, save_path):
+        report = RecoveryReport(
+            source="save+wal",
+            events_replayed=4,
+            bytes_truncated=17,
+            segments_quarantined=["wal-0000000001.seg"],
+        )
+        text = report.summary()
+        assert "4 event(s)" in text
+        assert "17 torn byte(s)" in text
+        assert "1 segment(s)" in text
+
+    def test_manager_exposes_the_merged_state(self, save_path):
+        session = durable_session(save_path)
+        session.save(save_path)
+        session.registry.declare_equivalent(
+            "sc1.Student.Name", "sc2.Grad_student.Name"
+        )
+        log_length = session.analysis.kernel.bus.offset
+        del session
+
+        manager = RecoveryManager(save_path)
+        report = manager.recover()
+        assert manager.dictionary is not None
+        assert manager.wal is not None
+        assert len(manager.kernel_state["events"]) == log_length
+        assert report.head == log_length
+        assert report.to_dict()["source"] == "save+wal"
+        manager.wal.close()

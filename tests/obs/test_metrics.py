@@ -108,20 +108,3 @@ def test_analysis_counters_snapshot_and_reset():
     assert set(snap) == {field for field in snap}
     counters.reset()
     assert all(value == 0 for value in counters.snapshot().values())
-
-
-def test_instrumentation_shim_warns_and_reexports_the_same_class():
-    import importlib
-    import sys
-    import warnings
-
-    import repro.obs.metrics
-
-    sys.modules.pop("repro.instrumentation", None)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        shim = importlib.import_module("repro.instrumentation")
-    assert any(
-        issubclass(entry.category, DeprecationWarning) for entry in caught
-    )
-    assert shim.AnalysisCounters is repro.obs.metrics.AnalysisCounters

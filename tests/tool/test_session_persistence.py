@@ -135,6 +135,7 @@ class TestKernelHistory:
         data = dictionary.to_dict()
         assert "kernel" in data
         del data["kernel"]  # simulate a save from before the kernel existed
+        data["format"] = 1  # ...which was also before the v2 footer
 
         import json
 
