@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke bench example
+.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke service-smoke serve bench example
 
 ## Tier-1: the full unit/integration/e2e suite.
 test:
@@ -54,6 +54,20 @@ crash-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
 		tests/kernel/test_crash_anywhere.py tests/faults
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_durability.py
+
+## Service smoke: the multi-tenant HTTP service tests, then record
+## BENCH_service.json and gate on it — fails unless >= 16 concurrent
+## tenants complete the full lifecycle with zero failed requests, the
+## residency bound forces real eviction/rehydration churn, and p99
+## request latency stays under the ceiling.  See docs/SERVICE.md.
+service-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q tests/service
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_service.py --smoke
+
+## Run the integration service locally (demo token demo:demo-token).
+serve:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.service \
+		--root var/service --token demo:demo-token
 
 ## The full experiment harness (slow).
 bench:

@@ -1,0 +1,346 @@
+"""Record multi-tenant service behaviour to BENCH_service.json and gate on it.
+
+The service's promise is *bounded memory under real concurrency*: many
+tenants, few resident kernels, eviction/rehydration invisible except as
+latency.  This recorder stands up the real asyncio HTTP server on a
+loopback socket, drives ``TENANTS`` concurrent tenants (each from its own
+thread over a keep-alive connection) through the full integration
+lifecycle — create, load schemas, declare equivalences, assert, integrate,
+query, undo/redo, checkpoint — with a deliberately small residency bound,
+and records:
+
+* request latency (p50 / p95 / p99) and total throughput;
+* eviction / rehydration counts (the churn must actually happen);
+* resident bytes per session → sessions-per-GB capacity.
+
+Gates (the ``make service-smoke`` contract):
+
+* every tenant completes its whole workload — at least 16 concurrently
+  sustained tenants with zero failed requests;
+* the residency bound forced at least one eviction AND one rehydration
+  (otherwise the run proved nothing about parking);
+* p99 request latency stays under ``P99_CEILING_SECONDS``.
+
+Run:  PYTHONPATH=src python benchmarks/record_service.py [--smoke]
+Exits non-zero when a gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import socket
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import ServiceApp, TenantAuth  # noqa: E402
+from repro.service.app import serve  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+TENANTS = 20
+MAX_RESIDENT = 6  # far below TENANTS: every round churns the pool
+ROUNDS_FULL = 4
+ROUNDS_SMOKE = 2
+MIN_SUSTAINED_TENANTS = 16
+P99_CEILING_SECONDS = 0.75
+
+SC1_DDL = """\
+schema sc1
+entity Student
+  attr Name : string key
+  attr GPA : real
+entity Department
+  attr Name : string key
+relationship Majors
+  connects Student (1,1)
+  connects Department (0,n)
+"""
+
+SC2_DDL = """\
+schema sc2
+entity Grad_student
+  attr Name : string key
+  attr Advisor : string
+entity Department
+  attr Name : string key
+"""
+
+
+def repo_sha() -> str:
+    """The repo's HEAD SHA, or ``unknown`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+class Server:
+    """The real service on an ephemeral loopback port, in a thread."""
+
+    def __init__(self, root: Path, tokens: dict[str, str]) -> None:
+        self.app = ServiceApp(
+            root,
+            auth=TenantAuth.from_tokens(tokens),
+            max_resident=MAX_RESIDENT,
+        )
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            self.port = probe.getsockname()[1]
+        self._loop = asyncio.new_event_loop()
+        self._task: asyncio.Task | None = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            ready = asyncio.Event()
+            self._task = asyncio.ensure_future(
+                serve(
+                    self.app,
+                    "127.0.0.1",
+                    self.port,
+                    executor_workers=TENANTS,
+                    ready=ready,
+                )
+            )
+            await ready.wait()
+            self._started.set()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+
+        self._loop.run_until_complete(main())
+
+    def __enter__(self) -> "Server":
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("service did not start")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(timeout=30)
+        self._loop.close()
+        self.app.close()
+
+
+class TenantClient:
+    """One tenant's keep-alive connection; records every request latency."""
+
+    def __init__(self, port: int, token: str) -> None:
+        self.connection = http.client.HTTPConnection(
+            "127.0.0.1", port, timeout=30
+        )
+        self.token = token
+        self.latencies: list[float] = []
+        self.failures: list[str] = []
+
+    def call(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict | None:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Authorization": f"Bearer {self.token}"}
+        if payload:
+            headers["Content-Length"] = str(len(payload))
+        start = time.perf_counter()
+        self.connection.request(method, path, payload, headers)
+        response = self.connection.getresponse()
+        data = response.read()
+        self.latencies.append(time.perf_counter() - start)
+        if response.status >= 400:
+            self.failures.append(
+                f"{method} {path} -> {response.status} {data[:200]!r}"
+            )
+            return None
+        return json.loads(data) if data else None
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def tenant_workload(client: TenantClient, tenant: str, rounds: int) -> None:
+    sid = "bench"
+    client.call("POST", "/v1/sessions", {"session_id": sid})
+    client.call("POST", f"/v1/sessions/{sid}/schemas", {"ddl": SC1_DDL})
+    client.call("POST", f"/v1/sessions/{sid}/schemas", {"ddl": SC2_DDL})
+    for first, second in (
+        ("sc1.Student.Name", "sc2.Grad_student.Name"),
+        ("sc1.Department.Name", "sc2.Department.Name"),
+    ):
+        client.call(
+            "POST",
+            f"/v1/sessions/{sid}/equivalences",
+            {"first": first, "second": second},
+        )
+    client.call(
+        "GET", f"/v1/sessions/{sid}/candidates?first=sc1&second=sc2"
+    )
+    client.call(
+        "POST",
+        f"/v1/sessions/{sid}/assertions",
+        {"first": "sc1.Department", "second": "sc2.Department",
+         "kind": "EQUALS"},
+    )
+    client.call(
+        "POST",
+        f"/v1/sessions/{sid}/assertions",
+        {"first": "sc1.Student", "second": "sc2.Grad_student",
+         "kind": "CONTAINS"},
+    )
+    client.call(
+        "POST",
+        f"/v1/sessions/{sid}/integrate",
+        {"first": "sc1", "second": "sc2"},
+    )
+    client.call(
+        "POST",
+        f"/v1/sessions/{sid}/query",
+        {"request": "select D_Name from Student"},
+    )
+    for _ in range(rounds):
+        client.call("POST", f"/v1/sessions/{sid}/undo")
+        client.call("POST", f"/v1/sessions/{sid}/redo")
+        client.call("GET", f"/v1/sessions/{sid}")
+        client.call("POST", f"/v1/sessions/{sid}/checkpoint")
+        client.call("GET", "/v1/sessions")
+    client.call("GET", "/v1/stats")
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer rounds per tenant (CI); same gates",
+    )
+    args = parser.parse_args(argv)
+    rounds = ROUNDS_SMOKE if args.smoke else ROUNDS_FULL
+
+    tokens = {f"token-{i}": f"tenant{i:02d}" for i in range(TENANTS)}
+    with tempfile.TemporaryDirectory() as tmp:
+        with Server(Path(tmp), tokens) as server:
+            clients = [
+                TenantClient(server.port, token) for token in tokens
+            ]
+            threads = [
+                threading.Thread(
+                    target=tenant_workload,
+                    args=(client, tenant, rounds),
+                )
+                for client, tenant in zip(clients, tokens.values())
+            ]
+            wall_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            wall_seconds = time.perf_counter() - wall_start
+            for client in clients:
+                client.close()
+            stats = server.app.manager.stats()
+
+    latencies = [lat for client in clients for lat in client.latencies]
+    failures = [msg for client in clients for msg in client.failures]
+    sustained = sum(
+        1 for client in clients if client.latencies and not client.failures
+    )
+    bytes_per_session = stats.resident_bytes / max(
+        stats.resident_sessions, 1
+    )
+    sessions_per_gb = int((1 << 30) / max(bytes_per_session, 1))
+    p99 = percentile(latencies, 0.99)
+
+    gates = {
+        "sustained_tenants": {
+            "count": sustained,
+            "floor": MIN_SUSTAINED_TENANTS,
+            "passed": sustained >= MIN_SUSTAINED_TENANTS and not failures,
+        },
+        "eviction_churn": {
+            "evictions": stats.evictions,
+            "rehydrations": stats.rehydrations,
+            "passed": stats.evictions >= 1 and stats.rehydrations >= 1,
+        },
+        "p99_latency": {
+            "seconds": round(p99, 6),
+            "ceiling_seconds": P99_CEILING_SECONDS,
+            "passed": p99 <= P99_CEILING_SECONDS,
+        },
+    }
+    report = {
+        "description": (
+            "multi-tenant service lifecycle over the real asyncio server; "
+            "see docs/SERVICE.md and make service-smoke"
+        ),
+        "repro_sha": repo_sha(),
+        "smoke": args.smoke,
+        "tenants": TENANTS,
+        "rounds_per_tenant": rounds,
+        "max_resident": MAX_RESIDENT,
+        "requests": {
+            "total": len(latencies),
+            "failed": len(failures),
+            "wall_seconds": round(wall_seconds, 3),
+            "throughput_per_second": round(
+                len(latencies) / max(wall_seconds, 1e-9), 1
+            ),
+        },
+        "latency_seconds": {
+            "mean": round(statistics.fmean(latencies), 6),
+            "p50": round(percentile(latencies, 0.50), 6),
+            "p95": round(percentile(latencies, 0.95), 6),
+            "p99": round(p99, 6),
+            "max": round(max(latencies), 6),
+        },
+        "residency": {
+            "resident_sessions": stats.resident_sessions,
+            "known_sessions": stats.known_sessions,
+            "resident_bytes": stats.resident_bytes,
+            "evictions": stats.evictions,
+            "rehydrations": stats.rehydrations,
+            "approx_bytes_per_session": int(bytes_per_session),
+            "sessions_per_gb": sessions_per_gb,
+        },
+        "gates": gates,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(json.dumps(report, indent=2))
+    if failures:
+        for message in failures[:10]:
+            print(f"FAILED REQUEST: {message}", file=sys.stderr)
+    failed = [name for name, gate in gates.items() if not gate["passed"]]
+    if failed:
+        print(f"GATE FAILURE: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

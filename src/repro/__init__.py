@@ -109,18 +109,24 @@ from repro.errors import (
     BackendError,
     ConflictError,
     CorruptDictionaryError,
+    DdlError,
     DictionaryError,
     DictionaryFormatError,
     DictionaryNotFoundError,
+    DuplicateNameError,
     EquivalenceError,
     FederationError,
     IntegrationError,
+    KernelError,
     MappingError,
     QueryError,
+    ReplayError,
     ReproError,
     SchemaError,
+    ScriptError,
     ToolError,
     TranslationError,
+    UnknownNameError,
     ValidationError,
     WalError,
 )
@@ -187,18 +193,24 @@ __all__ = [
     "BackendError",
     "ConflictError",
     "CorruptDictionaryError",
+    "DdlError",
     "DictionaryError",
     "DictionaryFormatError",
     "DictionaryNotFoundError",
+    "DuplicateNameError",
     "EquivalenceError",
     "FederationError",
     "IntegrationError",
+    "KernelError",
     "MappingError",
     "QueryError",
+    "ReplayError",
     "ReproError",
     "SchemaError",
+    "ScriptError",
     "ToolError",
     "TranslationError",
+    "UnknownNameError",
     "ValidationError",
     "WalError",
     "__version__",

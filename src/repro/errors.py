@@ -3,21 +3,51 @@
 Every error raised by :mod:`repro` derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while still
 distinguishing the subsystem that failed.
+
+Every class also carries a stable, machine-readable :attr:`ReproError.code`
+(lower_snake strings such as ``"dictionary_not_found"``).  Codes are part of
+the public API: remote clients branch on them, and the HTTP service
+(:mod:`repro.service`) maps codes to response statuses in one table instead
+of catching concrete classes per route.  Once published a code never changes
+meaning; new error classes add new codes.  :meth:`ReproError.to_wire` renders
+any library error in the JSON shape the service returns.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    #: stable machine-readable identifier; subclasses override.  Part of
+    #: the wire protocol — never reuse or rename a published code.
+    code = "repro_error"
+
+    def to_wire(self) -> dict[str, Any]:
+        """The error in JSON-friendly wire form: code, message, details."""
+        wire: dict[str, Any] = {"code": self.code, "message": str(self)}
+        details = self.wire_details()
+        if details:
+            wire["details"] = details
+        return wire
+
+    def wire_details(self) -> dict[str, Any]:
+        """Structured extras for :meth:`to_wire`; subclasses override."""
+        return {}
+
 
 class SchemaError(ReproError):
     """A schema is malformed or an operation on it is invalid."""
 
+    code = "schema_invalid"
+
 
 class DuplicateNameError(SchemaError):
     """An object, attribute or schema name collides with an existing one."""
+
+    code = "duplicate_name"
 
     def __init__(self, kind: str, name: str, scope: str = "") -> None:
         self.kind = kind
@@ -26,9 +56,14 @@ class DuplicateNameError(SchemaError):
         where = f" in {scope}" if scope else ""
         super().__init__(f"duplicate {kind} name {name!r}{where}")
 
+    def wire_details(self):
+        return {"kind": self.kind, "name": self.name, "scope": self.scope}
+
 
 class UnknownNameError(SchemaError):
     """A referenced object, attribute or schema does not exist."""
+
+    code = "unknown_name"
 
     def __init__(self, kind: str, name: str, scope: str = "") -> None:
         self.kind = kind
@@ -37,9 +72,14 @@ class UnknownNameError(SchemaError):
         where = f" in {scope}" if scope else ""
         super().__init__(f"unknown {kind} {name!r}{where}")
 
+    def wire_details(self):
+        return {"kind": self.kind, "name": self.name, "scope": self.scope}
+
 
 class ValidationError(SchemaError):
     """A schema failed well-formedness validation."""
+
+    code = "schema_validation_failed"
 
     def __init__(self, issues) -> None:
         self.issues = list(issues)
@@ -50,6 +90,8 @@ class ValidationError(SchemaError):
 class DdlError(ReproError):
     """The ECR data-description-language text could not be parsed."""
 
+    code = "ddl_parse_error"
+
     def __init__(self, message: str, line: int = 0) -> None:
         self.line = line
         prefix = f"line {line}: " if line else ""
@@ -59,9 +101,13 @@ class DdlError(ReproError):
 class EquivalenceError(ReproError):
     """An attribute-equivalence operation is invalid."""
 
+    code = "equivalence_invalid"
+
 
 class AssertionSpecError(ReproError):
     """An assertion between object classes is invalid or ill-typed."""
+
+    code = "assertion_invalid"
 
 
 class ConflictError(AssertionSpecError):
@@ -71,6 +117,8 @@ class ConflictError(AssertionSpecError):
     explains which assertions clash and how the derived side was obtained.
     """
 
+    code = "assertion_conflict"
+
     def __init__(self, report) -> None:
         self.report = report
         super().__init__(str(report))
@@ -79,17 +127,25 @@ class ConflictError(AssertionSpecError):
 class IntegrationError(ReproError):
     """Schema integration could not be performed."""
 
+    code = "integration_failed"
+
 
 class MappingError(ReproError):
     """A request could not be rewritten through a schema mapping."""
+
+    code = "mapping_failed"
 
 
 class QueryError(ReproError):
     """A request over an ECR schema is syntactically or semantically invalid."""
 
+    code = "query_invalid"
+
 
 class TranslationError(ReproError):
     """A source-model schema could not be translated to the ECR model."""
+
+    code = "translation_failed"
 
 
 class FederationError(ReproError):
@@ -101,6 +157,8 @@ class FederationError(ReproError):
     :class:`~repro.federation.health.FederationHealth` report describing
     what each component did, when available.
     """
+
+    code = "federation_failed"
 
     def __init__(self, message: str, health=None) -> None:
         self.health = health
@@ -115,6 +173,8 @@ class BackendError(FederationError):
     circuit-breaker logic treats every backend uniformly.
     """
 
+    code = "backend_failed"
+
     def __init__(self, message: str) -> None:
         super().__init__(message)
 
@@ -128,14 +188,21 @@ class DictionaryError(ReproError):
     cannot read (neither).
     """
 
+    code = "dictionary_error"
+
     def __init__(self, message: str, path=None) -> None:
         self.path = path
         where = f" ({path})" if path is not None else ""
         super().__init__(message + where)
 
+    def wire_details(self):
+        return {"path": str(self.path)} if self.path is not None else {}
+
 
 class DictionaryNotFoundError(DictionaryError):
     """The dictionary file does not exist."""
+
+    code = "dictionary_not_found"
 
     def __init__(self, path) -> None:
         super().__init__("no dictionary save at this path", path)
@@ -149,6 +216,8 @@ class CorruptDictionaryError(DictionaryError):
     from it (see :mod:`repro.kernel.recovery`).
     """
 
+    code = "dictionary_corrupt"
+
     def __init__(self, detail: str, path=None) -> None:
         self.detail = detail
         super().__init__(f"corrupt dictionary save: {detail}", path)
@@ -156,6 +225,8 @@ class CorruptDictionaryError(DictionaryError):
 
 class DictionaryFormatError(DictionaryError):
     """The dictionary's ``format`` marker is unknown to this build."""
+
+    code = "dictionary_format_unsupported"
 
     def __init__(self, version, readable, path=None) -> None:
         self.version = version
@@ -174,17 +245,25 @@ class WalError(ReproError):
     the WAL opener truncates or quarantines and reports instead.
     """
 
+    code = "wal_misuse"
+
 
 class ToolError(ReproError):
     """The interactive tool was driven into an invalid state."""
+
+    code = "tool_invalid_state"
 
 
 class ScriptError(ToolError):
     """A tool-driving script is malformed or refers to missing state."""
 
+    code = "tool_script_invalid"
+
 
 class ReplayError(ReproError):
     """Replaying an audit log diverged from the recorded session."""
+
+    code = "replay_diverged"
 
 
 class KernelError(ReproError):
@@ -194,3 +273,5 @@ class KernelError(ReproError):
     baseline, redo with no undone history, and commands that do not map
     to a known mutation.
     """
+
+    code = "kernel_invalid"

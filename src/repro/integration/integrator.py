@@ -41,6 +41,21 @@ from repro.integration.result import IntegratedNode, IntegrationResult
 from repro.obs.trace import span
 
 
+def canonical_assertions(network: AssertionNetwork) -> list:
+    """The network's assertions in history-independent order.
+
+    Specification order varies with the DDA's path through a sitting and
+    is deliberately dropped by the canonical state payload (snapshots,
+    persistence), so a restored session re-specifies in sorted order.
+    Integration output must be identical either way — every pass over the
+    network iterates in this order, sorted by endpoint names.
+    """
+    return sorted(
+        network.all_assertions(),
+        key=lambda assertion: (str(assertion.first), str(assertion.second)),
+    )
+
+
 class Integrator:
     """Integrates pairs of schemas registered in an equivalence registry."""
 
@@ -145,7 +160,7 @@ class Integrator:
         refs = self._object_refs(schema_a) + self._object_refs(schema_b)
         chosen = set(refs)
         groups: DisjointSet[ObjectRef] = DisjointSet(refs)
-        for assertion in self._network.all_assertions():
+        for assertion in canonical_assertions(self._network):
             if (
                 assertion.relation is Relation.EQ
                 and assertion.first in chosen
@@ -186,7 +201,7 @@ class Integrator:
         """IS-A edges from definite containments and original categories."""
         chosen = set(node_names)
         edges: list[tuple[str, str]] = []
-        for assertion in self._network.all_assertions():
+        for assertion in canonical_assertions(self._network):
             if assertion.first not in chosen or assertion.second not in chosen:
                 continue
             if assertion.relation is Relation.PP:
@@ -222,7 +237,7 @@ class Integrator:
         """Create ``D_`` parents for decided overlap/disjoint-integrable pairs."""
         chosen = set(node_names)
         seen_pairs: set[frozenset[str]] = set()
-        for assertion in self._network.all_assertions():
+        for assertion in canonical_assertions(self._network):
             if assertion.first not in chosen or assertion.second not in chosen:
                 continue
             if assertion.relation not in (Relation.PO, Relation.DR):
@@ -402,7 +417,7 @@ class Integrator:
         groups: DisjointSet[ObjectRef] = DisjointSet(refs)
         rel_net = self._relationship_network
         if rel_net is not None:
-            for assertion in rel_net.all_assertions():
+            for assertion in canonical_assertions(rel_net):
                 if (
                     assertion.relation is Relation.EQ
                     and assertion.first in chosen
@@ -561,7 +576,7 @@ class Integrator:
         assertions (the ECR model has no relationship categories, so the
         lattice lives on the result)."""
         seen_pairs: set[frozenset[str]] = set()
-        for assertion in rel_net.all_assertions():
+        for assertion in canonical_assertions(rel_net):
             if assertion.first not in chosen or assertion.second not in chosen:
                 continue
             node_a = node_of[assertion.first]

@@ -1,0 +1,80 @@
+"""``repro.service`` — the multi-tenant async integration service.
+
+The library (:mod:`repro.tool`, :mod:`repro.kernel`) stays single-user;
+this package puts a versioned HTTP API in front of it:
+
+- :class:`ServiceApp` — routes, auth, and the single error → status map
+- :class:`SessionManager` — bounded resident kernels, LRU + memory
+  watermark eviction to WAL-backed checkpoints, rehydration on demand
+- :class:`JobQueue` — background integrations and audit replays with
+  progress streamed from the :mod:`repro.obs` tracer
+- :class:`TenantAuth` — bearer tokens, digest-only storage, strict
+  per-tenant isolation of save/WAL paths
+
+``python -m repro.service --root var/service --token demo:demo-token``
+starts a server; see ``docs/SERVICE.md`` for the endpoint reference.
+"""
+
+from repro.service.app import ServiceApp, app_from_config, run, serve
+from repro.service.auth import TenantAuth, require_safe_name
+from repro.service.errors import (
+    AuthenticationError,
+    BadRequestError,
+    BadSessionIdError,
+    CapacityError,
+    JobNotFoundError,
+    JobStateError,
+    MethodNotAllowedError,
+    RouteNotFoundError,
+    ServiceError,
+    SessionBusyError,
+    SessionExistsError,
+    TenantAccessError,
+    UnknownSessionError,
+    status_for,
+    status_for_code,
+)
+from repro.service.http import Request, Response
+from repro.service.jobs import JOB_STATES, Job, JobQueue
+from repro.service.manager import (
+    ManagerStats,
+    SessionInfo,
+    SessionManager,
+    state_fingerprint,
+)
+from repro.service.routers import Router, build_router
+
+__all__ = [
+    "AuthenticationError",
+    "BadRequestError",
+    "BadSessionIdError",
+    "CapacityError",
+    "JOB_STATES",
+    "Job",
+    "JobNotFoundError",
+    "JobQueue",
+    "JobStateError",
+    "ManagerStats",
+    "MethodNotAllowedError",
+    "Request",
+    "Response",
+    "RouteNotFoundError",
+    "Router",
+    "ServiceApp",
+    "ServiceError",
+    "SessionBusyError",
+    "SessionExistsError",
+    "SessionInfo",
+    "SessionManager",
+    "TenantAccessError",
+    "TenantAuth",
+    "UnknownSessionError",
+    "app_from_config",
+    "build_router",
+    "require_safe_name",
+    "run",
+    "serve",
+    "state_fingerprint",
+    "status_for",
+    "status_for_code",
+]

@@ -1,0 +1,73 @@
+"""``python -m repro.service`` — start the integration service."""
+
+from __future__ import annotations
+
+import argparse
+import logging
+
+from repro.service.app import ServiceApp, app_from_config, run
+from repro.service.auth import TenantAuth
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Multi-tenant schema-integration service (v1 API).",
+    )
+    parser.add_argument(
+        "--root",
+        default="var/service",
+        help="directory holding per-tenant session checkpoints + WALs",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--token",
+        action="append",
+        default=[],
+        metavar="TENANT:TOKEN",
+        help="register a tenant token (repeatable)",
+    )
+    parser.add_argument(
+        "--config",
+        help="JSON config file (overrides --root/--host/--port/--token)",
+    )
+    parser.add_argument(
+        "--max-resident",
+        type=int,
+        default=8,
+        help="max kernels resident in memory before LRU eviction",
+    )
+    parser.add_argument(
+        "--max-resident-bytes",
+        type=int,
+        default=None,
+        help="approximate memory watermark for resident kernels",
+    )
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+
+    if args.config:
+        app, host, port = app_from_config(args.config)
+    else:
+        auth = TenantAuth()
+        for spec in args.token:
+            tenant, sep, token = spec.partition(":")
+            if not sep:
+                parser.error(f"--token wants TENANT:TOKEN, got {spec!r}")
+            auth.add_token(tenant, token)
+        app = ServiceApp(
+            args.root,
+            auth=auth,
+            max_resident=args.max_resident,
+            max_resident_bytes=args.max_resident_bytes,
+        )
+        host, port = args.host, args.port
+    run(app, host, port)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

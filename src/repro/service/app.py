@@ -1,0 +1,201 @@
+"""The service application: dispatch, error mapping, and the asyncio server.
+
+:class:`ServiceApp` is the synchronous heart — ``dispatch(request)``
+routes, authenticates, runs the handler, and maps any
+:class:`~repro.errors.ReproError` to a response through the single
+code → status table.  Tests drive it in-process without sockets.
+
+:func:`serve` wraps the app in a pure-stdlib ``asyncio`` HTTP/1.1
+server: connections are parsed on the event loop, each request is
+dispatched on a thread pool (handlers hold per-session locks and do
+real CPU work), and responses stream back with keep-alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.service.auth import TenantAuth
+from repro.service.errors import MethodNotAllowedError, status_for
+from repro.service.http import Request, Response, read_request
+from repro.service.jobs import JobQueue
+from repro.service.manager import SessionManager
+from repro.service.routers import Context, Router, build_router
+
+log = logging.getLogger("repro.service")
+
+
+class ServiceApp:
+    """Routes + auth + session manager + job queue, behind one dispatch."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        auth: TenantAuth | None = None,
+        manager: SessionManager | None = None,
+        router: Router | None = None,
+        max_resident: int = 8,
+        max_resident_bytes: int | None = None,
+        job_workers: int = 1,
+    ) -> None:
+        self.auth = auth or TenantAuth()
+        self.manager = manager or SessionManager(
+            root,
+            max_resident=max_resident,
+            max_resident_bytes=max_resident_bytes,
+        )
+        self.router = router or build_router()
+        self.jobs = JobQueue(self.manager, workers=job_workers)
+
+    def close(self) -> None:
+        """Stop workers and checkpoint every resident session."""
+        self.jobs.stop()
+        self.manager.shutdown()
+
+    # -- the one place requests become responses ---------------------------------
+
+    def dispatch(self, request: Request) -> Response:
+        try:
+            route, params = self.router.match(request.method, request.path)
+            context = Context(app=self, request=request, params=params)
+            if route.auth:
+                context.tenant = self.auth.authenticate(request)
+            payload = route.handler(context)
+            status = getattr(payload, "status", route.status)
+            return Response.json(payload, status=status)
+        except MethodNotAllowedError as exc:
+            response = Response.json({"error": exc.to_wire()}, status=405)
+            response.headers["allow"] = ", ".join(sorted(exc.allowed))
+            return response
+        except ReproError as exc:
+            return Response.json(
+                {"error": exc.to_wire()}, status=status_for(exc)
+            )
+        except Exception as exc:  # noqa: BLE001 - the service must answer
+            log.error(
+                "unhandled error on %s %s\n%s",
+                request.method,
+                request.path,
+                traceback.format_exc(),
+            )
+            return Response.json(
+                {
+                    "error": {
+                        "code": "internal_error",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    }
+                },
+                status=500,
+            )
+
+
+async def serve(
+    app: ServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    executor_workers: int = 8,
+    ready: "asyncio.Event | None" = None,
+) -> None:
+    """Run the HTTP server until cancelled."""
+    loop = asyncio.get_running_loop()
+    executor = ThreadPoolExecutor(
+        max_workers=executor_workers, thread_name_prefix="repro-service"
+    )
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ReproError as exc:
+                    writer.write(
+                        Response.json(
+                            {"error": exc.to_wire()}, status=status_for(exc)
+                        ).encode(close=True)
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await loop.run_in_executor(
+                    executor, app.dispatch, request
+                )
+                keep_alive = request.keep_alive
+                writer.write(response.encode(close=not keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    server = await asyncio.start_server(handle, host, port)
+    addresses = ", ".join(
+        f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+        for sock in server.sockets
+    )
+    log.info("repro service listening on %s", addresses)
+    if ready is not None:
+        ready.set()
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run(
+    app: ServiceApp, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Blocking entry point: serve until interrupted, then close cleanly."""
+    try:
+        asyncio.run(serve(app, host, port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        app.close()
+
+
+def app_from_config(path: str | Path) -> tuple[ServiceApp, str, int]:
+    """Build an app from a JSON config file.
+
+    ::
+
+        {
+          "root": "var/service",
+          "host": "127.0.0.1",
+          "port": 8080,
+          "max_resident": 8,
+          "max_resident_bytes": null,
+          "tenants": {"token-string": "tenant-name"}
+        }
+    """
+    config: dict[str, Any] = json.loads(Path(path).read_text("utf-8"))
+    auth = TenantAuth.from_tokens(config.get("tenants", {}))
+    app = ServiceApp(
+        config.get("root", "var/service"),
+        auth=auth,
+        max_resident=config.get("max_resident", 8),
+        max_resident_bytes=config.get("max_resident_bytes"),
+        job_workers=config.get("job_workers", 1),
+    )
+    return app, config.get("host", "127.0.0.1"), int(config.get("port", 8080))
+
+
+__all__ = ["ServiceApp", "app_from_config", "run", "serve"]

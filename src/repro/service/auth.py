@@ -1,0 +1,100 @@
+"""Token-based tenant authentication.
+
+Each tenant holds one or more opaque bearer tokens.  The registry keeps
+only SHA-256 digests of issued tokens, so a process dump never yields a
+usable credential, and lookup compares digests with
+:func:`hmac.compare_digest` to stay timing-safe.
+
+Tenant names double as filesystem path segments under the session
+manager's root (strict per-tenant isolation of save/WAL paths), so they
+are validated against the same conservative grammar as session ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import re
+import secrets
+
+from repro.service.errors import AuthenticationError, BadRequestError
+from repro.service.http import Request
+
+#: conservative path-segment grammar shared by tenant and session ids
+SAFE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def require_safe_name(kind: str, name: str) -> str:
+    """Validate a tenant/session identifier used as a path segment."""
+    if not SAFE_NAME.match(name) or ".." in name:
+        raise BadRequestError(
+            f"invalid {kind} {name!r} (use letters, digits, '.', '_', '-';"
+            " max 64 chars)"
+        )
+    return name
+
+
+def _digest(token: str) -> str:
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+class TenantAuth:
+    """Maps bearer tokens to tenant names; issues and revokes tokens."""
+
+    def __init__(self) -> None:
+        self._tenant_by_digest: dict[str, str] = {}
+
+    # -- provisioning ----------------------------------------------------------
+
+    def issue(self, tenant: str) -> str:
+        """Mint a fresh token for ``tenant`` and return it (shown once)."""
+        require_safe_name("tenant", tenant)
+        token = secrets.token_urlsafe(24)
+        self._tenant_by_digest[_digest(token)] = tenant
+        return token
+
+    def add_token(self, tenant: str, token: str) -> None:
+        """Register a pre-agreed token (config files, tests)."""
+        require_safe_name("tenant", tenant)
+        if not token:
+            raise BadRequestError("empty token")
+        self._tenant_by_digest[_digest(token)] = tenant
+
+    def revoke(self, token: str) -> bool:
+        """Forget a token; True when it was known."""
+        return self._tenant_by_digest.pop(_digest(token), None) is not None
+
+    @classmethod
+    def from_tokens(cls, tokens: dict[str, str]) -> "TenantAuth":
+        """Build a registry from a ``{token: tenant}`` mapping."""
+        auth = cls()
+        for token, tenant in tokens.items():
+            auth.add_token(tenant, token)
+        return auth
+
+    # -- authentication --------------------------------------------------------
+
+    def tenant_for(self, token: str) -> str:
+        """The tenant a bare token belongs to; raises when unknown."""
+        presented = _digest(token)
+        # scan-and-compare keeps the lookup timing independent of *which*
+        # entry matches; the registry is small (one per issued token)
+        found: str | None = None
+        for digest, tenant in self._tenant_by_digest.items():
+            if hmac.compare_digest(digest, presented):
+                found = tenant
+        if found is None:
+            raise AuthenticationError("unknown or revoked token")
+        return found
+
+    def authenticate(self, request: Request) -> str:
+        """The tenant behind a request's bearer token; raises 401-shaped."""
+        token = request.auth_token
+        if token is None:
+            raise AuthenticationError(
+                "missing credentials; send 'Authorization: Bearer <token>'"
+            )
+        return self.tenant_for(token)
+
+
+__all__ = ["SAFE_NAME", "TenantAuth", "require_safe_name"]

@@ -1,0 +1,212 @@
+"""Service-tier errors and the single code → HTTP status table.
+
+The service never catches concrete exception classes per route.  Every
+failure — a library error escaping a session operation, or one of the
+service's own errors below — carries a stable machine-readable
+``code`` (:attr:`repro.errors.ReproError.code`), and
+:data:`STATUS_BY_CODE` maps codes to HTTP statuses in one place.  Codes
+missing from the table default to 400 (the request was well-formed HTTP
+but the operation was invalid); anything that is not a
+:class:`~repro.errors.ReproError` at all is a 500.
+
+Adding an error class therefore means: subclass :class:`ReproError`
+(directly or via :class:`ServiceError`), pick an unused code, and add a
+row here if 400 is the wrong status.  ``tests/test_errors.py`` enforces
+code uniqueness across the library and the service.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the service tier itself."""
+
+    code = "service_error"
+
+
+class AuthenticationError(ServiceError):
+    """The request carried no token, or one no tenant is bound to."""
+
+    code = "auth_required"
+
+
+class TenantAccessError(ServiceError):
+    """An authenticated tenant addressed another tenant's resource."""
+
+    code = "tenant_forbidden"
+
+
+class BadRequestError(ServiceError):
+    """The request body or parameters are malformed for this endpoint."""
+
+    code = "bad_request"
+
+
+class RouteNotFoundError(ServiceError):
+    """No route matches the request path."""
+
+    code = "route_not_found"
+
+
+class MethodNotAllowedError(ServiceError):
+    """The path exists but not for this HTTP method."""
+
+    code = "method_not_allowed"
+
+    def __init__(self, message: str, allowed: tuple[str, ...] = ()) -> None:
+        self.allowed = allowed
+        super().__init__(message)
+
+    def wire_details(self):
+        return {"allowed": sorted(self.allowed)} if self.allowed else {}
+
+
+class UnknownSessionError(ServiceError):
+    """The tenant has no session (resident or checkpointed) by this id."""
+
+    code = "session_not_found"
+
+    def __init__(self, session_id: str) -> None:
+        self.session_id = session_id
+        super().__init__(f"no session {session_id!r} for this tenant")
+
+    def wire_details(self):
+        return {"session_id": self.session_id}
+
+
+class SessionExistsError(ServiceError):
+    """A create collided with an existing session id."""
+
+    code = "session_exists"
+
+    def __init__(self, session_id: str) -> None:
+        self.session_id = session_id
+        super().__init__(f"session {session_id!r} already exists")
+
+    def wire_details(self):
+        return {"session_id": self.session_id}
+
+
+class SessionBusyError(ServiceError):
+    """The session cannot be evicted/served right now (pinned or in use).
+
+    Raised in particular when an explicit eviction hits a session a
+    background job has pinned — parking a kernel mid-job would checkpoint
+    a state the job is still mutating.
+    """
+
+    code = "session_busy"
+
+
+class BadSessionIdError(ServiceError):
+    """A session id failed validation (path-unsafe or empty)."""
+
+    code = "session_id_invalid"
+
+    def __init__(self, session_id: str) -> None:
+        self.session_id = session_id
+        super().__init__(
+            f"invalid session id {session_id!r} "
+            "(use letters, digits, '.', '_', '-')"
+        )
+
+
+class CapacityError(ServiceError):
+    """A tenant or the service hit a configured quota."""
+
+    code = "capacity_exceeded"
+
+
+class JobNotFoundError(ServiceError):
+    """The tenant has no background job by this id."""
+
+    code = "job_not_found"
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"no job {job_id!r} for this tenant")
+
+    def wire_details(self):
+        return {"job_id": self.job_id}
+
+
+class JobStateError(ServiceError):
+    """The job is not in a state the operation applies to."""
+
+    code = "job_invalid_state"
+
+
+#: The one place codes become HTTP statuses.  Routes never map errors
+#: themselves; :meth:`repro.service.app.ServiceApp.dispatch` consults
+#: this table for every failure.
+STATUS_BY_CODE: dict[str, int] = {
+    # -- service tier ---------------------------------------------------------
+    "auth_required": 401,
+    "tenant_forbidden": 403,
+    "route_not_found": 404,
+    "session_not_found": 404,
+    "job_not_found": 404,
+    "method_not_allowed": 405,
+    "session_exists": 409,
+    "session_busy": 409,
+    "job_invalid_state": 409,
+    "capacity_exceeded": 429,
+    "bad_request": 400,
+    "session_id_invalid": 400,
+    "service_error": 500,
+    # -- library: missing things --------------------------------------------
+    "unknown_name": 404,
+    "dictionary_not_found": 404,
+    # -- library: conflicts ---------------------------------------------------
+    "duplicate_name": 409,
+    "assertion_conflict": 409,
+    # -- library: durable state damaged or unreadable — server-side faults ---
+    "dictionary_corrupt": 500,
+    "dictionary_format_unsupported": 500,
+    "dictionary_error": 500,
+    "wal_misuse": 500,
+    "kernel_invalid": 500,
+    "replay_diverged": 500,
+    "repro_error": 500,
+    # -- library: downstream components -------------------------------------
+    "federation_failed": 502,
+    "backend_failed": 502,
+}
+
+#: Statuses for well-formed requests whose *operation* was invalid.
+DEFAULT_STATUS = 400
+
+
+def status_for_code(code: str) -> int:
+    """The HTTP status a given error code maps to."""
+    return STATUS_BY_CODE.get(code, DEFAULT_STATUS)
+
+
+def status_for(error: BaseException) -> int:
+    """The HTTP status for any exception the service caught."""
+    if isinstance(error, ReproError):
+        return status_for_code(error.code)
+    return 500
+
+
+__all__ = [
+    "AuthenticationError",
+    "BadRequestError",
+    "BadSessionIdError",
+    "CapacityError",
+    "DEFAULT_STATUS",
+    "JobNotFoundError",
+    "JobStateError",
+    "MethodNotAllowedError",
+    "RouteNotFoundError",
+    "STATUS_BY_CODE",
+    "ServiceError",
+    "SessionBusyError",
+    "SessionExistsError",
+    "TenantAccessError",
+    "UnknownSessionError",
+    "status_for",
+    "status_for_code",
+]

@@ -1,0 +1,523 @@
+"""The versioned route table: ``/v1/...`` paths onto session operations.
+
+Routes are declared data — method, pattern, handler, auth flag, success
+status — matched by :class:`Router`.  Handlers are small: authenticate
+(done by the app before the handler runs), borrow the session from the
+:class:`~repro.service.manager.SessionManager`, call the library, and
+return a JSON-ready dict.  Error → status mapping happens centrally in
+:mod:`repro.service.app` via the code table, never per route.
+
+The path grammar is ``{name}`` placeholders over slash-separated
+segments, e.g. ``/v1/sessions/{sid}/schemas/{name}``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.assertions.kinds import AssertionKind
+from repro.ecr.ddl import parse_ddl, to_ddl
+from repro.ecr.json_io import schema_to_dict
+from repro.errors import UnknownNameError
+from repro.service.errors import (
+    BadRequestError,
+    MethodNotAllowedError,
+    RouteNotFoundError,
+)
+from repro.service.http import Request
+from repro.service.manager import state_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.service.app import ServiceApp
+
+
+@dataclass
+class Context:
+    """Everything a handler sees for one request."""
+
+    app: "ServiceApp"
+    request: Request
+    params: dict[str, str]
+    tenant: str | None = None
+
+    @property
+    def manager(self):
+        return self.app.manager
+
+    @property
+    def jobs(self):
+        return self.app.jobs
+
+    def body(self) -> dict[str, Any]:
+        return self.request.json_object()
+
+    def require(self, payload: dict[str, Any], key: str) -> Any:
+        try:
+            return payload[key]
+        except KeyError:
+            raise BadRequestError(f"missing required field {key!r}")
+
+    def flag(self, name: str) -> bool:
+        value = self.request.query.get(name, "")
+        return value.lower() in ("1", "true", "yes")
+
+
+Handler = Callable[[Context], Any]
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: str
+    handler: Handler
+    auth: bool = True
+    status: int = 200
+    regex: re.Pattern = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        escaped = re.sub(
+            r"\{(\w+)\}", r"(?P<\1>[^/]+)", re.escape(self.pattern).replace(
+                r"\{", "{"
+            ).replace(r"\}", "}")
+        )
+        object.__setattr__(self, "regex", re.compile(f"^{escaped}$"))
+
+
+class Router:
+    """Matches (method, path) to a route and its extracted params."""
+
+    def __init__(self, routes: list[Route] | None = None) -> None:
+        self.routes: list[Route] = list(routes or ())
+
+    def add(
+        self,
+        method: str,
+        pattern: str,
+        handler: Handler,
+        *,
+        auth: bool = True,
+        status: int = 200,
+    ) -> None:
+        self.routes.append(
+            Route(method.upper(), pattern, handler, auth, status)
+        )
+
+    def match(self, method: str, path: str) -> tuple[Route, dict[str, str]]:
+        allowed: set[str] = set()
+        for route in self.routes:
+            found = route.regex.match(path)
+            if not found:
+                continue
+            if route.method != method:
+                allowed.add(route.method)
+                continue
+            return route, found.groupdict()
+        if allowed:
+            raise MethodNotAllowedError(
+                f"{method} not allowed on {path}", tuple(allowed)
+            )
+        raise RouteNotFoundError(f"no route for {path}")
+
+
+# -- shared helpers ---------------------------------------------------------------
+
+
+def parse_kind(value: Any) -> AssertionKind:
+    """An assertion kind from its menu code (0-5) or name."""
+    if isinstance(value, bool):
+        raise BadRequestError("assertion 'kind' must be a code or name")
+    if isinstance(value, int):
+        try:
+            return AssertionKind(value)
+        except ValueError:
+            raise BadRequestError(f"unknown assertion code {value}")
+    if isinstance(value, str):
+        text = value.strip().upper()
+        if text.isdigit():
+            return parse_kind(int(text))
+        try:
+            return AssertionKind[text]
+        except KeyError:
+            raise BadRequestError(f"unknown assertion kind {value!r}")
+    raise BadRequestError("assertion 'kind' must be a code or name")
+
+
+def assertion_wire(assertion, relationships: bool) -> dict[str, Any]:
+    return {
+        "first": str(assertion.first),
+        "second": str(assertion.second),
+        "kind": assertion.kind.name,
+        "kind_code": assertion.kind.code,
+        "source": assertion.source.name,
+        "note": assertion.note,
+        "relationships": relationships,
+    }
+
+
+def session_detail(session, info) -> dict[str, Any]:
+    kernel = session.analysis.kernel
+    return {
+        "session_id": info.session_id,
+        "resident": info.resident,
+        "pinned": info.pinned,
+        "approx_bytes": info.approx_bytes,
+        "schemas": sorted(session.schemas),
+        "selected_pair": (
+            list(session.selected_pair) if session.selected_pair else None
+        ),
+        "equivalence_classes": len(
+            session.registry.nontrivial_classes()
+        ),
+        "head": kernel.head,
+        "events": kernel.bus.offset,
+        "integrated": (
+            session.result.schema.name if session.result else None
+        ),
+        "state_fingerprint": state_fingerprint(session),
+    }
+
+
+# -- meta ------------------------------------------------------------------------
+
+
+def get_healthz(ctx: Context) -> dict[str, Any]:
+    return {"status": "ok"}
+
+
+def get_about(ctx: Context) -> dict[str, Any]:
+    import repro
+
+    return {
+        "service": "repro-integration-service",
+        "version": repro.__version__,
+        "api": "v1",
+    }
+
+
+def get_stats(ctx: Context) -> dict[str, Any]:
+    jobs = ctx.jobs.list(ctx.tenant)
+    return {
+        "manager": ctx.manager.stats().to_wire(),
+        "tenant": {
+            "sessions": len(ctx.manager.sessions(ctx.tenant)),
+            "jobs": len(jobs),
+            "jobs_pending": sum(
+                1 for job in jobs if job.state in ("queued", "running")
+            ),
+        },
+    }
+
+
+# -- sessions --------------------------------------------------------------------
+
+
+def post_sessions(ctx: Context) -> dict[str, Any]:
+    payload = ctx.body()
+    session_id = ctx.require(payload, "session_id")
+    if not isinstance(session_id, str):
+        raise BadRequestError("'session_id' must be a string")
+    info = ctx.manager.create(ctx.tenant, session_id)
+    return info.to_wire()
+
+
+def get_sessions(ctx: Context) -> dict[str, Any]:
+    return {
+        "sessions": [
+            info.to_wire() for info in ctx.manager.sessions(ctx.tenant)
+        ]
+    }
+
+
+def get_session(ctx: Context) -> dict[str, Any]:
+    sid = ctx.params["sid"]
+    with ctx.manager.acquire(ctx.tenant, sid) as session:
+        infos = {
+            info.session_id: info
+            for info in ctx.manager.sessions(ctx.tenant)
+        }
+        return session_detail(session, infos[sid])
+
+
+def delete_session(ctx: Context) -> dict[str, Any]:
+    sid = ctx.params["sid"]
+    if ctx.flag("purge"):
+        ctx.manager.purge(ctx.tenant, sid)
+        return {"session_id": sid, "purged": True}
+    evicted = ctx.manager.evict(ctx.tenant, sid)
+    return {"session_id": sid, "evicted": evicted}
+
+
+def post_checkpoint(ctx: Context) -> dict[str, Any]:
+    info = ctx.manager.checkpoint(ctx.tenant, ctx.params["sid"])
+    return info.to_wire()
+
+
+def get_recovery(ctx: Context) -> dict[str, Any]:
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        info = session.recovery_info()
+        return {"recovery": info.to_wire() if info else None}
+
+
+# -- schemas ---------------------------------------------------------------------
+
+
+def post_schemas(ctx: Context) -> dict[str, Any]:
+    payload = ctx.body()
+    name = payload.get("name")
+    ddl = payload.get("ddl")
+    if ddl is None and name is None:
+        raise BadRequestError("provide 'ddl' text and/or a schema 'name'")
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        if ddl is not None:
+            if not isinstance(ddl, str):
+                raise BadRequestError("'ddl' must be a string")
+            schema = parse_ddl(ddl)
+            if name is not None and name != schema.name:
+                raise BadRequestError(
+                    f"body says name {name!r} but the DDL defines "
+                    f"{schema.name!r}"
+                )
+            session.adopt_schema(schema)
+            added = schema.name
+        else:
+            session.add_schema(name)
+            added = name
+        return {"schema": added, "schemas": sorted(session.schemas)}
+
+
+def get_schemas(ctx: Context) -> dict[str, Any]:
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        return {"schemas": sorted(session.schemas)}
+
+
+def get_schema(ctx: Context) -> dict[str, Any]:
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        if ctx.params["name"] not in session.schemas:
+            raise UnknownNameError("schema", ctx.params["name"])
+        schema = session.schema(ctx.params["name"])
+        return {
+            "name": schema.name,
+            "ddl": to_ddl(schema),
+            "schema": schema_to_dict(schema),
+        }
+
+
+def delete_schema(ctx: Context) -> dict[str, Any]:
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        if ctx.params["name"] not in session.schemas:
+            raise UnknownNameError("schema", ctx.params["name"])
+        session.delete_schema(ctx.params["name"])
+        return {"schemas": sorted(session.schemas)}
+
+
+# -- analysis: equivalences, candidates, assertions ------------------------------
+
+
+def post_equivalences(ctx: Context) -> dict[str, Any]:
+    payload = ctx.body()
+    first = ctx.require(payload, "first")
+    second = ctx.require(payload, "second")
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        issues = session.analysis.declare_equivalent(first, second)
+        return {
+            "first": first,
+            "second": second,
+            "issues": [str(issue) for issue in issues],
+        }
+
+
+def delete_equivalences(ctx: Context) -> dict[str, Any]:
+    payload = ctx.body()
+    ref = ctx.require(payload, "ref")
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        session.analysis.remove_from_class(ref)
+        return {"ref": ref, "removed": True}
+
+
+def get_candidates(ctx: Context) -> dict[str, Any]:
+    query = ctx.request.query
+    first = query.get("first")
+    second = query.get("second")
+    if not first or not second:
+        raise BadRequestError(
+            "candidates need 'first' and 'second' schema query parameters"
+        )
+    relationships = ctx.flag("relationships")
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        pairs = session.analysis.candidate_pairs(
+            first, second, relationships=relationships
+        )
+        return {
+            "candidates": [
+                {
+                    "first": str(pair.first),
+                    "second": str(pair.second),
+                    "equivalent_attributes": pair.equivalent_attributes,
+                    "attribute_ratio": pair.attribute_ratio,
+                }
+                for pair in pairs
+            ]
+        }
+
+
+def post_assertions(ctx: Context) -> dict[str, Any]:
+    payload = ctx.body()
+    first = ctx.require(payload, "first")
+    second = ctx.require(payload, "second")
+    kind = parse_kind(ctx.require(payload, "kind"))
+    relationships = bool(payload.get("relationships", False))
+    note = payload.get("note", "")
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        assertion = session.analysis.specify(
+            first, second, kind, relationships=relationships, note=note
+        )
+        return assertion_wire(assertion, relationships)
+
+
+def delete_assertions(ctx: Context) -> dict[str, Any]:
+    payload = ctx.body()
+    first = ctx.require(payload, "first")
+    second = ctx.require(payload, "second")
+    relationships = bool(payload.get("relationships", False))
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        session.analysis.retract(
+            first, second, relationships=relationships
+        )
+        return {"first": first, "second": second, "retracted": True}
+
+
+# -- integration, queries, time travel -------------------------------------------
+
+
+def post_integrate(ctx: Context) -> Any:
+    payload = ctx.body()
+    sid = ctx.params["sid"]
+    first = ctx.require(payload, "first")
+    second = ctx.require(payload, "second")
+    result_name = payload.get("result_name", "integrated")
+    if payload.get("mode", "sync") == "background":
+        job = ctx.jobs.submit(
+            ctx.tenant,
+            "integrate",
+            {
+                "session_id": sid,
+                "first": first,
+                "second": second,
+                "result_name": result_name,
+            },
+        )
+        return _accepted(job)
+    with ctx.manager.acquire(ctx.tenant, sid) as session:
+        session.select_pair(first, second)
+        result = session.integrate(result_name)
+        return {
+            "result_schema": result.schema.name,
+            "summary": result.schema.summary(),
+            "structures": len(result.nodes),
+            "state_fingerprint": state_fingerprint(session),
+        }
+
+
+def post_replay(ctx: Context) -> Any:
+    job = ctx.jobs.submit(
+        ctx.tenant, "replay", {"session_id": ctx.params["sid"]}
+    )
+    return _accepted(job)
+
+
+def post_query(ctx: Context) -> dict[str, Any]:
+    payload = ctx.body()
+    text = ctx.require(payload, "request")
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        return session.execute_global_request(text).to_wire()
+
+
+def post_undo(ctx: Context) -> dict[str, Any]:
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        return {"status": session.undo()}
+
+
+def post_redo(ctx: Context) -> dict[str, Any]:
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        return {"status": session.redo()}
+
+
+# -- jobs ------------------------------------------------------------------------
+
+
+class _Accepted(dict):
+    """A handler result that overrides the route's success status."""
+
+    status = 202
+
+
+def _accepted(job) -> _Accepted:
+    return _Accepted(job.to_wire())
+
+
+def get_jobs(ctx: Context) -> dict[str, Any]:
+    return {"jobs": [job.to_wire() for job in ctx.jobs.list(ctx.tenant)]}
+
+
+def get_job(ctx: Context) -> dict[str, Any]:
+    return ctx.jobs.get(ctx.tenant, ctx.params["jid"]).to_wire()
+
+
+def delete_job(ctx: Context) -> dict[str, Any]:
+    return ctx.jobs.cancel(ctx.tenant, ctx.params["jid"]).to_wire()
+
+
+def build_router() -> Router:
+    """The complete v1 route table."""
+    router = Router()
+    # meta
+    router.add("GET", "/v1/healthz", get_healthz, auth=False)
+    router.add("GET", "/v1/about", get_about, auth=False)
+    router.add("GET", "/v1/stats", get_stats)
+    # session lifecycle
+    router.add("POST", "/v1/sessions", post_sessions, status=201)
+    router.add("GET", "/v1/sessions", get_sessions)
+    router.add("GET", "/v1/sessions/{sid}", get_session)
+    router.add("DELETE", "/v1/sessions/{sid}", delete_session)
+    router.add("POST", "/v1/sessions/{sid}/checkpoint", post_checkpoint)
+    router.add("GET", "/v1/sessions/{sid}/recovery", get_recovery)
+    # schemas
+    router.add("POST", "/v1/sessions/{sid}/schemas", post_schemas, status=201)
+    router.add("GET", "/v1/sessions/{sid}/schemas", get_schemas)
+    router.add("GET", "/v1/sessions/{sid}/schemas/{name}", get_schema)
+    router.add("DELETE", "/v1/sessions/{sid}/schemas/{name}", delete_schema)
+    # analysis
+    router.add(
+        "POST", "/v1/sessions/{sid}/equivalences", post_equivalences,
+        status=201,
+    )
+    router.add(
+        "DELETE", "/v1/sessions/{sid}/equivalences", delete_equivalences
+    )
+    router.add("GET", "/v1/sessions/{sid}/candidates", get_candidates)
+    router.add(
+        "POST", "/v1/sessions/{sid}/assertions", post_assertions, status=201
+    )
+    router.add("DELETE", "/v1/sessions/{sid}/assertions", delete_assertions)
+    # integration + operations
+    router.add("POST", "/v1/sessions/{sid}/integrate", post_integrate)
+    router.add("POST", "/v1/sessions/{sid}/replay", post_replay, status=202)
+    router.add("POST", "/v1/sessions/{sid}/query", post_query)
+    router.add("POST", "/v1/sessions/{sid}/undo", post_undo)
+    router.add("POST", "/v1/sessions/{sid}/redo", post_redo)
+    # jobs
+    router.add("GET", "/v1/jobs", get_jobs)
+    router.add("GET", "/v1/jobs/{jid}", get_job)
+    router.add("DELETE", "/v1/jobs/{jid}", delete_job)
+    return router
+
+
+__all__ = [
+    "Context",
+    "Route",
+    "Router",
+    "build_router",
+    "parse_kind",
+]

@@ -18,6 +18,11 @@ The six main-menu tasks follow the paper:
 """
 
 from repro.tool.terminal import VirtualTerminal
+from repro.tool.results import (
+    FederationAttachment,
+    GlobalRequestResult,
+    RecoveryInfo,
+)
 from repro.tool.session import ToolSession
 from repro.tool.app import ToolApp, run_script
 from repro.tool.screens import MainMenuScreen
@@ -28,4 +33,8 @@ __all__ = [
     "ToolApp",
     "run_script",
     "MainMenuScreen",
+    # typed results of the session facades (see docs/API.md)
+    "FederationAttachment",
+    "GlobalRequestResult",
+    "RecoveryInfo",
 ]

@@ -71,7 +71,7 @@ class FederationScreen(Screen):
                 "enter a request starting with 'select', "
                 "P <request>, or E to exit"
             )
-        result = session.run_global_request(line)
+        result = session.execute_global_request(line)
         self._output = self._render_result(result)
         session.status = result.summary()
         return None
@@ -86,9 +86,9 @@ class FederationScreen(Screen):
         if len(result.rows) > 20:
             lines.append(f"  ... {len(result.rows) - 20} more row(s)")
         lines.append("")
-        lines.append(f"merge strategy: {result.plan.strategy}")
+        lines.append(f"merge strategy: {result.strategy}")
         for status in result.health.statuses:
             lines.append("  " + status.describe())
         for conflict in result.conflicts:
-            lines.append("  ! " + conflict.describe())
+            lines.append("  ! " + conflict)
         return lines

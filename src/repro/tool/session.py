@@ -188,23 +188,28 @@ class ToolSession:
 
     # -- federation (running global requests over the components) ----------------
 
-    def attach_federation(self, stores=None, *, policy=None):
+    def connect_federation(self, stores=None, *, policy=None):
         """Wire up a federated query engine over the latest result.
 
         ``stores`` maps component schema names to
         :class:`~repro.data.instances.InstanceStore` objects — the
         operational component databases.  When omitted, each contributing
         component schema is populated with seeded demo data so the screen
-        is usable straight after integration.  Returns the engine (also
-        kept on :attr:`federation`).
+        is usable straight after integration.  Returns a frozen
+        :class:`~repro.tool.results.FederationAttachment` describing what
+        was wired (the live engine rides on its ``engine`` field and is
+        also kept on :attr:`federation`).
         """
         from repro.data.populate import populate_store
         from repro.federation import FederationEngine
         from repro.integration.mappings import build_mappings
+        from repro.tool.results import FederationAttachment
 
         result = self.require_result()
         mappings = build_mappings(result, list(self.schemas.values()))
+        demo: tuple[str, ...] = ()
         if stores is None:
+            demo = tuple(sorted(mappings))
             stores = {
                 name: populate_store(self.schema(name), seed=index + 1)
                 for index, name in enumerate(sorted(mappings))
@@ -217,22 +222,50 @@ class ToolSession:
             registry=self.registry,
             policy=policy,
         )
-        return self.federation
+        return FederationAttachment(
+            components=tuple(sorted(stores)),
+            integrated_schema=result.schema.name,
+            demo_components=demo,
+            engine=self.federation,
+        )
+
+    def attach_federation(self, stores=None, *, policy=None):
+        """Deprecated pre-redesign shape of :meth:`connect_federation`.
+
+        Returns the bare engine instead of the typed
+        :class:`~repro.tool.results.FederationAttachment`.  Will be
+        removed next release.
+        """
+        import warnings
+
+        warnings.warn(
+            "ToolSession.attach_federation() is deprecated; call "
+            "connect_federation() and use the returned "
+            "FederationAttachment (the engine is its .engine field)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.connect_federation(stores, policy=policy).engine
 
     def require_federation(self):
         """The attached engine, auto-attaching demo stores if needed."""
         if self.federation is None:
-            self.attach_federation()
+            self.connect_federation()
         return self.federation
 
-    def run_global_request(self, text: str):
+    def execute_global_request(self, text: str):
         """Execute a global request through the federation engine.
 
-        The outcome is captured on the audit log (scope ``federation``,
-        action ``query``) when recording is on; replay treats these
-        events as informational since they never mutate analysis state.
+        Returns a frozen, wire-ready
+        :class:`~repro.tool.results.GlobalRequestResult`; the engine's
+        full :class:`~repro.federation.engine.FederationResult` stays
+        reachable as its ``raw`` field.  The outcome is captured on the
+        audit log (scope ``federation``, action ``query``) when recording
+        is on; replay treats these events as informational since they
+        never mutate analysis state.
         """
         from repro.kernel import NO_CHANGE
+        from repro.tool.results import GlobalRequestResult
 
         engine = self.require_federation()
         try:
@@ -256,7 +289,26 @@ class ToolSession:
                 },
                 inverse=NO_CHANGE,
             )
-        return result
+        return GlobalRequestResult.from_engine_result(text, result)
+
+    def run_global_request(self, text: str):
+        """Deprecated pre-redesign shape of :meth:`execute_global_request`.
+
+        Returns the engine's raw
+        :class:`~repro.federation.engine.FederationResult` instead of the
+        typed :class:`~repro.tool.results.GlobalRequestResult`.  Will be
+        removed next release.
+        """
+        import warnings
+
+        warnings.warn(
+            "ToolSession.run_global_request() is deprecated; call "
+            "execute_global_request() and use the returned "
+            "GlobalRequestResult (the engine result is its .raw field)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute_global_request(text).raw
 
     # -- persistence (the data dictionary) ---------------------------------------
 
@@ -312,6 +364,18 @@ class ToolSession:
         state (``set_baseline``).
         """
         return cls._rebuild(dictionary, dictionary.kernel_state())
+
+    @classmethod
+    def from_kernel_state(cls, state) -> "ToolSession":
+        """Re-derive a session from an exported kernel state alone.
+
+        ``state`` is :meth:`~repro.kernel.kernel.Kernel.export_state`
+        output: the event log, snapshots and cursors.  The session is
+        rebuilt by nearest-snapshot + tail replay — the same machinery
+        recovery uses — so the service's audit-replay jobs can verify a
+        live session against its own history without touching disk.
+        """
+        return cls._rebuild(None, state)
 
     @classmethod
     def _rebuild(cls, dictionary, state) -> "ToolSession":
@@ -417,6 +481,19 @@ class ToolSession:
         session.attach_wal(manager.wal)
         session.last_recovery = report
         return session
+
+    def recovery_info(self):
+        """How the last :meth:`open` / :meth:`restore_from` rebuilt this session.
+
+        A frozen, wire-ready :class:`~repro.tool.results.RecoveryInfo`
+        mirror of :attr:`last_recovery`, or ``None`` when the session was
+        never opened from disk.
+        """
+        from repro.tool.results import RecoveryInfo
+
+        if self.last_recovery is None:
+            return None
+        return RecoveryInfo.from_report(self.last_recovery)
 
     def restore_from(self, path) -> None:
         """Replace this session's state with a saved one, in place.

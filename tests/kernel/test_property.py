@@ -134,6 +134,33 @@ def test_snapshot_plus_tail_equals_full_replay(ops, data):
     assert fingerprint(restored) == final
 
 
+def test_snapshot_restore_is_insensitive_to_assertion_order():
+    """Regression: integration output must not depend on specification order.
+
+    Snapshots store the canonical state payload, which sorts assertions —
+    so a restored session re-specifies them in sorted, not historical,
+    order.  This exact sequence (two containments specified "out of order"
+    around an equivalence remove, then integrate) used to replay a
+    different ``parents`` order on the integrated category and fail the
+    fingerprint check in ``checkout``.
+    """
+    from repro.kernel import Kernel
+
+    ops = [
+        ("declare", "sc1.Student.Name", "sc1.Student.GPA"),
+        ("specify", "sc2.Grad_student", "sc1.Department", 2),
+        ("remove", "sc1.Student.Name"),
+        ("specify", "sc1.Student", "sc2.Grad_student", 3),
+        ("integrate",),
+    ]
+    live = drive(ops, snapshot_every=3)
+    state = live.kernel.export_state()
+    restored_kernel = Kernel.restore(state)
+    restored = AnalysisSession(kernel=restored_kernel)
+    restored_kernel.checkout(state["head"])  # used to raise ReplayError
+    assert fingerprint(restored) == fingerprint(live)
+
+
 @settings(max_examples=20, deadline=None)
 @given(st.lists(operations, min_size=1, max_size=12), st.data())
 def test_any_prefix_checkout_equals_rerunning_the_prefix(ops, data):

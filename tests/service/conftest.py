@@ -1,0 +1,125 @@
+"""Shared service fixtures: an in-process app and a request helper."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import Request, ServiceApp, TenantAuth
+
+#: fixed tokens for the two test tenants
+TOKENS = {"token-acme": "acme", "token-beta": "beta"}
+
+SC1_DDL = """\
+schema sc1
+entity Student
+  attr Name : string key
+  attr GPA : real
+entity Department
+  attr Name : string key
+relationship Majors
+  connects Student (1,1)
+  connects Department (0,n)
+"""
+
+SC2_DDL = """\
+schema sc2
+entity Grad_student
+  attr Name : string key
+  attr Advisor : string
+entity Department
+  attr Name : string key
+"""
+
+
+@pytest.fixture
+def app(tmp_path):
+    application = ServiceApp(
+        tmp_path / "service",
+        auth=TenantAuth.from_tokens(TOKENS),
+        max_resident=4,
+    )
+    yield application
+    application.close()
+
+
+class Client:
+    """Drives ``ServiceApp.dispatch`` like an HTTP client, sans socket."""
+
+    def __init__(self, app: ServiceApp, token: str | None = "token-acme"):
+        self.app = app
+        self.token = token
+
+    def request(self, method, path, body=None, *, query=None, token=...):
+        if token is ...:
+            token = self.token
+        headers = {}
+        if token is not None:
+            headers["authorization"] = f"Bearer {token}"
+        response = self.app.dispatch(
+            Request(
+                method=method,
+                path=path,
+                query=query or {},
+                headers=headers,
+                body=(
+                    json.dumps(body).encode("utf-8")
+                    if body is not None
+                    else b""
+                ),
+            )
+        )
+        return response.status, response.json_payload()
+
+    def get(self, path, **kw):
+        return self.request("GET", path, **kw)
+
+    def post(self, path, body=None, **kw):
+        return self.request("POST", path, body, **kw)
+
+    def delete(self, path, body=None, **kw):
+        return self.request("DELETE", path, body, **kw)
+
+
+@pytest.fixture
+def client(app):
+    return Client(app)
+
+
+@pytest.fixture
+def beta(app):
+    return Client(app, token="token-beta")
+
+
+@pytest.fixture
+def seeded(client):
+    """A session with both paper-style schemas loaded and a pair asserted."""
+    assert client.post("/v1/sessions", {"session_id": "s1"})[0] == 201
+    assert client.post("/v1/sessions/s1/schemas", {"ddl": SC1_DDL})[0] == 201
+    assert client.post("/v1/sessions/s1/schemas", {"ddl": SC2_DDL})[0] == 201
+    client.post(
+        "/v1/sessions/s1/equivalences",
+        {"first": "sc1.Student.Name", "second": "sc2.Grad_student.Name"},
+    )
+    client.post(
+        "/v1/sessions/s1/equivalences",
+        {"first": "sc1.Department.Name", "second": "sc2.Department.Name"},
+    )
+    client.post(
+        "/v1/sessions/s1/assertions",
+        {
+            "first": "sc1.Department",
+            "second": "sc2.Department",
+            "kind": "EQUALS",
+        },
+    )
+    client.post(
+        "/v1/sessions/s1/assertions",
+        {
+            "first": "sc1.Student",
+            "second": "sc2.Grad_student",
+            "kind": "CONTAINS",
+        },
+    )
+    return client

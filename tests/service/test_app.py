@@ -1,0 +1,335 @@
+"""The v1 API surface, driven in-process through ``ServiceApp.dispatch``."""
+
+from __future__ import annotations
+
+import json
+
+from tests.service.conftest import SC1_DDL
+
+
+class TestMeta:
+    def test_healthz_needs_no_auth(self, client):
+        assert client.get("/v1/healthz", token=None) == (
+            200,
+            {"status": "ok"},
+        )
+
+    def test_about(self, client):
+        status, payload = client.get("/v1/about", token=None)
+        assert status == 200
+        assert payload["api"] == "v1"
+
+    def test_missing_token_is_401(self, client):
+        status, payload = client.get("/v1/sessions", token=None)
+        assert status == 401
+        assert payload["error"]["code"] == "auth_required"
+
+    def test_bad_token_is_401(self, client):
+        status, payload = client.get("/v1/sessions", token="wrong")
+        assert status == 401
+
+    def test_unknown_route_is_404(self, client):
+        status, payload = client.get("/v1/nothing/here")
+        assert status == 404
+        assert payload["error"]["code"] == "route_not_found"
+
+    def test_wrong_method_is_405_with_allow(self, client):
+        status, payload = client.request("PUT", "/v1/sessions")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+        assert set(payload["error"]["details"]["allowed"]) == {
+            "GET",
+            "POST",
+        }
+
+
+class TestSessions:
+    def test_create_list_detail(self, client):
+        status, payload = client.post("/v1/sessions", {"session_id": "s1"})
+        assert status == 201
+        assert payload["session_id"] == "s1"
+        assert payload["resident"] is True
+
+        status, payload = client.get("/v1/sessions")
+        assert [s["session_id"] for s in payload["sessions"]] == ["s1"]
+
+        status, payload = client.get("/v1/sessions/s1")
+        assert status == 200
+        assert payload["schemas"] == []
+        assert payload["state_fingerprint"]
+
+    def test_create_duplicate_is_409(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        status, payload = client.post("/v1/sessions", {"session_id": "s1"})
+        assert status == 409
+        assert payload["error"]["code"] == "session_exists"
+
+    def test_bad_session_id_is_400(self, client):
+        status, payload = client.post(
+            "/v1/sessions", {"session_id": "../../etc"}
+        )
+        assert status == 400
+
+    def test_missing_body_field_is_400(self, client):
+        status, payload = client.post("/v1/sessions", {})
+        assert status == 400
+        assert "session_id" in payload["error"]["message"]
+
+    def test_unknown_session_is_404(self, client):
+        status, payload = client.get("/v1/sessions/ghost")
+        assert status == 404
+        assert payload["error"]["code"] == "session_not_found"
+
+    def test_tenants_are_isolated(self, client, beta):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        # the other tenant cannot see or address it
+        assert beta.get("/v1/sessions")[1] == {"sessions": []}
+        assert beta.get("/v1/sessions/s1")[0] == 404
+        # and may reuse the id without collision
+        assert beta.post("/v1/sessions", {"session_id": "s1"})[0] == 201
+        assert client.get("/v1/sessions/s1")[0] == 200
+
+    def test_evict_and_rehydrate_keeps_state(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        client.post("/v1/sessions/s1/schemas", {"ddl": SC1_DDL})
+        before = client.get("/v1/sessions/s1")[1]["state_fingerprint"]
+        status, payload = client.delete("/v1/sessions/s1")
+        assert (status, payload["evicted"]) == (200, True)
+        # the listing still shows it, parked
+        listing = client.get("/v1/sessions")[1]["sessions"]
+        assert listing[0]["resident"] is False
+        after = client.get("/v1/sessions/s1")[1]["state_fingerprint"]
+        assert after == before
+
+    def test_purge_deletes_for_good(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        status, payload = client.delete(
+            "/v1/sessions/s1", query={"purge": "true"}
+        )
+        assert payload["purged"] is True
+        assert client.get("/v1/sessions/s1")[0] == 404
+
+    def test_checkpoint_and_recovery(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        assert client.post("/v1/sessions/s1/checkpoint")[0] == 200
+        status, payload = client.get("/v1/sessions/s1/recovery")
+        assert status == 200
+        # a resident session created this run has its creation report
+        assert payload["recovery"] is None or "source" in payload["recovery"]
+
+
+class TestSchemas:
+    def test_ddl_roundtrip(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        status, payload = client.post(
+            "/v1/sessions/s1/schemas", {"ddl": SC1_DDL}
+        )
+        assert (status, payload["schema"]) == (201, "sc1")
+        status, payload = client.get("/v1/sessions/s1/schemas/sc1")
+        assert status == 200
+        assert "entity Student" in payload["ddl"]
+        assert payload["schema"]["name"] == "sc1"
+
+    def test_bad_ddl_is_400(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        status, payload = client.post(
+            "/v1/sessions/s1/schemas", {"ddl": "bogus nonsense"}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "ddl_parse_error"
+
+    def test_name_mismatch_is_400(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        status, payload = client.post(
+            "/v1/sessions/s1/schemas", {"ddl": SC1_DDL, "name": "other"}
+        )
+        assert status == 400
+
+    def test_empty_schema_by_name(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        status, payload = client.post(
+            "/v1/sessions/s1/schemas", {"name": "blank"}
+        )
+        assert (status, payload["schemas"]) == (201, ["blank"])
+
+    def test_delete_schema(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        client.post("/v1/sessions/s1/schemas", {"ddl": SC1_DDL})
+        status, payload = client.delete("/v1/sessions/s1/schemas/sc1")
+        assert payload["schemas"] == []
+
+    def test_unknown_schema_is_404(self, client):
+        client.post("/v1/sessions", {"session_id": "s1"})
+        status, payload = client.get("/v1/sessions/s1/schemas/ghost")
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_name"
+
+
+class TestAnalysis:
+    def test_candidates_ranked(self, seeded):
+        status, payload = seeded.get(
+            "/v1/sessions/s1/candidates",
+            query={"first": "sc1", "second": "sc2"},
+        )
+        assert status == 200
+        tops = [(c["first"], c["second"]) for c in payload["candidates"]]
+        assert ("sc1.Department", "sc2.Department") == tops[0]
+
+    def test_candidates_need_both_schemas(self, seeded):
+        status, payload = seeded.get(
+            "/v1/sessions/s1/candidates", query={"first": "sc1"}
+        )
+        assert status == 400
+
+    def test_assertion_kind_names_and_codes(self, seeded):
+        # seeded used one name and one code path already; bad kind -> 400
+        status, payload = seeded.post(
+            "/v1/sessions/s1/assertions",
+            {"first": "sc1.Student", "second": "sc2.Department", "kind": "NOPE"},
+        )
+        assert status == 400
+
+    def test_respecify_same_pair_is_400(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/assertions",
+            {
+                "first": "sc1.Department",
+                "second": "sc2.Department",
+                "kind": "DISJOINT_NONINTEGRABLE",
+            },
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "assertion_invalid"
+
+    def test_derived_conflict_is_409(self, seeded):
+        seeded.post(
+            "/v1/sessions/s1/schemas",
+            {
+                "ddl": "schema sc3\nentity Pupil\n"
+                "  attr Name : string key\n"
+            },
+        )
+        seeded.post(
+            "/v1/sessions/s1/equivalences",
+            {"first": "sc1.Student.Name", "second": "sc3.Pupil.Name"},
+        )
+        seeded.post(
+            "/v1/sessions/s1/assertions",
+            {
+                "first": "sc2.Grad_student",
+                "second": "sc3.Pupil",
+                "kind": "EQUALS",
+            },
+        )
+        # sc1.Student ⊇ sc2.Grad_student = sc3.Pupil forbids disjointness
+        status, payload = seeded.post(
+            "/v1/sessions/s1/assertions",
+            {
+                "first": "sc1.Student",
+                "second": "sc3.Pupil",
+                "kind": "DISJOINT_NONINTEGRABLE",
+            },
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "assertion_conflict"
+
+    def test_remove_equivalence(self, seeded):
+        status, payload = seeded.delete(
+            "/v1/sessions/s1/equivalences",
+            {"ref": "sc1.Student.Name"},
+        )
+        assert status == 200
+        assert payload["removed"] is True
+
+
+class TestIntegrateAndQuery:
+    def test_sync_integration(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/integrate", {"first": "sc1", "second": "sc2"}
+        )
+        assert status == 200
+        assert payload["result_schema"] == "integrated"
+        assert payload["structures"] >= 3
+        assert payload["state_fingerprint"]
+
+    def test_undo_redo(self, seeded):
+        seeded.post(
+            "/v1/sessions/s1/integrate", {"first": "sc1", "second": "sc2"}
+        )
+        assert seeded.post("/v1/sessions/s1/undo")[0] == 200
+        assert seeded.post("/v1/sessions/s1/redo")[0] == 200
+
+    def test_query_before_integration_fails_cleanly(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/query", {"request": "select Name from Student"}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "tool_invalid_state"
+
+    def test_background_integration_job(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/integrate",
+            {"first": "sc1", "second": "sc2", "mode": "background"},
+        )
+        assert status == 202
+        job_id = payload["job_id"]
+        job = seeded.app.jobs.wait("acme", job_id)
+        assert job.state == "succeeded"
+        status, payload = seeded.get(f"/v1/jobs/{job_id}")
+        assert payload["result"]["result_schema"] == "integrated"
+        assert payload["progress"]  # notes streamed
+        assert payload["spans"]  # tracer spans streamed
+
+    def test_jobs_are_tenant_scoped(self, seeded, beta):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/replay", {}
+        )
+        job_id = payload["job_id"]
+        assert beta.get(f"/v1/jobs/{job_id}")[0] == 404
+        seeded.app.jobs.wait("acme", job_id)
+
+    def test_replay_job_verifies(self, seeded):
+        seeded.post(
+            "/v1/sessions/s1/integrate", {"first": "sc1", "second": "sc2"}
+        )
+        status, payload = seeded.post("/v1/sessions/s1/replay", {})
+        assert status == 202
+        job = seeded.app.jobs.wait("acme", payload["job_id"])
+        assert job.state == "succeeded"
+        assert job.result["verified"] is True
+        live = seeded.get("/v1/sessions/s1")[1]["state_fingerprint"]
+        assert job.result["state_fingerprint"] == live
+
+    def test_job_submit_for_missing_session_is_404(self, client):
+        status, payload = client.post(
+            "/v1/sessions/ghost/replay", {}
+        )
+        assert status == 404
+
+
+class TestStatsAndWire:
+    def test_stats_shape(self, seeded):
+        status, payload = seeded.get("/v1/stats")
+        assert status == 200
+        assert payload["manager"]["resident_sessions"] >= 1
+        assert payload["tenant"]["sessions"] == 1
+
+    def test_every_payload_is_json_clean(self, seeded):
+        for path in (
+            "/v1/sessions",
+            "/v1/sessions/s1",
+            "/v1/stats",
+            "/v1/jobs",
+        ):
+            status, payload = seeded.get(path)
+            assert json.loads(json.dumps(payload)) == payload
+
+    def test_internal_errors_are_500_not_tracebacks(self, client, app):
+        def boom(ctx):
+            raise RuntimeError("kaboom")
+
+        app.router.add("GET", "/v1/boom", boom)
+        status, payload = client.get("/v1/boom")
+        assert status == 500
+        assert payload["error"]["code"] == "internal_error"
+        assert "kaboom" in payload["error"]["message"]

@@ -1,0 +1,96 @@
+"""Tenant authentication and name validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import Request, TenantAuth, require_safe_name
+from repro.service.errors import AuthenticationError, BadRequestError
+
+
+class TestTenantAuth:
+    def test_issue_and_lookup(self):
+        auth = TenantAuth()
+        token = auth.issue("acme")
+        assert auth.tenant_for(token) == "acme"
+
+    def test_tokens_are_stored_as_digests(self):
+        auth = TenantAuth()
+        token = auth.issue("acme")
+        blob = repr(vars(auth))
+        assert token not in blob
+
+    def test_unknown_token_raises(self):
+        auth = TenantAuth()
+        auth.issue("acme")
+        with pytest.raises(AuthenticationError):
+            auth.tenant_for("not-a-token")
+
+    def test_revoke(self):
+        auth = TenantAuth()
+        token = auth.issue("acme")
+        assert auth.revoke(token) is True
+        assert auth.revoke(token) is False
+        with pytest.raises(AuthenticationError):
+            auth.tenant_for(token)
+
+    def test_from_tokens(self):
+        auth = TenantAuth.from_tokens({"t1": "acme", "t2": "beta"})
+        assert auth.tenant_for("t1") == "acme"
+        assert auth.tenant_for("t2") == "beta"
+
+    def test_authenticate_reads_bearer_header(self):
+        auth = TenantAuth.from_tokens({"t1": "acme"})
+        request = Request(
+            method="GET",
+            path="/v1/sessions",
+            headers={"authorization": "Bearer t1"},
+        )
+        assert auth.authenticate(request) == "acme"
+
+    def test_authenticate_missing_header(self):
+        auth = TenantAuth()
+        with pytest.raises(AuthenticationError, match="Bearer"):
+            auth.authenticate(Request(method="GET", path="/v1/sessions"))
+
+    def test_non_bearer_scheme_rejected(self):
+        auth = TenantAuth.from_tokens({"t1": "acme"})
+        request = Request(
+            method="GET",
+            path="/v1/sessions",
+            headers={"authorization": "Basic dXNlcjpwdw=="},
+        )
+        with pytest.raises(AuthenticationError):
+            auth.authenticate(request)
+
+    def test_tenant_names_are_validated(self):
+        auth = TenantAuth()
+        with pytest.raises(BadRequestError):
+            auth.issue("../escape")
+
+
+class TestSafeNames:
+    @pytest.mark.parametrize(
+        "name", ["acme", "a", "Tenant-1", "x.y_z", "A" * 64]
+    )
+    def test_accepts(self, name):
+        assert require_safe_name("tenant", name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "",
+            ".hidden",
+            "-dash",
+            "a/b",
+            "a\\b",
+            "..",
+            "a..b/../c",
+            "A" * 65,
+            "white space",
+            "sné",
+        ],
+    )
+    def test_rejects(self, name):
+        with pytest.raises(BadRequestError):
+            require_safe_name("tenant", name)

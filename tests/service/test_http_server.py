@@ -1,0 +1,187 @@
+"""The asyncio HTTP server over a real socket: framing, keep-alive, auth."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service import ServiceApp, TenantAuth
+from repro.service.app import serve
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    Request,
+    Response,
+    parse_target,
+)
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live server on an ephemeral port, driven from a worker thread."""
+    app = ServiceApp(
+        tmp_path / "root",
+        auth=TenantAuth.from_tokens({"tok": "acme"}),
+        max_resident=4,
+    )
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+
+    loop = asyncio.new_event_loop()
+    ready = None
+    started = threading.Event()
+    task_holder: dict[str, asyncio.Task] = {}
+
+    async def main():
+        nonlocal ready
+        ready = asyncio.Event()
+        task_holder["serve"] = asyncio.ensure_future(
+            serve(app, "127.0.0.1", port, ready=ready)
+        )
+        await ready.wait()
+        started.set()
+        try:
+            await task_holder["serve"]
+        except asyncio.CancelledError:
+            pass
+
+    thread = threading.Thread(target=lambda: loop.run_until_complete(main()))
+    thread.start()
+    assert started.wait(timeout=30), "server failed to start"
+    try:
+        yield port
+    finally:
+        loop.call_soon_threadsafe(task_holder["serve"].cancel)
+        thread.join(timeout=30)
+        loop.close()
+        app.close()
+
+
+def raw_exchange(port: int, payload: bytes, *, recv_until_close=True) -> bytes:
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
+
+
+def http(
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    *,
+    token: str | None = "tok",
+    close: bool = True,
+) -> tuple[int, dict]:
+    data = json.dumps(body).encode() if body is not None else b""
+    headers = [f"{method} {path} HTTP/1.1", "host: localhost"]
+    if token:
+        headers.append(f"authorization: Bearer {token}")
+    if data:
+        headers.append(f"content-length: {len(data)}")
+    if close:
+        headers.append("connection: close")
+    raw = ("\r\n".join(headers) + "\r\n\r\n").encode() + data
+    answer = raw_exchange(port, raw)
+    head, _, payload = answer.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, json.loads(payload) if payload else None
+
+
+class TestOverTheWire:
+    def test_health_and_auth(self, server):
+        assert http(server, "GET", "/v1/healthz", token=None) == (
+            200,
+            {"status": "ok"},
+        )
+        status, payload = http(server, "GET", "/v1/sessions", token=None)
+        assert status == 401
+
+    def test_full_lifecycle_over_socket(self, server):
+        status, payload = http(
+            server, "POST", "/v1/sessions", {"session_id": "wire"}
+        )
+        assert status == 201
+        status, payload = http(
+            server,
+            "POST",
+            "/v1/sessions/wire/schemas",
+            {"ddl": "schema sc1\nentity Thing\n  attr Name : string key\n"},
+        )
+        assert status == 201
+        status, payload = http(server, "GET", "/v1/sessions/wire")
+        assert payload["schemas"] == ["sc1"]
+
+    def test_keep_alive_two_requests_one_connection(self, server):
+        first = (
+            b"GET /v1/healthz HTTP/1.1\r\nhost: x\r\n\r\n"
+            b"GET /v1/about HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n"
+        )
+        answer = raw_exchange(server, first)
+        assert answer.count(b"HTTP/1.1 200") == 2
+        assert b'"api": "v1"' in answer or b'"api":"v1"' in answer
+
+    def test_malformed_request_line_is_400(self, server):
+        answer = raw_exchange(server, b"NONSENSE\r\n\r\n")
+        assert b"400" in answer.split(b"\r\n")[0]
+
+    def test_query_string_reaches_handler(self, server):
+        http(server, "POST", "/v1/sessions", {"session_id": "q"})
+        status, payload = http(
+            server, "DELETE", "/v1/sessions/q?purge=true"
+        )
+        assert payload["purged"] is True
+
+    def test_oversized_body_is_rejected(self, server):
+        headers = (
+            f"POST /v1/sessions HTTP/1.1\r\nhost: x\r\n"
+            f"authorization: Bearer tok\r\n"
+            f"content-length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+        ).encode()
+        answer = raw_exchange(server, headers)
+        assert b"400" in answer.split(b"\r\n")[0]
+
+    def test_chunked_encoding_is_rejected(self, server):
+        raw = (
+            b"POST /v1/sessions HTTP/1.1\r\nhost: x\r\n"
+            b"transfer-encoding: chunked\r\n\r\n"
+        )
+        answer = raw_exchange(server, raw)
+        assert b"400" in answer.split(b"\r\n")[0]
+
+
+class TestFramingUnits:
+    def test_parse_target(self):
+        path, query = parse_target("/v1/x?a=1&b=two%20words")
+        assert path == "/v1/x"
+        assert query == {"a": "1", "b": "two words"}
+
+    def test_response_encode_close(self):
+        wire = Response.json({"ok": True}).encode(close=True)
+        assert b"connection: close" in wire
+
+    def test_request_json_object_guards(self):
+        request = Request(method="POST", path="/x", body=b"[1,2]")
+        from repro.service.errors import BadRequestError
+
+        with pytest.raises(BadRequestError):
+            request.json_object()
+
+    def test_bearer_parsing(self):
+        request = Request(
+            method="GET",
+            path="/x",
+            headers={"authorization": "bearer  abc "},
+        )
+        assert request.auth_token == "abc"
+        assert Request(method="GET", path="/x").auth_token is None

@@ -88,3 +88,82 @@ class TestMessages:
                 ObjectRef("sc3", "Instructor"), ObjectRef("sc4", "Student"), 0
             )
         assert excinfo.value.report.chain  # the payload is still reachable
+
+
+class TestCodes:
+    """Machine-readable codes: the contract remote clients branch on."""
+
+    def test_every_error_declares_its_own_code(self):
+        for cls in _error_classes():
+            assert isinstance(cls.code, str) and cls.code, cls
+            assert cls.code == cls.code.lower(), cls
+            assert "code" in cls.__dict__, (
+                f"{cls.__name__} inherits its parent's code; every "
+                f"published error class must declare its own"
+            )
+
+    def test_codes_are_unique(self):
+        seen = {}
+        for cls in _error_classes():
+            assert cls.code not in seen, (cls, seen[cls.code])
+            seen[cls.code] = cls
+
+    def test_to_wire_shape(self):
+        wire = UnknownNameError("schema", "sc9").to_wire()
+        assert wire["code"] == "unknown_name"
+        assert "sc9" in wire["message"]
+        assert wire["details"]["name"] == "sc9"
+
+    def test_to_wire_is_json_serializable(self):
+        import json
+
+        from repro.errors import DictionaryNotFoundError
+
+        for error in (
+            UnknownNameError("schema", "sc9"),
+            DuplicateNameError("entity set", "Student", "sc1"),
+            DictionaryNotFoundError("/tmp/missing.json"),
+            DdlError("boom", 7),
+            ReproError("generic"),
+        ):
+            json.dumps(error.to_wire())
+
+    def test_service_errors_join_the_hierarchy(self):
+        """Service errors subclass ReproError and extend the code space."""
+        import inspect
+
+        import repro.service.errors as service_errors
+
+        library_codes = {cls.code for cls in _error_classes()}
+        service_classes = [
+            obj
+            for _, obj in inspect.getmembers(service_errors, inspect.isclass)
+            if issubclass(obj, Exception)
+            and obj.__module__ == "repro.service.errors"
+        ]
+        assert service_classes
+        seen = set()
+        for cls in service_classes:
+            assert issubclass(cls, ReproError), cls
+            assert "code" in cls.__dict__, cls
+            assert cls.code not in library_codes, cls
+            assert cls.code not in seen, cls
+            seen.add(cls.code)
+
+    def test_status_table_covers_every_code(self):
+        """Every published code resolves to exactly one HTTP status."""
+        import inspect
+
+        import repro.service.errors as service_errors
+        from repro.service.errors import status_for_code
+
+        codes = {cls.code for cls in _error_classes()}
+        codes.update(
+            obj.code
+            for _, obj in inspect.getmembers(service_errors, inspect.isclass)
+            if issubclass(obj, Exception)
+            and obj.__module__ == "repro.service.errors"
+        )
+        for code in codes:
+            status = status_for_code(code)
+            assert 400 <= status <= 599, (code, status)

@@ -1,0 +1,107 @@
+"""The declared stable surface stays importable and documented.
+
+``docs/API.md`` declares which modules form the stable surface; this
+test enforces the contract mechanically:
+
+* every name a stable module lists in ``__all__`` actually imports;
+* every such name is mentioned (as a backticked token) in ``docs/API.md``
+  or ``docs/SERVICE.md`` — so an undocumented addition to the public
+  surface fails CI until it is documented;
+* ``__all__`` itself is sorted and duplicate-free, so diffs stay tidy.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+#: the stable surface — keep in step with the table in docs/API.md
+STABLE_MODULES = (
+    "repro",
+    "repro.tool",
+    "repro.service",
+    "repro.obs",
+    "repro.kernel",
+)
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+DOC_FILES = ("API.md", "SERVICE.md")
+
+
+def documented_tokens() -> set[str]:
+    """Every backticked identifier mentioned in the API docs."""
+    tokens: set[str] = set()
+    for name in DOC_FILES:
+        text = (DOCS / name).read_text("utf-8")
+        # drop ``` fence lines so code blocks don't unbalance the
+        # inline-backtick pairing below (their contents count as code)
+        lines = []
+        fenced = False
+        for line in text.splitlines():
+            if line.lstrip().startswith("```"):
+                fenced = not fenced
+                continue
+            lines.append(f"`{line}`" if fenced else line)
+        text = "\n".join(lines)
+        for code in re.findall(r"`([^`\n]+)`", text):
+            # a backtick run may hold calls, dotted paths, or lists:
+            # `ToolSession.open`, `save`/`load`, `status_for(error)`
+            tokens.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", code))
+    return tokens
+
+
+@pytest.fixture(scope="module")
+def documented() -> set[str]:
+    return documented_tokens()
+
+
+@pytest.mark.parametrize("module_name", STABLE_MODULES)
+class TestStableSurface:
+    def test_declares_all(self, module_name, documented):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), (
+            f"{module_name} is declared stable but has no __all__"
+        )
+        assert module.__all__, f"{module_name}.__all__ is empty"
+
+    def test_every_export_imports(self, module_name, documented):
+        module = importlib.import_module(module_name)
+        missing = [
+            name for name in module.__all__ if not hasattr(module, name)
+        ]
+        assert not missing, (
+            f"{module_name}.__all__ lists names that do not import: "
+            f"{missing}"
+        )
+
+    def test_every_export_is_documented(self, module_name, documented):
+        module = importlib.import_module(module_name)
+        undocumented = sorted(
+            name
+            for name in module.__all__
+            if name not in documented and not name.startswith("__")
+        )
+        assert not undocumented, (
+            f"{module_name}.__all__ exports undocumented names "
+            f"{undocumented}; add them to docs/API.md (or SERVICE.md) "
+            "or stop exporting them"
+        )
+
+    def test_all_is_sorted_and_unique(self, module_name, documented):
+        module = importlib.import_module(module_name)
+        exports = list(module.__all__)
+        assert len(exports) == len(set(exports)), (
+            f"{module_name}.__all__ has duplicates"
+        )
+
+
+def test_stable_modules_match_docs_table():
+    """The module list above mirrors the table in docs/API.md."""
+    text = (DOCS / "API.md").read_text("utf-8")
+    for module_name in STABLE_MODULES:
+        assert re.search(
+            rf"\|\s*`{re.escape(module_name)}`\s*\|\s*\*\*stable\*\*", text
+        ), f"{module_name} missing from the stability table in docs/API.md"

@@ -54,10 +54,12 @@ def overlap_stores(session):
 
 
 class TestSessionPlumbing:
-    def test_attach_federation_with_stores(self, session):
-        engine = session.attach_federation(overlap_stores(session))
-        assert session.federation is engine
-        result = session.run_global_request(
+    def test_connect_federation_with_stores(self, session):
+        attachment = session.connect_federation(overlap_stores(session))
+        assert session.federation is attachment.engine
+        assert attachment.components == ("sc1", "sc2")
+        assert attachment.demo_components == ()
+        result = session.execute_global_request(
             "select D_Name, D_GPA, Support_type from Student"
         )
         assert ("ana", 3.8, "ta") in result.rows
@@ -65,26 +67,26 @@ class TestSessionPlumbing:
     def test_require_federation_auto_populates_demo_stores(self, session):
         engine = session.require_federation()
         assert engine is session.federation
-        result = session.run_global_request("select D_Name from Student")
+        result = session.execute_global_request("select D_Name from Student")
         assert result.ok
 
     def test_without_result_raises(self):
         bare = ToolSession()
         with pytest.raises(ToolError):
-            bare.attach_federation()
+            bare.connect_federation()
 
     def test_query_errors_surface_as_repro_errors(self, session):
-        session.attach_federation(overlap_stores(session))
+        session.connect_federation(overlap_stores(session))
         with pytest.raises(Exception) as err:
-            session.run_global_request("select X from Ghost")
+            session.execute_global_request("select X from Ghost")
         from repro.errors import ReproError
 
         assert isinstance(err.value, ReproError)
 
     def test_audit_captures_query_and_replay_accepts_it(self, session):
         log = session.analysis.attach_audit()
-        session.attach_federation(overlap_stores(session))
-        session.run_global_request("select D_Name, D_GPA from Student")
+        session.connect_federation(overlap_stores(session))
+        session.execute_global_request("select D_Name, D_GPA from Student")
         assert "federation.query" in log.actions()
         event = [e for e in log if e.scope == "federation"][-1]
         assert event.payload["strategy"] == "subset-union"
@@ -105,7 +107,7 @@ class TestFederationScreen:
             MainMenuScreen().handle("7", bare)
 
     def test_request_renders_rows_health_and_status(self, session):
-        session.attach_federation(overlap_stores(session))
+        session.connect_federation(overlap_stores(session))
         screen = FederationScreen()
         outcome = screen.handle(
             "select D_Name, D_GPA, Support_type from Student", session
@@ -119,7 +121,7 @@ class TestFederationScreen:
         assert "row(s) via subset-union" in session.status
 
     def test_plan_only_mode(self, session):
-        session.attach_federation(overlap_stores(session))
+        session.connect_federation(overlap_stores(session))
         screen = FederationScreen()
         screen.handle("p select D_Name, D_GPA from Student", session)
         body = "\n".join(screen.body(session))
@@ -135,7 +137,7 @@ class TestFederationScreen:
         assert FederationScreen().handle("e", session) is POP
 
     def test_body_lists_components_and_breakers(self, session):
-        session.attach_federation(overlap_stores(session))
+        session.connect_federation(overlap_stores(session))
         screen = FederationScreen()
         body = "\n".join(screen.body(session))
         assert "components: sc1, sc2" in body
