@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke service-smoke serve bench example
+.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke service-smoke telemetry-smoke serve bench example
 
 ## Tier-1: the full unit/integration/e2e suite.
 test:
@@ -63,6 +63,15 @@ crash-smoke:
 service-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q tests/service
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_service.py --smoke
+
+## Telemetry smoke: boot a real server, strictly parse a /v1/metrics
+## scrape, then drive a background integration while consuming both SSE
+## streams (kernel events + tracer spans) over live sockets — fails on
+## malformed exposition, zero streamed items, or a lost X-Request-Id.
+## Results land under the telemetry_smoke key of BENCH_obs.json.
+## See docs/OBSERVABILITY.md.
+telemetry-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/telemetry_smoke.py
 
 ## Run the integration service locally (demo token demo:demo-token).
 serve:

@@ -1,0 +1,355 @@
+"""Telemetry smoke gate: a real server, a real scrape, two live streams.
+
+Boots the service on an ephemeral port, then:
+
+1. scrapes ``GET /v1/metrics`` and strictly parses the Prometheus text
+   exposition (malformed output fails the gate);
+2. seeds a session with the paper's sc1/sc2 schemas and correlates one
+   ``X-Request-Id`` through a background integration job while consuming
+   **both** SSE streams (``…/events/stream`` and ``…/spans/stream``) to
+   completion over real sockets;
+3. fails on zero streamed spans, zero streamed kernel events, a lost
+   request id, or a second scrape that does not parse / does not show
+   the request traffic.
+
+Results are recorded under the ``telemetry_smoke`` key of
+``BENCH_obs.json``.
+
+Run: PYTHONPATH=src python benchmarks/telemetry_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.ecr.ddl import to_ddl  # noqa: E402
+from repro.obs.telemetry import parse_prometheus  # noqa: E402
+from repro.service import ServiceApp, TenantAuth  # noqa: E402
+from repro.service.app import serve  # noqa: E402
+from repro.workloads.university import build_sc1, build_sc2  # noqa: E402
+
+from record_incremental import repo_sha  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+TOKEN = "smoke-token"
+REQUEST_ID = "req-telemetry-smoke"
+
+
+class Server:
+    """The service on an ephemeral port, served from a worker thread."""
+
+    def __init__(self, root: Path) -> None:
+        self.app = ServiceApp(
+            root, auth=TenantAuth.from_tokens({TOKEN: "smoke"})
+        )
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            self.port = probe.getsockname()[1]
+        self._loop = asyncio.new_event_loop()
+        self._task: dict[str, asyncio.Task] = {}
+        started = threading.Event()
+
+        async def main() -> None:
+            ready = asyncio.Event()
+            self._task["serve"] = asyncio.ensure_future(
+                serve(self.app, "127.0.0.1", self.port, ready=ready)
+            )
+            await ready.wait()
+            started.set()
+            try:
+                await self._task["serve"]
+            except asyncio.CancelledError:
+                pass
+
+        self._thread = threading.Thread(
+            target=lambda: self._loop.run_until_complete(main())
+        )
+        self._thread.start()
+        if not started.wait(timeout=30):
+            raise RuntimeError("service failed to start")
+
+    def stop(self) -> None:
+        self._loop.call_soon_threadsafe(self._task["serve"].cancel)
+        self._thread.join(timeout=30)
+        self._loop.close()
+        self.app.close()
+
+
+def http(
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    *,
+    headers: dict[str, str] | None = None,
+    token: str | None = TOKEN,
+) -> tuple[int, bytes]:
+    data = json.dumps(body).encode("utf-8") if body is not None else b""
+    lines = [f"{method} {path} HTTP/1.1", "host: localhost"]
+    if token:
+        lines.append(f"authorization: Bearer {token}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    if data:
+        lines.append(f"content-length: {len(data)}")
+    lines.append("connection: close")
+    raw = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + data
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(raw)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    answer = b"".join(chunks)
+    head, _, payload = answer.partition(b"\r\n\r\n")
+    return int(head.split()[1]), payload
+
+
+class SseConsumer:
+    """Reads one SSE stream over a raw socket until the server closes it."""
+
+    def __init__(self, port: int, path: str) -> None:
+        self.path = path
+        self.body = b""
+        self.opened = threading.Event()
+        self._thread = threading.Thread(
+            target=self._consume, args=(port,), daemon=True
+        )
+        self._thread.start()
+
+    def _consume(self, port: int) -> None:
+        request = (
+            f"GET {self.path} HTTP/1.1\r\nhost: localhost\r\n"
+            f"authorization: Bearer {TOKEN}\r\n\r\n"
+        ).encode("latin-1")
+        with socket.create_connection(
+            ("127.0.0.1", port), timeout=120
+        ) as sock:
+            sock.sendall(request)
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                self.body += chunk
+                if b": stream open" in self.body:
+                    self.opened.set()
+
+    def frames(self, timeout: float = 120.0) -> list[dict]:
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(f"stream {self.path} did not terminate")
+        _, _, payload = self.body.partition(b"\r\n\r\n")
+        frames = []
+        for block in payload.decode("utf-8").split("\n\n"):
+            block = block.strip()
+            if not block or block.startswith(":"):
+                continue
+            frame: dict = {}
+            for line in block.splitlines():
+                key, _, value = line.partition(": ")
+                frame[key] = value
+            if "data" in frame:
+                frame["data"] = json.loads(frame["data"])
+            frames.append(frame)
+        return frames
+
+
+def fail(message: str) -> int:
+    print(f"telemetry-smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as root:
+        server = Server(Path(root))
+        try:
+            return run(server)
+        finally:
+            server.stop()
+
+
+def run(server: Server) -> int:
+    port = server.port
+
+    # 1) first scrape: must be valid exposition text
+    status, body = http(port, "GET", "/v1/metrics", token=None)
+    if status != 200:
+        return fail(f"/v1/metrics answered {status}")
+    try:
+        first_scrape = parse_prometheus(body.decode("utf-8"))
+    except ValueError as exc:
+        return fail(f"first scrape is malformed: {exc}")
+
+    # 2) seed a session with the paper schemas + the canonical DDA calls
+    steps = [
+        ("POST", "/v1/sessions", {"session_id": "s1"}),
+        ("POST", "/v1/sessions/s1/schemas", {"ddl": to_ddl(build_sc1())}),
+        ("POST", "/v1/sessions/s1/schemas", {"ddl": to_ddl(build_sc2())}),
+        (
+            "POST",
+            "/v1/sessions/s1/equivalences",
+            {
+                "first": "sc1.Student.Name",
+                "second": "sc2.Grad_student.Name",
+            },
+        ),
+        (
+            "POST",
+            "/v1/sessions/s1/equivalences",
+            {
+                "first": "sc1.Department.Name",
+                "second": "sc2.Department.Name",
+            },
+        ),
+        (
+            "POST",
+            "/v1/sessions/s1/assertions",
+            {
+                "first": "sc1.Department",
+                "second": "sc2.Department",
+                "kind": "EQUALS",
+            },
+        ),
+        (
+            "POST",
+            "/v1/sessions/s1/assertions",
+            {
+                "first": "sc1.Student",
+                "second": "sc2.Grad_student",
+                "kind": "CONTAINS",
+            },
+        ),
+    ]
+    for method, path, payload in steps:
+        status, body = http(port, method, path, payload)
+        if status >= 400:
+            return fail(f"{method} {path} answered {status}: {body!r}")
+
+    # 3) open both streams, then drive one background integration
+    events = SseConsumer(
+        port, "/v1/sessions/s1/events/stream?idle_s=3&timeout_s=90"
+    )
+    spans = SseConsumer(
+        port, "/v1/sessions/s1/spans/stream?idle_s=3&timeout_s=90"
+    )
+    for consumer in (events, spans):
+        if not consumer.opened.wait(timeout=30):
+            return fail(f"stream {consumer.path} never opened")
+
+    status, body = http(
+        port,
+        "POST",
+        "/v1/sessions/s1/integrate",
+        {"first": "sc1", "second": "sc2", "mode": "background"},
+        headers={"x-request-id": REQUEST_ID},
+    )
+    if status != 202:
+        return fail(f"background integrate answered {status}: {body!r}")
+    job = json.loads(body)
+    if job.get("request_id") != REQUEST_ID:
+        return fail(
+            f"job lost the request id: {job.get('request_id')!r}"
+        )
+    deadline = time.monotonic() + 60
+    while True:
+        status, body = http(port, "GET", f"/v1/jobs/{job['job_id']}")
+        state = json.loads(body)["state"]
+        if state in ("succeeded", "failed", "cancelled"):
+            break
+        if time.monotonic() > deadline:
+            return fail("background integration never finished")
+        time.sleep(0.1)
+    if state != "succeeded":
+        return fail(f"background integration {state}: {body!r}")
+
+    # 4) both streams must have carried real, correlated traffic
+    event_frames = [
+        frame["data"]
+        for frame in events.frames()
+        if frame.get("event") == "kernel-event"
+    ]
+    span_frames = [
+        frame["data"]
+        for frame in spans.frames()
+        if frame.get("event") == "span"
+    ]
+    if not event_frames:
+        return fail("events stream delivered zero kernel events")
+    if not span_frames:
+        return fail("spans stream delivered zero spans")
+    correlated_events = [
+        frame
+        for frame in event_frames
+        if frame["request_id"] == REQUEST_ID
+    ]
+    correlated_spans = [
+        frame
+        for frame in span_frames
+        if frame["request_id"] == REQUEST_ID
+    ]
+    if not correlated_events:
+        return fail("no kernel event carried the job's request id")
+    if not correlated_spans:
+        return fail("no span carried the job's request id")
+
+    # 5) second scrape: still valid, and the traffic is visible
+    status, body = http(port, "GET", "/v1/metrics", token=None)
+    try:
+        second_scrape = parse_prometheus(body.decode("utf-8"))
+    except ValueError as exc:
+        return fail(f"second scrape is malformed: {exc}")
+    requests_seen = sum(
+        value
+        for series, value in second_scrape.items()
+        if series.startswith("repro_http_requests_total{")
+    )
+    if requests_seen <= sum(
+        value
+        for series, value in first_scrape.items()
+        if series.startswith("repro_http_requests_total{")
+    ):
+        return fail("request counters did not advance between scrapes")
+    streamed = sum(
+        value
+        for series, value in second_scrape.items()
+        if series.startswith("repro_sse_events_total{")
+    )
+    if streamed <= 0:
+        return fail("SSE delivery counters stayed at zero")
+
+    record = {
+        "repro_sha": repo_sha(),
+        "request_id": REQUEST_ID,
+        "scrape_series": len(second_scrape),
+        "events_streamed": len(event_frames),
+        "spans_streamed": len(span_frames),
+        "correlated_events": len(correlated_events),
+        "correlated_spans": len(correlated_spans),
+    }
+    bench = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
+    bench["telemetry_smoke"] = record
+    OUTPUT.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(
+        "telemetry-smoke OK: "
+        f"{len(second_scrape)} series scraped, "
+        f"{len(event_frames)} kernel events + {len(span_frames)} spans "
+        f"streamed, request id {REQUEST_ID} joined "
+        f"{len(correlated_events)}/{len(correlated_spans)} of them"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

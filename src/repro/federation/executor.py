@@ -31,6 +31,7 @@ workers' timings become ``federation.component`` spans via
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -85,6 +86,8 @@ class _LegRun:
     error: str = ""
     start: float = 0.0
     end: float = 0.0
+    #: OS thread id of the worker that ran the leg (Chrome-trace ``tid``)
+    thread_id: int | None = None
 
 
 @dataclass
@@ -220,6 +223,7 @@ class FederationExecutor:
                 "federation.component",
                 run.start,
                 run.end,
+                thread_id=run.thread_id,
                 component=leg.schema,
                 backend=backend.name,
                 attempts=run.attempts,
@@ -249,7 +253,9 @@ class FederationExecutor:
         policy: ExecutionPolicy,
     ) -> _LegRun:
         """Worker body: attempt + retries. No shared state is touched."""
-        run = _LegRun(start=time.perf_counter())
+        run = _LegRun(
+            start=time.perf_counter(), thread_id=threading.get_ident()
+        )
         delay = policy.backoff
         for attempt in range(policy.retries + 1):
             run.attempts = attempt + 1

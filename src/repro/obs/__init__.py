@@ -37,6 +37,7 @@ from repro.obs.trace import (
     span,
     tracing,
     uninstall_tracer,
+    use_tracer,
 )
 
 __all__ = [
@@ -54,6 +55,17 @@ __all__ = [
     "span",
     "tracing",
     "uninstall_tracer",
+    "use_tracer",
+    # telemetry plane (lazy): Prometheus exposition, SSE streaming,
+    # request correlation
+    "RollingLatency",
+    "StreamHub",
+    "StreamSubscription",
+    "current_request_id",
+    "parse_prometheus",
+    "render_prometheus",
+    "set_request_id",
+    "sse_stream",
     # audit + replay (lazy; ``repro.obs.replay`` itself is the submodule —
     # import the function from it: ``from repro.obs.replay import replay``)
     "AuditEvent",
@@ -76,6 +88,14 @@ _LAZY = {
     "summarize": ("repro.obs.report", "summarize"),
     "render_text": ("repro.obs.report", "render_text"),
     "render_json": ("repro.obs.report", "render_json"),
+    "RollingLatency": ("repro.obs.telemetry", "RollingLatency"),
+    "StreamHub": ("repro.obs.telemetry", "StreamHub"),
+    "StreamSubscription": ("repro.obs.telemetry", "StreamSubscription"),
+    "current_request_id": ("repro.obs.telemetry", "current_request_id"),
+    "parse_prometheus": ("repro.obs.telemetry", "parse_prometheus"),
+    "render_prometheus": ("repro.obs.telemetry", "render_prometheus"),
+    "set_request_id": ("repro.obs.telemetry", "set_request_id"),
+    "sse_stream": ("repro.obs.telemetry", "sse_stream"),
 }
 
 

@@ -20,6 +20,7 @@ low-level engines can depend on it without import cycles.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, fields
 from typing import Iterable, Mapping, Protocol
 
@@ -30,21 +31,31 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    Thread-safe: the service dispatches request handlers on a thread
+    pool, so concurrent :meth:`inc` calls must not lose updates (``+=``
+    on an attribute is a read-modify-write, not atomic).  The engines'
+    hot-path work counters stay on the lock-free
+    :class:`AnalysisCounters` instead.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({self.name}={self.value})"
@@ -78,7 +89,7 @@ class Histogram:
     the propagation-step distributions the reports show.
     """
 
-    __slots__ = ("name", "buckets", "bucket_counts", "count", "total")
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total", "_lock")
 
     def __init__(
         self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
@@ -90,32 +101,36 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.buckets) + 1)
         self.count = 0
         self.total: float = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        self.bucket_counts = [0] * (len(self.buckets) + 1)
-        self.count = 0
-        self.total = 0
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+            self.count = 0
+            self.total = 0
 
     def snapshot(self) -> dict[str, object]:
         labels = [f"le_{bound:g}" for bound in self.buckets] + ["overflow"]
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "buckets": dict(zip(labels, self.bucket_counts)),
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "buckets": dict(zip(labels, self.bucket_counts)),
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Histogram({self.name}: n={self.count}, sum={self.total})"
@@ -141,21 +156,28 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._groups: dict[str, CounterGroup] = {}
+        self._lock = threading.Lock()
 
     # -- get-or-create accessors ---------------------------------------------
 
     def counter(self, name: str) -> Counter:
         metric = self._counters.get(name)
         if metric is None:
-            self._reserve(name)
-            metric = self._counters[name] = Counter(name)
+            with self._lock:
+                metric = self._counters.get(name)
+                if metric is None:
+                    self._reserve(name)
+                    metric = self._counters[name] = Counter(name)
         return metric
 
     def gauge(self, name: str) -> Gauge:
         metric = self._gauges.get(name)
         if metric is None:
-            self._reserve(name)
-            metric = self._gauges[name] = Gauge(name)
+            with self._lock:
+                metric = self._gauges.get(name)
+                if metric is None:
+                    self._reserve(name)
+                    metric = self._gauges[name] = Gauge(name)
         return metric
 
     def histogram(
@@ -163,10 +185,14 @@ class MetricsRegistry:
     ) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
-            self._reserve(name)
-            metric = self._histograms[name] = Histogram(
-                name, buckets if buckets is not None else DEFAULT_BUCKETS
-            )
+            with self._lock:
+                metric = self._histograms.get(name)
+                if metric is None:
+                    self._reserve(name)
+                    metric = self._histograms[name] = Histogram(
+                        name,
+                        buckets if buckets is not None else DEFAULT_BUCKETS,
+                    )
         return metric
 
     def _reserve(self, name: str) -> None:
@@ -187,34 +213,57 @@ class MetricsRegistry:
         attributes); the registry just folds ``group.snapshot()`` into its
         own snapshot and fans ``reset()`` out to it.
         """
-        self._reserve(prefix)
-        self._groups[prefix] = group
+        with self._lock:
+            self._reserve(prefix)
+            self._groups[prefix] = group
+
+    # -- iteration (the Prometheus renderer walks these) -----------------------
+
+    def counters(self) -> dict[str, Counter]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> dict[str, Gauge]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def histograms(self) -> dict[str, Histogram]:
+        with self._lock:
+            return dict(self._histograms)
+
+    def groups(self) -> dict[str, CounterGroup]:
+        with self._lock:
+            return dict(self._groups)
 
     # -- registry-wide operations ----------------------------------------------
 
     def snapshot(self) -> dict[str, object]:
         """Every metric value, flat, JSON-friendly, deterministic order."""
+        counters = self.counters()
+        gauges = self.gauges()
+        histograms = self.histograms()
+        groups = self.groups()
         data: dict[str, object] = {}
-        for name in sorted(self._counters):
-            data[name] = self._counters[name].value
-        for name in sorted(self._gauges):
-            data[name] = self._gauges[name].value
-        for name in sorted(self._histograms):
-            data[name] = self._histograms[name].snapshot()
-        for prefix in sorted(self._groups):
-            for field_name, value in self._groups[prefix].snapshot().items():
+        for name in sorted(counters):
+            data[name] = counters[name].value
+        for name in sorted(gauges):
+            data[name] = gauges[name].value
+        for name in sorted(histograms):
+            data[name] = histograms[name].snapshot()
+        for prefix in sorted(groups):
+            for field_name, value in groups[prefix].snapshot().items():
                 data[f"{prefix}.{field_name}"] = value
         return data
 
     def reset(self) -> None:
         """Zero every metric, including absorbed groups."""
-        for metric in self._counters.values():
+        for metric in self.counters().values():
             metric.reset()
-        for metric in self._gauges.values():
+        for metric in self.gauges().values():
             metric.reset()
-        for metric in self._histograms.values():
+        for metric in self.histograms().values():
             metric.reset()
-        for group in self._groups.values():
+        for group in self.groups().values():
             group.reset()
 
 

@@ -36,8 +36,10 @@ span stack — matching the tool's interaction model.
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.obs.metrics import AnalysisCounters
@@ -56,6 +58,7 @@ class Span:
         "attrs",
         "counter_deltas",
         "children_time",
+        "thread_id",
         "_counters_before",
         "_counters_live",
     )
@@ -68,6 +71,7 @@ class Span:
         depth: int,
         start: float,
         attrs: dict[str, Any],
+        thread_id: int | None = None,
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
@@ -76,6 +80,10 @@ class Span:
         self.start = start
         self.end = start
         self.attrs = attrs
+        #: OS-level id of the thread the span ran on (Chrome-trace ``tid``)
+        self.thread_id = (
+            thread_id if thread_id is not None else threading.get_ident()
+        )
         #: non-zero AnalysisCounters deltas across this span
         self.counter_deltas: dict[str, int] = {}
         #: total wall time spent inside direct child spans
@@ -163,6 +171,26 @@ class Tracer:
         self._stack: list[Span] = []
         self._next_id = 1
         self._clock = time.perf_counter
+        #: the process id stamped on Chrome-trace events
+        self.pid = os.getpid()
+        self._sinks: list[Callable[[Span], None]] = []
+
+    def add_sink(self, sink: Callable[[Span], None]) -> None:
+        """Call ``sink(span)`` for every span as it finishes.
+
+        This is the live-streaming hook: the service registers a sink
+        that fans finished spans out to SSE subscribers while a request
+        or background job is still running.  Sink errors are swallowed —
+        a slow or broken consumer must never fail the traced operation.
+        """
+        self._sinks.append(sink)
+
+    def _emit(self, record: Span) -> None:
+        for sink in self._sinks:
+            try:
+                sink(record)
+            except Exception:  # noqa: BLE001 - see add_sink
+                pass
 
     # -- span lifecycle --------------------------------------------------------
 
@@ -210,6 +238,8 @@ class Tracer:
         if self._stack:
             self._stack[-1].children_time += record.duration
         self.spans.append(record)
+        if self._sinks:
+            self._emit(record)
 
     def record_span(
         self,
@@ -218,6 +248,7 @@ class Tracer:
         end: float,
         *,
         parent: Span | None = None,
+        thread_id: int | None = None,
         **attrs: Any,
     ) -> Span:
         """Append an externally timed span.
@@ -229,7 +260,9 @@ class Tracer:
         are collected.  ``parent`` defaults to the innermost live span
         (the fan-out span, in that usage), and the recorded duration is
         charged to the parent's children time exactly as a nested
-        context-manager span would be.
+        context-manager span would be.  ``thread_id`` lets the caller
+        stamp the worker thread the span actually ran on (the Chrome
+        trace then draws fan-out legs on their own rows).
         """
         if parent is None and self._stack:
             parent = self._stack[-1]
@@ -240,12 +273,15 @@ class Tracer:
             parent.depth + 1 if parent is not None else 0,
             start,
             attrs,
+            thread_id=thread_id,
         )
         self._next_id += 1
         record.end = end
         if parent is not None:
             parent.children_time += record.duration
         self.spans.append(record)
+        if self._sinks:
+            self._emit(record)
         return record
 
     # -- queries ---------------------------------------------------------------
@@ -291,12 +327,15 @@ class Tracer:
         """The Chrome ``trace_event`` format (complete ``X`` events).
 
         Load the dumped JSON in ``chrome://tracing`` or Perfetto.
-        Timestamps are microseconds relative to the earliest span.
+        Timestamps are microseconds relative to the earliest span.  Each
+        event carries the real process id and the OS thread id the span
+        ran on, so thread-pool-dispatched service spans land on separate
+        rows instead of interleaving on one.
         """
         if not self.spans:
             return {"traceEvents": []}
         origin = min(span.start for span in self.spans)
-        events = []
+        events: list[dict[str, Any]] = []
         for span in sorted(self.spans, key=lambda s: (s.start, s.span_id)):
             args: dict[str, Any] = dict(span.attrs)
             args.update(span.counter_deltas)
@@ -306,9 +345,19 @@ class Tracer:
                     "ph": "X",
                     "ts": round((span.start - origin) * 1e6, 3),
                     "dur": round(span.duration * 1e6, 3),
-                    "pid": 1,
-                    "tid": 1,
+                    "pid": self.pid,
+                    "tid": span.thread_id,
                     "args": args,
+                }
+            )
+        for tid in sorted({span.thread_id for span in self.spans}):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": self.pid,
+                    "tid": tid,
+                    "args": {"name": f"thread-{tid}"},
                 }
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
@@ -327,10 +376,51 @@ class Tracer:
 #: The globally installed tracer; ``None`` means tracing is disabled.
 _TRACER: Tracer | None = None
 
+#: Per-thread tracer override (see :class:`use_tracer`).  The service
+#: dispatches each HTTP request on a pool thread under its own tracer;
+#: a thread-local slot keeps those tracers from racing each other the
+#: way a shared global install would.
+_LOCAL = threading.local()
+
 
 def get_tracer() -> Tracer | None:
-    """The installed tracer, or ``None`` while tracing is disabled."""
-    return _TRACER
+    """The active tracer for this thread, or ``None`` when disabled.
+
+    A thread-local tracer (installed with :class:`use_tracer`) shadows
+    the process-global one (installed with :func:`install_tracer`).
+    """
+    local = getattr(_LOCAL, "tracer", None)
+    return local if local is not None else _TRACER
+
+
+class use_tracer:
+    """Context manager: activate a tracer for the current thread only.
+
+    ::
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            ...  # span() on THIS thread records here
+
+    Unlike :func:`install_tracer`, other threads are unaffected — this is
+    how the service traces concurrent requests independently.  Nesting
+    restores the previous thread-local tracer on exit.
+    """
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = getattr(_LOCAL, "tracer", None)
+        _LOCAL.tracer = self._tracer
+        return self._tracer
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _LOCAL.tracer = self._previous
+        return False
 
 
 def install_tracer(tracer: Tracer) -> Tracer:
@@ -356,11 +446,14 @@ def span(
     """Open a span on the installed tracer, or a no-op when disabled.
 
     This is the function the instrumented hot paths call; keep its
-    disabled path to a global read and one comparison.
+    disabled path to one thread-local read, one global read and one
+    comparison.
     """
-    tracer = _TRACER
+    tracer = getattr(_LOCAL, "tracer", None)
     if tracer is None:
-        return _NULL_SPAN
+        tracer = _TRACER
+        if tracer is None:
+            return _NULL_SPAN
     return tracer.span(name, counters=counters, **attrs)
 
 
@@ -372,12 +465,15 @@ def record_span(
 ) -> "Span | None":
     """Record an externally timed span on the installed tracer, if any.
 
-    The no-tracer path is a global read and one comparison, like
-    :func:`span`.  See :meth:`Tracer.record_span` for the semantics.
+    The no-tracer path is a thread-local read, a global read and one
+    comparison, like :func:`span`.  See :meth:`Tracer.record_span` for
+    the semantics.
     """
-    tracer = _TRACER
+    tracer = getattr(_LOCAL, "tracer", None)
     if tracer is None:
-        return None
+        tracer = _TRACER
+        if tracer is None:
+            return None
     return tracer.record_span(name, start, end, **attrs)
 
 

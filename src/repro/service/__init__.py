@@ -15,7 +15,13 @@ this package puts a versioned HTTP API in front of it:
 starts a server; see ``docs/SERVICE.md`` for the endpoint reference.
 """
 
-from repro.service.app import ServiceApp, app_from_config, run, serve
+from repro.service.app import (
+    ServiceApp,
+    ServiceTelemetry,
+    app_from_config,
+    run,
+    serve,
+)
 from repro.service.auth import TenantAuth, require_safe_name
 from repro.service.errors import (
     AuthenticationError,
@@ -34,7 +40,7 @@ from repro.service.errors import (
     status_for,
     status_for_code,
 )
-from repro.service.http import Request, Response
+from repro.service.http import Request, Response, StreamingResponse
 from repro.service.jobs import JOB_STATES, Job, JobQueue
 from repro.service.manager import (
     ManagerStats,
@@ -62,10 +68,12 @@ __all__ = [
     "Router",
     "ServiceApp",
     "ServiceError",
+    "ServiceTelemetry",
     "SessionBusyError",
     "SessionExistsError",
     "SessionInfo",
     "SessionManager",
+    "StreamingResponse",
     "TenantAccessError",
     "TenantAuth",
     "UnknownSessionError",

@@ -44,10 +44,34 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="approximate memory watermark for resident kernels",
     )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable the telemetry plane (/v1/metrics, SSE, tracing)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="root log level (access logs emit at info)",
+    )
+    parser.add_argument(
+        "--access-log",
+        metavar="PATH",
+        help="also append structured JSON access-log lines to this file",
+    )
     args = parser.parse_args(argv)
     logging.basicConfig(
-        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(message)s",
     )
+    if args.access_log:
+        # the repro.service logger emits one JSON object per request;
+        # mirror those lines verbatim into the requested file
+        handler = logging.FileHandler(args.access_log, encoding="utf-8")
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        handler.setLevel(logging.INFO)
+        logging.getLogger("repro.service").addHandler(handler)
 
     if args.config:
         app, host, port = app_from_config(args.config)
@@ -63,6 +87,7 @@ def main(argv: list[str] | None = None) -> int:
             auth=auth,
             max_resident=args.max_resident,
             max_resident_bytes=args.max_resident_bytes,
+            telemetry=not args.no_telemetry,
         )
         host, port = args.host, args.port
     run(app, host, port)

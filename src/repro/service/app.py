@@ -5,10 +5,21 @@ routes, authenticates, runs the handler, and maps any
 :class:`~repro.errors.ReproError` to a response through the single
 code → status table.  Tests drive it in-process without sockets.
 
+Every dispatch is **request-correlated**: an ``X-Request-Id`` is accepted
+from the client (or generated), bound to the handler thread, wrapped in a
+``service.request`` tracer span, stamped on the response header, emitted
+in the structured JSON access log, and — because kernel-bus taps and job
+workers read the thread-bound id — carried by every kernel event and
+span the request produces.  :class:`ServiceTelemetry` owns the metrics
+registry behind ``GET /v1/metrics`` and the two SSE fan-out hubs behind
+``/v1/sessions/{id}/events/stream`` and ``…/spans/stream``.
+
 :func:`serve` wraps the app in a pure-stdlib ``asyncio`` HTTP/1.1
 server: connections are parsed on the event loop, each request is
 dispatched on a thread pool (handlers hold per-session locks and do
-real CPU work), and responses stream back with keep-alive.
+real CPU work), and responses stream back with keep-alive.  A
+:class:`~repro.service.http.StreamingResponse` switches the connection
+to incremental writes driven from a dedicated streaming pool.
 """
 
 from __future__ import annotations
@@ -16,20 +27,296 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    RollingLatency,
+    StreamHub,
+    accept_request_id,
+    current_request_id,
+    labeled,
+    render_prometheus,
+    set_request_id,
+)
+from repro.obs.trace import Span, Tracer, get_tracer, use_tracer
 from repro.service.auth import TenantAuth
 from repro.service.errors import MethodNotAllowedError, status_for
-from repro.service.http import Request, Response, read_request
+from repro.service.http import (
+    Request,
+    Response,
+    StreamingResponse,
+    read_request,
+)
 from repro.service.jobs import JobQueue
 from repro.service.manager import SessionManager
 from repro.service.routers import Context, Router, build_router
 
 log = logging.getLogger("repro.service")
+
+#: request-duration histogram bucket bounds, in seconds
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+)
+
+
+@dataclass
+class _RequestInfo:
+    """What dispatch learns about a request as routing/auth proceed."""
+
+    request_id: str = ""
+    route: str | None = None
+    tenant: str | None = None
+    session_id: str | None = None
+
+
+class ServiceTelemetry:
+    """The service's live telemetry plane: metrics, hubs, correlation.
+
+    One instance per :class:`ServiceApp`.  It owns
+
+    * the :class:`~repro.obs.metrics.MetricsRegistry` rendered at
+      ``GET /v1/metrics`` (request counters, rolling latency quantiles,
+      session-manager and job-queue gauges, federation breaker health,
+      SSE delivery counters), and
+    * the two :class:`~repro.obs.telemetry.StreamHub`\\ s fanning kernel
+      events and tracer spans out to SSE subscribers, keyed by
+      ``(tenant, session_id)``, with drop-oldest backpressure per
+      subscriber.
+
+    ``enabled=False`` turns the whole plane off (the benchmark's
+    baseline): dispatch skips tracing, metrics and access logging.
+    """
+
+    def __init__(self, *, enabled: bool = True, ring_size: int = 256) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.latency = RollingLatency()
+        self.events_hub = StreamHub(maxlen=ring_size)
+        self.spans_hub = StreamHub(maxlen=ring_size)
+        events_streamed = self.registry.counter(
+            labeled("repro_sse_events_total", kind="events")
+        )
+        spans_streamed = self.registry.counter(
+            labeled("repro_sse_events_total", kind="spans")
+        )
+        self.events_hub.on_publish = lambda key: events_streamed.inc()
+        self.spans_hub.on_publish = lambda key: spans_streamed.inc()
+        #: (method, route, status, tenant) -> (counter, histogram); avoids
+        #: re-rendering label strings on every request
+        self._request_series: dict[tuple, tuple] = {}
+        #: live kernel-bus taps: (tenant, sid) -> [subscription, refcount]
+        self._taps: dict[tuple[str, str], list[Any]] = {}
+        self._tap_lock = threading.Lock()
+
+    # -- request metrics ---------------------------------------------------------
+
+    def observe_request(
+        self,
+        *,
+        method: str,
+        route: str,
+        tenant: str | None,
+        status: int,
+        seconds: float,
+    ) -> None:
+        who = tenant or "-"
+        series_key = (method, route, status, who)
+        handles = self._request_series.get(series_key)
+        if handles is None:
+            # registry get-or-create is locked, so a racing duplicate
+            # here still lands on the same underlying metric objects
+            handles = self._request_series[series_key] = (
+                self.registry.counter(
+                    labeled(
+                        "repro_http_requests_total",
+                        method=method,
+                        route=route,
+                        status=status,
+                        tenant=who,
+                    )
+                ),
+                self.registry.histogram(
+                    labeled(
+                        "repro_http_request_duration_seconds",
+                        route=route,
+                        tenant=who,
+                    ),
+                    buckets=LATENCY_BUCKETS,
+                ),
+            )
+        counter, histogram = handles
+        counter.inc()
+        histogram.observe(seconds)
+        self.latency.observe((who, route), seconds)
+
+    # -- streaming ---------------------------------------------------------------
+
+    def publish_spans(
+        self,
+        key: tuple[str, str],
+        spans: list[Span],
+        request_id: str | None,
+    ) -> None:
+        """Fan finished spans out to the session's SSE subscribers.
+
+        Publishes raw ``(span, request_id)`` pairs — serialisation is
+        deferred to the spans endpoint's ``span_frame`` transform on
+        the *consumer's* pump thread, so the request thread pays only
+        the ring append.
+        """
+        if not spans or not self.spans_hub.watched(key):
+            return
+        rid = request_id or ""
+        self.spans_hub.publish_many(key, [(span, rid) for span in spans])
+
+    def span_sink(
+        self, key: tuple[str, str], request_id: str | None
+    ) -> "Callable[[Span], None]":
+        """A tracer sink that streams each finished span *tree*.
+
+        Spans buffer until their root (depth 0) closes, then the whole
+        tree flushes as one burst — one consumer wake-up and one SSE
+        chunk per request or job, not one per span.
+        """
+        buffer: list[Span] = []
+
+        def sink(span: Span) -> None:
+            buffer.append(span)
+            if span.depth == 0 or len(buffer) >= 64:
+                self.publish_spans(key, buffer, request_id)
+                buffer.clear()
+
+        return sink
+
+    def publish_event(self, key: tuple[str, str], event: Any) -> None:
+        """Fan one live kernel event out, stamped with the request id.
+
+        Runs on the *publishing* thread — the request handler or job
+        worker that committed the event — so the thread-bound request id
+        is exactly the one that caused the mutation.
+        """
+        self.events_hub.publish(
+            key,
+            {
+                "seq": event.offset,
+                "txn": event.txn,
+                "scope": event.scope,
+                "action": event.action,
+                "payload": event.payload,
+                "request_id": current_request_id() or "",
+            },
+        )
+
+    def attach_event_tap(self, key: tuple[str, str], bus: Any) -> None:
+        """Ref-counted live-only bus tap feeding the events hub.
+
+        The first subscriber for a session attaches the tap; later ones
+        share it, so every SSE consumer sees each event exactly once.
+        """
+        with self._tap_lock:
+            entry = self._taps.get(key)
+            if entry is not None:
+                entry[1] += 1
+                return
+            subscription = bus.subscribe(
+                lambda event: self.publish_event(key, event),
+                live_only=True,
+            )
+            self._taps[key] = [subscription, 1]
+
+    def release_event_tap(self, key: tuple[str, str]) -> None:
+        with self._tap_lock:
+            entry = self._taps.get(key)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] <= 0:
+                entry[0].cancel()
+                del self._taps[key]
+
+    # -- scrape-time collection --------------------------------------------------
+
+    def _sync_counter(self, series: str, value: int) -> None:
+        """Advance a registry counter to an externally tracked total."""
+        counter = self.registry.counter(series)
+        if value > counter.value:
+            counter.inc(value - counter.value)
+
+    def collect(self, app: "ServiceApp") -> None:
+        """Refresh point-in-time gauges just before rendering a scrape."""
+        gauge = self.registry.gauge
+        stats = app.manager.stats()
+        gauge("repro_sessions_resident").set(stats.resident_sessions)
+        gauge("repro_sessions_known").set(stats.known_sessions)
+        gauge("repro_sessions_resident_bytes").set(stats.resident_bytes)
+        gauge("repro_sessions_max_resident").set(stats.max_resident)
+        self._sync_counter(
+            "repro_sessions_evictions_total", stats.evictions
+        )
+        self._sync_counter(
+            "repro_sessions_rehydrations_total", stats.rehydrations
+        )
+        job_stats = app.jobs.stats()
+        gauge("repro_jobs_queue_depth").set(job_stats.pop("queue_depth"))
+        for state, count in job_stats.items():
+            gauge(labeled("repro_jobs", state=state)).set(count)
+        for kind, hub in (
+            ("events", self.events_hub),
+            ("spans", self.spans_hub),
+        ):
+            gauge(labeled("repro_sse_subscribers", kind=kind)).set(
+                hub.subscriber_count()
+            )
+            self._sync_counter(
+                labeled("repro_sse_dropped_total", kind=kind),
+                hub.dropped_total(),
+            )
+        for entry in app.manager.federation_snapshot():
+            for component, state in entry["breakers"].items():
+                gauge(
+                    labeled(
+                        "repro_federation_breaker_state",
+                        tenant=entry["tenant"],
+                        session=entry["session_id"],
+                        component=component,
+                    )
+                ).set(state)
+            self._sync_counter(
+                labeled(
+                    "repro_federation_retries_total",
+                    tenant=entry["tenant"],
+                    session=entry["session_id"],
+                ),
+                entry["retries"],
+            )
+        for key in self.latency.keys():
+            tenant, route = key
+            quantiles = self.latency.quantiles(key)
+            if not quantiles:
+                continue
+            for quantile, seconds in quantiles.items():
+                gauge(
+                    labeled(
+                        "repro_http_request_latency_seconds",
+                        route=route,
+                        tenant=tenant,
+                        quantile=f"{quantile:g}",
+                    )
+                ).set(round(seconds, 6))
+
+    def render(self, app: "ServiceApp") -> str:
+        """Collect gauges and render the Prometheus exposition text."""
+        self.collect(app)
+        return render_prometheus(self.registry)
 
 
 class ServiceApp:
@@ -45,6 +332,7 @@ class ServiceApp:
         max_resident: int = 8,
         max_resident_bytes: int | None = None,
         job_workers: int = 1,
+        telemetry: bool = True,
     ) -> None:
         self.auth = auth or TenantAuth()
         self.manager = manager or SessionManager(
@@ -53,7 +341,12 @@ class ServiceApp:
             max_resident_bytes=max_resident_bytes,
         )
         self.router = router or build_router()
-        self.jobs = JobQueue(self.manager, workers=job_workers)
+        self.telemetry = ServiceTelemetry(enabled=telemetry)
+        self.jobs = JobQueue(
+            self.manager,
+            workers=job_workers,
+            telemetry=self.telemetry if telemetry else None,
+        )
 
     def close(self) -> None:
         """Stop workers and checkpoint every resident session."""
@@ -62,13 +355,98 @@ class ServiceApp:
 
     # -- the one place requests become responses ---------------------------------
 
-    def dispatch(self, request: Request) -> Response:
+    def _spans_watched(self, path: str) -> bool:
+        """Does some spans-stream subscriber care about this request?
+
+        A pre-routing check: watchers key on ``(tenant, sid)``, and only
+        ``/v1/sessions/{sid}/…`` requests can touch a session, so the
+        sid is read straight off the path.  A sid collision across
+        tenants merely traces a request whose spans then fail the
+        per-key ``watched`` check at publish — wasted work, never a
+        cross-tenant leak.
+        """
+        hub = self.telemetry.spans_hub
+        if not hub.any_watched():
+            return False
+        if not path.startswith("/v1/sessions/"):
+            return False
+        sid = path[13:].partition("/")[0]
+        return any(key[1] == sid for key in hub.watched_keys())
+
+    def dispatch(self, request: Request) -> Response | StreamingResponse:
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._handle(request, _RequestInfo())
+        started = time.perf_counter()
+        request_id = accept_request_id(request.headers.get("x-request-id"))
+        info = _RequestInfo(request_id=request_id)
+        set_request_id(request_id)
+        try:
+            # tracing on demand: spans only exist to be streamed live, so
+            # the tracer is installed only while somebody is consuming a
+            # spans stream *for the session this request targets* —
+            # every other request keeps span() a no-op
+            if self._spans_watched(request.path):
+                tracer = Tracer()
+                with use_tracer(tracer):
+                    with tracer.span(
+                        "service.request",
+                        request_id=request_id,
+                        method=request.method,
+                        path=request.path,
+                    ) as root:
+                        response = self._handle(request, info)
+                        root.attrs["status"] = response.status
+                        if info.route is not None:
+                            root.attrs["route"] = info.route
+                        if info.tenant is not None:
+                            root.attrs["tenant"] = info.tenant
+            else:
+                response = self._handle(request, info)
+        finally:
+            set_request_id(None)
+        elapsed = time.perf_counter() - started
+        route = info.route or "(unmatched)"
+        telemetry.observe_request(
+            method=request.method,
+            route=route,
+            tenant=info.tenant,
+            status=response.status,
+            seconds=elapsed,
+        )
+        self._access_log(request, response, info, elapsed)
+        response.headers.setdefault("x-request-id", request_id)
+        return response
+
+    def _handle(
+        self, request: Request, info: _RequestInfo
+    ) -> Response | StreamingResponse:
         try:
             route, params = self.router.match(request.method, request.path)
-            context = Context(app=self, request=request, params=params)
+            info.route = route.pattern
+            context = Context(
+                app=self,
+                request=request,
+                params=params,
+                request_id=info.request_id,
+            )
             if route.auth:
                 context.tenant = self.auth.authenticate(request)
+                info.tenant = context.tenant
+            sid = params.get("sid")
+            if sid is not None:
+                info.session_id = sid
+                if self.telemetry.enabled and context.tenant is not None:
+                    key = (context.tenant, sid)
+                    request_id = info.request_id
+                    tracer = get_tracer()
+                    if tracer is not None:
+                        tracer.add_sink(
+                            self.telemetry.span_sink(key, request_id)
+                        )
             payload = route.handler(context)
+            if isinstance(payload, (Response, StreamingResponse)):
+                return payload
             status = getattr(payload, "status", route.status)
             return Response.json(payload, status=status)
         except MethodNotAllowedError as exc:
@@ -96,6 +474,39 @@ class ServiceApp:
                 status=500,
             )
 
+    def _access_log(
+        self,
+        request: Request,
+        response: Response | StreamingResponse,
+        info: _RequestInfo,
+        elapsed: float,
+    ) -> None:
+        """One structured JSON line per request on the service logger."""
+        if not log.isEnabledFor(logging.INFO):
+            return
+        body = getattr(response, "body", b"")
+        record = {
+            "event": "request",
+            "request_id": info.request_id,
+            "method": request.method,
+            "path": request.path,
+            "route": info.route,
+            "status": response.status,
+            "tenant": info.tenant,
+            "session_id": info.session_id,
+            "duration_ms": round(elapsed * 1000, 3),
+            "bytes": len(body),
+            "streaming": isinstance(response, StreamingResponse),
+        }
+        log.info(json.dumps(record, sort_keys=True))
+
+
+def _next_chunk(iterator) -> bytes | None:
+    try:
+        return next(iterator)
+    except StopIteration:
+        return None
+
 
 async def serve(
     app: ServiceApp,
@@ -103,6 +514,7 @@ async def serve(
     port: int = 8080,
     *,
     executor_workers: int = 8,
+    stream_workers: int = 8,
     ready: "asyncio.Event | None" = None,
 ) -> None:
     """Run the HTTP server until cancelled."""
@@ -110,6 +522,33 @@ async def serve(
     executor = ThreadPoolExecutor(
         max_workers=executor_workers, thread_name_prefix="repro-service"
     )
+    # SSE streams block a thread while waiting for the next item; a
+    # dedicated pool keeps long-lived streams from starving dispatch.
+    stream_executor = ThreadPoolExecutor(
+        max_workers=stream_workers, thread_name_prefix="repro-stream"
+    )
+
+    async def pump_stream(
+        writer: asyncio.StreamWriter, response: StreamingResponse
+    ) -> None:
+        writer.write(response.encode_head())
+        await writer.drain()
+        iterator = response.chunks
+        try:
+            while True:
+                chunk = await loop.run_in_executor(
+                    stream_executor, _next_chunk, iterator
+                )
+                if chunk is None:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        finally:
+            # run generator cleanup (unsubscribe, unpin) off the loop
+            try:
+                await loop.run_in_executor(stream_executor, response.close)
+            except RuntimeError:  # pool already shut down
+                response.close()
 
     async def handle(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -131,6 +570,9 @@ async def serve(
                 response = await loop.run_in_executor(
                     executor, app.dispatch, request
                 )
+                if isinstance(response, StreamingResponse):
+                    await pump_stream(writer, response)
+                    break  # streams always close the connection
                 keep_alive = request.keep_alive
                 writer.write(response.encode(close=not keep_alive))
                 await writer.drain()
@@ -158,6 +600,7 @@ async def serve(
             await server.serve_forever()
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
+        stream_executor.shutdown(wait=False, cancel_futures=True)
 
 
 def run(
@@ -183,6 +626,7 @@ def app_from_config(path: str | Path) -> tuple[ServiceApp, str, int]:
           "port": 8080,
           "max_resident": 8,
           "max_resident_bytes": null,
+          "telemetry": true,
           "tenants": {"token-string": "tenant-name"}
         }
     """
@@ -194,8 +638,15 @@ def app_from_config(path: str | Path) -> tuple[ServiceApp, str, int]:
         max_resident=config.get("max_resident", 8),
         max_resident_bytes=config.get("max_resident_bytes"),
         job_workers=config.get("job_workers", 1),
+        telemetry=bool(config.get("telemetry", True)),
     )
     return app, config.get("host", "127.0.0.1"), int(config.get("port", 8080))
 
 
-__all__ = ["ServiceApp", "app_from_config", "run", "serve"]
+__all__ = [
+    "ServiceApp",
+    "ServiceTelemetry",
+    "app_from_config",
+    "run",
+    "serve",
+]

@@ -17,7 +17,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.service.errors import BadRequestError
@@ -119,6 +119,54 @@ class Response:
         return head.encode("latin-1") + self.body
 
 
+@dataclass
+class StreamingResponse:
+    """A response whose body is produced incrementally (SSE endpoints).
+
+    ``chunks`` is a **blocking** byte iterator; the asyncio server drives
+    it on a worker thread and writes each chunk as it arrives.  There is
+    no ``Content-Length`` — the connection closes when the iterator is
+    exhausted, which is how HTTP/1.1 delimits the body.  In-process tests
+    iterate ``chunks`` directly, no socket needed.  The server (or the
+    test) must ``close()`` the iterator if it abandons the stream early,
+    so generator cleanup (unsubscribe, unpin) runs.
+    """
+
+    chunks: "Iterator[bytes]"
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def sse(
+        cls, chunks: "Iterator[bytes]", status: int = 200
+    ) -> "StreamingResponse":
+        return cls(
+            chunks=chunks,
+            status=status,
+            headers={
+                "content-type": "text/event-stream; charset=utf-8",
+                "cache-control": "no-cache",
+                "x-accel-buffering": "no",
+            },
+        )
+
+    def encode_head(self) -> bytes:
+        """Status line + headers only; the body streams afterwards."""
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = dict(self.headers)
+        headers.setdefault("connection", "close")
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    def close(self) -> None:
+        """Abandon the stream; runs the generator's cleanup."""
+        closer = getattr(self.chunks, "close", None)
+        if closer is not None:
+            closer()
+
+
 def parse_target(target: str) -> tuple[str, dict[str, str]]:
     """Split a request target into a decoded path and a flat query dict."""
     parts = urlsplit(target)
@@ -192,6 +240,7 @@ __all__ = [
     "MAX_BODY_BYTES",
     "Request",
     "Response",
+    "StreamingResponse",
     "parse_target",
     "read_request",
 ]

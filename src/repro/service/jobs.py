@@ -14,10 +14,12 @@ and an explicit eviction is refused with
 :class:`~repro.service.errors.SessionBusyError` — parking a kernel
 mid-job would checkpoint a state the job is still mutating.
 
-The tracer is a process-global instrument, so exactly one running job
-traces at a time (a non-blocking guard; with the default single worker
-every job gets it).  A job that cannot take the guard still runs — it
-just reports notes instead of spans.
+Every job runs under its **own** thread-local tracer
+(:class:`~repro.obs.trace.use_tracer`), so concurrent jobs trace
+independently, and carries the ``X-Request-Id`` of the request that
+submitted it — bound to the worker thread while the job runs, so kernel
+events and spans the job produces stream over SSE stamped with the same
+id as the submitting request's access-log line.
 """
 
 from __future__ import annotations
@@ -27,10 +29,15 @@ import secrets
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ReplayError, ReproError
-from repro.obs.trace import Tracer, install_tracer, uninstall_tracer
+from repro.obs.telemetry import (
+    current_request_id,
+    new_request_id,
+    set_request_id,
+)
+from repro.obs.trace import Tracer, use_tracer
 from repro.service.errors import (
     BadRequestError,
     CapacityError,
@@ -39,6 +46,9 @@ from repro.service.errors import (
 )
 from repro.service.manager import SessionManager, state_fingerprint
 from repro.tool.session import ToolSession
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.service.app import ServiceTelemetry
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -67,8 +77,10 @@ class Job:
     error: dict[str, Any] | None = None
     #: explicit progress notes the handler appends as it goes
     progress: list[str] = field(default_factory=list)
-    #: the tracer collecting this job's spans, while it holds the guard
+    #: this job's private tracer (installed thread-locally while it runs)
     tracer: Tracer | None = None
+    #: the ``X-Request-Id`` of the request that submitted the job
+    request_id: str = ""
 
     def note(self, message: str) -> None:
         self.progress.append(message)
@@ -93,6 +105,7 @@ class Job:
             "job_id": self.job_id,
             "kind": self.kind,
             "state": self.state,
+            "request_id": self.request_id,
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
@@ -177,16 +190,17 @@ class JobQueue:
         *,
         workers: int = 1,
         max_queued: int = 256,
+        telemetry: "ServiceTelemetry | None" = None,
     ) -> None:
         self.manager = manager
         self.workers = max(1, int(workers))
         self.max_queued = max_queued
+        self.telemetry = telemetry
         self._kinds = dict(self.KINDS)
         self._jobs: dict[str, Job] = {}
         self._mutex = threading.Lock()
         self._queue: "queue.Queue[str | None]" = queue.Queue()
         self._threads: list[threading.Thread] = []
-        self._tracer_guard = threading.Lock()
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -255,6 +269,9 @@ class JobQueue:
                 tenant=tenant,
                 kind=kind,
                 params=dict(params),
+                # inherit the submitting request's id so the job's spans
+                # and kernel events correlate with the 202 response
+                request_id=current_request_id() or new_request_id(),
             )
             self._jobs[job.job_id] = job
         self.start()
@@ -320,12 +337,25 @@ class JobQueue:
 
     def _run(self, job: Job) -> None:
         handler = self._kinds[job.kind]
-        traced = self._tracer_guard.acquire(blocking=False)
-        if traced:
-            job.tracer = Tracer()
-            install_tracer(job.tracer)
+        job.tracer = Tracer()
+        session_id = job.params.get("session_id")
+        if self.telemetry is not None and session_id:
+            key = (job.tenant, session_id)
+            request_id = job.request_id
+            job.tracer.add_sink(
+                self.telemetry.span_sink(key, request_id)
+            )
+        # bind the submitting request's id to this worker thread so
+        # kernel events the job commits stream with the same id
+        set_request_id(job.request_id or None)
         try:
-            result = handler(self.manager, job)
+            with use_tracer(job.tracer):
+                with job.tracer.span(
+                    f"service.job.{job.kind}",
+                    job_id=job.job_id,
+                    request_id=job.request_id,
+                ):
+                    result = handler(self.manager, job)
         except ReproError as exc:
             job.error = exc.to_wire()
             job.state = FAILED
@@ -336,10 +366,19 @@ class JobQueue:
             job.result = result
             job.state = SUCCEEDED
         finally:
-            if traced:
-                uninstall_tracer()
-                self._tracer_guard.release()
+            set_request_id(None)
             job.finished = time.time()
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Job counts per state plus the queue depth (for the gauges)."""
+        counts = {state: 0 for state in JOB_STATES}
+        with self._mutex:
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        counts["queue_depth"] = counts[QUEUED]
+        return counts
 
 
 __all__ = [

@@ -425,6 +425,64 @@ class SessionManager:
 
     # -- introspection -----------------------------------------------------------
 
+    def require(self, tenant: str, session_id: str) -> None:
+        """Raise :class:`UnknownSessionError` unless the session exists.
+
+        A cheap existence check for endpoints (the SSE streams) that
+        must 404 on foreign or missing sessions before doing any work.
+        """
+        self._get_record(tenant, session_id, create=False)
+
+    #: numeric breaker states for the ``repro_federation_breaker_state``
+    #: gauge (0 = closed/healthy, 1 = half-open probe, 2 = open/skipping)
+    BREAKER_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+    def federation_snapshot(self) -> list[dict[str, Any]]:
+        """Federation health of every resident session with an engine.
+
+        One entry per session: breaker state per component plus the
+        engine's total retry count.  Reads are lock-free on the engine
+        side (scrape-time telemetry tolerates a torn read; the breaker
+        dicts are only ever appended to).
+        """
+        with self._mutex:
+            resident = [
+                (record.tenant, record.session_id, record.session)
+                for record in self._records.values()
+                if record.session is not None
+            ]
+        snapshot: list[dict[str, Any]] = []
+        for tenant, session_id, session in resident:
+            engine = getattr(session, "federation", None)
+            if engine is None:
+                continue
+            executor = getattr(engine, "executor", None)
+            if executor is None:
+                continue
+            breakers = {
+                component: self.BREAKER_STATE_VALUES.get(
+                    str(breaker.state), 0
+                )
+                for component, breaker in dict(
+                    executor._breakers
+                ).items()
+            }
+            retries = 0
+            metrics = getattr(engine, "metrics", None)
+            if metrics is not None:
+                counter = metrics.counters().get("federation.retries")
+                if counter is not None:
+                    retries = counter.value
+            snapshot.append(
+                {
+                    "tenant": tenant,
+                    "session_id": session_id,
+                    "breakers": breakers,
+                    "retries": retries,
+                }
+            )
+        return snapshot
+
     def _info(self, record: _Record) -> SessionInfo:
         return SessionInfo(
             session_id=record.session_id,

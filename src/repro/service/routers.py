@@ -21,12 +21,13 @@ from repro.assertions.kinds import AssertionKind
 from repro.ecr.ddl import parse_ddl, to_ddl
 from repro.ecr.json_io import schema_to_dict
 from repro.errors import UnknownNameError
+from repro.obs.telemetry import PROMETHEUS_CONTENT_TYPE, sse_stream
 from repro.service.errors import (
     BadRequestError,
     MethodNotAllowedError,
     RouteNotFoundError,
 )
-from repro.service.http import Request
+from repro.service.http import Request, Response, StreamingResponse
 from repro.service.manager import state_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -41,6 +42,8 @@ class Context:
     request: Request
     params: dict[str, str]
     tenant: str | None = None
+    #: the correlation id dispatch bound to this request
+    request_id: str = ""
 
     @property
     def manager(self):
@@ -208,6 +211,157 @@ def get_stats(ctx: Context) -> dict[str, Any]:
             ),
         },
     }
+
+
+# -- telemetry: exposition + SSE streams ------------------------------------------
+
+
+def get_metrics(ctx: Context) -> Response:
+    """``GET /v1/metrics`` — Prometheus text exposition (no auth)."""
+    telemetry = ctx.app.telemetry
+    if not telemetry.enabled:
+        raise RouteNotFoundError("telemetry is disabled on this service")
+    text = telemetry.render(ctx.app)
+    return Response(
+        status=200,
+        headers={"content-type": PROMETHEUS_CONTENT_TYPE},
+        body=text.encode("utf-8"),
+    )
+
+
+def _stream_options(ctx: Context) -> dict[str, Any]:
+    """SSE bounds from query parameters (``max_events=0`` etc. are 400s)."""
+
+    def positive_float(name: str) -> float | None:
+        raw = ctx.request.query.get(name)
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise BadRequestError(
+                f"query parameter {name!r} must be a number"
+            )
+        if value <= 0:
+            raise BadRequestError(
+                f"query parameter {name!r} must be positive"
+            )
+        return value
+
+    max_events: int | None = None
+    raw = ctx.request.query.get("max_events")
+    if raw is not None:
+        try:
+            max_events = int(raw)
+        except ValueError:
+            raise BadRequestError("'max_events' must be an integer")
+        if max_events <= 0:
+            raise BadRequestError("'max_events' must be positive")
+    options: dict[str, Any] = {
+        "max_events": max_events,
+        "timeout_s": positive_float("timeout_s"),
+        "idle_s": positive_float("idle_s"),
+    }
+    heartbeat = positive_float("heartbeat_s")
+    if heartbeat is not None:
+        options["heartbeat_s"] = heartbeat
+    # micro-batch window: collect this long after the first item of a
+    # chunk before writing; 0 disables batching for latency-critical
+    # consumers.  Defaults to 50 ms.
+    options["linger_s"] = 0.05
+    raw = ctx.request.query.get("linger_s")
+    if raw is not None:
+        try:
+            linger = float(raw)
+        except ValueError:
+            raise BadRequestError(
+                "query parameter 'linger_s' must be a number"
+            )
+        if linger < 0:
+            raise BadRequestError(
+                "query parameter 'linger_s' must not be negative"
+            )
+        options["linger_s"] = linger
+    return options
+
+
+def get_events_stream(ctx: Context) -> StreamingResponse:
+    """``GET /v1/sessions/{sid}/events/stream`` — live kernel events.
+
+    Attaches a (shared, ref-counted) live-only tap on the session's
+    kernel bus and streams every committed event as one SSE frame —
+    the same taxonomy as the audit log, each stamped with the request
+    id of the mutation that produced it.  The session is pinned while
+    the stream is open so eviction cannot sever the tap.
+    """
+    telemetry = ctx.app.telemetry
+    if not telemetry.enabled:
+        raise RouteNotFoundError("telemetry is disabled on this service")
+    options = _stream_options(ctx)
+    sid = ctx.params["sid"]
+    key = (ctx.tenant, sid)
+    manager = ctx.manager
+    subscription = telemetry.events_hub.subscribe(key)
+    try:
+        manager.pin(ctx.tenant, sid)  # 404s on foreign/missing sessions
+    except BaseException:
+        subscription.close()
+        raise
+    try:
+        with manager.acquire(ctx.tenant, sid) as session:
+            telemetry.attach_event_tap(key, session.analysis.kernel.bus)
+    except BaseException:
+        manager.unpin(ctx.tenant, sid)
+        subscription.close()
+        raise
+
+    def on_close() -> None:
+        telemetry.release_event_tap(key)
+        manager.unpin(ctx.tenant, sid)
+
+    return StreamingResponse.sse(
+        sse_stream(
+            subscription,
+            event="kernel-event",
+            on_close=on_close,
+            **options,
+        )
+    )
+
+
+def span_frame(item: Any) -> dict[str, Any]:
+    """Serialise one published ``(span, request_id)`` pair for SSE.
+
+    The spans hub carries raw pairs so request threads pay only a ring
+    append; this transform runs on the stream's pump thread, where the
+    consumer that asked for the data foots the serialisation bill.
+    """
+    span, request_id = item
+    frame = span.to_dict()
+    frame["seq"] = span.span_id
+    frame["request_id"] = request_id
+    return frame
+
+
+def get_spans_stream(ctx: Context) -> StreamingResponse:
+    """``GET /v1/sessions/{sid}/spans/stream`` — live tracer spans.
+
+    Streams every span finished by requests and background jobs
+    touching the session, through a bounded drop-oldest ring per
+    subscriber (the ``end`` frame reports how many were dropped).
+    """
+    telemetry = ctx.app.telemetry
+    if not telemetry.enabled:
+        raise RouteNotFoundError("telemetry is disabled on this service")
+    options = _stream_options(ctx)
+    sid = ctx.params["sid"]
+    ctx.manager.require(ctx.tenant, sid)  # 404 before subscribing
+    subscription = telemetry.spans_hub.subscribe((ctx.tenant, sid))
+    return StreamingResponse.sse(
+        sse_stream(
+            subscription, event="span", transform=span_frame, **options
+        )
+    )
 
 
 # -- sessions --------------------------------------------------------------------
@@ -476,6 +630,14 @@ def build_router() -> Router:
     router.add("GET", "/v1/healthz", get_healthz, auth=False)
     router.add("GET", "/v1/about", get_about, auth=False)
     router.add("GET", "/v1/stats", get_stats)
+    # telemetry
+    router.add("GET", "/v1/metrics", get_metrics, auth=False)
+    router.add(
+        "GET", "/v1/sessions/{sid}/events/stream", get_events_stream
+    )
+    router.add(
+        "GET", "/v1/sessions/{sid}/spans/stream", get_spans_stream
+    )
     # session lifecycle
     router.add("POST", "/v1/sessions", post_sessions, status=201)
     router.add("GET", "/v1/sessions", get_sessions)

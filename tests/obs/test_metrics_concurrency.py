@@ -1,0 +1,106 @@
+"""Thread-safety of the metrics registry under concurrent writers.
+
+The telemetry plane increments counters and observes histograms from
+HTTP worker threads, job workers and federation pools simultaneously;
+these tests hammer one registry from 8 threads and assert *exact*
+totals — a lost update anywhere fails the count.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+ROUNDS = 2_000
+
+
+def _hammer(worker) -> None:
+    barrier = threading.Barrier(THREADS)
+
+    def body() -> None:
+        barrier.wait()  # maximize interleaving
+        worker()
+
+    threads = [
+        threading.Thread(target=body) for _ in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_counter_increments_are_exact_under_contention():
+    registry = MetricsRegistry()
+
+    def worker() -> None:
+        # get-or-create inside the loop: the registration path races too
+        for _ in range(ROUNDS):
+            registry.counter("hammered_total").inc()
+            registry.counter("weighted_total").inc(3)
+
+    _hammer(worker)
+    assert registry.counter("hammered_total").value == THREADS * ROUNDS
+    assert registry.counter("weighted_total").value == THREADS * ROUNDS * 3
+
+
+def test_histogram_counts_and_bucket_sums_are_exact():
+    registry = MetricsRegistry()
+    buckets = (0.25, 0.5, 0.75)
+    values = [0.1, 0.3, 0.6, 0.9]  # one per bucket + one overflow
+
+    def worker() -> None:
+        for _ in range(ROUNDS):
+            for value in values:
+                registry.histogram("latency", buckets=buckets).observe(
+                    value
+                )
+
+    _hammer(worker)
+    histogram = registry.histogram("latency", buckets=buckets)
+    expected = THREADS * ROUNDS
+    assert histogram.count == expected * len(values)
+    # every observation landed in exactly one bucket (or the overflow)
+    assert histogram.bucket_counts == [expected] * 4  # 3 buckets + overflow
+    assert sum(histogram.bucket_counts) == histogram.count
+    assert abs(
+        histogram.total - expected * sum(values)
+    ) < 1e-6 * expected
+
+
+def test_snapshot_is_monotonic_while_writers_run():
+    """Concurrent snapshots never observe totals going backwards."""
+    registry = MetricsRegistry()
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def writer() -> None:
+        for _ in range(ROUNDS):
+            registry.counter("events_total").inc()
+            registry.histogram("work").observe(0.01)
+
+    def reader() -> None:
+        last_count = 0
+        last_counter = 0
+        while not stop.is_set():
+            histogram = registry.histogram("work")
+            snap = histogram.snapshot()
+            if snap["count"] < last_count:
+                failures.append("histogram count went backwards")
+                return
+            last_count = snap["count"]
+            value = registry.counter("events_total").value
+            if value < last_counter:
+                failures.append("counter went backwards")
+                return
+            last_counter = value
+
+    observer = threading.Thread(target=reader)
+    observer.start()
+    _hammer(writer)
+    stop.set()
+    observer.join()
+    assert not failures
+    assert registry.counter("events_total").value == THREADS * ROUNDS

@@ -100,9 +100,17 @@ def test_jsonl_and_chrome_exports(tmp_path):
     assert {"span_id", "name", "duration_s", "self_s"} <= set(first)
     chrome = json.loads(chrome_path.read_text())
     events = chrome["traceEvents"]
-    assert [event["name"] for event in events] == ["phase1.a", "phase1.b"]
-    assert all(event["ph"] == "X" for event in events)
+    spans = [event for event in events if event["ph"] == "X"]
+    assert [event["name"] for event in spans] == ["phase1.a", "phase1.b"]
     assert events[0]["args"]["schema"] == "sc1"
+    # every span carries the real process and thread ids
+    assert all(event["pid"] == tracer.pid for event in spans)
+    assert all(isinstance(event["tid"], int) for event in spans)
+    # thread-name metadata events describe each tid exactly once
+    metadata = [event for event in events if event["ph"] == "M"]
+    assert {event["tid"] for event in metadata} == {
+        event["tid"] for event in spans
+    }
 
 
 def test_top_self_time_ranks_by_summed_self_time():
