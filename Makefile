@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke service-smoke telemetry-smoke serve bench example
+.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke service-smoke telemetry-smoke solver-smoke serve bench example
 
 ## Tier-1: the full unit/integration/e2e suite.
 test:
@@ -72,6 +72,18 @@ service-smoke:
 ## See docs/OBSERVABILITY.md.
 telemetry-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/telemetry_smoke.py
+
+## Solver smoke: the solver test suite (fixpoint-vs-oracle properties,
+## QuickXplain minimality, suggestion ranking), then record
+## BENCH_solver.json and gate on it — fails unless the batch fixpoint
+## matches the incremental closure on conflict-free workloads, every
+## planted contradiction is caught with a verified-minimal conflict
+## set, and a planted true equivalence ranks in the suggestion top 3.
+## See docs/SOLVER.md.
+solver-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		tests/solver tests/workloads/test_conflict_generator.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_solver.py
 
 ## Run the integration service locally (demo token demo:demo-token).
 serve:

@@ -108,6 +108,7 @@ from repro.errors import (
     AssertionSpecError,
     BackendError,
     ConflictError,
+    ConsistencyFailure,
     CorruptDictionaryError,
     DdlError,
     DictionaryError,
@@ -192,6 +193,7 @@ __all__ = [
     "AssertionSpecError",
     "BackendError",
     "ConflictError",
+    "ConsistencyFailure",
     "CorruptDictionaryError",
     "DdlError",
     "DictionaryError",

@@ -83,6 +83,17 @@ class Assertion:
         """Menu-style phrasing, e.g. ``sc1.Student 'contains' sc2.Grad_student``."""
         return self.kind.describe(str(self.first), str(self.second))
 
+    def to_wire(self) -> dict:
+        """JSON-friendly form, shared by conflict reports and the service."""
+        return {
+            "first": str(self.first),
+            "second": str(self.second),
+            "kind": self.kind.name,
+            "kind_code": self.kind.code,
+            "source": self.source.name,
+            "note": self.note,
+        }
+
     def __str__(self) -> str:
         tag = "" if self.source is Source.DDA else f" <{self.source}>"
         return f"{self.describe()}{tag}"

@@ -47,6 +47,11 @@ class ConflictReport:
     chain:
         The specified/implicit assertions underlying the subject pair's
         current state — the derivation lines of Screen 9.
+    facts:
+        Every specified/implicit assertion committed when the conflict
+        arose, in specification order.  The chain only walks the subject
+        pair's supports, which can miss facts a propagation conflict
+        consumed; minimal-conflict computation needs the full log.
     """
 
     new: Assertion
@@ -55,6 +60,7 @@ class ConflictReport:
     current: Assertion | None
     feasible: frozenset[Relation]
     chain: list[Assertion] = field(default_factory=list)
+    facts: tuple[Assertion, ...] = field(default=())
 
     @property
     def is_propagation_conflict(self) -> bool:
@@ -85,6 +91,49 @@ class ConflictReport:
                     f"revise the schema structure behind {assertion.describe()}"
                 )
         return repairs
+
+    def minimal_conflict(self) -> tuple[Assertion, ...]:
+        """The minimal set of existing facts clashing with the new assertion.
+
+        Runs QuickXplain (:mod:`repro.solver.explain`) over the committed
+        fact log with the rejected assertion as unretractable background:
+        asserting the returned facts plus the new one reproduces the
+        contradiction, and retracting any single one of them would let
+        the new assertion through.  Computed lazily and cached; returns
+        ``()`` when no fact log was captured (legacy reports).
+        """
+        cached = getattr(self, "_minimal_conflict", None)
+        if cached is not None:
+            return cached
+        if not self.facts:
+            result: tuple[Assertion, ...] = ()
+        else:
+            from repro.solver.explain import is_consistent, minimal_conflict
+
+            universe = list(self.facts)
+            if is_consistent([self.new] + universe):
+                result = ()  # e.g. the feasibility check pre-empted propagation
+            else:
+                result = minimal_conflict(universe, background=[self.new])
+        object.__setattr__(self, "_minimal_conflict", result)
+        return result
+
+    def to_wire(self) -> dict:
+        """JSON-friendly report shape for the service's 409 payloads."""
+        return {
+            "new": self.new.to_wire(),
+            "subject": {
+                "first": str(self.subject_first),
+                "second": str(self.subject_second),
+            },
+            "current": None if self.current is None else self.current.to_wire(),
+            "feasible": sorted(rel.value for rel in self.feasible),
+            "chain": [assertion.to_wire() for assertion in self.chain],
+            "conflict_set": [
+                assertion.to_wire() for assertion in self.minimal_conflict()
+            ],
+            "repairs": self.suggested_repairs(),
+        }
 
     def __str__(self) -> str:
         subject = f"{self.subject_first} / {self.subject_second}"
@@ -136,6 +185,15 @@ def render_screen9(report: ConflictReport) -> str:
         )
     lines.append("")
     lines.append(_MENU)
+    minimal = report.minimal_conflict()
+    if minimal:
+        lines.append("")
+        lines.append("Minimal conflict set (retract any one to resolve):")
+        for index, assertion in enumerate(minimal, start=1):
+            lines.append(
+                f"  {index} - {assertion.describe()} "
+                f"(code {assertion.kind.code}, {assertion.source})"
+            )
     lines.append("")
     lines.append("Suggested repairs:")
     for repair in report.suggested_repairs():

@@ -672,6 +672,19 @@ class AssertionNetwork:
         """Whether the pair still admits more than one relation."""
         return len(self.feasible(first, second)) > 1
 
+    def feasible_table(self) -> dict[Pair, frozenset[Relation]]:
+        """Every non-universal feasible set, keyed by canonical pair.
+
+        Pairs absent from the table still admit all five relations.  The
+        batch solver (:mod:`repro.solver`) produces the same shape, which
+        is how the equivalence tests compare the two engines.
+        """
+        return {
+            pair: relations
+            for pair, relations in self._feasible.items()
+            if relations != ALL_RELATIONS
+        }
+
     # -- explanation ---------------------------------------------------------------
 
     def explain(
@@ -727,5 +740,6 @@ class AssertionNetwork:
             subject_second=subject_second,
             current=current,
             feasible=feasible,
+            facts=tuple(self._log),
             chain=chain,
         )

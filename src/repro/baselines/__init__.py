@@ -5,7 +5,9 @@
 * :mod:`repro.baselines.closure_baselines` — assertion entry with and
   without transitive derivation; and
 * :mod:`repro.baselines.strategies` — integration-order strategies for
-  n-ary integration.
+  n-ary integration; and
+* :mod:`repro.baselines.solver_baselines` — the incremental-closure
+  oracle the batch constraint solver is checked against.
 """
 
 from repro.baselines.ordering_baselines import (
@@ -20,9 +22,19 @@ from repro.baselines.closure_baselines import (
     drive_assertions_with_closure,
     drive_assertions_without_closure,
 )
+from repro.baselines.solver_baselines import (
+    OracleOutcome,
+    closure_oracle,
+    derived_keys,
+    objects_of,
+)
 from repro.baselines.strategies import ladder_orders
 
 __all__ = [
+    "OracleOutcome",
+    "closure_oracle",
+    "derived_keys",
+    "objects_of",
     "all_cross_pairs",
     "ordering_alphabetical",
     "ordering_random",

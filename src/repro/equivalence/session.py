@@ -423,6 +423,54 @@ class AnalysisSession:
         """The Screen 9 support chain behind a pair's current state."""
         return self.network_for(relationships).explain(first, second)
 
+    # -- Phase 3½: solver-backed suggestions and what-if explanations -----------
+
+    def suggest_assertions(
+        self,
+        first_schema: str,
+        second_schema: str,
+        *,
+        relationships: bool = False,
+        limit: int = 10,
+    ):
+        """Ranked, trial-propagated EQUALS candidates (the Screen 10 list).
+
+        Each suggestion is labelled ``safe`` or ``conflicting`` by the
+        batch solver; see
+        :func:`repro.solver.suggest_equivalence_assertions`.
+        """
+        from repro.solver.suggest import suggest_equivalence_assertions
+
+        return suggest_equivalence_assertions(
+            self.registry,
+            self.network_for(relationships),
+            first_schema,
+            second_schema,
+            relationships=relationships,
+            limit=limit,
+            counters=self.counters,
+        )
+
+    def explain_assertion(
+        self,
+        first: ObjectRef | str,
+        second: ObjectRef | str,
+        kind: AssertionKind | int,
+        *,
+        relationships: bool = False,
+    ):
+        """What specifying ``kind`` on a pair would do, without doing it.
+
+        Returns an :class:`repro.solver.AssertionExplanation`: consistent
+        or not, the minimal conflict set when not, the newly derived
+        consequences when it is.  The network is never mutated.
+        """
+        from repro.solver.engine import explain_assertion
+
+        return explain_assertion(
+            self.network_for(relationships), first, second, kind
+        )
+
     # -- Phase 4: integration ----------------------------------------------------
 
     def integrate(

@@ -123,6 +123,52 @@ class ConflictError(AssertionSpecError):
         self.report = report
         super().__init__(str(report))
 
+    def wire_details(self):
+        to_wire = getattr(self.report, "to_wire", None)
+        if to_wire is None:  # a bare/legacy report object
+            return {}
+        return to_wire()
+
+
+class ConsistencyFailure(AssertionSpecError):
+    """Constraint propagation found the asserted facts inconsistent.
+
+    Raised by :class:`repro.solver.ConstraintSolver` when no relation
+    remains feasible between some pair.  Unlike :class:`ConflictError`
+    (one derivation chain), it carries a **minimal conflict set** over
+    the asserted facts: asserting exactly these facts reproduces the
+    contradiction, and retracting any single one of them restores
+    consistency.  ``subject`` is the canonical pair whose feasible set
+    became empty, when known.
+    """
+
+    code = "solver_inconsistent"
+
+    def __init__(self, conflict, subject=None) -> None:
+        self.conflict = tuple(conflict)
+        self.subject = subject
+        where = (
+            f" between {subject[0]} and {subject[1]}"
+            if subject is not None
+            else ""
+        )
+        listed = "; ".join(str(member) for member in self.conflict)
+        super().__init__(
+            f"no relation remains feasible{where}; "
+            f"minimal conflict set: {listed or '(empty)'}"
+        )
+
+    def wire_details(self):
+        details = {
+            "conflict_set": [member.to_wire() for member in self.conflict]
+        }
+        if self.subject is not None:
+            details["subject"] = {
+                "first": str(self.subject[0]),
+                "second": str(self.subject[1]),
+            }
+        return details
+
 
 class IntegrationError(ReproError):
     """Schema integration could not be performed."""

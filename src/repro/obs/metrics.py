@@ -301,6 +301,16 @@ class AnalysisCounters:
     closure_full_rebuilds: int = 0
     #: pairs reset and re-derived by incremental closure repair
     closure_pairs_recomputed: int = 0
+    #: full solver propagation runs (solve/trial/explain re-propagations)
+    solver_runs: int = 0
+    #: triangle revisions performed by the solver's AC-3 worklist
+    solver_propagation_steps: int = 0
+    #: from-scratch consistency checks (QuickXplain probes, trials)
+    solver_consistency_checks: int = 0
+    #: minimal conflict sets computed by QuickXplain
+    solver_conflicts_minimized: int = 0
+    #: equivalence candidates scored and trial-propagated by the suggester
+    solver_candidates_checked: int = 0
 
     def reset(self) -> None:
         """Zero every counter (benchmarks call this between phases)."""

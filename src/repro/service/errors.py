@@ -162,6 +162,7 @@ STATUS_BY_CODE: dict[str, int] = {
     # -- library: conflicts ---------------------------------------------------
     "duplicate_name": 409,
     "assertion_conflict": 409,
+    "solver_inconsistent": 409,
     # -- library: durable state damaged or unreadable — server-side faults ---
     "dictionary_corrupt": 500,
     "dictionary_format_unsupported": 500,

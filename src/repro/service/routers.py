@@ -530,6 +530,66 @@ def post_assertions(ctx: Context) -> dict[str, Any]:
         return assertion_wire(assertion, relationships)
 
 
+def get_suggestions(ctx: Context) -> dict[str, Any]:
+    """``GET /v1/sessions/{sid}/suggestions`` — ranked safe equivalences.
+
+    Runs the solver's suggestion pass over two schemas: candidates are
+    scored by resemblance and each is trial-propagated, so the client
+    knows up front which one-keystroke confirmations cannot conflict.
+    Read-only — confirming a suggestion is a normal POST to
+    ``/assertions``.
+    """
+    query = ctx.request.query
+    first = query.get("first")
+    second = query.get("second")
+    if not first or not second:
+        raise BadRequestError(
+            "suggestions need 'first' and 'second' schema query parameters"
+        )
+    relationships = ctx.flag("relationships")
+    limit = 10
+    raw_limit = query.get("limit")
+    if raw_limit is not None:
+        try:
+            limit = int(raw_limit)
+        except ValueError:
+            raise BadRequestError("'limit' must be an integer")
+        if limit <= 0:
+            raise BadRequestError("'limit' must be positive")
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        suggestions = session.analysis.suggest_assertions(
+            first, second, relationships=relationships, limit=limit
+        )
+        return {
+            "suggestions": [
+                suggestion.to_wire() for suggestion in suggestions
+            ]
+        }
+
+
+def post_assertions_explain(ctx: Context) -> dict[str, Any]:
+    """``POST /v1/sessions/{sid}/assertions/explain`` — what-if analysis.
+
+    Same body as POST /assertions, but nothing is committed: the reply
+    says whether the assertion would be accepted, the minimal conflict
+    set when it would not, and the newly derived consequences when it
+    would.  Always 200 — a conflicting hypothetical is an answer here,
+    not an error.
+    """
+    payload = ctx.body()
+    first = ctx.require(payload, "first")
+    second = ctx.require(payload, "second")
+    kind = parse_kind(ctx.require(payload, "kind"))
+    relationships = bool(payload.get("relationships", False))
+    with ctx.manager.acquire(ctx.tenant, ctx.params["sid"]) as session:
+        explanation = session.analysis.explain_assertion(
+            first, second, kind, relationships=relationships
+        )
+        wire = explanation.to_wire()
+        wire["relationships"] = relationships
+        return wire
+
+
 def delete_assertions(ctx: Context) -> dict[str, Any]:
     payload = ctx.body()
     first = ctx.require(payload, "first")
@@ -659,6 +719,12 @@ def build_router() -> Router:
         "DELETE", "/v1/sessions/{sid}/equivalences", delete_equivalences
     )
     router.add("GET", "/v1/sessions/{sid}/candidates", get_candidates)
+    router.add("GET", "/v1/sessions/{sid}/suggestions", get_suggestions)
+    router.add(
+        "POST",
+        "/v1/sessions/{sid}/assertions/explain",
+        post_assertions_explain,
+    )
     router.add(
         "POST", "/v1/sessions/{sid}/assertions", post_assertions, status=201
     )

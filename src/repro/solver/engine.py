@@ -1,0 +1,402 @@
+"""The AC-3-style finite-domain propagation engine over assertion facts.
+
+The network (:class:`~repro.assertions.network.AssertionNetwork`) derives
+assertions *incrementally*: each DDA action seeds path consistency from the
+one edge it changed.  This module is the **batch** formulation of the same
+constraint problem, in the shape of the pyontology exemplar (axioms
+compiled onto finite domains + a worklist solver): every asserted fact
+becomes a singleton domain over its object pair, every triangle of
+non-universal edges becomes a composition constraint, and an AC-3 worklist
+revises domains to the fixpoint.
+
+Because both engines run chaotic iteration of the *same* monotone revision
+operator (``R(x,y) ∩= R(x,via) ∘ R(via,y)``) from the same initial
+constraints, they converge to the same unique fixpoint on conflict-free
+inputs — the property the Hypothesis suite in ``tests/solver`` checks
+against the network oracle.  The batch engine differs operationally:
+
+* the worklist is **adjacency-restricted** — a revision is attempted only
+  through third objects that already carry a non-universal edge to one end
+  of the popped pair.  :func:`~repro.assertions.composition.compose_sets`
+  short-circuits to the universal set whenever either side is universal,
+  so every skipped triangle is a guaranteed no-op.  On sparse networks
+  (the realistic case: a DDA asserts far fewer pairs than n²) this does
+  measurably fewer revisions than the oracle's all-third-objects scan —
+  ``benchmarks/record_solver.py`` tracks the ratio;
+* inconsistency is answered with a :class:`~repro.errors.ConsistencyFailure`
+  carrying a **minimal conflict set** (see :mod:`repro.solver.explain`)
+  instead of one derivation chain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.assertions.assertion import Assertion, Pair, ordered_pair
+from repro.assertions.composition import (
+    ALL_RELATIONS,
+    compose_sets,
+    converse_set,
+)
+from repro.assertions.kinds import AssertionKind, Relation, Source
+from repro.ecr.coerce import coerce_object_ref
+from repro.ecr.schema import ObjectRef
+from repro.errors import AssertionSpecError, ConsistencyFailure
+from repro.obs.metrics import AnalysisCounters
+from repro.obs.trace import span
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.assertions.network import AssertionNetwork
+
+
+@dataclass
+class Propagation:
+    """Raw outcome of one worklist run.
+
+    ``domains`` maps canonical pairs to their (narrowed) feasible sets;
+    pairs absent from the table are universal.  ``culprit`` is the pair
+    whose domain became empty, or ``None`` on success.  ``steps`` counts
+    triangle revisions actually composed.
+    """
+
+    domains: dict[Pair, frozenset[Relation]]
+    steps: int
+    culprit: Pair | None
+
+
+def _get(
+    domains: dict[Pair, frozenset[Relation]],
+    first: ObjectRef,
+    second: ObjectRef,
+) -> frozenset[Relation]:
+    pair = ordered_pair(first, second)
+    stored = domains.get(pair, ALL_RELATIONS)
+    if pair != (first, second):
+        return converse_set(stored)
+    return stored
+
+
+def _set(
+    domains: dict[Pair, frozenset[Relation]],
+    first: ObjectRef,
+    second: ObjectRef,
+    relations: frozenset[Relation],
+) -> None:
+    pair = ordered_pair(first, second)
+    if pair != (first, second):
+        relations = converse_set(relations)
+    domains[pair] = relations
+
+
+def _oriented_relation(fact: Assertion) -> Relation:
+    """The fact's relation read along its canonical pair."""
+    pair = fact.pair
+    if pair == (fact.first, fact.second):
+        return fact.relation
+    return fact.kind.converse.relation
+
+
+def propagate(
+    facts: Sequence[Assertion],
+    *,
+    counters: AnalysisCounters | None = None,
+) -> Propagation:
+    """Compile facts to singleton domains and revise to the fixpoint.
+
+    Pure function over its inputs — no network is touched — which is what
+    makes trial propagation (suggestions, what-if explanations) and the
+    QuickXplain subset probes cheap to express.
+    """
+    domains: dict[Pair, frozenset[Relation]] = {}
+    steps = 0
+    for fact in facts:
+        if fact.first == fact.second:
+            raise AssertionSpecError(
+                f"cannot assert {fact.first} against itself"
+            )
+        pair = fact.pair
+        narrowed = domains.get(pair, ALL_RELATIONS) & {
+            _oriented_relation(fact)
+        }
+        domains[pair] = narrowed
+        if not narrowed:
+            if counters is not None:
+                counters.solver_propagation_steps += steps
+            return Propagation(domains, steps, pair)
+
+    # Non-universal adjacency: the only third objects worth revising
+    # through.  compose_sets() yields the universal set when either side
+    # is universal, so any triangle with an unlisted leg cannot narrow.
+    neighbours: dict[ObjectRef, set[ObjectRef]] = {}
+    for left, right in domains:
+        neighbours.setdefault(left, set()).add(right)
+        neighbours.setdefault(right, set()).add(left)
+
+    queue: deque[Pair] = deque(domains)
+    queued: set[Pair] = set(queue)
+    culprit: Pair | None = None
+    while queue and culprit is None:
+        pair = queue.popleft()
+        queued.discard(pair)
+        i, j = pair
+        # Revise (i, k) through j and (k, j) through i, for every k that
+        # carries a constrained edge to i or j.
+        for k in list(neighbours.get(i, ()) | neighbours.get(j, ())):
+            if k == i or k == j:
+                continue
+            for x, y, via in ((i, k, j), (k, j, i)):
+                rel_x_via = _get(domains, x, via)
+                rel_via_y = _get(domains, via, y)
+                if rel_x_via == ALL_RELATIONS and rel_via_y == ALL_RELATIONS:
+                    continue
+                steps += 1
+                old = _get(domains, x, y)
+                new = old & compose_sets(rel_x_via, rel_via_y)
+                if new == old:
+                    continue
+                _set(domains, x, y, new)
+                revised = ordered_pair(x, y)
+                neighbours.setdefault(x, set()).add(y)
+                neighbours.setdefault(y, set()).add(x)
+                if not new:
+                    culprit = revised
+                    break
+                if revised not in queued:
+                    queue.append(revised)
+                    queued.add(revised)
+            if culprit is not None:
+                break
+    if counters is not None:
+        counters.solver_propagation_steps += steps
+    return Propagation(domains, steps, culprit)
+
+
+def derived_from(
+    domains: dict[Pair, frozenset[Relation]],
+    specified_pairs: set[Pair],
+) -> dict[Pair, Assertion]:
+    """Derived assertions: singleton, unspecified pairs, network-style.
+
+    Uses the same kind mapping as the network's ``_refresh_derived``: a
+    derived DR pair defaults to the integrable code 4 and a derived PO
+    pair to "may be", with ``integrability_decided`` False for both —
+    only an explicit DDA code decides integrability.
+    """
+    derived: dict[Pair, Assertion] = {}
+    for pair, relations in domains.items():
+        if len(relations) != 1 or pair in specified_pairs:
+            continue
+        relation = next(iter(relations))
+        kind = (
+            AssertionKind.DISJOINT_INTEGRABLE
+            if relation is Relation.DR
+            else AssertionKind.from_relation(relation)
+        )
+        derived[pair] = Assertion(
+            pair[0],
+            pair[1],
+            kind,
+            Source.DERIVED,
+            integrability_decided=relation not in (Relation.DR, Relation.PO),
+        )
+    return derived
+
+
+@dataclass
+class SolverSolution:
+    """A successful fixpoint: the narrowed domains plus derived assertions."""
+
+    facts: tuple[Assertion, ...]
+    feasible: dict[Pair, frozenset[Relation]]
+    derived: tuple[Assertion, ...]
+    steps: int
+
+    def feasible_between(
+        self, first: ObjectRef | str, second: ObjectRef | str
+    ) -> frozenset[Relation]:
+        """Feasible relations between two objects, oriented first→second."""
+        first = coerce_object_ref(first)
+        second = coerce_object_ref(second)
+        if first == second:
+            return frozenset({Relation.EQ})
+        return _get(self.feasible, first, second)
+
+
+class ConstraintSolver:
+    """Batch constraint solver over a set of asserted facts.
+
+    Build one from raw :class:`~repro.assertions.assertion.Assertion`
+    facts or :meth:`from_network`, then :meth:`solve`.  On inconsistency
+    :meth:`solve` raises :class:`~repro.errors.ConsistencyFailure` whose
+    ``conflict`` is a verified-minimal subset of the input facts.
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[Assertion] = (),
+        *,
+        counters: AnalysisCounters | None = None,
+    ) -> None:
+        self.facts: list[Assertion] = list(facts)
+        self.counters = counters if counters is not None else AnalysisCounters()
+
+    @classmethod
+    def from_network(
+        cls,
+        network: "AssertionNetwork",
+        extra_facts: Iterable[Assertion] = (),
+    ) -> "ConstraintSolver":
+        """A solver over a network's specified facts (plus hypotheticals)."""
+        return cls(
+            list(network.specified_assertions()) + list(extra_facts),
+            counters=network.counters,
+        )
+
+    def solve(self) -> SolverSolution:
+        """Propagate to the fixpoint; raise on inconsistency.
+
+        Raises
+        ------
+        ConsistencyFailure
+            With a minimal conflict set over the input facts.
+        """
+        from repro.solver.explain import minimal_conflict
+
+        self.counters.solver_runs += 1
+        with span("solver.propagate", counters=self.counters):
+            outcome = propagate(self.facts, counters=self.counters)
+        if outcome.culprit is not None:
+            conflict = minimal_conflict(self.facts, counters=self.counters)
+            raise ConsistencyFailure(conflict, subject=outcome.culprit)
+        specified_pairs = {fact.pair for fact in self.facts}
+        derived = derived_from(outcome.domains, specified_pairs)
+        return SolverSolution(
+            facts=tuple(self.facts),
+            feasible=outcome.domains,
+            derived=tuple(derived[pair] for pair in sorted(derived)),
+            steps=outcome.steps,
+        )
+
+    def check(self, extra_facts: Iterable[Assertion] = ()) -> bool:
+        """Whether the facts (plus hypotheticals) admit a solution."""
+        self.counters.solver_consistency_checks += 1
+        outcome = propagate(
+            self.facts + list(extra_facts), counters=self.counters
+        )
+        return outcome.culprit is None
+
+
+@dataclass(frozen=True)
+class AssertionExplanation:
+    """What-if analysis of one hypothetical assertion.
+
+    ``consistent`` says whether specifying the assertion would be
+    accepted.  When it would conflict, ``conflict`` is the minimal set of
+    *existing* facts that clash with it (retracting any one of them makes
+    the assertion admissible).  When it is safe, ``consequences`` are the
+    assertions that would newly become derived.
+    """
+
+    first: ObjectRef
+    second: ObjectRef
+    kind: AssertionKind
+    consistent: bool
+    feasible_before: frozenset[Relation]
+    conflict: tuple[Assertion, ...] = ()
+    consequences: tuple[Assertion, ...] = field(default=())
+
+    def repairs(self) -> list[str]:
+        """Screen 9-style repair options when the assertion conflicts."""
+        if self.consistent:
+            return []
+        options = [
+            "withdraw the new assertion "
+            + self.kind.describe(str(self.first), str(self.second))
+        ]
+        for member in self.conflict:
+            if member.source is Source.DDA:
+                options.append(
+                    f"retract or change {member.describe()} "
+                    f"(currently code {member.kind.code})"
+                )
+            else:
+                options.append(
+                    f"revise the schema structure behind {member.describe()}"
+                )
+        return options
+
+    def to_wire(self) -> dict:
+        return {
+            "first": str(self.first),
+            "second": str(self.second),
+            "kind": self.kind.name,
+            "kind_code": self.kind.code,
+            "consistent": self.consistent,
+            "feasible": sorted(rel.value for rel in self.feasible_before),
+            "conflict_set": [member.to_wire() for member in self.conflict],
+            "consequences": [
+                member.to_wire() for member in self.consequences
+            ],
+            "repairs": self.repairs(),
+        }
+
+
+def explain_assertion(
+    network: "AssertionNetwork",
+    first: ObjectRef | str,
+    second: ObjectRef | str,
+    kind: AssertionKind | int,
+) -> AssertionExplanation:
+    """Explain what specifying ``kind`` on a pair would do, without doing it.
+
+    Runs trial propagation over the network's committed facts plus the
+    hypothetical assertion; the network itself is never mutated.
+    """
+    from repro.solver.explain import minimal_conflict
+
+    if isinstance(kind, int):
+        kind = AssertionKind.from_code(kind)
+    first = coerce_object_ref(first)
+    second = coerce_object_ref(second)
+    feasible_before = network.feasible(first, second)  # validates membership
+    if first == second:
+        raise AssertionSpecError(f"cannot assert {first} against itself")
+    facts = network.specified_assertions()
+    candidate = Assertion(first, second, kind, note="hypothetical")
+    counters = network.counters
+    with span("solver.explain", counters=counters):
+        counters.solver_runs += 1
+        trial = propagate(facts + [candidate], counters=counters)
+        if trial.culprit is not None:
+            conflict = minimal_conflict(
+                facts, background=[candidate], counters=counters
+            )
+            return AssertionExplanation(
+                first,
+                second,
+                kind,
+                consistent=False,
+                feasible_before=feasible_before,
+                conflict=conflict,
+            )
+        base = propagate(facts, counters=counters)
+        specified_pairs = {fact.pair for fact in facts}
+        before = derived_from(base.domains, specified_pairs)
+        after = derived_from(
+            trial.domains, specified_pairs | {candidate.pair}
+        )
+        consequences = tuple(
+            after[pair]
+            for pair in sorted(after)
+            if before.get(pair) != after[pair]
+        )
+        return AssertionExplanation(
+            first,
+            second,
+            kind,
+            consistent=True,
+            feasible_before=feasible_before,
+            consequences=consequences,
+        )

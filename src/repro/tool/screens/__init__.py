@@ -30,6 +30,7 @@ from repro.tool.screens.browse import (
     ParticipatingObjectsScreen,
 )
 from repro.tool.screens.federation import FederationScreen
+from repro.tool.screens.suggestion import SuggestionScreen
 
 __all__ = [
     "POP",
@@ -56,4 +57,5 @@ __all__ = [
     "EquivalentScreen",
     "ParticipatingObjectsScreen",
     "FederationScreen",
+    "SuggestionScreen",
 ]

@@ -170,15 +170,28 @@ class ConflictResolutionScreen(Screen):
                 f"{str(assertion.first):<26}{str(assertion.second):<26}"
                 f"{assertion.kind.code:>9}"
             )
+        minimal = report.minimal_conflict()
+        if minimal:
+            lines.append("")
+            lines.append("Minimal conflict set (retract any one to resolve):")
+            for index, assertion in enumerate(minimal, start=1):
+                tag = "" if assertion.source is Source.DDA else " *"
+                lines.append(
+                    f"  {index} - {assertion.describe()} "
+                    f"(code {assertion.kind.code}){tag}"
+                )
         lines.append("")
         lines.extend(_MENU_LINES)
         return lines
 
     def prompt(self, session: ToolSession) -> str:
-        return (
+        options = (
             "(W)ithdraw new assertion  "
-            "(C <line> <code>) change a chain assertion then retry  :"
+            "(C <line> <code>) change a chain assertion then retry"
         )
+        if self.report.minimal_conflict():
+            options += "  (M <n>) retract conflict-set member <n> then retry"
+        return options + "  :"
 
     def handle(self, line: str, session: ToolSession):
         choice, args = self.parse_choice(line)
@@ -203,6 +216,37 @@ class ConflictResolutionScreen(Screen):
                 )
             code = int(args[1])
             network.respecify(target.first, target.second, code)
+            try:
+                network.specify(
+                    self.report.new.first,
+                    self.report.new.second,
+                    self.report.new.kind,
+                )
+            except ConflictError as conflict:
+                self.report = conflict.report
+                session.status = "still conflicting"
+                return None
+            session.status = "conflict resolved"
+            return POP
+        if choice == "m":
+            if len(args) != 1:
+                raise ToolError("usage: M <conflict-set-member-number>")
+            minimal = self.report.minimal_conflict()
+            if not minimal:
+                raise ToolError("no minimal conflict set for this report")
+            try:
+                index = int(args[0]) - 1
+            except ValueError:
+                raise ToolError(f"bad member number {args[0]!r}") from None
+            if not 0 <= index < len(minimal):
+                raise ToolError(f"conflict-set member {args[0]} is out of range")
+            target = minimal[index]
+            if target.source is not Source.DDA:
+                raise ToolError(
+                    "that assertion comes from the schema structure; "
+                    "edit the schema instead"
+                )
+            network.retract(target.first, target.second)
             try:
                 network.specify(
                     self.report.new.first,

@@ -5,7 +5,9 @@ collection; tasks 2 and 3 handle object classes (equivalences, then
 assertions); tasks 4 and 5 do the same for relationship sets; task 6
 performs integration and opens the browse hierarchy.  Task 7 goes
 operational: it runs global requests against the integrated schema via
-the federated query engine (:mod:`repro.federation`).
+the federated query engine (:mod:`repro.federation`).  Task 8 reviews
+the solver's ranked equivalence suggestions (:mod:`repro.solver`) for
+one-keystroke confirmation.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.tool.screens.browse import ObjectClassScreen
 from repro.tool.screens.collection import SchemaNameScreen
 from repro.tool.screens.equivalence import ObjectSelectScreen, SchemaSelectScreen
 from repro.tool.screens.federation import FederationScreen
+from repro.tool.screens.suggestion import SuggestionScreen
 from repro.tool.session import ToolSession
 
 _TASKS = [
@@ -27,6 +30,7 @@ _TASKS = [
     "5. Specify assertions for relationships",
     "6. Perform integration and view the integrated schema",
     "7. Run a global request over the component databases",
+    "8. Review suggested equivalence assertions",
 ]
 
 
@@ -51,7 +55,7 @@ class MainMenuScreen(Screen):
 
     def prompt(self, session: ToolSession) -> str:
         return (
-            "Enter task (1-7), (S)ave <file>, (L)oad <file>, "
+            "Enter task (1-8), (S)ave <file>, (L)oad <file>, "
             "(Z)undo, (Y)redo, or (E)xit :"
         )
 
@@ -96,6 +100,8 @@ class MainMenuScreen(Screen):
         if choice == "7":
             session.require_result()  # federation needs mappings to plan
             return FederationScreen()
+        if choice == "8":
+            return self._suggestion_screen(session)
         raise ToolError(f"unknown choice {line!r}")
 
     @staticmethod
@@ -115,3 +121,11 @@ class MainMenuScreen(Screen):
                 "assertions",
             )
         return AssertionCollectScreen(relationships)
+
+    @staticmethod
+    def _suggestion_screen(session: ToolSession):
+        if session.selected_pair is None:
+            return SchemaSelectScreen(
+                lambda: SuggestionScreen(), "suggestions"
+            )
+        return SuggestionScreen()

@@ -1,0 +1,126 @@
+"""The Assertion Suggestion screen (main-menu task 8).
+
+The solver's suggestion pass turns Screen 8's hand-enumeration into
+confirm-not-enumerate: candidate equivalences across the selected schema
+pair arrive ranked by resemblance and pre-labelled ``safe`` or
+``conflicting`` by trial propagation, and the DDA accepts one with a
+single keystroke.  Accepted suggestions commit through the analysis
+session (the kernel bus), so undo/redo and the WAL cover them like any
+Screen 8 assertion.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConflictError, ToolError
+from repro.tool.screens.base import POP, Screen
+from repro.tool.session import ToolSession
+
+
+class SuggestionScreen(Screen):
+    """Ranked, safety-labelled equivalence suggestions for the pair."""
+
+    header = "ASSERTION SPECIFICATION"
+    subheader = "Suggested Equivalence Assertions"
+
+    def __init__(self, relationships: bool = False, limit: int = 10) -> None:
+        self.relationships = relationships
+        if relationships:
+            self.subheader = "Suggested Equivalence Assertions (Relationships)"
+        self.limit = limit
+        self._cursor = 0
+        self._suggestions: list | None = None
+
+    def _current(self, session: ToolSession) -> list:
+        if self._suggestions is None:
+            first, second = session.require_pair()
+            self._suggestions = session.analysis.suggest_assertions(
+                first,
+                second,
+                relationships=self.relationships,
+                limit=self.limit,
+            )
+            self._cursor = 0
+        return self._suggestions
+
+    def refresh(self) -> None:
+        """Drop the cached list; the next render recomputes it."""
+        self._suggestions = None
+
+    def body(self, session: ToolSession) -> list[str]:
+        suggestions = self._current(session)
+        lines = [
+            f"{'Schema_Name1.Obj_Class1':<26}{'Schema_Name2.Obj_Class2':<26}"
+            f"{'SCORE':>8}{'STATUS':>13}",
+        ]
+        for index, suggestion in enumerate(suggestions):
+            marker = "=>" if index == self._cursor else "  "
+            lines.append(
+                f"{marker}{str(suggestion.first):<24}"
+                f"{str(suggestion.second):<26}"
+                f"{suggestion.score:>8.4f}{suggestion.status:>13}"
+            )
+        if not suggestions:
+            lines.append(
+                "   (no undetermined pairs left - nothing to suggest)"
+            )
+        return lines
+
+    def prompt(self, session: ToolSession) -> str:
+        suggestions = self._current(session)
+        if self._cursor < len(suggestions):
+            suggestion = suggestions[self._cursor]
+            return (
+                f"Suggestion {suggestion.first} = {suggestion.second} "
+                f"[{suggestion.status}]  "
+                "(A)ccept, (N)ext, (R)efresh, (Z)undo, (Y)redo, (E)xit :"
+            )
+        return "All suggestions reviewed.  (R)efresh, (E)xit :"
+
+    def handle(self, line: str, session: ToolSession):
+        choice, args = self.parse_choice(line)
+        if self.time_travel(choice, session):
+            self.refresh()
+            return None
+        if choice == "e":
+            return POP
+        if choice == "r":
+            self.refresh()
+            session.status = "suggestions recomputed"
+            return None
+        suggestions = self._current(session)
+        if choice == "n":
+            if self._cursor < len(suggestions):
+                self._cursor += 1
+            return None
+        if choice == "a":
+            if self._cursor >= len(suggestions):
+                raise ToolError("all suggestions reviewed; R recomputes")
+            suggestion = suggestions[self._cursor]
+            if not suggestion.safe:
+                clash = "; ".join(
+                    member.describe() for member in suggestion.conflict
+                )
+                session.status = (
+                    f"cannot accept: conflicts with {clash or 'prior facts'}"
+                )
+                self._cursor += 1
+                return None
+            try:
+                session.analysis.specify(
+                    suggestion.first,
+                    suggestion.second,
+                    suggestion.kind,
+                    relationships=self.relationships,
+                    note="accepted suggestion",
+                )
+            except ConflictError:
+                # Safe was judged against a snapshot; facts moved since.
+                session.status = "suggestion went stale - refreshing"
+                self.refresh()
+                return None
+            session.status = (
+                f"accepted {suggestion.first} = {suggestion.second}"
+            )
+            self.refresh()
+            return None
+        raise ToolError(f"unknown choice {line!r}")

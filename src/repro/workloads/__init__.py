@@ -27,6 +27,8 @@ from repro.workloads.university import (
 from repro.workloads.generator import (
     GeneratorConfig,
     GeneratedPair,
+    PlantedContradiction,
+    conflict_seeded_config,
     generate_schema_pair,
 )
 from repro.workloads.oracle import GroundTruth, OracleDda
@@ -51,6 +53,8 @@ __all__ = [
     "PAPER_ASSERTION_CODES",
     "GeneratorConfig",
     "GeneratedPair",
+    "PlantedContradiction",
+    "conflict_seeded_config",
     "generate_schema_pair",
     "GroundTruth",
     "OracleDda",

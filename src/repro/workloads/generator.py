@@ -72,6 +72,12 @@ class GeneratorConfig:
     equal_rate, contain_rate, overlap_rate:
         Mix of true assertions among shared concepts; the remainder are
         disjoint-but-integrable.  Must sum to at most 1.
+    contradictions:
+        Number of planted contradictions (see
+        :class:`PlantedContradiction`).  Each consumes one shared
+        *equals* concept and one unshared concept; generation raises
+        :class:`~repro.errors.SchemaError` when the world is too small
+        to plant them independently.
     """
 
     seed: int = 0
@@ -85,10 +91,15 @@ class GeneratorConfig:
     equal_rate: float = 0.4
     contain_rate: float = 0.3
     overlap_rate: float = 0.15
+    contradictions: int = 0
 
     def __post_init__(self) -> None:
         if self.concepts < 2:
             raise SchemaError("need at least two concepts")
+        if self.contradictions < 0:
+            raise SchemaError(
+                f"contradictions must be >= 0, got {self.contradictions}"
+            )
         if not 0.0 <= self.overlap <= 1.0:
             raise SchemaError(f"overlap must be in [0,1], got {self.overlap}")
         low, high = self.attributes_per_concept
@@ -101,6 +112,37 @@ class GeneratorConfig:
             raise SchemaError(f"assertion mix sums to {mix}, must be <= 1")
 
 
+#: A (first, second, kind) triple ready to assert on a network.
+AssertionTriple = tuple[ObjectRef, ObjectRef, AssertionKind]
+
+
+@dataclass(frozen=True)
+class PlantedContradiction:
+    """One deliberately inconsistent assertion triangle.
+
+    ``base`` is a *true* equals assertion between two projections of one
+    shared concept (part of the ground truth).  ``extras`` are two facts
+    about an otherwise-unconstrained spoiler object ``T``::
+
+        base:   A equals B          (true)
+        extras: B disjoint T,  A equals T
+
+    Together the three are inconsistent (A≡B, B∥T forces A∥T) and the
+    triangle is **provably minimal**: drop any one member and the rest is
+    satisfiable.  Because each contradiction gets its own spoiler, the
+    planted sets are independent — a solver/oracle comparison can verify
+    each one in isolation (true facts + one contradiction's extras).
+    """
+
+    base: AssertionTriple
+    extras: tuple[AssertionTriple, ...]
+
+    @property
+    def all_facts(self) -> tuple[AssertionTriple, ...]:
+        """Every member of the minimal set, base first."""
+        return (self.base, *self.extras)
+
+
 @dataclass
 class GeneratedPair:
     """The generator's output: two schemas plus their ground truth."""
@@ -109,6 +151,7 @@ class GeneratedPair:
     second: Schema
     truth: GroundTruth
     config: GeneratorConfig = field(repr=False, default=GeneratorConfig())
+    contradictions: list[PlantedContradiction] = field(default_factory=list)
 
 
 @dataclass
@@ -141,7 +184,91 @@ def generate_schema_pair(config: GeneratorConfig) -> GeneratedPair:
     _add_relationships(first, config, rng, salt=1)
     _add_relationships(second, config, rng, salt=2)
     _add_shared_relationships(concepts, first, second, truth, config, rng)
-    return GeneratedPair(first, second, truth, config)
+    planted = _plant_contradictions(concepts, first, second, config)
+    return GeneratedPair(first, second, truth, config, planted)
+
+
+def conflict_seeded_config(
+    seed: int = 0,
+    *,
+    contradictions: int = 2,
+    concepts: int = 14,
+    overlap: float = 0.5,
+) -> GeneratorConfig:
+    """A config tuned for solver tests: dense equivalences + contradictions.
+
+    The high ``equal_rate`` makes shared concepts overwhelmingly *equals*
+    (a dense equivalence set, lots of derivation), ``name_hint_rate=1``
+    keeps equivalent attribute names aligned so the suggestion ranking
+    has real signal, and ``contradictions`` plants that many independent
+    minimal conflict triangles.
+    """
+    return GeneratorConfig(
+        seed=seed,
+        concepts=concepts,
+        overlap=overlap,
+        equal_rate=0.9,
+        contain_rate=0.05,
+        overlap_rate=0.0,
+        name_hint_rate=1.0,
+        contradictions=contradictions,
+    )
+
+
+def _plant_contradictions(
+    concepts: list[_Concept],
+    first: Schema,
+    second: Schema,
+    config: GeneratorConfig,
+) -> list[PlantedContradiction]:
+    """Build ``config.contradictions`` independent conflict triangles.
+
+    Deterministic given the world: the i-th contradiction pairs the i-th
+    shared *equals* concept with the i-th unshared concept (the spoiler).
+    Spoilers are unshared and never reused, so no two planted triangles
+    interact through derivation.
+    """
+    if config.contradictions == 0:
+        return []
+    equal_concepts = [
+        concept
+        for concept in concepts
+        if concept.kind is AssertionKind.EQUALS
+        and concept.in_first
+        and concept.in_second
+    ]
+    spoilers = [concept for concept in concepts if concept.kind is None]
+    if len(equal_concepts) < config.contradictions:
+        raise SchemaError(
+            f"cannot plant {config.contradictions} contradictions: only "
+            f"{len(equal_concepts)} shared equals concepts (raise "
+            f"concepts/overlap/equal_rate or change the seed)"
+        )
+    if len(spoilers) < config.contradictions:
+        raise SchemaError(
+            f"cannot plant {config.contradictions} contradictions: only "
+            f"{len(spoilers)} unshared spoiler concepts (lower overlap "
+            f"or raise concepts)"
+        )
+    planted: list[PlantedContradiction] = []
+    for target, spoiler in zip(
+        equal_concepts[: config.contradictions],
+        spoilers[: config.contradictions],
+    ):
+        ref_a = ObjectRef(first.name, target.name)
+        ref_b = ObjectRef(second.name, target.name)
+        spoiler_schema = first if spoiler.in_first else second
+        ref_t = ObjectRef(spoiler_schema.name, spoiler.name)
+        planted.append(
+            PlantedContradiction(
+                base=(ref_a, ref_b, AssertionKind.EQUALS),
+                extras=(
+                    (ref_b, ref_t, AssertionKind.DISJOINT_INTEGRABLE),
+                    (ref_a, ref_t, AssertionKind.EQUALS),
+                ),
+            )
+        )
+    return planted
 
 
 def _build_world(config: GeneratorConfig, rng: random.Random) -> list[_Concept]:

@@ -1,0 +1,173 @@
+"""The solver's HTTP surface: suggestions, what-if explain, 409 details."""
+
+
+def _plant_derived_conflict(seeded):
+    """Recreate the derived-conflict world from ``test_app`` and reject one.
+
+    sc1.Student ⊇ sc2.Grad_student = sc3.Pupil makes Student ∥ Pupil
+    underivable, so the final POST is a 409 whose payload this module
+    asserts on.
+    """
+    seeded.post(
+        "/v1/sessions/s1/schemas",
+        {"ddl": "schema sc3\nentity Pupil\n  attr Name : string key\n"},
+    )
+    seeded.post(
+        "/v1/sessions/s1/equivalences",
+        {"first": "sc1.Student.Name", "second": "sc3.Pupil.Name"},
+    )
+    seeded.post(
+        "/v1/sessions/s1/assertions",
+        {"first": "sc2.Grad_student", "second": "sc3.Pupil", "kind": "EQUALS"},
+    )
+    return seeded.post(
+        "/v1/sessions/s1/assertions",
+        {
+            "first": "sc1.Student",
+            "second": "sc3.Pupil",
+            "kind": "DISJOINT_NONINTEGRABLE",
+        },
+    )
+
+
+class TestSuggestions:
+    def test_ranked_and_shaped(self, seeded):
+        status, payload = seeded.get(
+            "/v1/sessions/s1/suggestions",
+            query={"first": "sc1", "second": "sc2"},
+        )
+        assert status == 200
+        suggestions = payload["suggestions"]
+        assert suggestions
+        scores = [s["score"] for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+        for suggestion in suggestions:
+            assert suggestion["kind"] == "EQUALS"
+            assert suggestion["status"] in ("safe", "conflicting")
+            assert set(suggestion["components"]) == {
+                "name",
+                "attribute_ratio",
+                "key",
+                "domain",
+                "cardinality",
+            }
+
+    def test_decided_pairs_are_excluded(self, seeded):
+        # the seeded fixture already asserted both cross-schema pairs
+        status, payload = seeded.get(
+            "/v1/sessions/s1/suggestions",
+            query={"first": "sc1", "second": "sc2"},
+        )
+        pairs = {
+            (s["first"], s["second"]) for s in payload["suggestions"]
+        }
+        assert ("sc1.Department", "sc2.Department") not in pairs
+        assert ("sc1.Student", "sc2.Grad_student") not in pairs
+
+    def test_limit(self, seeded):
+        status, payload = seeded.get(
+            "/v1/sessions/s1/suggestions",
+            query={"first": "sc1", "second": "sc2", "limit": "1"},
+        )
+        assert status == 200
+        assert len(payload["suggestions"]) == 1
+
+    def test_missing_schema_params_is_400(self, seeded):
+        status, payload = seeded.get(
+            "/v1/sessions/s1/suggestions", query={"first": "sc1"}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_bad_limit_is_400(self, seeded):
+        for bad in ("zero", "0", "-3"):
+            status, payload = seeded.get(
+                "/v1/sessions/s1/suggestions",
+                query={"first": "sc1", "second": "sc2", "limit": bad},
+            )
+            assert status == 400
+
+
+class TestExplain:
+    def test_consistent_hypothesis_is_200_with_consequences(self, seeded):
+        seeded.post(
+            "/v1/sessions/s1/schemas",
+            {"ddl": "schema sc3\nentity Pupil\n  attr Name : string key\n"},
+        )
+        status, payload = seeded.post(
+            "/v1/sessions/s1/assertions/explain",
+            {
+                "first": "sc3.Pupil",
+                "second": "sc2.Grad_student",
+                "kind": "EQUALS",
+            },
+        )
+        assert status == 200
+        assert payload["consistent"] is True
+        assert payload["conflict_set"] == []
+        # Pupil = Grad_student ⊂ Student pins Pupil ⊂ Student
+        consequences = {
+            (c["first"], c["second"]) for c in payload["consequences"]
+        }
+        assert consequences
+        # and nothing was committed: the same explain still succeeds
+        assert (
+            seeded.post(
+                "/v1/sessions/s1/assertions/explain",
+                {
+                    "first": "sc3.Pupil",
+                    "second": "sc2.Grad_student",
+                    "kind": "EQUALS",
+                },
+            )[0]
+            == 200
+        )
+
+    def test_conflicting_hypothesis_is_still_200(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/assertions/explain",
+            {
+                "first": "sc1.Student",
+                "second": "sc2.Grad_student",
+                "kind": "DISJOINT_NONINTEGRABLE",
+            },
+        )
+        assert status == 200
+        assert payload["consistent"] is False
+        assert payload["conflict_set"]
+        assert payload["repairs"]
+        for member in payload["conflict_set"]:
+            assert {"first", "second", "kind"} <= member.keys()
+
+    def test_missing_kind_is_400(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/assertions/explain",
+            {"first": "sc1.Student", "second": "sc2.Grad_student"},
+        )
+        assert status == 400
+
+
+class TestConflictPayload:
+    def test_409_carries_structured_details(self, seeded):
+        status, payload = _plant_derived_conflict(seeded)
+        assert status == 409
+        assert payload["error"]["code"] == "assertion_conflict"
+        details = payload["error"]["details"]
+        assert details["new"]["kind"] == "DISJOINT_NONINTEGRABLE"
+        assert {"first", "second"} <= details["subject"].keys()
+        assert details["chain"]
+        assert details["repairs"]
+        assert details["feasible"]
+
+    def test_409_minimal_conflict_set_names_retractables(self, seeded):
+        status, payload = _plant_derived_conflict(seeded)
+        details = payload["error"]["details"]
+        conflict_set = details["conflict_set"]
+        assert conflict_set
+        for member in conflict_set:
+            assert {"first", "second", "kind", "source"} <= member.keys()
+        # the rejected assertion is background, never its own culprit
+        rejected = (details["new"]["first"], details["new"]["second"])
+        assert rejected not in {
+            (m["first"], m["second"]) for m in conflict_set
+        }

@@ -1,0 +1,1 @@
+"""Tests for the batch constraint solver (``repro.solver``)."""

@@ -1,0 +1,52 @@
+"""Shared helpers: hand-built fact triangles and workload fact lists."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assertions.assertion import Assertion
+from repro.assertions.kinds import AssertionKind
+from repro.ecr.schema import ObjectRef
+from repro.workloads.generator import GeneratedPair
+
+A = ObjectRef("sc1", "Alpha")
+B = ObjectRef("sc2", "Beta")
+C = ObjectRef("sc2", "Gamma")
+T = ObjectRef("sc3", "Thorn")
+
+
+def fact(first, second, kind) -> Assertion:
+    return Assertion(first, second, kind)
+
+
+def triple_fact(triple) -> Assertion:
+    """An (first, second, kind) generator triple as an Assertion."""
+    first, second, kind = triple
+    return Assertion(first, second, kind)
+
+
+def truth_facts(pair: GeneratedPair) -> list[Assertion]:
+    """The generator's ground-truth object assertions as a fact list."""
+    return [
+        Assertion(first, second, kind)
+        for (first, second), kind in pair.truth.object_assertions.items()
+    ]
+
+
+@pytest.fixture
+def chain_facts():
+    """A consistent chain: Alpha = Beta, Beta ⊂ Gamma (derives Alpha ⊂ Gamma)."""
+    return [
+        fact(A, B, AssertionKind.EQUALS),
+        fact(B, C, AssertionKind.CONTAINED_IN),
+    ]
+
+
+@pytest.fixture
+def triangle_facts():
+    """A minimally inconsistent triangle: A = B, B ∥ T, A = T."""
+    return [
+        fact(A, B, AssertionKind.EQUALS),
+        fact(B, T, AssertionKind.DISJOINT_INTEGRABLE),
+        fact(A, T, AssertionKind.EQUALS),
+    ]

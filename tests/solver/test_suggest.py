@@ -1,0 +1,157 @@
+"""The suggestion pass: ranking, safety labels, top-3 recall on workloads."""
+
+import pytest
+
+from repro.assertions.assertion import Assertion
+from repro.assertions.kinds import AssertionKind
+from repro.ecr.builder import SchemaBuilder
+from repro.equivalence.session import AnalysisSession
+from repro.obs.metrics import AnalysisCounters
+from repro.solver import suggest_equivalence_assertions, verify_conflict
+from repro.workloads.generator import conflict_seeded_config, generate_schema_pair
+
+
+def _schema(name, entities):
+    builder = SchemaBuilder(name)
+    for entity, attrs in entities:
+        builder.entity(entity, attrs=attrs)
+    return builder.build()
+
+
+@pytest.fixture
+def session():
+    """Three mini-schemas with a twin pair and a planted obstruction.
+
+    sc1.Alpha and sc2.Alpha are obvious twins.  sc1.Alpha ∥ sc3.Thorn
+    and sc3.Thorn ⊂ sc2.Carton leave (Alpha, Carton) undetermined —
+    {DR, PO, PP} all remain — while excluding EQ, so suggesting EQUALS
+    there must come back ``conflicting``.
+    """
+    sc1 = _schema(
+        "sc1", [("Alpha", [("Name", "char", True), ("Size", "int")])]
+    )
+    sc2 = _schema(
+        "sc2",
+        [
+            ("Alpha", [("Name", "char", True), ("Size", "int")]),
+            ("Carton", [("Label", "char", True)]),
+        ],
+    )
+    sc3 = _schema("sc3", [("Thorn", [("Id", "char", True)])])
+    session = AnalysisSession([sc1, sc2, sc3])
+    session.specify(
+        "sc1.Alpha", "sc3.Thorn", AssertionKind.DISJOINT_INTEGRABLE
+    )
+    session.specify("sc3.Thorn", "sc2.Carton", AssertionKind.CONTAINED_IN)
+    return session
+
+
+class TestRankingAndLabels:
+    def test_twins_rank_first_and_are_safe(self, session):
+        suggestions = session.suggest_assertions("sc1", "sc2")
+        top = suggestions[0]
+        assert (str(top.first), str(top.second)) == ("sc1.Alpha", "sc2.Alpha")
+        assert top.safe and top.status == "safe"
+        assert top.kind is AssertionKind.EQUALS
+        assert top.conflict == ()
+
+    def test_obstructed_pair_is_conflicting_with_minimal_set(self, session):
+        suggestions = session.suggest_assertions("sc1", "sc2")
+        by_pair = {
+            (str(s.first), str(s.second)): s for s in suggestions
+        }
+        blocked = by_pair[("sc1.Alpha", "sc2.Carton")]
+        assert blocked.status == "conflicting"
+        assert len(blocked.conflict) == 2
+        candidate = Assertion(
+            blocked.first, blocked.second, AssertionKind.EQUALS
+        )
+        assert verify_conflict(blocked.conflict, background=[candidate])
+
+    def test_scores_are_ordered_and_componentised(self, session):
+        suggestions = session.suggest_assertions("sc1", "sc2")
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+        for suggestion in suggestions:
+            assert set(suggestion.components) == {
+                "name",
+                "attribute_ratio",
+                "key",
+                "domain",
+                "cardinality",
+            }
+
+    def test_limit_is_respected(self, session):
+        assert len(session.suggest_assertions("sc1", "sc2", limit=1)) == 1
+
+    def test_decided_pairs_are_not_suggested(self, session):
+        session.specify("sc1.Alpha", "sc2.Alpha", AssertionKind.EQUALS)
+        pairs = {
+            (str(s.first), str(s.second))
+            for s in session.suggest_assertions("sc1", "sc2")
+        }
+        assert ("sc1.Alpha", "sc2.Alpha") not in pairs
+
+    def test_counters_count_candidates(self, session):
+        before = session.counters.solver_candidates_checked
+        count = len(session.suggest_assertions("sc1", "sc2"))
+        assert session.counters.solver_candidates_checked == before + count
+
+    def test_wire_shape(self, session):
+        suggestions = session.suggest_assertions("sc1", "sc2")
+        for suggestion in suggestions:
+            wire = suggestion.to_wire()
+            assert {
+                "first",
+                "second",
+                "kind",
+                "kind_code",
+                "score",
+                "components",
+                "status",
+            } <= wire.keys()
+            assert ("conflict_set" in wire) == (
+                suggestion.status == "conflicting"
+            )
+
+    def test_describe_mentions_score_and_status(self, session):
+        text = session.suggest_assertions("sc1", "sc2")[0].describe()
+        assert "safe" in text and "score" in text
+
+
+class TestWorkloadRecall:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_planted_equivalence_in_top_three(self, seed):
+        """The acceptance gate: a true EQUALS pair ranks in the top 3."""
+        pair = generate_schema_pair(
+            conflict_seeded_config(seed, contradictions=0)
+        )
+        session = AnalysisSession([pair.first, pair.second])
+        suggestions = session.suggest_assertions(
+            pair.first.name, pair.second.name, limit=10
+        )
+        true_equals = {
+            (first, second)
+            for (first, second), kind in pair.truth.object_assertions.items()
+            if kind is AssertionKind.EQUALS
+        }
+        top3 = {(s.first, s.second) for s in suggestions[:3]}
+        assert top3 & true_equals
+        # nothing is committed yet, so every suggestion is safe
+        assert all(s.safe for s in suggestions)
+
+    def test_direct_call_matches_session_facade(self):
+        pair = generate_schema_pair(conflict_seeded_config(5, contradictions=0))
+        session = AnalysisSession([pair.first, pair.second])
+        counters = AnalysisCounters()
+        direct = suggest_equivalence_assertions(
+            session.registry,
+            session.network_for(False),
+            pair.first.name,
+            pair.second.name,
+            counters=counters,
+        )
+        facade = session.suggest_assertions(pair.first.name, pair.second.name)
+        assert [s.describe() for s in direct] == [
+            s.describe() for s in facade
+        ]

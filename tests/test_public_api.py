@@ -25,6 +25,7 @@ STABLE_MODULES = (
     "repro.service",
     "repro.obs",
     "repro.kernel",
+    "repro.solver",
 )
 
 DOCS = Path(__file__).resolve().parent.parent / "docs"

@@ -1,0 +1,163 @@
+"""The Suggestion screen (task 8) and Screen 9's conflict-set M command."""
+
+import pytest
+
+from repro.assertions.kinds import AssertionKind, Source
+from repro.errors import ToolError
+from repro.tool.screens.assertion import (
+    AssertionCollectScreen,
+    ConflictResolutionScreen,
+)
+from repro.tool.screens.base import POP
+from repro.tool.screens.main_menu import MainMenuScreen
+from repro.tool.screens.suggestion import SuggestionScreen
+from repro.tool.session import ToolSession
+from repro.workloads.university import build_sc3, build_sc4
+
+
+@pytest.fixture
+def session():
+    s = ToolSession()
+    s.adopt_schema(build_sc3())
+    s.adopt_schema(build_sc4())
+    s.select_pair("sc3", "sc4")
+    s.registry.declare_equivalent("sc3.Instructor.Name", "sc4.Student.Name")
+    return s
+
+
+class TestSuggestionScreen:
+    def test_body_lists_ranked_candidates(self, session):
+        screen = SuggestionScreen(limit=50)
+        body = "\n".join(screen.body(session))
+        assert "SCORE" in body and "STATUS" in body
+        assert "sc3." in body and "sc4." in body
+
+    def test_accept_safe_commits_through_the_session(self, session):
+        screen = SuggestionScreen(limit=50)
+        top = screen._current(session)[0]
+        assert top.safe
+        assert screen.handle("A", session) is None
+        assert "accepted" in session.status
+        recorded = session.object_network.assertion_for(top.first, top.second)
+        assert recorded is not None
+        assert recorded.kind is AssertionKind.EQUALS
+        assert recorded.source is Source.DDA
+
+    def test_accepted_assertion_is_undoable(self, session):
+        screen = SuggestionScreen(limit=50)
+        top = screen._current(session)[0]
+        screen.handle("A", session)
+        assert screen.handle("Z", session) is None  # kernel undo
+        assert session.object_network.assertion_for(top.first, top.second) is None
+
+    def test_accept_refreshes_the_ranking(self, session):
+        screen = SuggestionScreen(limit=50)
+        top = screen._current(session)[0]
+        screen.handle("A", session)
+        pairs = {(s.first, s.second) for s in screen._current(session)}
+        assert (top.first, top.second) not in pairs
+
+    def test_conflicting_suggestion_is_refused(self, session):
+        # Instructor ∥ Grad_student ⊂ Student leaves (Instructor, Student)
+        # undetermined but EQ-impossible: the suggestion must be labelled
+        # conflicting and A must not commit it.
+        session.analysis.specify(
+            "sc3.Instructor",
+            "sc4.Grad_student",
+            AssertionKind.DISJOINT_INTEGRABLE,
+        )
+        screen = SuggestionScreen(limit=50)
+        suggestions = screen._current(session)
+        index = next(
+            i
+            for i, s in enumerate(suggestions)
+            if (str(s.first), str(s.second)) == ("sc3.Instructor", "sc4.Student")
+        )
+        assert suggestions[index].status == "conflicting"
+        assert suggestions[index].conflict
+        for _ in range(index):
+            screen.handle("N", session)
+        before = len(session.object_network.specified_assertions())
+        assert screen.handle("A", session) is None
+        assert "cannot accept" in session.status
+        assert len(session.object_network.specified_assertions()) == before
+
+    def test_next_and_exit(self, session):
+        screen = SuggestionScreen(limit=50)
+        screen.handle("N", session)
+        assert screen._cursor == 1
+        assert screen.handle("E", session) is POP
+
+    def test_refresh_recomputes(self, session):
+        screen = SuggestionScreen(limit=50)
+        screen._current(session)
+        assert screen.handle("R", session) is None
+        assert "recomputed" in session.status
+
+    def test_accept_past_the_end_is_an_error(self, session):
+        screen = SuggestionScreen(limit=50)
+        count = len(screen._current(session))
+        for _ in range(count):
+            screen.handle("N", session)
+        with pytest.raises(ToolError):
+            screen.handle("A", session)
+
+    def test_main_menu_task_8_opens_the_screen(self, session):
+        outcome = MainMenuScreen().handle("8", session)
+        assert isinstance(outcome, SuggestionScreen)
+
+
+class TestScreen9ConflictSet:
+    def _conflict(self, session):
+        session.registry.declare_equivalent(
+            "sc3.Instructor.Office", "sc4.Grad_student.Thesis_title"
+        )
+        screen = AssertionCollectScreen()
+        screen.handle("2", session)  # Instructor ⊆ Grad_student
+        screen9 = screen.handle("0", session)  # Instructor ∥ Student: conflict
+        assert isinstance(screen9, ConflictResolutionScreen)
+        return screen9
+
+    def test_body_and_prompt_show_the_minimal_set(self, session):
+        screen9 = self._conflict(session)
+        body = "\n".join(screen9.body(session))
+        assert "Minimal conflict set" in body
+        assert "(M <n>)" in screen9.prompt(session)
+
+    def test_retract_member_resolves_the_conflict(self, session):
+        screen9 = self._conflict(session)
+        minimal = screen9.report.minimal_conflict()
+        member = next(
+            i
+            for i, assertion in enumerate(minimal, start=1)
+            if assertion.source is Source.DDA
+        )
+        outcome = screen9.handle(f"M {member}", session)
+        assert outcome is POP
+        assert "resolved" in session.status
+        network = session.object_network
+        # the retracted DDA assertion is gone, the new one committed
+        new = screen9.report.new
+        recorded = network.assertion_for(new.first, new.second)
+        assert recorded is not None and recorded.kind.code == 0
+
+    def test_implicit_members_cannot_be_retracted(self, session):
+        screen9 = self._conflict(session)
+        minimal = screen9.report.minimal_conflict()
+        implicit = [
+            i
+            for i, assertion in enumerate(minimal, start=1)
+            if assertion.source is not Source.DDA
+        ]
+        assert implicit, "expected an implicit member in the conflict set"
+        with pytest.raises(ToolError):
+            screen9.handle(f"M {implicit[0]}", session)
+
+    def test_bad_member_numbers(self, session):
+        screen9 = self._conflict(session)
+        with pytest.raises(ToolError):
+            screen9.handle("M", session)
+        with pytest.raises(ToolError):
+            screen9.handle("M notanumber", session)
+        with pytest.raises(ToolError):
+            screen9.handle("M 99", session)

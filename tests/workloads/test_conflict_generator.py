@@ -1,0 +1,96 @@
+"""The conflict-seeded generator knob: planted, minimal, independent."""
+
+import pytest
+
+from repro.assertions.kinds import AssertionKind
+from repro.errors import SchemaError
+from repro.solver import is_consistent, verify_conflict
+from repro.workloads import (
+    GeneratorConfig,
+    PlantedContradiction,
+    conflict_seeded_config,
+    generate_schema_pair,
+)
+
+from tests.solver.conftest import triple_fact, truth_facts
+
+
+class TestConfig:
+    def test_default_plants_nothing(self):
+        pair = generate_schema_pair(GeneratorConfig(seed=3))
+        assert pair.contradictions == []
+
+    def test_negative_contradictions_rejected(self):
+        with pytest.raises(SchemaError):
+            GeneratorConfig(contradictions=-1)
+
+    def test_conflict_seeded_config_defaults(self):
+        config = conflict_seeded_config(7)
+        assert config.seed == 7
+        assert config.contradictions == 2
+        assert config.name_hint_rate == 1.0  # names must carry signal
+
+    def test_too_few_shared_equals_is_actionable(self):
+        # overlap 0 leaves no shared concepts to contradict
+        config = GeneratorConfig(seed=0, overlap=0.0, contradictions=1)
+        with pytest.raises(SchemaError, match="shared equals"):
+            generate_schema_pair(config)
+
+    def test_too_few_spoilers_is_actionable(self):
+        # full overlap leaves no unshared spoiler concepts
+        config = GeneratorConfig(
+            seed=0, overlap=1.0, equal_rate=1.0, contain_rate=0.0,
+            overlap_rate=0.0, contradictions=1,
+        )
+        with pytest.raises(SchemaError, match="spoiler"):
+            generate_schema_pair(config)
+
+
+class TestPlanting:
+    @pytest.fixture
+    def pair(self):
+        return generate_schema_pair(conflict_seeded_config(1, contradictions=3))
+
+    def test_requested_count_is_planted(self, pair):
+        assert len(pair.contradictions) == 3
+        assert all(
+            isinstance(planted, PlantedContradiction)
+            for planted in pair.contradictions
+        )
+
+    def test_refs_resolve_in_the_schemas(self, pair):
+        schemas = {pair.first.name: pair.first, pair.second.name: pair.second}
+        for planted in pair.contradictions:
+            for first, second, _kind in planted.all_facts:
+                schemas[first.schema].get(first.object_name)
+                schemas[second.schema].get(second.object_name)
+
+    def test_base_is_part_of_the_ground_truth(self, pair):
+        for planted in pair.contradictions:
+            first, second, kind = planted.base
+            assert kind is AssertionKind.EQUALS
+            assert pair.truth.object_assertions.get((first, second)) is kind
+
+    def test_each_triangle_is_minimal_and_sufficient(self, pair):
+        for planted in pair.contradictions:
+            triangle = [triple_fact(triple) for triple in planted.all_facts]
+            assert verify_conflict(triangle)
+
+    def test_triangles_are_independent(self, pair):
+        # true facts plus any ONE contradiction's extras break; the
+        # spoilers are distinct so removing those extras restores truth
+        facts = truth_facts(pair)
+        assert is_consistent(facts)
+        spoilers = set()
+        for planted in pair.contradictions:
+            extras = [triple_fact(triple) for triple in planted.extras]
+            assert not is_consistent(facts + extras)
+            spoiler = planted.extras[0][1]
+            assert spoiler not in spoilers
+            spoilers.add(spoiler)
+
+    def test_determinism(self):
+        config = conflict_seeded_config(9, contradictions=2)
+        first = generate_schema_pair(config)
+        second = generate_schema_pair(config)
+        assert first.contradictions == second.contradictions
