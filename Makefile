@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke service-smoke telemetry-smoke solver-smoke serve bench example
+.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke service-smoke telemetry-smoke solver-smoke evolution-smoke serve bench example
 
 ## Tier-1: the full unit/integration/e2e suite.
 test:
@@ -84,6 +84,17 @@ solver-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
 		tests/solver tests/workloads/test_conflict_generator.py
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_solver.py
+
+## Evolution smoke: the typed-edit suite (verb semantics, rebuild-oracle
+## properties, scripted traffic), then record BENCH_evolution.json and
+## gate on it — fails unless one edit's repair recomputes at most 10%
+## of the OCS cells and propagation steps a from-scratch rebuild pays,
+## and exactly the cached plans touching the edited class are dropped.
+## See docs/EVOLUTION.md.
+evolution-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		tests/evolution tests/workloads/test_evolution_script.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_evolution.py
 
 ## Run the integration service locally (demo token demo:demo-token).
 serve:

@@ -1,0 +1,268 @@
+"""Record incremental evolution repair costs to BENCH_evolution.json.
+
+One typed attribute edit lands on a single component of an
+eight-component federation with live, cached query plans.  Three hard
+gates (non-zero exit on failure, so ``make evolution-smoke`` can enforce
+them in CI):
+
+* **OCS locality** — re-warming every memoized candidate-pair matrix
+  after the edit recomputes at most 10% of the cells a from-scratch
+  session recomputes (the edit touched one class of one component, so
+  only that row of that component's pair matrices may go cold);
+* **propagation locality** — the scoped solver re-propagation does at
+  most 10% of the propagation steps a full rebuild pays to re-derive
+  the assertion closure;
+* **plan precision** — exactly the cached plans with a leg on the
+  edited class are invalidated; plans over other classes survive and
+  the planner reports the count in ``last_evolve_invalidated``.
+
+The from-scratch baseline is the rebuild oracle
+(:func:`repro.baselines.rebuild_session`): a cold session re-driven
+through the same observable facts, whose fingerprint the incremental
+session must also match bitwise.
+
+Run:  PYTHONPATH=src python benchmarks/record_evolution.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.assertions.kinds import AssertionKind  # noqa: E402
+from repro.baselines import (  # noqa: E402
+    rebuild_matches,
+    rebuild_session,
+)
+from repro.data.populate import populate_store  # noqa: E402
+from repro.ecr.attributes import Attribute  # noqa: E402
+from repro.ecr.builder import SchemaBuilder  # noqa: E402
+from repro.ecr.domains import Domain, DomainKind  # noqa: E402
+from repro.equivalence.session import AnalysisSession  # noqa: E402
+from repro.evolution import AddAttribute  # noqa: E402
+from repro.federation import FederationEngine  # noqa: E402
+from repro.integration.mappings import SchemaMapping  # noqa: E402
+from repro.workloads.university import build_expected_figure5  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_evolution.json"
+
+COMPONENTS = 8
+EDITED_COMPONENT = "comp3"
+#: repair may cost at most this fraction of the from-scratch baseline
+LOCALITY_BUDGET = 0.10
+
+
+def repo_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def build_component(name: str):
+    """An sc1-shaped component schema plus a local-only Course class."""
+    return (
+        SchemaBuilder(name, "evolution benchmark component")
+        .entity("Student", attrs=[("Name", "char", True), ("GPA", "real")])
+        .entity("Department", attrs=[("Name", "char", True)])
+        .entity("Course", attrs=[("CNo", "integer", True)])
+        .relationship(
+            "Majors",
+            connects=[("Student", "(1,1)"), ("Department", "(0,n)")],
+            attrs=[("Since", "date")],
+        )
+        .build()
+    )
+
+
+def build_mapping(name: str, integrated_name: str) -> SchemaMapping:
+    return SchemaMapping(
+        component_schema=name,
+        integrated_schema=integrated_name,
+        objects={
+            "Student": "Student",
+            "Department": "E_Department",
+            "Majors": "E_Stud_Majo",
+        },
+        attributes={
+            ("Student", "Name"): ("Student", "D_Name"),
+            ("Student", "GPA"): ("Student", "D_GPA"),
+            ("Department", "Name"): ("E_Department", "D_Name"),
+            ("Majors", "Since"): ("E_Stud_Majo", "D_Since"),
+        },
+    )
+
+
+def build_world():
+    """An 8-component session, its federation engine, and warm plans."""
+    names = [f"comp{index}" for index in range(COMPONENTS)]
+    session = AnalysisSession([build_component(name) for name in names])
+    anchor = names[0]
+    for other in names[1:]:
+        session.declare_equivalent(
+            f"{anchor}.Student.Name", f"{other}.Student.Name"
+        )
+        session.declare_equivalent(
+            f"{anchor}.Department.Name", f"{other}.Department.Name"
+        )
+        session.specify(
+            f"{anchor}.Student", f"{other}.Student", AssertionKind.EQUALS
+        )
+        session.specify(
+            f"{anchor}.Department",
+            f"{other}.Department",
+            AssertionKind.EQUALS,
+        )
+    integrated = build_expected_figure5()
+    stores = {
+        name: populate_store(
+            build_component(name),
+            seed=index + 1,
+            entities_per_class=10,
+            links_per_relationship=10,
+        )
+        for index, name in enumerate(names)
+    }
+    engine = FederationEngine.for_stores(
+        {name: build_mapping(name, integrated.name) for name in names},
+        stores,
+        integrated,
+        object_network=session.object_network,
+        registry=session.registry,
+    )
+    return session, engine, names
+
+
+def warm_candidate_pairs(session: AnalysisSession, names: list[str]) -> None:
+    """Force every pairwise OCS matrix (the memoized Screen 8 state)."""
+    for index, first in enumerate(names):
+        for second in names[index + 1:]:
+            session.candidate_pairs(first, second)
+
+
+def main() -> None:
+    failures: list[str] = []
+    session, engine, names = build_world()
+    planner = engine.planner
+
+    engine.query("select D_Name from Student")
+    engine.query("select D_Name from E_Department")
+    plans_before = planner.cache_size()
+
+    warm_candidate_pairs(session, names)
+    before = session.counters.snapshot()
+    start = time.perf_counter()
+    outcome = session.apply_edit(
+        EDITED_COMPONENT,
+        AddAttribute("Student", Attribute("Audit_note", Domain(DomainKind.CHAR))),
+    )
+    repair_seconds = time.perf_counter() - start
+    warm_candidate_pairs(session, names)
+    after = session.counters.snapshot()
+
+    repair_cells = (
+        after["ocs_cells_recomputed"] - before["ocs_cells_recomputed"]
+    )
+    repair_steps = (
+        after["propagation_steps"]
+        - before["propagation_steps"]
+        + after["solver_propagation_steps"]
+        - before["solver_propagation_steps"]
+    )
+
+    start = time.perf_counter()
+    rebuilt = rebuild_session(session)
+    warm_candidate_pairs(rebuilt, names)
+    rebuild_seconds = time.perf_counter() - start
+    full = rebuilt.counters.snapshot()
+    full_cells = full["ocs_cells_recomputed"]
+    full_steps = (
+        full["propagation_steps"] + full["solver_propagation_steps"]
+    )
+
+    if repair_cells > LOCALITY_BUDGET * full_cells:
+        failures.append(
+            f"OCS locality: repair recomputed {repair_cells} cells, "
+            f"budget is {LOCALITY_BUDGET:.0%} of {full_cells}"
+        )
+    if repair_steps > LOCALITY_BUDGET * full_steps:
+        failures.append(
+            f"propagation locality: repair did {repair_steps} steps, "
+            f"budget is {LOCALITY_BUDGET:.0%} of {full_steps}"
+        )
+    if planner.last_evolve_invalidated != 1:
+        failures.append(
+            "plan precision: expected exactly the Student plan dropped, "
+            f"planner invalidated {planner.last_evolve_invalidated}"
+        )
+    if planner.cache_size() != plans_before - 1:
+        failures.append(
+            f"plan precision: cache went {plans_before} -> "
+            f"{planner.cache_size()}, expected exactly one plan dropped"
+        )
+
+    incremental, from_scratch = rebuild_matches(session)
+    if incremental != from_scratch:
+        failures.append(
+            "rebuild oracle: incremental state diverged from a "
+            "from-scratch rebuild"
+        )
+
+    report = {
+        "description": (
+            "One typed attribute edit on an 8-component federation with "
+            "live plans: repair locality vs. the from-scratch rebuild "
+            "oracle and per-class plan invalidation; see docs/EVOLUTION.md"
+        ),
+        "repro_sha": repo_sha(),
+        "world": {
+            "components": COMPONENTS,
+            "edited": f"{EDITED_COMPONENT}.Student",
+            "edit": outcome.edit.to_payload(),
+            "plans_cached": plans_before,
+        },
+        "repair": {
+            "scope": outcome.scope.to_wire(),
+            "ocs_cells_recomputed": repair_cells,
+            "propagation_steps": repair_steps,
+            "seconds": round(repair_seconds, 6),
+            "plans_invalidated": planner.last_evolve_invalidated,
+        },
+        "full_rebuild": {
+            "ocs_cells_recomputed": full_cells,
+            "propagation_steps": full_steps,
+            "seconds": round(rebuild_seconds, 6),
+        },
+        "ratios": {
+            "ocs_cells": round(repair_cells / max(full_cells, 1), 4),
+            "propagation_steps": round(
+                repair_steps / max(full_steps, 1), 4
+            ),
+            "budget": LOCALITY_BUDGET,
+        },
+        "gates_failed": failures,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(json.dumps(report, indent=2))
+    if failures:
+        print("EVOLUTION SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -150,6 +150,58 @@ class AssertionNetwork:
         """All registered object classes, in registration order."""
         return list(self._objects)
 
+    def remove_object(self, ref: ObjectRef | str) -> list[Assertion]:
+        """Drop a node from the network, repairing only its neighborhood.
+
+        Every specified assertion involving the node (DDA and implicit) is
+        retracted — each retraction resets and re-revises just the
+        dependent closure of that edge via :meth:`retract`'s incremental
+        repair.  Because composition with a universal edge is universal,
+        every non-universal pair at the node descends from one of those
+        specified assertions, so after the retractions the node carries no
+        constraints and can be detached without touching the rest of the
+        network.  Returns the specified assertions that were retracted (in
+        specification order) so callers can report repair scope or rebuild
+        an inverse.
+
+        Event emission is suspended: removal is internal repair driven by a
+        schema edit, which is itself the recorded event.
+        """
+        ref = coerce_object_ref(ref)
+        if ref not in self._object_set:
+            return []
+        retracted = [
+            assertion for assertion in self._log if ref in assertion.pair
+        ]
+        from contextlib import nullcontext
+
+        suspended = self.events.muted() if self.events is not None else nullcontext()
+        with suspended:
+            with span("evolution.repair.assertions", counters=self.counters):
+                for assertion in retracted:
+                    self.retract(assertion.first, assertion.second)
+        # Belt and braces: the retraction closures above already reset every
+        # entry that involved (or was supported through) the node, but purge
+        # any residue so a stale reference can never survive the node.
+        for pair in [p for p in self._feasible if ref in p]:
+            del self._feasible[pair]
+        for pair in [p for p in self._supports if ref in p]:
+            del self._supports[pair]
+        for pair in [p for p in self._derived if ref in p]:
+            del self._derived[pair]
+        for pair, supports in list(self._support_index.items()):
+            if ref in pair:
+                del self._support_index[pair]
+                continue
+            pruned = {s for s in supports if ref not in s}
+            if not pruned:
+                del self._support_index[pair]
+            elif pruned != supports:
+                self._support_index[pair] = pruned
+        self._object_set.discard(ref)
+        self._objects = [obj for obj in self._objects if obj != ref]
+        return retracted
+
     def seed_schema(
         self, schema: Schema, entity_disjointness: bool = False
     ) -> list[Assertion]:

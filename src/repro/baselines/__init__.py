@@ -7,7 +7,9 @@
 * :mod:`repro.baselines.strategies` — integration-order strategies for
   n-ary integration; and
 * :mod:`repro.baselines.solver_baselines` — the incremental-closure
-  oracle the batch constraint solver is checked against.
+  oracle the batch constraint solver is checked against; and
+* :mod:`repro.baselines.evolution_baselines` — the from-scratch rebuild
+  oracle incremental schema-evolution repair is pinned to.
 """
 
 from repro.baselines.ordering_baselines import (
@@ -28,6 +30,13 @@ from repro.baselines.solver_baselines import (
     derived_keys,
     objects_of,
 )
+from repro.baselines.evolution_baselines import (
+    rebuild_matches,
+    rebuild_session,
+    reintegrate_from_scratch,
+    session_from_payload,
+    state_payload_fingerprint,
+)
 from repro.baselines.strategies import ladder_orders
 
 __all__ = [
@@ -44,4 +53,9 @@ __all__ = [
     "drive_assertions_with_closure",
     "drive_assertions_without_closure",
     "ladder_orders",
+    "rebuild_matches",
+    "rebuild_session",
+    "reintegrate_from_scratch",
+    "session_from_payload",
+    "state_payload_fingerprint",
 ]

@@ -75,27 +75,57 @@ def attribute_from_dict(data: dict[str, Any]) -> Attribute:
     )
 
 
+def structure_to_dict(structure: Any) -> dict[str, Any]:
+    """Serialise one structure (entity set, category or relationship set)."""
+    entry: dict[str, Any] = {
+        "name": structure.name,
+        "kind": structure.kind.value,
+        "attributes": [
+            attribute_to_dict(attribute) for attribute in structure.attributes
+        ],
+    }
+    if structure.description:
+        entry["description"] = structure.description
+    if isinstance(structure, Category):
+        entry["parents"] = list(structure.parents)
+    elif isinstance(structure, RelationshipSet):
+        entry["participations"] = [
+            participation_to_dict(participation)
+            for participation in structure.participations
+        ]
+    return entry
+
+
+def structure_from_dict(entry: dict[str, Any]) -> Any:
+    """Inverse of :func:`structure_to_dict`."""
+    kind = entry.get("kind")
+    try:
+        attributes = [
+            attribute_from_dict(attr) for attr in entry.get("attributes", ())
+        ]
+        common = {
+            "name": entry["name"],
+            "attributes": attributes,
+            "description": entry.get("description", ""),
+        }
+    except KeyError as exc:
+        raise SchemaError(f"structure data missing {exc}") from exc
+    if kind == "e":
+        return EntitySet(**common)
+    if kind == "c":
+        return Category(**common, parents=list(entry.get("parents", ())))
+    if kind == "r":
+        participations = [
+            participation_from_dict(leg)
+            for leg in entry.get("participations", ())
+        ]
+        return RelationshipSet(**common, participations=participations)
+    raise SchemaError(f"unknown structure kind {kind!r}")
+
+
 def schema_to_dict(schema: Schema) -> dict[str, Any]:
     """Serialise a schema to plain dicts/lists suitable for ``json.dump``."""
-    structures: list[dict[str, Any]] = []
-    for structure in schema:
-        entry: dict[str, Any] = {
-            "name": structure.name,
-            "kind": structure.kind.value,
-            "attributes": [
-                attribute_to_dict(attribute) for attribute in structure.attributes
-            ],
-        }
-        if structure.description:
-            entry["description"] = structure.description
-        if isinstance(structure, Category):
-            entry["parents"] = list(structure.parents)
-        elif isinstance(structure, RelationshipSet):
-            entry["participations"] = [
-                _participation_to_dict(participation)
-                for participation in structure.participations
-            ]
-        structures.append(entry)
+    structures = [structure_to_dict(structure) for structure in schema]
     data: dict[str, Any] = {"name": schema.name, "structures": structures}
     if schema.description:
         data["description"] = schema.description
@@ -109,27 +139,7 @@ def schema_from_dict(data: dict[str, Any]) -> Schema:
     except KeyError as exc:
         raise SchemaError(f"schema data missing {exc}") from exc
     for entry in data.get("structures", ()):
-        kind = entry.get("kind")
-        attributes = [
-            attribute_from_dict(attr) for attr in entry.get("attributes", ())
-        ]
-        common = {
-            "name": entry["name"],
-            "attributes": attributes,
-            "description": entry.get("description", ""),
-        }
-        if kind == "e":
-            schema.add(EntitySet(**common))
-        elif kind == "c":
-            schema.add(Category(**common, parents=list(entry.get("parents", ()))))
-        elif kind == "r":
-            participations = [
-                _participation_from_dict(leg)
-                for leg in entry.get("participations", ())
-            ]
-            schema.add(RelationshipSet(**common, participations=participations))
-        else:
-            raise SchemaError(f"unknown structure kind {kind!r}")
+        schema.add(structure_from_dict(entry))
     return schema
 
 
@@ -143,7 +153,7 @@ def schema_from_json(text: str) -> Schema:
     return schema_from_dict(json.loads(text))
 
 
-def _participation_to_dict(participation: Participation) -> dict[str, Any]:
+def participation_to_dict(participation: Participation) -> dict[str, Any]:
     data: dict[str, Any] = {
         "object": participation.object_name,
         "min": participation.cardinality.min,
@@ -154,7 +164,7 @@ def _participation_to_dict(participation: Participation) -> dict[str, Any]:
     return data
 
 
-def _participation_from_dict(data: dict[str, Any]) -> Participation:
+def participation_from_dict(data: dict[str, Any]) -> Participation:
     return Participation(
         data["object"],
         CardinalityConstraint(data.get("min", 0), data.get("max", -1)),

@@ -181,6 +181,24 @@ class Schema:
         del self._structures[name]
         return removed
 
+    def position(self, name: str) -> int:
+        """The structure's index in the schema's declaration order."""
+        self.get(name)
+        return list(self._structures).index(name)
+
+    def move(self, name: str, position: int) -> None:
+        """Reorder one structure to ``position`` in declaration order.
+
+        Declaration order is semantically inert but part of the canonical
+        JSON form, so edits that restore a dropped structure use this to
+        reproduce the original schema bytes (and fingerprint) exactly.
+        """
+        self.get(name)
+        names = [existing for existing in self._structures if existing != name]
+        position = max(0, min(position, len(names)))
+        names.insert(position, name)
+        self._structures = {key: self._structures[key] for key in names}
+
     def rename(self, old_name: str, new_name: str) -> None:
         """Rename a structure, updating every reference to it."""
         structure = self.get(old_name)

@@ -118,24 +118,39 @@ class OcsMatrix:
         return self._generation
 
     def _on_registry_change(self, change: "RegistryChange") -> None:
-        if self.first_schema in change.schemas or self.second_schema in change.schemas:
-            # the schema's shape changed: rows/columns must be re-derived
+        structural = (
+            self.first_schema in change.schemas
+            or self.second_schema in change.schemas
+        )
+        if structural and change.kind != "evolve":
+            # the schema's shape changed wholesale: rows/columns must be
+            # re-derived and nothing cached can be trusted
             self._reselect()
             self._cells.clear()
             self._attribute_counts.clear()
             self.view_cache.clear()
             self._generation += 1
             return
+        if structural:
+            # an evolution edit added/dropped a structure: re-derive the
+            # rows/columns, but only the listed objects' cells can differ
+            self._reselect()
         affected = {ObjectRef(schema, name) for schema, name in change.objects}
         dirty_rows = affected & self._row_set
         dirty_columns = affected & self._column_set
-        if not dirty_rows and not dirty_columns:
+        if not structural and not dirty_rows and not dirty_columns:
             return
         self._cells = {
             key: value
             for key, value in self._cells.items()
-            if key[0] not in dirty_rows and key[1] not in dirty_columns
+            if key[0] in self._row_set
+            and key[1] in self._column_set
+            and key[0] not in dirty_rows
+            and key[1] not in dirty_columns
         }
+        for ref in affected:
+            # attribute add/drop changes the per-object count memo too
+            self._attribute_counts.pop(ref, None)
         self.view_cache.clear()
         self._generation += 1
 

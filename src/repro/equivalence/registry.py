@@ -91,6 +91,7 @@ class EquivalenceRegistry:
         "declare_equivalent": "declare",
         "remove_from_class": "remove",
         "restore_classes": "restore",
+        "evolve_schema": "evolve",
     }
 
     def __init__(
@@ -266,6 +267,79 @@ class EquivalenceRegistry:
                 schemas=frozenset({schema_name}),
             )
 
+    def evolve_schema(
+        self,
+        schema_name: str,
+        *,
+        added: Iterable[AttributeRef | str] = (),
+        dropped: Iterable[AttributeRef | str] = (),
+        renamed: Iterable[tuple] = (),
+        touched: Iterable[tuple[str, str]] = (),
+        structural: bool = False,
+    ) -> None:
+        """Apply the precise attribute deltas of one schema edit.
+
+        Unlike :meth:`refresh_schema` — which re-scans the whole schema and
+        *loses* class membership on a rename (the old ref vanishes, the new
+        one arrives as a fresh singleton) — this applies exactly the deltas
+        a :class:`~repro.evolution.edits.SchemaEdit` computed: renamed
+        attributes keep their equivalence class (and their position inside
+        it, so an inverse rename restores the registry bit-for-bit),
+        dropped attributes leave their class, added attributes arrive as
+        singletons.  ``touched`` lists extra ``(schema, object)`` owners
+        whose definition changed without any attribute delta (key flags,
+        cardinalities, retargets) so the cached views invalidate their
+        cells; ``structural`` marks class/relationship-set membership
+        changes, which force the views to re-derive rows and columns.
+        """
+        self.schema(schema_name)  # validate the name before mutating
+        added = [coerce_attribute_ref(ref) for ref in added]
+        dropped = [coerce_attribute_ref(ref) for ref in dropped]
+        renamed = [
+            (coerce_attribute_ref(old), coerce_attribute_ref(new))
+            for old, new in renamed
+        ]
+        with span(
+            "evolution.registry.evolve_schema",
+            counters=self.counters,
+            schema=schema_name,
+        ):
+            affected: set[tuple[str, str]] = set(touched)
+            for old, new in renamed:
+                number = self._class_of.pop(old, None)
+                if number is None:
+                    raise EquivalenceError(f"unregistered attribute {old}")
+                members = self._members[number]
+                members[members.index(old)] = new
+                self._class_of[new] = number
+                affected.add(old.owner)
+                affected.add(new.owner)
+            for ref in dropped:
+                if ref not in self._class_of:
+                    continue
+                affected.update(self._owners(self._members[self._class_of[ref]]))
+                self._detach(ref)
+                del self._class_of[ref]
+            for ref in added:
+                if ref in self._class_of:
+                    continue
+                self._class_of[ref] = self._next_class
+                self._members[self._next_class] = [ref]
+                self._next_class += 1
+                affected.add(ref.owner)
+            self._emit(
+                "evolve_schema",
+                {
+                    "schema": schema_name,
+                    "added": [str(ref) for ref in added],
+                    "dropped": [str(ref) for ref in dropped],
+                    "renamed": [[str(old), str(new)] for old, new in renamed],
+                    "touched": sorted(f"{s}.{o}" for s, o in touched),
+                },
+                objects=frozenset(affected),
+                schemas=frozenset({schema_name}) if structural else frozenset(),
+            )
+
     # -- cached views ---------------------------------------------------------
 
     def ocs(
@@ -429,6 +503,18 @@ class EquivalenceRegistry:
                 },
                 objects=frozenset(touched),
             )
+
+    def view_cell_capacity(self) -> int:
+        """Total cell count across the live cached OCS views.
+
+        The denominator of the evolution repair-scope report ("recomputed
+        14/2,400 OCS cells"): how many cells a full invalidation would
+        eventually recompute, versus how many a localized repair did.
+        """
+        return sum(
+            len(matrix.rows) * len(matrix.columns)
+            for matrix in self._ocs_cache.values()
+        )
 
     def dispose_views(self) -> None:
         """Cancel the cached matrices' bus subscriptions and drop them.

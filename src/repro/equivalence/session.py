@@ -56,6 +56,8 @@ from repro.obs.metrics import AnalysisCounters
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids import cycles
     from repro.equivalence.acs import AcsMatrix
     from repro.equivalence.ocs import OcsMatrix
+    from repro.evolution.edits import SchemaEdit
+    from repro.evolution.repair import EditOutcome
     from repro.integration.options import IntegrationOptions
     from repro.integration.result import IntegrationResult
     from repro.kernel.bus import Subscription
@@ -149,6 +151,244 @@ class AnalysisSession:
         with self.kernel.group():
             self.registry.refresh_schema(schema_name, replacement=replacement)
             self.reseed_networks()
+
+    def apply_edit(self, schema_name: str, edit: "SchemaEdit") -> "EditOutcome":
+        """Apply one typed schema edit with localized downstream repair.
+
+        The edit enters as a single :class:`Kernel` transaction and is
+        committed as one ``evolution.apply_edit`` event; every downstream
+        layer repairs only what the edit touched:
+
+        * the schema itself mutates validate-then-apply (a failed edit is
+          a no-op);
+        * the registry applies the precise attribute deltas
+          (:meth:`EquivalenceRegistry.evolve_schema`) — renames keep their
+          equivalence class, so the cached OCS/ACS views invalidate only
+          the touched owners' cells;
+        * dropped structures leave the assertion networks through
+          :meth:`AssertionNetwork.remove_object` (retract + support-index
+          repair of just the dependent closure); added categories seed
+          their implicit containment edges exactly as ``add_schema`` would;
+        * the batch solver re-propagates a worklist seeded with only the
+          affected pairs, cross-checking the localized repair.
+
+        Dropping a class or relationship that still carries specified DDA
+        assertions is refused with a
+        :class:`~repro.errors.ConsistencyFailure` listing them (pass
+        ``cascade=True`` on the drop to retract them as part of the
+        repair).  Destructive edits — retracted assertions, equivalence
+        memberships lost with a dropped attribute — record no event
+        inverse, so undo falls back to a snapshot checkout; everything
+        else undoes by applying the inverse edit.
+
+        Returns an :class:`~repro.evolution.repair.EditOutcome` carrying
+        the inverse edit and the :class:`~repro.evolution.repair.RepairScope`.
+        """
+        from repro.errors import ConsistencyFailure
+        from repro.evolution.repair import (
+            EditOutcome,
+            RepairScope,
+            scoped_repropagation,
+        )
+        from repro.kernel.apply import schema_fingerprint
+        from repro.kernel.events import NO_CHANGE
+        from repro.obs.trace import span
+
+        schema = self.registry.schema(schema_name)
+        scope = RepairScope(schema=schema_name, edit_kind=edit.kind)
+        with span(
+            "evolution.apply",
+            counters=self.counters,
+            schema=schema_name,
+            kind=edit.kind,
+        ):
+            conflict = self._edit_conflict(schema_name, edit)
+            if conflict:
+                self.counters.evolution_edits_rejected += 1
+                with self.kernel.group():
+                    self.kernel.bus.publish(
+                        "evolution",
+                        "edit_rejected",
+                        {"schema": schema_name, "edit": edit.to_payload()},
+                        inverse=NO_CHANGE,
+                    )
+                raise ConsistencyFailure(conflict, subject=conflict[0].pair)
+            with self.kernel.transaction():
+                delta = edit.apply(schema)
+                added = [
+                    AttributeRef(schema_name, obj, attr)
+                    for obj, attr in delta.added_refs
+                ]
+                dropped = [
+                    AttributeRef(schema_name, obj, attr)
+                    for obj, attr in delta.dropped_refs
+                ]
+                renamed = [
+                    (
+                        AttributeRef(schema_name, obj, old),
+                        AttributeRef(schema_name, obj, new),
+                    )
+                    for obj, old, new in delta.renamed_refs
+                ]
+                # memberships that cannot be restored by the inverse edit
+                lost_memberships = any(
+                    len(self.registry.class_members(ref)) > 1
+                    for ref in dropped
+                )
+                retracted: list[Assertion] = []
+                with self.kernel.bus.replaying():
+                    for name in delta.dropped_objects:
+                        retracted.extend(
+                            self.object_network.remove_object(
+                                ObjectRef(schema_name, name)
+                            )
+                        )
+                    for name in delta.dropped_relationships:
+                        retracted.extend(
+                            self.relationship_network.remove_object(
+                                ObjectRef(schema_name, name)
+                            )
+                        )
+                    for name in delta.added_objects:
+                        self.object_network.add_object(
+                            ObjectRef(schema_name, name)
+                        )
+                        structure = schema.get(name)
+                        if (
+                            structure.is_category
+                            and len(structure.parents) == 1
+                        ):
+                            self.object_network.specify(
+                                ObjectRef(schema_name, name),
+                                ObjectRef(schema_name, structure.parents[0]),
+                                AssertionKind.CONTAINED_IN,
+                                source=Source.IMPLICIT,
+                                note="category structure",
+                            )
+                    for name in delta.added_relationships:
+                        self.relationship_network.add_object(
+                            ObjectRef(schema_name, name)
+                        )
+                    for name in delta.reseeded_objects:
+                        # category structure changed: the implicit
+                        # containment assertions follow the schema, so
+                        # re-derive them (DDA assertions are left alone)
+                        ref = ObjectRef(schema_name, name)
+                        for stale in [
+                            assertion
+                            for assertion in (
+                                self.object_network.specified_assertions()
+                            )
+                            if assertion.source is Source.IMPLICIT
+                            and assertion.first == ref
+                        ]:
+                            self.object_network.retract(
+                                stale.first, stale.second
+                            )
+                        structure = schema.get(name)
+                        if (
+                            structure.is_category
+                            and len(structure.parents) == 1
+                        ):
+                            parent = ObjectRef(
+                                schema_name, structure.parents[0]
+                            )
+                            specified = any(
+                                {assertion.first, assertion.second}
+                                == {ref, parent}
+                                for assertion in (
+                                    self.object_network.specified_assertions()
+                                )
+                            )
+                            if not specified:
+                                self.object_network.specify(
+                                    ref,
+                                    parent,
+                                    AssertionKind.CONTAINED_IN,
+                                    source=Source.IMPLICIT,
+                                    note="category structure",
+                                )
+                    self.registry.evolve_schema(
+                        schema_name,
+                        added=added,
+                        dropped=dropped,
+                        renamed=renamed,
+                        touched=[
+                            (schema_name, name)
+                            for name in delta.all_touched()
+                        ],
+                        structural=delta.structural,
+                    )
+                    affected = [
+                        ObjectRef(schema_name, name)
+                        for name in delta.all_touched()
+                    ]
+                    scoped_repropagation(
+                        self.object_network, affected, scope=scope
+                    )
+                    scoped_repropagation(
+                        self.relationship_network, affected, scope=scope
+                    )
+                destructive = bool(retracted) or lost_memberships
+                scope.assertions_retracted = len(retracted)
+                scope.registry_classes_touched = (
+                    len(added) + len(dropped) + len(renamed)
+                )
+                scope.ocs_cells_total = self.registry.view_cell_capacity()
+                self.counters.evolution_edits_applied += 1
+                self.counters.evolution_assertions_retracted += len(retracted)
+                self.counters.evolution_pairs_repropagated += (
+                    scope.pairs_repropagated
+                )
+                event_inverse = None
+                if not destructive:
+                    event_inverse = (
+                        "evolution",
+                        "apply_edit",
+                        {
+                            "schema": schema_name,
+                            "edit": delta.inverse.to_payload(),
+                        },
+                    )
+                self.kernel.bus.publish(
+                    "evolution",
+                    "apply_edit",
+                    {
+                        "schema": schema_name,
+                        "edit": edit.to_payload(),
+                        "inverse": delta.inverse.to_payload(),
+                        "fingerprint": schema_fingerprint(schema),
+                    },
+                    schemas=frozenset({schema_name}),
+                    inverse=event_inverse,
+                )
+        return EditOutcome(
+            edit=edit,
+            inverse=delta.inverse,
+            scope=scope,
+            retracted=tuple(retracted),
+            destructive=destructive,
+        )
+
+    def _edit_conflict(
+        self, schema_name: str, edit: "SchemaEdit"
+    ) -> tuple[Assertion, ...]:
+        """Specified DDA assertions a non-cascade drop would orphan."""
+        from repro.evolution.edits import DropClass, DropRelationship
+
+        if isinstance(edit, DropClass) and not edit.cascade:
+            network = self.object_network
+            ref = ObjectRef(schema_name, edit.object_name)
+        elif isinstance(edit, DropRelationship) and not edit.cascade:
+            network = self.relationship_network
+            ref = ObjectRef(schema_name, edit.relationship)
+        else:
+            return ()
+        return tuple(
+            assertion
+            for assertion in network.specified_assertions()
+            if ref in assertion.pair and assertion.source is not Source.IMPLICIT
+        )
 
     def reseed_networks(self) -> None:
         """Rebuild both assertion networks from the registered schemas.
@@ -480,13 +720,17 @@ class AnalysisSession:
         *,
         result_name: str = "integrated",
         options: "IntegrationOptions | None" = None,
+        merge_memo=None,
     ) -> "IntegrationResult":
         """Integrate two registered schemas using the session's state.
 
         Commits a ``session.integrate`` event carrying the options and
         the result schema's SHA-256 fingerprint — the audit tap records
         it, replay verifies bitwise-identical reproduction against it,
-        and redo re-runs the integration from it.
+        and redo re-runs the integration from it.  ``merge_memo`` (a
+        :class:`~repro.integration.patching.MergeMemo`) warms the
+        attribute-merge cache evolution patching reuses; it never changes
+        the result.
         """
         from dataclasses import asdict
 
@@ -500,6 +744,7 @@ class AnalysisSession:
             self.object_network,
             self.relationship_network,
             resolved,
+            merge_memo=merge_memo,
         )
         with self.kernel.group():
             result = integrator.integrate(

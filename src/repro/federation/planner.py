@@ -62,15 +62,40 @@ class QueryPlanner:
         self.metrics = metrics
         self._cache: dict[str, FederatedPlan] = {}
         self._local_version = 0
+        #: plans the most recent localized ``evolve`` change dropped
+        self.last_evolve_invalidated = 0
         if registry is not None:
             registry.subscribe(self._on_registry_change)
 
     # -- cache control ----------------------------------------------------------
 
     def _on_registry_change(self, change: "RegistryChange") -> None:
-        """Any registry mutation invalidates every cached plan."""
-        self._local_version += 1
-        self._cache.clear()
+        """Invalidate cached plans a registry mutation may have stalled.
+
+        Most mutations still drop everything — equivalence edits move
+        mappings in ways a plan key cannot see.  Localized ``evolve``
+        changes (schema edits) are the exception: only plans with a leg on
+        an edited object (or, for structural edits, on the edited schema)
+        are dropped, and the version token stays put so the survivors keep
+        validating.  The drop count feeds the repair-scope report.
+        """
+        if change.kind != "evolve":
+            self._local_version += 1
+            self._cache.clear()
+            return
+        edited = set(change.objects)  # (schema, object) owner pairs
+        stale = [
+            key
+            for key, plan in self._cache.items()
+            if any(
+                leg.schema in change.schemas
+                or (leg.schema, leg.request.object_name) in edited
+                for leg in plan.legs
+            )
+        ]
+        for key in stale:
+            del self._cache[key]
+        self.last_evolve_invalidated = len(stale)
 
     def invalidate(self) -> None:
         """Drop all cached plans and advance the local version token.

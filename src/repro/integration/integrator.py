@@ -65,11 +65,22 @@ class Integrator:
         network: AssertionNetwork,
         relationship_network: AssertionNetwork | None = None,
         options: IntegrationOptions = IntegrationOptions(),
+        *,
+        merge_memo=None,
     ) -> None:
         self._registry = registry
         self._network = network
         self._relationship_network = relationship_network
         self._options = options
+        #: optional cross-run attribute-merge cache (evolution patching);
+        #: a :class:`~repro.integration.patching.MergeMemo` or ``None``
+        self._merge_memo = merge_memo
+
+    def _merge(self, pool: AttributePool):
+        """Merge one pool, through the memo when one is plugged in."""
+        if self._merge_memo is None:
+            return merge_pool(pool, self._registry, self._options)
+        return self._merge_memo.merge(pool, self._registry, self._options)
 
     # -- public API -----------------------------------------------------------
 
@@ -284,7 +295,7 @@ class Integrator:
         for child, parent in edges:
             parents_of.setdefault(child, []).append(parent)
         for node_name, pool in pools.items():
-            attributes, origins = merge_pool(pool, self._registry, self._options)
+            attributes, origins = self._merge(pool)
             description = self._merged_description(members_by_node[node_name])
             parents = parents_of.get(node_name, [])
             if parents:
@@ -463,7 +474,7 @@ class Integrator:
             structure = schema.get(member.object_name)
             for attribute in structure.attributes:
                 pool.add(member.attribute(attribute.name), attribute)
-        attributes, origins = merge_pool(pool, self._registry, self._options)
+        attributes, origins = self._merge(pool)
         result.schema.add(
             RelationshipSet(
                 node_name,
@@ -640,13 +651,17 @@ def integrate_pair(
     relationship_network: AssertionNetwork | None = None,
     options: IntegrationOptions | None = None,
     result_name: str = "integrated",
+    merge_memo=None,
 ) -> IntegrationResult:
     """Convenience wrapper: integrate two registered schemas in one call.
 
-    ``relationship_network``, ``options`` and ``result_name`` are
-    keyword-only.
+    ``relationship_network``, ``options``, ``result_name`` and
+    ``merge_memo`` are keyword-only.
     """
     if options is None:
         options = IntegrationOptions()
-    integrator = Integrator(registry, network, relationship_network, options)
+    integrator = Integrator(
+        registry, network, relationship_network, options,
+        merge_memo=merge_memo,
+    )
     return integrator.integrate(first_schema, second_schema, result_name)

@@ -1,0 +1,207 @@
+"""Localized re-integration after a schema edit.
+
+A schema edit rarely moves more than a corner of the integrated schema:
+one cluster gains or loses a member, one merged class re-derives its
+attributes, everything else comes out bitwise identical.  This module
+keeps re-integration proportional to that corner:
+
+* :class:`MergeMemo` memoizes :func:`~repro.integration.attribute_merge.merge_pool`
+  on a signature covering *all* of its inputs (the pooled instances,
+  their equivalence-class numbers and the relevant options), so a
+  patching re-integration re-merges only the attribute groups an edit
+  actually disturbed — every untouched group is a memo hit.  Because the
+  signature is complete, a hit is provably identical to a recomputation;
+  no divergence from the from-scratch oracle is possible.
+* :func:`cluster_snapshot` / :func:`diff_clusters` measure how many
+  clusters of the pair actually changed membership, feeding the
+  repair-scope report ("2/14 clusters").
+* :func:`patch_integration` runs the (deterministic) integrator over the
+  edited pair with the memo plugged in and returns a :class:`PatchReport`
+  carrying the new result plus the counts.  Stable naming falls out of
+  determinism: the :class:`~repro.integration.naming.NamePool` claims
+  names in canonical order, so structures the edit did not touch keep
+  their names.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.assertions.network import AssertionNetwork
+from repro.ecr.json_io import attribute_to_dict
+from repro.ecr.schema import ObjectRef, Schema
+from repro.equivalence.registry import EquivalenceRegistry
+from repro.integration.attribute_merge import AttributePool, merge_pool
+from repro.integration.clusters import compute_clusters
+from repro.integration.integrator import Integrator
+from repro.integration.options import IntegrationOptions
+from repro.integration.result import IntegrationResult
+from repro.obs.trace import span
+
+
+class MergeMemo:
+    """A cross-integration cache of :func:`merge_pool` outcomes.
+
+    Keyed by a complete signature of the merge inputs; values are the
+    (attributes, origins) pair merge_pool returned.  Attributes and
+    origins are frozen, so sharing them across results is safe — callers
+    get fresh lists.  ``hits``/``misses`` count the current integration
+    run (reset via :meth:`reset_counts`); ``misses`` is exactly the
+    number of attribute groups that had to be re-merged.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[tuple, tuple]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reset_counts(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def merge(
+        self,
+        pool: AttributePool,
+        registry: EquivalenceRegistry,
+        options: IntegrationOptions,
+    ) -> tuple[list, list]:
+        key = self._signature(pool, registry, options)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return list(cached[0]), list(cached[1])
+        self.misses += 1
+        attributes, origins = merge_pool(pool, registry, options)
+        self._entries[key] = (tuple(attributes), tuple(origins))
+        return attributes, origins
+
+    @staticmethod
+    def _signature(
+        pool: AttributePool,
+        registry: EquivalenceRegistry,
+        options: IntegrationOptions,
+    ) -> str:
+        instances = [
+            (
+                str(ref),
+                attribute_to_dict(attribute),
+                registry.class_number(ref),
+            )
+            for ref, attribute in pool.instances
+        ]
+        return json.dumps(
+            [
+                pool.node,
+                options.keep_component_descriptions,
+                instances,
+            ],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+@dataclass
+class PatchReport:
+    """What one localized re-integration produced and recomputed."""
+
+    result: IntegrationResult
+    clusters: tuple[frozenset[ObjectRef], ...]
+    clusters_changed: int = 0
+    clusters_total: int = 0
+    merge_groups_recomputed: int = 0
+    merge_groups_total: int = 0
+
+
+def pair_object_refs(
+    registry: EquivalenceRegistry, first: str, second: str
+) -> list[ObjectRef]:
+    """The object-class refs of one schema pair, in registration order."""
+    refs: list[ObjectRef] = []
+    for name in (first, second):
+        schema = registry.schema(name)
+        refs.extend(
+            ObjectRef(schema.name, structure.name)
+            for structure in schema.object_classes()
+        )
+    return refs
+
+
+def cluster_snapshot(
+    network: AssertionNetwork, refs: list[ObjectRef]
+) -> tuple[frozenset[ObjectRef], ...]:
+    """The pair's cluster partition as comparable member sets."""
+    return tuple(
+        frozenset(cluster.members)
+        for cluster in compute_clusters(network, refs)
+    )
+
+
+def diff_clusters(
+    previous: tuple[frozenset[ObjectRef], ...] | None,
+    current: tuple[frozenset[ObjectRef], ...],
+) -> int:
+    """How many current clusters have no identical predecessor."""
+    if previous is None:
+        return len(current)
+    seen = set(previous)
+    return sum(1 for cluster in current if cluster not in seen)
+
+
+def patch_integration(
+    registry: EquivalenceRegistry,
+    network: AssertionNetwork,
+    relationship_network: AssertionNetwork | None,
+    first: str,
+    second: str,
+    *,
+    options: IntegrationOptions,
+    result_name: str,
+    memo: MergeMemo,
+    previous_clusters: tuple[frozenset[ObjectRef], ...] | None = None,
+) -> PatchReport:
+    """Re-integrate one pair after an edit, reusing every untouched merge.
+
+    The integrator itself is deterministic, so the patched result is the
+    same object the from-scratch oracle would build; the memo makes the
+    attribute-merge phase proportional to what the edit disturbed, and
+    the cluster diff measures the blast radius for the repair report.
+    """
+    refs = pair_object_refs(registry, first, second)
+    clusters = cluster_snapshot(network, refs)
+    memo.reset_counts()
+    with span(
+        "evolution.repair.integration",
+        counters=registry.counters,
+        first=first,
+        second=second,
+    ):
+        integrator = Integrator(
+            registry,
+            network,
+            relationship_network,
+            options,
+            merge_memo=memo,
+        )
+        result = integrator.integrate(first, second, result_name)
+    return PatchReport(
+        result=result,
+        clusters=clusters,
+        clusters_changed=diff_clusters(previous_clusters, clusters),
+        clusters_total=len(clusters),
+        merge_groups_recomputed=memo.misses,
+        merge_groups_total=memo.hits + memo.misses,
+    )
+
+
+__all__ = [
+    "MergeMemo",
+    "PatchReport",
+    "cluster_snapshot",
+    "diff_clusters",
+    "pair_object_refs",
+    "patch_integration",
+]

@@ -89,6 +89,8 @@ def apply_event(
             _apply_delete_schema_event(session, event, diverge)
         else:
             diverge(event, f"unknown session action {event.action!r}")
+    elif event.scope == "evolution":
+        _apply_evolution_event(session, event, diverge)
     elif event.scope == "federation":
         # federated queries are informational: they read the analysis
         # state (mappings, assertions) but never mutate it, so replay
@@ -177,6 +179,52 @@ def _apply_network_event(session, event, diverge) -> None:
         diverge(event, f"recorded {event.action} no longer raises")
     else:
         diverge(event, f"unknown network action {event.action!r}")
+
+
+def _apply_evolution_event(session, event, diverge) -> None:
+    """Re-drive one schema edit (or reproduce its recorded rejection).
+
+    ``apply_edit`` runs its repairs under the bus's replaying guard, so
+    re-driving it here never double-appends; the recorded component-schema
+    fingerprint (when present — inverse commands carry none) verifies the
+    edit landed on the same schema bytes as the original run.
+    """
+    from repro.errors import ConsistencyFailure
+    from repro.evolution.edits import edit_from_payload
+
+    payload = event.payload
+    if event.action == "edit_rejected":
+        try:
+            session.apply_edit(
+                payload["schema"], edit_from_payload(payload["edit"])
+            )
+        except ConsistencyFailure:
+            return  # the recorded rejection reproduced
+        diverge(event, "recorded edit_rejected no longer raises")
+        return
+    if event.action != "apply_edit":
+        diverge(event, f"unknown evolution action {event.action!r}")
+        return
+    try:
+        session.apply_edit(
+            payload["schema"], edit_from_payload(payload["edit"])
+        )
+    except ReplayError:
+        raise
+    except Exception as exc:
+        diverge(event, f"replay raised {type(exc).__name__}: {exc}")
+        return
+    recorded = payload.get("fingerprint")
+    if recorded is not None:
+        replayed = schema_fingerprint(
+            session.registry.schema(payload["schema"])
+        )
+        if recorded != replayed:
+            diverge(
+                event,
+                f"evolved schema diverged (recorded {recorded[:12]}…, "
+                f"replayed {replayed[:12]}…)",
+            )
 
 
 def _apply_integrate_event(

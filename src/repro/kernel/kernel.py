@@ -496,11 +496,21 @@ class Kernel:
             session.resnapshot_audit()
 
     def result_at_head(self) -> "IntegrationResult | None":
-        """The result of the latest integrate event at or before the head."""
+        """The result of the latest integrate event at or before the head.
+
+        An ``evolution.apply_edit`` event with a patched result recorded
+        against it (the tool's localized re-integration) shadows the
+        original integrate result; one without falls through to the
+        integrate event it patched.
+        """
         with self.bus.lock:
             for event in reversed(self.bus.events(self._baseline, self._head)):
                 if event.scope == "session" and event.action == "integrate":
                     return self._results_by_offset.get(event.offset)
+                if event.scope == "evolution" and event.action == "apply_edit":
+                    patched = self._results_by_offset.get(event.offset)
+                    if patched is not None:
+                        return patched
             return None
 
     def record_result(self, offset: int, result: "IntegrationResult") -> None:

@@ -311,6 +311,18 @@ class AnalysisCounters:
     solver_conflicts_minimized: int = 0
     #: equivalence candidates scored and trial-propagated by the suggester
     solver_candidates_checked: int = 0
+    #: schema edits applied through the evolution vocabulary
+    evolution_edits_applied: int = 0
+    #: schema edits rejected by the pre-apply conflict check
+    evolution_edits_rejected: int = 0
+    #: specified assertions retracted by destructive edits' repairs
+    evolution_assertions_retracted: int = 0
+    #: pairs re-propagated by the scoped post-edit solver check
+    evolution_pairs_repropagated: int = 0
+    #: clusters rebuilt while patching an integrated schema after an edit
+    evolution_clusters_rebuilt: int = 0
+    #: federation plans invalidated by localized evolve changes
+    evolution_plans_invalidated: int = 0
 
     def reset(self) -> None:
         """Zero every counter (benchmarks call this between phases)."""

@@ -29,6 +29,7 @@ from repro.tool.screens.browse import (
     EquivalentScreen,
     ParticipatingObjectsScreen,
 )
+from repro.tool.screens.evolution import EvolutionScreen
 from repro.tool.screens.federation import FederationScreen
 from repro.tool.screens.suggestion import SuggestionScreen
 
@@ -56,6 +57,7 @@ __all__ = [
     "ComponentAttributeScreen",
     "EquivalentScreen",
     "ParticipatingObjectsScreen",
+    "EvolutionScreen",
     "FederationScreen",
     "SuggestionScreen",
 ]

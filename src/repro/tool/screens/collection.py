@@ -12,13 +12,23 @@ from __future__ import annotations
 
 from repro.ecr.attributes import Attribute
 from repro.ecr.domains import domain_from_name
-from repro.ecr.objects import Category, EntitySet
 from repro.ecr.relationships import (
     CardinalityConstraint,
     Participation,
     RelationshipSet,
 )
 from repro.errors import ToolError
+from repro.evolution import (
+    AddAttribute,
+    AddClass,
+    AddParticipation,
+    AddRelationship,
+    DropAttribute,
+    DropClass,
+    DropParticipation,
+    DropRelationship,
+    SetCategoryParents,
+)
 from repro.tool.screens.base import POP, Replace, Screen
 from repro.tool.session import ToolSession
 
@@ -130,20 +140,28 @@ class StructureInfoScreen(Screen):
                 raise ToolError("usage: A <name> <e/c/r>")
             name, kind = args[0], args[1].lower()
             if kind == "e":
-                schema.add(EntitySet(name))
-                session.refresh_after_edit(self.schema_name)
+                session.apply_edit(
+                    self.schema_name, AddClass({"kind": "e", "name": name})
+                )
                 return AttributeInfoScreen(self.schema_name, name)
             if kind == "c":
                 return CategoryInfoScreen(self.schema_name, name)
-            schema.add(RelationshipSet(name))
-            session.refresh_after_edit(self.schema_name)
+            session.apply_edit(
+                self.schema_name, AddRelationship({"kind": "r", "name": name})
+            )
             return RelationshipInfoScreen(self.schema_name, name)
         if choice == "d":
             if len(args) != 1:
                 raise ToolError("usage: D <name>")
-            schema.remove(args[0])
-            session.refresh_after_edit(self.schema_name)
-            session.status = f"{args[0]!r} removed"
+            structure = schema.get(args[0])
+            if isinstance(structure, RelationshipSet):
+                edit: object = DropRelationship(args[0], cascade=True)
+            else:
+                edit = DropClass(args[0], cascade=True)
+            outcome = session.apply_edit(self.schema_name, edit)
+            session.status = (
+                f"{args[0]!r} removed ({outcome.scope.summary()})"
+            )
             return None
         if choice == "u":
             if len(args) != 1:
@@ -203,16 +221,40 @@ class CategoryInfoScreen(Screen):
                 raise ToolError("usage: A <parent-object>")
             schema.object_class(args[0])  # parent must already exist
             if defined:
-                schema.category(self.category_name).add_parent(args[0])
+                parents = schema.category(self.category_name).parents
+                session.apply_edit(
+                    self.schema_name,
+                    SetCategoryParents(
+                        self.category_name, (*parents, args[0])
+                    ),
+                )
             else:
-                schema.add(Category(self.category_name, parents=[args[0]]))
-            session.refresh_after_edit(self.schema_name)
+                session.apply_edit(
+                    self.schema_name,
+                    AddClass(
+                        {
+                            "kind": "c",
+                            "name": self.category_name,
+                            "parents": [args[0]],
+                        }
+                    ),
+                )
             return None
         if choice == "d":
             if len(args) != 1 or not defined:
                 raise ToolError("usage: D <parent-object>")
-            schema.category(self.category_name).remove_parent(args[0])
-            session.refresh_after_edit(self.schema_name)
+            parents = schema.category(self.category_name).parents
+            if args[0] not in parents:
+                raise ToolError(
+                    f"{args[0]!r} is not a parent of {self.category_name!r}"
+                )
+            session.apply_edit(
+                self.schema_name,
+                SetCategoryParents(
+                    self.category_name,
+                    tuple(parent for parent in parents if parent != args[0]),
+                ),
+            )
             return None
         raise ToolError(f"unknown choice {line!r}")
 
@@ -270,16 +312,21 @@ class RelationshipInfoScreen(Screen):
             schema.object_class(args[0])  # participant must exist
             cardinality = CardinalityConstraint.parse(args[1])
             role = args[2] if len(args) == 3 else ""
-            relationship.add_participation(
-                Participation(args[0], cardinality, role)
+            session.apply_edit(
+                self.schema_name,
+                AddParticipation(
+                    self.relationship_name,
+                    Participation(args[0], cardinality, role),
+                ),
             )
-            session.refresh_after_edit(self.schema_name)
             return None
         if choice == "d":
             if len(args) != 1:
                 raise ToolError("usage: D <object-or-role>")
-            relationship.remove_participation(args[0])
-            session.refresh_after_edit(self.schema_name)
+            session.apply_edit(
+                self.schema_name,
+                DropParticipation(self.relationship_name, args[0]),
+            )
             return None
         raise ToolError(f"unknown choice {line!r}")
 
@@ -337,17 +384,24 @@ class AttributeInfoScreen(Screen):
         if choice == "a":
             if len(args) != 3 or args[2].lower() not in ("y", "n"):
                 raise ToolError("usage: A <name> <domain> <y/n>")
-            structure.add_attribute(
-                Attribute(
-                    args[0], domain_from_name(args[1]), args[2].lower() == "y"
-                )
+            session.apply_edit(
+                self.schema_name,
+                AddAttribute(
+                    self.structure_name,
+                    Attribute(
+                        args[0],
+                        domain_from_name(args[1]),
+                        args[2].lower() == "y",
+                    ),
+                ),
             )
-            session.refresh_after_edit(self.schema_name)
             return None
         if choice == "d":
             if len(args) != 1:
                 raise ToolError("usage: D <name>")
-            structure.remove_attribute(args[0])
-            session.refresh_after_edit(self.schema_name)
+            session.apply_edit(
+                self.schema_name,
+                DropAttribute(self.structure_name, args[0]),
+            )
             return None
         raise ToolError(f"unknown choice {line!r}")

@@ -7,7 +7,9 @@ performs integration and opens the browse hierarchy.  Task 7 goes
 operational: it runs global requests against the integrated schema via
 the federated query engine (:mod:`repro.federation`).  Task 8 reviews
 the solver's ranked equivalence suggestions (:mod:`repro.solver`) for
-one-keystroke confirmation.
+one-keystroke confirmation.  Task 9 evolves a component schema through
+typed edits (:mod:`repro.evolution`), with every downstream layer
+repaired incrementally and a repair-scope report.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from repro.tool.screens.assertion import AssertionCollectScreen
 from repro.tool.screens.browse import ObjectClassScreen
 from repro.tool.screens.collection import SchemaNameScreen
 from repro.tool.screens.equivalence import ObjectSelectScreen, SchemaSelectScreen
+from repro.tool.screens.evolution import EvolutionScreen
 from repro.tool.screens.federation import FederationScreen
 from repro.tool.screens.suggestion import SuggestionScreen
 from repro.tool.session import ToolSession
@@ -31,6 +34,7 @@ _TASKS = [
     "6. Perform integration and view the integrated schema",
     "7. Run a global request over the component databases",
     "8. Review suggested equivalence assertions",
+    "9. Edit a component schema (repairs propagate incrementally)",
 ]
 
 
@@ -55,7 +59,7 @@ class MainMenuScreen(Screen):
 
     def prompt(self, session: ToolSession) -> str:
         return (
-            "Enter task (1-8), (S)ave <file>, (L)oad <file>, "
+            "Enter task (1-9), (S)ave <file>, (L)oad <file>, "
             "(Z)undo, (Y)redo, or (E)xit :"
         )
 
@@ -102,6 +106,8 @@ class MainMenuScreen(Screen):
             return FederationScreen()
         if choice == "8":
             return self._suggestion_screen(session)
+        if choice == "9":
+            return EvolutionScreen()
         raise ToolError(f"unknown choice {line!r}")
 
     @staticmethod

@@ -11,6 +11,9 @@
   correspondence oracle the experiments score against.
 * :mod:`repro.workloads.oracle` — a scriptable "oracle DDA" that answers
   equivalence and assertion questions from a ground truth.
+* :mod:`repro.workloads.evolution` — deterministic seeded schema-edit
+  scripts with a guaranteed fraction of assertion-invalidating edits, the
+  traffic generator behind the evolution benchmarks and properties.
 """
 
 from repro.workloads.university import (
@@ -30,6 +33,12 @@ from repro.workloads.generator import (
     PlantedContradiction,
     conflict_seeded_config,
     generate_schema_pair,
+)
+from repro.workloads.evolution import (
+    EvolutionConfig,
+    ScriptedEdit,
+    evolution_script,
+    run_evolution_script,
 )
 from repro.workloads.oracle import GroundTruth, OracleDda
 from repro.workloads.domains import (
@@ -56,6 +65,10 @@ __all__ = [
     "PlantedContradiction",
     "conflict_seeded_config",
     "generate_schema_pair",
+    "EvolutionConfig",
+    "ScriptedEdit",
+    "evolution_script",
+    "run_evolution_script",
     "GroundTruth",
     "OracleDda",
     "build_hospital_admissions",

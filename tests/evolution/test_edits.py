@@ -1,0 +1,191 @@
+"""The typed edit vocabulary: payloads, inverses, conflicts, retraction."""
+
+import pytest
+
+from repro.assertions.kinds import AssertionKind, Source
+from repro.baselines import state_payload_fingerprint
+from repro.equivalence.session import AnalysisSession
+from repro.errors import ConsistencyFailure, SchemaError
+from repro.evolution import (
+    AddAttribute,
+    AddClass,
+    DropClass,
+    RenameAttribute,
+    SetCategoryParents,
+    edit_from_payload,
+)
+from repro.ecr.attributes import Attribute
+from repro.ecr.domains import Domain, DomainKind
+from repro.ecr.schema import ObjectRef
+from repro.workloads.university import build_sc1, build_sc2
+
+
+@pytest.fixture
+def session():
+    live = AnalysisSession([build_sc1(), build_sc2()])
+    live.declare_equivalent("sc1.Student.Name", "sc2.Grad_student.Name")
+    live.specify("sc1.Student", "sc2.Grad_student", AssertionKind.from_code(3))
+    return live
+
+
+PAYLOADS = [
+    {"kind": "add_attribute", "object": "Student",
+     "attribute": {"name": "Age", "domain": {"kind": "integer"}}},
+    {"kind": "drop_attribute", "object": "Student", "attribute": "GPA"},
+    {"kind": "rename_attribute", "object": "Student",
+     "old": "GPA", "new": "Grade_avg"},
+    {"kind": "add_class", "structure": {"kind": "e", "name": "Campus"}},
+    {"kind": "drop_class", "object": "Student", "cascade": True},
+    {"kind": "add_relationship",
+     "structure": {"kind": "r", "name": "Attends", "participations": [
+         {"object": "Student", "min": 0, "max": 1}]}},
+    {"kind": "drop_relationship", "relationship": "Majors", "cascade": True},
+    {"kind": "set_category_parents", "object": "Student",
+     "parents": ["Person"]},
+]
+
+
+class TestPayloads:
+    @pytest.mark.parametrize(
+        "payload", PAYLOADS, ids=[p["kind"] for p in PAYLOADS]
+    )
+    def test_round_trip(self, payload):
+        assert edit_from_payload(dict(payload)).to_payload() == payload
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            edit_from_payload({"kind": "explode"})
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemaError):
+            edit_from_payload({"kind": "add_attribute"})
+
+
+class TestInverses:
+    def test_inverse_restores_the_fingerprint(self, session):
+        before = state_payload_fingerprint(session)
+        outcome = session.apply_edit(
+            "sc1",
+            AddAttribute(
+                "Student", Attribute("Age", Domain(DomainKind.INTEGER))
+            ),
+        )
+        assert state_payload_fingerprint(session) != before
+        session.apply_edit("sc1", outcome.inverse)
+        assert state_payload_fingerprint(session) == before
+
+    def test_rename_inverse_swaps_names(self, session):
+        outcome = session.apply_edit(
+            "sc1", RenameAttribute("Student", "GPA", "Grade_avg")
+        )
+        assert outcome.inverse.to_payload() == {
+            "kind": "rename_attribute",
+            "object": "Student",
+            "old": "Grade_avg",
+            "new": "GPA",
+        }
+
+    def test_destructive_inverse_restores_structure_not_assertions(
+        self, session
+    ):
+        session.apply_edit(
+            "sc2",
+            edit_from_payload(
+                {"kind": "drop_relationship", "relationship": "Majors",
+                 "cascade": True}
+            ),
+        )
+        outcome = session.apply_edit(
+            "sc2", DropClass("Grad_student", cascade=True)
+        )
+        assert outcome.destructive
+        # the structural inverse re-adds the class at its old position...
+        payload = outcome.inverse.to_payload()
+        assert payload["structure"]["name"] == "Grad_student"
+        assert payload["position"] == 0
+        session.apply_edit("sc2", outcome.inverse)
+        assert "Grad_student" in session.registry.schema("sc2")
+        # ...but the retracted DDA assertion is gone for good
+        assert session.object_network.assertion_for(
+            ObjectRef("sc1", "Student"), ObjectRef("sc2", "Grad_student")
+        ) is None
+
+
+class TestConflicts:
+    def test_non_cascade_drop_of_asserted_class_refuses(self, session):
+        before = state_payload_fingerprint(session)
+        session.apply_edit(
+            "sc2",
+            edit_from_payload(
+                {"kind": "drop_relationship", "relationship": "Majors",
+                 "cascade": True}
+            ),
+        )
+        after_rel_drop = state_payload_fingerprint(session)
+        with pytest.raises(ConsistencyFailure) as failure:
+            session.apply_edit("sc2", DropClass("Grad_student"))
+        assert failure.value.code == "solver_inconsistent"
+        # the refused edit left no trace
+        assert state_payload_fingerprint(session) == after_rel_drop
+        assert after_rel_drop != before
+
+    def test_rejection_is_counted(self, session):
+        rejected_before = session.counters.evolution_edits_rejected
+        session.apply_edit(
+            "sc2",
+            edit_from_payload(
+                {"kind": "drop_relationship", "relationship": "Majors",
+                 "cascade": True}
+            ),
+        )
+        with pytest.raises(ConsistencyFailure):
+            session.apply_edit("sc2", DropClass("Grad_student"))
+        assert session.counters.evolution_edits_rejected == rejected_before + 1
+
+
+class TestDestructive:
+    def test_cascade_drop_retracts_and_reports(self, session):
+        session.apply_edit(
+            "sc2",
+            edit_from_payload(
+                {"kind": "drop_relationship", "relationship": "Majors",
+                 "cascade": True}
+            ),
+        )
+        outcome = session.apply_edit(
+            "sc2", DropClass("Grad_student", cascade=True)
+        )
+        assert outcome.destructive
+        assert outcome.retracted
+        assert any(
+            "sc2.Grad_student" in {str(ref) for ref in assertion.pair}
+            for assertion in outcome.retracted
+        )
+        assert outcome.scope.assertions_retracted >= 1
+        assert "Grad_student" not in session.registry.schema("sc2")
+
+
+class TestReseeding:
+    def test_new_category_parent_reseeds_containment(self, session):
+        session.apply_edit(
+            "sc1",
+            AddClass({"kind": "c", "name": "Honors_student",
+                      "parents": ["Student"]}),
+        )
+        implicit = session.object_network.assertion_for(
+            ObjectRef("sc1", "Honors_student"), ObjectRef("sc1", "Student")
+        )
+        assert implicit is not None
+        assert implicit.source is Source.IMPLICIT
+
+        session.apply_edit(
+            "sc1", SetCategoryParents("Honors_student", ("Department",))
+        )
+        stale = session.object_network.assertion_for(
+            ObjectRef("sc1", "Honors_student"), ObjectRef("sc1", "Student")
+        )
+        fresh = session.object_network.assertion_for(
+            ObjectRef("sc1", "Honors_student"), ObjectRef("sc1", "Department")
+        )
+        assert fresh is not None and fresh.source is Source.IMPLICIT
+        assert stale is None or stale.source is not Source.IMPLICIT

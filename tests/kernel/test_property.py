@@ -39,6 +39,26 @@ OBJECTS = (
     "sc2.Department",
 )
 
+# typed evolution edits, in wire-payload form; infeasible ones (dropping
+# a class a relationship still references, dropping what was never added)
+# simply raise and are swallowed like any other failed operation
+EDITS = (
+    ("sc1", {"kind": "add_attribute", "object": "Student",
+             "attribute": {"name": "Age", "domain": {"kind": "integer"}}}),
+    ("sc1", {"kind": "rename_attribute", "object": "Student",
+             "old": "GPA", "new": "Grade_avg"}),
+    ("sc1", {"kind": "drop_attribute", "object": "Student",
+             "attribute": "GPA"}),
+    ("sc2", {"kind": "add_class",
+             "structure": {"kind": "e", "name": "Campus", "attributes": [
+                 {"name": "CName", "domain": {"kind": "char"},
+                  "is_key": True}]}}),
+    ("sc2", {"kind": "drop_class", "object": "Campus", "cascade": True}),
+    ("sc2", {"kind": "drop_relationship", "relationship": "Works",
+             "cascade": True}),
+    ("sc2", {"kind": "drop_class", "object": "Faculty", "cascade": True}),
+)
+
 operations = st.one_of(
     st.tuples(
         st.just("declare"),
@@ -58,6 +78,7 @@ operations = st.one_of(
         st.sampled_from(OBJECTS),
     ),
     st.tuples(st.just("integrate")),
+    st.tuples(st.just("edit"), st.sampled_from(range(len(EDITS)))),
 )
 
 
@@ -72,6 +93,13 @@ def apply_operation(session: AnalysisSession, operation) -> None:
             session.specify(operation[1], operation[2], operation[3])
         elif verb == "retract":
             session.retract(operation[1], operation[2])
+        elif verb == "edit":
+            from copy import deepcopy
+
+            from repro.evolution import edit_from_payload
+
+            schema, payload = EDITS[operation[1]]
+            session.apply_edit(schema, edit_from_payload(deepcopy(payload)))
         else:
             session.integrate("sc1", "sc2")
     except ReproError:

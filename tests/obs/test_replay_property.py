@@ -41,6 +41,24 @@ OBJECTS = (
 
 RELATIONSHIPS = ("sc1.Majors", "sc2.Majors")
 
+# typed evolution edits in wire form; ones that have become infeasible
+# (double-add, drop of a referenced class) raise and stay in the log
+EDITS = (
+    ("sc1", {"kind": "add_attribute", "object": "Department",
+             "attribute": {"name": "Budget", "domain": {"kind": "integer"}}}),
+    ("sc2", {"kind": "rename_attribute", "object": "Faculty",
+             "old": "Name", "new": "Full_name"}),
+    ("sc1", {"kind": "drop_attribute", "object": "Student",
+             "attribute": "GPA"}),
+    ("sc2", {"kind": "add_class",
+             "structure": {"kind": "e", "name": "Campus", "attributes": [
+                 {"name": "CName", "domain": {"kind": "char"},
+                  "is_key": True}]}}),
+    ("sc2", {"kind": "drop_class", "object": "Campus", "cascade": True}),
+    ("sc2", {"kind": "drop_relationship", "relationship": "Works",
+             "cascade": True}),
+)
+
 operations = st.one_of(
     st.tuples(
         st.just("declare"),
@@ -65,6 +83,7 @@ operations = st.one_of(
         st.sampled_from(RELATIONSHIPS),
         st.integers(min_value=0, max_value=5),
     ),
+    st.tuples(st.just("edit"), st.sampled_from(range(len(EDITS)))),
 )
 
 
@@ -78,6 +97,13 @@ def apply_operation(session: AnalysisSession, operation) -> None:
         session.specify(operation[1], operation[2], operation[3])
     elif verb == "retract":
         session.retract(operation[1], operation[2])
+    elif verb == "edit":
+        from copy import deepcopy
+
+        from repro.evolution import edit_from_payload
+
+        schema, payload = EDITS[operation[1]]
+        session.apply_edit(schema, edit_from_payload(deepcopy(payload)))
     else:
         session.specify(
             operation[1], operation[2], operation[3], relationships=True

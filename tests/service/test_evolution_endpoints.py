@@ -1,0 +1,124 @@
+"""The evolution HTTP surface: typed edits, repair scope, 409 conflicts."""
+
+
+def _edit(kind, **extra):
+    return {"kind": kind, **extra}
+
+
+class TestApplyEdit:
+    def test_add_attribute_returns_scope_and_inverse(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/schemas/sc1/edits",
+            {
+                "edit": _edit(
+                    "add_attribute",
+                    object="Student",
+                    attribute={"name": "Age", "domain": {"kind": "integer"}},
+                )
+            },
+        )
+        assert status == 201
+        assert payload["schema"] == "sc1"
+        assert payload["destructive"] is False
+        assert payload["inverse"] == {
+            "kind": "drop_attribute",
+            "object": "Student",
+            "attribute": "Age",
+        }
+        scope = payload["scope"]
+        assert scope["edit_kind"] == "add_attribute"
+        assert "OCS cells" in scope["summary"]
+        assert "state_fingerprint" in payload
+
+    def test_edit_changes_the_schema(self, seeded):
+        seeded.post(
+            "/v1/sessions/s1/schemas/sc1/edits",
+            {
+                "edit": _edit(
+                    "rename_attribute",
+                    object="Student",
+                    old="GPA",
+                    new="Grade_avg",
+                )
+            },
+        )
+        status, payload = seeded.get("/v1/sessions/s1/schemas/sc1")
+        assert status == 200
+        assert "Grade_avg" in payload["ddl"]
+        assert "GPA" not in payload["ddl"]
+
+    def test_conflicting_drop_is_409_with_minimal_conflict(self, seeded):
+        # sc1.Student carries a specified CONTAINS assertion: a non-cascade
+        # drop must refuse with the solver's minimal-conflict wire shape
+        status, payload = seeded.post(
+            "/v1/sessions/s1/schemas/sc1/edits",
+            {"edit": _edit("drop_class", object="Student")},
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "solver_inconsistent"
+        details = payload["error"]["details"]
+        members = details["conflict_set"]
+        assert members
+        assert any("Student" in str(member) for member in members)
+
+    def test_cascade_drop_is_destructive_and_reports_retractions(
+        self, seeded
+    ):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/schemas/sc2/edits",
+            {"edit": _edit("drop_class", object="Grad_student", cascade=True)},
+        )
+        assert status == 201
+        assert payload["destructive"] is True
+        assert payload["retracted"]
+        assert payload["scope"]["assertions_retracted"] >= 1
+
+    def test_unknown_schema_is_404(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/schemas/nope/edits",
+            {"edit": _edit("add_class", structure={"kind": "e", "name": "X"})},
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_name"
+
+    def test_unknown_kind_is_400(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/schemas/sc1/edits",
+            {"edit": _edit("explode")},
+        )
+        assert status == 400
+
+    def test_missing_edit_field_is_400(self, seeded):
+        status, payload = seeded.post(
+            "/v1/sessions/s1/schemas/sc1/edits", {}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_edit_survives_undo_redo_round_trip(self, seeded):
+        seeded.post(
+            "/v1/sessions/s1/schemas/sc1/edits",
+            {
+                "edit": _edit(
+                    "add_class",
+                    structure={
+                        "kind": "e",
+                        "name": "Campus",
+                        "attributes": [
+                            {
+                                "name": "CName",
+                                "domain": {"kind": "char"},
+                                "is_key": True,
+                            }
+                        ],
+                    },
+                )
+            },
+        )
+        _, before = seeded.get("/v1/sessions/s1")
+        assert seeded.post("/v1/sessions/s1/undo")[0] == 200
+        _, payload = seeded.get("/v1/sessions/s1/schemas/sc1")
+        assert "Campus" not in payload["ddl"]
+        assert seeded.post("/v1/sessions/s1/redo")[0] == 200
+        _, after = seeded.get("/v1/sessions/s1")
+        assert after["state_fingerprint"] == before["state_fingerprint"]

@@ -26,6 +26,7 @@ STABLE_MODULES = (
     "repro.obs",
     "repro.kernel",
     "repro.solver",
+    "repro.evolution",
 )
 
 DOCS = Path(__file__).resolve().parent.parent / "docs"

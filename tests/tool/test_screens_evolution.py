@@ -1,0 +1,81 @@
+"""The Screen 10 evolution screen: JSON edits in, repair-scope report out."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.tool.screens.base import POP
+from repro.tool.screens.evolution import EvolutionScreen
+from repro.tool.screens.main_menu import MainMenuScreen
+from repro.tool.session import ToolSession
+from repro.workloads.university import build_sc1, build_sc2
+
+
+@pytest.fixture
+def session():
+    live = ToolSession()
+    live.adopt_schema(build_sc1())
+    live.adopt_schema(build_sc2())
+    return live
+
+
+class TestNavigation:
+    def test_main_menu_routes_to_evolution(self, session):
+        outcome = MainMenuScreen().handle("9", session)
+        assert isinstance(outcome, EvolutionScreen)
+
+    def test_exit_pops(self, session):
+        assert EvolutionScreen().handle("E", session) is POP
+
+    def test_body_lists_schemas_and_edit_kinds(self, session):
+        body = "\n".join(EvolutionScreen().body(session))
+        assert "sc1" in body
+        assert "sc2" in body
+        assert "add_attribute" in body
+
+
+class TestApply:
+    def test_edit_applies_and_reports_scope(self, session):
+        screen = EvolutionScreen()
+        screen.handle(
+            'A sc1 {"kind": "add_attribute", "object": "Student",'
+            ' "attribute": {"name": "Age", "domain": {"kind": "integer"}}}',
+            session,
+        )
+        assert "Age" in {
+            attribute.name
+            for attribute in session.schema("sc1").get("Student").attributes
+        }
+        body = "\n".join(screen.body(session))
+        assert "add_attribute" in body
+        assert "OCS cells" in session.status
+
+    def test_bad_json_is_a_tool_error(self, session):
+        with pytest.raises(ToolError):
+            EvolutionScreen().handle("A sc1 {not json", session)
+
+    def test_unknown_schema_rejected(self, session):
+        with pytest.raises(Exception):
+            EvolutionScreen().handle(
+                'A ghost {"kind": "drop_attribute", "object": "X",'
+                ' "attribute": "Y"}',
+                session,
+            )
+
+    def test_edit_is_undoable(self, session):
+        screen = EvolutionScreen()
+        screen.handle(
+            'A sc1 {"kind": "rename_attribute", "object": "Student",'
+            ' "old": "GPA", "new": "Grade_avg"}',
+            session,
+        )
+        names = {
+            attribute.name
+            for attribute in session.schema("sc1").get("Student").attributes
+        }
+        assert "Grade_avg" in names
+        session.undo()
+        names = {
+            attribute.name
+            for attribute in session.schema("sc1").get("Student").attributes
+        }
+        assert "GPA" in names and "Grade_avg" not in names

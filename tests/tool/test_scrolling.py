@@ -19,7 +19,7 @@ def big_session():
     for index in range(40):
         entity.add_attribute(Attribute(f"attr_{index:02d}"))
     session.schema("s").add(entity)
-    session.refresh_after_edit("s")
+    session.analysis.refresh_schema("s")
     return session
 
 

@@ -51,10 +51,11 @@ class TestSchemaManagement:
         with pytest.raises(ToolError):
             loaded.adopt_schema(build_sc1())
 
-    def test_refresh_after_edit(self, loaded):
+    def test_refresh_after_edit_deprecated(self, loaded):
         schema = loaded.schema("sc1")
         schema.add(EntitySet("NewThing", [Attribute("x")]))
-        loaded.refresh_after_edit("sc1")
+        with pytest.deprecated_call():
+            loaded.refresh_after_edit("sc1")
         assert loaded.registry.class_number("sc1.NewThing.x") >= 1
 
 

@@ -1,0 +1,111 @@
+"""The seeded evolution-script generator: determinism and quotas."""
+
+import pytest
+
+from repro.equivalence.session import AnalysisSession
+from repro.errors import SchemaError
+from repro.workloads import (
+    EvolutionConfig,
+    GeneratorConfig,
+    evolution_script,
+    generate_schema_pair,
+    run_evolution_script,
+)
+
+
+def build_session(seed=3, concepts=8):
+    pair = generate_schema_pair(GeneratorConfig(seed=seed, concepts=concepts))
+    session = AnalysisSession()
+    session.add_schema(pair.first)
+    session.add_schema(pair.second)
+    for first, second in sorted(pair.truth.attribute_pairs):
+        session.declare_equivalent(str(first), str(second))
+    for (first, second), kind in sorted(
+        pair.truth.object_assertions.items(),
+        key=lambda item: (str(item[0][0]), str(item[0][1])),
+    ):
+        session.specify(str(first), str(second), kind)
+    return session
+
+
+class TestConfig:
+    def test_negative_edits_rejected(self):
+        with pytest.raises(SchemaError):
+            EvolutionConfig(edits=-1)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(SchemaError):
+            EvolutionConfig(invalidating_fraction=1.5)
+
+    def test_quota_rounding(self):
+        assert EvolutionConfig(edits=8, invalidating_fraction=0.25
+                               ).invalidating_edits == 2
+        assert EvolutionConfig(edits=3, invalidating_fraction=0.5
+                               ).invalidating_edits == 2
+
+
+class TestScript:
+    def test_deterministic_across_equal_sessions(self):
+        config = EvolutionConfig(seed=11, edits=8, invalidating_fraction=0.25)
+        first = [
+            (step.schema, step.edit.to_payload())
+            for step, _ in run_evolution_script(build_session(), config)
+        ]
+        second = [
+            (step.schema, step.edit.to_payload())
+            for step, _ in run_evolution_script(build_session(), config)
+        ]
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        base = EvolutionConfig(seed=1, edits=8)
+        other = EvolutionConfig(seed=2, edits=8)
+        first = [
+            step.edit.to_payload()
+            for step, _ in run_evolution_script(build_session(), base)
+        ]
+        second = [
+            step.edit.to_payload()
+            for step, _ in run_evolution_script(build_session(), other)
+        ]
+        assert first != second
+
+    def test_invalidating_quota_is_met_and_retracts(self):
+        config = EvolutionConfig(seed=7, edits=8, invalidating_fraction=0.25)
+        applied = run_evolution_script(build_session(), config)
+        invalidating = [
+            (step, outcome)
+            for step, outcome in applied
+            if step.invalidating
+        ]
+        assert len(invalidating) >= config.invalidating_edits
+        for step, outcome in invalidating:
+            assert outcome.destructive
+            assert outcome.retracted
+
+    def test_zero_fraction_never_drops(self):
+        config = EvolutionConfig(seed=5, edits=6, invalidating_fraction=0.0)
+        applied = run_evolution_script(build_session(), config)
+        assert len(applied) == 6
+        assert not any(step.invalidating for step, _ in applied)
+
+    def test_impossible_quota_raises(self):
+        session = AnalysisSession()
+        from repro.ecr.schema import Schema
+
+        session.add_schema(Schema("lonely"))
+        config = EvolutionConfig(seed=1, edits=2, invalidating_fraction=1.0)
+        with pytest.raises(SchemaError):
+            run_evolution_script(session, config)
+
+    def test_lazy_generation_sees_prior_edits(self):
+        # consuming the script while applying is the contract; edit names
+        # never collide with what earlier steps created
+        session = build_session(seed=9)
+        config = EvolutionConfig(seed=3, edits=10, invalidating_fraction=0.2)
+        seen = set()
+        for step in evolution_script(session, config):
+            session.apply_edit(step.schema, step.edit)
+            key = (step.schema, str(step.edit.to_payload()))
+            assert key not in seen
+            seen.add(key)
