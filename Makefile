@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke service-smoke telemetry-smoke solver-smoke evolution-smoke serve bench example
+.PHONY: test test-deprecations trace-smoke fed-smoke bench-smoke kernel-smoke crash-smoke service-smoke telemetry-smoke solver-smoke evolution-smoke replica-smoke serve bench example
 
 ## Tier-1: the full unit/integration/e2e suite.
 test:
@@ -95,6 +95,18 @@ evolution-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
 		tests/evolution tests/workloads/test_evolution_script.py
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_evolution.py
+
+## Replication smoke: the WAL-shipping suite (shipper/applier parity,
+## service routing + failover, the replication chaos property), then
+## record BENCH_replication.json and gate on it — fails unless
+## steady-state lag p99 <= 250ms, promotion-to-first-served-read <= 1s,
+## and a crash-scheduled chaos run observes zero divergent
+## fingerprints.  See docs/REPLICATION.md.
+replica-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		tests/replication tests/obs/test_replication_gauges.py \
+		tests/workloads/test_traffic.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/record_replication.py --smoke
 
 ## Run the integration service locally (demo token demo:demo-token).
 serve:

@@ -1,0 +1,461 @@
+"""Record replication behaviour to BENCH_replication.json and gate on it.
+
+Three promises of the WAL-shipped replica plane, measured for real:
+
+* **steady-state lag** — a leader/replica pair joined by the in-process
+  link with the background pump running; seeded read/write traffic
+  (:func:`repro.workloads.service_traffic`, reads routed to the replica)
+  while every leader write is timed until the replica observably serves
+  it.  Gate: lag p99 <= ``LAG_P99_CEILING_SECONDS``.
+* **failover** — ``POST /v1/replication/promote`` on the replica, timed
+  until its first successfully served read.  Gate: promotion-to-first-
+  read <= ``PROMOTION_CEILING_SECONDS``; the fenced ex-leader must
+  refuse writes with the typed error.
+* **chaos convergence** — a crash-scheduled shipping run (every
+  replication crashpoint, torn and clean) over at least
+  ``CHAOS_EVENTS`` leader events; at every observation the follower's
+  fingerprint must equal a committed leader state, and one clean round
+  must converge exactly.  Gate: zero divergent fingerprints.
+
+Run:  PYTHONPATH=src python benchmarks/record_replication.py [--smoke]
+Exits non-zero when a gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import faults  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.faults import FaultPlan, InjectedCrash  # noqa: E402
+from repro.replication import (  # noqa: E402
+    ReplicaApplier,
+    payload_fingerprint,
+    ShipCursor,
+    Shipment,
+    WalShipper,
+    decode_frames,
+    encode_frames,
+)
+from repro.service import Request, ServiceApp, TenantAuth  # noqa: E402
+from repro.service.replication import InProcessLeaderLink  # noqa: E402
+from repro.tool.session import ToolSession  # noqa: E402
+from repro.workloads import TrafficConfig, service_traffic  # noqa: E402
+from repro.workloads.university import build_sc1, build_sc2  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_replication.json"
+
+LAG_P99_CEILING_SECONDS = 0.25
+PROMOTION_CEILING_SECONDS = 1.0
+POLL_SECONDS = 0.02
+
+OPERATIONS_FULL = 120
+OPERATIONS_SMOKE = 40
+READ_FRACTION = 0.7
+CHAOS_EVENTS_FULL = 500
+CHAOS_EVENTS_SMOKE = 120
+
+SC1_DDL = """\
+schema sc1
+entity Student
+  attr Name : string key
+  attr GPA : real
+entity Department
+  attr Name : string key
+relationship Majors
+  connects Student (1,1)
+  connects Department (0,n)
+"""
+
+SC2_DDL = """\
+schema sc2
+entity Grad_student
+  attr Name : string key
+  attr Advisor : string
+entity Department
+  attr Name : string key
+"""
+
+
+def repo_sha() -> str:
+    """The repo's HEAD SHA, or ``unknown`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+class Client:
+    """Drives ``ServiceApp.dispatch`` in process; no sockets needed."""
+
+    def __init__(self, app: ServiceApp, token: str = "token-acme") -> None:
+        self.app = app
+        self.token = token
+
+    def call(self, method, path, body=None, *, query=None, headers=None):
+        all_headers = {"authorization": f"Bearer {self.token}"}
+        all_headers.update(headers or {})
+        response = self.app.dispatch(
+            Request(
+                method=method,
+                path=path,
+                query=query or {},
+                headers=all_headers,
+                body=(
+                    json.dumps(body).encode("utf-8")
+                    if body is not None
+                    else b""
+                ),
+            )
+        )
+        return response.status, response.json_payload()
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def wait_for_state(replica: Client, sid: str, state_fingerprint: str,
+                   timeout: float = 10.0) -> float:
+    """Seconds until the replica observably serves the leader's state.
+
+    Fingerprint equality, not offset comparison: an undo *lowers* the
+    leader's event offset, so only the bitwise state proves catch-up.
+    """
+    start = time.perf_counter()
+    deadline = start + timeout
+    while time.perf_counter() < deadline:
+        status, payload = replica.call("GET", f"/v1/sessions/{sid}")
+        if (
+            status == 200
+            and payload["state_fingerprint"] == state_fingerprint
+        ):
+            return time.perf_counter() - start
+        time.sleep(0.001)
+    raise RuntimeError("replica never converged to the leader state")
+
+
+def measure_service_pair(operations: int):
+    """Steady-state lag and promotion timing over a live pump."""
+    lag_samples: list[float] = []
+    read_failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        auth = TenantAuth.from_tokens({"token-acme": "acme"})
+        leader_app = ServiceApp(Path(tmp) / "leader", auth=auth)
+        replica_app = ServiceApp(
+            Path(tmp) / "replica",
+            auth=TenantAuth.from_tokens({"token-acme": "acme"}),
+            replication_link=InProcessLeaderLink(leader_app, "token-acme"),
+            max_lag_s=60.0,  # lag is measured here, not enforced
+            replication_poll_s=POLL_SECONDS,
+        )
+        try:
+            leader = Client(leader_app)
+            replica = Client(replica_app)
+            assert leader.call(
+                "POST", "/v1/sessions", {"session_id": "s1"}
+            )[0] == 201
+            for ddl in (SC1_DDL, SC2_DDL):
+                assert leader.call(
+                    "POST", "/v1/sessions/s1/schemas", {"ddl": ddl}
+                )[0] == 201
+            _, detail = leader.call("GET", "/v1/sessions/s1")
+            wait_for_state(
+                replica, "s1", detail["state_fingerprint"]
+            )  # bootstrap ships
+
+            config = TrafficConfig(
+                operations=operations,
+                read_fraction=READ_FRACTION,
+                seed=2024,
+            )
+            reads = writes = 0
+            for call in service_traffic(config):
+                if call.is_read:
+                    reads += 1
+                    status, _ = replica.call(
+                        call.method, call.path, query=call.query
+                    )
+                    if status >= 300:
+                        read_failures.append(f"{call.path} -> {status}")
+                else:
+                    writes += 1
+                    status, _ = leader.call(
+                        call.method, call.path, call.body
+                    )
+                    assert status < 300, (call, status)
+                    _, detail = leader.call("GET", "/v1/sessions/s1")
+                    lag_samples.append(
+                        wait_for_state(
+                            replica, "s1", detail["state_fingerprint"]
+                        )
+                    )
+
+            _, before = leader.call("GET", "/v1/sessions/s1")
+            promote_start = time.perf_counter()
+            status, promoted = replica.call(
+                "POST", "/v1/replication/promote"
+            )
+            assert status == 200 and promoted["role"] == "leader"
+            status, served = replica.call("GET", "/v1/sessions/s1")
+            assert status == 200
+            promotion_seconds = time.perf_counter() - promote_start
+            fingerprint_preserved = (
+                served["state_fingerprint"] == before["state_fingerprint"]
+            )
+            status, refused = leader.call(
+                "POST", "/v1/sessions/s1/undo"
+            )
+            fenced = (
+                status == 503
+                and refused["error"]["code"] == "replication_fenced"
+            )
+            status, _ = replica.call("POST", "/v1/sessions/s1/undo")
+            writable_after_promotion = status == 200
+        finally:
+            replica_app.close()
+            leader_app.close()
+    return {
+        "lag_samples": lag_samples,
+        "reads": reads,
+        "writes": writes,
+        "read_failures": read_failures,
+        "promotion_seconds": promotion_seconds,
+        "promoted_epoch": promoted["epoch"],
+        "fingerprint_preserved": fingerprint_preserved,
+        "old_leader_fenced": fenced,
+        "writable_after_promotion": writable_after_promotion,
+    }
+
+
+def fingerprint(session: ToolSession) -> str:
+    return payload_fingerprint(session.analysis.state_payload())
+
+
+PAIRS = (
+    ("sc1.Student.Name", "sc2.Grad_student.Name"),
+    ("sc1.Department.Name", "sc2.Department.Name"),
+)
+
+
+def chaos_move(session: ToolSession, save: Path, rng: random.Random):
+    roll = rng.random()
+    try:
+        if roll < 0.45:
+            session.registry.declare_equivalent(*rng.choice(PAIRS))
+        elif roll < 0.75:
+            session.undo()
+        elif roll < 0.9:
+            session.analysis.kernel.snapshot()
+        else:
+            session.save(save)  # checkpoint: WAL generation reset
+    except ReproError:
+        pass  # invalid moves are recorded as failure events
+
+
+def replicate_round(shipper, applier):
+    leader_died = False
+    shipment = shipper.poll(applier.cursor)
+    try:
+        data = encode_frames(list(shipment.records))
+    except InjectedCrash as crash:
+        data = crash.partial or b""
+        leader_died = True
+    records, _good, _damaged = decode_frames(data)
+    start = shipment.cursor.records - len(shipment.records)
+    applier.apply(
+        Shipment(
+            records=tuple(records),
+            cursor=ShipCursor(
+                shipment.cursor.generation, start + len(records)
+            ),
+            restarted=shipment.restarted,
+            damaged=shipment.damaged,
+            quarantined=shipment.quarantined,
+        )
+    )
+    return applier, leader_died
+
+
+def chaos_run(target_events: int):
+    """A crash-scheduled shipping run; counts divergent observations."""
+    rng = random.Random(7)
+    points = (
+        "repl.ship.read",
+        "repl.ship.frame",
+        "repl.apply.record",
+        "repl.promote.persist",
+    )
+    divergent = 0
+    observations = 0
+    crashes = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        save = Path(tmp) / "leader.json"
+        session = ToolSession.open(save)
+        committed = {fingerprint(session)}
+        session.adopt_schema(build_sc1())
+        committed.add(fingerprint(session))
+        session.adopt_schema(build_sc2())
+        committed.add(fingerprint(session))
+        session.analysis.kernel.snapshot_every = 3
+        shipper = WalShipper(f"{save}.wal")
+        applier = ReplicaApplier()
+        episode = 0
+        events = 0  # leader moves; each appends at least one WAL record
+        while events < target_events:
+            plan = FaultPlan(
+                crash_at=points[episode % len(points)],
+                occurrence=1 + episode % 3,
+                torn=bool(episode % 2),
+                seed=episode,
+            )
+            episode += 1
+            with faults.inject(plan):
+                for _ in range(4):
+                    chaos_move(session, save, rng)
+                    events += 1
+                    committed.add(fingerprint(session))
+                    try:
+                        applier, leader_died = replicate_round(
+                            shipper, applier
+                        )
+                    except InjectedCrash:
+                        leader_died = True
+                        applier = ReplicaApplier(state=applier.state())
+                    if leader_died:
+                        crashes += 1
+                        session = ToolSession.open(save)
+                        session.analysis.kernel.snapshot_every = 3
+                        committed.add(fingerprint(session))
+                    observed = applier.fingerprint()
+                    if observed is not None:
+                        observations += 1
+                        if observed not in committed:
+                            divergent += 1
+        applier, _ = replicate_round(shipper, applier)
+        converged = applier.fingerprint() == fingerprint(session)
+        final_offset = session.analysis.kernel.bus.offset
+    return {
+        "events": events,
+        "final_offset": final_offset,
+        "episodes": episode,
+        "crashes_injected": crashes,
+        "observations": observations,
+        "divergent_fingerprints": divergent,
+        "converged_after_faults": converged,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer operations and chaos events (CI); same gates",
+    )
+    args = parser.parse_args(argv)
+    operations = OPERATIONS_SMOKE if args.smoke else OPERATIONS_FULL
+    chaos_events = CHAOS_EVENTS_SMOKE if args.smoke else CHAOS_EVENTS_FULL
+
+    service = measure_service_pair(operations)
+    chaos = chaos_run(chaos_events)
+
+    lags = service["lag_samples"]
+    lag_p99 = percentile(lags, 0.99)
+    gates = {
+        "steady_state_lag_p99": {
+            "seconds": round(lag_p99, 6),
+            "ceiling_seconds": LAG_P99_CEILING_SECONDS,
+            "passed": lag_p99 <= LAG_P99_CEILING_SECONDS,
+        },
+        "promotion_to_first_read": {
+            "seconds": round(service["promotion_seconds"], 6),
+            "ceiling_seconds": PROMOTION_CEILING_SECONDS,
+            "passed": (
+                service["promotion_seconds"] <= PROMOTION_CEILING_SECONDS
+                and service["writable_after_promotion"]
+                and service["old_leader_fenced"]
+                and service["fingerprint_preserved"]
+            ),
+        },
+        "chaos_divergence": {
+            "events": chaos["events"],
+            "divergent_fingerprints": chaos["divergent_fingerprints"],
+            "passed": (
+                chaos["divergent_fingerprints"] == 0
+                and chaos["converged_after_faults"]
+                and not service["read_failures"]
+            ),
+        },
+    }
+    report = {
+        "description": (
+            "WAL-shipped replica lag, failover and chaos convergence; "
+            "see docs/REPLICATION.md and make replica-smoke"
+        ),
+        "repro_sha": repo_sha(),
+        "smoke": args.smoke,
+        "traffic": {
+            "operations": operations,
+            "read_fraction": READ_FRACTION,
+            "reads": service["reads"],
+            "writes": service["writes"],
+            "replica_read_failures": len(service["read_failures"]),
+        },
+        "lag_seconds": {
+            "samples": len(lags),
+            "mean": round(statistics.fmean(lags), 6),
+            "p50": round(percentile(lags, 0.50), 6),
+            "p95": round(percentile(lags, 0.95), 6),
+            "p99": round(lag_p99, 6),
+            "max": round(max(lags), 6),
+        },
+        "failover": {
+            "promotion_to_first_read_seconds": round(
+                service["promotion_seconds"], 6
+            ),
+            "promoted_epoch": service["promoted_epoch"],
+            "fingerprint_preserved": service["fingerprint_preserved"],
+            "old_leader_fenced": service["old_leader_fenced"],
+            "writable_after_promotion": service[
+                "writable_after_promotion"
+            ],
+        },
+        "chaos": chaos,
+        "gates": gates,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(json.dumps(report, indent=2))
+    for message in service["read_failures"][:10]:
+        print(f"FAILED REPLICA READ: {message}", file=sys.stderr)
+    failed = [name for name, gate in gates.items() if not gate["passed"]]
+    if failed:
+        print(f"GATE FAILURE: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

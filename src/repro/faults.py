@@ -41,6 +41,10 @@ name                            fires
 ``dict.save.after_write``       temp file written, not yet fsynced
 ``dict.save.before_replace``    temp file durable, rename not yet issued
 ``dict.save.after_replace``     rename issued, directory not yet fsynced
+``repl.ship.read``              shipper about to read WAL segments
+``repl.ship.frame``             inside frame encoding on the wire (torn-capable)
+``repl.apply.record``           follower about to apply a shipped record
+``repl.promote.persist``        promotion decided, new epoch not yet persisted
 ==============================  =================================================
 """
 
@@ -68,10 +72,14 @@ CRASHPOINTS = (
     "dict.save.after_write",
     "dict.save.before_replace",
     "dict.save.after_replace",
+    "repl.ship.read",
+    "repl.ship.frame",
+    "repl.apply.record",
+    "repl.promote.persist",
 )
 
 #: Crashpoints that live *inside* a write call and may tear the buffer.
-TORN_CAPABLE = ("wal.append.write", "dict.save.write")
+TORN_CAPABLE = ("wal.append.write", "dict.save.write", "repl.ship.frame")
 
 
 class InjectedCrash(BaseException):
@@ -82,8 +90,13 @@ class InjectedCrash(BaseException):
     ``kill -9`` would not have run it either.
     """
 
-    def __init__(self, point: str) -> None:
+    def __init__(self, point: str, partial: bytes | None = None) -> None:
         self.point = point
+        #: for in-memory torn points (``repl.ship.frame``): the prefix of
+        #: the buffer that "made it onto the wire" before the connection
+        #: died.  ``None`` for on-disk crashes, where the torn prefix is
+        #: already settled into the tracked file instead.
+        self.partial = partial
         super().__init__(f"injected crash at {point!r}")
 
 
@@ -187,6 +200,39 @@ def crashpoint(point: str) -> None:
         raise InjectedIOError(point)
     if plan.crash_at == point and count == plan.occurrence:
         _crash(point)
+
+
+def torn_buffer(data: bytes, point: str) -> bytes:
+    """An in-memory torn-write point for buffers that never touch disk.
+
+    Replication frames are "written" to a connection, not a file, so the
+    torn-prefix logic of :meth:`_TrackedFile.write` cannot apply.  This
+    helper gives such buffers the same deterministic schedule: outside a
+    plan (or before the scheduled hit) it returns ``data`` unchanged; at
+    the scheduled crash it raises :class:`InjectedCrash` whose
+    ``partial`` attribute carries the seeded prefix that "made it onto
+    the wire" (empty when the plan is not torn).
+    """
+    plan = _RUNTIME.plan
+    if plan is None:
+        return data
+    count = plan._hit(point)
+    if plan.io_error_at == point and count == plan.io_error_occurrence:
+        raise InjectedIOError(point)
+    if plan.crash_at == point and count == plan.occurrence:
+        partial = b""
+        if plan.torn and data:
+            # same seeding as _TrackedFile.write: stable across processes
+            tear_seed = zlib.crc32(
+                f"{plan.seed}:{point}:{count}".encode("utf-8")
+            )
+            partial = data[: random.Random(tear_seed).randrange(len(data))]
+        for tracked in _RUNTIME.live_tracked():
+            tracked._settle_for_crash(
+                lost_fsync=bool(plan and plan.lost_fsync)
+            )
+        raise InjectedCrash(point, partial=partial)
+    return data
 
 
 def _crash(point: str) -> None:
@@ -313,4 +359,5 @@ __all__ = [
     "inject",
     "open_tracked",
     "replace",
+    "torn_buffer",
 ]

@@ -16,9 +16,18 @@ from repro.kernel.apply import (
 from repro.kernel.bus import EventBus, EventEmitter, Subscription
 from repro.kernel.events import NO_CHANGE, Command, Event
 from repro.kernel.kernel import Kernel
-from repro.kernel.recovery import RecoveryManager, RecoveryReport
+from repro.kernel.recovery import (
+    RecoveryManager,
+    RecoveryReport,
+    merge_wal_records,
+)
 from repro.kernel.snapshots import Snapshot, apply_state
-from repro.kernel.wal import WalOpenReport, WriteAheadLog
+from repro.kernel.wal import (
+    WalOpenReport,
+    WriteAheadLog,
+    encode_record,
+    scan_records,
+)
 
 __all__ = [
     "NO_CHANGE",
@@ -36,6 +45,9 @@ __all__ = [
     "apply_event",
     "apply_state",
     "canonical_schema_json",
+    "encode_record",
     "event_label",
+    "merge_wal_records",
+    "scan_records",
     "schema_fingerprint",
 ]

@@ -95,8 +95,10 @@ class RecoveryReport:
         if self.bytes_truncated:
             parts.append(f"dropped {self.bytes_truncated} torn byte(s)")
         if self.segments_quarantined:
+            names = ", ".join(self.segments_quarantined)
             parts.append(
                 f"quarantined {len(self.segments_quarantined)} segment(s)"
+                f" ({names})"
             )
         if self.save_error is not None:
             parts.append("save unusable")
@@ -236,87 +238,112 @@ class RecoveryManager:
         records: list[dict[str, Any]],
         report: RecoveryReport,
     ) -> dict[str, Any]:
-        events: list[dict[str, Any]] = (
-            list(base_state.get("events", ()))
-            if base_state is not None
-            else []
-        )
-        snapshots: list[dict[str, Any]] = (
-            list(base_state.get("snapshots", ()))
-            if base_state is not None
-            else []
-        )
-        baseline = (
-            int(base_state.get("baseline", 0))
-            if base_state is not None
-            else 0
-        )
-        head = (
-            int(base_state.get("head", len(events)))
-            if base_state is not None
-            else 0
-        )
-        for record in records:
-            kind = record.get("t")
-            if kind == "base":
-                if base_state is None:
-                    embedded = record.get("state")
-                    if embedded is not None:
-                        # a self-anchoring checkpoint: adopt its state
-                        events = [
-                            dict(event)
-                            for event in embedded.get("events", ())
-                        ]
-                        snapshots = [
-                            dict(snapshot)
-                            for snapshot in embedded.get("snapshots", ())
-                        ]
-                        baseline = int(embedded.get("baseline", 0))
-                        head = int(embedded.get("head", len(events)))
-                        continue
-                    baseline = int(record.get("baseline", 0))
-                    head = int(record.get("head", 0))
-                    snapshot = record.get("snapshot")
-                    if snapshot is not None:
-                        snapshots.append(dict(snapshot))
-            elif kind == "commit":
-                truncate = record.get("truncate")
-                if truncate is not None:
-                    truncate = int(truncate)
-                    del events[truncate:]
-                    snapshots = [
-                        snapshot
-                        for snapshot in snapshots
-                        if int(snapshot.get("offset", 0)) <= truncate
+        return merge_wal_records(base_state, records, report)
+
+
+def merge_wal_records(
+    base_state: dict[str, Any] | None,
+    records: list[dict[str, Any]],
+    report: RecoveryReport,
+) -> dict[str, Any]:
+    """Merge WAL ``records`` onto ``base_state``; the convergent core.
+
+    Pure data manipulation on ``export_state``-shaped dicts — no live
+    kernel involved.  Duplicate events (offsets the base already holds)
+    are skipped, ``truncate`` drops the recorded redo tail, and a record
+    that does not *extend* the log stops replay with
+    ``report.replay_stopped`` set rather than guessing.  Crash recovery
+    (:class:`RecoveryManager`) and continuous replica apply
+    (:class:`repro.replication.ReplicaApplier`) share this function, so
+    a follower replaying shipped records converges on exactly the state
+    a local recovery would have produced.
+    """
+    events: list[dict[str, Any]] = (
+        list(base_state.get("events", ()))
+        if base_state is not None
+        else []
+    )
+    snapshots: list[dict[str, Any]] = (
+        list(base_state.get("snapshots", ()))
+        if base_state is not None
+        else []
+    )
+    baseline = (
+        int(base_state.get("baseline", 0))
+        if base_state is not None
+        else 0
+    )
+    head = (
+        int(base_state.get("head", len(events)))
+        if base_state is not None
+        else 0
+    )
+    for record in records:
+        kind = record.get("t")
+        if kind == "base":
+            if base_state is None:
+                embedded = record.get("state")
+                if embedded is not None:
+                    # a self-anchoring checkpoint: adopt its state
+                    events = [
+                        dict(event)
+                        for event in embedded.get("events", ())
                     ]
-                    head = min(head, truncate)
-                stopped = False
-                for event in record.get("events", ()):
-                    offset = int(event.get("offset", 0))
-                    if offset <= len(events):
-                        continue  # the save already holds this event
-                    if offset != len(events) + 1:
-                        report.replay_stopped = (
-                            f"event offset {offset} does not extend a log "
-                            f"of {len(events)} (stale save?)"
-                        )
-                        stopped = True
-                        break
-                    events.append(dict(event))
-                    report.events_replayed += 1
-                    head = offset
-                if stopped:
+                    snapshots = [
+                        dict(snapshot)
+                        for snapshot in embedded.get("snapshots", ())
+                    ]
+                    baseline = int(embedded.get("baseline", 0))
+                    head = int(embedded.get("head", len(events)))
+                    continue
+                baseline = int(record.get("baseline", 0))
+                head = int(record.get("head", 0))
+                snapshot = record.get("snapshot")
+                if snapshot is not None:
+                    snapshots.append(dict(snapshot))
+        elif kind == "commit":
+            truncate = record.get("truncate")
+            if truncate is not None:
+                truncate = int(truncate)
+                del events[truncate:]
+                snapshots = [
+                    snapshot
+                    for snapshot in snapshots
+                    if int(snapshot.get("offset", 0)) <= truncate
+                ]
+                head = min(head, truncate)
+            stopped = False
+            for event in record.get("events", ()):
+                offset = int(event.get("offset", 0))
+                if offset <= len(events):
+                    continue  # the save already holds this event
+                if offset != len(events) + 1:
+                    report.replay_stopped = (
+                        f"event offset {offset} does not extend a log "
+                        f"of {len(events)} (stale save?)"
+                    )
+                    stopped = True
                     break
-            elif kind == "head":
-                head = int(record.get("offset", head))
-        head = max(baseline, min(head, len(events)))
-        report.head = head
-        return {
-            "head": head,
-            "baseline": baseline,
-            "events": events,
-            "snapshots": snapshots,
-        }
+                events.append(dict(event))
+                report.events_replayed += 1
+                head = offset
+            if stopped:
+                break
+        elif kind == "head":
+            head = int(record.get("offset", head))
+    head = max(baseline, min(head, len(events)))
+    report.head = head
+    return {
+        "head": head,
+        "baseline": baseline,
+        "events": events,
+        "snapshots": snapshots,
+    }
 
 
-__all__ = ["RecoveryManager", "RecoveryReport", "wal_directory_for"]
+__all__ = [
+    "RecoveryManager",
+    "RecoveryReport",
+    "merge_wal_records",
+    "wal_directory_for",
+]

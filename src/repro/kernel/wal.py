@@ -60,6 +60,47 @@ def _segment_name(index: int) -> str:
     return f"wal-{index:010d}.seg"
 
 
+def scan_records(data: bytes) -> tuple[list[dict[str, Any]], int, bool]:
+    """Decode CRC-framed records from ``data``.
+
+    Returns ``(records, bytes of intact prefix, damaged?)``.  This is
+    the one framing decoder in the system: segment scans on open use it
+    via :meth:`WriteAheadLog._scan_segment`, and the replication layer
+    (:mod:`repro.replication`) re-verifies shipped segments and decodes
+    wire frames through it — so a torn tail, a flipped bit or malformed
+    JSON mean the same thing everywhere: trust the prefix, stop there.
+    """
+    records: list[dict[str, Any]] = []
+    offset = 0
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            return records, offset, True  # torn header
+        length, checksum = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        payload = data[start : start + length]
+        if len(payload) < length:
+            return records, offset, True  # torn payload
+        if zlib.crc32(payload) != checksum:
+            return records, offset, True  # flipped bits
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            return records, offset, True
+        if not isinstance(record, dict):
+            return records, offset, True
+        records.append(record)
+        offset = start + length
+    return records, offset, False
+
+
+def encode_record(record: dict[str, Any]) -> bytes:
+    """Frame one record exactly as :meth:`WriteAheadLog.append` does."""
+    payload = json.dumps(
+        record, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8") + b"\n"
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
 @dataclass
 class WalOpenReport:
     """What scanning an existing WAL directory found and repaired."""
@@ -124,28 +165,7 @@ class WriteAheadLog:
         segment: Path,
     ) -> tuple[list[dict[str, Any]], int, bool]:
         """(records, bytes of intact prefix, damaged?) for one segment."""
-        data = segment.read_bytes()
-        records: list[dict[str, Any]] = []
-        offset = 0
-        while offset < len(data):
-            if offset + _HEADER.size > len(data):
-                return records, offset, True  # torn header
-            length, checksum = _HEADER.unpack_from(data, offset)
-            start = offset + _HEADER.size
-            payload = data[start : start + length]
-            if len(payload) < length:
-                return records, offset, True  # torn payload
-            if zlib.crc32(payload) != checksum:
-                return records, offset, True  # flipped bits
-            try:
-                record = json.loads(payload)
-            except ValueError:
-                return records, offset, True
-            if not isinstance(record, dict):
-                return records, offset, True
-            records.append(record)
-            offset = start + length
-        return records, offset, False
+        return scan_records(segment.read_bytes())
 
     def _open_active_segment(self) -> None:
         segments = self._segments()
@@ -166,11 +186,7 @@ class WriteAheadLog:
         """Frame, checksum and append one record; fsync unless told not to."""
         if self._file is None:
             raise WalError("write-ahead log is closed")
-        payload = json.dumps(
-            record, separators=(",", ":"), sort_keys=True
-        ).encode("utf-8") + b"\n"
-        header = _HEADER.pack(len(payload), zlib.crc32(payload))
-        self._file.write(header + payload, point="wal.append.write")
+        self._file.write(encode_record(record), point="wal.append.write")
         faults.crashpoint("wal.append.after_write")
         if sync if sync is not None else self.sync:
             self._file.fsync()
@@ -274,4 +290,4 @@ class WriteAheadLog:
         self.close()
 
 
-__all__ = ["WalOpenReport", "WriteAheadLog"]
+__all__ = ["WalOpenReport", "WriteAheadLog", "encode_record", "scan_records"]

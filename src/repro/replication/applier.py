@@ -1,0 +1,182 @@
+"""Follower-side continuous replay of a shipped WAL stream.
+
+A :class:`ReplicaApplier` holds one session's replica state as the
+**serialised kernel dict** (``export_state`` shape) and folds every
+shipped record into it through the same convergent, duplicate-skipping
+merge crash recovery uses
+(:func:`repro.kernel.recovery.merge_wal_records`).  The expensive live
+:class:`~repro.tool.session.ToolSession` is rebuilt lazily, only when a
+read actually needs it — applying is cheap data manipulation.
+
+Crash discipline: records commit into :attr:`_state` **one at a time**,
+so a follower death mid-batch (the ``repl.apply.record`` crashpoint)
+leaves a state that is exactly some committed prefix of the leader's
+history.  The cursor only advances after the whole shipment lands;
+re-shipped records on restart are skipped by the merge's duplicate
+discipline, so replay after any crash converges.
+
+A shipment that does not *extend* the replica's log raises
+:class:`~repro.replication.errors.ReplicationGapError`; the pump
+recovers by fetching a full leader snapshot and calling :meth:`resync`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro import faults
+from repro.kernel.recovery import RecoveryReport, merge_wal_records
+from repro.replication.errors import ReplicationGapError
+from repro.replication.shipper import ShipCursor, Shipment
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.tool.session import ToolSession
+
+
+def payload_fingerprint(payload: dict[str, Any]) -> str:
+    """SHA-256 over a canonical ``state_payload`` dict.
+
+    The history-independent divergence proof used everywhere: the
+    session manager's rehydration check, the replica parity check and
+    the chaos property all compare states through this one function.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ReplicaApplier:
+    """Continuously merge shipped WAL records into a live read replica."""
+
+    def __init__(
+        self,
+        *,
+        state: dict[str, Any] | None = None,
+        cursor: ShipCursor | None = None,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._state = state
+        self._cursor = cursor
+        self._session: "ToolSession | None" = None
+        self._session_dirty = True
+        #: cumulative view of everything replication repaired/replayed,
+        #: shaped like a crash-recovery report so the recovery endpoint
+        #: can surface leader-side quarantine to follower operators
+        self.report = RecoveryReport(source="replica")
+        #: leader's log length, as last observed by the pump
+        self.leader_offset = 0
+        #: wall-clock instant the replica was last known caught up
+        self.caught_up_at: float | None = None
+        #: wall-clock instant of the last successful apply call
+        self.last_apply_wall: float | None = None
+
+    # -- applying ------------------------------------------------------------
+
+    @property
+    def cursor(self) -> ShipCursor | None:
+        return self._cursor
+
+    def applied_offset(self) -> int:
+        """The replica log's length — the offset reads are served at."""
+        with self._lock:
+            if self._state is None:
+                return 0
+            return len(self._state.get("events", ()))
+
+    def apply(self, shipment: Shipment) -> int:
+        """Fold one shipment in; returns the records applied."""
+        with self._lock:
+            for name in shipment.quarantined:
+                if name not in self.report.segments_quarantined:
+                    self.report.segments_quarantined.append(name)
+            # a restarted stream replays its generation from the base
+            # record: adopt from scratch, exactly as recovery would
+            state = None if shipment.restarted else self._state
+            applied = 0
+            for record in shipment.records:
+                faults.crashpoint("repl.apply.record")
+                step = RecoveryReport(source="replica")
+                state = merge_wal_records(state, [record], step)
+                if step.replay_stopped is not None:
+                    self.report.replay_stopped = step.replay_stopped
+                    raise ReplicationGapError(step.replay_stopped)
+                # commit record-by-record: a crash between records
+                # leaves a consistent applied prefix behind
+                self._state = state
+                self._session_dirty = True
+                self.report.events_replayed += step.events_replayed
+                self.report.head = step.head
+                applied += 1
+            self._cursor = shipment.cursor
+            self.last_apply_wall = time.monotonic()
+            return applied
+
+    def resync(
+        self,
+        state: dict[str, Any],
+        *,
+        cursor: ShipCursor | None = None,
+    ) -> None:
+        """Adopt a full leader snapshot (gap recovery / bootstrap).
+
+        With ``cursor=None`` the next poll re-ships the generation from
+        its start; the duplicate-skipping merge absorbs the overlap.
+        """
+        with self._lock:
+            self._state = json.loads(json.dumps(state))
+            self._cursor = cursor
+            self._session_dirty = True
+            self.report.replay_stopped = None
+            self.last_apply_wall = time.monotonic()
+
+    def observe_leader_offset(self, offset: int) -> None:
+        """Record the leader's log length for lag accounting."""
+        with self._lock:
+            # plain assignment: a leader-side truncate (undo + branch)
+            # legitimately shrinks the log length
+            self.leader_offset = int(offset)
+            if self.applied_offset() >= self.leader_offset:
+                self.caught_up_at = time.monotonic()
+
+    def offset_behind(self) -> int:
+        with self._lock:
+            return max(0, self.leader_offset - self.applied_offset())
+
+    # -- serving -------------------------------------------------------------
+
+    def session(self) -> "ToolSession | None":
+        """The live read-only session, rebuilt lazily after each apply."""
+        from repro.tool.session import ToolSession
+
+        with self._lock:
+            if self._state is None:
+                return None
+            if self._session is None or self._session_dirty:
+                # deep-copy through JSON: the rebuilt kernel must never
+                # alias the applier's committed state
+                self._session = ToolSession.from_kernel_state(
+                    json.loads(json.dumps(self._state))
+                )
+                self._session.last_recovery = self.report
+                self._session_dirty = False
+            return self._session
+
+    def state(self) -> dict[str, Any] | None:
+        """A detached copy of the committed serialised state."""
+        with self._lock:
+            if self._state is None:
+                return None
+            return json.loads(json.dumps(self._state))
+
+    def fingerprint(self) -> str | None:
+        """The replica's ``state_payload`` fingerprint (parity proof)."""
+        session = self.session()
+        if session is None:
+            return None
+        return payload_fingerprint(session.analysis.state_payload())
+
+
+__all__ = ["ReplicaApplier", "payload_fingerprint"]

@@ -1,0 +1,204 @@
+"""A replication-aware service client: route reads, fail over writes.
+
+:class:`ReplicaClient` is the client half of the read-scaling story —
+the piece the benchmark and smoke tests drive, and the reference for
+how external clients are expected to behave:
+
+* **reads** go to a replica, carrying ``X-Repro-Min-Offset`` for every
+  session the client has written to (read-your-writes); a ``503`` from
+  the replica (lagging, not yet bootstrapped) falls back to the leader;
+* **writes** go to the leader; when the leader is unreachable or
+  answers ``replication_not_leader`` / ``replication_fenced``, the
+  client probes its known nodes' ``/v1/replication/status`` and adopts
+  whichever now claims leadership — automatic client-visible failover
+  after a promotion.
+
+Stdlib-only (``http.client``), with one keep-alive connection per host.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any
+
+from repro.replication.errors import ReplicationError
+
+
+class ReplicaClient:
+    """Route reads to followers and writes to the leader, with failover."""
+
+    def __init__(
+        self,
+        leader_url: str,
+        replica_urls: list[str] | tuple[str, ...] = (),
+        *,
+        token: str,
+        timeout: float = 10.0,
+    ) -> None:
+        self.leader_url = leader_url.rstrip("/")
+        self.replica_urls = [url.rstrip("/") for url in replica_urls]
+        self.token = token
+        self.timeout = timeout
+        self._connections: dict[str, http.client.HTTPConnection] = {}
+        #: leader log length per session id, from this client's writes
+        self._written_offsets: dict[str, int] = {}
+
+    # -- transport -----------------------------------------------------------
+
+    def _connection(self, base_url: str) -> http.client.HTTPConnection:
+        connection = self._connections.get(base_url)
+        if connection is None:
+            parsed = urllib.parse.urlsplit(base_url)
+            connection = http.client.HTTPConnection(
+                parsed.hostname, parsed.port, timeout=self.timeout
+            )
+            self._connections[base_url] = connection
+        return connection
+
+    def _drop_connection(self, base_url: str) -> None:
+        connection = self._connections.pop(base_url, None)
+        if connection is not None:
+            connection.close()
+
+    def request(
+        self,
+        base_url: str,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], Any]:
+        """One HTTP exchange; returns (status, headers, decoded body)."""
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        send_headers = {"Authorization": f"Bearer {self.token}"}
+        if payload is not None:
+            send_headers["Content-Type"] = "application/json"
+        if headers:
+            send_headers.update(headers)
+        connection = self._connection(base_url)
+        try:
+            connection.request(method, path, body=payload,
+                               headers=send_headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            self._drop_connection(base_url)
+            raise
+        decoded: Any = None
+        if raw:
+            try:
+                decoded = json.loads(raw)
+            except ValueError:
+                decoded = raw.decode("utf-8", "replace")
+        return response.status, dict(response.getheaders()), decoded
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def note_offset(self, sid: str, offset: int) -> None:
+        """Record the leader log length a write left behind for ``sid``."""
+        current = self._written_offsets.get(sid, 0)
+        self._written_offsets[sid] = max(current, int(offset))
+
+    def min_offset(self, sid: str) -> int:
+        return self._written_offsets.get(sid, 0)
+
+    # -- routed operations ---------------------------------------------------
+
+    def read(
+        self,
+        path: str,
+        *,
+        sid: str | None = None,
+    ) -> tuple[int, dict[str, str], Any]:
+        """GET from a replica (leader fallback), read-your-writes safe."""
+        headers = {}
+        if sid is not None and sid in self._written_offsets:
+            headers["X-Repro-Min-Offset"] = str(self._written_offsets[sid])
+        for base_url in self.replica_urls:
+            try:
+                status, hdrs, decoded = self.request(
+                    base_url, "GET", path, headers=headers
+                )
+            except (http.client.HTTPException, OSError):
+                continue
+            if status != 503:
+                return status, hdrs, decoded
+        return self.request(self.leader_url, "GET", path, headers=headers)
+
+    def write(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        *,
+        sid: str | None = None,
+    ) -> tuple[int, dict[str, str], Any]:
+        """Send a write to the leader; fail over once after a promotion."""
+        for attempt in (1, 2):
+            try:
+                status, headers, decoded = self.request(
+                    self.leader_url, method, path, body=body
+                )
+            except (http.client.HTTPException, OSError):
+                if attempt == 2 or not self._failover():
+                    raise
+                continue
+            code = (
+                decoded.get("error", {}).get("code")
+                if isinstance(decoded, dict)
+                else None
+            )
+            if code in ("replication_not_leader", "replication_fenced"):
+                if attempt == 2 or not self._failover(decoded):
+                    return status, headers, decoded
+                continue
+            if sid is not None and isinstance(decoded, dict):
+                offset = decoded.get("events")
+                if isinstance(offset, int):
+                    self.note_offset(sid, offset)
+            return status, headers, decoded
+        raise ReplicationError("write failed after failover")
+
+    def _failover(self, rejection: Any = None) -> bool:
+        """Find the new leader among known nodes; True when adopted.
+
+        A ``replication_not_leader`` rejection names the leader
+        directly; otherwise every known node is asked for its role.
+        """
+        if isinstance(rejection, dict):
+            details = rejection.get("error", {}).get("details", {})
+            named = details.get("leader_url")
+            if named:
+                self.leader_url = named.rstrip("/")
+                return True
+        candidates = [
+            url for url in self.replica_urls if url != self.leader_url
+        ]
+        deadline = time.monotonic() + self.timeout
+        while time.monotonic() < deadline:
+            for base_url in candidates:
+                try:
+                    status, _headers, decoded = self.request(
+                        base_url, "GET", "/v1/replication/status"
+                    )
+                except (http.client.HTTPException, OSError):
+                    continue
+                if (
+                    status == 200
+                    and isinstance(decoded, dict)
+                    and decoded.get("role") == "leader"
+                ):
+                    self.leader_url = base_url
+                    return True
+            time.sleep(0.05)
+        return False
+
+    def close(self) -> None:
+        for base_url in list(self._connections):
+            self._drop_connection(base_url)
+
+
+__all__ = ["ReplicaClient"]

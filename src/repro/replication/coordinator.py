@@ -1,0 +1,176 @@
+"""Role and fencing-epoch bookkeeping for one node.
+
+A :class:`ReplicationCoordinator` answers two questions: *may this node
+accept writes?* and *which leader epoch is it living in?*  The answers
+are persisted (atomic tmp-write + rename to ``replication.json`` under
+the service root) so they survive a restart — the property that makes
+fencing work: a crashed ex-leader that comes back up reads its own
+``fenced`` role from disk and keeps refusing writes, even before it
+talks to anyone.
+
+Epochs are the fencing tokens.  Promotion bumps the epoch
+(:meth:`promote`); a node that observes a higher epoch than its own —
+via a fence request or any replication exchange — demotes itself to
+``fenced`` permanently (:meth:`fence`).  Ties go to the incumbent:
+only a *strictly* higher epoch fences.
+
+Roles: ``leader`` (writable), ``replica`` (read-only, following),
+``fenced`` (read-only, refuses writes with a typed error forever).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro import faults
+from repro.replication.errors import FencedError, NotLeaderError
+
+ROLES = ("leader", "replica", "fenced")
+
+
+class ReplicationCoordinator:
+    """Persisted (role, epoch) state machine with fencing."""
+
+    def __init__(
+        self,
+        state_path: str | Path,
+        *,
+        role: str = "leader",
+        leader_url: str | None = None,
+    ) -> None:
+        if role not in ROLES:
+            raise ValueError(f"unknown replication role {role!r}")
+        self.state_path = Path(state_path)
+        self._lock = threading.RLock()
+        self.role = role
+        self.epoch = 1
+        self.leader_url = leader_url
+        self.fenced_by = 0
+        if self.state_path.exists():
+            self._load()
+        else:
+            self._persist()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        data = json.loads(self.state_path.read_text("utf-8"))
+        self.role = str(data.get("role", self.role))
+        self.epoch = int(data.get("epoch", self.epoch))
+        self.fenced_by = int(data.get("fenced_by", 0))
+        loaded_leader = data.get("leader_url")
+        if loaded_leader is not None:
+            self.leader_url = str(loaded_leader)
+
+    def _persist(self) -> None:
+        payload = json.dumps(
+            {
+                "role": self.role,
+                "epoch": self.epoch,
+                "fenced_by": self.fenced_by,
+                "leader_url": self.leader_url,
+            },
+            sort_keys=True,
+        )
+        tmp = self.state_path.with_suffix(".tmp")
+        self.state_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(payload, "utf-8")
+        os.replace(tmp, self.state_path)
+
+    # -- queries -------------------------------------------------------------
+
+    def is_leader(self) -> bool:
+        with self._lock:
+            return self.role == "leader"
+
+    def require_writable(self) -> None:
+        """Raise the typed refusal unless this node is the leader."""
+        with self._lock:
+            if self.role == "leader":
+                return
+            if self.role == "fenced":
+                raise FencedError(self.epoch, self.fenced_by)
+            raise NotLeaderError(self.role, self.leader_url)
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "role": self.role,
+                "epoch": self.epoch,
+                "fenced_by": self.fenced_by,
+                "leader_url": self.leader_url,
+            }
+
+    # -- transitions ---------------------------------------------------------
+
+    def promote(self) -> int:
+        """Become the leader of a strictly higher epoch; returns it.
+
+        The ``repl.promote.persist`` crashpoint sits between deciding
+        and persisting: a crash there resurrects the node in its *old*
+        role — the stale-generation-resurrection window the chaos
+        harness exercises.
+        """
+        with self._lock:
+            if self.role == "fenced":
+                raise FencedError(self.epoch, self.fenced_by)
+            faults.crashpoint("repl.promote.persist")
+            self.epoch += 1
+            self.role = "leader"
+            self.leader_url = None
+            self._persist()
+            return self.epoch
+
+    def follow(self, leader_url: str | None = None) -> None:
+        """Adopt the replica role (startup under ``--replica-of``).
+
+        A fenced node stays fenced — its refusal to write is permanent
+        until an operator deletes the persisted state on purpose.
+        """
+        with self._lock:
+            if self.role == "fenced":
+                return
+            self.role = "replica"
+            if leader_url is not None:
+                self.leader_url = leader_url
+            self._persist()
+
+    def fence(self, epoch: int, *, leader_url: str | None = None) -> bool:
+        """Observe a claimed leader epoch; demote if strictly higher.
+
+        Returns True when this call fenced a leader.  A *replica*
+        observing a higher epoch is not fenced — it adopts the epoch as
+        the stream it now follows (so a later :meth:`promote` always
+        yields a strictly higher token than anything it has seen).  An
+        already-fenced node just records the highest fencing epoch.
+        """
+        with self._lock:
+            epoch = int(epoch)
+            if epoch <= self.epoch:
+                return False
+            if leader_url is not None:
+                self.leader_url = leader_url
+            if self.role == "leader":
+                self.fenced_by = epoch
+                self.role = "fenced"
+                self._persist()
+                return True
+            if self.role == "fenced":
+                self.fenced_by = max(self.fenced_by, epoch)
+            else:  # replica: follow the newer epoch
+                self.epoch = epoch
+            self._persist()
+            return False
+
+    def observe_epoch(
+        self, epoch: int, *, leader_url: str | None = None
+    ) -> None:
+        """Fold an epoch seen on any replication exchange into state."""
+        self.fence(epoch, leader_url=leader_url)
+
+
+__all__ = ["ROLES", "ReplicationCoordinator"]

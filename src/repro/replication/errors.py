@@ -1,0 +1,134 @@
+"""Typed errors for the replication layer.
+
+All derive from :class:`ReplicationError` (itself a
+:class:`~repro.errors.ReproError`), so the service maps them onto HTTP
+statuses through the same one-table discipline as every other subsystem:
+routing failures (``replication_not_leader``, ``replication_fenced``,
+``replica_lagging``) surface as **503** with enough structure for a
+client to redirect or back off, stream failures
+(``replication_gap``, generic ``replication_error``) as **500**.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+
+
+class ReplicationError(ReproError):
+    """A replication operation failed (transport, protocol or state)."""
+
+    code = "replication_error"
+
+
+class NotLeaderError(ReplicationError):
+    """A write reached a node that is not the leader.
+
+    Carries the follower's current belief about where the leader is, so
+    clients (and the :class:`~repro.replication.client.ReplicaClient`)
+    can redirect instead of guessing.
+    """
+
+    code = "replication_not_leader"
+
+    def __init__(self, role: str, leader_url: str | None = None) -> None:
+        self.role = role
+        self.leader_url = leader_url
+        where = f"; leader is {leader_url}" if leader_url else ""
+        super().__init__(
+            f"writes rejected: this node is a {role}{where}"
+        )
+
+    def wire_details(self) -> dict[str, Any]:
+        details: dict[str, Any] = {"role": self.role}
+        if self.leader_url:
+            details["leader_url"] = self.leader_url
+        return details
+
+
+class FencedError(ReplicationError):
+    """A fenced ex-leader refused a write.
+
+    After a promotion the old leader observes a higher fencing epoch and
+    must refuse writes forever (until an operator re-seats it), so a
+    resurrected stale leader cannot fork history.
+    """
+
+    code = "replication_fenced"
+
+    def __init__(self, epoch: int, fenced_by: int) -> None:
+        self.epoch = epoch
+        self.fenced_by = fenced_by
+        super().__init__(
+            f"writes rejected: leader epoch {epoch} was fenced by "
+            f"epoch {fenced_by}"
+        )
+
+    def wire_details(self) -> dict[str, Any]:
+        return {"epoch": self.epoch, "fenced_by": self.fenced_by}
+
+
+class ReplicaLagError(ReplicationError):
+    """A read-your-writes guard could not be satisfied on a replica.
+
+    Raised when the replica is behind the requested
+    ``X-Repro-Min-Offset`` or outside the configured ``max_lag_s``
+    bound.  ``retry_after`` is the suggested back-off in seconds; the
+    service surfaces it as a ``Retry-After`` header on the 503.
+    """
+
+    code = "replica_lagging"
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        lag_s: float | None = None,
+        applied_offset: int | None = None,
+        min_offset: int | None = None,
+        retry_after: float = 1.0,
+    ) -> None:
+        self.lag_s = lag_s
+        self.applied_offset = applied_offset
+        self.min_offset = min_offset
+        self.retry_after = retry_after
+        super().__init__(f"replica lagging: {reason}")
+
+    def wire_details(self) -> dict[str, Any]:
+        details: dict[str, Any] = {"retry_after": self.retry_after}
+        if self.lag_s is not None:
+            details["lag_s"] = round(self.lag_s, 3)
+        if self.applied_offset is not None:
+            details["applied_offset"] = self.applied_offset
+        if self.min_offset is not None:
+            details["min_offset"] = self.min_offset
+        return details
+
+
+class ReplicationGapError(ReplicationError):
+    """Shipped records do not extend the replica's log.
+
+    The convergent merge stopped (``replay_stopped``): the follower's
+    state and the shipped stream no longer line up — typically after a
+    missed generation reset.  The pump recovers by fetching a full
+    snapshot and resyncing; anything else risks divergence.
+    """
+
+    code = "replication_gap"
+
+    def __init__(self, detail: str) -> None:
+        self.detail = detail
+        super().__init__(f"replication stream gap: {detail}")
+
+    def wire_details(self) -> dict[str, Any]:
+        return {"detail": self.detail}
+
+
+__all__ = [
+    "FencedError",
+    "NotLeaderError",
+    "ReplicaLagError",
+    "ReplicationError",
+    "ReplicationGapError",
+]

@@ -1,0 +1,55 @@
+"""Wire framing for shipped WAL records.
+
+Records travel between leader and follower in exactly the on-disk WAL
+framing — an 8-byte ``<II`` (length, crc32) header per JSON-line payload
+— so the follower re-verifies every checksum with the same decoder the
+crash scanner uses (:func:`repro.kernel.wal.scan_records`).  A frame
+torn in transit therefore means the same thing as a frame torn on disk:
+the intact prefix is trustworthy, everything after it is not.
+
+The encoder passes each frame through
+:func:`repro.faults.torn_buffer` at the ``repl.ship.frame`` crashpoint,
+so the chaos harness can deterministically sever a connection mid-frame;
+the partial prefix rides on the :class:`~repro.faults.InjectedCrash` as
+what "made it onto the wire".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import faults
+from repro.kernel.wal import encode_record, scan_records
+
+
+def encode_frames(records: list[dict[str, Any]]) -> bytes:
+    """Frame ``records`` for the wire; torn-crash aware.
+
+    When the active fault plan tears ``repl.ship.frame``, the raised
+    :class:`~repro.faults.InjectedCrash` carries, in ``partial``, every
+    fully-encoded earlier frame plus the torn prefix of the current one
+    — the bytes a real connection would have delivered before dying.
+    """
+    out = bytearray()
+    for record in records:
+        frame = encode_record(record)
+        try:
+            out += faults.torn_buffer(frame, "repl.ship.frame")
+        except faults.InjectedCrash as crash:
+            crash.partial = bytes(out) + (crash.partial or b"")
+            raise
+    return bytes(out)
+
+
+def decode_frames(
+    data: bytes,
+) -> tuple[list[dict[str, Any]], int, bool]:
+    """``(records, intact bytes, damaged?)`` for a received buffer.
+
+    CRC re-verification happens here, on the follower, regardless of
+    what the leader claimed to send.
+    """
+    return scan_records(data)
+
+
+__all__ = ["decode_frames", "encode_frames"]

@@ -48,6 +48,12 @@ from repro.service.manager import (
     SessionManager,
     state_fingerprint,
 )
+from repro.service.replication import (
+    HttpLeaderLink,
+    InProcessLeaderLink,
+    ReplicaSessionManager,
+    ReplicationPlane,
+)
 from repro.service.routers import Router, build_router
 
 __all__ = [
@@ -55,6 +61,8 @@ __all__ = [
     "BadRequestError",
     "BadSessionIdError",
     "CapacityError",
+    "HttpLeaderLink",
+    "InProcessLeaderLink",
     "JOB_STATES",
     "Job",
     "JobNotFoundError",
@@ -62,6 +70,8 @@ __all__ = [
     "JobStateError",
     "ManagerStats",
     "MethodNotAllowedError",
+    "ReplicaSessionManager",
+    "ReplicationPlane",
     "Request",
     "Response",
     "RouteNotFoundError",

@@ -50,6 +50,28 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the telemetry plane (/v1/metrics, SSE, tracing)",
     )
     parser.add_argument(
+        "--replica-of",
+        metavar="URL",
+        help="follow the leader at URL as a read-only replica",
+    )
+    parser.add_argument(
+        "--replica-token",
+        metavar="TOKEN",
+        help="bearer token the replica presents to the leader",
+    )
+    parser.add_argument(
+        "--max-lag-s",
+        type=float,
+        default=2.0,
+        help="refuse replica reads older than this many seconds (503)",
+    )
+    parser.add_argument(
+        "--replication-poll-s",
+        type=float,
+        default=0.25,
+        help="replica pump poll interval in seconds",
+    )
+    parser.add_argument(
         "--log-level",
         default="info",
         choices=("debug", "info", "warning", "error"),
@@ -88,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
             max_resident=args.max_resident,
             max_resident_bytes=args.max_resident_bytes,
             telemetry=not args.no_telemetry,
+            replica_of=args.replica_of,
+            replication_token=args.replica_token,
+            max_lag_s=args.max_lag_s,
+            replication_poll_s=args.replication_poll_s,
         )
         host, port = args.host, args.port
     run(app, host, port)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
 import threading
 import time
 import traceback
@@ -298,6 +299,18 @@ class ServiceTelemetry:
                 ),
                 entry["retries"],
             )
+        plane = getattr(app, "replication", None)
+        if plane is not None:
+            lag = plane.lag_seconds()
+            if lag == float("inf"):
+                # not yet bootstrapped: report the lag bound's ceiling
+                # rather than an unrepresentable infinity
+                lag = plane.max_lag_s
+            gauge("replication.lag_seconds").set(round(lag, 3))
+            gauge("replication.offset_behind").set(plane.offset_behind())
+            gauge("replication.followers_connected").set(
+                plane.followers_connected()
+            )
         for key in self.latency.keys():
             tenant, route = key
             quantiles = self.latency.quantiles(key)
@@ -333,6 +346,12 @@ class ServiceApp:
         max_resident_bytes: int | None = None,
         job_workers: int = 1,
         telemetry: bool = True,
+        replica_of: str | None = None,
+        replication_token: str | None = None,
+        replication_link: Any | None = None,
+        max_lag_s: float = 2.0,
+        replication_poll_s: float = 0.25,
+        replication_autostart: bool = True,
     ) -> None:
         self.auth = auth or TenantAuth()
         self.manager = manager or SessionManager(
@@ -347,9 +366,28 @@ class ServiceApp:
             workers=job_workers,
             telemetry=self.telemetry if telemetry else None,
         )
+        # the replication plane always exists: on a plain leader it is a
+        # cheap role check per write, and loading any persisted
+        # replication.json is what keeps a fenced ex-leader fenced
+        # across restarts.  ``replica_of`` (or an injected link, for
+        # socketless tests) turns the node into a follower: the manager
+        # is swapped for the read-only replica view and the pump starts.
+        from repro.service.replication import ReplicationPlane
+
+        self.replication = ReplicationPlane.attach(
+            self,
+            Path(root),
+            replica_of=replica_of,
+            token=replication_token,
+            link=replication_link,
+            max_lag_s=max_lag_s,
+            poll_s=replication_poll_s,
+            autostart=replication_autostart,
+        )
 
     def close(self) -> None:
         """Stop workers and checkpoint every resident session."""
+        self.replication.stop()
         self.jobs.stop()
         self.manager.shutdown()
 
@@ -433,6 +471,7 @@ class ServiceApp:
             if route.auth:
                 context.tenant = self.auth.authenticate(request)
                 info.tenant = context.tenant
+            self.replication.enforce(route, context)
             sid = params.get("sid")
             if sid is not None:
                 info.session_id = sid
@@ -454,9 +493,17 @@ class ServiceApp:
             response.headers["allow"] = ", ".join(sorted(exc.allowed))
             return response
         except ReproError as exc:
-            return Response.json(
+            response = Response.json(
                 {"error": exc.to_wire()}, status=status_for(exc)
             )
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                # degradation contract: a lagging replica tells clients
+                # when a retry is worth it instead of failing opaquely
+                response.headers["retry-after"] = str(
+                    max(1, math.ceil(float(retry_after)))
+                )
+            return response
         except Exception as exc:  # noqa: BLE001 - the service must answer
             log.error(
                 "unhandled error on %s %s\n%s",
@@ -627,7 +674,11 @@ def app_from_config(path: str | Path) -> tuple[ServiceApp, str, int]:
           "max_resident": 8,
           "max_resident_bytes": null,
           "telemetry": true,
-          "tenants": {"token-string": "tenant-name"}
+          "tenants": {"token-string": "tenant-name"},
+          "replica_of": null,
+          "replication_token": null,
+          "max_lag_s": 2.0,
+          "replication_poll_s": 0.25
         }
     """
     config: dict[str, Any] = json.loads(Path(path).read_text("utf-8"))
@@ -639,6 +690,10 @@ def app_from_config(path: str | Path) -> tuple[ServiceApp, str, int]:
         max_resident_bytes=config.get("max_resident_bytes"),
         job_workers=config.get("job_workers", 1),
         telemetry=bool(config.get("telemetry", True)),
+        replica_of=config.get("replica_of"),
+        replication_token=config.get("replication_token"),
+        max_lag_s=float(config.get("max_lag_s", 2.0)),
+        replication_poll_s=float(config.get("replication_poll_s", 0.25)),
     )
     return app, config.get("host", "127.0.0.1"), int(config.get("port", 8080))
 

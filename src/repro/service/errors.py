@@ -174,6 +174,13 @@ STATUS_BY_CODE: dict[str, int] = {
     # -- library: downstream components -------------------------------------
     "federation_failed": 502,
     "backend_failed": 502,
+    # -- replication: routing failures are retryable 503s, stream
+    #    failures are server faults ----------------------------------------
+    "replication_not_leader": 503,
+    "replication_fenced": 503,
+    "replica_lagging": 503,
+    "replication_gap": 500,
+    "replication_error": 500,
 }
 
 #: Statuses for well-formed requests whose *operation* was invalid.

@@ -42,6 +42,7 @@ REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     502: "Bad Gateway",
+    503: "Service Unavailable",
 }
 
 

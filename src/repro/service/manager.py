@@ -30,7 +30,6 @@ files, and all lookups are keyed by ``(tenant, session_id)``.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import threading
 from contextlib import contextmanager
@@ -39,6 +38,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.obs.trace import span
+from repro.replication.applier import payload_fingerprint
 from repro.service.auth import require_safe_name
 from repro.service.errors import (
     CapacityError,
@@ -54,11 +54,11 @@ def state_fingerprint(session: ToolSession) -> str:
 
     The payload is history-independent (sorted classes/assertions), so
     two sessions holding the same schemas, equivalences and assertions
-    fingerprint identically — the evict→rehydrate round-trip contract.
+    fingerprint identically — the evict→rehydrate round-trip contract,
+    and the leader/replica parity proof (the replication layer hashes
+    through the same :func:`~repro.replication.payload_fingerprint`).
     """
-    payload = session.analysis.state_payload()
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return payload_fingerprint(session.analysis.state_payload())
 
 
 @dataclass
@@ -512,6 +512,53 @@ class SessionManager:
                         approx_bytes=0,
                     )
         return [known[name] for name in sorted(known)]
+
+    def replication_inventory(self) -> list[dict[str, Any]]:
+        """Every session a follower must replicate, across all tenants.
+
+        One row per ``(tenant, session_id)`` known in memory or parked
+        on disk: the leader's current log length for lag accounting
+        (live bus offset when resident, unknown otherwise) and whether a
+        WAL directory exists to ship from.  Served by
+        ``GET /v1/replication/sessions``.
+        """
+        rows: dict[tuple[str, str], dict[str, Any]] = {}
+        with self._mutex:
+            resident = [
+                (record.tenant, record.session_id, record.session)
+                for record in self._records.values()
+            ]
+        for tenant, session_id, session in resident:
+            offset = None
+            if session is not None:
+                offset = session.analysis.kernel.bus.offset
+            rows[(tenant, session_id)] = {
+                "tenant": tenant,
+                "session_id": session_id,
+                "offset": offset,
+            }
+        if self.root.exists():
+            for tenant_dir in sorted(self.root.iterdir()):
+                if not tenant_dir.is_dir():
+                    continue
+                for path in sorted(tenant_dir.glob("*.json")):
+                    key = (tenant_dir.name, path.stem)
+                    rows.setdefault(
+                        key,
+                        {
+                            "tenant": tenant_dir.name,
+                            "session_id": path.stem,
+                            "offset": None,
+                        },
+                    )
+        inventory = []
+        for (tenant, session_id), row in sorted(rows.items()):
+            wal_dir = Path(f"{self.save_path(tenant, session_id)}.wal")
+            row["has_wal"] = wal_dir.exists() and any(
+                wal_dir.glob("wal-*.seg")
+            )
+            inventory.append(row)
+        return inventory
 
     def fingerprint(self, tenant: str, session_id: str) -> str:
         """The session's current state fingerprint (rehydrates if parked)."""

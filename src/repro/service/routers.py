@@ -13,8 +13,10 @@ segments, e.g. ``/v1/sessions/{sid}/schemas/{name}``.
 
 from __future__ import annotations
 
+import base64
 import re
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.assertions.kinds import AssertionKind
@@ -22,6 +24,9 @@ from repro.ecr.ddl import parse_ddl, to_ddl
 from repro.ecr.json_io import schema_to_dict
 from repro.errors import UnknownNameError
 from repro.obs.telemetry import PROMETHEUS_CONTENT_TYPE, sse_stream
+from repro.replication.errors import NotLeaderError
+from repro.replication.frames import encode_frames
+from repro.replication.shipper import ShipCursor, WalShipper
 from repro.service.errors import (
     BadRequestError,
     MethodNotAllowedError,
@@ -684,6 +689,128 @@ def post_redo(ctx: Context) -> dict[str, Any]:
         return {"status": session.redo()}
 
 
+# -- replication ------------------------------------------------------------------
+
+
+def _replication_plane(ctx: Context):
+    plane = getattr(ctx.app, "replication", None)
+    if plane is None:
+        raise RouteNotFoundError(
+            "replication is not configured on this service"
+        )
+    return plane
+
+
+def get_replication_status(ctx: Context) -> dict[str, Any]:
+    """``GET /v1/replication/status`` — role, epoch, lag, followers.
+
+    Followers poll this with a ``follower`` query id, which doubles as
+    the heartbeat behind ``replication.followers_connected``.
+    """
+    plane = _replication_plane(ctx)
+    plane.note_follower(ctx.request.query.get("follower"))
+    status = plane.coordinator.status()
+    lag = plane.lag_seconds()
+    status["lag_seconds"] = (
+        None if lag == float("inf") else round(lag, 3)
+    )
+    status["offset_behind"] = plane.offset_behind()
+    status["followers_connected"] = plane.followers_connected()
+    status["last_error"] = plane.last_error
+    return status
+
+
+def get_replication_sessions(ctx: Context) -> dict[str, Any]:
+    """``GET /v1/replication/sessions`` — the leader's shipping inventory."""
+    plane = _replication_plane(ctx)
+    inventory = getattr(ctx.manager, "replication_inventory", None)
+    if inventory is None:
+        raise NotLeaderError(plane.role, plane.coordinator.leader_url)
+    plane.note_follower(ctx.request.query.get("follower"))
+    return {"sessions": inventory()}
+
+
+def get_replication_wal(ctx: Context) -> dict[str, Any]:
+    """``GET /v1/replication/wal/{tenant}/{sid}`` — one shipment.
+
+    Query ``generation``/``records`` carry the follower's cursor; the
+    reply carries base64 wire frames in the on-disk WAL framing, so the
+    follower re-verifies every CRC itself.
+    """
+    plane = _replication_plane(ctx)
+    save_path = getattr(ctx.manager, "save_path", None)
+    if save_path is None:
+        raise NotLeaderError(plane.role, plane.coordinator.leader_url)
+    plane.note_follower(ctx.request.query.get("follower"))
+    tenant = ctx.params["tenant"]
+    sid = ctx.params["sid"]
+    ctx.manager.require(tenant, sid)
+    cursor = None
+    generation = ctx.request.query.get("generation")
+    if generation is not None:
+        raw = ctx.request.query.get("records", "0")
+        try:
+            records = int(raw)
+        except ValueError:
+            raise BadRequestError("'records' must be an integer")
+        cursor = ShipCursor(generation, records)
+    shipment = WalShipper(Path(f"{save_path(tenant, sid)}.wal")).poll(
+        cursor
+    )
+    frames = encode_frames(list(shipment.records))
+    return {
+        "generation": shipment.cursor.generation,
+        "start": shipment.cursor.records - len(shipment.records),
+        "records": len(shipment.records),
+        "restarted": shipment.restarted,
+        "damaged": shipment.damaged,
+        "quarantined": list(shipment.quarantined),
+        "frames": base64.b64encode(frames).decode("ascii"),
+    }
+
+
+def get_replication_snapshot(ctx: Context) -> dict[str, Any]:
+    """``GET /v1/replication/snapshot/{tenant}/{sid}`` — full-state resync."""
+    _replication_plane(ctx)
+    tenant = ctx.params["tenant"]
+    sid = ctx.params["sid"]
+    with ctx.manager.acquire(tenant, sid) as session:
+        kernel = session.analysis.kernel
+        return {
+            "state": kernel.export_state(),
+            "offset": kernel.bus.offset,
+            "fingerprint": state_fingerprint(session),
+        }
+
+
+def post_replication_promote(ctx: Context) -> dict[str, Any]:
+    """``POST /v1/replication/promote`` — failover: follower takes over.
+
+    Idempotent on a node that already leads; a fenced node refuses with
+    the typed ``replication_fenced`` error.
+    """
+    plane = _replication_plane(ctx)
+    if plane.coordinator.role == "leader":
+        status = plane.coordinator.status()
+        status["materialized"] = []
+        return status
+    return plane.promote()
+
+
+def post_replication_fence(ctx: Context) -> dict[str, Any]:
+    """``POST /v1/replication/fence`` — present a higher epoch to a node."""
+    plane = _replication_plane(ctx)
+    payload = ctx.body()
+    epoch = ctx.require(payload, "epoch")
+    if isinstance(epoch, bool) or not isinstance(epoch, int):
+        raise BadRequestError("'epoch' must be an integer")
+    leader_url = payload.get("leader_url")
+    fenced_now = plane.coordinator.fence(epoch, leader_url=leader_url)
+    status = plane.coordinator.status()
+    status["fenced_now"] = fenced_now
+    return status
+
+
 # -- jobs ------------------------------------------------------------------------
 
 
@@ -767,6 +894,23 @@ def build_router() -> Router:
     router.add("POST", "/v1/sessions/{sid}/query", post_query)
     router.add("POST", "/v1/sessions/{sid}/undo", post_undo)
     router.add("POST", "/v1/sessions/{sid}/redo", post_redo)
+    # replication (operator/follower plane; any tenant token)
+    router.add("GET", "/v1/replication/status", get_replication_status)
+    router.add(
+        "GET", "/v1/replication/sessions", get_replication_sessions
+    )
+    router.add(
+        "GET", "/v1/replication/wal/{tenant}/{sid}", get_replication_wal
+    )
+    router.add(
+        "GET",
+        "/v1/replication/snapshot/{tenant}/{sid}",
+        get_replication_snapshot,
+    )
+    router.add(
+        "POST", "/v1/replication/promote", post_replication_promote
+    )
+    router.add("POST", "/v1/replication/fence", post_replication_fence)
     # jobs
     router.add("GET", "/v1/jobs", get_jobs)
     router.add("GET", "/v1/jobs/{jid}", get_job)

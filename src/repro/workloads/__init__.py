@@ -14,6 +14,9 @@
 * :mod:`repro.workloads.evolution` — deterministic seeded schema-edit
   scripts with a guaranteed fraction of assertion-invalidating edits, the
   traffic generator behind the evolution benchmarks and properties.
+* :mod:`repro.workloads.traffic` — seeded ``/v1`` service-call streams
+  with an exact, tunable ``read_fraction``, driving the replication
+  benchmarks' read-routing and lag measurements.
 """
 
 from repro.workloads.university import (
@@ -41,6 +44,11 @@ from repro.workloads.evolution import (
     run_evolution_script,
 )
 from repro.workloads.oracle import GroundTruth, OracleDda
+from repro.workloads.traffic import (
+    ServiceCall,
+    TrafficConfig,
+    service_traffic,
+)
 from repro.workloads.domains import (
     build_hospital_admissions,
     build_hospital_clinic,
@@ -71,6 +79,9 @@ __all__ = [
     "run_evolution_script",
     "GroundTruth",
     "OracleDda",
+    "ServiceCall",
+    "TrafficConfig",
+    "service_traffic",
     "build_hospital_admissions",
     "build_hospital_clinic",
     "hospital_ground_truth",

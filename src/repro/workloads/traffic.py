@@ -1,0 +1,140 @@
+"""Seeded service traffic with a tunable read/write mix.
+
+The replication benchmarks and smoke drives need realistic ``/v1``
+request streams where the *read fraction* is a first-class knob: a
+read-heavy mix exercises replica routing and lag guards, a write-heavy
+mix exercises WAL shipping throughput.  :func:`service_traffic` yields a
+deterministic sequence of :class:`ServiceCall` descriptions against the
+standard seeded session (both paper schemas adopted): exactly
+``round(operations * read_fraction)`` of them are reads, seeded-shuffled
+among the writes so the interleaving is realistic but reproducible.
+
+Writes alternate declare-equivalence and undo so the stream stays valid
+indefinitely — every declared pair is later released, and no request in
+the stream depends on a request the service could have rejected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import SchemaError
+
+#: attribute pairs of the paper's sc1/sc2 schemas that are genuinely
+#: equivalence-compatible — the write cycle declares and releases these
+_EQUIVALENCE_POOL = (
+    ("sc1.Student.Name", "sc2.Grad_student.Name"),
+    ("sc1.Department.Name", "sc2.Department.Name"),
+)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Parameters of a seeded service-traffic stream.
+
+    ``read_fraction`` is exact, not probabilistic: a stream of
+    ``operations`` calls contains ``round(operations * read_fraction)``
+    reads, so benchmark runs with the same config measure the same mix.
+    """
+
+    seed: int = 0
+    operations: int = 100
+    read_fraction: float = 0.8
+    session_id: str = "s1"
+
+    def __post_init__(self) -> None:
+        if self.operations < 0:
+            raise SchemaError(
+                f"operations must be >= 0, got {self.operations}"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise SchemaError(
+                "read_fraction must be within [0, 1], got "
+                f"{self.read_fraction}"
+            )
+
+    @property
+    def reads(self) -> int:
+        """How many calls of the stream are reads."""
+        return round(self.operations * self.read_fraction)
+
+    @property
+    def writes(self) -> int:
+        return self.operations - self.reads
+
+
+@dataclass(frozen=True)
+class ServiceCall:
+    """One ``/v1`` request of a traffic stream."""
+
+    method: str
+    path: str
+    kind: str  # "read" | "write"
+    body: dict | None = None
+    query: dict = field(default_factory=dict)
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == "read"
+
+
+def _read_calls(sid: str) -> tuple[ServiceCall, ...]:
+    return (
+        ServiceCall("GET", f"/v1/sessions/{sid}", "read"),
+        ServiceCall("GET", f"/v1/sessions/{sid}/schemas", "read"),
+        ServiceCall("GET", f"/v1/sessions/{sid}/schemas/sc1", "read"),
+        ServiceCall(
+            "GET",
+            f"/v1/sessions/{sid}/suggestions",
+            "read",
+            query={"first": "sc1", "second": "sc2"},
+        ),
+        ServiceCall("GET", f"/v1/sessions/{sid}/recovery", "read"),
+        ServiceCall("GET", "/v1/stats", "read"),
+    )
+
+
+def service_traffic(
+    config: TrafficConfig = TrafficConfig(),
+) -> Iterator[ServiceCall]:
+    """Yield the seeded call stream described by ``config``.
+
+    The stream targets the standard seeded session (``sc1``/``sc2``
+    adopted, no pre-declared equivalences): every write is valid when
+    the calls are applied in order, whatever reads interleave them.
+    """
+    rng = random.Random(config.seed)
+    kinds = ["read"] * config.reads + ["write"] * config.writes
+    rng.shuffle(kinds)
+    reads = _read_calls(config.session_id)
+    declared = None
+    for kind in kinds:
+        if kind == "read":
+            yield rng.choice(reads)
+        elif declared is None:
+            declared = _EQUIVALENCE_POOL[
+                rng.randrange(len(_EQUIVALENCE_POOL))
+            ]
+            first, second = declared
+            yield ServiceCall(
+                "POST",
+                f"/v1/sessions/{config.session_id}/equivalences",
+                "write",
+                body={"first": first, "second": second},
+            )
+        else:
+            declared = None
+            yield ServiceCall(
+                "POST",
+                f"/v1/sessions/{config.session_id}/undo",
+                "write",
+            )
+
+
+__all__ = [
+    "ServiceCall",
+    "TrafficConfig",
+    "service_traffic",
+]

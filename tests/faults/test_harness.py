@@ -160,3 +160,71 @@ class TestIOErrors:
                     handle.write(b"data", point="wal.append.write")
                 handle.write(b"retry", point="wal.append.write")
         assert path.read_bytes() == b"retry"
+
+
+class TestReplicationPoints:
+    def test_replication_crashpoints_are_registered(self):
+        for point in (
+            "repl.ship.read",
+            "repl.ship.frame",
+            "repl.apply.record",
+            "repl.promote.persist",
+        ):
+            assert point in faults.CRASHPOINTS
+        assert "repl.ship.frame" in faults.TORN_CAPABLE
+
+
+class TestTornBuffer:
+    def test_passes_through_without_a_plan(self):
+        assert faults.torn_buffer(b"frame", "repl.ship.frame") == b"frame"
+
+    def test_fires_at_the_scheduled_occurrence(self):
+        plan = FaultPlan(crash_at="repl.ship.frame", occurrence=2)
+        with faults.inject(plan):
+            assert (
+                faults.torn_buffer(b"one", "repl.ship.frame") == b"one"
+            )
+            with pytest.raises(InjectedCrash) as caught:
+                faults.torn_buffer(b"two", "repl.ship.frame")
+        # untorn plan: nothing made it onto the wire
+        assert caught.value.partial == b""
+
+    def test_torn_plan_yields_a_seeded_strict_prefix(self):
+        data = b"x" * 64
+
+        def tear(seed):
+            plan = FaultPlan(
+                crash_at="repl.ship.frame", torn=True, seed=seed
+            )
+            with faults.inject(plan):
+                with pytest.raises(InjectedCrash) as caught:
+                    faults.torn_buffer(data, "repl.ship.frame")
+            return caught.value.partial
+
+        first = tear(7)
+        assert len(first) < len(data)
+        assert data.startswith(first)
+        # deterministic: the same plan tears the same byte
+        assert tear(7) == first
+
+    def test_io_error_schedule_applies_to_buffers_too(self):
+        plan = FaultPlan(io_error_at="repl.ship.frame")
+        with faults.inject(plan):
+            with pytest.raises(InjectedIOError):
+                faults.torn_buffer(b"data", "repl.ship.frame")
+            # survivable: the next hit passes through
+            assert (
+                faults.torn_buffer(b"data", "repl.ship.frame") == b"data"
+            )
+
+    def test_crash_settles_tracked_files(self, tmp_path):
+        path = tmp_path / "settled.bin"
+        plan = FaultPlan(crash_at="repl.ship.frame")
+        with faults.inject(plan):
+            handle = faults.open_tracked(path, "wb")
+            handle.write(b"durable", point="wal.append.write")
+            handle.fsync()
+            with pytest.raises(InjectedCrash):
+                faults.torn_buffer(b"frame", "repl.ship.frame")
+        # the simulated process death closed and settled the file
+        assert path.read_bytes() == b"durable"

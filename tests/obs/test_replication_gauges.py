@@ -1,0 +1,79 @@
+"""Replication gauges must appear in the Prometheus exposition.
+
+Satellite of the replication PR: ``replication.lag_seconds``,
+``replication.offset_behind`` and ``replication.followers_connected``
+are emitted by the service collector on every scrape, on leaders and
+replicas alike, under their sanitized ``repro_``-prefixed names.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.telemetry import metric_name, parse_prometheus
+from repro.service import Request, ServiceApp, TenantAuth
+from repro.service.replication import InProcessLeaderLink
+
+GAUGES = (
+    "replication.lag_seconds",
+    "replication.offset_behind",
+    "replication.followers_connected",
+)
+
+
+def scrape(app):
+    response = app.dispatch(Request(method="GET", path="/v1/metrics"))
+    assert response.status == 200
+    return parse_prometheus(response.body.decode("utf-8"))
+
+
+@pytest.fixture
+def pair(tmp_path):
+    auth = TenantAuth.from_tokens({"token-acme": "acme"})
+    leader = ServiceApp(tmp_path / "leader", auth=auth)
+    replica = ServiceApp(
+        tmp_path / "replica",
+        auth=TenantAuth.from_tokens({"token-acme": "acme"}),
+        replication_link=InProcessLeaderLink(leader, "token-acme"),
+        replication_autostart=False,
+    )
+    yield leader, replica
+    replica.close()
+    leader.close()
+
+
+def test_gauge_names_sanitize_to_the_documented_series():
+    assert [metric_name(name) for name in GAUGES] == [
+        "repro_replication_lag_seconds",
+        "repro_replication_offset_behind",
+        "repro_replication_followers_connected",
+    ]
+
+
+def test_replica_exposes_all_three_gauges(pair):
+    leader, replica = pair
+    replica.replication.sync_once()
+    samples = scrape(replica)
+    for name in GAUGES:
+        assert metric_name(name) in samples, name
+    assert samples["repro_replication_offset_behind"] == 0
+    assert samples["repro_replication_lag_seconds"] >= 0
+
+
+def test_leader_reports_connected_followers(pair):
+    leader, replica = pair
+    replica.replication.sync_once()
+    samples = scrape(leader)
+    assert samples["repro_replication_followers_connected"] == 1
+    assert samples["repro_replication_lag_seconds"] == 0
+
+
+def test_unsynced_replica_reports_the_lag_ceiling(pair):
+    _, replica = pair
+    samples = scrape(replica)
+    # never synced: lag is unbounded; the gauge reports the configured
+    # ceiling instead of an unrepresentable infinity
+    assert (
+        samples["repro_replication_lag_seconds"]
+        == replica.replication.max_lag_s
+    )

@@ -1,0 +1,83 @@
+"""Replication fixtures: a durable leader session and a service pair.
+
+The service pair runs leader and replica as two in-process apps joined
+by an :class:`InProcessLeaderLink` — no sockets, no pump thread; tests
+drive replication rounds explicitly with ``plane.sync_once()`` so every
+assertion sees a deterministic stream position.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceApp, TenantAuth
+from repro.service.replication import InProcessLeaderLink
+from repro.tool.session import ToolSession
+from repro.workloads.university import build_sc1, build_sc2
+
+from tests.service.conftest import SC1_DDL, SC2_DDL, TOKENS, Client
+
+__all__ = ["SC1_DDL", "SC2_DDL", "TOKENS", "Client"]
+
+
+def durable_session(path) -> ToolSession:
+    """A WAL-backed session with both paper schemas adopted."""
+    session = ToolSession.open(path)
+    session.adopt_schema(build_sc1())
+    session.adopt_schema(build_sc2())
+    return session
+
+
+@pytest.fixture
+def leader_app(tmp_path):
+    application = ServiceApp(
+        tmp_path / "leader",
+        auth=TenantAuth.from_tokens(TOKENS),
+        max_resident=4,
+    )
+    yield application
+    application.close()
+
+
+@pytest.fixture
+def replica_app(tmp_path, leader_app):
+    application = ServiceApp(
+        tmp_path / "replica",
+        auth=TenantAuth.from_tokens(TOKENS),
+        max_resident=4,
+        replication_link=InProcessLeaderLink(leader_app, "token-acme"),
+        replication_autostart=False,
+    )
+    yield application
+    application.close()
+
+
+@pytest.fixture
+def leader(leader_app):
+    return Client(leader_app)
+
+
+@pytest.fixture
+def replica(replica_app):
+    return Client(replica_app)
+
+
+@pytest.fixture
+def seeded_leader(leader):
+    """The leader with the standard seeded session ``s1``."""
+    assert leader.post("/v1/sessions", {"session_id": "s1"})[0] == 201
+    assert (
+        leader.post("/v1/sessions/s1/schemas", {"ddl": SC1_DDL})[0] == 201
+    )
+    assert (
+        leader.post("/v1/sessions/s1/schemas", {"ddl": SC2_DDL})[0] == 201
+    )
+    leader.post(
+        "/v1/sessions/s1/equivalences",
+        {"first": "sc1.Student.Name", "second": "sc2.Grad_student.Name"},
+    )
+    leader.post(
+        "/v1/sessions/s1/equivalences",
+        {"first": "sc1.Department.Name", "second": "sc2.Department.Name"},
+    )
+    return leader

@@ -1,0 +1,294 @@
+"""End-to-end service replication: reads, guards, failover, fencing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import ServiceApp, TenantAuth
+from repro.service.replication import InProcessLeaderLink
+
+from tests.replication.conftest import SC1_DDL, TOKENS, Client
+
+
+def sync(replica_app):
+    return replica_app.replication.sync_once()
+
+
+class TestReplicaReads:
+    def test_replica_serves_identical_fingerprint(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        _, on_leader = seeded_leader.get("/v1/sessions/s1")
+        status, on_replica = replica.get("/v1/sessions/s1")
+        assert status == 200
+        assert (
+            on_replica["state_fingerprint"]
+            == on_leader["state_fingerprint"]
+        )
+        assert on_replica["events"] == on_leader["events"]
+
+    def test_replica_serves_schemas_and_suggestions(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        status, payload = replica.get("/v1/sessions/s1/schemas")
+        assert status == 200
+        assert payload["schemas"] == ["sc1", "sc2"]
+        status, payload = replica.get(
+            "/v1/sessions/s1/suggestions",
+            query={"first": "sc1", "second": "sc2"},
+        )
+        assert status == 200
+        assert "suggestions" in payload
+
+    def test_replica_tracks_later_writes(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        seeded_leader.post(
+            "/v1/sessions/s1/assertions",
+            {
+                "first": "sc1.Department",
+                "second": "sc2.Department",
+                "kind": "EQUALS",
+            },
+        )
+        sync(replica_app)
+        _, on_leader = seeded_leader.get("/v1/sessions/s1")
+        _, on_replica = replica.get("/v1/sessions/s1")
+        assert (
+            on_replica["state_fingerprint"]
+            == on_leader["state_fingerprint"]
+        )
+
+    def test_unknown_session_is_404_on_replica(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        status, payload = replica.get("/v1/sessions/ghost")
+        assert status == 404
+        assert payload["error"]["code"] == "session_not_found"
+
+    def test_replica_stats_reflect_appliers(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        status, payload = replica.get("/v1/stats")
+        assert status == 200
+        assert payload["manager"]["resident_sessions"] == 1
+
+
+class TestWriteRouting:
+    def test_write_on_replica_is_typed_503(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        status, payload = replica.post(
+            "/v1/sessions/s1/undo"
+        )
+        assert status == 503
+        assert payload["error"]["code"] == "replication_not_leader"
+
+    def test_create_on_replica_refused(self, replica, replica_app):
+        status, payload = replica.post(
+            "/v1/sessions", {"session_id": "nope"}
+        )
+        assert status == 503
+        assert payload["error"]["code"] == "replication_not_leader"
+
+    def test_leader_still_writable(self, seeded_leader):
+        status, _ = seeded_leader.post("/v1/sessions/s1/undo")
+        assert status == 200
+
+
+class TestLagGuards:
+    def test_min_offset_guard_503_with_retry_after(
+        self, seeded_leader, replica_app
+    ):
+        sync(replica_app)
+        client = Client(replica_app)
+        response = replica_app.dispatch(
+            __import__("repro.service.http", fromlist=["Request"]).Request(
+                method="GET",
+                path="/v1/sessions/s1",
+                headers={
+                    "authorization": "Bearer token-acme",
+                    "x-repro-min-offset": "9999",
+                },
+            )
+        )
+        assert response.status == 503
+        payload = response.json_payload()
+        assert payload["error"]["code"] == "replica_lagging"
+        assert "retry-after" in response.headers
+        assert int(response.headers["retry-after"]) >= 1
+
+    def test_satisfied_min_offset_passes(self, seeded_leader, replica_app):
+        sync(replica_app)
+        _, detail = seeded_leader.get("/v1/sessions/s1")
+        response = replica_app.dispatch(
+            __import__("repro.service.http", fromlist=["Request"]).Request(
+                method="GET",
+                path="/v1/sessions/s1",
+                headers={
+                    "authorization": "Bearer token-acme",
+                    "x-repro-min-offset": str(detail["events"]),
+                },
+            )
+        )
+        assert response.status == 200
+
+    def test_stale_replica_refuses_reads(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        replica_app.replication.max_lag_s = 0.0
+        time.sleep(0.01)
+        status, payload = replica.get("/v1/sessions/s1")
+        assert status == 503
+        assert payload["error"]["code"] == "replica_lagging"
+
+    def test_never_synced_replica_refuses_session_reads(
+        self, seeded_leader, replica, replica_app
+    ):
+        # no sync_once: lag is unbounded, but the 404 path still wins
+        # for sessions the replica has never heard of
+        status, payload = replica.get("/v1/sessions/s1")
+        assert status == 404
+
+
+class TestFailover:
+    def test_promote_makes_replica_writable(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        status, payload = replica.post("/v1/replication/promote")
+        assert status == 200
+        assert payload["role"] == "leader"
+        assert payload["epoch"] == 2
+        assert payload["materialized"] == ["acme/s1"]
+        status, _ = replica.post("/v1/sessions/s1/undo")
+        assert status == 200
+
+    def test_promotion_preserves_fingerprint(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        _, before = seeded_leader.get("/v1/sessions/s1")
+        replica.post("/v1/replication/promote")
+        _, after = replica.get("/v1/sessions/s1")
+        assert (
+            after["state_fingerprint"] == before["state_fingerprint"]
+        )
+
+    def test_old_leader_is_fenced_after_promote(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        replica.post("/v1/replication/promote")
+        status, payload = seeded_leader.post("/v1/sessions/s1/undo")
+        assert status == 503
+        assert payload["error"]["code"] == "replication_fenced"
+
+    def test_fencing_survives_leader_restart(
+        self, tmp_path, seeded_leader, replica, replica_app, leader_app
+    ):
+        sync(replica_app)
+        replica.post("/v1/replication/promote")
+        leader_app.close()
+        revived = ServiceApp(
+            tmp_path / "leader",
+            auth=TenantAuth.from_tokens(TOKENS),
+            replication_autostart=False,
+        )
+        try:
+            client = Client(revived)
+            status, payload = client.post("/v1/sessions/s1/undo")
+            assert status == 503
+            assert payload["error"]["code"] == "replication_fenced"
+            # reads still work on the fenced node
+            assert client.get("/v1/sessions/s1")[0] == 200
+        finally:
+            revived.close()
+
+    def test_promote_is_idempotent_on_leader(self, leader):
+        status, payload = leader.post("/v1/replication/promote")
+        assert status == 200
+        assert payload["role"] == "leader"
+        assert payload["materialized"] == []
+
+    def test_fence_requires_strictly_higher_epoch(self, leader):
+        status, payload = leader.post(
+            "/v1/replication/fence", {"epoch": 1}
+        )
+        assert status == 200
+        assert payload["fenced_now"] is False
+        assert payload["role"] == "leader"
+        status, payload = leader.post(
+            "/v1/replication/fence", {"epoch": 2}
+        )
+        assert payload["fenced_now"] is True
+        assert payload["role"] == "fenced"
+
+
+class TestReplicationSurfaces:
+    def test_status_reports_role_and_lag(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        status, payload = replica.get("/v1/replication/status")
+        assert status == 200
+        assert payload["role"] == "replica"
+        assert payload["offset_behind"] == 0
+        assert payload["lag_seconds"] is not None
+
+    def test_leader_counts_followers(
+        self, seeded_leader, leader, replica_app
+    ):
+        sync(replica_app)
+        status, payload = leader.get("/v1/replication/status")
+        assert status == 200
+        assert payload["followers_connected"] == 1
+
+    def test_replica_recovery_surfaces_leader_quarantine(
+        self, tmp_path, seeded_leader, replica, replica_app, leader_app
+    ):
+        sync(replica_app)
+        # quarantined files appear on the leader (as crash recovery
+        # would leave them); the names must reach follower operators
+        wal = (
+            tmp_path / "leader" / "acme" / "s1.json.wal"
+        )
+        (wal / "wal-0000000009.seg.corrupt").write_bytes(b"xx")
+        sync(replica_app)
+        status, payload = replica.get("/v1/sessions/s1/recovery")
+        assert status == 200
+        assert payload["recovery"]["segments_quarantined"] == [
+            "wal-0000000009.seg.corrupt"
+        ]
+
+    def test_wal_endpoint_requires_known_session(self, seeded_leader):
+        status, payload = seeded_leader.get(
+            "/v1/replication/wal/acme/ghost"
+        )
+        assert status == 404
+
+    def test_replication_endpoints_require_auth(self, leader_app):
+        client = Client(leader_app, token=None)
+        status, _ = client.get("/v1/replication/status")
+        assert status == 401
+
+    def test_query_posts_stay_replica_served(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        # a federated query is a read; it must not bounce with 503.
+        # (The library may still reject the request text — that is a
+        # 4xx/5xx from the handler, not the routing gate.)
+        status, payload = replica.post(
+            "/v1/sessions/s1/query", {"request": "select Name from Ghost"}
+        )
+        assert status != 503

@@ -27,6 +27,7 @@ STABLE_MODULES = (
     "repro.kernel",
     "repro.solver",
     "repro.evolution",
+    "repro.replication",
 )
 
 DOCS = Path(__file__).resolve().parent.parent / "docs"

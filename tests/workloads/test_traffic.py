@@ -1,0 +1,82 @@
+"""The seeded service-traffic stream and its read_fraction knob."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.service import ServiceApp, TenantAuth
+from repro.workloads import TrafficConfig, service_traffic
+
+from tests.service.conftest import SC1_DDL, SC2_DDL, Client
+
+
+def stream(**kwargs):
+    return list(service_traffic(TrafficConfig(**kwargs)))
+
+
+class TestMix:
+    def test_read_fraction_is_exact(self):
+        calls = stream(operations=40, read_fraction=0.75)
+        assert len(calls) == 40
+        assert sum(call.is_read for call in calls) == 30
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+    def test_extremes_and_middles(self, fraction):
+        config = TrafficConfig(operations=10, read_fraction=fraction)
+        calls = list(service_traffic(config))
+        assert sum(call.is_read for call in calls) == config.reads
+        assert config.reads + config.writes == 10
+
+    def test_same_seed_same_stream(self):
+        assert stream(seed=3) == stream(seed=3)
+        assert stream(seed=3) != stream(seed=4)
+
+    def test_reads_are_gets_writes_are_posts(self):
+        for call in stream(operations=30, read_fraction=0.5):
+            assert call.method == ("GET" if call.is_read else "POST")
+
+    def test_writes_alternate_declare_and_undo(self):
+        writes = [
+            call
+            for call in stream(operations=20, read_fraction=0.0)
+            if not call.is_read
+        ]
+        for index, call in enumerate(writes):
+            if index % 2 == 0:
+                assert call.path.endswith("/equivalences")
+                assert set(call.body) == {"first", "second"}
+            else:
+                assert call.path.endswith("/undo")
+
+    def test_config_validation(self):
+        with pytest.raises(SchemaError):
+            TrafficConfig(operations=-1)
+        with pytest.raises(SchemaError):
+            TrafficConfig(read_fraction=1.5)
+
+
+class TestAgainstTheService:
+    def test_stream_is_entirely_accepted(self, tmp_path):
+        # the contract of service_traffic: against the standard seeded
+        # session every call in the stream succeeds, in order
+        app = ServiceApp(
+            tmp_path / "svc",
+            auth=TenantAuth.from_tokens({"token-acme": "acme"}),
+        )
+        try:
+            client = Client(app)
+            assert client.post("/v1/sessions", {"session_id": "s1"})[0] == 201
+            for ddl in (SC1_DDL, SC2_DDL):
+                assert (
+                    client.post("/v1/sessions/s1/schemas", {"ddl": ddl})[0]
+                    == 201
+                )
+            for call in stream(operations=30, read_fraction=0.6, seed=11):
+                if call.method == "GET":
+                    status, _ = client.get(call.path, query=call.query)
+                else:
+                    status, _ = client.post(call.path, call.body)
+                assert status < 300, (call, status)
+        finally:
+            app.close()
