@@ -59,6 +59,8 @@ OUTPUT = REPO_ROOT / "BENCH_replication.json"
 LAG_P99_CEILING_SECONDS = 0.25
 PROMOTION_CEILING_SECONDS = 1.0
 POLL_SECONDS = 0.02
+#: shared replication-plane secret for the leader/replica pair
+REPL_TOKEN = "repl-bench-secret"
 
 OPERATIONS_FULL = 120
 OPERATIONS_SMOKE = 40
@@ -162,17 +164,21 @@ def measure_service_pair(operations: int):
     read_failures: list[str] = []
     with tempfile.TemporaryDirectory() as tmp:
         auth = TenantAuth.from_tokens({"token-acme": "acme"})
-        leader_app = ServiceApp(Path(tmp) / "leader", auth=auth)
+        leader_app = ServiceApp(
+            Path(tmp) / "leader", auth=auth, replication_token=REPL_TOKEN
+        )
         replica_app = ServiceApp(
             Path(tmp) / "replica",
             auth=TenantAuth.from_tokens({"token-acme": "acme"}),
-            replication_link=InProcessLeaderLink(leader_app, "token-acme"),
+            replication_link=InProcessLeaderLink(leader_app, REPL_TOKEN),
+            replication_token=REPL_TOKEN,
             max_lag_s=60.0,  # lag is measured here, not enforced
             replication_poll_s=POLL_SECONDS,
         )
         try:
             leader = Client(leader_app)
             replica = Client(replica_app)
+            operator = Client(replica_app, token=REPL_TOKEN)
             assert leader.call(
                 "POST", "/v1/sessions", {"session_id": "s1"}
             )[0] == 201
@@ -214,7 +220,7 @@ def measure_service_pair(operations: int):
 
             _, before = leader.call("GET", "/v1/sessions/s1")
             promote_start = time.perf_counter()
-            status, promoted = replica.call(
+            status, promoted = operator.call(
                 "POST", "/v1/replication/promote"
             )
             assert status == 200 and promoted["role"] == "leader"

@@ -79,6 +79,9 @@ class Kernel:
         self.wal: "WriteAheadLog | None" = None
         self._wal_events: list[Event] = []
         self._wal_truncate: int | None = None
+        #: monotonic count of live publishes — lets a transaction tell
+        #: whether anything actually reached the log before it failed
+        self._live_publishes = 0
         self.bus.before_publish = self._before_live_publish
         self.bus.after_publish = self._after_live_publish
 
@@ -136,6 +139,7 @@ class Kernel:
                 self._wal_truncate = self._head
 
     def _after_live_publish(self, event: Event) -> None:
+        self._live_publishes += 1
         self._head = event.offset
         self._events_since_snapshot += 1
         if self.wal is not None:
@@ -188,9 +192,22 @@ class Kernel:
         self.wal.commit(events, truncate=truncate)
 
     def _wal_discard(self) -> None:
-        """Drop the group buffer (the transaction rolled back)."""
+        """Drop the group buffer (the transaction rolled back).
+
+        The rolled-back *events* vanish without trace, but a staged
+        redo-tail truncation must still be journaled:
+        ``_before_live_publish`` already destroyed the tail in memory
+        (events, snapshots and cached results past the head are gone,
+        and rollback does not resurrect them), so without a durable
+        record a crash-recovered kernel — or a replica replaying the
+        shipped WAL — would resurrect a redo tail the live kernel no
+        longer has, and their log offsets would diverge.
+        """
         self._wal_events = []
+        truncate = self._wal_truncate
         self._wal_truncate = None
+        if truncate is not None and self.wal is not None:
+            self.wal.commit([], truncate=truncate)
 
     def _wal_record_head(self) -> None:
         """Journal a cursor move so recovery lands where the user was."""
@@ -236,18 +253,39 @@ class Kernel:
                 return
             start = self._head
             entry_state = self._require_session().state_payload()
+            entry_publishes = self._live_publishes
             try:
                 with self.bus.grouped() as txn:
                     yield txn
             except BaseException:
                 self._wal_discard()
-                self._rollback(start, entry_state)
+                self._rollback(
+                    start,
+                    entry_state,
+                    published=self._live_publishes > entry_publishes,
+                )
                 raise
             else:
                 self._wal_commit()
                 self._maybe_snapshot()
 
-    def _rollback(self, start: int, entry_state: dict[str, Any]) -> None:
+    def _rollback(
+        self,
+        start: int,
+        entry_state: dict[str, Any],
+        *,
+        published: bool = True,
+    ) -> None:
+        if not published:
+            # nothing reached the log: events past ``start`` are a
+            # pre-existing redo tail, not ours to drop or invert — only
+            # repair the session if the failed operation mutated state
+            # before raising
+            if self._require_session().state_payload() != entry_state:
+                self._rebuild_state(entry_state)
+                self._resnapshot_audit()
+            self._head = start
+            return
         committed = self.bus.events(start)
         inverses = [
             self.bus.inverse_for(event.offset) for event in committed

@@ -52,7 +52,12 @@ class ReplicaClient:
         connection = self._connections.get(base_url)
         if connection is None:
             parsed = urllib.parse.urlsplit(base_url)
-            connection = http.client.HTTPConnection(
+            factory = (
+                http.client.HTTPSConnection
+                if parsed.scheme == "https"
+                else http.client.HTTPConnection
+            )
+            connection = factory(
                 parsed.hostname, parsed.port, timeout=self.timeout
             )
             self._connections[base_url] = connection

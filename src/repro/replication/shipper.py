@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -41,6 +42,53 @@ from repro.kernel.wal import scan_records
 
 _SEGMENT_GLOB = "wal-*.seg"
 _CORRUPT_GLOB = "wal-*.corrupt"
+
+
+class _SegmentScanCache:
+    """Memoized ``scan_records`` per segment file, keyed by stat.
+
+    Without this, every poll of every follower re-reads and CRC-decodes
+    every byte of every segment — O(total WAL bytes × followers) per
+    round.  WAL segments are append-only while live and immutable once
+    rotated, so ``(size, mtime_ns)`` identifies a segment's content: an
+    append changes both, a rotation or checkpoint reset replaces the
+    file.  The stat is taken *before* the read — a write racing the
+    read can at worst cache newer content under the older key, which
+    the next append invalidates; it can never pin stale content.
+
+    Cached record dicts are shared by reference; every consumer
+    (``encode_frames``, ``merge_wal_records``) treats records as
+    immutable, copying before keeping.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        #: path -> ((size, mtime_ns), (records, good, damage))
+        self._entries: dict[
+            Path, tuple[tuple[int, int], tuple[Any, ...]]
+        ] = {}
+
+    def scan(self, segment: Path) -> tuple[Any, ...]:
+        stat = segment.stat()
+        key = (stat.st_size, stat.st_mtime_ns)
+        with self._lock:
+            entry = self._entries.get(segment)
+            if entry is not None and entry[0] == key:
+                return entry[1]
+        result = scan_records(segment.read_bytes())
+        with self._lock:
+            # FIFO bound: rotated-away and quarantined paths age out
+            while (
+                len(self._entries) >= self._max_entries
+                and segment not in self._entries
+            ):
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[segment] = (key, result)
+        return result
+
+
+_SCAN_CACHE = _SegmentScanCache()
 
 
 @dataclass(frozen=True)
@@ -96,7 +144,7 @@ class WalShipper:
         for position, segment in enumerate(segments):
             if first_segment is None:
                 first_segment = segment
-            scanned, _good, damage = scan_records(segment.read_bytes())
+            scanned, _good, damage = _SCAN_CACHE.scan(segment)
             records.extend(scanned)
             if damage:
                 # final segment: an append racing this read — the rest

@@ -57,7 +57,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--replica-token",
         metavar="TOKEN",
-        help="bearer token the replica presents to the leader",
+        help=(
+            "shared replication-plane secret: presented to the leader "
+            "by a replica, and required by this node on the "
+            "/v1/replication control surfaces (fence, promote) and for "
+            "cross-tenant WAL/snapshot fetches"
+        ),
     )
     parser.add_argument(
         "--max-lag-s",

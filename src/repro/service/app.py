@@ -469,8 +469,19 @@ class ServiceApp:
                 request_id=info.request_id,
             )
             if route.auth:
-                context.tenant = self.auth.authenticate(request)
-                info.tenant = context.tenant
+                # replication-plane routes accept the node's configured
+                # replication token as an operator credential; anything
+                # else falls through to ordinary tenant authentication
+                token = request.auth_token
+                if (
+                    route.auth == "replication"
+                    and token is not None
+                    and self.replication.is_operator_token(token)
+                ):
+                    context.operator = True
+                else:
+                    context.tenant = self.auth.authenticate(request)
+                    info.tenant = context.tenant
             self.replication.enforce(route, context)
             sid = params.get("sid")
             if sid is not None:
@@ -680,6 +691,11 @@ def app_from_config(path: str | Path) -> tuple[ServiceApp, str, int]:
           "max_lag_s": 2.0,
           "replication_poll_s": 0.25
         }
+
+    ``replication_token`` is the shared replication-plane secret: a
+    replica presents it to its leader, and every node requires it for
+    the ``/v1/replication`` control surfaces (fence, promote) and for
+    cross-tenant WAL/snapshot fetches.
     """
     config: dict[str, Any] = json.loads(Path(path).read_text("utf-8"))
     auth = TenantAuth.from_tokens(config.get("tenants", {}))

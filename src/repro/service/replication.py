@@ -28,11 +28,20 @@ Writes on a non-leader are refused before the handler runs
 (:meth:`ReplicationPlane.enforce`), with the typed
 ``replication_not_leader`` / ``replication_fenced`` errors mapping to
 503 so clients fail over instead of retrying blindly.
+
+The plane also owns the **replication credential**: the shared
+``replication_token`` a replica presents to its leader doubles as the
+operator token each node requires on the ``/v1/replication`` control
+surfaces (fence, promote) and for cross-tenant WAL/snapshot fetches —
+tenant tokens only ever reach their own stream
+(:meth:`ReplicationPlane.is_operator_token`).
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
+import hmac
 import http.client
 import json
 import threading
@@ -191,7 +200,12 @@ class HttpLeaderLink:
         body: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         parsed = urllib.parse.urlsplit(self.leader_url)
-        connection = http.client.HTTPConnection(
+        factory = (
+            http.client.HTTPSConnection
+            if parsed.scheme == "https"
+            else http.client.HTTPConnection
+        )
+        connection = factory(
             parsed.hostname, parsed.port, timeout=self.timeout
         )
         if query:
@@ -339,12 +353,20 @@ class ReplicationPlane:
         coordinator: ReplicationCoordinator,
         *,
         link: InProcessLeaderLink | HttpLeaderLink | None = None,
+        token: str | None = None,
         max_lag_s: float = 2.0,
         poll_s: float = 0.25,
     ) -> None:
         self.app = app
         self.coordinator = coordinator
         self.link = link
+        # only the digest is kept, mirroring TenantAuth: a process dump
+        # never yields the usable replication credential
+        self._token_digest = (
+            hashlib.sha256(token.encode("utf-8")).hexdigest()
+            if token
+            else None
+        )
         self.max_lag_s = max_lag_s
         self.poll_s = poll_s
         self.local: SessionManager = app.manager
@@ -387,7 +409,12 @@ class ReplicationPlane:
             # normalize a stale persisted leader role; fenced stays fenced
             coordinator.follow(replica_of)
         plane = cls(
-            app, coordinator, link=link, max_lag_s=max_lag_s, poll_s=poll_s
+            app,
+            coordinator,
+            link=link,
+            token=token,
+            max_lag_s=max_lag_s,
+            poll_s=poll_s,
         )
         if coordinator.role == "replica":
             if plane.link is None:
@@ -406,6 +433,18 @@ class ReplicationPlane:
     @property
     def role(self) -> str:
         return self.coordinator.role
+
+    def is_operator_token(self, token: str) -> bool:
+        """Is this bearer token the node's replication credential?
+
+        False whenever no replication token is configured — the control
+        surfaces (fence, promote, cross-tenant stream access) are then
+        unreachable rather than open.
+        """
+        if self._token_digest is None:
+            return False
+        presented = hashlib.sha256(token.encode("utf-8")).hexdigest()
+        return hmac.compare_digest(self._token_digest, presented)
 
     def enforce(self, route, ctx) -> None:
         """The per-request gate, between auth and the handler.
@@ -513,10 +552,12 @@ class ReplicationPlane:
         self.coordinator.observe_epoch(int(status.get("epoch", 1)))
         applied_total = 0
         behind_total = 0
+        seen: set[tuple[str, str]] = set()
         for row in link.inventory():
             tenant = str(row["tenant"])
             session_id = str(row["session_id"])
             key = (tenant, session_id)
+            seen.add(key)
             with self._mutex:
                 applier = self._appliers.get(key)
                 if applier is None:
@@ -548,6 +589,13 @@ class ReplicationPlane:
                 offset = applier.applied_offset()
             applier.observe_leader_offset(int(offset))
             behind_total += applier.offset_behind()
+        # deletes propagate: a session purged on the leader leaves the
+        # inventory, so its applier is dropped here — the replica stops
+        # serving it, and a later promote cannot materialize it back
+        with self._mutex:
+            for key in list(self._appliers):
+                if key not in seen:
+                    del self._appliers[key]
         now = time.monotonic()
         self._last_sync_at = now
         if behind_total == 0:

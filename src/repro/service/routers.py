@@ -31,6 +31,7 @@ from repro.service.errors import (
     BadRequestError,
     MethodNotAllowedError,
     RouteNotFoundError,
+    TenantAccessError,
 )
 from repro.service.http import Request, Response, StreamingResponse
 from repro.service.manager import state_fingerprint
@@ -47,6 +48,9 @@ class Context:
     request: Request
     params: dict[str, str]
     tenant: str | None = None
+    #: the request presented the configured replication-plane token
+    #: (``auth="replication"`` routes only); operators are tenant-less
+    operator: bool = False
     #: the correlation id dispatch bound to this request
     request_id: str = ""
 
@@ -80,7 +84,10 @@ class Route:
     method: str
     pattern: str
     handler: Handler
-    auth: bool = True
+    #: True — tenant bearer token required; False — anonymous;
+    #: "replication" — the replication-plane token authenticates as an
+    #: operator, any tenant token authenticates as that tenant
+    auth: bool | str = True
     status: int = 200
     regex: re.Pattern = field(init=False, repr=False, compare=False)
 
@@ -105,7 +112,7 @@ class Router:
         pattern: str,
         handler: Handler,
         *,
-        auth: bool = True,
+        auth: bool | str = True,
         status: int = 200,
     ) -> None:
         self.routes.append(
@@ -701,14 +708,40 @@ def _replication_plane(ctx: Context):
     return plane
 
 
+def _require_operator(ctx: Context) -> None:
+    """Gate a replication control surface on the replication token.
+
+    Tenant tokens never qualify: a tenant must not be able to fence a
+    leader, trigger failover, or read another tenant's stream.  A node
+    with no replication token configured refuses these outright.
+    """
+    if not ctx.operator:
+        raise TenantAccessError(
+            "this replication endpoint requires the node's configured "
+            "replication token"
+        )
+
+
+def _require_stream_access(ctx: Context, tenant: str) -> None:
+    """WAL/snapshot access: the operator, or the owning tenant itself."""
+    if ctx.operator or ctx.tenant == tenant:
+        return
+    raise TenantAccessError(
+        f"tenant {ctx.tenant!r} may not replicate sessions of {tenant!r}"
+    )
+
+
 def get_replication_status(ctx: Context) -> dict[str, Any]:
     """``GET /v1/replication/status`` — role, epoch, lag, followers.
 
     Followers poll this with a ``follower`` query id, which doubles as
-    the heartbeat behind ``replication.followers_connected``.
+    the heartbeat behind ``replication.followers_connected``.  Only
+    replication-token holders count as followers; tenant tokens still
+    read the status but cannot inflate the gauge.
     """
     plane = _replication_plane(ctx)
-    plane.note_follower(ctx.request.query.get("follower"))
+    if ctx.operator:
+        plane.note_follower(ctx.request.query.get("follower"))
     status = plane.coordinator.status()
     lag = plane.lag_seconds()
     status["lag_seconds"] = (
@@ -721,13 +754,21 @@ def get_replication_status(ctx: Context) -> dict[str, Any]:
 
 
 def get_replication_sessions(ctx: Context) -> dict[str, Any]:
-    """``GET /v1/replication/sessions`` — the leader's shipping inventory."""
+    """``GET /v1/replication/sessions`` — the leader's shipping inventory.
+
+    The replication token sees every tenant's rows (that is what a
+    follower replicates); a tenant token sees only its own.
+    """
     plane = _replication_plane(ctx)
     inventory = getattr(ctx.manager, "replication_inventory", None)
     if inventory is None:
         raise NotLeaderError(plane.role, plane.coordinator.leader_url)
-    plane.note_follower(ctx.request.query.get("follower"))
-    return {"sessions": inventory()}
+    rows = inventory()
+    if ctx.operator:
+        plane.note_follower(ctx.request.query.get("follower"))
+    else:
+        rows = [row for row in rows if row["tenant"] == ctx.tenant]
+    return {"sessions": rows}
 
 
 def get_replication_wal(ctx: Context) -> dict[str, Any]:
@@ -735,14 +776,17 @@ def get_replication_wal(ctx: Context) -> dict[str, Any]:
 
     Query ``generation``/``records`` carry the follower's cursor; the
     reply carries base64 wire frames in the on-disk WAL framing, so the
-    follower re-verifies every CRC itself.
+    follower re-verifies every CRC itself.  Requires the replication
+    token, or a tenant token matching the path tenant.
     """
     plane = _replication_plane(ctx)
+    tenant = ctx.params["tenant"]
+    _require_stream_access(ctx, tenant)
     save_path = getattr(ctx.manager, "save_path", None)
     if save_path is None:
         raise NotLeaderError(plane.role, plane.coordinator.leader_url)
-    plane.note_follower(ctx.request.query.get("follower"))
-    tenant = ctx.params["tenant"]
+    if ctx.operator:
+        plane.note_follower(ctx.request.query.get("follower"))
     sid = ctx.params["sid"]
     ctx.manager.require(tenant, sid)
     cursor = None
@@ -770,9 +814,14 @@ def get_replication_wal(ctx: Context) -> dict[str, Any]:
 
 
 def get_replication_snapshot(ctx: Context) -> dict[str, Any]:
-    """``GET /v1/replication/snapshot/{tenant}/{sid}`` — full-state resync."""
+    """``GET /v1/replication/snapshot/{tenant}/{sid}`` — full-state resync.
+
+    Same access rule as the WAL endpoint: the replication token, or a
+    tenant token matching the path tenant.
+    """
     _replication_plane(ctx)
     tenant = ctx.params["tenant"]
+    _require_stream_access(ctx, tenant)
     sid = ctx.params["sid"]
     with ctx.manager.acquire(tenant, sid) as session:
         kernel = session.analysis.kernel
@@ -787,8 +836,11 @@ def post_replication_promote(ctx: Context) -> dict[str, Any]:
     """``POST /v1/replication/promote`` — failover: follower takes over.
 
     Idempotent on a node that already leads; a fenced node refuses with
-    the typed ``replication_fenced`` error.
+    the typed ``replication_fenced`` error.  Operator-only: promotion
+    redirects every client's writes, so a tenant token must not be able
+    to trigger it.
     """
+    _require_operator(ctx)
     plane = _replication_plane(ctx)
     if plane.coordinator.role == "leader":
         status = plane.coordinator.status()
@@ -798,7 +850,13 @@ def post_replication_promote(ctx: Context) -> dict[str, Any]:
 
 
 def post_replication_fence(ctx: Context) -> dict[str, Any]:
-    """``POST /v1/replication/fence`` — present a higher epoch to a node."""
+    """``POST /v1/replication/fence`` — present a higher epoch to a node.
+
+    Operator-only: fencing is a durable write outage by design, so the
+    epoch must come from a legitimate promotion exchange, not from any
+    tenant guessing a large integer.
+    """
+    _require_operator(ctx)
     plane = _replication_plane(ctx)
     payload = ctx.body()
     epoch = ctx.require(payload, "epoch")
@@ -894,23 +952,35 @@ def build_router() -> Router:
     router.add("POST", "/v1/sessions/{sid}/query", post_query)
     router.add("POST", "/v1/sessions/{sid}/undo", post_undo)
     router.add("POST", "/v1/sessions/{sid}/redo", post_redo)
-    # replication (operator/follower plane; any tenant token)
-    router.add("GET", "/v1/replication/status", get_replication_status)
+    # replication plane: the configured replication token authenticates
+    # as the operator; tenant tokens reach only their own stream (and
+    # never the fence/promote controls)
     router.add(
-        "GET", "/v1/replication/sessions", get_replication_sessions
+        "GET", "/v1/replication/status", get_replication_status,
+        auth="replication",
     )
     router.add(
-        "GET", "/v1/replication/wal/{tenant}/{sid}", get_replication_wal
+        "GET", "/v1/replication/sessions", get_replication_sessions,
+        auth="replication",
+    )
+    router.add(
+        "GET", "/v1/replication/wal/{tenant}/{sid}", get_replication_wal,
+        auth="replication",
     )
     router.add(
         "GET",
         "/v1/replication/snapshot/{tenant}/{sid}",
         get_replication_snapshot,
+        auth="replication",
     )
     router.add(
-        "POST", "/v1/replication/promote", post_replication_promote
+        "POST", "/v1/replication/promote", post_replication_promote,
+        auth="replication",
     )
-    router.add("POST", "/v1/replication/fence", post_replication_fence)
+    router.add(
+        "POST", "/v1/replication/fence", post_replication_fence,
+        auth="replication",
+    )
     # jobs
     router.add("GET", "/v1/jobs", get_jobs)
     router.add("GET", "/v1/jobs/{jid}", get_job)

@@ -27,14 +27,20 @@ def scrape(app):
     return parse_prometheus(response.body.decode("utf-8"))
 
 
+REPL_TOKEN = "repl-operator-secret"
+
+
 @pytest.fixture
 def pair(tmp_path):
     auth = TenantAuth.from_tokens({"token-acme": "acme"})
-    leader = ServiceApp(tmp_path / "leader", auth=auth)
+    leader = ServiceApp(
+        tmp_path / "leader", auth=auth, replication_token=REPL_TOKEN
+    )
     replica = ServiceApp(
         tmp_path / "replica",
         auth=TenantAuth.from_tokens({"token-acme": "acme"}),
-        replication_link=InProcessLeaderLink(leader, "token-acme"),
+        replication_link=InProcessLeaderLink(leader, REPL_TOKEN),
+        replication_token=REPL_TOKEN,
         replication_autostart=False,
     )
     yield leader, replica

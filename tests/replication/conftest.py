@@ -17,7 +17,12 @@ from repro.workloads.university import build_sc1, build_sc2
 
 from tests.service.conftest import SC1_DDL, SC2_DDL, TOKENS, Client
 
-__all__ = ["SC1_DDL", "SC2_DDL", "TOKENS", "Client"]
+#: the shared replication-plane secret both test nodes are configured
+#: with: the replica presents it to the leader, and operators present
+#: it on fence/promote
+REPL_TOKEN = "repl-operator-secret"
+
+__all__ = ["REPL_TOKEN", "SC1_DDL", "SC2_DDL", "TOKENS", "Client"]
 
 
 def durable_session(path) -> ToolSession:
@@ -34,6 +39,7 @@ def leader_app(tmp_path):
         tmp_path / "leader",
         auth=TenantAuth.from_tokens(TOKENS),
         max_resident=4,
+        replication_token=REPL_TOKEN,
     )
     yield application
     application.close()
@@ -45,7 +51,8 @@ def replica_app(tmp_path, leader_app):
         tmp_path / "replica",
         auth=TenantAuth.from_tokens(TOKENS),
         max_resident=4,
-        replication_link=InProcessLeaderLink(leader_app, "token-acme"),
+        replication_link=InProcessLeaderLink(leader_app, REPL_TOKEN),
+        replication_token=REPL_TOKEN,
         replication_autostart=False,
     )
     yield application

@@ -9,7 +9,7 @@ import pytest
 from repro.service import ServiceApp, TenantAuth
 from repro.service.replication import InProcessLeaderLink
 
-from tests.replication.conftest import SC1_DDL, TOKENS, Client
+from tests.replication.conftest import REPL_TOKEN, SC1_DDL, TOKENS, Client
 
 
 def sync(replica_app):
@@ -160,12 +160,17 @@ class TestLagGuards:
         assert status == 404
 
 
+def promote(client):
+    """Promotion is an operator action: present the replication token."""
+    return client.post("/v1/replication/promote", token=REPL_TOKEN)
+
+
 class TestFailover:
     def test_promote_makes_replica_writable(
         self, seeded_leader, replica, replica_app
     ):
         sync(replica_app)
-        status, payload = replica.post("/v1/replication/promote")
+        status, payload = promote(replica)
         assert status == 200
         assert payload["role"] == "leader"
         assert payload["epoch"] == 2
@@ -178,7 +183,7 @@ class TestFailover:
     ):
         sync(replica_app)
         _, before = seeded_leader.get("/v1/sessions/s1")
-        replica.post("/v1/replication/promote")
+        promote(replica)
         _, after = replica.get("/v1/sessions/s1")
         assert (
             after["state_fingerprint"] == before["state_fingerprint"]
@@ -188,7 +193,7 @@ class TestFailover:
         self, seeded_leader, replica, replica_app
     ):
         sync(replica_app)
-        replica.post("/v1/replication/promote")
+        promote(replica)
         status, payload = seeded_leader.post("/v1/sessions/s1/undo")
         assert status == 503
         assert payload["error"]["code"] == "replication_fenced"
@@ -197,7 +202,7 @@ class TestFailover:
         self, tmp_path, seeded_leader, replica, replica_app, leader_app
     ):
         sync(replica_app)
-        replica.post("/v1/replication/promote")
+        promote(replica)
         leader_app.close()
         revived = ServiceApp(
             tmp_path / "leader",
@@ -215,23 +220,42 @@ class TestFailover:
             revived.close()
 
     def test_promote_is_idempotent_on_leader(self, leader):
-        status, payload = leader.post("/v1/replication/promote")
+        status, payload = promote(leader)
         assert status == 200
         assert payload["role"] == "leader"
         assert payload["materialized"] == []
 
     def test_fence_requires_strictly_higher_epoch(self, leader):
         status, payload = leader.post(
-            "/v1/replication/fence", {"epoch": 1}
+            "/v1/replication/fence", {"epoch": 1}, token=REPL_TOKEN
         )
         assert status == 200
         assert payload["fenced_now"] is False
         assert payload["role"] == "leader"
         status, payload = leader.post(
-            "/v1/replication/fence", {"epoch": 2}
+            "/v1/replication/fence", {"epoch": 2}, token=REPL_TOKEN
         )
         assert payload["fenced_now"] is True
         assert payload["role"] == "fenced"
+
+    def test_leader_delete_does_not_resurrect_on_replica(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        assert replica.get("/v1/sessions/s1")[0] == 200
+        status, payload = seeded_leader.delete(
+            "/v1/sessions/s1", query={"purge": "1"}
+        )
+        assert status == 200 and payload["purged"] is True
+        sync(replica_app)
+        # the delete propagated: the replica stops serving it...
+        status, payload = replica.get("/v1/sessions/s1")
+        assert status == 404
+        # ...and promotion does not materialize it back to durability
+        status, payload = promote(replica)
+        assert status == 200
+        assert payload["materialized"] == []
+        assert replica.get("/v1/sessions/s1")[0] == 404
 
 
 class TestReplicationSurfaces:
@@ -292,3 +316,93 @@ class TestReplicationSurfaces:
             "/v1/sessions/s1/query", {"request": "select Name from Ghost"}
         )
         assert status != 503
+
+
+class TestReplicationAuth:
+    """Tenant tokens must not reach other tenants' streams or controls."""
+
+    def test_tenant_cannot_fetch_other_tenants_wal(self, seeded_leader):
+        intruder = Client(seeded_leader.app, token="token-beta")
+        status, payload = intruder.get("/v1/replication/wal/acme/s1")
+        assert status == 403
+        assert payload["error"]["code"] == "tenant_forbidden"
+
+    def test_tenant_cannot_fetch_other_tenants_snapshot(
+        self, seeded_leader
+    ):
+        intruder = Client(seeded_leader.app, token="token-beta")
+        status, payload = intruder.get(
+            "/v1/replication/snapshot/acme/s1"
+        )
+        assert status == 403
+        assert payload["error"]["code"] == "tenant_forbidden"
+
+    def test_tenant_reaches_its_own_stream(self, seeded_leader):
+        # token-acme fetching acme's own WAL/snapshot stays allowed
+        assert seeded_leader.get("/v1/replication/wal/acme/s1")[0] == 200
+        assert (
+            seeded_leader.get("/v1/replication/snapshot/acme/s1")[0] == 200
+        )
+
+    def test_operator_token_reaches_any_stream(self, seeded_leader):
+        operator = Client(seeded_leader.app, token=REPL_TOKEN)
+        assert operator.get("/v1/replication/wal/acme/s1")[0] == 200
+        assert operator.get("/v1/replication/snapshot/acme/s1")[0] == 200
+
+    def test_inventory_is_tenant_scoped_for_tenant_tokens(
+        self, seeded_leader
+    ):
+        beta = Client(seeded_leader.app, token="token-beta")
+        assert beta.post("/v1/sessions", {"session_id": "b1"})[0] == 201
+        _, payload = beta.get("/v1/replication/sessions")
+        assert {row["tenant"] for row in payload["sessions"]} == {"beta"}
+        operator = Client(seeded_leader.app, token=REPL_TOKEN)
+        _, payload = operator.get("/v1/replication/sessions")
+        assert {row["tenant"] for row in payload["sessions"]} == {
+            "acme",
+            "beta",
+        }
+
+    def test_tenant_token_cannot_fence(self, leader):
+        status, payload = leader.post(
+            "/v1/replication/fence", {"epoch": 10**9}
+        )
+        assert status == 403
+        assert payload["error"]["code"] == "tenant_forbidden"
+        # the leader is untouched and still writable
+        status, payload = leader.get(
+            "/v1/replication/status", token=REPL_TOKEN
+        )
+        assert payload["role"] == "leader"
+        assert leader.post("/v1/sessions", {"session_id": "w1"})[0] == 201
+
+    def test_tenant_token_cannot_promote(
+        self, seeded_leader, replica, replica_app
+    ):
+        sync(replica_app)
+        status, payload = replica.post("/v1/replication/promote")
+        assert status == 403
+        assert payload["error"]["code"] == "tenant_forbidden"
+        _, payload = replica.get("/v1/replication/status")
+        assert payload["role"] == "replica"
+
+    def test_unconfigured_node_refuses_operator_surfaces(self, tmp_path):
+        # no replication token configured: fence/promote are closed, not
+        # open — there is no credential that reaches them
+        app = ServiceApp(
+            tmp_path / "bare",
+            auth=TenantAuth.from_tokens(TOKENS),
+            replication_autostart=False,
+        )
+        try:
+            client = Client(app)
+            status, _ = client.post(
+                "/v1/replication/fence", {"epoch": 99}
+            )
+            assert status == 403
+            status, _ = client.post(
+                "/v1/replication/promote", token=REPL_TOKEN
+            )
+            assert status == 401  # not a tenant token either
+        finally:
+            app.close()
